@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure benches: per-benchmark wall
+ * clock on every platform model plus the simulated EIE, and small
+ * statistics helpers.
+ */
+
+#ifndef EIE_BENCH_BENCH_COMMON_HH
+#define EIE_BENCH_BENCH_COMMON_HH
+
+#include <cmath>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/run_stats.hh"
+#include "energy/pe_model.hh"
+#include "platforms/roofline.hh"
+#include "workloads/suite.hh"
+
+namespace eie::bench {
+
+/** All Table IV cells for one benchmark (microseconds per frame). */
+struct BenchTimes
+{
+    // batch 1
+    double cpu_dense = 0, cpu_sparse = 0;
+    double gpu_dense = 0, gpu_sparse = 0;
+    double mgpu_dense = 0, mgpu_sparse = 0;
+    // batch 64
+    double cpu_dense64 = 0, cpu_sparse64 = 0;
+    double gpu_dense64 = 0, gpu_sparse64 = 0;
+    double mgpu_dense64 = 0, mgpu_sparse64 = 0;
+    // EIE (simulated)
+    double eie_theoretical = 0, eie_actual = 0;
+    core::RunStats eie_stats;
+};
+
+/** Compute every platform's time for @p bench; runs the simulator. */
+inline BenchTimes
+computeTimes(workloads::SuiteRunner &runner,
+             const workloads::Benchmark &bench,
+             const core::EieConfig &config)
+{
+    const auto workload = workloads::workloadOf(bench);
+    const platforms::RooflinePlatform cpu(platforms::cpuCoreI7Params());
+    const platforms::RooflinePlatform gpu(platforms::gpuTitanXParams());
+    const platforms::RooflinePlatform mgpu(
+        platforms::mobileGpuTegraK1Params());
+
+    BenchTimes t;
+    t.cpu_dense = cpu.timeUs(workload, false, 1);
+    t.cpu_sparse = cpu.timeUs(workload, true, 1);
+    t.gpu_dense = gpu.timeUs(workload, false, 1);
+    t.gpu_sparse = gpu.timeUs(workload, true, 1);
+    t.mgpu_dense = mgpu.timeUs(workload, false, 1);
+    t.mgpu_sparse = mgpu.timeUs(workload, true, 1);
+    t.cpu_dense64 = cpu.timeUs(workload, false, 64);
+    t.cpu_sparse64 = cpu.timeUs(workload, true, 64);
+    t.gpu_dense64 = gpu.timeUs(workload, false, 64);
+    t.gpu_sparse64 = gpu.timeUs(workload, true, 64);
+    t.mgpu_dense64 = mgpu.timeUs(workload, false, 64);
+    t.mgpu_sparse64 = mgpu.timeUs(workload, true, 64);
+
+    const auto result = runner.runEie(bench, config);
+    t.eie_stats = result.stats;
+    t.eie_theoretical = result.stats.theoreticalTimeUs();
+    t.eie_actual = result.stats.timeUs();
+    return t;
+}
+
+/** EIE power in watts using the run's measured activity. */
+inline double
+eiePowerWatts(const core::EieConfig &config, const core::RunStats &stats)
+{
+    return energy::acceleratorPowerWatts(
+        config, energy::PeActivity::fromRun(stats));
+}
+
+/** Geometric mean of a series of positive values. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return values.empty() ? 0.0
+                          : std::exp(log_sum /
+                                     static_cast<double>(values.size()));
+}
+
+} // namespace eie::bench
+
+#endif // EIE_BENCH_BENCH_COMMON_HH

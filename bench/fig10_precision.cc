@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Regenerates Figure 10: prediction accuracy and multiplier energy
+ * across arithmetic precisions (32-bit float, 32/16/8-bit fixed).
+ *
+ * Substitution (DESIGN.md §4): the paper measures AlexNet on
+ * ImageNet; we train an MLP on a synthetic Gaussian-cluster task
+ * tuned so float32 accuracy sits near the paper's ~80% operating
+ * point, then run bit-exact fixed-point inference. The architectural
+ * shape is what matters: 16-bit fixed tracks float within a fraction
+ * of a percent, below that accuracy collapses, and multiplier energy
+ * falls steeply with width.
+ */
+
+#include <iostream>
+
+#include "common/random.hh"
+#include "common/table.hh"
+#include "energy/op_energy.hh"
+#include "nn/trainer.hh"
+
+int
+main()
+{
+    using namespace eie;
+    using energy::OpEnergy;
+
+    // Tuned operating point: 3 hidden layers of 64 on a 64-dim
+    // 10-class task lands float accuracy near the paper's 80.3%.
+    Rng rng(3);
+    const nn::ClusterTask task(64, 10, 4.5, 1.5, rng);
+    const auto train = task.sample(2000, rng);
+    const auto test = task.sample(500, rng);
+
+    nn::Mlp mlp({64, 64, 64, 64, 10}, rng);
+    std::cout << "training the Figure 10 classifier (25 epochs)...\n";
+    for (int epoch = 0; epoch < 25; ++epoch)
+        mlp.trainEpoch(train, 0.05, 16, rng);
+
+    const double float_acc = mlp.accuracy(test);
+
+    struct Point
+    {
+        const char *name;
+        double accuracy;
+        double mult_energy_pj;
+        const char *paper_acc;
+    };
+    const std::vector<Point> points = {
+        {"32b Float", float_acc, OpEnergy::floatMult(32), "80.3%"},
+        {"32b Int",
+         mlp.accuracyQuantized(test, FixedFormat{32, 16}),
+         OpEnergy::intMult(32), "~80%"},
+        {"16b Int",
+         mlp.accuracyQuantized(test, FixedFormat{16, 8}),
+         OpEnergy::intMult(16), "79.8%"},
+        {"8b Int",
+         mlp.accuracyQuantized(test, FixedFormat{8, 4}),
+         OpEnergy::intMult(8), "53.0%"},
+    };
+
+    std::cout << "\n=== Figure 10: accuracy and multiply energy vs "
+                 "precision ===\n";
+    TextTable table({"Arithmetic Precision", "Prediction Accuracy",
+                     "paper", "Multiply Energy (pJ)"});
+    for (const auto &p : points)
+        table.row()
+            .add(p.name)
+            .addPercent(p.accuracy)
+            .add(p.paper_acc)
+            .add(p.mult_energy_pj, 2);
+    table.print(std::cout);
+
+    std::cout << "\n16-bit vs float accuracy loss: "
+              << 100.0 * (float_acc - points[2].accuracy)
+              << " points (paper: 0.5); 16b multiply saves "
+              << OpEnergy::intMult(32) / OpEnergy::intMult(16)
+              << "x over 32b fixed and "
+              << OpEnergy::floatMult(32) / OpEnergy::intMult(16)
+              << "x over 32b float (paper: 5x / 6.2x).\n"
+                 "Note: the 8-bit collapse is milder here than on "
+                 "ImageNet-scale models (see EXPERIMENTS.md).\n";
+    return 0;
+}

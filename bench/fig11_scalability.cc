@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates Figure 11: speedup vs number of PEs (1..256), per
+ * benchmark, normalised to the 1-PE cycle count. The paper reports
+ * near-linear scaling except NT-We (600 rows over many PEs starve).
+ */
+
+#include <iostream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "workloads/suite.hh"
+
+int
+main()
+{
+    using namespace eie;
+
+    workloads::SuiteRunner runner;
+    const std::vector<unsigned> pe_counts = {1, 2, 4, 8, 16, 32, 64,
+                                             128, 256};
+
+    std::vector<std::string> headers{"Benchmark"};
+    for (unsigned n : pe_counts)
+        headers.push_back(std::to_string(n) + "PE");
+    eie::TextTable table(headers);
+
+    // Small PE counts exceed single-PE SRAM capacity by design; the
+    // paper's simulator swept them anyway. Warn-only mode.
+    Logger::setQuiet(true);
+
+    for (const auto &bench_def : workloads::suite()) {
+        table.row().add(bench_def.name);
+        double base_cycles = 0.0;
+        for (unsigned n : pe_counts) {
+            core::EieConfig config;
+            config.n_pe = n;
+            config.enforce_capacity = false;
+            const auto result = runner.runEie(bench_def, config);
+            const auto cycles =
+                static_cast<double>(result.stats.cycles);
+            if (n == 1)
+                base_cycles = cycles;
+            table.addRatio(base_cycles / cycles, 1);
+        }
+    }
+    Logger::setQuiet(false);
+
+    std::cout << "=== Figure 11: speedup vs #PEs (normalised to 1 PE) "
+                 "===\n";
+    table.print(std::cout);
+    std::cout << "\nPaper: near-linear for all benchmarks except "
+                 "NT-We, which saturates (only 600 output rows to "
+                 "spread).\n";
+    return 0;
+}

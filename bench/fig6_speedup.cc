@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates Figure 6: speedups of CPU/GPU/mGPU (dense and
+ * compressed) and EIE on the nine benchmarks, normalised to CPU dense
+ * (batch 1, as the paper's latency-focused comparison demands), plus
+ * the geometric mean.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace eie;
+
+    workloads::SuiteRunner runner;
+    core::EieConfig config;
+
+    eie::TextTable table({"Benchmark", "CPU Dense", "CPU Compressed",
+                          "GPU Dense", "GPU Compressed", "mGPU Dense",
+                          "mGPU Compressed", "EIE"});
+
+    std::vector<double> col[7];
+    for (const auto &bench_def : workloads::suite()) {
+        const auto t =
+            bench::computeTimes(runner, bench_def, config);
+        const double base = t.cpu_dense;
+        const double speedups[7] = {
+            1.0,
+            base / t.cpu_sparse,
+            base / t.gpu_dense,
+            base / t.gpu_sparse,
+            base / t.mgpu_dense,
+            base / t.mgpu_sparse,
+            base / t.eie_actual,
+        };
+        table.row().add(bench_def.name);
+        for (int c = 0; c < 7; ++c) {
+            table.addRatio(speedups[c], 1);
+            col[c].push_back(speedups[c]);
+        }
+    }
+    table.row().add("Geo Mean");
+    for (auto &c : col)
+        table.addRatio(bench::geomean(c), 1);
+
+    std::cout << "=== Figure 6: speedup over CPU dense (batch 1) "
+                 "===\n";
+    table.print(std::cout);
+    std::cout << "\nPaper geomeans: CPU compressed 3x, GPU dense 15x, "
+                 "GPU compressed 48x, mGPU dense 0.6x, mGPU "
+                 "compressed 3x, EIE 189x.\n";
+    return 0;
+}

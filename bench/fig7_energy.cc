@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Regenerates Figure 7: energy efficiency (inverse energy per frame)
+ * of CPU/GPU/mGPU dense and compressed, and EIE, normalised to CPU
+ * dense at batch 1. Platform energy = measured power x modelled time
+ * (exactly the paper's methodology); EIE energy = modelled
+ * accelerator power at the run's measured activity x simulated time.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace eie;
+
+    workloads::SuiteRunner runner;
+    core::EieConfig config;
+
+    const platforms::RooflinePlatform cpu(platforms::cpuCoreI7Params());
+    const platforms::RooflinePlatform gpu(platforms::gpuTitanXParams());
+    const platforms::RooflinePlatform mgpu(
+        platforms::mobileGpuTegraK1Params());
+
+    eie::TextTable table({"Benchmark", "CPU Dense", "CPU Compressed",
+                          "GPU Dense", "GPU Compressed", "mGPU Dense",
+                          "mGPU Compressed", "EIE"});
+
+    std::vector<double> col[7];
+    for (const auto &bench_def : workloads::suite()) {
+        const auto t =
+            bench::computeTimes(runner, bench_def, config);
+
+        const double e_cpu_dense = t.cpu_dense * cpu.powerWatts();
+        const double energies[7] = {
+            e_cpu_dense,
+            t.cpu_sparse * cpu.powerWatts(),
+            t.gpu_dense * gpu.powerWatts(),
+            t.gpu_sparse * gpu.powerWatts(),
+            t.mgpu_dense * mgpu.powerWatts(),
+            t.mgpu_sparse * mgpu.powerWatts(),
+            t.eie_actual *
+                bench::eiePowerWatts(config, t.eie_stats),
+        };
+
+        table.row().add(bench_def.name);
+        for (int c = 0; c < 7; ++c) {
+            const double efficiency = e_cpu_dense / energies[c];
+            table.addRatio(efficiency, c == 6 ? 0 : 1);
+            col[c].push_back(efficiency);
+        }
+    }
+    table.row().add("Geo Mean");
+    for (int c = 0; c < 7; ++c)
+        table.addRatio(bench::geomean(col[c]), c == 6 ? 0 : 1);
+
+    std::cout << "=== Figure 7: energy efficiency over CPU dense "
+                 "(batch 1) ===\n";
+    table.print(std::cout);
+    std::cout << "\nPaper geomeans: CPU compressed 6x, GPU dense 7x, "
+                 "GPU compressed 23x, mGPU dense 9x, mGPU compressed "
+                 "36x, EIE 24,207x.\n"
+                 "Theoretical decomposition (§VI-B): 120x (SRAM vs "
+                 "DRAM) x 10x (weight sparsity) x 8x (weight sharing) "
+                 "x 3x (activation sparsity) = 28,800x.\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Regenerates Figure 9: the Spmat SRAM width sweep (32..512 bits).
+ * Left panel: energy per read (SRAM model) and number of reads
+ * (cycle-accurate simulator) on the AlexNet layers; right panel:
+ * total Spmat read energy per benchmark, which must bottom out at the
+ * paper's chosen 64-bit interface.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "energy/sram_model.hh"
+#include "workloads/suite.hh"
+
+int
+main()
+{
+    using namespace eie;
+
+    workloads::SuiteRunner runner;
+    const std::vector<unsigned> widths = {32, 64, 128, 256, 512};
+
+    // Left panel: energy/read and AlexNet read counts.
+    std::cout << "=== Figure 9 (left): read energy and read count vs "
+                 "SRAM width ===\n";
+    eie::TextTable left({"Width", "Energy/read (pJ)",
+                         "Reads (Alex-6+7+8)"});
+    std::vector<std::vector<std::uint64_t>> reads_by_width;
+    std::vector<std::vector<std::string>> bench_names;
+    const std::size_t spmat_bytes = core::EieConfig{}
+        .spmat_capacity_entries; // 128KB (1 byte per entry)
+
+    for (unsigned width : widths) {
+        core::EieConfig config;
+        config.spmat_width_bits = width;
+        std::uint64_t alexnet_reads = 0;
+        std::vector<std::uint64_t> all_reads;
+        for (const auto &bench_def : workloads::suite()) {
+            const auto result = runner.runEie(bench_def, config);
+            all_reads.push_back(result.stats.spmat_row_fetches);
+            if (bench_def.name.rfind("Alex", 0) == 0)
+                alexnet_reads += result.stats.spmat_row_fetches;
+        }
+        reads_by_width.push_back(std::move(all_reads));
+        left.row()
+            .add(std::to_string(width) + " bit")
+            .add(energy::SramModel::readEnergyPj(spmat_bytes, width), 1)
+            .add(alexnet_reads);
+    }
+    left.print(std::cout);
+
+    // Right panel: total Spmat read energy per benchmark.
+    std::cout << "\n=== Figure 9 (right): total Spmat read energy "
+                 "(nJ) ===\n";
+    std::vector<std::string> headers{"Width"};
+    for (const auto &bench_def : workloads::suite())
+        headers.push_back(bench_def.name);
+    eie::TextTable right(headers);
+
+    std::vector<double> total_by_width(widths.size(), 0.0);
+    for (std::size_t w = 0; w < widths.size(); ++w) {
+        right.row().add(std::to_string(widths[w]) + "bit");
+        const double e_read =
+            energy::SramModel::readEnergyPj(spmat_bytes, widths[w]);
+        for (std::size_t b = 0; b < workloads::suite().size(); ++b) {
+            const double nj =
+                static_cast<double>(reads_by_width[w][b]) * e_read /
+                1000.0;
+            right.add(nj, 1);
+            total_by_width[w] += nj;
+        }
+    }
+    right.print(std::cout);
+
+    std::size_t best = 0;
+    for (std::size_t w = 1; w < widths.size(); ++w)
+        if (total_by_width[w] < total_by_width[best])
+            best = w;
+    std::cout << "\nMinimum total Spmat read energy at "
+              << widths[best] << "-bit width (paper chooses 64).\n";
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Google-benchmark timing of the runnable host kernels on an
+ * Alex-7-shaped layer (4096x4096 at 9% density, 35% activation
+ * density) — the honest counterpart of the roofline models. Confirms
+ * §VI-A's observation that compression alone on a general-purpose
+ * processor buys only a small factor (the paper: ~3x on CPU), far
+ * from EIE's dedicated-logic gains.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "compress/compressed_layer.hh"
+#include "nn/generate.hh"
+#include "platforms/host_kernels.hh"
+
+namespace {
+
+using namespace eie;
+
+constexpr std::size_t kRows = 4096;
+constexpr std::size_t kCols = 4096;
+constexpr double kWeightDensity = 0.09;
+constexpr double kActDensity = 0.35;
+
+struct Fixture
+{
+    nn::SparseMatrix sparse;
+    nn::Matrix dense;
+    platforms::CsrMatrix csr;
+    compress::CompressedLayer layer;
+    nn::Vector input;
+    std::vector<float> output;
+
+    static Fixture &
+    instance()
+    {
+        static Fixture f;
+        return f;
+    }
+
+  private:
+    Fixture()
+        : sparse(makeWeights()), dense(sparse.toDense()),
+          csr(platforms::CsrMatrix::fromSparse(sparse)),
+          layer(makeLayer(sparse)), input(makeInput()),
+          output(kRows, 0.0f)
+    {}
+
+    static nn::SparseMatrix
+    makeWeights()
+    {
+        Rng rng(77);
+        nn::WeightGenOptions opts;
+        opts.density = kWeightDensity;
+        return nn::makeSparseWeights(kRows, kCols, opts, rng);
+    }
+
+    static compress::CompressedLayer
+    makeLayer(const nn::SparseMatrix &w)
+    {
+        compress::CompressionOptions opts;
+        opts.interleave.n_pe = 64;
+        return compress::CompressedLayer::compress("alex7", w, opts);
+    }
+
+    static nn::Vector
+    makeInput()
+    {
+        Rng rng(78);
+        return nn::makeActivations(kCols, kActDensity, rng);
+    }
+};
+
+void
+BM_DenseGemv(benchmark::State &state)
+{
+    auto &f = Fixture::instance();
+    for (auto _ : state) {
+        platforms::denseGemv(f.dense, f.input, f.output);
+        benchmark::DoNotOptimize(f.output.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kRows * kCols);
+}
+BENCHMARK(BM_DenseGemv)->Unit(benchmark::kMicrosecond);
+
+void
+BM_CsrSpmv(benchmark::State &state)
+{
+    auto &f = Fixture::instance();
+    for (auto _ : state) {
+        platforms::csrSpmv(f.csr, f.input, f.output);
+        benchmark::DoNotOptimize(f.output.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(f.csr.values.size()));
+}
+BENCHMARK(BM_CsrSpmv)->Unit(benchmark::kMicrosecond);
+
+void
+BM_CscCodebookSpmv(benchmark::State &state)
+{
+    auto &f = Fixture::instance();
+    for (auto _ : state) {
+        platforms::cscCodebookSpmv(f.layer.storage(), f.input,
+                                   f.output);
+        benchmark::DoNotOptimize(f.output.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(f.layer.storage().totalEntries()));
+}
+BENCHMARK(BM_CscCodebookSpmv)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates Table I: energy of basic operations in a 45 nm CMOS
+ * process, plus the width-scaled costs the EIE datapath relies on
+ * (16-bit fixed-point MAC, 4-bit index decode amortisation).
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "energy/op_energy.hh"
+
+int
+main()
+{
+    using eie::energy::OpEnergy;
+
+    std::cout << "=== Table I: energy per operation, 45nm CMOS ===\n";
+    eie::TextTable table({"Operation", "Energy [pJ]", "Relative Cost"});
+    auto add = [&](const char *op, double pj) {
+        table.row().add(op).add(pj, 2).add(
+            OpEnergy::relativeCost(pj), 0);
+    };
+    add("32 bit int ADD", OpEnergy::int_add_32);
+    add("32 bit float ADD", OpEnergy::float_add_32);
+    add("32 bit int MULT", OpEnergy::int_mult_32);
+    add("32 bit float MULT", OpEnergy::float_mult_32);
+    add("32 bit 32KB SRAM", OpEnergy::sram_read_32b_32k);
+    add("32 bit DRAM", OpEnergy::dram_read_32b);
+    table.print(std::cout);
+
+    std::cout << "\nDRAM/SRAM ratio: "
+              << OpEnergy::dram_read_32b / OpEnergy::sram_read_32b_32k
+              << "x (paper: 128x); DRAM/intADD ratio: "
+              << OpEnergy::dram_read_32b / OpEnergy::int_add_32
+              << "x (paper: 3 orders of magnitude)\n";
+
+    std::cout << "\n=== Width-scaled arithmetic (Figure 10 energy "
+                 "bars) ===\n";
+    eie::TextTable widths({"Width", "int MULT [pJ]", "int ADD [pJ]",
+                           "fixed MAC [pJ]"});
+    for (unsigned bits : {8u, 16u, 32u}) {
+        widths.row()
+            .add(std::to_string(bits) + "b")
+            .add(OpEnergy::intMult(bits), 3)
+            .add(OpEnergy::intAdd(bits), 3)
+            .add(OpEnergy::fixedMac(bits), 3);
+    }
+    widths.print(std::cout);
+    std::cout << "16b fixed multiply vs 32b fixed: "
+              << OpEnergy::int_mult_32 / OpEnergy::intMult(16)
+              << "x less energy (paper: 5x)\n"
+              << "16b fixed multiply vs 32b float: "
+              << OpEnergy::float_mult_32 / OpEnergy::intMult(16)
+              << "x less energy (paper: 6.2x)\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Regenerates Table IV: per-frame wall clock (microseconds) of CPU /
+ * GPU / mobile GPU on dense and compressed models at batch 1 and 64,
+ * and EIE's theoretical vs simulated ("actual") time. The paper's
+ * measured values appear in EXPERIMENTS.md next to these.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace eie;
+
+    workloads::SuiteRunner runner;
+    core::EieConfig config; // 64 PE, 800 MHz
+
+    eie::TextTable table({"Platform", "Batch", "Matrix", "Alex-6",
+                          "Alex-7", "Alex-8", "VGG-6", "VGG-7",
+                          "VGG-8", "NT-We", "NT-Wd", "NT-LSTM"});
+
+    std::vector<bench::BenchTimes> times;
+    for (const auto &bench_def : workloads::suite())
+        times.push_back(
+            bench::computeTimes(runner, bench_def, config));
+
+    auto row = [&](const char *platform, const char *batch,
+                   const char *matrix, auto get) {
+        table.row().add(platform).add(batch).add(matrix);
+        for (const auto &t : times)
+            table.add(get(t), 1);
+    };
+
+    using BT = bench::BenchTimes;
+    row("CPU (i7-5930k)", "1", "dense",
+        [](const BT &t) { return t.cpu_dense; });
+    row("", "1", "sparse", [](const BT &t) { return t.cpu_sparse; });
+    row("", "64", "dense", [](const BT &t) { return t.cpu_dense64; });
+    row("", "64", "sparse", [](const BT &t) { return t.cpu_sparse64; });
+    row("GPU (Titan X)", "1", "dense",
+        [](const BT &t) { return t.gpu_dense; });
+    row("", "1", "sparse", [](const BT &t) { return t.gpu_sparse; });
+    row("", "64", "dense", [](const BT &t) { return t.gpu_dense64; });
+    row("", "64", "sparse", [](const BT &t) { return t.gpu_sparse64; });
+    row("mGPU (Tegra K1)", "1", "dense",
+        [](const BT &t) { return t.mgpu_dense; });
+    row("", "1", "sparse", [](const BT &t) { return t.mgpu_sparse; });
+    row("", "64", "dense", [](const BT &t) { return t.mgpu_dense64; });
+    row("", "64", "sparse",
+        [](const BT &t) { return t.mgpu_sparse64; });
+    row("EIE (simulated)", "1", "Theoretical",
+        [](const BT &t) { return t.eie_theoretical; });
+    row("", "1", "Actual", [](const BT &t) { return t.eie_actual; });
+
+    std::cout << "=== Table IV: wall clock time per frame (us) ===\n";
+    table.print(std::cout);
+
+    // §VI-A: "The actual computation time is around 10% more than the
+    // theoretical computation time due to load imbalance."
+    std::vector<double> ratios;
+    for (const auto &t : times)
+        ratios.push_back(t.eie_actual / t.eie_theoretical);
+    std::cout << "\nEIE actual/theoretical geomean: "
+              << bench::geomean(ratios)
+              << "x (paper: ~1.1x)\n";
+    return 0;
+}

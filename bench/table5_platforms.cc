@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Regenerates Table V: comparison with existing hardware platforms on
+ * the AlexNet FC7 M×V (Alex-7). General-purpose platforms use the
+ * calibrated roofline models; DaDianNao is peak-eDRAM-bandwidth
+ * bound; TrueNorth uses its published operating point; EIE rows come
+ * from the cycle-accurate simulator (64 PE at 45 nm / 800 MHz, and
+ * 256 PE projected to 28 nm / 1200 MHz via the paper's own scaling).
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "energy/tech_scaling.hh"
+#include "platforms/asic_models.hh"
+
+int
+main()
+{
+    using namespace eie;
+
+    workloads::SuiteRunner runner;
+    const auto &fc7 = workloads::findBenchmark("Alex-7");
+    const auto workload = workloads::workloadOf(fc7);
+
+    struct Row
+    {
+        platforms::PlatformSpec spec;
+        double frames_per_s = 0.0;
+    };
+    std::vector<Row> rows;
+
+    // General-purpose platforms: dense model at batch 1 (the paper's
+    // latency comparison).
+    {
+        const platforms::RooflinePlatform cpu(
+            platforms::cpuCoreI7Params());
+        rows.push_back({platforms::cpuSpec(),
+                        1e6 / cpu.timeUs(workload, false, 1)});
+        const platforms::RooflinePlatform gpu(
+            platforms::gpuTitanXParams());
+        rows.push_back({platforms::gpuSpec(),
+                        1e6 / gpu.timeUs(workload, false, 1)});
+        const platforms::RooflinePlatform mgpu(
+            platforms::mobileGpuTegraK1Params());
+        rows.push_back({platforms::mobileGpuSpec(),
+                        1e6 / mgpu.timeUs(workload, false, 1)});
+    }
+    {
+        const platforms::AEyeModel aeye;
+        rows.push_back({platforms::AEyeModel::spec(),
+                        1e6 / aeye.timeUs(workload, false, 1)});
+        const platforms::DaDianNaoModel dadiannao;
+        rows.push_back({platforms::DaDianNaoModel::spec(),
+                        1e6 / dadiannao.timeUs(workload, false, 1)});
+        const platforms::TrueNorthModel truenorth;
+        rows.push_back({platforms::TrueNorthModel::spec(),
+                        1e6 / truenorth.timeUs(workload, false, 1)});
+    }
+
+    // EIE 64 PE @ 45 nm, simulated.
+    core::EieConfig eie64;
+    const auto run64 = runner.runEie(fc7, eie64);
+    {
+        platforms::PlatformSpec spec;
+        spec.name = "EIE (ours, 64PE)";
+        spec.year = 2016;
+        spec.type = "ASIC";
+        spec.technology_nm = 45;
+        spec.clock_mhz = "800";
+        spec.memory_type = "SRAM";
+        spec.max_model_params = std::to_string(
+            eie64.n_pe * eie64.spmat_capacity_entries * 10 /
+            1000000) + "M";
+        spec.quantization = "4-bit fixed";
+        spec.area_mm2 = energy::acceleratorAreaMm2(eie64);
+        spec.power_watts = bench::eiePowerWatts(eie64, run64.stats);
+        rows.push_back({spec, 1e6 / run64.stats.timeUs()});
+    }
+
+    // EIE 256 PE projected to 28 nm / 1200 MHz (paper's projection:
+    // area x (28/45)^2, per-PE power held, 1.5x clock).
+    core::EieConfig eie256 = eie64;
+    eie256.n_pe = 256;
+    const auto run256 = runner.runEie(fc7, eie256);
+    {
+        using P = energy::Eie28nmProjection;
+        platforms::PlatformSpec spec;
+        spec.name = "EIE (28nm, 256PE)";
+        spec.year = 2016;
+        spec.type = "ASIC";
+        spec.technology_nm = 28;
+        spec.clock_mhz = "1200";
+        spec.memory_type = "SRAM";
+        spec.max_model_params = std::to_string(
+            eie256.n_pe * eie256.spmat_capacity_entries * 10 /
+            1000000) + "M";
+        spec.quantization = "4-bit fixed";
+        spec.area_mm2 =
+            energy::acceleratorAreaMm2(eie256) * P::area_scale;
+        spec.power_watts =
+            bench::eiePowerWatts(eie256, run256.stats) *
+            P::power_scale;
+        rows.push_back(
+            {spec, 1e6 / run256.stats.timeUs() * P::freq_scale});
+    }
+
+    std::cout << "=== Table V: comparison with existing platforms "
+                 "(AlexNet FC7 M×V) ===\n";
+    eie::TextTable table({"Platform", "Year", "Type", "Tech",
+                          "Clock(MHz)", "Memory", "MaxParams", "Quant",
+                          "Area(mm2)", "Power(W)", "MxV Frames/s",
+                          "Frames/s/mm2", "Frames/J"});
+    for (const auto &row : rows) {
+        const auto &s = row.spec;
+        table.row()
+            .add(s.name)
+            .add(std::int64_t{s.year})
+            .add(s.type)
+            .add(std::to_string(s.technology_nm) + "nm")
+            .add(s.clock_mhz)
+            .add(s.memory_type)
+            .add(s.max_model_params)
+            .add(s.quantization);
+        if (s.area_mm2 > 0.0)
+            table.add(s.area_mm2, 1);
+        else
+            table.add("-");
+        table.add(s.power_watts, 2);
+        table.add(row.frames_per_s, 0);
+        if (s.area_mm2 > 0.0)
+            table.add(row.frames_per_s / s.area_mm2, 1);
+        else
+            table.add("-");
+        table.add(row.frames_per_s / s.power_watts, 0);
+    }
+    table.print(std::cout);
+
+    const double dd_throughput = rows[4].frames_per_s;
+    const double eie28_throughput = rows.back().frames_per_s;
+    std::cout << "\nEIE(28nm,256PE) vs DaDianNao: "
+              << eie28_throughput / dd_throughput << "x throughput "
+              << "(paper: 2.9x), "
+              << (eie28_throughput / rows.back().spec.area_mm2) /
+                 (dd_throughput / rows[4].spec.area_mm2)
+              << "x area efficiency (paper: 3x), "
+              << (eie28_throughput / rows.back().spec.power_watts) /
+                 (dd_throughput / rows[4].spec.power_watts)
+              << "x energy efficiency (paper: 19x).\n"
+              << "256PE over 64PE throughput (same clock): "
+              << static_cast<double>(run64.stats.cycles) /
+                 static_cast<double>(run256.stats.cycles)
+              << "x (paper: 3.25x).\n";
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * NeuralTalk-style image captioning on EIE — the paper's RNN/LSTM
+ * motivation (§I, §II) made concrete.
+ *
+ * The decoder runs the three compressed NT layers of Table III:
+ *   We      4096 -> 600   image-feature embedding (runs once),
+ *   NT-LSTM 1201 -> 2400  packed gate M×V (runs every step;
+ *                          input = [x; h; 1]),
+ *   Wd      600 -> 8791   vocabulary logits (runs every step).
+ * The M×Vs execute on the cycle-accurate 64-PE accelerator; the gate
+ * non-linearities and the argmax sampler run on the host, exactly the
+ * split a real deployment would use. Weights are synthetic, so the
+ * "caption" is a sequence of synthetic token ids — the architecture
+ * and the timing are the point.
+ */
+
+#include <iostream>
+
+#include "common/random.hh"
+#include "common/table.hh"
+#include "core/accelerator.hh"
+#include "core/functional.hh"
+#include "core/plan.hh"
+#include "nn/generate.hh"
+#include "nn/lstm.hh"
+#include "workloads/suite.hh"
+
+int
+main()
+{
+    using namespace eie;
+
+    workloads::SuiteRunner runner;
+    core::EieConfig config; // 64 PE @ 800 MHz
+    const core::Accelerator accel(config);
+    const core::FunctionalModel functional(config);
+
+    const auto &we_bench = workloads::findBenchmark("NT-We");
+    const auto &wd_bench = workloads::findBenchmark("NT-Wd");
+    const auto &lstm_bench = workloads::findBenchmark("NT-LSTM");
+
+    // The packed LSTM cell shares the NT-LSTM layer's weights.
+    const nn::LstmCell cell(
+        runner.layer(lstm_bench).quantizedWeights(), 600, 600);
+
+    // Plans: We runs once; LSTM and Wd run per generated token.
+    const auto we_plan = runner.plan(we_bench, config);
+    // LSTM pre-activations feed sigmoids/tanh: no ReLU in hardware.
+    const auto lstm_plan = core::planLayer(
+        runner.layer(lstm_bench), nn::Nonlinearity::None, config);
+    const auto wd_plan = core::planLayer(
+        runner.layer(wd_bench), nn::Nonlinearity::None, config);
+
+    // A synthetic 4096-dim CNN image feature.
+    Rng rng(4242);
+    const nn::Vector image_feature =
+        nn::makeActivations(4096, we_bench.act_density, rng);
+
+    std::uint64_t total_cycles = 0;
+
+    // 1. Image embedding: x0 = We(feature).
+    const auto we_result =
+        accel.run(we_plan, functional.quantizeInput(image_feature));
+    total_cycles += we_result.stats.cycles;
+    nn::Vector x = functional.dequantize(we_result.output_raw);
+
+    // 2. Greedy decode.
+    const int max_tokens = 8;
+    nn::LstmState state = cell.initialState();
+    std::vector<std::size_t> caption;
+
+    TextTable table({"step", "LSTM cycles", "Wd cycles", "token id"});
+    for (int step = 0; step < max_tokens; ++step) {
+        // LSTM gate M×V on EIE over the packed [x; h; 1] vector.
+        const nn::Vector packed = cell.packInput(x, state);
+        const auto lstm_result =
+            accel.run(lstm_plan, functional.quantizeInput(packed));
+        total_cycles += lstm_result.stats.cycles;
+        state = cell.applyGates(
+            functional.dequantize(lstm_result.output_raw), state);
+
+        // Vocabulary logits on EIE, argmax on the host.
+        const auto wd_result =
+            accel.run(wd_plan, functional.quantizeInput(state.h));
+        total_cycles += wd_result.stats.cycles;
+        const nn::Vector logits =
+            functional.dequantize(wd_result.output_raw);
+        const std::size_t token = nn::argmax(logits);
+        caption.push_back(token);
+
+        table.row()
+            .add(static_cast<std::uint64_t>(step))
+            .add(lstm_result.stats.cycles)
+            .add(wd_result.stats.cycles)
+            .add(static_cast<std::uint64_t>(token));
+
+        // Next input embedding: a deterministic pseudo-embedding of
+        // the sampled token (synthetic vocabulary).
+        Rng token_rng(1000 + static_cast<std::uint64_t>(token));
+        x = nn::makeActivations(600, 1.0, token_rng, 0.5);
+    }
+
+    std::cout << "=== NeuralTalk-style captioning on a 64-PE EIE "
+                 "===\n";
+    table.print(std::cout);
+
+    std::cout << "\nsynthetic caption token ids: ";
+    for (std::size_t t : caption)
+        std::cout << t << " ";
+    const double total_us =
+        static_cast<double>(total_cycles) / (config.clock_ghz * 1e3);
+    std::cout << "\ntotal: " << total_cycles << " cycles = "
+              << total_us << " us for 1 embedding + " << max_tokens
+              << " decode steps ("
+              << total_us / max_tokens << " us/token; paper Table IV: "
+              << "NT-We 8.0us, NT-Wd 13.9us, NT-LSTM 7.5us per "
+                 "M×V)\n";
+    return 0;
+}

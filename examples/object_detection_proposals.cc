@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The paper's object-detection motivation (§II): "In object detection
+ * algorithms, an FC layer is required to run multiple times on all
+ * proposal regions, taking up to 38% computation time" — and because
+ * each region's feature vector arrives on its own, batching them adds
+ * latency a real-time detector cannot afford.
+ *
+ * This example runs the VGG-16 FC6+FC7 stack (the Fast R-CNN head)
+ * over a stream of proposal-region features on a 64-PE EIE, one
+ * region at a time, and reports per-region latency, aggregate
+ * throughput and how the dynamic activation sparsity of each region
+ * changes the work (regions with sparser features finish faster —
+ * something a dense engine cannot exploit).
+ */
+
+#include <iostream>
+
+#include "common/random.hh"
+#include "common/table.hh"
+#include "core/network_runner.hh"
+#include "energy/pe_model.hh"
+#include "nn/generate.hh"
+#include "workloads/suite.hh"
+
+int
+main()
+{
+    using namespace eie;
+
+    workloads::SuiteRunner suite;
+    core::EieConfig config; // 64 PE @ 800 MHz
+
+    // The Fast R-CNN head: VGG FC6 (25088 -> 4096) + FC7 (4096 ->
+    // 4096), compressed per Table III.
+    core::NetworkRunner head(config);
+    head.addLayer(suite.layer(workloads::findBenchmark("VGG-6")),
+                  nn::Nonlinearity::ReLU);
+    head.addLayer(suite.layer(workloads::findBenchmark("VGG-7")),
+                  nn::Nonlinearity::ReLU);
+
+    // Proposal regions with varying feature sparsity: background-ish
+    // regions activate fewer RoI-pooled features than object-ish ones.
+    const int regions = 8;
+    Rng rng(1234);
+
+    TextTable table({"region", "act density", "cycles", "us/region",
+                     "entries walked"});
+
+    double total_us = 0.0;
+    std::uint64_t total_cycles = 0;
+    for (int r = 0; r < regions; ++r) {
+        const double density = 0.08 + 0.03 * r; // 8% .. 29%
+        const auto features =
+            nn::makeActivations(25088, density, rng);
+
+        core::NetworkResult result;
+        head.runFloat(features, &result);
+
+        std::uint64_t entries = 0;
+        for (const auto &layer_stats : result.per_layer)
+            entries += layer_stats.total_entries;
+
+        table.row()
+            .add(static_cast<std::uint64_t>(r))
+            .addPercent(density)
+            .add(result.totalCycles())
+            .add(result.totalTimeUs(), 2)
+            .add(entries);
+        total_us += result.totalTimeUs();
+        total_cycles += result.totalCycles();
+    }
+
+    std::cout << "=== Fast R-CNN head (VGG FC6+FC7) over proposal "
+                 "regions, 64-PE EIE ===\n";
+    table.print(std::cout);
+
+    std::cout << "\n" << regions << " regions in " << total_us
+              << " us (" << 1e6 / (total_us / regions)
+              << " regions/s) with batch size 1 — no batching "
+                 "latency, and sparser regions finish faster "
+                 "(dynamic activation sparsity).\n";
+    std::cout << "For comparison, the paper's Table IV batch-1 VGG-6 "
+                 "alone costs 35,022 us on the CPU and 1,467 us on "
+                 "the Titan X.\n";
+    return 0;
+}

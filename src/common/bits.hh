@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by the compressed-format encoder
+ * and the hardware models.
+ */
+
+#ifndef EIE_COMMON_BITS_HH
+#define EIE_COMMON_BITS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace eie {
+
+/** @return a mask with the low @p n bits set (n in [0, 64]). */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/**
+ * Extract bits [first, first+count) of @p value.
+ *
+ * @param value source word
+ * @param first index of the least significant bit to extract
+ * @param count number of bits to extract
+ */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned first, unsigned count)
+{
+    return (value >> first) & mask(count);
+}
+
+/**
+ * Return @p value with bits [first, first+count) replaced by the low
+ * @p count bits of @p field.
+ */
+constexpr std::uint64_t
+insertBits(std::uint64_t value, unsigned first, unsigned count,
+           std::uint64_t field)
+{
+    const std::uint64_t m = mask(count) << first;
+    return (value & ~m) | ((field << first) & m);
+}
+
+/** @return true if @p value is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** @return ceil(log2(value)); 0 for value <= 1. */
+constexpr unsigned
+ceilLog2(std::uint64_t value)
+{
+    if (value <= 1)
+        return 0;
+    return 64u - static_cast<unsigned>(std::countl_zero(value - 1));
+}
+
+/** @return floor(log2(value)); requires value >= 1. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(value | 1));
+}
+
+/** @return ceil(a / b) for b > 0. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** @return @p value rounded up to the next multiple of @p align (> 0). */
+constexpr std::uint64_t
+roundUp(std::uint64_t value, std::uint64_t align)
+{
+    return divCeil(value, align) * align;
+}
+
+} // namespace eie
+
+#endif // EIE_COMMON_BITS_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Bit-granular writer/reader used by the storage-format code: 4-bit
+ * packed (v, z) sparse-matrix entries and Huffman-coded model files.
+ */
+
+#ifndef EIE_COMMON_BITSTREAM_HH
+#define EIE_COMMON_BITSTREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace eie {
+
+/** Append-only bit vector written LSB-first within each byte. */
+class BitWriter
+{
+  public:
+    /** Append the low @p count bits of @p value (count in [0, 64]). */
+    void
+    write(std::uint64_t value, unsigned count)
+    {
+        panic_if(count > 64, "cannot write %u bits at once", count);
+        for (unsigned i = 0; i < count; ++i)
+            writeBit((value >> i) & 1);
+    }
+
+    /** Append a single bit. */
+    void
+    writeBit(bool bit)
+    {
+        const unsigned offset = bit_count_ % 8;
+        if (offset == 0)
+            bytes_.push_back(0);
+        if (bit)
+            bytes_.back() |= static_cast<std::uint8_t>(1u << offset);
+        ++bit_count_;
+    }
+
+    /** Total number of bits written so far. */
+    std::uint64_t bitCount() const { return bit_count_; }
+
+    /** Byte-padded backing storage. */
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::uint64_t bit_count_ = 0;
+};
+
+/** Sequential reader over a BitWriter's output. */
+class BitReader
+{
+  public:
+    /**
+     * @param bytes     backing storage (must outlive the reader)
+     * @param bit_count number of valid bits in @p bytes
+     */
+    BitReader(const std::vector<std::uint8_t> &bytes,
+              std::uint64_t bit_count)
+        : bytes_(bytes), bit_count_(bit_count)
+    {}
+
+    /** Read the next @p count bits, LSB-first. */
+    std::uint64_t
+    read(unsigned count)
+    {
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < count; ++i)
+            value |= static_cast<std::uint64_t>(readBit()) << i;
+        return value;
+    }
+
+    /** Read a single bit. */
+    bool
+    readBit()
+    {
+        panic_if(pos_ >= bit_count_, "bitstream underrun at bit %llu",
+                 static_cast<unsigned long long>(pos_));
+        const bool bit = (bytes_[pos_ / 8] >> (pos_ % 8)) & 1;
+        ++pos_;
+        return bit;
+    }
+
+    /** Bits remaining to be read. */
+    std::uint64_t remaining() const { return bit_count_ - pos_; }
+
+    /** @return true when all bits were consumed. */
+    bool exhausted() const { return pos_ == bit_count_; }
+
+  private:
+    const std::vector<std::uint8_t> &bytes_;
+    std::uint64_t bit_count_;
+    std::uint64_t pos_ = 0;
+};
+
+} // namespace eie
+
+#endif // EIE_COMMON_BITSTREAM_HH

@@ -1,0 +1,29 @@
+#include "common/fixed_point.hh"
+
+#include <cmath>
+
+namespace eie {
+
+std::int64_t
+quantize(double value, const FixedFormat &fmt)
+{
+    panic_if(fmt.totalBits < 2 || fmt.totalBits > 32,
+             "unsupported fixed-point width %u", fmt.totalBits);
+    panic_if(fmt.fracBits >= fmt.totalBits,
+             "fraction bits %u must be < total bits %u",
+             fmt.fracBits, fmt.totalBits);
+    panic_if(std::isnan(value), "cannot quantize NaN");
+
+    const double scaled =
+        value * static_cast<double>(std::int64_t{1} << fmt.fracBits);
+    // Round half away from zero, like a hardware round-to-nearest unit.
+    const double rounded =
+        scaled >= 0.0 ? std::floor(scaled + 0.5) : std::ceil(scaled - 0.5);
+    if (rounded >= static_cast<double>(fmt.maxRaw()))
+        return fmt.maxRaw();
+    if (rounded <= static_cast<double>(fmt.minRaw()))
+        return fmt.minRaw();
+    return static_cast<std::int64_t>(rounded);
+}
+
+} // namespace eie

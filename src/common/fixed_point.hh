@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Fixed-point arithmetic used by the EIE datapath.
+ *
+ * EIE uses 16-bit fixed-point activations and codebook weights
+ * (paper §VI, "Arithmetic Precision"): a 16b x 16b multiply produces a
+ * 32-bit product that is shifted and accumulated ("shift and add" stage)
+ * into a 16-bit accumulator register with saturation.
+ *
+ * FixedFormat describes a signed two's-complement Q-format with a total
+ * width and a number of fraction bits. FixedValue is a raw integer
+ * tagged with its format; helper routines quantise doubles, perform the
+ * EIE multiply-accumulate, and apply ReLU, all bit-exactly so that the
+ * cycle-accurate simulator and the functional model agree to the bit.
+ */
+
+#ifndef EIE_COMMON_FIXED_POINT_HH
+#define EIE_COMMON_FIXED_POINT_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace eie {
+
+/** Signed two's-complement Q-format descriptor. */
+struct FixedFormat
+{
+    /** Total width in bits including sign (2..32). */
+    unsigned totalBits = 16;
+    /** Number of fraction bits (0..totalBits-1). */
+    unsigned fracBits = 8;
+
+    constexpr bool
+    operator==(const FixedFormat &other) const
+    {
+        return totalBits == other.totalBits && fracBits == other.fracBits;
+    }
+
+    /** Largest representable raw value. */
+    constexpr std::int64_t
+    maxRaw() const
+    {
+        return (std::int64_t{1} << (totalBits - 1)) - 1;
+    }
+
+    /** Smallest (most negative) representable raw value. */
+    constexpr std::int64_t
+    minRaw() const
+    {
+        return -(std::int64_t{1} << (totalBits - 1));
+    }
+
+    /** Value of one least-significant bit. */
+    constexpr double
+    lsb() const
+    {
+        return 1.0 / static_cast<double>(std::int64_t{1} << fracBits);
+    }
+
+    /** Largest representable real value. */
+    constexpr double maxValue() const { return maxRaw() * lsb(); }
+    /** Smallest representable real value. */
+    constexpr double minValue() const { return minRaw() * lsb(); }
+};
+
+/** The paper's default activation/weight format: Q16 with 8 fraction
+ *  bits gives range [-128, 128) at 1/256 resolution, a good match for
+ *  post-ReLU activation magnitudes of FC layers. */
+inline constexpr FixedFormat fixed16{16, 8};
+
+/** Saturate a wide raw value into @p fmt. */
+constexpr std::int64_t
+saturateRaw(std::int64_t raw, const FixedFormat &fmt)
+{
+    if (raw > fmt.maxRaw())
+        return fmt.maxRaw();
+    if (raw < fmt.minRaw())
+        return fmt.minRaw();
+    return raw;
+}
+
+/** Quantise a double to the nearest representable raw value
+ *  (round-half-away-from-zero, then saturate). */
+std::int64_t quantize(double value, const FixedFormat &fmt);
+
+/** Convert a raw fixed-point value back to double. */
+constexpr double
+toDouble(std::int64_t raw, const FixedFormat &fmt)
+{
+    return static_cast<double>(raw) * fmt.lsb();
+}
+
+/**
+ * The EIE multiply-accumulate: bx = sat(bx + w * a).
+ *
+ * @param acc_raw   current accumulator value in @p acc_fmt
+ * @param w_raw     weight in @p operand_fmt
+ * @param a_raw     activation in @p operand_fmt
+ * @param operand_fmt format of w and a
+ * @param acc_fmt   format of the accumulator
+ * @return the saturated new accumulator raw value
+ *
+ * The 32-bit product carries 2*fracBits fraction bits; the "shift and
+ * add" pipeline stage realigns it to the accumulator format with
+ * truncation toward negative infinity (an arithmetic right shift),
+ * which is what a hardware barrel shifter does.
+ */
+constexpr std::int64_t
+macFixed(std::int64_t acc_raw, std::int64_t w_raw, std::int64_t a_raw,
+         const FixedFormat &operand_fmt, const FixedFormat &acc_fmt)
+{
+    const std::int64_t product = w_raw * a_raw;
+    const int shift = static_cast<int>(operand_fmt.fracBits) +
+        static_cast<int>(operand_fmt.fracBits) -
+        static_cast<int>(acc_fmt.fracBits);
+    std::int64_t aligned = product;
+    if (shift > 0)
+        aligned = product >> shift; // arithmetic shift: trunc to -inf
+    else if (shift < 0)
+        aligned = product << -shift;
+    return saturateRaw(acc_raw + aligned, acc_fmt);
+}
+
+/** Fixed-point ReLU: negative values clamp to zero. */
+constexpr std::int64_t
+reluRaw(std::int64_t raw)
+{
+    return raw < 0 ? 0 : raw;
+}
+
+/**
+ * Round-trip quantisation error bound for @p fmt: |x - q(x)| <= lsb/2
+ * for x inside the representable range.
+ */
+constexpr double
+quantizationErrorBound(const FixedFormat &fmt)
+{
+    return fmt.lsb() / 2.0;
+}
+
+} // namespace eie
+
+#endif // EIE_COMMON_FIXED_POINT_HH

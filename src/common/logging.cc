@@ -1,0 +1,79 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+
+namespace eie {
+
+namespace {
+
+std::atomic<bool> quiet_flag{false};
+std::atomic<std::uint64_t> warn_count{0};
+
+const char *
+levelName(Logger::Level level)
+{
+    switch (level) {
+      case Logger::Level::Inform: return "info";
+      case Logger::Level::Warn:   return "warn";
+      case Logger::Level::Fatal:  return "fatal";
+      case Logger::Level::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+Logger::vlog(Level level, const char *file, int line, const char *fmt,
+             std::va_list args)
+{
+    if (level == Level::Warn)
+        warn_count.fetch_add(1, std::memory_order_relaxed);
+
+    bool suppressed = quiet_flag.load(std::memory_order_relaxed) &&
+        (level == Level::Inform || level == Level::Warn);
+
+    if (!suppressed) {
+        std::fprintf(stderr, "%s: ", levelName(level));
+        std::vfprintf(stderr, fmt, args);
+        if (level == Level::Fatal || level == Level::Panic)
+            std::fprintf(stderr, " @ %s:%d", file, line);
+        std::fprintf(stderr, "\n");
+        std::fflush(stderr);
+    }
+
+    if (level == Level::Panic)
+        std::abort();
+    if (level == Level::Fatal)
+        std::exit(1);
+}
+
+void
+Logger::log(Level level, const char *file, int line, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    vlog(level, file, line, fmt, args);
+    va_end(args);
+}
+
+void
+Logger::setQuiet(bool quiet)
+{
+    quiet_flag.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+Logger::quiet()
+{
+    return quiet_flag.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Logger::warnCount()
+{
+    return warn_count.load(std::memory_order_relaxed);
+}
+
+} // namespace eie

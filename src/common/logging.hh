@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Logging and error-reporting primitives in the gem5 tradition.
+ *
+ * Four severities are provided:
+ *  - panic():  something happened that should never happen regardless of
+ *              user input, i.e. an internal bug. Calls std::abort().
+ *  - fatal():  the run cannot continue because of a user-level problem
+ *              (bad configuration, impossible parameters). Exits with
+ *              status 1.
+ *  - warn():   something is suspicious or approximated but the run can
+ *              continue.
+ *  - inform(): progress or status information.
+ *
+ * All of them accept printf-style format strings and append the source
+ * location of the call site.
+ */
+
+#ifndef EIE_COMMON_LOGGING_HH
+#define EIE_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdlib>
+#include <string>
+
+namespace eie {
+
+/** Destination and verbosity control for log output. */
+class Logger
+{
+  public:
+    /** Message severity in increasing order of trouble. */
+    enum class Level { Inform, Warn, Fatal, Panic };
+
+    /**
+     * Emit a message at the given level. Terminates the process for
+     * Level::Fatal (exit(1)) and Level::Panic (abort()).
+     *
+     * @param level severity of the message
+     * @param file  call-site file name
+     * @param line  call-site line number
+     * @param fmt   printf-style format string
+     */
+    [[gnu::format(printf, 4, 5)]]
+    static void log(Level level, const char *file, int line,
+                    const char *fmt, ...);
+
+    /** va_list variant of log(). */
+    static void vlog(Level level, const char *file, int line,
+                     const char *fmt, std::va_list args);
+
+    /**
+     * Silence inform()/warn() output (e.g. in unit tests). Fatal and
+     * panic messages are always printed.
+     */
+    static void setQuiet(bool quiet);
+
+    /** @return true if inform()/warn() output is suppressed. */
+    static bool quiet();
+
+    /** Number of warnings emitted since process start (for tests). */
+    static std::uint64_t warnCount();
+};
+
+} // namespace eie
+
+/** Report an internal invariant violation and abort. Never returns. */
+#define panic(...) \
+    ::eie::Logger::log(::eie::Logger::Level::Panic, __FILE__, __LINE__, \
+                       __VA_ARGS__)
+
+/** Report an unrecoverable user-level error and exit(1). Never returns. */
+#define fatal(...) \
+    ::eie::Logger::log(::eie::Logger::Level::Fatal, __FILE__, __LINE__, \
+                       __VA_ARGS__)
+
+/** Report a suspicious-but-survivable condition. */
+#define warn(...) \
+    ::eie::Logger::log(::eie::Logger::Level::Warn, __FILE__, __LINE__, \
+                       __VA_ARGS__)
+
+/** Report status information. */
+#define inform(...) \
+    ::eie::Logger::log(::eie::Logger::Level::Inform, __FILE__, __LINE__, \
+                       __VA_ARGS__)
+
+/** panic() unless the condition holds. */
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) \
+            panic(__VA_ARGS__); \
+    } while (0)
+
+/** fatal() unless the condition holds. */
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) \
+            fatal(__VA_ARGS__); \
+    } while (0)
+
+#endif // EIE_COMMON_LOGGING_HH

@@ -1,0 +1,44 @@
+#include "common/random.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace eie {
+
+std::vector<std::uint32_t>
+Rng::sampleWithoutReplacement(std::uint32_t n, std::uint32_t k)
+{
+    panic_if(k > n, "cannot sample %u items from a population of %u", k, n);
+
+    std::vector<std::uint32_t> chosen;
+    chosen.reserve(k);
+
+    if (k >= n / 8) {
+        // Dense selection: partial Fisher-Yates over the population,
+        // O(n + k) time.
+        std::vector<std::uint32_t> population(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            population[i] = i;
+        for (std::uint32_t i = 0; i < k; ++i) {
+            auto j = static_cast<std::uint32_t>(uniformInt(i, n - 1));
+            std::swap(population[i], population[j]);
+        }
+        chosen.assign(population.begin(), population.begin() + k);
+    } else {
+        // Floyd's algorithm: O(k) expected insertions, exact
+        // distribution; the linear membership scan is cheap because
+        // k is small relative to n here.
+        for (std::uint32_t j = n - k; j < n; ++j) {
+            auto t = static_cast<std::uint32_t>(uniformInt(0, j));
+            if (std::find(chosen.begin(), chosen.end(), t) == chosen.end())
+                chosen.push_back(t);
+            else
+                chosen.push_back(j);
+        }
+    }
+    std::sort(chosen.begin(), chosen.end());
+    return chosen;
+}
+
+} // namespace eie

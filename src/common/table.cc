@@ -1,0 +1,101 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace eie {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    panic_if(headers_.empty(), "a table needs at least one column");
+}
+
+TextTable &
+TextTable::row()
+{
+    panic_if(!rows_.empty() && rows_.back().size() != headers_.size(),
+             "previous row has %zu cells, expected %zu",
+             rows_.back().size(), headers_.size());
+    rows_.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::add(std::string cell)
+{
+    panic_if(rows_.empty(), "call row() before add()");
+    panic_if(rows_.back().size() >= headers_.size(),
+             "row already has %zu cells", headers_.size());
+    rows_.back().push_back(std::move(cell));
+    return *this;
+}
+
+TextTable &
+TextTable::add(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return add(std::string(buf));
+}
+
+TextTable &
+TextTable::add(std::int64_t value)
+{
+    return add(std::to_string(value));
+}
+
+TextTable &
+TextTable::add(std::uint64_t value)
+{
+    return add(std::to_string(value));
+}
+
+TextTable &
+TextTable::addRatio(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", precision, value);
+    return add(std::string(buf));
+}
+
+TextTable &
+TextTable::addPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return add(std::string(buf));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << " " << cell
+               << std::string(widths[c] - cell.size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    print_row(headers_);
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+} // namespace eie

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Aligned text-table printer used by the benchmark harnesses to emit the
+ * same rows/columns as the paper's tables and figure series.
+ */
+
+#ifndef EIE_COMMON_TABLE_HH
+#define EIE_COMMON_TABLE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eie {
+
+/** Column-aligned table with a header row, printed in Markdown-ish
+ *  pipe style so bench output can be pasted into EXPERIMENTS.md. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent add*() calls fill it left-to-right. */
+    TextTable &row();
+
+    /** Append a string cell to the current row. */
+    TextTable &add(std::string cell);
+
+    /** Append a formatted double (fixed, @p precision decimals). */
+    TextTable &add(double value, int precision = 2);
+
+    /** Append an integer cell. */
+    TextTable &add(std::int64_t value);
+    TextTable &add(std::uint64_t value);
+    TextTable &add(int value) { return add(std::int64_t{value}); }
+    TextTable &add(unsigned value) { return add(std::uint64_t{value}); }
+
+    /** Append a cell formatted as "N.NNx" (ratio). */
+    TextTable &addRatio(double value, int precision = 1);
+
+    /** Append a cell formatted as "NN.N%" (0..1 input). */
+    TextTable &addPercent(double fraction, int precision = 1);
+
+    /** Render the table with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace eie
+
+#endif // EIE_COMMON_TABLE_HH

@@ -1,0 +1,141 @@
+#include "compress/codebook.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace eie::compress {
+
+Codebook::Codebook(std::vector<float> values, FixedFormat fmt)
+    : values_(std::move(values)), fmt_(fmt)
+{
+    fatal_if(values_.empty(), "codebook must have at least one entry");
+    fatal_if(values_[0] != 0.0f,
+             "codebook entry 0 must be the pinned zero (got %f)",
+             static_cast<double>(values_[0]));
+    fatal_if(values_.size() > 256, "codebook too large (%zu entries)",
+             values_.size());
+    raw_values_.reserve(values_.size());
+    for (float v : values_)
+        raw_values_.push_back(quantize(v, fmt_));
+}
+
+std::uint8_t
+Codebook::encode(float value) const
+{
+    // Entry 0 is reserved for padding; real weights map to the nearest
+    // of entries 1..size-1.
+    panic_if(values_.size() < 2, "cannot encode with a zero-only table");
+    std::size_t best = 1;
+    float best_dist = std::abs(value - values_[1]);
+    for (std::size_t i = 2; i < values_.size(); ++i) {
+        const float dist = std::abs(value - values_[i]);
+        if (dist < best_dist) {
+            best = i;
+            best_dist = dist;
+        }
+    }
+    return static_cast<std::uint8_t>(best);
+}
+
+float
+Codebook::decode(std::uint8_t index) const
+{
+    panic_if(index >= values_.size(), "codebook index %u out of %zu",
+             index, values_.size());
+    return values_[index];
+}
+
+std::int64_t
+Codebook::decodeRaw(std::uint8_t index) const
+{
+    panic_if(index >= raw_values_.size(), "codebook index %u out of %zu",
+             index, raw_values_.size());
+    return raw_values_[index];
+}
+
+Codebook
+trainCodebook(const nn::SparseMatrix &weights,
+              const CodebookTrainOptions &opts)
+{
+    std::vector<float> values;
+    values.reserve(weights.nnz());
+    for (std::size_t j = 0; j < weights.cols(); ++j)
+        for (const auto &e : weights.column(j))
+            values.push_back(e.value);
+    return trainCodebook(values, opts);
+}
+
+Codebook
+trainCodebook(const std::vector<float> &values,
+              const CodebookTrainOptions &opts)
+{
+    fatal_if(opts.table_size < 2, "table size %zu too small",
+             opts.table_size);
+    const std::size_t k = opts.table_size - 1; // trained clusters
+
+    if (values.empty()) {
+        // Degenerate but legal: an all-zero layer.
+        std::vector<float> table(opts.table_size, 0.0f);
+        return Codebook(std::move(table), opts.format);
+    }
+
+    const auto [min_it, max_it] =
+        std::minmax_element(values.begin(), values.end());
+    const double lo = *min_it;
+    const double hi = *max_it;
+
+    // Deep Compression's linear initialisation: centroids evenly
+    // spaced over the value range.
+    std::vector<double> centroids(k);
+    for (std::size_t c = 0; c < k; ++c) {
+        centroids[c] = k == 1 ? (lo + hi) / 2.0 :
+            lo + (hi - lo) * static_cast<double>(c) /
+            static_cast<double>(k - 1);
+    }
+
+    std::vector<std::size_t> assignment(values.size(), 0);
+    for (unsigned iter = 0; iter < opts.iterations; ++iter) {
+        // Assign.
+        bool changed = false;
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            std::size_t best = 0;
+            double best_dist = std::numeric_limits<double>::infinity();
+            for (std::size_t c = 0; c < k; ++c) {
+                const double dist = std::abs(values[i] - centroids[c]);
+                if (dist < best_dist) {
+                    best = c;
+                    best_dist = dist;
+                }
+            }
+            if (assignment[i] != best) {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if (!changed && iter > 0)
+            break;
+
+        // Update: empty clusters keep their previous centroid.
+        std::vector<double> sums(k, 0.0);
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            sums[assignment[i]] += values[i];
+            ++counts[assignment[i]];
+        }
+        for (std::size_t c = 0; c < k; ++c)
+            if (counts[c] > 0)
+                centroids[c] = sums[c] / static_cast<double>(counts[c]);
+    }
+
+    std::vector<float> table;
+    table.reserve(opts.table_size);
+    table.push_back(0.0f); // pinned padding-zero entry
+    for (double c : centroids)
+        table.push_back(static_cast<float>(c));
+    return Codebook(std::move(table), opts.format);
+}
+
+} // namespace eie::compress

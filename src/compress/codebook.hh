@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Weight-sharing codebook (the second stage of Deep Compression).
+ *
+ * Each surviving weight is replaced by a 4-bit index into a 16-entry
+ * table of shared values (paper §III-A). Index 0 is pinned to the
+ * exact value 0.0: the relative-indexed CSC format needs a genuine
+ * zero to encode padding entries (runs of more than 15 zeros, §III-B),
+ * so 15 entries remain for the k-means clusters of non-zero weights.
+ *
+ * Cluster centroids are trained with k-means using Deep Compression's
+ * linear initialisation (centroids spread evenly over [min, max] of
+ * the weight values).
+ */
+
+#ifndef EIE_COMPRESS_CODEBOOK_HH
+#define EIE_COMPRESS_CODEBOOK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.hh"
+#include "nn/sparse.hh"
+
+namespace eie::compress {
+
+/** A shared-weight table with hardware fixed-point mirror. */
+class Codebook
+{
+  public:
+    /**
+     * @param values table contents; values[0] must be 0.0
+     * @param fmt    hardware fixed-point format of the decoded weights
+     */
+    explicit Codebook(std::vector<float> values,
+                      FixedFormat fmt = fixed16);
+
+    /** Number of table entries (= 16 for the paper's configuration). */
+    std::size_t size() const { return values_.size(); }
+
+    /** Nearest-entry encoding of a non-zero weight; never returns 0. */
+    std::uint8_t encode(float value) const;
+
+    /** Float value of entry @p index. */
+    float decode(std::uint8_t index) const;
+
+    /**
+     * Fixed-point raw value of entry @p index — what the hardware
+     * weight decoder outputs (§IV "Arithmetic Unit": the 4-bit encoded
+     * weight is "expanded to a 16-bit fixed-point number via a table
+     * look up").
+     */
+    std::int64_t decodeRaw(std::uint8_t index) const;
+
+    /** Hardware format of decodeRaw() values. */
+    const FixedFormat &format() const { return fmt_; }
+
+    /** All table values. */
+    const std::vector<float> &values() const { return values_; }
+
+  private:
+    std::vector<float> values_;
+    std::vector<std::int64_t> raw_values_;
+    FixedFormat fmt_;
+};
+
+/** Options for k-means codebook training. */
+struct CodebookTrainOptions
+{
+    /** Total table entries including the pinned zero entry. */
+    std::size_t table_size = 16;
+    /** Lloyd iterations. */
+    unsigned iterations = 20;
+    /** Hardware fixed-point format for the decoded weights. */
+    FixedFormat format = fixed16;
+};
+
+/**
+ * Train a codebook on the non-zero values of @p weights: linear
+ * initialisation over [min, max], then Lloyd's k-means on
+ * (table_size - 1) clusters; entry 0 stays pinned at 0.0.
+ */
+Codebook trainCodebook(const nn::SparseMatrix &weights,
+                       const CodebookTrainOptions &opts = {});
+
+/** Train on an explicit list of (non-zero) values. */
+Codebook trainCodebook(const std::vector<float> &values,
+                       const CodebookTrainOptions &opts = {});
+
+} // namespace eie::compress
+
+#endif // EIE_COMPRESS_CODEBOOK_HH

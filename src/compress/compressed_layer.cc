@@ -1,0 +1,65 @@
+#include "compress/compressed_layer.hh"
+
+#include "compress/huffman.hh"
+
+namespace eie::compress {
+
+CompressedLayer::CompressedLayer(std::string name,
+                                 std::unique_ptr<InterleavedCsc> storage,
+                                 nn::SparseMatrix quantized)
+    : name_(std::move(name)), storage_(std::move(storage)),
+      quantized_(std::move(quantized))
+{}
+
+CompressedLayer
+CompressedLayer::compress(std::string name,
+                          const nn::SparseMatrix &weights,
+                          const CompressionOptions &opts)
+{
+    const nn::SparseMatrix *source = &weights;
+    nn::SparseMatrix pruned;
+    if (opts.density >= 0.0) {
+        pruned = pruneSparse(weights, opts.density);
+        source = &pruned;
+    }
+
+    Codebook codebook = trainCodebook(*source, opts.codebook);
+    auto storage = std::make_unique<InterleavedCsc>(*source, codebook,
+                                                    opts.interleave);
+    nn::SparseMatrix quantized = storage->decode();
+    return CompressedLayer(std::move(name), std::move(storage),
+                           std::move(quantized));
+}
+
+StorageReport
+CompressedLayer::storageReport() const
+{
+    StorageReport report;
+    report.dense_bits = static_cast<std::uint64_t>(storage_->rows()) *
+        storage_->cols() * 32;
+    report.spmat_bits = storage_->spmatBits();
+    report.pointer_bits = storage_->pointerBits();
+    report.codebook_bits = storage_->codebookBits();
+
+    // Huffman-code the weight-index stream and the zero-run stream
+    // separately, as Deep Compression does.
+    std::vector<std::uint8_t> v_stream;
+    std::vector<std::uint8_t> z_stream;
+    for (unsigned k = 0; k < storage_->numPe(); ++k) {
+        for (const CscEntry &e : storage_->pe(k).entries()) {
+            v_stream.push_back(e.weight_index);
+            z_stream.push_back(e.zero_count);
+        }
+    }
+    if (!v_stream.empty()) {
+        const auto v_freq = countFrequencies(v_stream);
+        const auto z_freq = countFrequencies(z_stream);
+        const auto v_code = HuffmanCode::fromFrequencies(v_freq);
+        const auto z_code = HuffmanCode::fromFrequencies(z_freq);
+        report.huffman_bits =
+            v_code.encodedBits(v_freq) + z_code.encodedBits(z_freq);
+    }
+    return report;
+}
+
+} // namespace eie::compress

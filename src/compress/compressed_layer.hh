@@ -1,0 +1,110 @@
+/**
+ * @file
+ * End-to-end Deep Compression of one FC layer: prune -> train codebook
+ * -> interleaved CSC encode, plus the storage accounting the paper's
+ * compression discussion reports (4-bit indices, 16-bit pointers,
+ * optional Huffman coding of the index/run streams).
+ */
+
+#ifndef EIE_COMPRESS_COMPRESSED_LAYER_HH
+#define EIE_COMPRESS_COMPRESSED_LAYER_HH
+
+#include <memory>
+#include <string>
+
+#include "compress/codebook.hh"
+#include "compress/interleaved.hh"
+#include "compress/prune.hh"
+#include "nn/sparse.hh"
+
+namespace eie::compress {
+
+/** Storage accounting for one compressed layer. */
+struct StorageReport
+{
+    std::uint64_t dense_bits = 0;    ///< rows*cols*32 (fp32 baseline)
+    std::uint64_t spmat_bits = 0;    ///< 8 bits per (v,z) entry
+    std::uint64_t pointer_bits = 0;  ///< 16 bits per column pointer
+    std::uint64_t codebook_bits = 0; ///< 16 bits per table entry
+    std::uint64_t huffman_bits = 0;  ///< Huffman-coded v+z streams
+
+    /** Bits of the EIE on-chip representation. */
+    std::uint64_t
+    cscBits() const
+    {
+        return spmat_bits + pointer_bits + codebook_bits;
+    }
+
+    /** Dense fp32 size over EIE CSC size. */
+    double
+    compressionRatio() const
+    {
+        return cscBits() == 0 ? 0.0
+            : static_cast<double>(dense_bits) /
+              static_cast<double>(cscBits());
+    }
+
+    /** Dense fp32 size over Huffman-coded file size. */
+    double
+    huffmanRatio() const
+    {
+        const std::uint64_t file =
+            huffman_bits + pointer_bits + codebook_bits;
+        return file == 0 ? 0.0
+            : static_cast<double>(dense_bits) / static_cast<double>(file);
+    }
+};
+
+/** Pipeline knobs. */
+struct CompressionOptions
+{
+    /** Target weight density; < 0 means "keep the matrix as given"
+     *  (already-pruned input, the common case for Table III). */
+    double density = -1.0;
+    CodebookTrainOptions codebook;
+    InterleaveOptions interleave;
+};
+
+/** A fully compressed FC layer ready to load into the accelerator. */
+class CompressedLayer
+{
+  public:
+    /** Run the pipeline on @p weights. */
+    static CompressedLayer compress(std::string name,
+                                    const nn::SparseMatrix &weights,
+                                    const CompressionOptions &opts);
+
+    const std::string &name() const { return name_; }
+
+    /** The interleaved CSC image (per-PE SRAM contents). */
+    const InterleavedCsc &storage() const { return *storage_; }
+
+    /** Shared-weight table. */
+    const Codebook &codebook() const { return storage_->codebook(); }
+
+    /**
+     * The weights the accelerator effectively computes with: pruned
+     * and quantised to codebook values. The golden comparison for
+     * EIE outputs uses these, not the raw weights.
+     */
+    const nn::SparseMatrix &quantizedWeights() const { return quantized_; }
+
+    /** Storage accounting (Huffman sizes included). */
+    StorageReport storageReport() const;
+
+    std::size_t inputSize() const { return storage_->cols(); }
+    std::size_t outputSize() const { return storage_->rows(); }
+
+  private:
+    CompressedLayer(std::string name,
+                    std::unique_ptr<InterleavedCsc> storage,
+                    nn::SparseMatrix quantized);
+
+    std::string name_;
+    std::unique_ptr<InterleavedCsc> storage_;
+    nn::SparseMatrix quantized_;
+};
+
+} // namespace eie::compress
+
+#endif // EIE_COMPRESS_COMPRESSED_LAYER_HH

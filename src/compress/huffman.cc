@@ -1,0 +1,170 @@
+#include "compress/huffman.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace eie::compress {
+
+std::map<std::uint8_t, std::uint64_t>
+countFrequencies(const std::vector<std::uint8_t> &symbols)
+{
+    std::map<std::uint8_t, std::uint64_t> freq;
+    for (std::uint8_t s : symbols)
+        ++freq[s];
+    return freq;
+}
+
+HuffmanCode
+HuffmanCode::fromFrequencies(
+    const std::map<std::uint8_t, std::uint64_t> &freq)
+{
+    struct Node
+    {
+        std::uint64_t weight;
+        int symbol;       // -1 for internal nodes
+        int left, right;  // indices into the pool
+    };
+
+    std::vector<Node> pool;
+    using QEntry = std::pair<std::uint64_t, int>; // (weight, pool index)
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> heap;
+
+    for (const auto &[symbol, count] : freq) {
+        if (count == 0)
+            continue;
+        pool.push_back({count, symbol, -1, -1});
+        heap.emplace(count, static_cast<int>(pool.size()) - 1);
+    }
+    fatal_if(heap.empty(), "cannot build a Huffman code with no symbols");
+
+    // Single-symbol streams get a 1-bit code.
+    if (heap.size() == 1) {
+        HuffmanCode hc;
+        const auto symbol =
+            static_cast<std::uint8_t>(pool[heap.top().second].symbol);
+        hc.table_[symbol] = {0, 1};
+        hc.decode_[{1, 0}] = symbol;
+        return hc;
+    }
+
+    while (heap.size() > 1) {
+        const auto [w1, n1] = heap.top(); heap.pop();
+        const auto [w2, n2] = heap.top(); heap.pop();
+        pool.push_back({w1 + w2, -1, n1, n2});
+        heap.emplace(w1 + w2, static_cast<int>(pool.size()) - 1);
+    }
+
+    // Depth-first walk to collect code lengths.
+    std::vector<std::pair<std::uint8_t, unsigned>> lengths;
+    struct Frame { int node; unsigned depth; };
+    std::vector<Frame> stack{{heap.top().second, 0}};
+    while (!stack.empty()) {
+        const Frame f = stack.back();
+        stack.pop_back();
+        const Node &node = pool[static_cast<std::size_t>(f.node)];
+        if (node.symbol >= 0) {
+            lengths.emplace_back(static_cast<std::uint8_t>(node.symbol),
+                                 std::max(1u, f.depth));
+        } else {
+            stack.push_back({node.left, f.depth + 1});
+            stack.push_back({node.right, f.depth + 1});
+        }
+    }
+    return canonicalize(lengths);
+}
+
+HuffmanCode
+HuffmanCode::fromLengths(const std::vector<unsigned> &lengths_by_symbol)
+{
+    fatal_if(lengths_by_symbol.size() > 256,
+             "at most 256 symbols supported");
+    std::vector<std::pair<std::uint8_t, unsigned>> lengths;
+    for (std::size_t s = 0; s < lengths_by_symbol.size(); ++s)
+        if (lengths_by_symbol[s] > 0)
+            lengths.emplace_back(static_cast<std::uint8_t>(s),
+                                 lengths_by_symbol[s]);
+    fatal_if(lengths.empty(), "cannot build a Huffman code with no "
+             "symbols");
+    return canonicalize(lengths);
+}
+
+HuffmanCode
+HuffmanCode::canonicalize(
+    std::vector<std::pair<std::uint8_t, unsigned>> lengths)
+{
+    // Sort by (length, symbol) and assign sequential codes.
+    std::sort(lengths.begin(), lengths.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second != b.second ? a.second < b.second
+                                              : a.first < b.first;
+              });
+
+    HuffmanCode hc;
+    std::uint32_t code = 0;
+    unsigned prev_len = lengths.front().second;
+    for (const auto &[symbol, length] : lengths) {
+        code <<= (length - prev_len);
+        prev_len = length;
+        hc.table_[symbol] = {code, length};
+        hc.decode_[{length, code}] = symbol;
+        ++code;
+    }
+    return hc;
+}
+
+unsigned
+HuffmanCode::codeLength(std::uint8_t symbol) const
+{
+    return table_[symbol].length;
+}
+
+void
+HuffmanCode::encode(const std::vector<std::uint8_t> &symbols,
+                    BitWriter &writer) const
+{
+    for (std::uint8_t s : symbols) {
+        const Entry &entry = table_[s];
+        panic_if(entry.length == 0,
+                 "symbol %u has no codeword (missing from frequencies)",
+                 s);
+        // Emit MSB-first so decode can extend bit by bit.
+        for (unsigned bit = entry.length; bit-- > 0;)
+            writer.writeBit((entry.code >> bit) & 1);
+    }
+}
+
+std::vector<std::uint8_t>
+HuffmanCode::decode(BitReader &reader, std::size_t count) const
+{
+    std::vector<std::uint8_t> symbols;
+    symbols.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        std::uint32_t code = 0;
+        unsigned length = 0;
+        while (true) {
+            code = (code << 1) | (reader.readBit() ? 1u : 0u);
+            ++length;
+            panic_if(length > 32, "runaway Huffman decode");
+            auto it = decode_.find({length, code});
+            if (it != decode_.end()) {
+                symbols.push_back(it->second);
+                break;
+            }
+        }
+    }
+    return symbols;
+}
+
+std::uint64_t
+HuffmanCode::encodedBits(
+    const std::map<std::uint8_t, std::uint64_t> &freq) const
+{
+    std::uint64_t bits = 0;
+    for (const auto &[symbol, count] : freq)
+        bits += static_cast<std::uint64_t>(codeLength(symbol)) * count;
+    return bits;
+}
+
+} // namespace eie::compress

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Canonical Huffman codec.
+ *
+ * Deep Compression [23] Huffman-codes the quantised weight indices and
+ * the zero-run lengths for storage; EIE itself decompresses into the
+ * fixed 4+4-bit SRAM format before execution. We implement the codec
+ * to reproduce Deep Compression's storage accounting (model-size
+ * table) and to round-trip-test the compressed model files.
+ */
+
+#ifndef EIE_COMPRESS_HUFFMAN_HH
+#define EIE_COMPRESS_HUFFMAN_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bitstream.hh"
+
+namespace eie::compress {
+
+/** A canonical Huffman code over byte symbols. */
+class HuffmanCode
+{
+  public:
+    /**
+     * Build from symbol frequencies (symbols with zero frequency get
+     * no codeword). At least one symbol must have a non-zero count.
+     */
+    static HuffmanCode fromFrequencies(
+        const std::map<std::uint8_t, std::uint64_t> &freq);
+
+    /**
+     * Rebuild a canonical code from per-symbol code lengths (0 =
+     * symbol absent) — the representation model files store. A code
+     * built from the lengths of fromFrequencies() decodes its
+     * bitstreams identically.
+     */
+    static HuffmanCode fromLengths(
+        const std::vector<unsigned> &lengths_by_symbol);
+
+    /** Codeword length in bits for @p symbol (0 if absent). */
+    unsigned codeLength(std::uint8_t symbol) const;
+
+    /** Encode a symbol stream. */
+    void encode(const std::vector<std::uint8_t> &symbols,
+                BitWriter &writer) const;
+
+    /** Decode @p count symbols. */
+    std::vector<std::uint8_t> decode(BitReader &reader,
+                                     std::size_t count) const;
+
+    /** Total encoded size in bits for the given frequencies. */
+    std::uint64_t encodedBits(
+        const std::map<std::uint8_t, std::uint64_t> &freq) const;
+
+  private:
+    struct Entry
+    {
+        std::uint32_t code = 0; ///< canonical code, MSB-first
+        unsigned length = 0;    ///< 0 = symbol absent
+    };
+
+    /** Assign canonical codes to (symbol, length) pairs. */
+    static HuffmanCode canonicalize(
+        std::vector<std::pair<std::uint8_t, unsigned>> lengths);
+
+    /** Codeword table indexed by symbol. */
+    std::vector<Entry> table_ = std::vector<Entry>(256);
+
+    /** (length, code) -> symbol for decoding. */
+    std::map<std::pair<unsigned, std::uint32_t>, std::uint8_t> decode_;
+};
+
+/** Frequency histogram of a byte stream. */
+std::map<std::uint8_t, std::uint64_t>
+countFrequencies(const std::vector<std::uint8_t> &symbols);
+
+} // namespace eie::compress
+
+#endif // EIE_COMPRESS_HUFFMAN_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Compressed-model file format ("EIEM"): the Deep-Compression-style
+ * on-disk representation of one EIE-ready layer. Weight-index and
+ * zero-run streams are Huffman-coded (as Deep Compression [23]
+ * prescribes for storage); the loader expands them back into the
+ * 4+4-bit SRAM format.
+ *
+ * Layout (little-endian):
+ *   magic "EIEM", version u32
+ *   rows u64, cols u64, n_pe u32, index_bits u32
+ *   codebook: count u32, count x f32 (bit pattern)
+ *   per PE:
+ *     local_rows u32, entry_count u64
+ *     col_ptr: (cols+1) x u32
+ *     v code lengths: 16 x u8;  z code lengths: 16 x u8
+ *     v bit count u64, v bitstream (byte padded)
+ *     z bit count u64, z bitstream (byte padded)
+ *   fnv1a-64 checksum of everything above
+ */
+
+#ifndef EIE_COMPRESS_MODEL_FILE_HH
+#define EIE_COMPRESS_MODEL_FILE_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "compress/interleaved.hh"
+
+namespace eie::compress {
+
+/** Serialise an encoded layer to the EIEM byte format. */
+std::vector<std::uint8_t> serializeModel(const InterleavedCsc &model);
+
+/** Parse an EIEM byte buffer (fatal on corruption). */
+InterleavedCsc deserializeModel(std::span<const std::uint8_t> bytes);
+
+/** Write @p model to @p path. */
+void saveModelFile(const std::string &path, const InterleavedCsc &model);
+
+/** Read a model from @p path. */
+InterleavedCsc loadModelFile(const std::string &path);
+
+} // namespace eie::compress
+
+#endif // EIE_COMPRESS_MODEL_FILE_HH

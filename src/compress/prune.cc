@@ -1,0 +1,93 @@
+#include "compress/prune.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace eie::compress {
+
+namespace {
+
+/** Collect |value| of every stored entry. */
+std::vector<float>
+magnitudes(const nn::SparseMatrix &sparse)
+{
+    std::vector<float> mags;
+    mags.reserve(sparse.nnz());
+    for (std::size_t j = 0; j < sparse.cols(); ++j)
+        for (const auto &e : sparse.column(j))
+            mags.push_back(std::abs(e.value));
+    return mags;
+}
+
+/** Threshold such that entries with |w| >= threshold are kept. */
+float
+thresholdForCount(std::vector<float> mags, std::size_t keep)
+{
+    if (keep == 0)
+        return std::numeric_limits<float>::infinity();
+    if (keep >= mags.size())
+        return 0.0f;
+    std::nth_element(mags.begin(), mags.begin() + (keep - 1), mags.end(),
+                     std::greater<float>());
+    return mags[keep - 1];
+}
+
+} // namespace
+
+nn::SparseMatrix
+pruneDense(const nn::Matrix &dense, double density)
+{
+    return pruneSparse(nn::SparseMatrix::fromDense(dense), density);
+}
+
+float
+pruneThreshold(const nn::SparseMatrix &sparse, double density)
+{
+    fatal_if(density < 0.0 || density > 1.0, "density %f out of [0,1]",
+             density);
+    const auto total = static_cast<double>(sparse.rows()) *
+        static_cast<double>(sparse.cols());
+    const auto keep = static_cast<std::size_t>(
+        std::ceil(density * total));
+    return thresholdForCount(magnitudes(sparse), keep);
+}
+
+nn::SparseMatrix
+pruneSparse(const nn::SparseMatrix &sparse, double density)
+{
+    const float threshold = pruneThreshold(sparse, density);
+
+    nn::SparseMatrix pruned(sparse.rows(), sparse.cols());
+    const auto total = static_cast<double>(sparse.rows()) *
+        static_cast<double>(sparse.cols());
+    const auto budget = static_cast<std::size_t>(std::ceil(density * total));
+
+    // Keep strictly-above-threshold entries unconditionally; entries
+    // exactly at the threshold fill the remaining budget in storage
+    // order so the kept count is exact even with ties.
+    std::size_t strictly_above = 0;
+    for (std::size_t j = 0; j < sparse.cols(); ++j)
+        for (const auto &e : sparse.column(j))
+            if (std::abs(e.value) > threshold)
+                ++strictly_above;
+    std::size_t at_threshold_budget =
+        budget > strictly_above ? budget - strictly_above : 0;
+
+    for (std::size_t j = 0; j < sparse.cols(); ++j) {
+        for (const auto &e : sparse.column(j)) {
+            const float mag = std::abs(e.value);
+            if (mag > threshold) {
+                pruned.insert(e.row, j, e.value);
+            } else if (mag == threshold && at_threshold_budget > 0) {
+                pruned.insert(e.row, j, e.value);
+                --at_threshold_budget;
+            }
+        }
+    }
+    return pruned;
+}
+
+} // namespace eie::compress

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Magnitude pruning (the first stage of Deep Compression, [16][23]).
+ *
+ * Pruning keeps the largest-magnitude weights so that the surviving
+ * fraction equals the target density. The paper's benchmark layers
+ * have densities between 4% and 25% (Table III).
+ */
+
+#ifndef EIE_COMPRESS_PRUNE_HH
+#define EIE_COMPRESS_PRUNE_HH
+
+#include "nn/sparse.hh"
+#include "nn/tensor.hh"
+
+namespace eie::compress {
+
+/**
+ * Prune a dense matrix to the target density by global magnitude
+ * thresholding (keep the ceil(density * size) largest |w|).
+ */
+nn::SparseMatrix pruneDense(const nn::Matrix &dense, double density);
+
+/**
+ * Prune an already-sparse matrix further, keeping the largest
+ * ceil(density * rows * cols) magnitudes.
+ */
+nn::SparseMatrix pruneSparse(const nn::SparseMatrix &sparse,
+                             double density);
+
+/**
+ * The global magnitude threshold that pruning to @p density would use
+ * on @p sparse (for diagnostics).
+ */
+float pruneThreshold(const nn::SparseMatrix &sparse, double density);
+
+} // namespace eie::compress
+
+#endif // EIE_COMPRESS_PRUNE_HH

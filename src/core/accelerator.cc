@@ -1,0 +1,172 @@
+#include "core/accelerator.hh"
+
+#include <memory>
+
+#include "common/bits.hh"
+#include "core/ccu.hh"
+#include "core/lnzd.hh"
+#include "core/pe.hh"
+#include "sim/simulator.hh"
+
+namespace eie::core {
+
+Accelerator::Accelerator(const EieConfig &config) : config_(config)
+{
+    config_.validate();
+}
+
+RunResult
+Accelerator::run(const LayerPlan &plan,
+                 const std::vector<std::int64_t> &input_raw) const
+{
+    panic_if(input_raw.size() != plan.input_size,
+             "input length %zu != planned %zu", input_raw.size(),
+             plan.input_size);
+    panic_if(plan.n_pe != config_.n_pe,
+             "plan compiled for %u PEs, machine has %u", plan.n_pe,
+             config_.n_pe);
+
+    const unsigned n_pe = config_.n_pe;
+
+    sim::Simulator sim("eie");
+    Ccu ccu(config_, sim.stats());
+    std::vector<std::unique_ptr<Pe>> pes;
+    pes.reserve(n_pe);
+    for (unsigned k = 0; k < n_pe; ++k)
+        pes.push_back(std::make_unique<Pe>(k, config_, ccu, sim.stats()));
+
+    // The CCU propagates first each cycle: it reads the registered
+    // queue occupancy of the previous cycle, then PEs sample its
+    // broadcast wire.
+    sim.add(&ccu);
+    for (auto &pe : pes)
+        sim.add(pe.get());
+
+    ccu.attachQueueFull([&pes] {
+        for (const auto &pe : pes)
+            if (pe->queueFull())
+                return true;
+        return false;
+    });
+
+    const LnzdTree tree(n_pe, config_.lnzd_fanin);
+
+    RunResult result;
+    result.output_raw.assign(plan.output_size, 0);
+
+    std::uint64_t compute_cycles = 0;
+    std::uint64_t drain_cycles = 0;
+
+    for (const auto &batch_tiles : plan.tiles) {
+        panic_if(batch_tiles.empty(), "batch with no tiles");
+
+        for (std::size_t p = 0; p < batch_tiles.size(); ++p) {
+            const Tile &tile = batch_tiles[p];
+
+            // I/O mode: load the tile (one-time cost, not timed).
+            for (unsigned k = 0; k < n_pe; ++k)
+                pes[k]->loadTile(tile.storage.pe(k),
+                                 tile.storage.codebook(), p == 0);
+
+            // LNZD scan of this pass's input slice.
+            std::vector<std::int64_t> pass_input(
+                input_raw.begin() +
+                    static_cast<std::ptrdiff_t>(tile.col_begin),
+                input_raw.begin() +
+                    static_cast<std::ptrdiff_t>(tile.col_end));
+            ccu.configurePass(tree.scan(pass_input, n_pe),
+                              config_.lnzdLatency());
+
+            // Computing mode: run until the broadcast schedule is
+            // exhausted and every PE has retired its work.
+            const std::uint64_t start = sim.cycle();
+            const std::uint64_t budget = 10000 +
+                4 * (tile.storage.totalEntries() + pass_input.size());
+            const bool finished = sim.runUntil(
+                [&] {
+                    if (!ccu.done())
+                        return false;
+                    for (const auto &pe : pes)
+                        if (!pe->idle())
+                            return false;
+                    return true;
+                },
+                budget);
+            panic_if(!finished,
+                     "pass did not converge within %llu cycles "
+                     "(layer '%s')",
+                     static_cast<unsigned long long>(budget),
+                     plan.name.c_str());
+            compute_cycles += sim.cycle() - start;
+        }
+
+        // Drain the batch: ReLU (hardware unit on the write-back
+        // path), then stream accumulators into the act SRAM.
+        const std::uint64_t drain_start = sim.cycle();
+        for (auto &pe : pes) {
+            if (plan.nonlin == nn::Nonlinearity::ReLU)
+                pe->applyRelu();
+            pe->startBatchDrain();
+        }
+        const bool drained = sim.runUntil(
+            [&] {
+                for (const auto &pe : pes)
+                    if (pe->draining())
+                        return false;
+                return true;
+            },
+            16 + config_.regfile_entries);
+        panic_if(!drained, "batch drain did not finish");
+        drain_cycles += sim.cycle() - drain_start;
+
+        // Collect the batch outputs (PE k, local row r -> global row).
+        const std::size_t row_begin = batch_tiles.front().row_begin;
+        for (unsigned k = 0; k < n_pe; ++k) {
+            const auto &values = pes[k]->drainedValues();
+            for (std::size_t r = 0; r < values.size(); ++r)
+                result.output_raw[row_begin + r * n_pe + k] = values[r];
+        }
+    }
+
+    // Assemble statistics.
+    RunStats &stats = result.stats;
+    stats.n_pe = n_pe;
+    stats.clock_ghz = config_.clock_ghz;
+    stats.cycles = sim.cycle();
+    stats.compute_cycles = compute_cycles;
+    stats.drain_cycles = drain_cycles;
+    stats.broadcasts = sim.stats().value("broadcasts");
+    stats.gated_cycles = sim.stats().value("gated_cycles");
+    stats.total_entries = 0;
+    stats.padding_entries = 0;
+    stats.pe_busy.reserve(n_pe);
+    for (const auto &pe : pes) {
+        stats.pe_busy.push_back(pe->busyCycles());
+        stats.total_entries += pe->macs();
+        stats.hazard_stalls += pe->hazardStalls();
+        stats.fetch_stalls += pe->fetchStalls();
+        stats.starved_cycles += pe->starvedCycles();
+        stats.ptr_sram_reads += pe->ptrReads();
+        stats.spmat_row_fetches += pe->spmatRowFetches();
+        stats.act_sram_reads += pe->actReads();
+        stats.act_sram_writes += pe->actWrites();
+    }
+    for (unsigned k = 0; k < n_pe; ++k)
+        stats.padding_entries +=
+            sim.stats().value("pe" + std::to_string(k) + ".padding_macs");
+    stats.theoretical_cycles = divCeil(stats.total_entries, n_pe);
+    return result;
+}
+
+nn::Vector
+Accelerator::runFloat(const LayerPlan &plan, const nn::Vector &input,
+                      RunStats *stats_out) const
+{
+    const FunctionalModel functional(config_);
+    RunResult result = run(plan, functional.quantizeInput(input));
+    if (stats_out)
+        *stats_out = result.stats;
+    return functional.dequantize(result.output_raw);
+}
+
+} // namespace eie::core

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The EIE accelerator: a CCU plus an array of PEs driven by the
+ * two-phase simulation kernel. This is the cycle-accurate counterpart
+ * of FunctionalModel; the two are verified bit-exact against each
+ * other and against the floating-point golden model.
+ *
+ * Execution of a planned layer (§IV "Central Control Unit"):
+ *  - I/O mode: each tile's per-PE slices are DMA-loaded (backdoor,
+ *    one-time cost outside the measured compute cycles, as in the
+ *    paper).
+ *  - Computing mode: per pass, the CCU broadcasts the LNZD-scanned
+ *    non-zero activations; PEs consume them as described in pe.hh.
+ *  - Batch drain: accumulators pass through ReLU and drain to the
+ *    activation SRAM; ping-pong makes them the next layer's source
+ *    with no extra transfer.
+ */
+
+#ifndef EIE_CORE_ACCELERATOR_HH
+#define EIE_CORE_ACCELERATOR_HH
+
+#include <vector>
+
+#include "core/config.hh"
+#include "core/functional.hh"
+#include "core/plan.hh"
+#include "core/run_stats.hh"
+#include "nn/tensor.hh"
+
+namespace eie::core {
+
+/** Cycle-accurate EIE instance. */
+class Accelerator
+{
+  public:
+    explicit Accelerator(const EieConfig &config);
+
+    /** Execute a planned layer on a raw fixed-point input vector. */
+    RunResult run(const LayerPlan &plan,
+                  const std::vector<std::int64_t> &input_raw) const;
+
+    /**
+     * Convenience float wrapper: quantise the input, run, dequantise
+     * the output. Statistics are returned through @p stats_out when
+     * non-null.
+     */
+    nn::Vector runFloat(const LayerPlan &plan, const nn::Vector &input,
+                        RunStats *stats_out = nullptr) const;
+
+    const EieConfig &config() const { return config_; }
+
+  private:
+    EieConfig config_;
+};
+
+} // namespace eie::core
+
+#endif // EIE_CORE_ACCELERATOR_HH

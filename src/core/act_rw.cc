@@ -1,0 +1,64 @@
+#include "core/act_rw.hh"
+
+#include "common/bits.hh"
+
+namespace eie::core {
+
+ActRwUnit::ActRwUnit(const EieConfig &config, sim::StatGroup &stats)
+    : sram_("act",
+            std::max<std::size_t>(1, divCeil(config.act_sram_entries,
+                                             acts_per_word_)),
+            stats),
+      scan_reads_(stats.counter("act_scan_reads",
+                                "64-bit act SRAM reads by the LNZD "
+                                "scan"))
+{}
+
+void
+ActRwUnit::loadSourceShare(std::size_t share_entries)
+{
+    source_entries_ = share_entries;
+    dest_base_words_ = divCeil(share_entries, acts_per_word_);
+    if (dest_base_words_ >= sram_.words()) {
+        warn("source activation share (%zu) fills the act SRAM; "
+             "destination drain will reuse low words", share_entries);
+        dest_base_words_ = 0;
+    }
+    accountScanPass();
+}
+
+void
+ActRwUnit::accountScanPass()
+{
+    scan_reads_ += divCeil(source_entries_, acts_per_word_);
+}
+
+void
+ActRwUnit::startDrain(const std::vector<std::int64_t> &values)
+{
+    panic_if(draining(), "startDrain while a drain is in progress");
+    drain_values_ = values;
+    drain_pos_ = 0;
+}
+
+void
+ActRwUnit::drainCycle()
+{
+    panic_if(!draining(), "drainCycle with nothing to drain");
+    // Pack four 16-bit activations into one 64-bit write.
+    std::uint64_t word = 0;
+    const std::size_t base = drain_pos_;
+    for (unsigned lane = 0;
+         lane < acts_per_word_ && drain_pos_ < drain_values_.size();
+         ++lane, ++drain_pos_) {
+        const auto raw16 = static_cast<std::uint64_t>(
+            drain_values_[drain_pos_] & 0xffff);
+        word |= raw16 << (16 * lane);
+    }
+    const std::size_t addr =
+        dest_base_words_ + base / acts_per_word_;
+    sram_.write(addr < sram_.words() ? addr : addr % sram_.words(),
+                word);
+}
+
+} // namespace eie::core

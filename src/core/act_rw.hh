@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Activation Read/Write Unit (§IV): two 64-entry activation register
+ * files (source and destination) that swap roles between layers, plus
+ * the 2KB per-PE activation SRAM used when vectors exceed the register
+ * files.
+ *
+ * Model responsibilities:
+ *  - hold the PE's share of the input activation vector in the act
+ *    SRAM (source side) and count the LNZD scan reads over it,
+ *  - drain the destination accumulators into the act SRAM at batch
+ *    end ("The SRAM is read only at the beginning and written at the
+ *    end of the batch") through a 64-bit port carrying four 16-bit
+ *    activations per access,
+ *  - hand the committed outputs back to the accelerator (ping-pong:
+ *    they become the next layer's source without any data movement).
+ */
+
+#ifndef EIE_CORE_ACT_RW_HH
+#define EIE_CORE_ACT_RW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hh"
+#include "sim/sram.hh"
+#include "sim/stats.hh"
+
+namespace eie::core {
+
+/** Source/destination activation storage of one PE. */
+class ActRwUnit
+{
+  public:
+    ActRwUnit(const EieConfig &config, sim::StatGroup &stats);
+
+    /**
+     * Load this PE's share of the input vector (backdoor; the I/O-mode
+     * DMA or the previous layer's drain already paid for the writes).
+     * Counts the pass's LNZD scan reads: the scan walks the stored
+     * share once per pass at four activations per 64-bit access.
+     */
+    void loadSourceShare(std::size_t share_entries);
+
+    /** Account one extra scan pass over the stored source share
+     *  (row batches re-scan the input). */
+    void accountScanPass();
+
+    /**
+     * Begin draining @p values (the batch's accumulator contents)
+     *  into the destination half of the act SRAM.
+     */
+    void startDrain(const std::vector<std::int64_t> &values);
+
+    /** True while drain writes remain. */
+    bool draining() const { return drain_pos_ < drain_values_.size(); }
+
+    /** Advance one drain cycle (one 64-bit write = 4 activations). */
+    void drainCycle();
+
+    /** Clock edge. */
+    void tick() { sram_.tick(); }
+
+    /** Committed outputs of the last drained batch. */
+    const std::vector<std::int64_t> &
+    drained() const
+    {
+        return drain_values_;
+    }
+
+    /** Activation SRAM reads / writes so far. */
+    std::uint64_t reads() const { return sram_.readCount(); }
+    std::uint64_t writes() const { return sram_.writeCount(); }
+
+  private:
+    static constexpr unsigned acts_per_word_ = 4; // 4 x 16b in 64b
+
+    sim::Sram sram_;
+    std::size_t source_entries_ = 0;
+    std::size_t dest_base_words_ = 0;
+    std::vector<std::int64_t> drain_values_;
+    std::size_t drain_pos_ = 0;
+    sim::Counter &scan_reads_;
+};
+
+} // namespace eie::core
+
+#endif // EIE_CORE_ACT_RW_HH

@@ -1,0 +1,76 @@
+#include "core/arith.hh"
+
+namespace eie::core {
+
+ArithmeticUnit::ArithmeticUnit(const EieConfig &config,
+                               sim::StatGroup &stats)
+    : act_fmt_(config.act_format), weight_fmt_(config.weight_format),
+      bypass_(config.enable_bypass),
+      macs_(stats.counter("macs", "multiply-accumulates issued")),
+      padding_macs_(stats.counter("padding_macs",
+                                  "MACs on padding-zero entries"))
+{}
+
+void
+ArithmeticUnit::configureBatch(std::uint32_t rows_this_pe)
+{
+    acc_.assign(rows_this_pe, 0);
+    inflight_ = {-1, -1, -1};
+}
+
+bool
+ArithmeticUnit::canIssue(std::uint32_t local_row) const
+{
+    if (bypass_)
+        return true;
+    // Without the bypass/forwarding network, an update must not issue
+    // while an update to the same accumulator is still in flight.
+    const auto row = static_cast<std::int32_t>(local_row);
+    return inflight_[0] != row && inflight_[1] != row &&
+        inflight_[2] != row;
+}
+
+void
+ArithmeticUnit::issue(std::uint8_t weight_index, std::uint32_t local_row,
+                      std::int64_t act_raw,
+                      const compress::Codebook &codebook)
+{
+    panic_if(local_row >= acc_.size(),
+             "accumulator %u out of %zu configured rows", local_row,
+             acc_.size());
+    panic_if(!canIssue(local_row), "issued into a structural hazard");
+
+    const std::int64_t w = codebook.decodeRaw(weight_index);
+    acc_[local_row] =
+        macFixed(acc_[local_row], w, act_raw, weight_fmt_, act_fmt_);
+
+    panic_if(inflight_[0] != -1, "double issue in one cycle");
+    inflight_[0] = static_cast<std::int32_t>(local_row);
+
+    ++macs_;
+    if (weight_index == 0)
+        ++padding_macs_;
+}
+
+bool
+ArithmeticUnit::pipelineEmpty() const
+{
+    return inflight_[0] == -1 && inflight_[1] == -1 && inflight_[2] == -1;
+}
+
+void
+ArithmeticUnit::tick()
+{
+    inflight_[2] = inflight_[1];
+    inflight_[1] = inflight_[0];
+    inflight_[0] = -1;
+}
+
+void
+ArithmeticUnit::applyRelu()
+{
+    for (std::int64_t &v : acc_)
+        v = reluRaw(v);
+}
+
+} // namespace eie::core

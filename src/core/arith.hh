@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Arithmetic Unit (§IV, §VI): performs b_x = b_x + v * a_j, where v is
+ * the 4-bit encoded weight expanded to 16-bit fixed point via the
+ * codebook, and x indexes the destination-activation register file.
+ *
+ * Timing follows the paper's 4-stage pipeline: (1) codebook lookup +
+ * address accumulation, (2) destination read + multiply, (3) shift and
+ * add, (4) destination write. "A bypass path is provided to route the
+ * output of the adder to its input if the same accumulator is selected
+ * on two adjacent cycles"; with the bypass enabled (plus regfile
+ * write-forwarding) back-to-back same-accumulator updates never stall.
+ * The ablation configuration disables the bypass, in which case an
+ * issue must wait until an in-flight update to the same accumulator
+ * retires.
+ *
+ * Because the forwarding network makes pipelined execution
+ * semantically identical to sequential execution, the accumulator
+ * values are applied at issue time (bit-exact, same order as the
+ * functional model); the pipeline state tracks occupancy for timing.
+ */
+
+#ifndef EIE_CORE_ARITH_HH
+#define EIE_CORE_ARITH_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "compress/codebook.hh"
+#include "core/config.hh"
+#include "sim/stats.hh"
+
+namespace eie::core {
+
+/** 4-stage MAC pipeline plus the destination accumulator file. */
+class ArithmeticUnit
+{
+  public:
+    ArithmeticUnit(const EieConfig &config, sim::StatGroup &stats);
+
+    /**
+     * Start a row batch: size and zero the accumulator file
+     * ("accumulators are initialized to zero", §III-C).
+     *
+     * @param rows_this_pe local output rows this PE owns in the batch
+     */
+    void configureBatch(std::uint32_t rows_this_pe);
+
+    /** Hazard check: can an update to @p local_row issue this cycle? */
+    bool canIssue(std::uint32_t local_row) const;
+
+    /**
+     * Issue one multiply-accumulate. Applies the value update
+     * immediately (issue order = architectural order) and occupies
+     * the pipeline for timing.
+     *
+     * @param weight_index 4-bit codebook index (0 = padding zero)
+     * @param local_row    destination accumulator index
+     * @param act_raw      broadcast activation value (raw fixed)
+     * @param codebook     shared-weight table for the decode stage
+     */
+    void issue(std::uint8_t weight_index, std::uint32_t local_row,
+               std::int64_t act_raw, const compress::Codebook &codebook);
+
+    /** True when no update is in flight (safe to drain/read out). */
+    bool pipelineEmpty() const;
+
+    /** Clock edge: advance the pipeline. */
+    void tick();
+
+    /** Apply ReLU to every accumulator (drain path, Figure 4b). */
+    void applyRelu();
+
+    /** Architectural accumulator values. */
+    const std::vector<std::int64_t> &accumulators() const { return acc_; }
+
+  private:
+    FixedFormat act_fmt_;
+    FixedFormat weight_fmt_;
+    bool bypass_;
+
+    std::vector<std::int64_t> acc_;
+    /** Rows of the updates in stages S2..S4 (-1 = bubble). An issue
+     *  enters S2 the cycle after issue; the S4 write retires at the
+     *  third tick. */
+    std::array<std::int32_t, 3> inflight_{-1, -1, -1};
+
+    sim::Counter &macs_;
+    sim::Counter &padding_macs_;
+};
+
+} // namespace eie::core
+
+#endif // EIE_CORE_ARITH_HH

@@ -1,0 +1,70 @@
+#include "core/ccu.hh"
+
+#include "common/logging.hh"
+
+namespace eie::core {
+
+Ccu::Ccu(const EieConfig &config, sim::StatGroup &parent)
+    : sim::Module("ccu"),
+      broadcasts_(parent.counter("broadcasts",
+                                 "non-zero activations broadcast")),
+      gated_cycles_(parent.counter("gated_cycles",
+                                   "cycles broadcast was gated by a "
+                                   "full PE queue"))
+{
+    (void)config;
+}
+
+void
+Ccu::configurePass(
+    std::vector<std::pair<std::uint32_t, std::int64_t>> schedule,
+    unsigned latency)
+{
+    schedule_ = std::move(schedule);
+    cursor_ = 0;
+    latency_remaining_ = latency;
+    out_ = Broadcast{};
+    emitted_this_cycle_ = false;
+}
+
+void
+Ccu::attachQueueFull(std::function<bool()> any_full)
+{
+    any_full_ = std::move(any_full);
+}
+
+void
+Ccu::propagate()
+{
+    out_ = Broadcast{};
+    emitted_this_cycle_ = false;
+
+    if (latency_remaining_ > 0 || cursor_ >= schedule_.size())
+        return;
+
+    panic_if(!any_full_, "CCU flow control not attached");
+    if (any_full_()) {
+        ++gated_cycles_;
+        return;
+    }
+
+    out_.valid = true;
+    out_.col = schedule_[cursor_].first;
+    out_.value = schedule_[cursor_].second;
+    emitted_this_cycle_ = true;
+}
+
+void
+Ccu::update()
+{
+    if (latency_remaining_ > 0) {
+        --latency_remaining_;
+        return;
+    }
+    if (emitted_this_cycle_) {
+        ++cursor_;
+        ++broadcasts_;
+    }
+}
+
+} // namespace eie::core

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Central Control Unit (§IV): the root of the LNZD tree. In computing
+ * mode it "repeatedly collects a non-zero value from the LNZD quadtree
+ * and broadcasts this value to all PEs ... until the input length is
+ * exceeded", and "the broadcast is disabled if any PE has a full
+ * queue".
+ *
+ * Timing model: the broadcast schedule for a pass is produced by
+ * LnzdTree::scan (ascending-index non-zeros); emission runs at one
+ * non-zero per cycle after an initial pipeline latency of tree depth
+ * plus one, and is gated on the registered queue-full state of the
+ * PEs (conservative flow control, checked against FIFO capacity by
+ * the queue model itself).
+ */
+
+#ifndef EIE_CORE_CCU_HH
+#define EIE_CORE_CCU_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/lnzd.hh"
+#include "sim/module.hh"
+#include "sim/stats.hh"
+
+namespace eie::core {
+
+/** The broadcast wire driven by the CCU, read by every PE. */
+struct Broadcast
+{
+    bool valid = false;
+    std::uint32_t col = 0;     ///< activation index j
+    std::int64_t value = 0;    ///< raw fixed-point a_j
+};
+
+/** Root LNZD node / broadcast sequencer. */
+class Ccu : public sim::Module
+{
+  public:
+    Ccu(const EieConfig &config, sim::StatGroup &parent);
+
+    /**
+     * Program a pass: the (index, value) non-zero schedule to
+     * broadcast, plus the LNZD pipeline latency in cycles before the
+     * first emission.
+     */
+    void configurePass(
+        std::vector<std::pair<std::uint32_t, std::int64_t>> schedule,
+        unsigned latency);
+
+    /**
+     * Wire up flow control: @p any_full must return true when any
+     * PE's activation queue is full (registered state).
+     */
+    void attachQueueFull(std::function<bool()> any_full);
+
+    /** The broadcast driven this cycle (valid after propagate()). */
+    const Broadcast &broadcastOut() const { return out_; }
+
+    /** True once the pass schedule is exhausted. */
+    bool done() const { return cursor_ >= schedule_.size(); }
+
+    void propagate() override;
+    void update() override;
+
+  private:
+    std::vector<std::pair<std::uint32_t, std::int64_t>> schedule_;
+    std::size_t cursor_ = 0;
+    unsigned latency_remaining_ = 0;
+    std::function<bool()> any_full_;
+    Broadcast out_;
+    bool emitted_this_cycle_ = false;
+
+    sim::Counter &broadcasts_;
+    sim::Counter &gated_cycles_;
+};
+
+} // namespace eie::core
+
+#endif // EIE_CORE_CCU_HH

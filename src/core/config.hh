@@ -1,0 +1,129 @@
+/**
+ * @file
+ * EIE machine configuration.
+ *
+ * Defaults reproduce the paper's 64-PE, 800 MHz design point:
+ * per-PE 128KB Spmat SRAM (131072 8-bit entries), 32KB pointer SRAM
+ * (16384 16-bit pointers in two banks), 2KB activation SRAM (1024
+ * 16-bit activations), 64-entry source/destination activation register
+ * files, 8-deep activation FIFO queue, 64-bit Spmat SRAM interface and
+ * a 4-ary LNZD tree (§IV, §VI).
+ */
+
+#ifndef EIE_CORE_CONFIG_HH
+#define EIE_CORE_CONFIG_HH
+
+#include "common/bits.hh"
+#include "common/fixed_point.hh"
+#include "common/logging.hh"
+
+namespace eie::core {
+
+/** Static configuration of an EIE accelerator instance. */
+struct EieConfig
+{
+    /** Number of processing elements. */
+    unsigned n_pe = 64;
+
+    /** Activation FIFO queue depth (Figure 8 sweeps 1..256). */
+    unsigned fifo_depth = 8;
+
+    /** Destination-activation register file entries per PE — bounds
+     *  the output rows a PE can accumulate per batch. */
+    unsigned regfile_entries = 64;
+
+    /** Spmat SRAM capacity in 8-bit (v,z) entries per PE (128KB). */
+    unsigned spmat_capacity_entries = 131072;
+
+    /** Pointer SRAM capacity in 16-bit pointers per PE (32KB). */
+    unsigned ptr_capacity = 16384;
+
+    /** Activation SRAM capacity in 16-bit activations per PE (2KB). */
+    unsigned act_sram_entries = 1024;
+
+    /** Spmat SRAM interface width in bits (Figure 9 sweeps 32..512). */
+    unsigned spmat_width_bits = 64;
+
+    /** Fan-in of each LNZD tree node (quadtree in the paper). */
+    unsigned lnzd_fanin = 4;
+
+    /** Accumulator-bypass path in the arithmetic pipeline (§VI).
+     *  Disabling it (ablation) stalls same-accumulator issues until
+     *  the in-flight update retires. */
+    bool enable_bypass = true;
+
+    /** Fail loudly when a layer exceeds SRAM capacities. Design-space
+     *  sweeps (e.g. 1-PE scalability points) disable this and only
+     *  warn, since the paper's simulator did the same exploration. */
+    bool enforce_capacity = true;
+
+    /** Clock frequency in GHz (800 MHz in the paper's 45nm design). */
+    double clock_ghz = 0.8;
+
+    /** Fixed-point format of activations and accumulators. */
+    FixedFormat act_format = fixed16;
+
+    /** Fixed-point format of decoded (codebook) weights. */
+    FixedFormat weight_format = fixed16;
+
+    /** (v,z) entries delivered per Spmat row fetch (8 at 64 bits). */
+    unsigned
+    entriesPerSpmatRow() const
+    {
+        return spmat_width_bits / 8;
+    }
+
+    /** LNZD broadcast pipeline latency: tree depth plus one. */
+    unsigned
+    lnzdLatency() const
+    {
+        unsigned depth = 0;
+        unsigned span = 1;
+        while (span < n_pe) {
+            span *= lnzd_fanin;
+            ++depth;
+        }
+        return depth + 1;
+    }
+
+    /** Number of LNZD nodes in the reduction tree
+     *  (16 + 4 + 1 = 21 for 64 PEs, §VI). */
+    unsigned
+    lnzdNodeCount() const
+    {
+        unsigned nodes = 0;
+        unsigned level = n_pe;
+        while (level > 1) {
+            level = static_cast<unsigned>(
+                divCeil(level, lnzd_fanin));
+            nodes += level;
+        }
+        return nodes;
+    }
+
+    /** Peak multiply-accumulate throughput in GOP/s (2 ops per MAC,
+     *  one MAC per PE per cycle): 102.4 GOP/s at the default point. */
+    double
+    peakGops() const
+    {
+        return 2.0 * n_pe * clock_ghz;
+    }
+
+    /** Sanity-check parameter combinations. */
+    void
+    validate() const
+    {
+        fatal_if(n_pe == 0, "need at least one PE");
+        fatal_if(fifo_depth == 0, "FIFO depth must be >= 1");
+        fatal_if(regfile_entries == 0, "register file must be >= 1");
+        fatal_if(spmat_width_bits % 8 != 0 || spmat_width_bits < 8,
+                 "Spmat width %u must be a positive multiple of 8 bits",
+                 spmat_width_bits);
+        fatal_if(lnzd_fanin < 2, "LNZD fan-in must be >= 2");
+        fatal_if(clock_ghz <= 0.0, "clock must be positive");
+    }
+};
+
+} // namespace eie::core
+
+#endif // EIE_CORE_CONFIG_HH

@@ -1,0 +1,87 @@
+#include "core/ext/column_partition.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace eie::core::ext {
+
+namespace {
+
+PartitionResult
+summarize(const std::vector<std::uint64_t> &work, unsigned n_pe)
+{
+    PartitionResult result;
+    std::uint64_t total = 0;
+    std::uint64_t max_work = 0;
+    for (std::uint64_t w : work) {
+        total += w;
+        max_work = std::max(max_work, w);
+        if (w == 0)
+            ++result.idle_pes;
+    }
+    result.total_entries = total;
+    result.compute_cycles = max_work;
+    result.load_balance = max_work == 0 ? 1.0
+        : (static_cast<double>(total) / n_pe) /
+          static_cast<double>(max_work);
+    return result;
+}
+
+} // namespace
+
+PartitionResult
+columnPartitionCost(const nn::SparseMatrix &weights,
+                    const nn::Vector &activations, unsigned n_pe,
+                    unsigned reduction_lanes)
+{
+    panic_if(n_pe == 0, "need at least one PE");
+    panic_if(reduction_lanes == 0, "need at least one reduction lane");
+    panic_if(activations.size() != weights.cols(),
+             "activation length %zu != %zu columns",
+             activations.size(), weights.cols());
+
+    // PE k owns columns j = k (mod N); its work is the non-zeros of
+    // those columns whose activation is non-zero.
+    std::vector<std::uint64_t> work(n_pe, 0);
+    for (std::size_t j = 0; j < weights.cols(); ++j) {
+        if (activations[j] == 0.0f)
+            continue;
+        work[j % n_pe] += weights.column(j).size();
+    }
+    PartitionResult result = summarize(work, n_pe);
+
+    // Cross-PE reduction of the full-length partial outputs:
+    // ceil(log2 N) stages, each moving `rows` values at
+    // `reduction_lanes` per cycle.
+    if (n_pe > 1)
+        result.reduction_cycles = ceilLog2(n_pe) *
+            divCeil(weights.rows(), reduction_lanes);
+    return result;
+}
+
+PartitionResult
+rowPartitionCost(const nn::SparseMatrix &weights,
+                 const nn::Vector &activations, unsigned n_pe)
+{
+    panic_if(n_pe == 0, "need at least one PE");
+    panic_if(activations.size() != weights.cols(),
+             "activation length %zu != %zu columns",
+             activations.size(), weights.cols());
+
+    // PE k owns rows i = k (mod N); active columns contribute their
+    // entries to the owning PEs.
+    std::vector<std::uint64_t> work(n_pe, 0);
+    for (std::size_t j = 0; j < weights.cols(); ++j) {
+        if (activations[j] == 0.0f)
+            continue;
+        for (const auto &e : weights.column(j))
+            ++work[e.row % n_pe];
+    }
+    PartitionResult result = summarize(work, n_pe);
+    result.reduction_cycles = 0; // outputs are fully local (§VII-A)
+    return result;
+}
+
+} // namespace eie::core::ext

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The §VII-A partitioning ablation: the alternative "distribute
+ * matrix COLUMNS to PEs" scheme the paper argues against.
+ *
+ * Under column partitioning, PE k owns columns j with j mod N == k;
+ * it multiplies its columns by its locally-held activations, giving
+ * full locality for the input vector a — but a PE whose activations
+ * are zero sits completely idle (dynamic sparsity becomes load
+ * imbalance instead of saved work), and the per-PE partial output
+ * vectors must be summed by a cross-PE reduction.
+ *
+ * This model computes, for a given layer and input:
+ *  - per-PE useful work (entries of owned columns with a_j != 0),
+ *  - the compute-phase makespan (max over PEs at 1 entry/cycle),
+ *  - the reduction cost: log2(N) stages, each streaming `rows`
+ *    partial sums at `reduction_lanes` values per cycle,
+ * and the same quantities for EIE's row-interleaved scheme (from its
+ * per-PE entry counts), so bench/ablation_partitioning can print the
+ * trade-off directly.
+ */
+
+#ifndef EIE_CORE_EXT_COLUMN_PARTITION_HH
+#define EIE_CORE_EXT_COLUMN_PARTITION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/sparse.hh"
+#include "nn/tensor.hh"
+
+namespace eie::core::ext {
+
+/** Outcome of the analytical column-partitioning execution. */
+struct PartitionResult
+{
+    std::uint64_t compute_cycles = 0;   ///< makespan of the MAC phase
+    std::uint64_t reduction_cycles = 0; ///< cross-PE sum (0 for rows)
+    std::uint64_t total_entries = 0;    ///< useful MACs
+    double load_balance = 0.0;          ///< mean/max per-PE work
+    std::uint64_t idle_pes = 0;         ///< PEs with zero work
+
+    std::uint64_t
+    totalCycles() const
+    {
+        return compute_cycles + reduction_cycles;
+    }
+};
+
+/** Analytical cost of the column-partitioned scheme. */
+PartitionResult columnPartitionCost(const nn::SparseMatrix &weights,
+                                    const nn::Vector &activations,
+                                    unsigned n_pe,
+                                    unsigned reduction_lanes = 4);
+
+/** Same metrics for EIE's row-interleaved scheme (no reduction; the
+ *  broadcast is pipelined and off the critical path, §VII-B). */
+PartitionResult rowPartitionCost(const nn::SparseMatrix &weights,
+                                 const nn::Vector &activations,
+                                 unsigned n_pe);
+
+} // namespace eie::core::ext
+
+#endif // EIE_CORE_EXT_COLUMN_PARTITION_HH

@@ -1,0 +1,86 @@
+#include "core/ext/conv1x1.hh"
+
+#include "core/functional.hh"
+
+namespace eie::core::ext {
+
+Conv1x1::Conv1x1(const compress::CompressedLayer &layer) : layer_(&layer)
+{}
+
+FeatureMap
+Conv1x1::forward(const FeatureMap &input) const
+{
+    panic_if(input.channels() != inChannels(),
+             "input has %zu channels, conv expects %zu",
+             input.channels(), inChannels());
+    FeatureMap out(outChannels(), input.height(), input.width());
+    const auto &w = layer_->quantizedWeights();
+    for (std::size_t y = 0; y < input.height(); ++y) {
+        for (std::size_t x = 0; x < input.width(); ++x) {
+            nn::Vector pixel(inChannels());
+            for (std::size_t c = 0; c < inChannels(); ++c)
+                pixel[c] = input.at(c, y, x);
+            const nn::Vector result = nn::relu(w.spmv(pixel));
+            for (std::size_t c = 0; c < outChannels(); ++c)
+                out.at(c, y, x) = result[c];
+        }
+    }
+    return out;
+}
+
+FeatureMap
+Conv1x1::forwardOnEie(const FeatureMap &input, const EieConfig &config,
+                      RunStats *total_stats) const
+{
+    panic_if(input.channels() != inChannels(),
+             "input has %zu channels, conv expects %zu",
+             input.channels(), inChannels());
+
+    const auto plan =
+        planLayer(*layer_, nn::Nonlinearity::ReLU, config);
+    const Accelerator accel(config);
+    const FunctionalModel functional(config);
+
+    FeatureMap out(outChannels(), input.height(), input.width());
+    for (std::size_t y = 0; y < input.height(); ++y) {
+        for (std::size_t x = 0; x < input.width(); ++x) {
+            nn::Vector pixel(inChannels());
+            for (std::size_t c = 0; c < inChannels(); ++c)
+                pixel[c] = input.at(c, y, x);
+
+            const auto result =
+                accel.run(plan, functional.quantizeInput(pixel));
+            const nn::Vector values =
+                functional.dequantize(result.output_raw);
+            for (std::size_t c = 0; c < outChannels(); ++c)
+                out.at(c, y, x) = values[c];
+
+            if (total_stats) {
+                total_stats->n_pe = result.stats.n_pe;
+                total_stats->clock_ghz = result.stats.clock_ghz;
+                total_stats->cycles += result.stats.cycles;
+                total_stats->compute_cycles +=
+                    result.stats.compute_cycles;
+                total_stats->drain_cycles += result.stats.drain_cycles;
+                total_stats->broadcasts += result.stats.broadcasts;
+                total_stats->total_entries +=
+                    result.stats.total_entries;
+                total_stats->padding_entries +=
+                    result.stats.padding_entries;
+                total_stats->spmat_row_fetches +=
+                    result.stats.spmat_row_fetches;
+                total_stats->ptr_sram_reads +=
+                    result.stats.ptr_sram_reads;
+                total_stats->act_sram_reads +=
+                    result.stats.act_sram_reads;
+                total_stats->act_sram_writes +=
+                    result.stats.act_sram_writes;
+                total_stats->theoretical_cycles +=
+                    result.stats.theoretical_cycles;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace eie::core::ext

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * 1x1 convolution on EIE (§VII-C): the channel-wise reduction at each
+ * pixel is exactly an M×V with the Cout x Cin weight matrix, so a
+ * compressed 1x1 conv layer runs on the accelerator as one M×V per
+ * pixel, re-using the same loaded weights (only the input vector —
+ * and hence the LNZD scan — changes per pixel).
+ */
+
+#ifndef EIE_CORE_EXT_CONV1X1_HH
+#define EIE_CORE_EXT_CONV1X1_HH
+
+#include "compress/compressed_layer.hh"
+#include "core/accelerator.hh"
+#include "core/ext/feature_map.hh"
+#include "core/plan.hh"
+
+namespace eie::core::ext {
+
+/** A compressed 1x1 convolution executable on EIE. */
+class Conv1x1
+{
+  public:
+    /** @param layer compressed Cout x Cin weight matrix. */
+    explicit Conv1x1(const compress::CompressedLayer &layer);
+
+    /** Golden forward (float, quantised weights), with ReLU. */
+    FeatureMap forward(const FeatureMap &input) const;
+
+    /**
+     * Run every pixel's M×V on the cycle-accurate accelerator.
+     *
+     * @param total_stats if non-null, accumulates cycles/energy
+     *                    inputs across all pixels
+     */
+    FeatureMap forwardOnEie(const FeatureMap &input,
+                            const EieConfig &config,
+                            RunStats *total_stats = nullptr) const;
+
+    std::size_t inChannels() const { return layer_->inputSize(); }
+    std::size_t outChannels() const { return layer_->outputSize(); }
+
+  private:
+    const compress::CompressedLayer *layer_;
+};
+
+} // namespace eie::core::ext
+
+#endif // EIE_CORE_EXT_CONV1X1_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal CHW feature-map container for the convolution extensions
+ * (§VII-C "Flexibility": 1x1 convolution and 3x3 Winograd
+ * convolution lowered onto EIE M×V).
+ */
+
+#ifndef EIE_CORE_EXT_FEATURE_MAP_HH
+#define EIE_CORE_EXT_FEATURE_MAP_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace eie::core::ext {
+
+/** Dense channel-major (CHW) feature map. */
+class FeatureMap
+{
+  public:
+    FeatureMap() = default;
+
+    FeatureMap(std::size_t channels, std::size_t height,
+               std::size_t width)
+        : channels_(channels), height_(height), width_(width),
+          data_(channels * height * width, 0.0f)
+    {}
+
+    std::size_t channels() const { return channels_; }
+    std::size_t height() const { return height_; }
+    std::size_t width() const { return width_; }
+
+    float &
+    at(std::size_t c, std::size_t y, std::size_t x)
+    {
+        panic_if(c >= channels_ || y >= height_ || x >= width_,
+                 "feature map index (%zu,%zu,%zu) out of "
+                 "(%zu,%zu,%zu)", c, y, x, channels_, height_, width_);
+        return data_[(c * height_ + y) * width_ + x];
+    }
+
+    float
+    at(std::size_t c, std::size_t y, std::size_t x) const
+    {
+        panic_if(c >= channels_ || y >= height_ || x >= width_,
+                 "feature map index (%zu,%zu,%zu) out of "
+                 "(%zu,%zu,%zu)", c, y, x, channels_, height_, width_);
+        return data_[(c * height_ + y) * width_ + x];
+    }
+
+    const std::vector<float> &data() const { return data_; }
+
+  private:
+    std::size_t channels_ = 0;
+    std::size_t height_ = 0;
+    std::size_t width_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace eie::core::ext
+
+#endif // EIE_CORE_EXT_FEATURE_MAP_HH

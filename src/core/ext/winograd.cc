@@ -1,0 +1,268 @@
+#include "core/ext/winograd.hh"
+
+#include "core/functional.hh"
+#include "core/plan.hh"
+
+namespace eie::core::ext {
+
+namespace {
+
+// F(2x2, 3x3) transform matrices (Lavin [33]).
+constexpr double BT[4][4] = {
+    {1, 0, -1, 0}, {0, 1, 1, 0}, {0, -1, 1, 0}, {0, 1, 0, -1}};
+constexpr double G[4][3] = {
+    {1, 0, 0}, {0.5, 0.5, 0.5}, {0.5, -0.5, 0.5}, {0, 0, 1}};
+constexpr double AT[2][4] = {{1, 1, 1, 0}, {0, 1, -1, -1}};
+
+/** U = G g G^T for one 3x3 kernel. */
+std::array<double, 16>
+transformKernel(const Conv3x3Kernels &kernels, std::size_t co,
+                std::size_t ci)
+{
+    double gg[4][3]; // G g
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 3; ++c) {
+            gg[r][c] = 0.0;
+            for (int k = 0; k < 3; ++k)
+                gg[r][c] += G[r][k] *
+                    kernels.at(co, ci, static_cast<std::size_t>(k),
+                               static_cast<std::size_t>(c));
+        }
+    std::array<double, 16> u{};
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c) {
+            double acc = 0.0;
+            for (int k = 0; k < 3; ++k)
+                acc += gg[r][k] * G[c][k]; // (G g) G^T
+            u[static_cast<std::size_t>(4 * r + c)] = acc;
+        }
+    return u;
+}
+
+/** V = B^T d B for one 4x4 input tile (d given row-major). */
+std::array<double, 16>
+transformInputTile(const double d[4][4])
+{
+    double bd[4][4]; // B^T d
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c) {
+            bd[r][c] = 0.0;
+            for (int k = 0; k < 4; ++k)
+                bd[r][c] += BT[r][k] * d[k][c];
+        }
+    std::array<double, 16> v{};
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c) {
+            double acc = 0.0;
+            for (int k = 0; k < 4; ++k)
+                acc += bd[r][k] * BT[c][k]; // (B^T d) B
+            v[static_cast<std::size_t>(4 * r + c)] = acc;
+        }
+    return v;
+}
+
+/** Y = A^T m A for one 4x4 element-product tile. */
+std::array<double, 4>
+transformOutputTile(const std::array<double, 16> &m)
+{
+    double am[2][4]; // A^T m
+    for (int r = 0; r < 2; ++r)
+        for (int c = 0; c < 4; ++c) {
+            am[r][c] = 0.0;
+            for (int k = 0; k < 4; ++k)
+                am[r][c] +=
+                    AT[r][k] * m[static_cast<std::size_t>(4 * k + c)];
+        }
+    std::array<double, 4> y{};
+    for (int r = 0; r < 2; ++r)
+        for (int c = 0; c < 2; ++c) {
+            double acc = 0.0;
+            for (int k = 0; k < 4; ++k)
+                acc += am[r][k] * AT[c][k]; // (A^T m) A
+            y[static_cast<std::size_t>(2 * r + c)] = acc;
+        }
+    return y;
+}
+
+} // namespace
+
+FeatureMap
+directConv3x3(const Conv3x3Kernels &kernels, const FeatureMap &input)
+{
+    panic_if(input.channels() != kernels.in_channels,
+             "input has %zu channels, kernels expect %zu",
+             input.channels(), kernels.in_channels);
+    panic_if(input.height() < 3 || input.width() < 3,
+             "input too small for a 3x3 convolution");
+
+    FeatureMap out(kernels.out_channels, input.height() - 2,
+                   input.width() - 2);
+    for (std::size_t co = 0; co < kernels.out_channels; ++co)
+        for (std::size_t y = 0; y + 2 < input.height(); ++y)
+            for (std::size_t x = 0; x + 2 < input.width(); ++x) {
+                double acc = 0.0;
+                for (std::size_t ci = 0; ci < kernels.in_channels;
+                     ++ci)
+                    for (std::size_t ky = 0; ky < 3; ++ky)
+                        for (std::size_t kx = 0; kx < 3; ++kx)
+                            acc += kernels.at(co, ci, ky, kx) *
+                                input.at(ci, y + ky, x + kx);
+                out.at(co, y, x) = static_cast<float>(acc);
+            }
+    return out;
+}
+
+WinogradConv3x3::WinogradConv3x3(const Conv3x3Kernels &kernels,
+                                 const compress::CompressionOptions &opts)
+    : out_channels_(kernels.out_channels),
+      in_channels_(kernels.in_channels)
+{
+    // Build the 16 Cout x Cin matrices U_k.
+    for (int k = 0; k < 16; ++k) {
+        nn::SparseMatrix uk(out_channels_, in_channels_);
+        // Column-major insertion to respect the ascending-row rule.
+        std::vector<std::vector<std::pair<std::size_t, float>>> cols(
+            in_channels_);
+        for (std::size_t co = 0; co < out_channels_; ++co)
+            for (std::size_t ci = 0; ci < in_channels_; ++ci) {
+                const auto u = transformKernel(kernels, co, ci);
+                const auto value = static_cast<float>(
+                    u[static_cast<std::size_t>(k)]);
+                if (value != 0.0f)
+                    cols[ci].emplace_back(co, value);
+            }
+        for (std::size_t ci = 0; ci < in_channels_; ++ci)
+            for (const auto &[row, value] : cols[ci])
+                uk.insert(row, ci, value);
+        u_.push_back(std::make_unique<compress::CompressedLayer>(
+            compress::CompressedLayer::compress(
+                "winograd_u" + std::to_string(k), uk, opts)));
+    }
+}
+
+FeatureMap
+WinogradConv3x3::forward(const FeatureMap &input) const
+{
+    panic_if(input.channels() != in_channels_,
+             "input has %zu channels, conv expects %zu",
+             input.channels(), in_channels_);
+    const std::size_t out_h = input.height() - 2;
+    const std::size_t out_w = input.width() - 2;
+    panic_if(out_h % 2 != 0 || out_w % 2 != 0,
+             "F(2x2,3x3) needs even output dimensions (got %zux%zu)",
+             out_h, out_w);
+
+    FeatureMap out(out_channels_, out_h, out_w);
+    for (std::size_t ty = 0; ty < out_h / 2; ++ty) {
+        for (std::size_t tx = 0; tx < out_w / 2; ++tx) {
+            // Transform the tile of every input channel.
+            std::vector<std::array<double, 16>> v(in_channels_);
+            for (std::size_t ci = 0; ci < in_channels_; ++ci) {
+                double d[4][4];
+                for (int r = 0; r < 4; ++r)
+                    for (int c = 0; c < 4; ++c)
+                        d[r][c] = input.at(
+                            ci, 2 * ty + static_cast<std::size_t>(r),
+                            2 * tx + static_cast<std::size_t>(c));
+                v[ci] = transformInputTile(d);
+            }
+
+            // 16 M×V channel reductions.
+            std::vector<std::array<double, 16>> m(out_channels_);
+            for (int k = 0; k < 16; ++k) {
+                nn::Vector vk(in_channels_);
+                for (std::size_t ci = 0; ci < in_channels_; ++ci)
+                    vk[ci] = static_cast<float>(
+                        v[ci][static_cast<std::size_t>(k)]);
+                const nn::Vector mk = u_[static_cast<std::size_t>(k)]
+                    ->quantizedWeights().spmv(vk);
+                for (std::size_t co = 0; co < out_channels_; ++co)
+                    m[co][static_cast<std::size_t>(k)] = mk[co];
+            }
+
+            // Inverse transform per output channel.
+            for (std::size_t co = 0; co < out_channels_; ++co) {
+                const auto y = transformOutputTile(m[co]);
+                out.at(co, 2 * ty, 2 * tx) = static_cast<float>(y[0]);
+                out.at(co, 2 * ty, 2 * tx + 1) =
+                    static_cast<float>(y[1]);
+                out.at(co, 2 * ty + 1, 2 * tx) =
+                    static_cast<float>(y[2]);
+                out.at(co, 2 * ty + 1, 2 * tx + 1) =
+                    static_cast<float>(y[3]);
+            }
+        }
+    }
+    return out;
+}
+
+FeatureMap
+WinogradConv3x3::forwardOnEie(const FeatureMap &input,
+                              const EieConfig &config,
+                              std::uint64_t *total_cycles) const
+{
+    panic_if(input.channels() != in_channels_,
+             "input has %zu channels, conv expects %zu",
+             input.channels(), in_channels_);
+    const std::size_t out_h = input.height() - 2;
+    const std::size_t out_w = input.width() - 2;
+    panic_if(out_h % 2 != 0 || out_w % 2 != 0,
+             "F(2x2,3x3) needs even output dimensions (got %zux%zu)",
+             out_h, out_w);
+
+    // Compile the 16 U matrices once.
+    std::vector<LayerPlan> plans;
+    plans.reserve(16);
+    for (int k = 0; k < 16; ++k)
+        plans.push_back(planLayer(*u_[static_cast<std::size_t>(k)],
+                                  nn::Nonlinearity::None, config));
+    const Accelerator accel(config);
+    const FunctionalModel functional(config);
+
+    FeatureMap out(out_channels_, out_h, out_w);
+    for (std::size_t ty = 0; ty < out_h / 2; ++ty) {
+        for (std::size_t tx = 0; tx < out_w / 2; ++tx) {
+            std::vector<std::array<double, 16>> v(in_channels_);
+            for (std::size_t ci = 0; ci < in_channels_; ++ci) {
+                double d[4][4];
+                for (int r = 0; r < 4; ++r)
+                    for (int c = 0; c < 4; ++c)
+                        d[r][c] = input.at(
+                            ci, 2 * ty + static_cast<std::size_t>(r),
+                            2 * tx + static_cast<std::size_t>(c));
+                v[ci] = transformInputTile(d);
+            }
+
+            std::vector<std::array<double, 16>> m(out_channels_);
+            for (int k = 0; k < 16; ++k) {
+                nn::Vector vk(in_channels_);
+                for (std::size_t ci = 0; ci < in_channels_; ++ci)
+                    vk[ci] = static_cast<float>(
+                        v[ci][static_cast<std::size_t>(k)]);
+                const auto result =
+                    accel.run(plans[static_cast<std::size_t>(k)],
+                              functional.quantizeInput(vk));
+                const nn::Vector mk =
+                    functional.dequantize(result.output_raw);
+                for (std::size_t co = 0; co < out_channels_; ++co)
+                    m[co][static_cast<std::size_t>(k)] = mk[co];
+                if (total_cycles)
+                    *total_cycles += result.stats.cycles;
+            }
+
+            for (std::size_t co = 0; co < out_channels_; ++co) {
+                const auto y = transformOutputTile(m[co]);
+                out.at(co, 2 * ty, 2 * tx) = static_cast<float>(y[0]);
+                out.at(co, 2 * ty, 2 * tx + 1) =
+                    static_cast<float>(y[1]);
+                out.at(co, 2 * ty + 1, 2 * tx) =
+                    static_cast<float>(y[2]);
+                out.at(co, 2 * ty + 1, 2 * tx + 1) =
+                    static_cast<float>(y[3]);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace eie::core::ext

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * 3x3 Winograd convolution on EIE (§VII-C): F(2x2, 3x3) transforms
+ * each 4x4 input tile into 16 values; the convolution then becomes 16
+ * independent channel-wise reductions — "for each Winograd patch the
+ * 16 M×V can be scheduled on an EIE" — followed by the inverse
+ * transform of the 2x2 output tile. Winograd saves 2.25x
+ * multiplications over direct 3x3 convolution (36 multiplies per
+ * 16-output-pixel... per 4-output-pixel tile vs 16).
+ *
+ * Transform matrices (Lavin [33]):
+ *   B^T = [1  0 -1  0;  0 1 1 0;  0 -1 1 0;  0 1 0 -1]
+ *   G   = [1 0 0;  1/2 1/2 1/2;  1/2 -1/2 1/2;  0 0 1]
+ *   A^T = [1 1 1 0;  0 1 -1 -1]
+ */
+
+#ifndef EIE_CORE_EXT_WINOGRAD_HH
+#define EIE_CORE_EXT_WINOGRAD_HH
+
+#include <array>
+#include <memory>
+
+#include "compress/compressed_layer.hh"
+#include "core/accelerator.hh"
+#include "core/ext/feature_map.hh"
+#include "nn/sparse.hh"
+
+namespace eie::core::ext {
+
+/** Dense 3x3 convolution kernels: weights[cout][cin][3][3]. */
+struct Conv3x3Kernels
+{
+    std::size_t out_channels = 0;
+    std::size_t in_channels = 0;
+    std::vector<float> data; ///< [cout][cin][ky][kx]
+
+    Conv3x3Kernels(std::size_t cout, std::size_t cin)
+        : out_channels(cout), in_channels(cin),
+          data(cout * cin * 9, 0.0f)
+    {}
+
+    float &
+    at(std::size_t co, std::size_t ci, std::size_t ky, std::size_t kx)
+    {
+        return data[((co * in_channels + ci) * 3 + ky) * 3 + kx];
+    }
+
+    float
+    at(std::size_t co, std::size_t ci, std::size_t ky,
+       std::size_t kx) const
+    {
+        return data[((co * in_channels + ci) * 3 + ky) * 3 + kx];
+    }
+};
+
+/** Direct (reference) 3x3 convolution, stride 1, no padding. */
+FeatureMap directConv3x3(const Conv3x3Kernels &kernels,
+                         const FeatureMap &input);
+
+/** F(2x2, 3x3) Winograd executor with EIE-compressed U matrices. */
+class WinogradConv3x3
+{
+  public:
+    /**
+     * Transform @p kernels into the 16 per-position Cout x Cin
+     * matrices U_k = (G g G^T)_k and compress each for EIE.
+     */
+    WinogradConv3x3(const Conv3x3Kernels &kernels,
+                    const compress::CompressionOptions &opts);
+
+    /** Winograd forward in float (uses the quantised U matrices). */
+    FeatureMap forward(const FeatureMap &input) const;
+
+    /**
+     * Winograd forward with the 16 M×V per tile executed on the
+     * cycle-accurate accelerator. Tiles are batched per position k:
+     * one accelerator run per (tile, k).
+     */
+    FeatureMap forwardOnEie(const FeatureMap &input,
+                            const EieConfig &config,
+                            std::uint64_t *total_cycles = nullptr) const;
+
+    /**
+     * Multiplications per 2x2 output tile per (cin,cout) pair:
+     * direct = 36, Winograd = 16, ratio 2.25 (§VII-C).
+     */
+    static double
+    multiplySavings()
+    {
+        return 36.0 / 16.0;
+    }
+
+  private:
+    std::size_t out_channels_;
+    std::size_t in_channels_;
+    /** One compressed Cout x Cin matrix per transformed position. */
+    std::vector<std::unique_ptr<compress::CompressedLayer>> u_;
+};
+
+} // namespace eie::core::ext
+
+#endif // EIE_CORE_EXT_WINOGRAD_HH

@@ -1,0 +1,122 @@
+#include "core/functional.hh"
+
+#include "common/bits.hh"
+
+namespace eie::core {
+
+std::uint64_t
+WorkStats::theoreticalCycles(unsigned n_pe) const
+{
+    return divCeil(total_entries, n_pe);
+}
+
+double
+WorkStats::usefulGops() const
+{
+    return 2.0 * static_cast<double>(total_entries - padding_entries) /
+        1e9;
+}
+
+FunctionalModel::FunctionalModel(const EieConfig &config) : config_(config)
+{
+    config_.validate();
+}
+
+std::vector<std::int64_t>
+FunctionalModel::quantizeInput(const nn::Vector &input) const
+{
+    std::vector<std::int64_t> raw(input.size());
+    for (std::size_t i = 0; i < input.size(); ++i)
+        raw[i] = quantize(input[i], config_.act_format);
+    return raw;
+}
+
+nn::Vector
+FunctionalModel::dequantize(const std::vector<std::int64_t> &raw) const
+{
+    nn::Vector out(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i)
+        out[i] = static_cast<float>(toDouble(raw[i], config_.act_format));
+    return out;
+}
+
+FunctionalResult
+FunctionalModel::run(const LayerPlan &plan,
+                     const std::vector<std::int64_t> &input_raw) const
+{
+    panic_if(input_raw.size() != plan.input_size,
+             "input length %zu != planned %zu", input_raw.size(),
+             plan.input_size);
+    panic_if(plan.n_pe != config_.n_pe,
+             "plan compiled for %u PEs, machine has %u", plan.n_pe,
+             config_.n_pe);
+
+    const unsigned n_pe = config_.n_pe;
+    FunctionalResult result;
+    result.output_raw.assign(plan.output_size, 0);
+    result.work.pe_entries.assign(n_pe, 0);
+
+    for (const auto &batch_tiles : plan.tiles) {
+        panic_if(batch_tiles.empty(), "batch with no tiles");
+        const std::size_t row_begin = batch_tiles.front().row_begin;
+        const std::size_t row_end = batch_tiles.front().row_end;
+
+        // Destination accumulators for this batch, zero-initialised
+        // (§III-C: "The accumulators are initialized to zero before
+        // each layer computation").
+        std::vector<std::int64_t> acc(row_end - row_begin, 0);
+
+        for (const Tile &tile : batch_tiles) {
+            const auto &storage = tile.storage;
+            const auto &codebook = storage.codebook();
+            for (std::size_t jc = 0; jc < storage.cols(); ++jc) {
+                const std::int64_t a = input_raw[tile.col_begin + jc];
+                if (a == 0)
+                    continue; // LNZD skips zero activations
+                ++result.work.broadcasts;
+
+                for (unsigned k = 0; k < n_pe; ++k) {
+                    const auto &slice = storage.pe(k);
+                    std::int64_t pos = -1;
+                    const auto &entries = slice.entries();
+                    for (std::uint32_t e = slice.colPtr()[jc];
+                         e < slice.colPtr()[jc + 1]; ++e) {
+                        const auto &entry = entries[e];
+                        pos += entry.zero_count + 1;
+                        const std::int64_t w =
+                            codebook.decodeRaw(entry.weight_index);
+                        const std::size_t local_row =
+                            static_cast<std::size_t>(pos) * n_pe + k;
+                        acc[local_row] = macFixed(
+                            acc[local_row], w, a, config_.weight_format,
+                            config_.act_format);
+
+                        ++result.work.total_entries;
+                        ++result.work.pe_entries[k];
+                        if (entry.weight_index == 0)
+                            ++result.work.padding_entries;
+                    }
+                }
+            }
+        }
+
+        // Drain: apply the non-linearity and commit the batch rows.
+        for (std::size_t r = 0; r < acc.size(); ++r) {
+            std::int64_t value = acc[r];
+            switch (plan.nonlin) {
+              case nn::Nonlinearity::ReLU:
+                value = reluRaw(value);
+                break;
+              case nn::Nonlinearity::None:
+                break;
+              default:
+                fatal("the accelerator only applies ReLU or None; "
+                      "other nonlinearities run on the host");
+            }
+            result.output_raw[row_begin + r] = value;
+        }
+    }
+    return result;
+}
+
+} // namespace eie::core

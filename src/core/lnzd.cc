@@ -1,0 +1,99 @@
+#include "core/lnzd.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace eie::core {
+
+LnzdCandidate
+lnzdSelect(std::span<const LnzdCandidate> children)
+{
+    LnzdCandidate best;
+    for (const LnzdCandidate &c : children) {
+        if (!c.valid)
+            continue;
+        if (!best.valid || c.index < best.index)
+            best = c;
+    }
+    return best;
+}
+
+LnzdTree::LnzdTree(unsigned n_leaves, unsigned fanin)
+    : n_leaves_(n_leaves), fanin_(fanin)
+{
+    panic_if(n_leaves_ == 0, "LNZD tree needs at least one leaf");
+    panic_if(fanin_ < 2, "LNZD fan-in must be >= 2");
+    node_count_ = 0;
+    depth_ = 0;
+    unsigned level = n_leaves_;
+    while (level > 1) {
+        level = static_cast<unsigned>(divCeil(level, fanin_));
+        node_count_ += level;
+        ++depth_;
+    }
+}
+
+LnzdCandidate
+LnzdTree::select(std::span<const LnzdCandidate> leaves) const
+{
+    panic_if(leaves.size() != n_leaves_,
+             "LNZD select over %zu leaves, tree has %u", leaves.size(),
+             n_leaves_);
+    std::vector<LnzdCandidate> level(leaves.begin(), leaves.end());
+    while (level.size() > 1) {
+        std::vector<LnzdCandidate> next;
+        next.reserve(divCeil(level.size(), fanin_));
+        for (std::size_t base = 0; base < level.size(); base += fanin_) {
+            const std::size_t count =
+                std::min<std::size_t>(fanin_, level.size() - base);
+            next.push_back(lnzdSelect(
+                std::span<const LnzdCandidate>(level.data() + base,
+                                               count)));
+        }
+        level = std::move(next);
+    }
+    return level.front();
+}
+
+std::vector<std::pair<std::uint32_t, std::int64_t>>
+LnzdTree::scan(const std::vector<std::int64_t> &acts, unsigned n_pe) const
+{
+    panic_if(n_pe != n_leaves_, "scan over %u PEs, tree has %u leaves",
+             n_pe, n_leaves_);
+
+    // Per-PE cursor over its local (strided) share of the vector.
+    // cursor[k] is the next global index >= k (stride n_pe) that PE k
+    // has not yet offered.
+    std::vector<std::uint64_t> cursor(n_pe);
+    for (unsigned k = 0; k < n_pe; ++k)
+        cursor[k] = k;
+
+    auto candidate = [&](unsigned k) {
+        LnzdCandidate c;
+        std::uint64_t i = cursor[k];
+        while (i < acts.size() && acts[i] == 0)
+            i += n_pe;
+        cursor[k] = i;
+        if (i < acts.size()) {
+            c.valid = true;
+            c.index = static_cast<std::uint32_t>(i);
+            c.value = acts[i];
+        }
+        return c;
+    };
+
+    std::vector<std::pair<std::uint32_t, std::int64_t>> schedule;
+    std::vector<LnzdCandidate> leaves(n_pe);
+    while (true) {
+        for (unsigned k = 0; k < n_pe; ++k)
+            leaves[k] = candidate(k);
+        const LnzdCandidate pick = select(leaves);
+        if (!pick.valid)
+            break;
+        schedule.emplace_back(pick.index, pick.value);
+        cursor[pick.index % n_pe] = pick.index + n_pe;
+    }
+    return schedule;
+}
+
+} // namespace eie::core

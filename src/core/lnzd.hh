@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Distributed leading non-zero detection (§IV, Figure 4a).
+ *
+ * Input activations are distributed across PEs (a_i lives on PE
+ * i mod N). Each group of lnzd_fanin PEs feeds an LNZD node that
+ * selects the next non-zero activation among its children; nodes form
+ * a tree (a quadtree in the paper: 16 + 4 + 1 = 21 nodes at 64 PEs)
+ * whose root is the CCU. The selected non-zero is broadcast back to
+ * every PE.
+ *
+ * The node selection logic here is structural and unit-tested; the
+ * timing model drives it through LnzdTree::scan, which produces the
+ * broadcast order (ascending activation index), and charges the tree
+ * depth as broadcast pipeline latency. The paper notes the broadcast
+ * "is not on the critical path and can be pipelined", which is why a
+ * latency + 1/cycle-throughput model is faithful.
+ */
+
+#ifndef EIE_CORE_LNZD_HH
+#define EIE_CORE_LNZD_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace eie::core {
+
+/** One candidate offered to an LNZD node. */
+struct LnzdCandidate
+{
+    bool valid = false;        ///< a non-zero is available
+    std::uint32_t index = 0;   ///< global activation index
+    std::int64_t value = 0;    ///< raw fixed-point activation value
+};
+
+/**
+ * Combinational selection of one LNZD node: the valid candidate with
+ * the smallest activation index (ascending scan order).
+ */
+LnzdCandidate lnzdSelect(std::span<const LnzdCandidate> children);
+
+/** The reduction tree over n_leaves PE candidates. */
+class LnzdTree
+{
+  public:
+    /**
+     * @param n_leaves number of PEs
+     * @param fanin    children per node (4 in the paper)
+     */
+    LnzdTree(unsigned n_leaves, unsigned fanin);
+
+    /** Total internal nodes (21 for 64 leaves at fan-in 4). */
+    unsigned nodeCount() const { return node_count_; }
+
+    /** Tree depth in node levels. */
+    unsigned depth() const { return depth_; }
+
+    /**
+     * Hierarchical selection across per-PE candidates: reduces
+     * @p leaves (one candidate per PE) level by level using
+     * lnzdSelect and returns the root's pick.
+     */
+    LnzdCandidate select(std::span<const LnzdCandidate> leaves) const;
+
+    /**
+     * Produce the full broadcast schedule for a distributed
+     * activation vector: repeatedly offer each PE's next local
+     * non-zero and take the root selection, until exhausted. The
+     * result is the (index, value) sequence the CCU broadcasts.
+     *
+     * @param acts raw activation vector (index i lives on PE i % n_pe)
+     * @param n_pe number of PEs the vector is distributed over
+     */
+    std::vector<std::pair<std::uint32_t, std::int64_t>>
+    scan(const std::vector<std::int64_t> &acts, unsigned n_pe) const;
+
+  private:
+    unsigned n_leaves_;
+    unsigned fanin_;
+    unsigned node_count_;
+    unsigned depth_;
+};
+
+} // namespace eie::core
+
+#endif // EIE_CORE_LNZD_HH

@@ -1,0 +1,80 @@
+#include "core/network_runner.hh"
+
+namespace eie::core {
+
+std::uint64_t
+NetworkResult::totalCycles() const
+{
+    std::uint64_t total = 0;
+    for (const RunStats &stats : per_layer)
+        total += stats.cycles;
+    return total;
+}
+
+double
+NetworkResult::totalTimeUs() const
+{
+    double total = 0.0;
+    for (const RunStats &stats : per_layer)
+        total += stats.timeUs();
+    return total;
+}
+
+NetworkRunner::NetworkRunner(const EieConfig &config)
+    : config_(config), accelerator_(config), functional_(config)
+{}
+
+void
+NetworkRunner::addLayer(const compress::CompressedLayer &layer,
+                        nn::Nonlinearity nonlin)
+{
+    fatal_if(!plans_.empty() &&
+             plans_.back().output_size != layer.inputSize(),
+             "layer '%s' input size %zu does not chain with previous "
+             "output size %zu", layer.name().c_str(),
+             layer.inputSize(), plans_.back().output_size);
+    plans_.push_back(planLayer(layer, nonlin, config_));
+}
+
+std::size_t
+NetworkRunner::inputSize() const
+{
+    fatal_if(plans_.empty(), "network has no layers");
+    return plans_.front().input_size;
+}
+
+std::size_t
+NetworkRunner::outputSize() const
+{
+    fatal_if(plans_.empty(), "network has no layers");
+    return plans_.back().output_size;
+}
+
+NetworkResult
+NetworkRunner::run(const std::vector<std::int64_t> &input_raw) const
+{
+    fatal_if(plans_.empty(), "network has no layers");
+
+    NetworkResult result;
+    std::vector<std::int64_t> act = input_raw;
+    for (const LayerPlan &plan : plans_) {
+        RunResult layer_result = accelerator_.run(plan, act);
+        act = std::move(layer_result.output_raw);
+        result.per_layer.push_back(layer_result.stats);
+    }
+    result.output_raw = std::move(act);
+    return result;
+}
+
+nn::Vector
+NetworkRunner::runFloat(const nn::Vector &input,
+                        NetworkResult *result_out) const
+{
+    NetworkResult result = run(functional_.quantizeInput(input));
+    nn::Vector output = functional_.dequantize(result.output_raw);
+    if (result_out)
+        *result_out = std::move(result);
+    return output;
+}
+
+} // namespace eie::core

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Multi-layer feed-forward execution on one EIE instance.
+ *
+ * §IV "Activation Read/Write": the source and destination activation
+ * register files exchange roles between layers, "thus no additional
+ * data transfer is needed to support multi-layer feed-forward
+ * computation". NetworkRunner captures that usage: compile a stack of
+ * compressed layers once, then run inputs through the whole stack
+ * with raw fixed-point activations flowing layer to layer.
+ */
+
+#ifndef EIE_CORE_NETWORK_RUNNER_HH
+#define EIE_CORE_NETWORK_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/accelerator.hh"
+#include "core/plan.hh"
+#include "nn/layer.hh"
+
+namespace eie::core {
+
+/** Per-layer and end-to-end results of one network inference. */
+struct NetworkResult
+{
+    std::vector<std::int64_t> output_raw;
+    std::vector<RunStats> per_layer;
+
+    /** Total cycles across all layers. */
+    std::uint64_t totalCycles() const;
+
+    /** End-to-end latency in microseconds. */
+    double totalTimeUs() const;
+};
+
+/** A compiled stack of compressed FC layers. */
+class NetworkRunner
+{
+  public:
+    explicit NetworkRunner(const EieConfig &config);
+
+    /**
+     * Append a layer (compiled immediately). The layer object must
+     * outlive the runner. Layer input sizes must chain: the first
+     * layer defines the network input size, each further layer's
+     * input must equal the previous layer's output.
+     */
+    void addLayer(const compress::CompressedLayer &layer,
+                  nn::Nonlinearity nonlin);
+
+    /** Number of layers added. */
+    std::size_t layerCount() const { return plans_.size(); }
+
+    std::size_t inputSize() const;
+    std::size_t outputSize() const;
+
+    /** Run one input through the whole stack (raw fixed point). */
+    NetworkResult run(const std::vector<std::int64_t> &input_raw) const;
+
+    /** Float convenience wrapper. */
+    nn::Vector runFloat(const nn::Vector &input,
+                        NetworkResult *result_out = nullptr) const;
+
+  private:
+    EieConfig config_;
+    Accelerator accelerator_;
+    FunctionalModel functional_;
+    std::vector<LayerPlan> plans_;
+};
+
+} // namespace eie::core
+
+#endif // EIE_CORE_NETWORK_RUNNER_HH

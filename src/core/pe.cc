@@ -1,0 +1,184 @@
+#include "core/pe.hh"
+
+namespace eie::core {
+
+Pe::Pe(unsigned index, const EieConfig &config, const Ccu &ccu,
+       sim::StatGroup &parent)
+    : sim::Module("pe" + std::to_string(index)),
+      index_(index), n_pe_(config.n_pe),
+      stats_("pe" + std::to_string(index), &parent),
+      queue_(config.fifo_depth),
+      ptr_(config, stats_),
+      spmat_(config, stats_),
+      arith_(config, stats_),
+      act_rw_(config, stats_),
+      ccu_(ccu),
+      busy_(stats_.counter("busy_cycles", "cycles with an ALU issue")),
+      starved_(stats_.counter("starved_cycles",
+                              "bubble cycles with no work available")),
+      hazard_stalls_(stats_.counter("hazard_stalls",
+                                    "issues blocked by an accumulator "
+                                    "hazard (bypass disabled)")),
+      fetch_stalls_(stats_.counter("fetch_stalls",
+                                   "cycles waiting on a Spmat row "
+                                   "fetch")),
+      queue_pushes_(stats_.counter("queue_pushes",
+                                   "broadcasts accepted into the "
+                                   "activation queue"))
+{}
+
+void
+Pe::loadTile(const compress::PeSlice &slice,
+             const compress::Codebook &codebook, bool batch_start)
+{
+    spmat_.loadEntries(slice.entries());
+    ptr_.loadPointers(slice.colPtr());
+    codebook_ = &codebook;
+
+    // Account this PE's share of the pass's input vector: the LNZD
+    // scan walks it once per pass. PE k holds activations k, k+N, ...
+    const std::size_t pass_cols = slice.colPtr().size() - 1;
+    const std::size_t share = pass_cols > index_
+        ? (pass_cols - index_ + n_pe_ - 1) / n_pe_
+        : 0;
+    act_rw_.loadSourceShare(share);
+
+    queue_.clear();
+    desc_state_ = DescState::Empty;
+    row_accum_ = -1;
+    act_value_ = 0;
+    stashed_bcast_ = Broadcast{};
+    mode_ = Mode::Compute;
+
+    if (batch_start)
+        arith_.configureBatch(slice.localRows());
+}
+
+bool
+Pe::idle() const
+{
+    return queue_.empty() && desc_state_ == DescState::Empty &&
+        !spmat_.columnActive() && !ptr_.busy() && arith_.pipelineEmpty();
+}
+
+void
+Pe::startBatchDrain()
+{
+    mode_ = Mode::Drain;
+    act_rw_.startDrain(arith_.accumulators());
+}
+
+void
+Pe::propagate()
+{
+    // Sample the broadcast wire (driven by the CCU, which is
+    // registered before every PE).
+    stashed_bcast_ = ccu_.broadcastOut();
+}
+
+std::uint64_t
+Pe::actReads() const
+{
+    return act_rw_.reads() + stats_.value("act_scan_reads");
+}
+
+void
+Pe::computeCycle()
+{
+    // 1. Accept the broadcast. The CCU's flow control guarantees
+    //    space (it gates on the same registered occupancy the FIFO
+    //    checks), so a push into a full queue is a modelling bug and
+    //    panics inside the FIFO.
+    if (stashed_bcast_.valid) {
+        queue_.push({stashed_bcast_.col, stashed_bcast_.value});
+        ++queue_pushes_;
+    }
+
+    // 2. Issue one entry from the active column.
+    bool busy = false;
+    bool stalled = false;
+    if (spmat_.columnActive()) {
+        if (spmat_.entryReady()) {
+            const compress::CscEntry entry = spmat_.peekEntry();
+            const auto local_row = static_cast<std::uint32_t>(
+                row_accum_ + entry.zero_count + 1);
+            if (arith_.canIssue(local_row)) {
+                spmat_.consumeEntry();
+                arith_.issue(entry.weight_index, local_row, act_value_,
+                             *codebook_);
+                row_accum_ = local_row;
+                ++macs_issued_;
+                busy = true;
+                ++busy_;
+            } else {
+                ++hazard_stalls_;
+                stalled = true;
+            }
+        } else {
+            ++fetch_stalls_;
+            stalled = true;
+        }
+    }
+
+    // 3. Capture pointer data into the descriptor buffer.
+    if (desc_state_ == DescState::Waiting && ptr_.ready()) {
+        const auto [begin, end] = ptr_.pointers();
+        desc_begin_ = begin;
+        desc_end_ = end;
+        desc_state_ = DescState::Ready;
+        ptr_reads_seen_ += 2; // one read in each bank
+    }
+
+    // 4. Column switch once the active column is exhausted. The PE
+    //    "processes the activation at the head of its queue" (§IV):
+    //    the head entry is retired only when its column becomes the
+    //    active one, so a depth-1 queue really holds just the column
+    //    in flight.
+    bool popped_this_cycle = false;
+    if (!spmat_.columnActive() && desc_state_ == DescState::Ready) {
+        spmat_.startColumn(desc_begin_, desc_end_);
+        act_value_ = desc_value_;
+        row_accum_ = -1;
+        desc_state_ = DescState::Empty;
+        queue_.pop();
+        popped_this_cycle = true;
+    }
+
+    // 5. Start the pointer lookup for the column at the queue head
+    //    (overlapped with the tail of the active column). The pop
+    //    from step 4 commits at the clock edge, so the new head is
+    //    only visible — and claimable — next cycle.
+    if (desc_state_ == DescState::Empty && !popped_this_cycle &&
+        !queue_.empty() && !ptr_.busy()) {
+        const QueuedAct &head = queue_.front();
+        ptr_.request(head.col);
+        desc_value_ = head.value;
+        desc_state_ = DescState::Waiting;
+    }
+
+    // 6. Row-buffer prefetch (current column first, then the next
+    //    descriptor's head row).
+    spmat_.prefetch(desc_state_ == DescState::Ready, desc_begin_,
+                    desc_end_);
+
+    if (!busy && !stalled)
+        ++starved_;
+}
+
+void
+Pe::update()
+{
+    if (mode_ == Mode::Compute) {
+        computeCycle();
+    } else if (act_rw_.draining()) {
+        act_rw_.drainCycle();
+    }
+
+    queue_.tick();
+    ptr_.tick();
+    spmat_.tick();
+    arith_.tick();
+    act_rw_.tick();
+}
+
+} // namespace eie::core

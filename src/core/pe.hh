@@ -1,0 +1,159 @@
+/**
+ * @file
+ * One EIE Processing Element (§IV, Figure 4b).
+ *
+ * Per-cycle behaviour (all sequential work happens in update(); the
+ * only combinational input is the CCU broadcast wire sampled in
+ * propagate()):
+ *
+ *  1. Accept the broadcast (a_j, j) into the activation queue.
+ *  2. Issue one (v, x) entry of the active column into the 4-stage
+ *     arithmetic pipeline (codebook decode + address accumulation,
+ *     destination read + multiply, shift-add, destination write).
+ *  3. Capture pointer-read data into the column descriptor buffer.
+ *  4. When the active column is exhausted and a descriptor is ready,
+ *     switch to the new column.
+ *  5. Pop the queue head and issue the banked pointer reads for the
+ *     next column (overlapped with the current column's tail).
+ *  6. Run the Spmat row-buffer prefetch policy.
+ *
+ * The one-entry descriptor buffer plus cross-column row prefetch keep
+ * the arithmetic unit fed at one entry per cycle in the steady state,
+ * so remaining bubbles are starvation — the quantity Figures 8/13
+ * measure.
+ */
+
+#ifndef EIE_CORE_PE_HH
+#define EIE_CORE_PE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/interleaved.hh"
+#include "core/act_rw.hh"
+#include "core/arith.hh"
+#include "core/ccu.hh"
+#include "core/config.hh"
+#include "core/ptr_read.hh"
+#include "core/spmat_read.hh"
+#include "sim/fifo.hh"
+#include "sim/module.hh"
+#include "sim/stats.hh"
+
+namespace eie::core {
+
+/** A broadcast activation waiting in a PE's queue. */
+struct QueuedAct
+{
+    std::uint32_t col = 0;
+    std::int64_t value = 0;
+};
+
+/** One processing element. */
+class Pe : public sim::Module
+{
+  public:
+    /**
+     * @param index  PE number (owns rows i with i % n_pe == index)
+     * @param config machine configuration
+     * @param ccu    broadcast source
+     * @param parent statistics tree root
+     */
+    Pe(unsigned index, const EieConfig &config, const Ccu &ccu,
+       sim::StatGroup &parent);
+
+    /**
+     * Load one tile's slice (I/O mode).
+     *
+     * @param slice        this PE's interleaved-CSC share
+     * @param codebook     shared-weight table
+     * @param batch_start  true on the first pass of a row batch:
+     *                     resizes and zeroes the accumulators
+     */
+    void loadTile(const compress::PeSlice &slice,
+                  const compress::Codebook &codebook, bool batch_start);
+
+    /** Registered queue-full state (CCU flow control). */
+    bool queueFull() const { return queue_.full(); }
+
+    /** All work for the current pass finished. */
+    bool idle() const;
+
+    /** Apply ReLU to the accumulators (end of the final pass). */
+    void applyRelu() { arith_.applyRelu(); }
+
+    /** Begin draining the batch accumulators to the act SRAM. */
+    void startBatchDrain();
+
+    /** True while drain writes remain. */
+    bool draining() const { return act_rw_.draining(); }
+
+    /** Values committed by the last drain (local row order). */
+    const std::vector<std::int64_t> &
+    drainedValues() const
+    {
+        return act_rw_.drained();
+    }
+
+    void propagate() override;
+    void update() override;
+
+    /** @name Statistics accessors for RunStats assembly. */
+    ///@{
+    std::uint64_t busyCycles() const { return busy_.value(); }
+    std::uint64_t starvedCycles() const { return starved_.value(); }
+    std::uint64_t hazardStalls() const { return hazard_stalls_.value(); }
+    std::uint64_t fetchStalls() const { return fetch_stalls_.value(); }
+    std::uint64_t macs() const { return macs_issued_; }
+    std::uint64_t spmatRowFetches() const { return spmat_.rowFetches(); }
+    std::uint64_t ptrReads() const { return ptr_reads_seen_; }
+    std::uint64_t actReads() const;
+    std::uint64_t actWrites() const { return act_rw_.writes(); }
+    ///@}
+
+  private:
+    enum class DescState { Empty, Waiting, Ready };
+    enum class Mode { Compute, Drain };
+
+    void computeCycle();
+
+    unsigned index_;
+    unsigned n_pe_;
+
+    sim::StatGroup stats_;
+    sim::Fifo<QueuedAct> queue_;
+    PointerReadUnit ptr_;
+    SpmatReadUnit spmat_;
+    ArithmeticUnit arith_;
+    ActRwUnit act_rw_;
+
+    const Ccu &ccu_;
+    const compress::Codebook *codebook_ = nullptr;
+
+    Broadcast stashed_bcast_;
+
+    // Active-column walk state.
+    std::int64_t row_accum_ = -1;   ///< address-accumulation register
+    std::int64_t act_value_ = 0;    ///< activation driving this column
+
+    // One-entry column descriptor buffer.
+    DescState desc_state_ = DescState::Empty;
+    std::uint32_t desc_begin_ = 0;
+    std::uint32_t desc_end_ = 0;
+    std::int64_t desc_value_ = 0;
+
+    Mode mode_ = Mode::Compute;
+
+    std::uint64_t macs_issued_ = 0;
+    std::uint64_t ptr_reads_seen_ = 0;
+
+    sim::Counter &busy_;
+    sim::Counter &starved_;
+    sim::Counter &hazard_stalls_;
+    sim::Counter &fetch_stalls_;
+    sim::Counter &queue_pushes_;
+};
+
+} // namespace eie::core
+
+#endif // EIE_CORE_PE_HH

@@ -1,0 +1,137 @@
+#include "core/plan.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+
+namespace eie::core {
+
+std::uint64_t
+LayerPlan::totalEntries() const
+{
+    std::uint64_t total = 0;
+    for (const auto &row : tiles)
+        for (const Tile &tile : row)
+            total += tile.storage.totalEntries();
+    return total;
+}
+
+std::uint64_t
+LayerPlan::paddingEntries() const
+{
+    std::uint64_t total = 0;
+    for (const auto &row : tiles)
+        for (const Tile &tile : row)
+            total += tile.storage.paddingEntries();
+    return total;
+}
+
+double
+LayerPlan::realWorkRatio() const
+{
+    const std::uint64_t total = totalEntries();
+    return total == 0 ? 1.0
+        : static_cast<double>(total - paddingEntries()) /
+          static_cast<double>(total);
+}
+
+namespace {
+
+/** Split [0, size) into ranges of at most @p max_chunk. */
+std::vector<std::size_t>
+splitBoundaries(std::size_t size, std::size_t max_chunk)
+{
+    std::vector<std::size_t> boundaries{0};
+    while (boundaries.back() < size)
+        boundaries.push_back(
+            std::min(size, boundaries.back() + max_chunk));
+    return boundaries;
+}
+
+} // namespace
+
+LayerPlan
+planLayer(const compress::CompressedLayer &layer, nn::Nonlinearity nonlin,
+          const EieConfig &config)
+{
+    config.validate();
+
+    LayerPlan plan;
+    plan.name = layer.name();
+    plan.input_size = layer.inputSize();
+    plan.output_size = layer.outputSize();
+    plan.nonlin = nonlin;
+    plan.n_pe = config.n_pe;
+
+    // Row batches: regfile_entries outputs per PE per batch.
+    const std::size_t rows_per_batch =
+        static_cast<std::size_t>(config.regfile_entries) * config.n_pe;
+    const auto row_bounds =
+        splitBoundaries(layer.outputSize(), rows_per_batch);
+
+    // Column passes: pointer SRAM holds cols+1 pointers, and each PE's
+    // activation SRAM must hold its share of the pass's input slice.
+    const std::size_t ptr_cols =
+        config.ptr_capacity > 1 ? config.ptr_capacity - 1
+                                : std::size_t{1};
+    const std::size_t act_cols =
+        static_cast<std::size_t>(config.act_sram_entries) * config.n_pe;
+    const std::size_t cols_per_pass = std::max<std::size_t>(
+        1, std::min(ptr_cols, act_cols));
+    const auto col_bounds =
+        splitBoundaries(layer.inputSize(), cols_per_pass);
+
+    const nn::SparseMatrix &weights = layer.quantizedWeights();
+    const auto batches = weights.rowPartition(row_bounds);
+
+    compress::InterleaveOptions iopts;
+    iopts.n_pe = config.n_pe;
+
+    for (std::size_t b = 0; b + 1 < row_bounds.size(); ++b) {
+        std::vector<Tile> row_tiles;
+        for (std::size_t p = 0; p + 1 < col_bounds.size(); ++p) {
+            nn::SparseMatrix tile_weights =
+                col_bounds.size() > 2
+                    ? batches[b].colSlice(col_bounds[p], col_bounds[p + 1])
+                    : std::move(batches[b]);
+            compress::InterleavedCsc storage(tile_weights,
+                                             layer.codebook(), iopts);
+
+            // Capacity checks against the per-PE SRAM budgets.
+            std::size_t max_entries = 0;
+            for (unsigned k = 0; k < config.n_pe; ++k)
+                max_entries = std::max(
+                    max_entries, storage.pe(k).totalEntries());
+            // Hardware pointer registers are 16 bits (§IV "Pointer
+            // Read Unit"); entry-granular pointers address at most
+            // 64K entries per slice.
+            if (max_entries > mask(16)) {
+                warn("layer '%s' tile (%zu,%zu): largest PE slice "
+                     "(%zu entries) exceeds the 16-bit pointer range; "
+                     "row-granular pointers would be needed",
+                     plan.name.c_str(), b, p, max_entries);
+            }
+            if (max_entries > config.spmat_capacity_entries) {
+                if (config.enforce_capacity) {
+                    fatal("layer '%s' tile (%zu,%zu): largest PE "
+                          "slice needs %zu Spmat entries, capacity "
+                          "is %u", plan.name.c_str(), b, p,
+                          max_entries, config.spmat_capacity_entries);
+                }
+                warn("layer '%s' tile (%zu,%zu): largest PE slice "
+                     "exceeds Spmat capacity (%zu > %u); continuing "
+                     "(relaxed mode)", plan.name.c_str(), b, p,
+                     max_entries, config.spmat_capacity_entries);
+            }
+
+            row_tiles.push_back(Tile{
+                row_bounds[b], row_bounds[b + 1],
+                col_bounds[p], col_bounds[p + 1],
+                std::move(storage)});
+        }
+        plan.tiles.push_back(std::move(row_tiles));
+    }
+    return plan;
+}
+
+} // namespace eie::core

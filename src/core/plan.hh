@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The EIE compiler/scheduler: maps a compressed FC layer onto an EIE
+ * configuration as a grid of tiles.
+ *
+ * Two structural limits force tiling (§IV, §VII-C "Flexibility"):
+ *
+ *  - Row batches: each PE accumulates at most regfile_entries output
+ *    activations per batch (64 in the paper — 4K outputs across
+ *    64 PEs). Layers with more outputs (NT-Wd: 8791) run as several
+ *    batches; the input is re-scanned per batch and results drain to
+ *    the activation SRAM between batches.
+ *  - Column passes: each PE's pointer SRAM holds ptr_capacity 16-bit
+ *    pointers; layers with more input columns (VGG-6: 25088) run as
+ *    several passes over column ranges, accumulators persisting
+ *    across passes. This is how "EIE is still able to execute them
+ *    with 64 PEs".
+ *
+ * Each tile is independently encoded in the interleaved CSC format
+ * (rows rebased within the batch, columns within the pass), which is
+ * the image the DMA would load in I/O mode.
+ */
+
+#ifndef EIE_CORE_PLAN_HH
+#define EIE_CORE_PLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "compress/compressed_layer.hh"
+#include "core/config.hh"
+#include "nn/layer.hh"
+
+namespace eie::core {
+
+/** One row-batch x column-pass unit of accelerator work. */
+struct Tile
+{
+    std::size_t row_begin = 0; ///< global output rows [row_begin,
+    std::size_t row_end = 0;   ///<                     row_end)
+    std::size_t col_begin = 0; ///< global input columns [col_begin,
+    std::size_t col_end = 0;   ///<                       col_end)
+    compress::InterleavedCsc storage; ///< per-PE SRAM image
+};
+
+/** A compiled layer: tiles[batch][pass]. */
+struct LayerPlan
+{
+    std::string name;
+    std::size_t input_size = 0;
+    std::size_t output_size = 0;
+    nn::Nonlinearity nonlin = nn::Nonlinearity::ReLU;
+    unsigned n_pe = 0;
+    std::vector<std::vector<Tile>> tiles;
+
+    /** Number of row batches. */
+    std::size_t batches() const { return tiles.size(); }
+
+    /** Number of column passes per batch. */
+    std::size_t
+    passes() const
+    {
+        return tiles.empty() ? 0 : tiles.front().size();
+    }
+
+    /** Stored entries (incl. padding) summed over all tiles. */
+    std::uint64_t totalEntries() const;
+
+    /** Padding entries summed over all tiles. */
+    std::uint64_t paddingEntries() const;
+
+    /** Figure 12's real-work ratio for the whole plan. */
+    double realWorkRatio() const;
+};
+
+/**
+ * Compile @p layer for @p config.
+ *
+ * @param layer   the compressed layer (weights already quantised)
+ * @param nonlin  non-linearity the accelerator applies on drain
+ *                (ReLU in hardware; None for LSTM pre-activations,
+ *                whose gates run on the host)
+ */
+LayerPlan planLayer(const compress::CompressedLayer &layer,
+                    nn::Nonlinearity nonlin, const EieConfig &config);
+
+} // namespace eie::core
+
+#endif // EIE_CORE_PLAN_HH

@@ -1,0 +1,64 @@
+#include "core/ptr_read.hh"
+
+#include "common/bits.hh"
+
+namespace eie::core {
+
+PointerReadUnit::PointerReadUnit(const EieConfig &config,
+                                 sim::StatGroup &stats)
+    : even_bank_("ptr_even",
+                 std::max<std::size_t>(1, divCeil(config.ptr_capacity, 2)),
+                 stats),
+      odd_bank_("ptr_odd",
+                std::max<std::size_t>(1, divCeil(config.ptr_capacity, 2)),
+                stats)
+{}
+
+void
+PointerReadUnit::loadPointers(const std::vector<std::uint32_t> &col_ptr)
+{
+    panic_if(col_ptr.size() < 2, "pointer array needs >= 2 entries");
+    // p[j] lives in bank (j % 2) at word (j / 2).
+    for (std::size_t j = 0; j < col_ptr.size(); ++j) {
+        if (j % 2 == 0)
+            even_bank_.load(j / 2, col_ptr[j]);
+        else
+            odd_bank_.load(j / 2, col_ptr[j]);
+    }
+    columns_loaded_ = static_cast<std::uint32_t>(col_ptr.size() - 1);
+    busy_ = false;
+    ready_ = false;
+}
+
+void
+PointerReadUnit::request(std::uint32_t col)
+{
+    panic_if(busy_, "pointer request while another is in flight");
+    panic_if(col >= columns_loaded_, "column %u out of %u loaded", col,
+             columns_loaded_);
+    // start = p[col], end = p[col+1]: always in opposite banks.
+    even_bank_.read((col + (col % 2)) / 2);
+    odd_bank_.read(col / 2);
+    pending_even_is_start_ = (col % 2 == 0);
+    busy_ = true;
+    ready_ = false;
+}
+
+void
+PointerReadUnit::tick()
+{
+    even_bank_.tick();
+    odd_bank_.tick();
+    if (busy_) {
+        const auto even_val =
+            static_cast<std::uint32_t>(even_bank_.dataOut());
+        const auto odd_val =
+            static_cast<std::uint32_t>(odd_bank_.dataOut());
+        start_ = pending_even_is_start_ ? even_val : odd_val;
+        end_ = pending_even_is_start_ ? odd_val : even_val;
+        busy_ = false;
+        ready_ = true;
+    }
+}
+
+} // namespace eie::core

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Pointer Read Unit (§IV): looks up the start and end pointers p_j and
+ * p_{j+1} of the queued column. "To allow both pointers to be read in
+ * one cycle using single-ported SRAM arrays, we store pointers in two
+ * SRAM banks and use the LSB of the address to select between banks.
+ * p_j and p_{j+1} will always be in different banks."
+ */
+
+#ifndef EIE_CORE_PTR_READ_HH
+#define EIE_CORE_PTR_READ_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/config.hh"
+#include "sim/sram.hh"
+#include "sim/stats.hh"
+
+namespace eie::core {
+
+/** Banked pointer lookup with single-cycle (synchronous SRAM) latency. */
+class PointerReadUnit
+{
+  public:
+    PointerReadUnit(const EieConfig &config, sim::StatGroup &stats);
+
+    /** Backdoor-load a column pointer array (length cols+1). */
+    void loadPointers(const std::vector<std::uint32_t> &col_ptr);
+
+    /**
+     * Issue the banked reads for column @p col this cycle; both
+     * pointers are available through pointers() after the clock edge.
+     */
+    void request(std::uint32_t col);
+
+    /** True while a request is in flight (data not yet available). */
+    bool busy() const { return busy_; }
+
+    /** True when the requested pointer pair is available. */
+    bool ready() const { return ready_; }
+
+    /** The (start, end) entry indices of the requested column. */
+    std::pair<std::uint32_t, std::uint32_t>
+    pointers() const
+    {
+        panic_if(!ready_, "pointer data not ready");
+        return {start_, end_};
+    }
+
+    /** Clock edge. */
+    void tick();
+
+  private:
+    sim::Sram even_bank_;
+    sim::Sram odd_bank_;
+    std::uint32_t columns_loaded_ = 0;
+    bool busy_ = false;
+    bool ready_ = false;
+    bool pending_even_is_start_ = false;
+    std::uint32_t start_ = 0;
+    std::uint32_t end_ = 0;
+};
+
+} // namespace eie::core
+
+#endif // EIE_CORE_PTR_READ_HH

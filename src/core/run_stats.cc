@@ -1,0 +1,53 @@
+#include "core/run_stats.hh"
+
+#include <numeric>
+
+namespace eie::core {
+
+double
+RunStats::loadBalance() const
+{
+    if (cycles == 0 || n_pe == 0)
+        return 1.0;
+    const std::uint64_t busy =
+        std::accumulate(pe_busy.begin(), pe_busy.end(), std::uint64_t{0});
+    return static_cast<double>(busy) /
+        (static_cast<double>(n_pe) * static_cast<double>(cycles));
+}
+
+double
+RunStats::timeUs() const
+{
+    return clock_ghz <= 0.0 ? 0.0
+        : static_cast<double>(cycles) / (clock_ghz * 1e3);
+}
+
+double
+RunStats::theoreticalTimeUs() const
+{
+    return clock_ghz <= 0.0 ? 0.0
+        : static_cast<double>(theoretical_cycles) / (clock_ghz * 1e3);
+}
+
+double
+RunStats::actualOverTheoretical() const
+{
+    return theoretical_cycles == 0 ? 0.0
+        : static_cast<double>(cycles) /
+          static_cast<double>(theoretical_cycles);
+}
+
+void
+RunStats::print(std::ostream &os) const
+{
+    os << "cycles=" << cycles << " (compute=" << compute_cycles
+       << ", drain=" << drain_cycles << ")"
+       << " time_us=" << timeUs()
+       << " broadcasts=" << broadcasts
+       << " entries=" << total_entries
+       << " (padding=" << padding_entries << ")"
+       << " load_balance=" << loadBalance()
+       << " actual/theoretical=" << actualOverTheoretical() << "\n";
+}
+
+} // namespace eie::core

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Aggregated results of one accelerator run: the output vector plus
+ * all cycle, work, traffic and balance statistics the paper's
+ * evaluation reports.
+ */
+
+#ifndef EIE_CORE_RUN_STATS_HH
+#define EIE_CORE_RUN_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace eie::core {
+
+/** Timing/traffic statistics of one layer execution. */
+struct RunStats
+{
+    unsigned n_pe = 0;
+    double clock_ghz = 0.0;
+
+    std::uint64_t cycles = 0;          ///< total (compute + drain)
+    std::uint64_t compute_cycles = 0;  ///< broadcast/MAC phase
+    std::uint64_t drain_cycles = 0;    ///< batch write-back phase
+
+    std::uint64_t broadcasts = 0;      ///< non-zero activations sent
+    std::uint64_t gated_cycles = 0;    ///< broadcast gated (queue full)
+
+    std::uint64_t total_entries = 0;   ///< MACs issued (incl. padding)
+    std::uint64_t padding_entries = 0; ///< padding-zero MACs
+
+    std::uint64_t hazard_stalls = 0;   ///< accumulator-hazard bubbles
+    std::uint64_t fetch_stalls = 0;    ///< Spmat-fetch-wait bubbles
+    std::uint64_t starved_cycles = 0;  ///< no-work bubbles
+
+    std::vector<std::uint64_t> pe_busy; ///< per-PE ALU-issue cycles
+
+    std::uint64_t ptr_sram_reads = 0;
+    std::uint64_t spmat_row_fetches = 0;
+    std::uint64_t act_sram_reads = 0;
+    std::uint64_t act_sram_writes = 0;
+
+    /** Perfect-balance lower bound: ceil(total_entries / n_pe). */
+    std::uint64_t theoretical_cycles = 0;
+
+    /** Figure 8/13 metric: mean ALU-busy fraction over the run. */
+    double loadBalance() const;
+
+    /** Wall-clock time at the configured frequency, microseconds. */
+    double timeUs() const;
+
+    /** Theoretical (perfectly balanced) time, microseconds. */
+    double theoreticalTimeUs() const;
+
+    /** Actual over theoretical cycle ratio (§VI-A: about 1.1). */
+    double actualOverTheoretical() const;
+
+    /** One-line human-readable summary. */
+    void print(std::ostream &os) const;
+};
+
+/** Output vector plus statistics. */
+struct RunResult
+{
+    std::vector<std::int64_t> output_raw;
+    RunStats stats;
+};
+
+} // namespace eie::core
+
+#endif // EIE_CORE_RUN_STATS_HH

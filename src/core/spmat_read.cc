@@ -1,0 +1,146 @@
+#include "core/spmat_read.hh"
+
+namespace eie::core {
+
+SpmatReadUnit::SpmatReadUnit(const EieConfig &config,
+                             sim::StatGroup &stats)
+    : entries_per_row_(config.entriesPerSpmatRow()),
+      fetches_(stats.counter("spmat_row_fetches",
+                             "wide Spmat SRAM row fetches"))
+{
+    panic_if(entries_per_row_ == 0, "Spmat row narrower than one entry");
+}
+
+void
+SpmatReadUnit::loadEntries(std::vector<compress::CscEntry> entries)
+{
+    entries_ = std::move(entries);
+    cur_ = 0;
+    end_ = 0;
+    slot_ = {-1, -1};
+    inflight_ = -1;
+}
+
+std::int64_t
+SpmatReadUnit::rowOf(std::uint64_t entry) const
+{
+    return static_cast<std::int64_t>(entry / entries_per_row_);
+}
+
+bool
+SpmatReadUnit::buffered(std::int64_t row) const
+{
+    return slot_[0] == row || slot_[1] == row;
+}
+
+int
+SpmatReadUnit::freeSlot() const
+{
+    if (slot_[0] < 0)
+        return 0;
+    if (slot_[1] < 0)
+        return 1;
+    return -1;
+}
+
+void
+SpmatReadUnit::evictBefore(std::int64_t row)
+{
+    for (auto &s : slot_)
+        if (s >= 0 && s < row)
+            s = -1;
+}
+
+void
+SpmatReadUnit::startColumn(std::uint32_t begin, std::uint32_t end)
+{
+    panic_if(columnActive(), "startColumn while a column is active");
+    panic_if(begin > end || end > entries_.size(),
+             "bad column range [%u,%u) of %zu entries", begin, end,
+             entries_.size());
+    cur_ = begin;
+    end_ = end;
+    if (columnActive())
+        evictBefore(rowOf(cur_));
+}
+
+bool
+SpmatReadUnit::entryReady() const
+{
+    return columnActive() && buffered(rowOf(cur_));
+}
+
+compress::CscEntry
+SpmatReadUnit::peekEntry() const
+{
+    panic_if(!entryReady(), "peekEntry with no ready entry");
+    return entries_[cur_];
+}
+
+void
+SpmatReadUnit::consumeEntry()
+{
+    panic_if(!entryReady(), "consumeEntry with no ready entry");
+    const std::int64_t old_row = rowOf(cur_);
+    ++cur_;
+    // Crossing into the next row retires the old one (unless the
+    // column ended inside it, in which case it may still serve the
+    // next column).
+    if (columnActive() && rowOf(cur_) != old_row)
+        evictBefore(rowOf(cur_));
+}
+
+void
+SpmatReadUnit::tryFetch(std::int64_t row)
+{
+    if (buffered(row) || inflight_ == row)
+        return;
+    if (freeSlot() < 0)
+        return;
+    inflight_ = row;
+    ++fetches_;
+}
+
+void
+SpmatReadUnit::prefetch(bool next_known, std::uint32_t next_begin,
+                        std::uint32_t next_end)
+{
+    if (inflight_ >= 0)
+        return; // one fetch in flight at a time
+
+    if (columnActive()) {
+        const std::int64_t need = rowOf(cur_);
+        if (!buffered(need)) {
+            tryFetch(need);
+            return;
+        }
+        const std::int64_t last = rowOf(end_ - 1);
+        if (last > need) {
+            // Stay one row ahead within the column.
+            if (!buffered(need + 1)) {
+                tryFetch(need + 1);
+                return;
+            }
+            if (need + 1 < last)
+                return; // plenty left; don't spill into next column yet
+        }
+    }
+
+    // Current column covered (or idle): prefetch the head of the next
+    // queued column if the front end already knows it.
+    if (next_known && next_begin < next_end)
+        tryFetch(rowOf(next_begin));
+}
+
+void
+SpmatReadUnit::tick()
+{
+    if (inflight_ >= 0) {
+        const int free = freeSlot();
+        panic_if(free < 0, "row fetch landed with no free buffer slot");
+        slot_[static_cast<std::size_t>(free)] = inflight_;
+        inflight_ = -1;
+    }
+}
+
+} // namespace eie::core

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Sparse Matrix Read Unit (§IV): streams this PE's (v, x) entries of
+ * the active column out of the Spmat SRAM.
+ *
+ * The SRAM has a wide interface (64 bits in the paper = 8 entries per
+ * row; Figure 9 sweeps 32..512 bits). "A single (v, x) entry is
+ * provided to the arithmetic unit each cycle"; in the steady state the
+ * SRAM is therefore accessed once every (width/8) cycles. The unit
+ * holds a two-slot row buffer and prefetches the next needed row —
+ * including across column boundaries and into the next queued column —
+ * so the single read port sustains one entry per cycle.
+ *
+ * Entry rows are retained across column switches: when the broadcast
+ * skips zero-activation columns, the next active column's entries
+ * often sit in an already-fetched row (and conversely, wide rows
+ * fetch entries that are wasted when the following column is skipped,
+ * which is the Figure 9 waste effect).
+ */
+
+#ifndef EIE_CORE_SPMAT_READ_HH
+#define EIE_CORE_SPMAT_READ_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "compress/interleaved.hh"
+#include "core/config.hh"
+#include "sim/stats.hh"
+
+namespace eie::core {
+
+/** Wide-SRAM entry streamer with double row buffering. */
+class SpmatReadUnit
+{
+  public:
+    SpmatReadUnit(const EieConfig &config, sim::StatGroup &stats);
+
+    /** Backdoor-load this PE's entry stream (I/O mode DMA). */
+    void loadEntries(std::vector<compress::CscEntry> entries);
+
+    /** Begin walking entries [begin, end) of the newly active column;
+     *  evicts row-buffer slots that precede the new position. */
+    void startColumn(std::uint32_t begin, std::uint32_t end);
+
+    /** Entries remain to be consumed in the active column. */
+    bool columnActive() const { return cur_ < end_; }
+
+    /** The next entry's SRAM row is buffered (consumable this cycle). */
+    bool entryReady() const;
+
+    /** Look at the next entry; requires entryReady(). */
+    compress::CscEntry peekEntry() const;
+
+    /** Consume the next entry; requires entryReady(). */
+    void consumeEntry();
+
+    /**
+     * Per-cycle prefetch policy: issue at most one row fetch, keeping
+     * the double buffer ahead of consumption, then spilling into the
+     * next queued column once the current one is covered.
+     *
+     * @param next_known whether the front-end already knows the next
+     *                   column's entry range
+     * @param next_begin first entry index of that next column
+     * @param next_end   one past its last entry index
+     */
+    void prefetch(bool next_known, std::uint32_t next_begin,
+                  std::uint32_t next_end);
+
+    /** Clock edge: land the in-flight row fetch. */
+    void tick();
+
+    /** Wide-row fetches performed (Figure 9's read count). */
+    std::uint64_t rowFetches() const { return fetches_.value(); }
+
+  private:
+    std::int64_t rowOf(std::uint64_t entry) const;
+    bool buffered(std::int64_t row) const;
+    int freeSlot() const;
+    void evictBefore(std::int64_t row);
+    void tryFetch(std::int64_t row);
+
+    unsigned entries_per_row_;
+    std::vector<compress::CscEntry> entries_;
+    std::uint32_t cur_ = 0;
+    std::uint32_t end_ = 0;
+    std::array<std::int64_t, 2> slot_{-1, -1}; ///< buffered row ids
+    std::int64_t inflight_ = -1;               ///< row id being fetched
+
+    sim::Counter &fetches_;
+};
+
+} // namespace eie::core
+
+#endif // EIE_CORE_SPMAT_READ_HH

@@ -1,0 +1,53 @@
+#include "energy/op_energy.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace eie::energy {
+
+namespace {
+
+/** Calibrated multiplier width exponent: 3.1 * (16/32)^a = 0.62. */
+constexpr double mult_exponent = 2.3219281; // log2(5)
+
+double
+widthRatio(unsigned bits)
+{
+    fatal_if(bits == 0 || bits > 64, "unsupported width %u", bits);
+    return static_cast<double>(bits) / 32.0;
+}
+
+} // namespace
+
+double
+OpEnergy::intAdd(unsigned bits)
+{
+    return int_add_32 * widthRatio(bits);
+}
+
+double
+OpEnergy::intMult(unsigned bits)
+{
+    return int_mult_32 * std::pow(widthRatio(bits), mult_exponent);
+}
+
+double
+OpEnergy::floatMult(unsigned bits)
+{
+    return float_mult_32 * std::pow(widthRatio(bits), mult_exponent);
+}
+
+double
+OpEnergy::floatAdd(unsigned bits)
+{
+    return float_add_32 * widthRatio(bits);
+}
+
+double
+OpEnergy::dramRead(unsigned bits)
+{
+    return dram_read_32b * widthRatio(bits);
+}
+
+} // namespace eie::energy

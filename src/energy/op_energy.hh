@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Operation energy model for a 45 nm CMOS process — Table I of the
+ * paper (from Horowitz's energy survey [9]) plus bit-width scaling for
+ * the Figure 10 precision study.
+ *
+ * Width scaling: adder energy grows linearly with width; multiplier
+ * energy grows super-linearly (array multiplier ~ quadratic, with the
+ * exponent calibrated so a 16-bit fixed multiply costs 5x less than a
+ * 32-bit fixed multiply, as §VI-C reports).
+ */
+
+#ifndef EIE_ENERGY_OP_ENERGY_HH
+#define EIE_ENERGY_OP_ENERGY_HH
+
+namespace eie::energy {
+
+/** Table I constants and width-scaled variants. All in picojoules. */
+class OpEnergy
+{
+  public:
+    // --- Table I anchors (45 nm) ------------------------------------
+    static constexpr double int_add_32 = 0.1;
+    static constexpr double float_add_32 = 0.9;
+    static constexpr double int_mult_32 = 3.1;
+    static constexpr double float_mult_32 = 3.7;
+    static constexpr double sram_read_32b_32k = 5.0;
+    static constexpr double dram_read_32b = 640.0;
+
+    /** Relative cost column of Table I (vs a 32-bit int add). */
+    static constexpr double
+    relativeCost(double energy_pj)
+    {
+        return energy_pj / int_add_32;
+    }
+
+    /** Integer add energy at @p bits width (linear scaling). */
+    static double intAdd(unsigned bits);
+
+    /**
+     * Integer multiply energy at @p bits width. Exponent 2.32
+     * calibrates 16-bit to 3.1/5 = 0.62 pJ ("5x less energy than
+     * 32-bit fixed-point", §VI-C).
+     */
+    static double intMult(unsigned bits);
+
+    /** Float multiply energy (32-bit anchor; 6.2x the 16-bit fixed
+     *  multiply, §VI-C). */
+    static double floatMult(unsigned bits);
+
+    /** Float add energy. */
+    static double floatAdd(unsigned bits);
+
+    /** DRAM read energy for @p bits transferred (linear in width). */
+    static double dramRead(unsigned bits);
+
+    /**
+     * One multiply-accumulate at the given precision: multiply plus
+     * accumulator add.
+     */
+    static double
+    fixedMac(unsigned bits)
+    {
+        return intMult(bits) + intAdd(bits);
+    }
+};
+
+} // namespace eie::energy
+
+#endif // EIE_ENERGY_OP_ENERGY_HH

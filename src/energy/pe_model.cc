@@ -1,0 +1,196 @@
+#include "energy/pe_model.hh"
+
+#include <algorithm>
+
+#include "energy/op_energy.hh"
+#include "energy/sram_model.hh"
+
+namespace eie::energy {
+
+namespace {
+
+// --- Calibration constants (fit to Table II at nominal activity) ----
+
+// Flip-flop area per bit including local clocking, um2 (fits the
+// 758 um2 activation queue: 8 x 32 flop bits + control).
+constexpr double flop_area_um2_per_bit = 1.4;
+constexpr double queue_control_area_um2 = 400.0;
+
+// Arithmetic unit: 16x16 multiplier + 16-bit adder + codebook
+// registers + pipeline registers (Table II: 3,110 um2).
+constexpr double arith_area_um2 = 3110.0;
+
+// ActRW control logic (ReLU unit, address generation, bypass muxes)
+// on top of the act SRAM and the regfiles (closes Table II's
+// 18,934 um2).
+constexpr double act_rw_logic_area_um2 = 2876.0;
+
+// Filler-cell fraction of placed module area (Table II: 3.76% of
+// the total = ~3.9% of the module sum).
+constexpr double filler_fraction = 0.039;
+
+// Per-module logic/clock energy constants, pJ per event at 45 nm,
+// absorbing decode muxes, pipeline registers and local clock load on
+// top of the first-principles SRAM/arithmetic energies.
+constexpr double spmat_logic_pj_per_entry = 3.04;
+constexpr double ptr_logic_pj_per_cycle = 1.09;
+constexpr double arith_pipeline_pj_per_mac = 0.78;
+constexpr double regfile_pj_per_mac = 1.29;
+constexpr double queue_clock_mw_per_bit = 0.00038;
+constexpr double queue_push_pj = 0.20; // per bit-write event x 32b
+
+} // namespace
+
+PeActivity
+PeActivity::nominal()
+{
+    PeActivity a;
+    a.alu_issue_rate = 1.0;
+    a.spmat_fetch_rate = 1.0 / 8.0;
+    a.ptr_read_rate = 2.0 / 6.4;
+    a.act_access_rate = 0.05;
+    a.queue_push_rate = 1.0 / 6.4;
+    return a;
+}
+
+PeActivity
+PeActivity::fromRun(const core::RunStats &stats)
+{
+    PeActivity a;
+    if (stats.cycles == 0 || stats.n_pe == 0)
+        return a;
+    const double pe_cycles =
+        static_cast<double>(stats.cycles) * stats.n_pe;
+    a.alu_issue_rate =
+        static_cast<double>(stats.total_entries) / pe_cycles;
+    a.spmat_fetch_rate =
+        static_cast<double>(stats.spmat_row_fetches) / pe_cycles;
+    a.ptr_read_rate =
+        static_cast<double>(stats.ptr_sram_reads) / pe_cycles;
+    a.act_access_rate =
+        static_cast<double>(stats.act_sram_reads +
+                            stats.act_sram_writes) / pe_cycles;
+    // Every PE enqueues every broadcast.
+    a.queue_push_rate =
+        static_cast<double>(stats.broadcasts) /
+        static_cast<double>(stats.cycles);
+    return a;
+}
+
+PeModel::PeModel(const core::EieConfig &config) : config_(config)
+{
+    config_.validate();
+}
+
+PeBreakdown
+PeModel::areaUm2() const
+{
+    PeBreakdown area;
+
+    const std::size_t spmat_bytes = config_.spmat_capacity_entries;
+    const std::size_t ptr_bytes =
+        static_cast<std::size_t>(config_.ptr_capacity) * 2;
+    const std::size_t act_bytes =
+        static_cast<std::size_t>(config_.act_sram_entries) * 2;
+
+    area.spmat_read = SramModel::areaUm2(spmat_bytes);
+    area.ptr_read = SramModel::areaUm2(ptr_bytes);
+
+    // ActRW = act SRAM + two regfile copies (src/dst) of 16-bit
+    // entries + control logic.
+    const double regfile_bits = 2.0 * config_.regfile_entries * 16.0;
+    area.act_rw = SramModel::areaUm2(act_bytes) +
+        regfile_bits * flop_area_um2_per_bit + act_rw_logic_area_um2;
+
+    // Activation queue: fifo_depth x (16b value + 16b index) flops.
+    area.act_queue = config_.fifo_depth * 32.0 * flop_area_um2_per_bit +
+        queue_control_area_um2;
+
+    area.arith = arith_area_um2;
+
+    const double module_sum = area.act_queue + area.ptr_read +
+        area.spmat_read + area.arith + area.act_rw;
+    area.filler = filler_fraction * module_sum;
+    return area;
+}
+
+PeBreakdown
+PeModel::powerMw(const PeActivity &activity) const
+{
+    PeBreakdown power;
+    const double f = config_.clock_ghz; // GHz: pJ * GHz = mW
+
+    const std::size_t spmat_bytes = config_.spmat_capacity_entries;
+    const std::size_t ptr_bytes =
+        static_cast<std::size_t>(config_.ptr_capacity) * 2;
+    const std::size_t act_bytes =
+        static_cast<std::size_t>(config_.act_sram_entries) * 2;
+
+    // Sparse matrix read: wide-row fetches plus per-entry decode.
+    power.spmat_read =
+        activity.spmat_fetch_rate *
+            SramModel::readEnergyPj(spmat_bytes,
+                                    config_.spmat_width_bits) * f +
+        activity.alu_issue_rate * spmat_logic_pj_per_entry * f +
+        SramModel::leakageMw(spmat_bytes);
+
+    // Pointer read: banked 16-bit reads plus always-on decode logic.
+    power.ptr_read =
+        activity.ptr_read_rate *
+            SramModel::readEnergyPj(ptr_bytes / 2, 16) * f +
+        ptr_logic_pj_per_cycle * f +
+        SramModel::leakageMw(ptr_bytes);
+
+    // Arithmetic: 16-bit MAC plus pipeline registers.
+    const unsigned mac_bits = config_.act_format.totalBits;
+    power.arith = activity.alu_issue_rate *
+        (OpEnergy::fixedMac(mac_bits) + arith_pipeline_pj_per_mac) * f;
+
+    // Activation read/write: regfile traffic per MAC plus act SRAM.
+    power.act_rw =
+        activity.alu_issue_rate * regfile_pj_per_mac * f +
+        activity.act_access_rate *
+            SramModel::readEnergyPj(act_bytes, 64) * f +
+        SramModel::leakageMw(act_bytes);
+
+    // Activation queue: flop clock load plus push energy.
+    power.act_queue =
+        config_.fifo_depth * 32.0 * queue_clock_mw_per_bit *
+            (f / 0.8) +
+        activity.queue_push_rate * 32.0 * queue_push_pj * f / 32.0;
+
+    power.filler = 0.0;
+    return power;
+}
+
+double
+acceleratorPowerWatts(const core::EieConfig &config,
+                      const PeActivity &activity)
+{
+    const PeModel model(config);
+    const double pe_mw = model.powerMw(activity).total();
+    const double lnzd_mw =
+        config.lnzdNodeCount() * PeModel::lnzd_node_mw;
+    return (pe_mw * config.n_pe + lnzd_mw) / 1000.0;
+}
+
+double
+runEnergyUj(const core::EieConfig &config, const core::RunStats &stats)
+{
+    const double watts =
+        acceleratorPowerWatts(config, PeActivity::fromRun(stats));
+    const double seconds = stats.timeUs() * 1e-6;
+    return watts * seconds * 1e6;
+}
+
+double
+acceleratorAreaMm2(const core::EieConfig &config)
+{
+    const PeModel model(config);
+    const double pe_um2 = model.areaUm2().total();
+    const double lnzd_um2 =
+        config.lnzdNodeCount() * PeModel::lnzd_node_um2;
+    return (pe_um2 * config.n_pe + lnzd_um2) / 1e6;
+}
+
+} // namespace eie::energy

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Area/power model of one EIE PE, standing in for the paper's
+ * synthesis flow (Design Compiler + IC Compiler + PrimeTime, §V).
+ *
+ * Structure-from-first-principles, constants-by-calibration: SRAM
+ * access energies and array areas come from SramModel / OpEnergy;
+ * per-module logic constants are calibrated so that the default
+ * configuration at nominal steady-state activity lands on the paper's
+ * Table II breakdown (total 9.157 mW, 0.638 mm2, with SpmatRead
+ * dominating both). The model then extrapolates across the design
+ * space (SRAM width for Figure 9, PE count for Table V) using real
+ * simulator activity.
+ */
+
+#ifndef EIE_ENERGY_PE_MODEL_HH
+#define EIE_ENERGY_PE_MODEL_HH
+
+#include "core/config.hh"
+#include "core/run_stats.hh"
+
+namespace eie::energy {
+
+/** Per-cycle activity rates of one PE (all 0..1 unless noted). */
+struct PeActivity
+{
+    double alu_issue_rate = 0.0;   ///< entries issued per cycle
+    double spmat_fetch_rate = 0.0; ///< wide-row fetches per cycle
+    double ptr_read_rate = 0.0;    ///< pointer-bank reads per cycle
+                                   ///< (0..2)
+    double act_access_rate = 0.0;  ///< act SRAM accesses per cycle
+    double queue_push_rate = 0.0;  ///< queue pushes per cycle
+
+    /**
+     * The steady-state operating point of §VI: one entry issued per
+     * cycle, a 64-bit Spmat row fetched every 8 cycles, a column
+     * (avg 6.4 entries at 4K inputs, 10% density, 64 PEs) switched
+     * every ~6.4 cycles costing two banked pointer reads.
+     */
+    static PeActivity nominal();
+
+    /** Average per-PE activity measured from a simulator run. */
+    static PeActivity fromRun(const core::RunStats &stats);
+};
+
+/** Table II-style per-module breakdown. */
+struct PeBreakdown
+{
+    double act_queue = 0.0;
+    double ptr_read = 0.0;
+    double spmat_read = 0.0;
+    double arith = 0.0;
+    double act_rw = 0.0;
+    double filler = 0.0; ///< filler cells (area only)
+
+    double
+    total() const
+    {
+        return act_queue + ptr_read + spmat_read + arith + act_rw +
+            filler;
+    }
+};
+
+/** Area/power estimates for one PE of a given configuration. */
+class PeModel
+{
+  public:
+    explicit PeModel(const core::EieConfig &config);
+
+    /** Module area breakdown in um^2 (Table II right column). */
+    PeBreakdown areaUm2() const;
+
+    /** Module power breakdown in mW at @p activity
+     *  (Table II left column at nominal activity). */
+    PeBreakdown powerMw(const PeActivity &activity) const;
+
+    /** Synthesis-reported critical path (§VI): 1.15 ns at 45 nm. */
+    double criticalPathNs() const { return 1.15; }
+
+    /** One LNZD node: 0.023 mW / 189 um2 (§VI). */
+    static constexpr double lnzd_node_mw = 0.023;
+    static constexpr double lnzd_node_um2 = 189.0;
+
+  private:
+    core::EieConfig config_;
+};
+
+/** Whole-accelerator power in watts at the given per-PE activity. */
+double acceleratorPowerWatts(const core::EieConfig &config,
+                             const PeActivity &activity);
+
+/** Energy of one simulated run in microjoules. */
+double runEnergyUj(const core::EieConfig &config,
+                   const core::RunStats &stats);
+
+/** Whole-accelerator area in mm^2 (PEs + LNZD tree). */
+double acceleratorAreaMm2(const core::EieConfig &config);
+
+} // namespace eie::energy
+
+#endif // EIE_ENERGY_PE_MODEL_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Analytical SRAM energy/area model ("cacti-lite") standing in for
+ * Cacti [25], which the paper used for SRAM area and energy.
+ *
+ * Read energy model: E(C, W) = e0 * sqrt(C / C0) * (W + Wo) / (W0 + Wo)
+ *  - Anchor: a 32-bit read from a 32KB array costs 5 pJ (Table I).
+ *  - Capacity term: bitline/decoder energy grows ~ sqrt(capacity).
+ *  - Width term: a constant per-access cost (wordline drive, row
+ *    decode; Wo = 36 bit-equivalents) plus a per-bit cost (bitlines,
+ *    sense amps). Narrow interfaces pay the fixed cost per few bits;
+ *    wide ones amortise it but burn proportionally more bitlines.
+ *    Combined with the simulator's read counts (which stop halving
+ *    past 64 bits because fetched row tails fall into skipped
+ *    columns), this is what makes the Figure 9 total-energy curve
+ *    bottom out at the paper's 64-bit design point.
+ *
+ * Area model: bit cell area plus per-array periphery overhead that
+ *  dominates small arrays. Calibrated against the paper's Table II
+ *  module areas (SpmatRead 469,412 um2 for 128KB, PtrRead
+ *  121,849 um2 for 32KB in two banks, ActRW 18,934 um2 for 2KB).
+ */
+
+#ifndef EIE_ENERGY_SRAM_MODEL_HH
+#define EIE_ENERGY_SRAM_MODEL_HH
+
+#include <cstddef>
+
+namespace eie::energy {
+
+/** Analytical SRAM energy and area estimates at 45 nm. */
+class SramModel
+{
+  public:
+    /**
+     * Dynamic energy of one read access, picojoules.
+     *
+     * @param capacity_bytes array capacity
+     * @param width_bits     interface width per access
+     */
+    static double readEnergyPj(std::size_t capacity_bytes,
+                               unsigned width_bits);
+
+    /** Write energy; SRAM writes cost roughly the same as reads at
+     *  this granularity of modelling. */
+    static double writeEnergyPj(std::size_t capacity_bytes,
+                                unsigned width_bits);
+
+    /** Array area in square micrometres at 45 nm. */
+    static double areaUm2(std::size_t capacity_bytes);
+
+    /** Leakage power in milliwatts (grows with capacity). */
+    static double leakageMw(std::size_t capacity_bytes);
+};
+
+} // namespace eie::energy
+
+#endif // EIE_ENERGY_SRAM_MODEL_HH

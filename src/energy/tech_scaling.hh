@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Technology scaling between process nodes, used to project the
+ * 45 nm EIE design to the 28 nm point of Table V ("EIE (28nm,
+ * 256PE)") and to compare against competitors built at 28 nm.
+ *
+ * Classic scaling rules (area ~ s^2, delay ~ s, energy ~ s * V^2)
+ * plus a documented projection helper that reproduces the paper's own
+ * published operating point: 1200 MHz at 28 nm (a conservative 1.5x
+ * over 800 MHz, less than the full 45/28 = 1.6x delay scaling) with
+ * per-PE power held constant (the energy/op saving spent on the
+ * higher clock).
+ */
+
+#ifndef EIE_ENERGY_TECH_SCALING_HH
+#define EIE_ENERGY_TECH_SCALING_HH
+
+namespace eie::energy {
+
+/** First-order constant-field scaling between feature sizes. */
+class TechScaling
+{
+  public:
+    /** Area multiplier when porting from @p from_nm to @p to_nm. */
+    static double
+    areaScale(double from_nm, double to_nm)
+    {
+        const double s = to_nm / from_nm;
+        return s * s;
+    }
+
+    /** Gate-delay multiplier (smaller = faster). */
+    static double
+    delayScale(double from_nm, double to_nm)
+    {
+        return to_nm / from_nm;
+    }
+
+    /** Dynamic energy-per-op multiplier at supply voltages
+     *  @p v_from -> @p v_to. */
+    static double
+    energyScale(double from_nm, double to_nm, double v_from = 1.0,
+                double v_to = 0.9)
+    {
+        const double s = to_nm / from_nm;
+        const double v = v_to / v_from;
+        return s * v * v;
+    }
+};
+
+/** The paper's published 28 nm projection parameters (Table V). */
+struct Eie28nmProjection
+{
+    /** Clock frequency multiplier 800 MHz -> 1200 MHz. */
+    static constexpr double freq_scale = 1.5;
+    /** Area multiplier per PE: (28/45)^2. */
+    static constexpr double area_scale = (28.0 / 45.0) * (28.0 / 45.0);
+    /** Per-PE power multiplier: energy/op scaling (~0.66x) spent on
+     *  the 1.5x clock, net ~1.0 (0.59 W x 4 = 2.36 W in Table V). */
+    static constexpr double power_scale = 1.0;
+};
+
+} // namespace eie::energy
+
+#endif // EIE_ENERGY_TECH_SCALING_HH

@@ -1,0 +1,92 @@
+#include "nn/generate.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace eie::nn {
+
+SparseMatrix
+makeSparseWeights(std::size_t rows, std::size_t cols,
+                  const WeightGenOptions &opts, Rng &rng)
+{
+    fatal_if(opts.density < 0.0 || opts.density > 1.0,
+             "weight density %f out of [0,1]", opts.density);
+    fatal_if(opts.row_block == 0, "row block must be >= 1");
+
+    // Per-row keep probability: multi-scale clustered row importance
+    // when row_block_sigma > 0, flat otherwise.
+    std::vector<double> row_density(rows, opts.density);
+    if (opts.row_block_sigma > 0.0) {
+        const double scale_sigma =
+            opts.row_block_sigma / std::sqrt(3.0);
+        std::vector<double> multiplier(rows, 1.0);
+        for (unsigned scale = 0; scale < 3; ++scale) {
+            const std::size_t block = static_cast<std::size_t>(
+                opts.row_block) << (2 * scale); // B, 4B, 16B
+            const std::size_t blocks = (rows + block - 1) / block;
+            std::vector<double> factor(blocks);
+            for (std::size_t b = 0; b < blocks; ++b)
+                factor[b] = rng.logNormal(0.0, scale_sigma);
+            for (std::size_t i = 0; i < rows; ++i)
+                multiplier[i] *= factor[i / block];
+        }
+        double sum = 0.0;
+        for (double m : multiplier)
+            sum += m;
+        const double mean = sum / static_cast<double>(rows);
+        for (std::size_t i = 0; i < rows; ++i)
+            row_density[i] =
+                std::min(1.0, opts.density * multiplier[i] / mean);
+    }
+
+    SparseMatrix w(rows, cols);
+    for (std::size_t j = 0; j < cols; ++j) {
+        for (std::size_t i = 0; i < rows; ++i) {
+            if (!rng.bernoulli(row_density[i]))
+                continue;
+            const double magnitude =
+                rng.logNormal(opts.log_mu, opts.log_sigma);
+            const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+            float value = static_cast<float>(sign * magnitude);
+            if (value == 0.0f)
+                value = 1e-6f; // keep the entry structurally non-zero
+            w.insert(i, j, value);
+        }
+    }
+    return w;
+}
+
+Matrix
+makeDenseWeights(std::size_t rows, std::size_t cols, double stddev, Rng &rng)
+{
+    Matrix w(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+            w.at(i, j) = static_cast<float>(rng.normal(0.0, stddev));
+    return w;
+}
+
+Vector
+makeActivations(std::size_t n, double density, Rng &rng, double scale)
+{
+    fatal_if(density < 0.0 || density > 1.0,
+             "activation density %f out of [0,1]", density);
+    Vector a(n, 0.0f);
+    const auto nnz = static_cast<std::uint32_t>(
+        std::lround(static_cast<double>(n) * density));
+    if (nnz == 0)
+        return a;
+    const auto positions =
+        rng.sampleWithoutReplacement(static_cast<std::uint32_t>(n), nnz);
+    for (std::uint32_t pos : positions) {
+        float value =
+            static_cast<float>(std::abs(rng.normal(0.0, scale)));
+        if (value == 0.0f)
+            value = static_cast<float>(scale) * 1e-3f;
+        a[pos] = value;
+    }
+    return a;
+}
+
+} // namespace eie::nn

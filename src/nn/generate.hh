@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic weight/activation generators.
+ *
+ * The paper evaluates on pruned AlexNet / VGG-16 / NeuralTalk weights
+ * we cannot redistribute; every architectural quantity it measures
+ * (cycles, load balance, padding overhead, SRAM traffic) depends only
+ * on the sparsity structure and the layer dimensions, so we generate
+ * matrices with the published shapes and densities (Table III):
+ * Bernoulli(density) occupancy per element (giving the binomial
+ * per-column jitter real pruned columns exhibit) and signed log-normal
+ * magnitudes (pruning keeps large-magnitude weights, whose absolute
+ * values are roughly log-normal).
+ */
+
+#ifndef EIE_NN_GENERATE_HH
+#define EIE_NN_GENERATE_HH
+
+#include "common/random.hh"
+#include "nn/sparse.hh"
+#include "nn/tensor.hh"
+
+namespace eie::nn {
+
+/** Knobs for synthetic sparse weight generation. */
+struct WeightGenOptions
+{
+    /** Target fraction of non-zero elements. */
+    double density = 0.1;
+    /** Log-normal mu of |w| (underlying normal). */
+    double log_mu = -2.0;
+    /** Log-normal sigma of |w|. */
+    double log_sigma = 0.5;
+
+    /**
+     * Structured row sparsity: per-row density multipliers are a
+     * product of log-normal factors drawn at three nested block
+     * scales (row_block, 4x, 16x rows), normalised so the overall
+     * density stays on target. Magnitude pruning of real networks
+     * produces exactly this kind of multi-scale clustered row
+     * importance — near-empty stretches of many lengths — which is
+     * what makes the relative-index padding sensitive to the PE
+     * count (Figure 12): a sparse stretch of L rows costs padding
+     * until the PE count exceeds ~L/16, so a spectrum of stretch
+     * lengths yields the paper's gradual padding decline.
+     * Sigma 0 disables the structure (pure i.i.d. Bernoulli).
+     */
+    double row_block_sigma = 0.0;
+    unsigned row_block = 64;
+};
+
+/**
+ * Generate a rows x cols sparse matrix with ~density occupancy.
+ * Per-element Bernoulli sampling; deterministic for a given rng state.
+ */
+SparseMatrix makeSparseWeights(std::size_t rows, std::size_t cols,
+                               const WeightGenOptions &opts, Rng &rng);
+
+/** Dense Gaussian matrix (for trainer initialisation and tests). */
+Matrix makeDenseWeights(std::size_t rows, std::size_t cols, double stddev,
+                        Rng &rng);
+
+/**
+ * Generate an activation vector of length @p n where a fraction
+ * @p density of entries are non-zero (exactly round(n*density) of
+ * them, at uniformly random positions), mimicking post-ReLU sparsity.
+ * Non-zero magnitudes are |N(0,1)| scaled by @p scale.
+ */
+Vector makeActivations(std::size_t n, double density, Rng &rng,
+                       double scale = 1.0);
+
+} // namespace eie::nn
+
+#endif // EIE_NN_GENERATE_HH

@@ -1,0 +1,43 @@
+#include "nn/layer.hh"
+
+namespace eie::nn {
+
+Vector
+applyNonlinearity(Nonlinearity f, const Vector &v)
+{
+    switch (f) {
+      case Nonlinearity::None:    return v;
+      case Nonlinearity::ReLU:    return relu(v);
+      case Nonlinearity::Sigmoid: return sigmoid(v);
+      case Nonlinearity::Tanh:    return tanhVec(v);
+    }
+    panic("unknown nonlinearity %d", static_cast<int>(f));
+    return v; // unreachable
+}
+
+FcLayer::FcLayer(std::string name, SparseMatrix weights,
+                 Nonlinearity nonlin)
+    : FcLayer(std::move(name), std::move(weights), Vector{}, nonlin)
+{}
+
+FcLayer::FcLayer(std::string name, SparseMatrix weights, Vector bias,
+                 Nonlinearity nonlin)
+    : name_(std::move(name)), weights_(std::move(weights)),
+      bias_(std::move(bias)), nonlin_(nonlin)
+{
+    fatal_if(!bias_.empty() && bias_.size() != weights_.rows(),
+             "layer '%s': bias length %zu != output size %zu",
+             name_.c_str(), bias_.size(), weights_.rows());
+}
+
+Vector
+FcLayer::forward(const Vector &input) const
+{
+    Vector pre = weights_.spmv(input);
+    if (!bias_.empty())
+        for (std::size_t i = 0; i < pre.size(); ++i)
+            pre[i] += bias_[i];
+    return applyNonlinearity(nonlin_, pre);
+}
+
+} // namespace eie::nn

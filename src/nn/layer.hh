@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Layer abstractions for the golden model: fully-connected layers over
+ * sparse weights (the compressed regime EIE targets) with optional
+ * bias and non-linearity.
+ */
+
+#ifndef EIE_NN_LAYER_HH
+#define EIE_NN_LAYER_HH
+
+#include <string>
+
+#include "nn/sparse.hh"
+#include "nn/tensor.hh"
+
+namespace eie::nn {
+
+/** Element-wise non-linearity applied after the M×V. */
+enum class Nonlinearity { None, ReLU, Sigmoid, Tanh };
+
+/** Apply @p f element-wise. */
+Vector applyNonlinearity(Nonlinearity f, const Vector &v);
+
+/** A fully-connected layer b = f(W a + v) (paper Eq. 1). */
+class FcLayer
+{
+  public:
+    /**
+     * @param name     layer name, e.g. "Alex-6"
+     * @param weights  sparse weight matrix (outputs x inputs)
+     * @param nonlin   post-M×V non-linearity
+     */
+    FcLayer(std::string name, SparseMatrix weights,
+            Nonlinearity nonlin = Nonlinearity::ReLU);
+
+    /** Same, with an explicit bias vector (length = rows of W). */
+    FcLayer(std::string name, SparseMatrix weights, Vector bias,
+            Nonlinearity nonlin);
+
+    /** Golden forward pass. */
+    Vector forward(const Vector &input) const;
+
+    const std::string &name() const { return name_; }
+    const SparseMatrix &weights() const { return weights_; }
+    const Vector &bias() const { return bias_; }
+    Nonlinearity nonlinearity() const { return nonlin_; }
+
+    std::size_t inputSize() const { return weights_.cols(); }
+    std::size_t outputSize() const { return weights_.rows(); }
+
+  private:
+    std::string name_;
+    SparseMatrix weights_;
+    Vector bias_;
+    Nonlinearity nonlin_;
+};
+
+} // namespace eie::nn
+
+#endif // EIE_NN_LAYER_HH

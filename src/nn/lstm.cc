@@ -1,0 +1,78 @@
+#include "nn/lstm.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace eie::nn {
+
+LstmCell::LstmCell(SparseMatrix weights, std::size_t input_size,
+                   std::size_t hidden_size)
+    : weights_(std::move(weights)), input_size_(input_size),
+      hidden_size_(hidden_size)
+{
+    fatal_if(weights_.rows() != 4 * hidden_size_,
+             "packed LSTM weights have %zu rows, expected 4H = %zu",
+             weights_.rows(), 4 * hidden_size_);
+    fatal_if(weights_.cols() != input_size_ + hidden_size_ + 1,
+             "packed LSTM weights have %zu cols, expected X+H+1 = %zu",
+             weights_.cols(), input_size_ + hidden_size_ + 1);
+}
+
+LstmState
+LstmCell::initialState() const
+{
+    return {Vector(hidden_size_, 0.0f), Vector(hidden_size_, 0.0f)};
+}
+
+Vector
+LstmCell::packInput(const Vector &x, const LstmState &state) const
+{
+    panic_if(x.size() != input_size_, "LSTM input length %zu != %zu",
+             x.size(), input_size_);
+    panic_if(state.h.size() != hidden_size_,
+             "LSTM hidden length %zu != %zu", state.h.size(),
+             hidden_size_);
+    Vector packed;
+    packed.reserve(input_size_ + hidden_size_ + 1);
+    packed.insert(packed.end(), x.begin(), x.end());
+    packed.insert(packed.end(), state.h.begin(), state.h.end());
+    packed.push_back(1.0f); // bias column
+    return packed;
+}
+
+LstmState
+LstmCell::applyGates(const Vector &packed_preact,
+                     const LstmState &state) const
+{
+    panic_if(packed_preact.size() != 4 * hidden_size_,
+             "packed pre-activation length %zu != 4H = %zu",
+             packed_preact.size(), 4 * hidden_size_);
+
+    LstmState next{Vector(hidden_size_), Vector(hidden_size_)};
+    for (std::size_t k = 0; k < hidden_size_; ++k) {
+        const double i_gate =
+            1.0 / (1.0 + std::exp(-packed_preact[k]));
+        const double f_gate =
+            1.0 / (1.0 + std::exp(-packed_preact[hidden_size_ + k]));
+        const double o_gate =
+            1.0 / (1.0 + std::exp(-packed_preact[2 * hidden_size_ + k]));
+        const double g_cand =
+            std::tanh(packed_preact[3 * hidden_size_ + k]);
+
+        const double c_new = f_gate * state.c[k] + i_gate * g_cand;
+        next.c[k] = static_cast<float>(c_new);
+        next.h[k] = static_cast<float>(o_gate * std::tanh(c_new));
+    }
+    return next;
+}
+
+LstmState
+LstmCell::step(const Vector &x, const LstmState &state) const
+{
+    const Vector packed = packInput(x, state);
+    const Vector preact = weights_.spmv(packed);
+    return applyGates(preact, state);
+}
+
+} // namespace eie::nn

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * LSTM cell built on a single packed M×V, matching the NT-LSTM
+ * benchmark layer of the paper: NeuralTalk's LSTM packs all four gate
+ * matrices into one (4H) x (X + H + 1) weight matrix applied to
+ * [x; h; 1], which for X = H = 600 gives the published 1201 -> 2400
+ * layer shape (Table III).
+ */
+
+#ifndef EIE_NN_LSTM_HH
+#define EIE_NN_LSTM_HH
+
+#include "nn/sparse.hh"
+#include "nn/tensor.hh"
+
+namespace eie::nn {
+
+/** Hidden and cell state of an LSTM. */
+struct LstmState
+{
+    Vector h; ///< hidden state, length H
+    Vector c; ///< cell state, length H
+};
+
+/**
+ * An LSTM cell whose gate pre-activations come from one packed sparse
+ * M×V — the exact computation EIE executes for NT-LSTM.
+ *
+ * Gate layout in the packed output (rows of W): [i; f; o; g] with
+ * i = input gate, f = forget gate, o = output gate, g = candidate cell
+ * ("temporary memory cell" in the paper's decomposition, §II).
+ */
+class LstmCell
+{
+  public:
+    /**
+     * @param weights packed gate matrix, shape (4H) x (X + H + 1);
+     *                the trailing input column is the bias column
+     *                (applied to a constant 1), following the paper's
+     *                bias-folding convention (§III-A).
+     * @param input_size X
+     * @param hidden_size H
+     */
+    LstmCell(SparseMatrix weights, std::size_t input_size,
+             std::size_t hidden_size);
+
+    /** Zero-initialised state. */
+    LstmState initialState() const;
+
+    /**
+     * One time step: returns the new state given input @p x and the
+     * previous @p state.
+     */
+    LstmState step(const Vector &x, const LstmState &state) const;
+
+    /**
+     * The packed input vector [x; h; 1] the M×V consumes — exposed so
+     * the EIE runner can feed the accelerator the same vector.
+     */
+    Vector packInput(const Vector &x, const LstmState &state) const;
+
+    /**
+     * Apply the gate non-linearities to a packed pre-activation vector
+     * (length 4H) and combine with the previous state — the part of
+     * the step that runs outside the accelerator.
+     */
+    LstmState applyGates(const Vector &packed_preact,
+                         const LstmState &state) const;
+
+    const SparseMatrix &weights() const { return weights_; }
+    std::size_t inputSize() const { return input_size_; }
+    std::size_t hiddenSize() const { return hidden_size_; }
+
+  private:
+    SparseMatrix weights_;
+    std::size_t input_size_;
+    std::size_t hidden_size_;
+};
+
+} // namespace eie::nn
+
+#endif // EIE_NN_LSTM_HH

@@ -1,0 +1,143 @@
+#include "nn/sparse.hh"
+
+namespace eie::nn {
+
+void
+SparseMatrix::insert(std::size_t row, std::size_t col, float value)
+{
+    panic_if(row >= rows_ || col >= cols_,
+             "sparse index (%zu,%zu) out of (%zu,%zu)", row, col, rows_,
+             cols_);
+    auto &column = columns_[col];
+    panic_if(!column.empty() && column.back().row >= row,
+             "rows must be inserted in ascending order per column "
+             "(col %zu: %u then %zu)", col, column.back().row, row);
+    column.push_back({static_cast<std::uint32_t>(row), value});
+}
+
+std::size_t
+SparseMatrix::nnz() const
+{
+    std::size_t count = 0;
+    for (const auto &column : columns_)
+        count += column.size();
+    return count;
+}
+
+double
+SparseMatrix::density() const
+{
+    if (rows_ == 0 || cols_ == 0)
+        return 0.0;
+    return static_cast<double>(nnz()) /
+        (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+Vector
+SparseMatrix::spmv(const Vector &a) const
+{
+    panic_if(a.size() != cols_, "SpMV size mismatch: %zu cols vs %zu",
+             cols_, a.size());
+    std::vector<double> acc(rows_, 0.0);
+    for (std::size_t j = 0; j < cols_; ++j) {
+        const float aj = a[j];
+        if (aj == 0.0f)
+            continue;
+        for (const SparseEntry &e : columns_[j])
+            acc[e.row] += static_cast<double>(e.value) * aj;
+    }
+    Vector result(rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        result[i] = static_cast<float>(acc[i]);
+    return result;
+}
+
+Matrix
+SparseMatrix::toDense() const
+{
+    Matrix dense(rows_, cols_);
+    for (std::size_t j = 0; j < cols_; ++j)
+        for (const SparseEntry &e : columns_[j])
+            dense.at(e.row, j) = e.value;
+    return dense;
+}
+
+SparseMatrix
+SparseMatrix::fromDense(const Matrix &dense)
+{
+    SparseMatrix sparse(dense.rows(), dense.cols());
+    for (std::size_t j = 0; j < dense.cols(); ++j)
+        for (std::size_t i = 0; i < dense.rows(); ++i)
+            if (dense.at(i, j) != 0.0f)
+                sparse.insert(i, j, dense.at(i, j));
+    return sparse;
+}
+
+SparseMatrix
+SparseMatrix::rowSlice(std::size_t row_begin, std::size_t row_end) const
+{
+    panic_if(row_begin > row_end || row_end > rows_,
+             "bad row slice [%zu,%zu) of %zu rows", row_begin, row_end,
+             rows_);
+    SparseMatrix slice(row_end - row_begin, cols_);
+    for (std::size_t j = 0; j < cols_; ++j) {
+        for (const SparseEntry &e : columns_[j]) {
+            if (e.row >= row_begin && e.row < row_end)
+                slice.insert(e.row - row_begin, j, e.value);
+        }
+    }
+    return slice;
+}
+
+std::vector<SparseMatrix>
+SparseMatrix::rowPartition(const std::vector<std::size_t> &boundaries) const
+{
+    panic_if(boundaries.size() < 2 || boundaries.front() != 0 ||
+             boundaries.back() != rows_,
+             "row partition boundaries must run from 0 to rows()");
+    for (std::size_t b = 1; b < boundaries.size(); ++b)
+        panic_if(boundaries[b] <= boundaries[b - 1],
+                 "row partition boundaries must be strictly ascending");
+
+    std::vector<SparseMatrix> parts;
+    parts.reserve(boundaries.size() - 1);
+    for (std::size_t b = 1; b < boundaries.size(); ++b)
+        parts.emplace_back(boundaries[b] - boundaries[b - 1], cols_);
+
+    for (std::size_t j = 0; j < cols_; ++j) {
+        for (const SparseEntry &e : columns_[j]) {
+            // Find the part containing this row (boundaries are few).
+            std::size_t b = 1;
+            while (boundaries[b] <= e.row)
+                ++b;
+            parts[b - 1].insert(e.row - boundaries[b - 1], j, e.value);
+        }
+    }
+    return parts;
+}
+
+SparseMatrix
+SparseMatrix::colSlice(std::size_t col_begin, std::size_t col_end) const
+{
+    panic_if(col_begin > col_end || col_end > cols_,
+             "bad column slice [%zu,%zu) of %zu columns", col_begin,
+             col_end, cols_);
+    SparseMatrix slice(rows_, col_end - col_begin);
+    for (std::size_t j = col_begin; j < col_end; ++j)
+        for (const SparseEntry &e : columns_[j])
+            slice.insert(e.row, j - col_begin, e.value);
+    return slice;
+}
+
+std::vector<SparseEntry>
+SparseMatrix::peColumnSlice(std::size_t j, unsigned pe, unsigned n_pe) const
+{
+    panic_if(n_pe == 0 || pe >= n_pe, "bad PE slice %u of %u", pe, n_pe);
+    std::vector<SparseEntry> slice;
+    for (const SparseEntry &e : column(j))
+        if (e.row % n_pe == pe)
+            slice.push_back(e);
+    return slice;
+}
+
+} // namespace eie::nn

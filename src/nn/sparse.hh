@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Column-major sparse matrix — the natural shape for EIE, which walks
+ * non-zero weights column-by-column (one column per broadcast input
+ * activation, §III-B of the paper).
+ */
+
+#ifndef EIE_NN_SPARSE_HH
+#define EIE_NN_SPARSE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hh"
+
+namespace eie::nn {
+
+/** One stored non-zero: (row index, value). */
+struct SparseEntry
+{
+    std::uint32_t row = 0;
+    float value = 0.0f;
+
+    bool
+    operator==(const SparseEntry &other) const
+    {
+        return row == other.row && value == other.value;
+    }
+};
+
+/**
+ * Sparse matrix stored as per-column lists of (row, value) entries,
+ * rows sorted ascending within each column.
+ */
+class SparseMatrix
+{
+  public:
+    SparseMatrix() = default;
+
+    /** Create an empty rows x cols sparse matrix. */
+    SparseMatrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), columns_(cols)
+    {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /** Entries of column @p j, sorted by row. */
+    const std::vector<SparseEntry> &
+    column(std::size_t j) const
+    {
+        panic_if(j >= cols_, "column %zu out of %zu", j, cols_);
+        return columns_[j];
+    }
+
+    /**
+     * Append an entry to column @p j. Rows must be inserted in
+     * ascending order within a column; duplicate rows are an error.
+     */
+    void insert(std::size_t row, std::size_t col, float value);
+
+    /** Total number of stored non-zeros. */
+    std::size_t nnz() const;
+
+    /** nnz / (rows * cols). */
+    double density() const;
+
+    /** y = W a (dense result, double accumulation). */
+    Vector spmv(const Vector &a) const;
+
+    /** Densify (intended for small matrices in tests/examples). */
+    Matrix toDense() const;
+
+    /** Build from a dense matrix, keeping exact non-zeros. */
+    static SparseMatrix fromDense(const Matrix &dense);
+
+    /**
+     * Extract rows [row_begin, row_end) as a new sparse matrix with
+     * row indices rebased to zero. Used by the compiler to split
+     * layers whose output exceeds the accelerator's accumulator
+     * capacity into row batches (§IV "Activation Read/Write").
+     */
+    SparseMatrix rowSlice(std::size_t row_begin, std::size_t row_end) const;
+
+    /**
+     * Partition rows at the given ascending @p boundaries (must start
+     * with 0 and end with rows()) in a single pass — equivalent to
+     * rowSlice on each consecutive boundary pair but O(nnz) total.
+     */
+    std::vector<SparseMatrix>
+    rowPartition(const std::vector<std::size_t> &boundaries) const;
+
+    /** Extract columns [col_begin, col_end), indices rebased to 0. */
+    SparseMatrix colSlice(std::size_t col_begin, std::size_t col_end) const;
+
+    /** Entries of column j restricted to rows ≡ pe (mod n_pe), i.e.
+     *  the slice PE @p pe owns under row interleaving (§III-C). */
+    std::vector<SparseEntry> peColumnSlice(std::size_t j, unsigned pe,
+                                           unsigned n_pe) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<std::vector<SparseEntry>> columns_;
+};
+
+} // namespace eie::nn
+
+#endif // EIE_NN_SPARSE_HH

@@ -1,0 +1,98 @@
+#include "nn/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eie::nn {
+
+Vector
+matVec(const Matrix &w, const Vector &a)
+{
+    panic_if(a.size() != w.cols(), "GEMV size mismatch: %zu cols vs %zu",
+             w.cols(), a.size());
+    Vector result(w.rows(), 0.0f);
+    for (std::size_t i = 0; i < w.rows(); ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < w.cols(); ++j)
+            acc += static_cast<double>(w.at(i, j)) * a[j];
+        result[i] = static_cast<float>(acc);
+    }
+    return result;
+}
+
+Vector
+relu(const Vector &v)
+{
+    Vector result(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        result[i] = std::max(0.0f, v[i]);
+    return result;
+}
+
+Vector
+sigmoid(const Vector &v)
+{
+    Vector result(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        result[i] = static_cast<float>(1.0 / (1.0 + std::exp(-v[i])));
+    return result;
+}
+
+Vector
+tanhVec(const Vector &v)
+{
+    Vector result(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        result[i] = std::tanh(v[i]);
+    return result;
+}
+
+Vector
+softmax(const Vector &v)
+{
+    panic_if(v.empty(), "softmax of empty vector");
+    const float max_v = *std::max_element(v.begin(), v.end());
+    Vector result(v.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        result[i] = std::exp(v[i] - max_v);
+        sum += result[i];
+    }
+    for (float &x : result)
+        x = static_cast<float>(x / sum);
+    return result;
+}
+
+std::size_t
+argmax(const Vector &v)
+{
+    panic_if(v.empty(), "argmax of empty vector");
+    return static_cast<std::size_t>(
+        std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+double
+zeroFraction(const Vector &v)
+{
+    if (v.empty())
+        return 0.0;
+    std::size_t zeros = 0;
+    for (float x : v)
+        if (x == 0.0f)
+            ++zeros;
+    return static_cast<double>(zeros) / static_cast<double>(v.size());
+}
+
+double
+maxAbsDiff(const Vector &a, const Vector &b)
+{
+    panic_if(a.size() != b.size(), "size mismatch %zu vs %zu", a.size(),
+             b.size());
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        max_diff = std::max(max_diff,
+                            std::abs(static_cast<double>(a[i]) - b[i]));
+    return max_diff;
+}
+
+} // namespace eie::nn

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Dense tensor primitives for the golden (reference) model.
+ *
+ * The golden model plays the role Caffe played in the paper: a trusted
+ * floating-point implementation against which both the functional EIE
+ * model and the cycle-accurate simulator are verified.
+ */
+
+#ifndef EIE_NN_TENSOR_HH
+#define EIE_NN_TENSOR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace eie::nn {
+
+/** Dense vector of single-precision values. */
+using Vector = std::vector<float>;
+
+/** Dense row-major matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Create a zero-initialised rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+    {}
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    float &
+    at(std::size_t r, std::size_t c)
+    {
+        panic_if(r >= rows_ || c >= cols_, "matrix index (%zu,%zu) out of "
+                 "(%zu,%zu)", r, c, rows_, cols_);
+        return data_[r * cols_ + c];
+    }
+
+    float
+    at(std::size_t r, std::size_t c) const
+    {
+        panic_if(r >= rows_ || c >= cols_, "matrix index (%zu,%zu) out of "
+                 "(%zu,%zu)", r, c, rows_, cols_);
+        return data_[r * cols_ + c];
+    }
+
+    /** Raw row-major storage. */
+    const std::vector<float> &data() const { return data_; }
+    std::vector<float> &data() { return data_; }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** y = W a (dense GEMV, double accumulation). */
+Vector matVec(const Matrix &w, const Vector &a);
+
+/** Element-wise rectified linear unit. */
+Vector relu(const Vector &v);
+
+/** Logistic sigmoid applied element-wise. */
+Vector sigmoid(const Vector &v);
+
+/** Hyperbolic tangent applied element-wise. */
+Vector tanhVec(const Vector &v);
+
+/** Numerically-stable softmax. */
+Vector softmax(const Vector &v);
+
+/** Index of the maximum element (first on ties); requires non-empty. */
+std::size_t argmax(const Vector &v);
+
+/** Fraction of elements that are exactly zero. */
+double zeroFraction(const Vector &v);
+
+/** Max absolute difference between two equal-length vectors. */
+double maxAbsDiff(const Vector &a, const Vector &b);
+
+} // namespace eie::nn
+
+#endif // EIE_NN_TENSOR_HH

@@ -1,0 +1,228 @@
+#include "nn/trainer.hh"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace eie::nn {
+
+ClusterTask::ClusterTask(std::size_t dim, int n_classes,
+                         double cluster_radius, double noise_stddev,
+                         Rng &rng)
+    : dim_(dim), n_classes_(n_classes), noise_stddev_(noise_stddev)
+{
+    fatal_if(n_classes_ <= 1, "need at least two classes");
+
+    // Class means: random directions scaled to the cluster radius.
+    means_.reserve(n_classes_);
+    for (int c = 0; c < n_classes_; ++c) {
+        Vector mean(dim_);
+        double norm2 = 0.0;
+        for (std::size_t d = 0; d < dim_; ++d) {
+            mean[d] = static_cast<float>(rng.normal(0.0, 1.0));
+            norm2 += static_cast<double>(mean[d]) * mean[d];
+        }
+        const double scale = cluster_radius / std::sqrt(norm2 + 1e-12);
+        for (float &x : mean)
+            x = static_cast<float>(x * scale);
+        means_.push_back(std::move(mean));
+    }
+}
+
+Dataset
+ClusterTask::sample(std::size_t n_samples, Rng &rng) const
+{
+    Dataset data;
+    data.inputs.reserve(n_samples);
+    data.labels.reserve(n_samples);
+    for (std::size_t s = 0; s < n_samples; ++s) {
+        const int label =
+            static_cast<int>(rng.uniformInt(0, n_classes_ - 1));
+        Vector x(dim_);
+        for (std::size_t d = 0; d < dim_; ++d)
+            x[d] = static_cast<float>(
+                means_[static_cast<std::size_t>(label)][d] +
+                rng.normal(0.0, noise_stddev_));
+        data.inputs.push_back(std::move(x));
+        data.labels.push_back(label);
+    }
+    return data;
+}
+
+Dataset
+makeClusterDataset(std::size_t n_samples, std::size_t dim, int n_classes,
+                   double cluster_radius, double noise_stddev, Rng &rng)
+{
+    const ClusterTask task(dim, n_classes, cluster_radius, noise_stddev,
+                           rng);
+    return task.sample(n_samples, rng);
+}
+
+Mlp::Mlp(std::vector<std::size_t> dims, Rng &rng) : dims_(std::move(dims))
+{
+    fatal_if(dims_.size() < 2, "an MLP needs at least input/output dims");
+    for (std::size_t l = 0; l + 1 < dims_.size(); ++l) {
+        const std::size_t fan_in = dims_[l];
+        const std::size_t fan_out = dims_[l + 1];
+        const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+        Matrix w(fan_out, fan_in);
+        for (std::size_t i = 0; i < fan_out; ++i)
+            for (std::size_t j = 0; j < fan_in; ++j)
+                w.at(i, j) = static_cast<float>(rng.normal(0.0, stddev));
+        weights_.push_back(std::move(w));
+        biases_.emplace_back(fan_out, 0.0f);
+    }
+}
+
+Vector
+Mlp::forward(const Vector &input) const
+{
+    Vector act = input;
+    for (std::size_t l = 0; l < weights_.size(); ++l) {
+        Vector pre = matVec(weights_[l], act);
+        for (std::size_t i = 0; i < pre.size(); ++i)
+            pre[i] += biases_[l][i];
+        act = (l + 1 < weights_.size()) ? relu(pre) : pre;
+    }
+    return act;
+}
+
+double
+Mlp::trainEpoch(const Dataset &data, double learning_rate,
+                std::size_t batch_size, Rng &rng)
+{
+    panic_if(data.size() == 0, "cannot train on an empty dataset");
+    std::vector<std::size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    const std::size_t n_layers = weights_.size();
+    double total_loss = 0.0;
+
+    for (std::size_t start = 0; start < order.size();
+         start += batch_size) {
+        const std::size_t end = std::min(order.size(), start + batch_size);
+        const double inv_batch = 1.0 / static_cast<double>(end - start);
+
+        // Accumulated gradients for the batch.
+        std::vector<Matrix> grad_w;
+        std::vector<Vector> grad_b;
+        for (std::size_t l = 0; l < n_layers; ++l) {
+            grad_w.emplace_back(weights_[l].rows(), weights_[l].cols());
+            grad_b.emplace_back(weights_[l].rows(), 0.0f);
+        }
+
+        for (std::size_t s = start; s < end; ++s) {
+            const Vector &x = data.inputs[order[s]];
+            const int label = data.labels[order[s]];
+
+            // Forward, keeping the activations of every layer.
+            std::vector<Vector> acts{x};
+            std::vector<Vector> pres;
+            for (std::size_t l = 0; l < n_layers; ++l) {
+                Vector pre = matVec(weights_[l], acts.back());
+                for (std::size_t i = 0; i < pre.size(); ++i)
+                    pre[i] += biases_[l][i];
+                pres.push_back(pre);
+                acts.push_back(l + 1 < n_layers ? relu(pre) : pre);
+            }
+
+            const Vector probs = softmax(acts.back());
+            total_loss -=
+                std::log(std::max(1e-12, double{
+                    probs[static_cast<std::size_t>(label)]}));
+
+            // Backward: delta = dLoss/dPre for the current layer.
+            Vector delta = probs;
+            delta[static_cast<std::size_t>(label)] -= 1.0f;
+
+            for (std::size_t l = n_layers; l-- > 0;) {
+                const Vector &in_act = acts[l];
+                for (std::size_t i = 0; i < delta.size(); ++i) {
+                    grad_b[l][i] += delta[i];
+                    for (std::size_t j = 0; j < in_act.size(); ++j)
+                        grad_w[l].at(i, j) += delta[i] * in_act[j];
+                }
+                if (l == 0)
+                    break;
+                // Propagate through W^T and the ReLU derivative.
+                Vector prev_delta(weights_[l].cols(), 0.0f);
+                for (std::size_t i = 0; i < delta.size(); ++i)
+                    for (std::size_t j = 0; j < prev_delta.size(); ++j)
+                        prev_delta[j] += weights_[l].at(i, j) * delta[i];
+                for (std::size_t j = 0; j < prev_delta.size(); ++j)
+                    if (pres[l - 1][j] <= 0.0f)
+                        prev_delta[j] = 0.0f;
+                delta = std::move(prev_delta);
+            }
+        }
+
+        // SGD step.
+        for (std::size_t l = 0; l < n_layers; ++l) {
+            for (std::size_t i = 0; i < weights_[l].rows(); ++i) {
+                biases_[l][i] -= static_cast<float>(
+                    learning_rate * inv_batch * grad_b[l][i]);
+                for (std::size_t j = 0; j < weights_[l].cols(); ++j)
+                    weights_[l].at(i, j) -= static_cast<float>(
+                        learning_rate * inv_batch * grad_w[l].at(i, j));
+            }
+        }
+    }
+    return total_loss / static_cast<double>(data.size());
+}
+
+double
+Mlp::accuracy(const Dataset &data) const
+{
+    std::size_t correct = 0;
+    for (std::size_t s = 0; s < data.size(); ++s)
+        if (static_cast<int>(argmax(forward(data.inputs[s]))) ==
+            data.labels[s])
+            ++correct;
+    return static_cast<double>(correct) /
+        static_cast<double>(data.size());
+}
+
+Vector
+Mlp::forwardQuantized(const Vector &input, const FixedFormat &fmt) const
+{
+    // Quantise the input once, then run every layer entirely in the
+    // EIE fixed-point datapath semantics.
+    std::vector<std::int64_t> act(input.size());
+    for (std::size_t i = 0; i < input.size(); ++i)
+        act[i] = quantize(input[i], fmt);
+
+    for (std::size_t l = 0; l < weights_.size(); ++l) {
+        const Matrix &w = weights_[l];
+        std::vector<std::int64_t> next(w.rows());
+        for (std::size_t i = 0; i < w.rows(); ++i) {
+            std::int64_t acc = quantize(biases_[l][i], fmt);
+            for (std::size_t j = 0; j < w.cols(); ++j) {
+                const std::int64_t wq = quantize(w.at(i, j), fmt);
+                acc = macFixed(acc, wq, act[j], fmt, fmt);
+            }
+            next[i] = (l + 1 < weights_.size()) ? reluRaw(acc) : acc;
+        }
+        act = std::move(next);
+    }
+
+    Vector logits(act.size());
+    for (std::size_t i = 0; i < act.size(); ++i)
+        logits[i] = static_cast<float>(toDouble(act[i], fmt));
+    return logits;
+}
+
+double
+Mlp::accuracyQuantized(const Dataset &data, const FixedFormat &fmt) const
+{
+    std::size_t correct = 0;
+    for (std::size_t s = 0; s < data.size(); ++s)
+        if (static_cast<int>(argmax(
+                forwardQuantized(data.inputs[s], fmt))) == data.labels[s])
+            ++correct;
+    return static_cast<double>(correct) /
+        static_cast<double>(data.size());
+}
+
+} // namespace eie::nn

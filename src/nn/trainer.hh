@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A small MLP with SGD training, used by the Figure 10 reproduction.
+ *
+ * The paper measures ImageNet/AlexNet prediction accuracy under 32-bit
+ * float, 32/16/8-bit fixed-point arithmetic. Lacking ImageNet, we train
+ * an MLP on a synthetic Gaussian-cluster classification task tuned so
+ * the float32 accuracy lands near the paper's ~80% operating point,
+ * then run bit-exact fixed-point inference at each precision. The
+ * qualitative shape (16-bit ~ float, 8-bit collapses) is the
+ * architectural claim being reproduced.
+ */
+
+#ifndef EIE_NN_TRAINER_HH
+#define EIE_NN_TRAINER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_point.hh"
+#include "common/random.hh"
+#include "nn/tensor.hh"
+
+namespace eie::nn {
+
+/** Labelled classification dataset. */
+struct Dataset
+{
+    std::vector<Vector> inputs;
+    std::vector<int> labels;
+
+    std::size_t size() const { return inputs.size(); }
+};
+
+/**
+ * Synthetic Gaussian-cluster classification task: class means drawn on
+ * a sphere, samples = mean + isotropic noise. Task hardness (and so
+ * the float accuracy ceiling) is set by the radius/noise ratio.
+ * Train and test sets must be sampled from the same task instance so
+ * they share the class means.
+ */
+class ClusterTask
+{
+  public:
+    /** Draw the class means. */
+    ClusterTask(std::size_t dim, int n_classes, double cluster_radius,
+                double noise_stddev, Rng &rng);
+
+    /** Sample a labelled dataset from the task. */
+    Dataset sample(std::size_t n_samples, Rng &rng) const;
+
+    std::size_t dim() const { return dim_; }
+    int classes() const { return n_classes_; }
+
+  private:
+    std::size_t dim_;
+    int n_classes_;
+    double noise_stddev_;
+    std::vector<Vector> means_;
+};
+
+/** Convenience: a single dataset from a freshly drawn task. */
+Dataset makeClusterDataset(std::size_t n_samples, std::size_t dim,
+                           int n_classes, double cluster_radius,
+                           double noise_stddev, Rng &rng);
+
+/** Multi-layer perceptron with ReLU hidden layers and logit outputs. */
+class Mlp
+{
+  public:
+    /**
+     * @param dims layer widths, e.g. {64, 128, 10} = one hidden layer
+     * @param rng  initialisation randomness (He-scaled Gaussians)
+     */
+    Mlp(std::vector<std::size_t> dims, Rng &rng);
+
+    /** Forward pass to raw logits (float). */
+    Vector forward(const Vector &input) const;
+
+    /**
+     * One epoch of minibatch SGD with softmax cross-entropy loss.
+     *
+     * @return mean training loss over the epoch
+     */
+    double trainEpoch(const Dataset &data, double learning_rate,
+                      std::size_t batch_size, Rng &rng);
+
+    /** Top-1 accuracy of the float model. */
+    double accuracy(const Dataset &data) const;
+
+    /**
+     * Top-1 accuracy with bit-exact fixed-point inference: weights,
+     * biases and activations quantised to @p fmt, multiply-accumulate
+     * in the EIE datapath semantics (wide product, realign, saturate).
+     */
+    double accuracyQuantized(const Dataset &data,
+                             const FixedFormat &fmt) const;
+
+    /** Number of weight layers. */
+    std::size_t layerCount() const { return weights_.size(); }
+
+    /** Weight matrix of layer @p l (outputs x inputs). */
+    const Matrix &layerWeights(std::size_t l) const { return weights_[l]; }
+
+  private:
+    Vector forwardQuantized(const Vector &input,
+                            const FixedFormat &fmt) const;
+
+    std::vector<std::size_t> dims_;
+    std::vector<Matrix> weights_; ///< weights_[l] is dims[l+1] x dims[l]
+    std::vector<Vector> biases_;
+};
+
+} // namespace eie::nn
+
+#endif // EIE_NN_TRAINER_HH

@@ -1,0 +1,107 @@
+#include "platforms/asic_models.hh"
+
+namespace eie::platforms {
+
+PlatformSpec
+DaDianNaoModel::spec()
+{
+    PlatformSpec s;
+    s.name = "DaDianNao";
+    s.year = 2014;
+    s.type = "ASIC";
+    s.technology_nm = 28;
+    s.clock_mhz = "606";
+    s.memory_type = "eDRAM";
+    s.max_model_params = "18M";
+    s.quantization = "16-bit fixed";
+    s.area_mm2 = 67.7;
+    s.power_watts = 15.97;
+    return s;
+}
+
+PlatformSpec
+TrueNorthModel::spec()
+{
+    PlatformSpec s;
+    s.name = "TrueNorth";
+    s.year = 2014;
+    s.type = "ASIC";
+    s.technology_nm = 28;
+    s.clock_mhz = "Async";
+    s.memory_type = "SRAM";
+    s.max_model_params = "256M";
+    s.quantization = "1-bit fixed";
+    s.area_mm2 = 430.0;
+    s.power_watts = 0.18;
+    return s;
+}
+
+PlatformSpec
+AEyeModel::spec()
+{
+    PlatformSpec s;
+    s.name = "A-Eye";
+    s.year = 2015;
+    s.type = "FPGA";
+    s.technology_nm = 28;
+    s.clock_mhz = "150";
+    s.memory_type = "DRAM";
+    s.max_model_params = "<500M";
+    s.quantization = "16-bit fixed";
+    s.area_mm2 = 0.0; // not reported
+    s.power_watts = 9.63;
+    return s;
+}
+
+PlatformSpec
+cpuSpec()
+{
+    PlatformSpec s;
+    s.name = "Core i7-5930K";
+    s.year = 2014;
+    s.type = "CPU";
+    s.technology_nm = 22;
+    s.clock_mhz = "3500";
+    s.memory_type = "DRAM";
+    s.max_model_params = "<16G";
+    s.quantization = "32-bit float";
+    s.area_mm2 = 356.0;
+    s.power_watts = 73.0;
+    return s;
+}
+
+PlatformSpec
+gpuSpec()
+{
+    PlatformSpec s;
+    s.name = "GeForce Titan X";
+    s.year = 2015;
+    s.type = "GPU";
+    s.technology_nm = 28;
+    s.clock_mhz = "1075";
+    s.memory_type = "DRAM";
+    s.max_model_params = "<3G";
+    s.quantization = "32-bit float";
+    s.area_mm2 = 601.0;
+    s.power_watts = 159.0;
+    return s;
+}
+
+PlatformSpec
+mobileGpuSpec()
+{
+    PlatformSpec s;
+    s.name = "Tegra K1";
+    s.year = 2014;
+    s.type = "mGPU";
+    s.technology_nm = 28;
+    s.clock_mhz = "852";
+    s.memory_type = "DRAM";
+    s.max_model_params = "<500M";
+    s.quantization = "32-bit float";
+    s.area_mm2 = 0.0; // not reported
+    s.power_watts = 5.1;
+    return s;
+}
+
+} // namespace eie::platforms

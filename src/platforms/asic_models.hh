@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Models of the ASIC/FPGA comparison platforms of Table V.
+ *
+ *  - DaDianNao [11]: all-eDRAM dense accelerator. M×V is completely
+ *    memory-bound, so the paper estimates its throughput from the
+ *    peak eDRAM bandwidth: 16 tiles x 4 banks x (1024b/8) x 606 MHz
+ *    = 4964 GB/s over 16-bit dense weights. It cannot exploit
+ *    sparsity or weight sharing.
+ *  - TrueNorth [40]: published TIMIT LSTM throughput (the paper's
+ *    footnote substitutes it for FC7, "different benchmarks differ
+ *    < 2x"), 0.18 W, 430 mm2, 1-bit synapses, 256M parameter
+ *    capacity.
+ *  - A-Eye [14]: FPGA CONV accelerator fetching FC parameters from
+ *    DDR3; FC-layer throughput is DDR3-bandwidth-bound.
+ */
+
+#ifndef EIE_PLATFORMS_ASIC_MODELS_HH
+#define EIE_PLATFORMS_ASIC_MODELS_HH
+
+#include "platforms/roofline.hh"
+
+namespace eie::platforms {
+
+/** Static datasheet row for Table V. */
+struct PlatformSpec
+{
+    std::string name;
+    int year = 0;
+    std::string type;
+    unsigned technology_nm = 0;
+    std::string clock_mhz;     ///< "Async" for TrueNorth
+    std::string memory_type;
+    std::string max_model_params;
+    std::string quantization;
+    double area_mm2 = 0.0;     ///< 0 = not reported
+    double power_watts = 0.0;
+};
+
+/** DaDianNao: peak-eDRAM-bandwidth-bound dense M×V. */
+class DaDianNaoModel : public PlatformModel
+{
+  public:
+    const std::string &name() const override { return name_; }
+
+    double
+    timeUs(const Workload &w, bool compressed,
+           unsigned batch) const override
+    {
+        (void)compressed; // must expand to dense form (§II)
+        (void)batch;
+        const double bytes = w.denseWeightBytes(2.0); // 16-bit fixed
+        return bytes / (peak_bw_gbs_ * 1e3);
+    }
+
+    double powerWatts() const override { return 15.97; }
+
+    static PlatformSpec spec();
+
+  private:
+    std::string name_ = "DaDianNao";
+    static constexpr double peak_bw_gbs_ = 4964.0;
+};
+
+/** TrueNorth: fixed published operating point. */
+class TrueNorthModel : public PlatformModel
+{
+  public:
+    const std::string &name() const override { return name_; }
+
+    double
+    timeUs(const Workload &w, bool compressed,
+           unsigned batch) const override
+    {
+        (void)w;
+        (void)compressed;
+        (void)batch;
+        return 1e6 / published_frames_per_s_;
+    }
+
+    double powerWatts() const override { return 0.18; }
+
+    static PlatformSpec spec();
+
+  private:
+    std::string name_ = "TrueNorth";
+    static constexpr double published_frames_per_s_ = 1989.0;
+};
+
+/** A-Eye: DDR3-bound FC execution on an FPGA. */
+class AEyeModel : public PlatformModel
+{
+  public:
+    const std::string &name() const override { return name_; }
+
+    double
+    timeUs(const Workload &w, bool compressed,
+           unsigned batch) const override
+    {
+        (void)compressed; // optimised for CONV; FC streams from DDR3
+        (void)batch;
+        const double bytes = w.denseWeightBytes(2.0); // 16-bit fixed
+        return bytes / (ddr3_bw_gbs_ * 1e3);
+    }
+
+    double powerWatts() const override { return 9.63; }
+
+    static PlatformSpec spec();
+
+  private:
+    std::string name_ = "A-Eye (FPGA)";
+    static constexpr double ddr3_bw_gbs_ = 1.1;
+};
+
+/** Datasheet rows for the general-purpose platforms of Table V. */
+PlatformSpec cpuSpec();
+PlatformSpec gpuSpec();
+PlatformSpec mobileGpuSpec();
+
+} // namespace eie::platforms
+
+#endif // EIE_PLATFORMS_ASIC_MODELS_HH

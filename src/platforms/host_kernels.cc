@@ -1,0 +1,101 @@
+#include "platforms/host_kernels.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace eie::platforms {
+
+CsrMatrix
+CsrMatrix::fromSparse(const nn::SparseMatrix &m)
+{
+    CsrMatrix csr;
+    csr.rows = m.rows();
+    csr.cols = m.cols();
+
+    // Count entries per row, then fill with a second pass.
+    std::vector<std::uint32_t> counts(m.rows(), 0);
+    for (std::size_t j = 0; j < m.cols(); ++j)
+        for (const auto &e : m.column(j))
+            ++counts[e.row];
+
+    csr.row_ptr.resize(m.rows() + 1, 0);
+    for (std::size_t i = 0; i < m.rows(); ++i)
+        csr.row_ptr[i + 1] = csr.row_ptr[i] + counts[i];
+
+    const std::size_t nnz = csr.row_ptr.back();
+    csr.values.resize(nnz);
+    csr.col_idx.resize(nnz);
+    std::vector<std::uint32_t> cursor(csr.row_ptr.begin(),
+                                      csr.row_ptr.end() - 1);
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+        for (const auto &e : m.column(j)) {
+            const std::uint32_t pos = cursor[e.row]++;
+            csr.values[pos] = e.value;
+            csr.col_idx[pos] = static_cast<std::uint32_t>(j);
+        }
+    }
+    return csr;
+}
+
+void
+denseGemv(const nn::Matrix &w, std::span<const float> a,
+          std::span<float> y)
+{
+    panic_if(a.size() != w.cols() || y.size() != w.rows(),
+             "GEMV size mismatch");
+    const float *data = w.data().data();
+    for (std::size_t i = 0; i < w.rows(); ++i) {
+        const float *row = data + i * w.cols();
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < w.cols(); ++j)
+            acc += row[j] * a[j];
+        y[i] = acc;
+    }
+}
+
+void
+csrSpmv(const CsrMatrix &w, std::span<const float> a, std::span<float> y)
+{
+    panic_if(a.size() != w.cols || y.size() != w.rows,
+             "CSR SpMV size mismatch");
+    for (std::size_t i = 0; i < w.rows; ++i) {
+        float acc = 0.0f;
+        for (std::uint32_t e = w.row_ptr[i]; e < w.row_ptr[i + 1]; ++e)
+            acc += w.values[e] * a[w.col_idx[e]];
+        y[i] = acc;
+    }
+}
+
+void
+cscCodebookSpmv(const compress::InterleavedCsc &w,
+                std::span<const float> a, std::span<float> y)
+{
+    panic_if(a.size() != w.cols() || y.size() != w.rows(),
+             "CSC SpMV size mismatch");
+    std::fill(y.begin(), y.end(), 0.0f);
+
+    const auto &codebook = w.codebook();
+    const unsigned n_pe = w.numPe();
+    for (unsigned k = 0; k < n_pe; ++k) {
+        const auto &slice = w.pe(k);
+        const auto &entries = slice.entries();
+        const auto &col_ptr = slice.colPtr();
+        for (std::size_t j = 0; j < w.cols(); ++j) {
+            const float aj = a[j];
+            if (aj == 0.0f)
+                continue; // dynamic activation sparsity
+            std::int64_t pos = -1;
+            for (std::uint32_t e = col_ptr[j]; e < col_ptr[j + 1];
+                 ++e) {
+                pos += entries[e].zero_count + 1;
+                const float weight =
+                    codebook.decode(entries[e].weight_index);
+                y[static_cast<std::size_t>(pos) * n_pe + k] +=
+                    weight * aj;
+            }
+        }
+    }
+}
+
+} // namespace eie::platforms

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Runnable software M×V kernels — the honest, measurable counterpart
+ * of the roofline models. bench/host_kernels times them with
+ * google-benchmark on the build machine to confirm the qualitative
+ * claim of §VI-A: model compression by itself on a general-purpose
+ * processor yields only ~3x, because the irregular CSR walk wastes
+ * most of the bandwidth win, while EIE's dedicated logic keeps it.
+ */
+
+#ifndef EIE_PLATFORMS_HOST_KERNELS_HH
+#define EIE_PLATFORMS_HOST_KERNELS_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/interleaved.hh"
+#include "nn/sparse.hh"
+
+namespace eie::platforms {
+
+/** Row-major CSR image of a sparse matrix (the cuSPARSE/MKL layout). */
+struct CsrMatrix
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<float> values;
+    std::vector<std::uint32_t> col_idx;
+    std::vector<std::uint32_t> row_ptr; ///< rows+1 entries
+
+    /** Convert from the column-major sparse representation. */
+    static CsrMatrix fromSparse(const nn::SparseMatrix &m);
+};
+
+/** y = W a, dense row-major GEMV. */
+void denseGemv(const nn::Matrix &w, std::span<const float> a,
+               std::span<float> y);
+
+/** y = W a over CSR storage (the MKL CSRMV access pattern). */
+void csrSpmv(const CsrMatrix &w, std::span<const float> a,
+             std::span<float> y);
+
+/**
+ * y = W a over the EIE interleaved CSC image in software: walks only
+ * non-zero activations, decodes 4-bit indices through the codebook —
+ * the access pattern a CPU would execute on the compressed model,
+ * with all of EIE's indirection overheads visible.
+ */
+void cscCodebookSpmv(const compress::InterleavedCsc &w,
+                     std::span<const float> a, std::span<float> y);
+
+} // namespace eie::platforms
+
+#endif // EIE_PLATFORMS_HOST_KERNELS_HH

@@ -1,0 +1,122 @@
+#include "platforms/roofline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace eie::platforms {
+
+RooflinePlatform::RooflinePlatform(RooflineParams params)
+    : params_(std::move(params))
+{
+    fatal_if(params_.dense_bw_gbs <= 0 || params_.sparse_bw_gbs <= 0 ||
+             params_.dense_gemm_gflops <= 0 ||
+             params_.sparse_gflops <= 0,
+             "roofline parameters for '%s' must be positive",
+             params_.name.c_str());
+}
+
+double
+RooflinePlatform::timeUs(const Workload &w, bool compressed,
+                         unsigned batch) const
+{
+    fatal_if(batch == 0, "batch must be >= 1");
+    const double n = batch;
+
+    double frame_us = 0.0;
+    if (!compressed) {
+        // Dense GEMV/GEMM over fp32 weights.
+        const double bytes = w.denseWeightBytes(4.0);
+        const double mem_us = bytes / (params_.dense_bw_gbs * 1e3) / n;
+        const double compute_us =
+            w.denseFlops() / (params_.dense_gemm_gflops * 1e3);
+        frame_us = std::max(mem_us, compute_us);
+        if (batch == 1) {
+            // Batch-1 GEMV never reaches GEMM compute throughput;
+            // bandwidth is the binding constraint.
+            frame_us = mem_us;
+        }
+    } else {
+        // CSR sparse: values + indices must be streamed either way.
+        const double bytes = w.csrBytes();
+        const double mem_us = bytes / (params_.sparse_bw_gbs * 1e3) / n;
+        const double compute_us =
+            w.sparseFlops() / (params_.sparse_gflops * 1e3);
+        frame_us = batch == 1 ? mem_us : std::max(mem_us, compute_us);
+    }
+    return frame_us + params_.overhead_us / n;
+}
+
+RooflineParams
+cpuCoreI7Params()
+{
+    RooflineParams p;
+    p.name = "CPU (i7-5930K)";
+    // Table IV dense batch-1: VGG-6 moves 411 MB in 35.0 ms and
+    // Alex-7 67 MB in 6.2 ms -> ~11.8 GB/s effective GEMV bandwidth.
+    p.dense_bw_gbs = 11.8;
+    // Sparse batch-1: Alex-6/7 and VGG-6 CSR streams land at ~9 GB/s
+    // (irregular access costs ~25% of the streaming bandwidth).
+    p.sparse_bw_gbs = 9.0;
+    // Batched dense: MKL SGEMM at ~200 GFLOP/s (Table IV batch 64).
+    p.dense_gemm_gflops = 200.0;
+    // Batched sparse: MKL CSRMM at ~4.6 GFLOP/s.
+    p.sparse_gflops = 4.6;
+    p.overhead_us = 10.0;
+    p.power_watts = 73.0; // pcm-power socket+DRAM (Table V)
+    return p;
+}
+
+RooflineParams
+gpuTitanXParams()
+{
+    RooflineParams p;
+    p.name = "GPU (Titan X)";
+    // Table IV dense batch-1: Alex-6/7, VGG-6 all at ~280 GB/s
+    // (83% of the 336 GB/s pin bandwidth).
+    p.dense_bw_gbs = 280.0;
+    // cuSPARSE CSRMV: ~195 GB/s effective.
+    p.sparse_bw_gbs = 195.0;
+    // cuBLAS SGEMM at batch 64: ~3.8 TFLOP/s.
+    p.dense_gemm_gflops = 3800.0;
+    // cuSPARSE CSRMM: ~66 GFLOP/s.
+    p.sparse_gflops = 66.0;
+    p.overhead_us = 20.0;
+    p.power_watts = 159.0; // nvidia-smi (Table V)
+    return p;
+}
+
+RooflineParams
+mobileGpuTegraK1Params()
+{
+    RooflineParams p;
+    p.name = "mGPU (Tegra K1)";
+    // Table IV dense batch-1: ~11.6 GB/s effective DRAM bandwidth.
+    p.dense_bw_gbs = 11.6;
+    p.sparse_bw_gbs = 9.5;
+    // Batched throughput on the 192-core K1 is erratic in Table IV
+    // (thermal limits); ~45 GFLOP/s dense, ~1.8 GFLOP/s sparse fit
+    // the AlexNet rows.
+    p.dense_gemm_gflops = 45.0;
+    p.sparse_gflops = 1.8;
+    p.overhead_us = 300.0;
+    // AP+DRAM power after AC/DC, regulator and peripheral
+    // discounts (§V).
+    p.power_watts = 5.1;
+    return p;
+}
+
+std::vector<std::unique_ptr<PlatformModel>>
+makeBaselinePlatforms()
+{
+    std::vector<std::unique_ptr<PlatformModel>> platforms;
+    platforms.push_back(
+        std::make_unique<RooflinePlatform>(cpuCoreI7Params()));
+    platforms.push_back(
+        std::make_unique<RooflinePlatform>(gpuTitanXParams()));
+    platforms.push_back(
+        std::make_unique<RooflinePlatform>(mobileGpuTegraK1Params()));
+    return platforms;
+}
+
+} // namespace eie::platforms

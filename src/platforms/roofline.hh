@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Analytical roofline models of the paper's general-purpose
+ * comparison platforms (§V "Comparison Baseline"):
+ *
+ *  - CPU: Intel Core i7-5930K running MKL GEMV (dense) and MKL
+ *    sparse CSRMV (compressed),
+ *  - GPU: NVIDIA GeForce GTX Titan X with cuBLAS / cuSPARSE,
+ *  - mGPU: NVIDIA Tegra K1 with cuBLAS / cuSPARSE.
+ *
+ * Batch-1 M×V has no weight reuse, so it is bandwidth-bound: time =
+ * overhead + bytes / effective_bandwidth. Batched (64) execution is
+ * compute-bound at the platform's GEMM (dense) or SpMM (sparse)
+ * throughput. Effective bandwidths and throughputs are calibrated
+ * from the paper's own Table IV wall-clock measurements (e.g. Titan X
+ * dense batch-1 moves 4-byte weights at ~280 GB/s across Alex-6/7 and
+ * VGG-6 within 2%); we cannot re-measure the 2016 hardware, and this
+ * preserves exactly the who-wins-by-what-factor structure Figures 6-7
+ * report. Power is the measured socket/board power the paper used
+ * for its energy numbers (Table V).
+ */
+
+#ifndef EIE_PLATFORMS_ROOFLINE_HH
+#define EIE_PLATFORMS_ROOFLINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platforms/workload.hh"
+
+namespace eie::platforms {
+
+/** Abstract comparison platform. */
+class PlatformModel
+{
+  public:
+    virtual ~PlatformModel() = default;
+
+    /** Display name, e.g. "GPU (Titan X)". */
+    virtual const std::string &name() const = 0;
+
+    /**
+     * Per-frame latency in microseconds.
+     *
+     * @param w          the layer workload
+     * @param compressed run the pruned (sparse) model instead of dense
+     * @param batch      frames per kernel invocation (>= 1)
+     */
+    virtual double timeUs(const Workload &w, bool compressed,
+                          unsigned batch) const = 0;
+
+    /** Measured power in watts used for the energy comparison. */
+    virtual double powerWatts() const = 0;
+
+    /** Per-frame energy in microjoules. */
+    double
+    energyUj(const Workload &w, bool compressed, unsigned batch) const
+    {
+        return timeUs(w, compressed, batch) * powerWatts();
+    }
+};
+
+/** Calibration constants of one roofline platform. */
+struct RooflineParams
+{
+    std::string name;
+    double dense_bw_gbs = 0.0;     ///< batch-1 dense GEMV bandwidth
+    double sparse_bw_gbs = 0.0;    ///< batch-1 sparse CSRMV bandwidth
+    double dense_gemm_gflops = 0.0;///< batched dense throughput
+    double sparse_gflops = 0.0;    ///< batched sparse throughput
+    double overhead_us = 0.0;      ///< per-kernel fixed overhead
+    double power_watts = 0.0;      ///< measured socket/board power
+};
+
+/** Bandwidth/compute roofline with calibrated constants. */
+class RooflinePlatform : public PlatformModel
+{
+  public:
+    explicit RooflinePlatform(RooflineParams params);
+
+    const std::string &name() const override { return params_.name; }
+    double timeUs(const Workload &w, bool compressed,
+                  unsigned batch) const override;
+    double powerWatts() const override { return params_.power_watts; }
+
+    const RooflineParams &params() const { return params_; }
+
+  private:
+    RooflineParams params_;
+};
+
+/** Core i7-5930K (Haswell-E), calibrated to Table IV. */
+RooflineParams cpuCoreI7Params();
+
+/** GeForce GTX Titan X, calibrated to Table IV. */
+RooflineParams gpuTitanXParams();
+
+/** Tegra K1 (AP + DRAM power per §V), calibrated to Table IV. */
+RooflineParams mobileGpuTegraK1Params();
+
+/** The three general-purpose baselines in paper order. */
+std::vector<std::unique_ptr<PlatformModel>> makeBaselinePlatforms();
+
+} // namespace eie::platforms
+
+#endif // EIE_PLATFORMS_ROOFLINE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * An FC-layer M×V workload as the platform models see it: dimensions
+ * and densities only (the models are analytical).
+ */
+
+#ifndef EIE_PLATFORMS_WORKLOAD_HH
+#define EIE_PLATFORMS_WORKLOAD_HH
+
+#include <cstddef>
+#include <string>
+
+namespace eie::platforms {
+
+/** One matrix-vector workload b = W a. */
+struct Workload
+{
+    std::string name;
+    std::size_t rows = 0;          ///< output size
+    std::size_t cols = 0;          ///< input size
+    double weight_density = 1.0;   ///< fraction of non-zero weights
+    double act_density = 1.0;      ///< fraction of non-zero inputs
+
+    /** Dense FLOPs of the M×V (2 per weight). */
+    double
+    denseFlops() const
+    {
+        return 2.0 * static_cast<double>(rows) *
+            static_cast<double>(cols);
+    }
+
+    /** Non-zero weights after pruning. */
+    double
+    nnz() const
+    {
+        return weight_density * static_cast<double>(rows) *
+            static_cast<double>(cols);
+    }
+
+    /** FLOPs on the compressed network (weight sparsity only). */
+    double sparseFlops() const { return 2.0 * nnz(); }
+
+    /** Dense weight bytes at @p bytes_per_weight. */
+    double
+    denseWeightBytes(double bytes_per_weight = 4.0) const
+    {
+        return bytes_per_weight * static_cast<double>(rows) *
+            static_cast<double>(cols);
+    }
+
+    /** CSR bytes: 4-byte value + 4-byte column index per non-zero,
+     *  plus the row-pointer array. */
+    double
+    csrBytes() const
+    {
+        return nnz() * 8.0 + 4.0 * (static_cast<double>(rows) + 1.0);
+    }
+};
+
+} // namespace eie::platforms
+
+#endif // EIE_PLATFORMS_WORKLOAD_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Registered hardware FIFO model.
+ *
+ * Semantics match a synchronous FIFO with registered occupancy flags:
+ * pushes and pops requested during a cycle become visible after tick()
+ * (the clock edge). Flow control (full()/empty()) is evaluated on the
+ * registered state, which is the conservative discipline the EIE
+ * activation queue needs ("the broadcast is disabled if any PE has a
+ * full queue", §IV).
+ */
+
+#ifndef EIE_SIM_FIFO_HH
+#define EIE_SIM_FIFO_HH
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "common/logging.hh"
+
+namespace eie::sim {
+
+/** Synchronous FIFO with at most one push and one pop per cycle. */
+template <typename T>
+class Fifo
+{
+  public:
+    /** @param capacity maximum number of stored entries (>= 1). */
+    explicit Fifo(std::size_t capacity) : capacity_(capacity)
+    {
+        panic_if(capacity_ == 0, "FIFO capacity must be >= 1");
+    }
+
+    /** Registered occupancy. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Capacity given at construction. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** True if no entry is visible this cycle. */
+    bool empty() const { return entries_.empty(); }
+
+    /** True if the registered occupancy equals the capacity. */
+    bool full() const { return entries_.size() >= capacity_; }
+
+    /** Head entry; requires !empty(). */
+    const T &
+    front() const
+    {
+        panic_if(entries_.empty(), "front() on empty FIFO");
+        return entries_.front();
+    }
+
+    /**
+     * Request a push this cycle. The entry appears after tick().
+     * Pushing while full() is a modelling error (the producer must
+     * respect flow control) and panics.
+     */
+    void
+    push(const T &value)
+    {
+        panic_if(pending_push_.has_value(),
+                 "multiple pushes into FIFO in one cycle");
+        panic_if(full() && !pending_pop_,
+                 "push into full FIFO without concurrent pop");
+        pending_push_ = value;
+    }
+
+    /** Request a pop this cycle; the head disappears after tick(). */
+    void
+    pop()
+    {
+        panic_if(entries_.empty(), "pop() on empty FIFO");
+        panic_if(pending_pop_, "multiple pops from FIFO in one cycle");
+        pending_pop_ = true;
+    }
+
+    /** Clock edge: commit the pending push/pop. */
+    void
+    tick()
+    {
+        if (pending_pop_) {
+            entries_.pop_front();
+            pending_pop_ = false;
+        }
+        if (pending_push_.has_value()) {
+            entries_.push_back(*pending_push_);
+            pending_push_.reset();
+            panic_if(entries_.size() > capacity_, "FIFO overflow");
+        }
+    }
+
+    /** Drop all contents and pending operations. */
+    void
+    clear()
+    {
+        entries_.clear();
+        pending_push_.reset();
+        pending_pop_ = false;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::deque<T> entries_;
+    std::optional<T> pending_push_;
+    bool pending_pop_ = false;
+};
+
+} // namespace eie::sim
+
+#endif // EIE_SIM_FIFO_HH

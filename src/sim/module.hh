@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Base class for cycle-accurate hardware modules.
+ *
+ * The paper (§V, "Simulator, RTL and Layout") describes the authors'
+ * evaluation vehicle: "Each hardware module is abstracted as an object
+ * that implements two abstract methods: propagate and update,
+ * corresponding to combination logic and the flip-flop in RTL." This
+ * kernel implements exactly that two-phase discipline:
+ *
+ *  - propagate(): compute combinational outputs from registered state
+ *    and input wires. Must be side-effect free on registered state and
+ *    idempotent (the kernel may call it several times per cycle when
+ *    settling combinational chains).
+ *  - update(): the rising clock edge. Commit next-state into registers.
+ */
+
+#ifndef EIE_SIM_MODULE_HH
+#define EIE_SIM_MODULE_HH
+
+#include <string>
+
+namespace eie::sim {
+
+/** A clocked hardware module with two-phase (propagate/update) timing. */
+class Module
+{
+  public:
+    /** @param name hierarchical instance name, e.g. "pe3.actQueue". */
+    explicit Module(std::string name) : name_(std::move(name)) {}
+
+    virtual ~Module() = default;
+
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    /** Combinational logic: derive outputs from current state/inputs. */
+    virtual void propagate() = 0;
+
+    /** Sequential logic: commit next-state at the clock edge. */
+    virtual void update() = 0;
+
+    /** Instance name used in statistics and traces. */
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+} // namespace eie::sim
+
+#endif // EIE_SIM_MODULE_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Wire and register primitives for the two-phase simulation kernel.
+ *
+ * Signal<T> models a combinational wire: writes take effect
+ * immediately and are observed by later propagate() calls in the same
+ * cycle. Every value-changing write is reported to a ChangeMonitor so
+ * the simulator can iterate propagation to a fixed point and detect
+ * combinational loops.
+ *
+ * Reg<T> models a D flip-flop: reads return the registered value,
+ * writes go to the next-state side and become visible after tick()
+ * (called from the owning module's update()).
+ */
+
+#ifndef EIE_SIM_SIGNAL_HH
+#define EIE_SIM_SIGNAL_HH
+
+#include <cstdint>
+
+namespace eie::sim {
+
+/** Counts value changes on wires during a propagate pass. */
+class ChangeMonitor
+{
+  public:
+    /** Record one value change. */
+    void note() { ++changes_; }
+
+    /** Total changes recorded since construction/reset. */
+    std::uint64_t changes() const { return changes_; }
+
+    /** Reset the change counter (start of a settle iteration). */
+    void reset() { changes_ = 0; }
+
+  private:
+    std::uint64_t changes_ = 0;
+};
+
+/** A combinational wire carrying a value of type T. */
+template <typename T>
+class Signal
+{
+  public:
+    /** @param monitor optional change monitor for settle detection. */
+    explicit Signal(ChangeMonitor *monitor = nullptr, T initial = T{})
+        : value_(initial), monitor_(monitor)
+    {}
+
+    /** Current driven value. */
+    const T &read() const { return value_; }
+
+    /** Drive the wire; notes a change if the value differs. */
+    void
+    write(const T &value)
+    {
+        if (!(value_ == value)) {
+            value_ = value;
+            if (monitor_)
+                monitor_->note();
+        }
+    }
+
+  private:
+    T value_;
+    ChangeMonitor *monitor_;
+};
+
+/** A D flip-flop carrying a value of type T. */
+template <typename T>
+class Reg
+{
+  public:
+    explicit Reg(T initial = T{}) : cur_(initial), next_(initial) {}
+
+    /** Registered (visible) value. */
+    const T &read() const { return cur_; }
+
+    /** Schedule @p value to be committed at the next clock edge. */
+    void write(const T &value) { next_ = value; }
+
+    /** Next-state value (what will be committed at tick()). */
+    const T &pending() const { return next_; }
+
+    /** Commit next-state; call from the owning module's update(). */
+    void tick() { cur_ = next_; }
+
+    /** Reset both sides immediately (out-of-band initialisation). */
+    void
+    reset(const T &value)
+    {
+        cur_ = value;
+        next_ = value;
+    }
+
+  private:
+    T cur_;
+    T next_;
+};
+
+} // namespace eie::sim
+
+#endif // EIE_SIM_SIGNAL_HH

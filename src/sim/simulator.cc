@@ -1,0 +1,67 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace eie::sim {
+
+Simulator::Simulator(std::string name) : stats_(std::move(name)) {}
+
+void
+Simulator::add(Module *module)
+{
+    panic_if(!module, "cannot register a null module");
+    modules_.push_back(module);
+}
+
+void
+Simulator::step()
+{
+    if (settle_max_passes_ == 0) {
+        for (Module *m : modules_)
+            m->propagate();
+    } else {
+        unsigned pass = 0;
+        do {
+            monitor_.reset();
+            for (Module *m : modules_)
+                m->propagate();
+            ++pass;
+            panic_if(pass > settle_max_passes_ && monitor_.changes() > 0,
+                     "combinational loop: no settle after %u passes",
+                     settle_max_passes_);
+        } while (monitor_.changes() > 0);
+    }
+
+    for (Module *m : modules_)
+        m->update();
+
+    ++cycle_;
+}
+
+void
+Simulator::run(std::uint64_t cycles)
+{
+    for (std::uint64_t i = 0; i < cycles; ++i)
+        step();
+}
+
+bool
+Simulator::runUntil(const std::function<bool()> &done,
+                    std::uint64_t max_cycles)
+{
+    for (std::uint64_t i = 0; i < max_cycles; ++i) {
+        step();
+        if (done())
+            return true;
+    }
+    return done();
+}
+
+void
+Simulator::enableSettle(unsigned max_passes)
+{
+    panic_if(max_passes == 0, "settle mode needs at least one pass");
+    settle_max_passes_ = max_passes;
+}
+
+} // namespace eie::sim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The two-phase clocked simulator driving a set of Modules.
+ *
+ * Each cycle the simulator runs one or more propagate passes over all
+ * modules (in registration order) followed by exactly one update pass.
+ * Builders are expected to register modules in topological order of
+ * their combinational dependencies so a single propagate pass settles
+ * the design; for graphs where that is inconvenient, settle mode
+ * iterates propagation until no Signal changes and panics if a
+ * combinational loop prevents convergence.
+ */
+
+#ifndef EIE_SIM_SIMULATOR_HH
+#define EIE_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/module.hh"
+#include "sim/signal.hh"
+#include "sim/stats.hh"
+
+namespace eie::sim {
+
+/** Drives registered modules with a single synchronous clock. */
+class Simulator
+{
+  public:
+    /** @param name root name for the statistics tree. */
+    explicit Simulator(std::string name = "sim");
+
+    /**
+     * Register a module. Registration order defines propagate/update
+     * order within a cycle. The simulator does not take ownership.
+     */
+    void add(Module *module);
+
+    /** Advance one clock cycle. */
+    void step();
+
+    /** Advance @p cycles clock cycles. */
+    void run(std::uint64_t cycles);
+
+    /**
+     * Step until @p done returns true (checked after each cycle).
+     *
+     * @return true if @p done fired, false if @p max_cycles elapsed.
+     */
+    bool runUntil(const std::function<bool()> &done,
+                  std::uint64_t max_cycles);
+
+    /** Cycles executed since construction. */
+    std::uint64_t cycle() const { return cycle_; }
+
+    /**
+     * Enable settle mode: iterate propagate passes until the change
+     * monitor reports no wire changes, up to @p max_passes per cycle
+     * (panics on non-convergence, i.e. a combinational loop).
+     * Signals must be constructed with this simulator's monitor()
+     * for settle detection to see their changes.
+     */
+    void enableSettle(unsigned max_passes);
+
+    /** Change monitor to hand to Signal constructors. */
+    ChangeMonitor &monitor() { return monitor_; }
+
+    /** Root of the statistics tree. */
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    std::vector<Module *> modules_;
+    StatGroup stats_;
+    ChangeMonitor monitor_;
+    std::uint64_t cycle_ = 0;
+    unsigned settle_max_passes_ = 0; // 0 = single-pass mode
+};
+
+} // namespace eie::sim
+
+#endif // EIE_SIM_SIMULATOR_HH

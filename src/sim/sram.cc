@@ -1,0 +1,82 @@
+#include "sim/sram.hh"
+
+namespace eie::sim {
+
+Sram::Sram(const std::string &name, std::size_t words, StatGroup &stats)
+    : storage_(words, 0),
+      reads_(stats.counter(name + "_reads", "SRAM read accesses")),
+      writes_(stats.counter(name + "_writes", "SRAM write accesses"))
+{
+    panic_if(words == 0, "SRAM '%s' must have at least one word",
+             name.c_str());
+}
+
+void
+Sram::load(std::size_t addr, std::uint64_t value)
+{
+    panic_if(addr >= storage_.size(), "SRAM load address %zu out of %zu",
+             addr, storage_.size());
+    storage_[addr] = value;
+}
+
+void
+Sram::load(const std::vector<std::uint64_t> &contents)
+{
+    panic_if(contents.size() > storage_.size(),
+             "SRAM image (%zu words) exceeds capacity (%zu words)",
+             contents.size(), storage_.size());
+    std::copy(contents.begin(), contents.end(), storage_.begin());
+}
+
+std::uint64_t
+Sram::peek(std::size_t addr) const
+{
+    panic_if(addr >= storage_.size(), "SRAM peek address %zu out of %zu",
+             addr, storage_.size());
+    return storage_[addr];
+}
+
+void
+Sram::read(std::size_t addr)
+{
+    panic_if(pending_op_ != Op::None,
+             "second access to single-ported SRAM in one cycle");
+    panic_if(addr >= storage_.size(), "SRAM read address %zu out of %zu",
+             addr, storage_.size());
+    pending_op_ = Op::Read;
+    pending_addr_ = addr;
+}
+
+void
+Sram::write(std::size_t addr, std::uint64_t value)
+{
+    panic_if(pending_op_ != Op::None,
+             "second access to single-ported SRAM in one cycle");
+    panic_if(addr >= storage_.size(), "SRAM write address %zu out of %zu",
+             addr, storage_.size());
+    pending_op_ = Op::Write;
+    pending_addr_ = addr;
+    pending_wdata_ = value;
+}
+
+void
+Sram::tick()
+{
+    data_valid_ = false;
+    switch (pending_op_) {
+      case Op::Read:
+        data_out_ = storage_[pending_addr_];
+        data_valid_ = true;
+        ++reads_;
+        break;
+      case Op::Write:
+        storage_[pending_addr_] = pending_wdata_;
+        ++writes_;
+        break;
+      case Op::None:
+        break;
+    }
+    pending_op_ = Op::None;
+}
+
+} // namespace eie::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Single-ported synchronous SRAM model.
+ *
+ * A read requested in cycle t delivers its data in cycle t+1 (standard
+ * synchronous SRAM behaviour, and the latency the EIE pipeline is built
+ * around). The model stores whole words of up to 64 bits; wider
+ * physical rows (the 64-bit Spmat interface, or the Figure 9 width
+ * sweep up to 512 bits) are modelled as multiple logical 64-bit words
+ * with a shared access counter, because only the counts and the
+ * energy-per-access (from energy::SramModel) matter architecturally.
+ *
+ * Access counts feed the energy model (Figure 9, Table II).
+ */
+
+#ifndef EIE_SIM_SRAM_HH
+#define EIE_SIM_SRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/stats.hh"
+
+namespace eie::sim {
+
+/** Single read/write port, synchronous-read SRAM of 64-bit words. */
+class Sram
+{
+  public:
+    /**
+     * @param name       instance name for statistics
+     * @param words      number of 64-bit storage words
+     * @param stats      parent stat group (counters created beneath it)
+     */
+    Sram(const std::string &name, std::size_t words, StatGroup &stats);
+
+    /** Backdoor initialisation (DMA in I/O mode): no access counted. */
+    void load(std::size_t addr, std::uint64_t value);
+
+    /** Backdoor bulk initialisation starting at address 0. */
+    void load(const std::vector<std::uint64_t> &contents);
+
+    /** Backdoor read for result extraction / verification. */
+    std::uint64_t peek(std::size_t addr) const;
+
+    /**
+     * Issue a read of word @p addr this cycle; data is visible through
+     * dataOut() after tick(). At most one access (read or write) per
+     * cycle: single-ported.
+     */
+    void read(std::size_t addr);
+
+    /** Issue a write of @p value to word @p addr this cycle. */
+    void write(std::size_t addr, std::uint64_t value);
+
+    /** Data from the read issued in the previous cycle. */
+    std::uint64_t dataOut() const { return data_out_; }
+
+    /** True if a read was performed last cycle (dataOut() is fresh). */
+    bool dataValid() const { return data_valid_; }
+
+    /** Clock edge: perform the queued access. */
+    void tick();
+
+    /** Number of storage words. */
+    std::size_t words() const { return storage_.size(); }
+
+    /** Total reads performed. */
+    std::uint64_t readCount() const { return reads_.value(); }
+
+    /** Total writes performed. */
+    std::uint64_t writeCount() const { return writes_.value(); }
+
+  private:
+    enum class Op { None, Read, Write };
+
+    std::vector<std::uint64_t> storage_;
+    Counter &reads_;
+    Counter &writes_;
+
+    Op pending_op_ = Op::None;
+    std::size_t pending_addr_ = 0;
+    std::uint64_t pending_wdata_ = 0;
+
+    std::uint64_t data_out_ = 0;
+    bool data_valid_ = false;
+};
+
+} // namespace eie::sim
+
+#endif // EIE_SIM_SRAM_HH

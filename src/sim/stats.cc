@@ -1,0 +1,96 @@
+#include "sim/stats.hh"
+
+#include "common/logging.hh"
+
+namespace eie::sim {
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name)), parent_(parent)
+{
+    panic_if(name_.find('.') != std::string::npos,
+             "stat group name '%s' must not contain dots", name_.c_str());
+    if (parent_) {
+        auto [it, inserted] = parent_->children_.emplace(name_, this);
+        panic_if(!inserted, "duplicate stat group '%s' under '%s'",
+                 name_.c_str(), parent_->fullPath().c_str());
+    }
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent_)
+        parent_->children_.erase(name_);
+}
+
+Counter &
+StatGroup::counter(const std::string &name, const std::string &desc)
+{
+    panic_if(name.find('.') != std::string::npos,
+             "counter name '%s' must not contain dots", name.c_str());
+    auto [it, inserted] = stats_.try_emplace(name);
+    if (inserted)
+        it->second.description = desc;
+    return it->second.counter;
+}
+
+const Counter *
+StatGroup::find(const std::string &path) const
+{
+    const auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        auto it = stats_.find(path);
+        return it == stats_.end() ? nullptr : &it->second.counter;
+    }
+    auto child = children_.find(path.substr(0, dot));
+    if (child == children_.end())
+        return nullptr;
+    return child->second->find(path.substr(dot + 1));
+}
+
+std::uint64_t
+StatGroup::value(const std::string &path) const
+{
+    const Counter *c = find(path);
+    panic_if(!c, "no statistic named '%s' under '%s'", path.c_str(),
+             fullPath().c_str());
+    return c->value();
+}
+
+bool
+StatGroup::has(const std::string &path) const
+{
+    return find(path) != nullptr;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    const std::string prefix = fullPath();
+    for (const auto &[name, stat] : stats_) {
+        os << prefix << "." << name << "  " << stat.counter.value();
+        if (!stat.description.empty())
+            os << "  # " << stat.description;
+        os << "\n";
+    }
+    for (const auto &[name, child] : children_)
+        child->dump(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, stat] : stats_)
+        stat.counter.reset();
+    for (auto &[name, child] : children_)
+        child->resetAll();
+}
+
+std::string
+StatGroup::fullPath() const
+{
+    if (!parent_)
+        return name_;
+    return parent_->fullPath() + "." + name_;
+}
+
+} // namespace eie::sim

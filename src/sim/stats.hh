@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Hierarchical statistics registry, in the spirit of gem5's Stats
+ * package but deliberately small: named 64-bit counters organised in a
+ * tree of groups, dumped as "path.to.counter  value  # description".
+ */
+
+#ifndef EIE_SIM_STATS_HH
+#define EIE_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+
+namespace eie::sim {
+
+/** A monotonically-written 64-bit statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t delta) { value_ += delta; return *this; }
+
+    /** Current value. */
+    std::uint64_t value() const { return value_; }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A named group of counters and child groups. Groups form a tree;
+ * the full path of a counter is the dot-joined group names plus the
+ * counter name.
+ */
+class StatGroup
+{
+  public:
+    /**
+     * @param name   this group's name segment (no dots)
+     * @param parent parent group, or nullptr for a root
+     */
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+
+    ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /**
+     * Find or create a counter in this group.
+     *
+     * @param name counter name segment
+     * @param desc one-line description (used on first creation)
+     */
+    Counter &counter(const std::string &name, const std::string &desc);
+
+    /**
+     * Look up a counter value by path relative to this group, e.g.
+     * "pe0.actQueue.pushes". Fatal if the path does not resolve.
+     */
+    std::uint64_t value(const std::string &path) const;
+
+    /** True if a counter exists at @p path relative to this group. */
+    bool has(const std::string &path) const;
+
+    /** Dump this subtree, one counter per line, prefix = full path. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every counter in this subtree. */
+    void resetAll();
+
+    /** This group's name segment. */
+    const std::string &name() const { return name_; }
+
+    /** Full dotted path from the root. */
+    std::string fullPath() const;
+
+  private:
+    struct Stat
+    {
+        Counter counter;
+        std::string description;
+    };
+
+    const Counter *find(const std::string &path) const;
+
+    std::string name_;
+    StatGroup *parent_;
+    std::map<std::string, Stat> stats_;
+    std::map<std::string, StatGroup *> children_;
+};
+
+} // namespace eie::sim
+
+#endif // EIE_SIM_STATS_HH

@@ -1,0 +1,102 @@
+#include "sim/trace.hh"
+
+#include <bitset>
+
+#include "common/logging.hh"
+
+namespace eie::sim {
+
+namespace {
+
+/** Short printable identifier for VCD signal #n. */
+std::string
+vcdId(std::size_t n)
+{
+    // Printable ASCII 33..126, base-94 little-endian.
+    std::string id;
+    do {
+        id.push_back(static_cast<char>(33 + n % 94));
+        n /= 94;
+    } while (n > 0);
+    return id;
+}
+
+} // namespace
+
+VcdWriter::VcdWriter(std::ostream &os, std::string timescale)
+    : os_(os), timescale_(std::move(timescale))
+{}
+
+void
+VcdWriter::addSignal(const std::string &name, unsigned width,
+                     std::function<std::uint64_t()> getter)
+{
+    panic_if(started_, "cannot add signals after start()");
+    panic_if(width == 0 || width > 64, "unsupported VCD width %u", width);
+    Entry entry;
+    entry.name = name;
+    entry.width = width;
+    entry.getter = std::move(getter);
+    entry.id = vcdId(entries_.size());
+    entries_.push_back(std::move(entry));
+}
+
+void
+VcdWriter::start()
+{
+    panic_if(started_, "start() called twice");
+    started_ = true;
+
+    os_ << "$timescale " << timescale_ << " $end\n";
+    os_ << "$scope module eie $end\n";
+    for (const Entry &entry : entries_) {
+        // VCD identifiers cannot contain dots: flatten hierarchy.
+        std::string flat = entry.name;
+        for (char &c : flat)
+            if (c == '.')
+                c = '_';
+        os_ << "$var wire " << entry.width << " " << entry.id << " "
+            << flat << " $end\n";
+    }
+    os_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void
+VcdWriter::emitValue(const Entry &entry, std::uint64_t value)
+{
+    if (entry.width == 1) {
+        os_ << (value & 1) << entry.id << "\n";
+    } else {
+        os_ << "b";
+        bool leading = true;
+        for (int bit = static_cast<int>(entry.width) - 1; bit >= 0; --bit) {
+            const bool v = (value >> bit) & 1;
+            if (v)
+                leading = false;
+            if (!leading || bit == 0)
+                os_ << (v ? '1' : '0');
+        }
+        os_ << " " << entry.id << "\n";
+    }
+}
+
+void
+VcdWriter::sample(std::uint64_t cycle)
+{
+    panic_if(!started_, "sample() before start()");
+    bool stamped = false;
+    for (Entry &entry : entries_) {
+        const std::uint64_t value = entry.getter();
+        if (!entry.has_last || value != entry.last) {
+            if (!stamped) {
+                os_ << "#" << cycle << "\n";
+                stamped = true;
+            }
+            emitValue(entry, value);
+            entry.last = value;
+            entry.has_last = true;
+        }
+    }
+}
+
+} // namespace eie::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal VCD (value change dump) writer for waveform-level debugging
+ * of the cycle-accurate models. Signals are registered as polled
+ * getters; the writer samples them once per cycle and emits standard
+ * VCD that any waveform viewer (GTKWave etc.) can open.
+ */
+
+#ifndef EIE_SIM_TRACE_HH
+#define EIE_SIM_TRACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eie::sim {
+
+/** Streams a VCD file from polled signal getters. */
+class VcdWriter
+{
+  public:
+    /**
+     * @param os       output stream (must outlive the writer)
+     * @param timescale VCD timescale string, e.g. "1ns"
+     */
+    explicit VcdWriter(std::ostream &os,
+                       std::string timescale = "1ns");
+
+    /**
+     * Register a signal before the first sample() call.
+     *
+     * @param name   dotted hierarchical name, e.g. "pe0.queue.size"
+     * @param width  bit width (1..64)
+     * @param getter polled each cycle for the current value
+     */
+    void addSignal(const std::string &name, unsigned width,
+                   std::function<std::uint64_t()> getter);
+
+    /** Emit the header and the initial dump; call once. */
+    void start();
+
+    /** Sample all signals at @p cycle and emit changes. */
+    void sample(std::uint64_t cycle);
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        unsigned width;
+        std::function<std::uint64_t()> getter;
+        std::string id;
+        std::uint64_t last = 0;
+        bool has_last = false;
+    };
+
+    void emitValue(const Entry &entry, std::uint64_t value);
+
+    std::ostream &os_;
+    std::string timescale_;
+    std::vector<Entry> entries_;
+    bool started_ = false;
+};
+
+} // namespace eie::sim
+
+#endif // EIE_SIM_TRACE_HH

@@ -1,0 +1,137 @@
+#include "workloads/suite.hh"
+
+#include "common/random.hh"
+#include "core/functional.hh"
+#include "nn/generate.hh"
+
+namespace eie::workloads {
+
+const std::vector<Benchmark> &
+suite()
+{
+    static const std::vector<Benchmark> benchmarks = {
+        {"Alex-6", 9216, 4096, 0.09, 0.351,
+         "Compressed AlexNet FC6 for large-scale image classification"},
+        {"Alex-7", 4096, 4096, 0.09, 0.353,
+         "Compressed AlexNet FC7 for large-scale image classification"},
+        {"Alex-8", 4096, 1000, 0.25, 0.375,
+         "Compressed AlexNet FC8 for large-scale image classification"},
+        {"VGG-6", 25088, 4096, 0.04, 0.183,
+         "Compressed VGG-16 FC6 for classification/object detection"},
+        {"VGG-7", 4096, 4096, 0.04, 0.375,
+         "Compressed VGG-16 FC7 for classification/object detection"},
+        {"VGG-8", 4096, 1000, 0.23, 0.411,
+         "Compressed VGG-16 FC8 for classification/object detection"},
+        {"NT-We", 4096, 600, 0.10, 1.0,
+         "Compressed NeuralTalk image-embedding layer"},
+        {"NT-Wd", 600, 8791, 0.11, 1.0,
+         "Compressed NeuralTalk word-decoder layer"},
+        {"NT-LSTM", 1201, 2400, 0.10, 1.0,
+         "Compressed NeuralTalk LSTM packed gate layer"},
+    };
+    return benchmarks;
+}
+
+const Benchmark &
+findBenchmark(const std::string &name)
+{
+    for (const Benchmark &b : suite())
+        if (b.name == name)
+            return b;
+    fatal("no benchmark named '%s'", name.c_str());
+    return suite().front(); // unreachable
+}
+
+platforms::Workload
+workloadOf(const Benchmark &bench)
+{
+    platforms::Workload w;
+    w.name = bench.name;
+    w.rows = bench.output;
+    w.cols = bench.input;
+    w.weight_density = bench.weight_density;
+    w.act_density = bench.act_density;
+    return w;
+}
+
+namespace {
+
+/** Per-benchmark deterministic seed. */
+std::uint64_t
+benchSeed(const Benchmark &bench, std::uint64_t base)
+{
+    std::uint64_t h = base;
+    for (char c : bench.name)
+        h = h * 1099511628211ull + static_cast<unsigned char>(c);
+    return h;
+}
+
+} // namespace
+
+SuiteRunner::SuiteRunner(std::uint64_t seed) : seed_(seed) {}
+
+const compress::CompressedLayer &
+SuiteRunner::layer(const Benchmark &bench)
+{
+    auto it = layers_.find(bench.name);
+    if (it != layers_.end())
+        return it->second;
+
+    Rng rng(benchSeed(bench, seed_));
+    nn::WeightGenOptions gen;
+    gen.density = bench.weight_density;
+    // Uniform Bernoulli occupancy. Real pruned weights additionally
+    // carry clustered row importance (available through
+    // WeightGenOptions::row_block_sigma), which mainly affects the
+    // small-PE-count end of Figure 12 — see EXPERIMENTS.md for the
+    // resulting deviation discussion.
+    auto weights =
+        nn::makeSparseWeights(bench.output, bench.input, gen, rng);
+
+    compress::CompressionOptions opts; // interleave n_pe is irrelevant
+                                       // here: plans re-encode per tile
+    auto compressed = compress::CompressedLayer::compress(
+        bench.name, weights, opts);
+    return layers_.emplace(bench.name, std::move(compressed))
+        .first->second;
+}
+
+const nn::Vector &
+SuiteRunner::input(const Benchmark &bench)
+{
+    auto it = inputs_.find(bench.name);
+    if (it != inputs_.end())
+        return it->second;
+
+    Rng rng(benchSeed(bench, seed_ ^ 0x5DEECE66Dull));
+    auto activations =
+        nn::makeActivations(bench.input, bench.act_density, rng);
+    return inputs_.emplace(bench.name, std::move(activations))
+        .first->second;
+}
+
+core::LayerPlan
+SuiteRunner::plan(const Benchmark &bench, const core::EieConfig &config)
+{
+    return core::planLayer(layer(bench), nn::Nonlinearity::ReLU,
+                           config);
+}
+
+core::RunResult
+SuiteRunner::runEie(const Benchmark &bench, const core::EieConfig &config)
+{
+    const auto layer_plan = plan(bench, config);
+    return runEieWithPlan(bench, config, layer_plan);
+}
+
+core::RunResult
+SuiteRunner::runEieWithPlan(const Benchmark &bench,
+                            const core::EieConfig &config,
+                            const core::LayerPlan &layer_plan)
+{
+    const core::FunctionalModel functional(config);
+    const auto raw = functional.quantizeInput(input(bench));
+    return core::Accelerator(config).run(layer_plan, raw);
+}
+
+} // namespace eie::workloads

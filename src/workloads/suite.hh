@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The paper's benchmark suite (Table III): nine FC layers from
+ * compressed AlexNet, VGG-16 and NeuralTalk, with their published
+ * shapes, weight densities and activation densities. Weights and
+ * activations are generated synthetically at those statistics (see
+ * DESIGN.md §4 on substitutions).
+ */
+
+#ifndef EIE_WORKLOADS_SUITE_HH
+#define EIE_WORKLOADS_SUITE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compress/compressed_layer.hh"
+#include "core/accelerator.hh"
+#include "core/plan.hh"
+#include "nn/tensor.hh"
+#include "platforms/workload.hh"
+
+namespace eie::workloads {
+
+/** One Table III row. */
+struct Benchmark
+{
+    std::string name;        ///< e.g. "Alex-6"
+    std::size_t input = 0;   ///< layer input size (columns of W)
+    std::size_t output = 0;  ///< layer output size (rows of W)
+    double weight_density = 0.0; ///< Weight% of Table III
+    double act_density = 0.0;    ///< Act% of Table III
+    std::string description;
+};
+
+/** The nine benchmarks in Table III order. */
+const std::vector<Benchmark> &suite();
+
+/** Look up a benchmark by name (fatal if absent). */
+const Benchmark &findBenchmark(const std::string &name);
+
+/** The platform-model view of a benchmark. */
+platforms::Workload workloadOf(const Benchmark &bench);
+
+/**
+ * Builds and caches the synthetic compressed layers and inputs of the
+ * suite so sweeps across machine configurations re-use them. All
+ * generation is seeded: every run of every bench sees the same
+ * weights and activations.
+ */
+class SuiteRunner
+{
+  public:
+    explicit SuiteRunner(std::uint64_t seed = 2016);
+
+    /** The compressed layer of @p bench (built on first use). */
+    const compress::CompressedLayer &layer(const Benchmark &bench);
+
+    /** The input activation vector of @p bench (built on first use). */
+    const nn::Vector &input(const Benchmark &bench);
+
+    /**
+     * Compile and run @p bench on the cycle-accurate simulator with
+     * @p config.
+     */
+    core::RunResult runEie(const Benchmark &bench,
+                           const core::EieConfig &config);
+
+    /** Compile only (for padding/storage analyses). */
+    core::LayerPlan plan(const Benchmark &bench,
+                         const core::EieConfig &config);
+
+    /**
+     * Run with a pre-built plan (sweeps over FIFO depth or SRAM
+     * width reuse one plan: the encoding depends only on n_pe).
+     */
+    core::RunResult runEieWithPlan(const Benchmark &bench,
+                                   const core::EieConfig &config,
+                                   const core::LayerPlan &layer_plan);
+
+  private:
+    std::uint64_t seed_;
+    std::map<std::string, compress::CompressedLayer> layers_;
+    std::map<std::string, nn::Vector> inputs_;
+};
+
+} // namespace eie::workloads
+
+#endif // EIE_WORKLOADS_SUITE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Bit-manipulation helper tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+
+namespace {
+
+using namespace eie;
+
+TEST(Bits, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(4), 0xfu);
+    EXPECT_EQ(mask(16), 0xffffu);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, ExtractAndInsert)
+{
+    EXPECT_EQ(bits(0xabcd, 4, 4), 0xcu);
+    EXPECT_EQ(bits(0xabcd, 0, 16), 0xabcdu);
+    EXPECT_EQ(bits(0xff, 8, 8), 0u);
+    EXPECT_EQ(insertBits(0x0000, 4, 4, 0xc), 0xc0u);
+    EXPECT_EQ(insertBits(0xffff, 4, 8, 0), 0xf00fu);
+    // Field wider than count is truncated.
+    EXPECT_EQ(insertBits(0, 0, 4, 0x123), 0x3u);
+}
+
+TEST(Bits, PowersAndLogs)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(63));
+
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(64), 6u);
+    EXPECT_EQ(ceilLog2(65), 7u);
+
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(63), 5u);
+    EXPECT_EQ(floorLog2(64), 6u);
+}
+
+TEST(Bits, DivCeilAndRoundUp)
+{
+    EXPECT_EQ(divCeil(0, 8), 0u);
+    EXPECT_EQ(divCeil(1, 8), 1u);
+    EXPECT_EQ(divCeil(8, 8), 1u);
+    EXPECT_EQ(divCeil(9, 8), 2u);
+    EXPECT_EQ(roundUp(13, 8), 16u);
+    EXPECT_EQ(roundUp(16, 8), 16u);
+}
+
+} // namespace

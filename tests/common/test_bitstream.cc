@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bit-granular reader/writer round-trip tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/bits.hh"
+#include "common/bitstream.hh"
+#include "common/random.hh"
+
+namespace {
+
+using namespace eie;
+
+TEST(Bitstream, SingleBits)
+{
+    BitWriter w;
+    w.writeBit(true);
+    w.writeBit(false);
+    w.writeBit(true);
+    EXPECT_EQ(w.bitCount(), 3u);
+
+    BitReader r(w.bytes(), w.bitCount());
+    EXPECT_TRUE(r.readBit());
+    EXPECT_FALSE(r.readBit());
+    EXPECT_TRUE(r.readBit());
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bitstream, MultiBitFields)
+{
+    BitWriter w;
+    w.write(0xA, 4);
+    w.write(0x3, 2);
+    w.write(0x12345, 20);
+    w.write(0, 0); // zero-width write is a no-op
+
+    BitReader r(w.bytes(), w.bitCount());
+    EXPECT_EQ(r.read(4), 0xAu);
+    EXPECT_EQ(r.read(2), 0x3u);
+    EXPECT_EQ(r.read(20), 0x12345u);
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bitstream, RandomRoundTrip)
+{
+    Rng rng(5);
+    std::vector<std::pair<std::uint64_t, unsigned>> fields;
+    BitWriter w;
+    for (int i = 0; i < 500; ++i) {
+        const auto width =
+            static_cast<unsigned>(rng.uniformInt(1, 64));
+        const auto value = static_cast<std::uint64_t>(
+            rng.uniformInt(0, std::numeric_limits<std::int64_t>::max()))
+            & mask(width);
+        fields.emplace_back(value, width);
+        w.write(value, width);
+    }
+    BitReader r(w.bytes(), w.bitCount());
+    for (const auto &[value, width] : fields)
+        EXPECT_EQ(r.read(width), value);
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitstreamDeath, Underrun)
+{
+    BitWriter w;
+    w.write(0x5, 3);
+    BitReader r(w.bytes(), w.bitCount());
+    r.read(3);
+    EXPECT_DEATH(r.readBit(), "underrun");
+}
+
+} // namespace

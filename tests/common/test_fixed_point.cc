@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fixed-point arithmetic tests — the datapath semantics every other
+ * component relies on (Figure 10's precision study in particular).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fixed_point.hh"
+
+namespace {
+
+using namespace eie;
+
+TEST(FixedFormat, RangesAndLsb)
+{
+    EXPECT_EQ(fixed16.maxRaw(), 32767);
+    EXPECT_EQ(fixed16.minRaw(), -32768);
+    EXPECT_DOUBLE_EQ(fixed16.lsb(), 1.0 / 256.0);
+    EXPECT_NEAR(fixed16.maxValue(), 127.996, 0.001);
+    EXPECT_DOUBLE_EQ(fixed16.minValue(), -128.0);
+
+    const FixedFormat q8{8, 4};
+    EXPECT_EQ(q8.maxRaw(), 127);
+    EXPECT_EQ(q8.minRaw(), -128);
+    EXPECT_DOUBLE_EQ(q8.lsb(), 1.0 / 16.0);
+}
+
+TEST(Quantize, RoundTripWithinHalfLsb)
+{
+    for (double x : {0.0, 1.0, -1.0, 0.4, -0.4, 3.14159, -2.71828,
+                     100.0, -100.0}) {
+        const auto raw = quantize(x, fixed16);
+        EXPECT_NEAR(toDouble(raw, fixed16), x,
+                    quantizationErrorBound(fixed16) + 1e-12)
+            << "x = " << x;
+    }
+}
+
+TEST(Quantize, RoundsHalfAwayFromZero)
+{
+    // 0.5 lsb cases: 1/512 rounds up to 1/256; -1/512 rounds to -1/256.
+    EXPECT_EQ(quantize(1.0 / 512.0, fixed16), 1);
+    EXPECT_EQ(quantize(-1.0 / 512.0, fixed16), -1);
+}
+
+TEST(Quantize, SaturatesAtRangeEnds)
+{
+    EXPECT_EQ(quantize(1e9, fixed16), fixed16.maxRaw());
+    EXPECT_EQ(quantize(-1e9, fixed16), fixed16.minRaw());
+    EXPECT_EQ(quantize(200.0, fixed16), fixed16.maxRaw());
+}
+
+TEST(Mac, BasicMultiplyAccumulate)
+{
+    // acc = 0; w = 1.5, a = 2.0 -> 3.0.
+    const auto w = quantize(1.5, fixed16);
+    const auto a = quantize(2.0, fixed16);
+    const auto acc = macFixed(0, w, a, fixed16, fixed16);
+    EXPECT_DOUBLE_EQ(toDouble(acc, fixed16), 3.0);
+}
+
+TEST(Mac, ShiftTruncatesTowardNegativeInfinity)
+{
+    // w = a = 1 lsb: product = 1 raw with 16 fraction bits; realigned
+    // to 8 fraction bits -> 0 (truncation), for both signs of acc.
+    const auto tiny = macFixed(0, 1, 1, fixed16, fixed16);
+    EXPECT_EQ(tiny, 0);
+    // (-1 raw) * (1 raw) = -1 >> 8 = -1 (arithmetic shift).
+    const auto neg = macFixed(0, -1, 1, fixed16, fixed16);
+    EXPECT_EQ(neg, -1);
+}
+
+TEST(Mac, SaturatesInsteadOfWrapping)
+{
+    const auto big = quantize(127.0, fixed16);
+    auto acc = macFixed(fixed16.maxRaw(), big, big, fixed16, fixed16);
+    EXPECT_EQ(acc, fixed16.maxRaw());
+    acc = macFixed(fixed16.minRaw(), big, -big, fixed16, fixed16);
+    EXPECT_EQ(acc, fixed16.minRaw());
+}
+
+TEST(Mac, MixedFormats)
+{
+    // 8-bit operands accumulated into 16-bit: shift = 4+4-8 < 0,
+    // product shifts left.
+    const FixedFormat q8{8, 4};
+    const auto w = quantize(1.0, q8);  // 16
+    const auto a = quantize(2.0, q8);  // 32
+    const auto acc = macFixed(0, w, a, q8, fixed16);
+    EXPECT_DOUBLE_EQ(toDouble(acc, fixed16), 2.0);
+}
+
+TEST(Relu, ClampsNegatives)
+{
+    EXPECT_EQ(reluRaw(-1), 0);
+    EXPECT_EQ(reluRaw(0), 0);
+    EXPECT_EQ(reluRaw(123), 123);
+    EXPECT_EQ(reluRaw(fixed16.minRaw()), 0);
+}
+
+TEST(QuantizeDeath, RejectsBadFormatsAndNan)
+{
+    EXPECT_DEATH(quantize(1.0, FixedFormat{1, 0}), "width");
+    EXPECT_DEATH(quantize(1.0, FixedFormat{16, 16}), "fraction");
+    EXPECT_DEATH(quantize(std::nan(""), fixed16), "NaN");
+}
+
+/** Property sweep: quantisation error bounded for every format. */
+class QuantizeSweep : public ::testing::TestWithParam<FixedFormat>
+{};
+
+TEST_P(QuantizeSweep, ErrorBoundHolds)
+{
+    const FixedFormat fmt = GetParam();
+    const double bound = quantizationErrorBound(fmt);
+    for (int i = -100; i <= 100; ++i) {
+        const double x = i * 0.013;
+        if (x >= fmt.minValue() && x <= fmt.maxValue()) {
+            const auto raw = quantize(x, fmt);
+            EXPECT_LE(std::abs(toDouble(raw, fmt) - x), bound + 1e-12);
+            EXPECT_GE(raw, fmt.minRaw());
+            EXPECT_LE(raw, fmt.maxRaw());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, QuantizeSweep,
+    ::testing::Values(FixedFormat{16, 8}, FixedFormat{8, 4},
+                      FixedFormat{32, 16}, FixedFormat{16, 12},
+                      FixedFormat{12, 6}, FixedFormat{4, 2}));
+
+} // namespace

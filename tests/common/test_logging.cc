@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Logging/error discipline tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace {
+
+TEST(Logging, WarnCountsAndQuietMode)
+{
+    const auto before = eie::Logger::warnCount();
+    eie::Logger::setQuiet(true);
+    warn("a suppressed warning %d", 1);
+    warn("another %s", "warning");
+    eie::Logger::setQuiet(false);
+    EXPECT_EQ(eie::Logger::warnCount(), before + 2);
+}
+
+TEST(Logging, InformDoesNotTerminate)
+{
+    eie::Logger::setQuiet(true);
+    inform("status %d", 42);
+    eie::Logger::setQuiet(false);
+    SUCCEED();
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("user error %d", 7),
+                ::testing::ExitedWithCode(1), "user error 7");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("internal bug"), "internal bug");
+}
+
+TEST(LoggingDeath, ConditionalForms)
+{
+    fatal_if(false, "must not fire");
+    panic_if(false, "must not fire");
+    EXPECT_EXIT(fatal_if(true, "fires"),
+                ::testing::ExitedWithCode(1), "fires");
+    EXPECT_DEATH(panic_if(true, "fires"), "fires");
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Deterministic RNG tests.
+ */
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+namespace {
+
+using eie::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.uniformInt(0, 1 << 30) == b.uniformInt(0, 1 << 30))
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (rng.bernoulli(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+class SampleWithoutReplacement
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{};
+
+TEST_P(SampleWithoutReplacement, ExactCountSortedDistinct)
+{
+    const auto [n, k] = GetParam();
+    Rng rng(13);
+    const auto sample = rng.sampleWithoutReplacement(n, k);
+    ASSERT_EQ(sample.size(), k);
+    EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    EXPECT_TRUE(std::adjacent_find(sample.begin(), sample.end()) ==
+                sample.end());
+    for (auto v : sample)
+        EXPECT_LT(v, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SampleWithoutReplacement,
+    ::testing::Values(std::pair{10u, 0u}, std::pair{10u, 1u},
+                      std::pair{10u, 10u}, std::pair{1000u, 3u},
+                      std::pair{1000u, 500u}, std::pair{1000u, 999u},
+                      std::pair{4096u, 369u}));
+
+TEST(Rng, SampleCoversPopulation)
+{
+    // Dense-mode selection (k >= n/8) must still be uniform-ish:
+    // every element should be picked sometimes across trials.
+    std::vector<int> seen(20, 0);
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+        Rng rng(seed);
+        for (auto v : rng.sampleWithoutReplacement(20, 5))
+            ++seen[v];
+    }
+    for (int count : seen)
+        EXPECT_GT(count, 0);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(17);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+} // namespace

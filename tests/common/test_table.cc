@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Text-table printer tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace {
+
+using eie::TextTable;
+
+TEST(TextTable, RendersAlignedPipes)
+{
+    TextTable table({"Layer", "Speedup", "Share"});
+    table.row().add("Alex-6").addRatio(94.0).addPercent(0.351);
+    table.row().add("VGG-6").addRatio(210.2).addPercent(0.183);
+
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+
+    EXPECT_NE(out.find("| Layer "), std::string::npos);
+    EXPECT_NE(out.find("94.0x"), std::string::npos);
+    EXPECT_NE(out.find("35.1%"), std::string::npos);
+    EXPECT_NE(out.find("210.2x"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("|---"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TextTable, NumericFormats)
+{
+    TextTable table({"a", "b", "c"});
+    table.row().add(3.14159, 3).add(std::int64_t{-7}).add(42u);
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_NE(os.str().find("3.142"), std::string::npos);
+    EXPECT_NE(os.str().find("-7"), std::string::npos);
+    EXPECT_NE(os.str().find("42"), std::string::npos);
+}
+
+TEST(TextTableDeath, TooManyCellsPanics)
+{
+    TextTable table({"only"});
+    table.row().add("x");
+    EXPECT_DEATH(table.add("y"), "already has");
+}
+
+TEST(TextTableDeath, AddBeforeRowPanics)
+{
+    TextTable table({"a"});
+    EXPECT_DEATH(table.add("x"), "row()");
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Weight-sharing codebook tests: pinned zero entry, nearest-neighbour
+ * encoding, k-means quality, fixed-point mirror.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "compress/codebook.hh"
+#include "nn/generate.hh"
+
+namespace {
+
+using namespace eie;
+using namespace eie::compress;
+
+TEST(Codebook, EncodeNeverReturnsZeroIndex)
+{
+    Codebook cb({0.0f, -1.0f, 1.0f});
+    // Even a value of exactly 0 maps to a non-zero entry: index 0 is
+    // reserved for padding.
+    EXPECT_NE(cb.encode(0.0f), 0);
+    EXPECT_EQ(cb.encode(0.9f), 2);
+    EXPECT_EQ(cb.encode(-2.0f), 1);
+}
+
+TEST(Codebook, DecodeRawMatchesQuantizedValues)
+{
+    Codebook cb({0.0f, 0.5f, -1.25f}, fixed16);
+    EXPECT_EQ(cb.decodeRaw(0), 0);
+    EXPECT_EQ(cb.decodeRaw(1), quantize(0.5, fixed16));
+    EXPECT_EQ(cb.decodeRaw(2), quantize(-1.25, fixed16));
+}
+
+TEST(CodebookDeath, EntryZeroMustBeZero)
+{
+    EXPECT_EXIT(Codebook({1.0f, 2.0f}), ::testing::ExitedWithCode(1),
+                "pinned zero");
+}
+
+TEST(TrainCodebook, SixteenEntriesWithPinnedZero)
+{
+    Rng rng(50);
+    nn::WeightGenOptions opts;
+    opts.density = 0.2;
+    const auto w = nn::makeSparseWeights(64, 64, opts, rng);
+    const auto cb = trainCodebook(w);
+    EXPECT_EQ(cb.size(), 16u);
+    EXPECT_FLOAT_EQ(cb.decode(0), 0.0f);
+}
+
+TEST(TrainCodebook, QuantizationErrorBounded)
+{
+    // K-means with 15 clusters over a bounded value set: every value
+    // must land within (range / (2 * (k-1))) of its centroid after
+    // linear init, and k-means only improves it.
+    Rng rng(51);
+    std::vector<float> values;
+    for (int i = 0; i < 2000; ++i)
+        values.push_back(static_cast<float>(rng.uniformReal(-1.0, 1.0)));
+    const auto cb = trainCodebook(values);
+    const double max_err = 2.0 / (2.0 * 14.0) + 1e-3;
+    for (float v : values) {
+        const float decoded = cb.decode(cb.encode(v));
+        EXPECT_LE(std::abs(v - decoded), max_err) << "value " << v;
+    }
+}
+
+TEST(TrainCodebook, SeparatedClustersRecovered)
+{
+    // Two tight clusters near -1 and +1: centroids must sit near them
+    // and every value must decode to within the cluster spread.
+    Rng rng(52);
+    std::vector<float> values;
+    for (int i = 0; i < 500; ++i) {
+        values.push_back(
+            static_cast<float>(-1.0 + rng.normal(0.0, 0.01)));
+        values.push_back(
+            static_cast<float>(1.0 + rng.normal(0.0, 0.01)));
+    }
+    const auto cb = trainCodebook(values);
+    for (float v : values)
+        EXPECT_NEAR(cb.decode(cb.encode(v)), v, 0.1);
+}
+
+TEST(TrainCodebook, EmptyLayerProducesZeroTable)
+{
+    const auto cb = trainCodebook(std::vector<float>{});
+    EXPECT_EQ(cb.size(), 16u);
+    for (std::size_t i = 0; i < cb.size(); ++i)
+        EXPECT_FLOAT_EQ(cb.decode(static_cast<std::uint8_t>(i)), 0.0f);
+}
+
+TEST(TrainCodebook, CustomTableSize)
+{
+    Rng rng(53);
+    std::vector<float> values;
+    for (int i = 0; i < 100; ++i)
+        values.push_back(static_cast<float>(rng.normal(0.0, 1.0)));
+    CodebookTrainOptions opts;
+    opts.table_size = 4;
+    const auto cb = trainCodebook(values, opts);
+    EXPECT_EQ(cb.size(), 4u);
+}
+
+} // namespace

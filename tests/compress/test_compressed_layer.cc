@@ -1,0 +1,99 @@
+/**
+ * @file
+ * End-to-end compression pipeline tests, including the storage
+ * accounting Deep Compression reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compress/compressed_layer.hh"
+#include "helpers.hh"
+
+namespace {
+
+using namespace eie;
+using namespace eie::compress;
+
+TEST(CompressedLayer, PipelineKeepsStructure)
+{
+    const auto w = test::randomWeights(128, 96, 0.1, 80);
+    CompressionOptions opts;
+    opts.interleave.n_pe = 8;
+    const auto layer = CompressedLayer::compress("l", w, opts);
+
+    EXPECT_EQ(layer.inputSize(), 96u);
+    EXPECT_EQ(layer.outputSize(), 128u);
+    EXPECT_EQ(layer.quantizedWeights().nnz(), w.nnz());
+    EXPECT_EQ(layer.codebook().size(), 16u);
+
+    // Quantised values are all codebook entries.
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+        for (const auto &e : layer.quantizedWeights().column(j)) {
+            bool found = false;
+            for (float v : layer.codebook().values())
+                found |= (v == e.value);
+            EXPECT_TRUE(found);
+        }
+    }
+}
+
+TEST(CompressedLayer, ExplicitPruningApplied)
+{
+    const auto w = test::randomWeights(64, 64, 0.5, 81);
+    CompressionOptions opts;
+    opts.density = 0.1;
+    opts.interleave.n_pe = 4;
+    const auto layer = CompressedLayer::compress("l", w, opts);
+    EXPECT_NEAR(layer.quantizedWeights().density(), 0.1, 1e-3);
+}
+
+TEST(CompressedLayer, StorageReportRatios)
+{
+    const auto w = test::randomWeights(256, 256, 0.1, 82);
+    CompressionOptions opts;
+    opts.interleave.n_pe = 16;
+    const auto layer = CompressedLayer::compress("l", w, opts);
+    const auto report = layer.storageReport();
+
+    EXPECT_EQ(report.dense_bits, 256u * 256u * 32u);
+    EXPECT_GT(report.spmat_bits, 0u);
+    EXPECT_GT(report.huffman_bits, 0u);
+
+    // At 10% density with 4+4-bit entries the CSC representation is
+    // far smaller than dense fp32; Huffman shrinks it further (or at
+    // worst matches the 8 bits/entry).
+    EXPECT_GT(report.compressionRatio(), 10.0);
+    EXPECT_LE(report.huffman_bits, report.spmat_bits);
+    EXPECT_GE(report.huffmanRatio(), report.compressionRatio() * 0.9);
+
+    // The paper's headline: compressed AlexNet-class layers fit in
+    // on-chip SRAM. Bits per non-zero = 8 (entry) + padding share +
+    // pointer share (16 * n_pe * (cols+1) / nnz ~ 10 here).
+    const double bits_per_nnz =
+        static_cast<double>(report.cscBits()) /
+        static_cast<double>(layer.quantizedWeights().nnz());
+    EXPECT_LT(bits_per_nnz, 20.0);
+}
+
+TEST(CompressedLayer, QuantizedForwardCloseToOriginal)
+{
+    const auto w = test::randomWeights(96, 64, 0.15, 83);
+    CompressionOptions opts;
+    opts.interleave.n_pe = 8;
+    const auto layer = CompressedLayer::compress("l", w, opts);
+
+    const auto input = test::randomActivations(64, 0.4, 84);
+    const auto original = w.spmv(input);
+    const auto quantized = layer.quantizedWeights().spmv(input);
+
+    // 15 shared values over the weight range: outputs track within
+    // a modest relative error.
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        num += std::abs(original[i] - quantized[i]);
+        den += std::abs(original[i]);
+    }
+    EXPECT_LT(num / (den + 1e-9), 0.35);
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Canonical Huffman codec tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "compress/huffman.hh"
+
+namespace {
+
+using namespace eie;
+using namespace eie::compress;
+
+TEST(Huffman, SkewedFrequenciesGetShortCodes)
+{
+    std::map<std::uint8_t, std::uint64_t> freq{
+        {0, 1000}, {1, 100}, {2, 10}, {3, 1}};
+    const auto code = HuffmanCode::fromFrequencies(freq);
+    EXPECT_LE(code.codeLength(0), code.codeLength(1));
+    EXPECT_LE(code.codeLength(1), code.codeLength(2));
+    EXPECT_LE(code.codeLength(2), code.codeLength(3));
+    EXPECT_EQ(code.codeLength(0), 1u);
+    EXPECT_EQ(code.codeLength(99), 0u); // absent symbol
+}
+
+TEST(Huffman, RoundTripRandomStream)
+{
+    Rng rng(70);
+    std::vector<std::uint8_t> symbols;
+    for (int i = 0; i < 5000; ++i) {
+        // Geometric-ish distribution over 16 symbols, like 4-bit
+        // weight indices after k-means.
+        int s = 0;
+        while (s < 15 && rng.bernoulli(0.35))
+            ++s;
+        symbols.push_back(static_cast<std::uint8_t>(s));
+    }
+    const auto freq = countFrequencies(symbols);
+    const auto code = HuffmanCode::fromFrequencies(freq);
+
+    BitWriter writer;
+    code.encode(symbols, writer);
+    EXPECT_EQ(writer.bitCount(), code.encodedBits(freq));
+
+    BitReader reader(writer.bytes(), writer.bitCount());
+    const auto decoded = code.decode(reader, symbols.size());
+    EXPECT_EQ(decoded, symbols);
+    EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Huffman, BeatsFixedWidthOnSkewedData)
+{
+    // Highly skewed 16-symbol data should beat the 4-bit fixed
+    // encoding — the Deep Compression storage win.
+    std::map<std::uint8_t, std::uint64_t> freq;
+    std::uint64_t total = 0;
+    for (int s = 0; s < 16; ++s) {
+        freq[static_cast<std::uint8_t>(s)] = 1ull << (15 - s);
+        total += freq[static_cast<std::uint8_t>(s)];
+    }
+    const auto code = HuffmanCode::fromFrequencies(freq);
+    EXPECT_LT(code.encodedBits(freq), total * 4);
+}
+
+TEST(Huffman, SingleSymbolStream)
+{
+    std::map<std::uint8_t, std::uint64_t> freq{{7, 42}};
+    const auto code = HuffmanCode::fromFrequencies(freq);
+    EXPECT_EQ(code.codeLength(7), 1u);
+
+    std::vector<std::uint8_t> symbols(10, 7);
+    BitWriter writer;
+    code.encode(symbols, writer);
+    BitReader reader(writer.bytes(), writer.bitCount());
+    EXPECT_EQ(code.decode(reader, 10), symbols);
+}
+
+TEST(Huffman, UniformDataCostsFourBits)
+{
+    std::map<std::uint8_t, std::uint64_t> freq;
+    for (int s = 0; s < 16; ++s)
+        freq[static_cast<std::uint8_t>(s)] = 100;
+    const auto code = HuffmanCode::fromFrequencies(freq);
+    // A balanced 16-leaf tree: every code exactly 4 bits.
+    for (int s = 0; s < 16; ++s)
+        EXPECT_EQ(code.codeLength(static_cast<std::uint8_t>(s)), 4u);
+}
+
+TEST(HuffmanDeath, EmptyFrequencies)
+{
+    EXPECT_EXIT(HuffmanCode::fromFrequencies({}),
+                ::testing::ExitedWithCode(1), "no symbols");
+}
+
+TEST(HuffmanDeath, EncodingAbsentSymbol)
+{
+    const auto code = HuffmanCode::fromFrequencies({{1, 5}, {2, 5}});
+    BitWriter writer;
+    EXPECT_DEATH(code.encode({3}, writer), "no codeword");
+}
+
+} // namespace

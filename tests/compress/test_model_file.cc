@@ -1,0 +1,113 @@
+/**
+ * @file
+ * EIEM model file round-trip and corruption tests.
+ */
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "compress/model_file.hh"
+#include "helpers.hh"
+
+namespace {
+
+using namespace eie;
+using namespace eie::compress;
+
+void
+expectModelsEqual(const InterleavedCsc &a, const InterleavedCsc &b)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    ASSERT_EQ(a.numPe(), b.numPe());
+    ASSERT_EQ(a.codebook().values(), b.codebook().values());
+    for (unsigned k = 0; k < a.numPe(); ++k) {
+        ASSERT_EQ(a.pe(k).entries(), b.pe(k).entries()) << "PE " << k;
+        ASSERT_EQ(a.pe(k).colPtr(), b.pe(k).colPtr()) << "PE " << k;
+        ASSERT_EQ(a.pe(k).localRows(), b.pe(k).localRows());
+        ASSERT_EQ(a.pe(k).paddingEntries(), b.pe(k).paddingEntries());
+    }
+}
+
+TEST(ModelFile, SerializeDeserializeRoundTrip)
+{
+    const auto layer = test::randomCompressedLayer(96, 64, 0.1, 8, 401);
+    const auto &model = layer.storage();
+
+    const auto bytes = serializeModel(model);
+    EXPECT_GT(bytes.size(), 16u);
+
+    const auto restored = deserializeModel(bytes);
+    expectModelsEqual(model, restored);
+
+    // The restored model decodes to the same quantised matrix.
+    const auto decoded = restored.decode();
+    EXPECT_EQ(decoded.nnz(), layer.quantizedWeights().nnz());
+}
+
+TEST(ModelFile, HuffmanBeatsRawNibbles)
+{
+    // The file stores Huffman-coded streams: for a skewed codebook
+    // distribution the file undercuts raw 8-bit entries + pointers.
+    const auto layer =
+        test::randomCompressedLayer(256, 128, 0.08, 16, 402);
+    const auto &model = layer.storage();
+    const auto bytes = serializeModel(model);
+
+    const std::size_t raw_entry_bytes = model.totalEntries();
+    const std::size_t pointer_bytes =
+        model.numPe() * (model.cols() + 1) * 4;
+    EXPECT_LT(bytes.size(), raw_entry_bytes + pointer_bytes + 4096);
+}
+
+TEST(ModelFile, SaveLoadFile)
+{
+    const auto layer = test::randomCompressedLayer(48, 32, 0.2, 4, 403);
+    const std::string path = ::testing::TempDir() + "model.eiem";
+    saveModelFile(path, layer.storage());
+    const auto restored = loadModelFile(path);
+    expectModelsEqual(layer.storage(), restored);
+    std::remove(path.c_str());
+}
+
+TEST(ModelFileDeath, DetectsCorruption)
+{
+    const auto layer = test::randomCompressedLayer(32, 32, 0.2, 4, 404);
+    auto bytes = serializeModel(layer.storage());
+
+    auto flipped = bytes;
+    flipped[bytes.size() / 2] ^= 0x40;
+    EXPECT_EXIT(deserializeModel(flipped),
+                ::testing::ExitedWithCode(1), "checksum");
+
+    auto truncated = bytes;
+    truncated.resize(bytes.size() / 2);
+    EXPECT_EXIT(deserializeModel(truncated),
+                ::testing::ExitedWithCode(1), "");
+
+    auto bad_magic = bytes;
+    bad_magic[0] = 'X';
+    EXPECT_EXIT(deserializeModel(bad_magic),
+                ::testing::ExitedWithCode(1), "checksum|EIEM");
+}
+
+TEST(ModelFileDeath, MissingFile)
+{
+    EXPECT_EXIT(loadModelFile("/nonexistent/path/model.eiem"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(ModelFile, EmptyLayerRoundTrips)
+{
+    // A layer with an all-zero column region still serialises.
+    nn::SparseMatrix w(16, 8);
+    w.insert(3, 2, 1.0f);
+    CompressionOptions opts;
+    opts.interleave.n_pe = 4;
+    const auto layer = CompressedLayer::compress("tiny", w, opts);
+    const auto bytes = serializeModel(layer.storage());
+    const auto restored = deserializeModel(bytes);
+    expectModelsEqual(layer.storage(), restored);
+}
+
+} // namespace

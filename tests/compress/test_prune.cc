@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Magnitude pruning tests.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "compress/prune.hh"
+#include "nn/generate.hh"
+
+namespace {
+
+using namespace eie;
+using namespace eie::compress;
+using namespace eie::nn;
+
+TEST(Prune, KeepsLargestMagnitudes)
+{
+    Matrix m(2, 3);
+    m.at(0, 0) = 0.1f;
+    m.at(0, 1) = -5.0f;
+    m.at(0, 2) = 0.2f;
+    m.at(1, 0) = 3.0f;
+    m.at(1, 1) = -0.05f;
+    m.at(1, 2) = 1.0f;
+
+    // Keep 50% = 3 of 6: |−5|, |3|, |1|.
+    const auto pruned = pruneDense(m, 0.5);
+    EXPECT_EQ(pruned.nnz(), 3u);
+    const auto dense = pruned.toDense();
+    EXPECT_FLOAT_EQ(dense.at(0, 1), -5.0f);
+    EXPECT_FLOAT_EQ(dense.at(1, 0), 3.0f);
+    EXPECT_FLOAT_EQ(dense.at(1, 2), 1.0f);
+    EXPECT_FLOAT_EQ(dense.at(0, 0), 0.0f);
+}
+
+class PruneDensitySweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(PruneDensitySweep, ExactKeepCount)
+{
+    const double density = GetParam();
+    Rng rng(42);
+    const auto dense = makeDenseWeights(40, 50, 1.0, rng);
+    const auto pruned = pruneDense(dense, density);
+    const auto expected = static_cast<std::size_t>(
+        std::ceil(density * 40 * 50));
+    EXPECT_EQ(pruned.nnz(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableIIIDensities, PruneDensitySweep,
+                         ::testing::Values(0.0, 0.04, 0.09, 0.25, 0.5,
+                                           1.0));
+
+TEST(Prune, TiesResolvedWithinBudget)
+{
+    // All magnitudes equal: the keep count must still be exact.
+    Matrix m(4, 4);
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+            m.at(i, j) = (i + j) % 2 ? 1.0f : -1.0f;
+    const auto pruned = pruneDense(m, 0.5);
+    EXPECT_EQ(pruned.nnz(), 8u);
+}
+
+TEST(Prune, FurtherPruningSparseInput)
+{
+    Rng rng(43);
+    WeightGenOptions opts;
+    opts.density = 0.5;
+    const auto w = makeSparseWeights(64, 64, opts, rng);
+    const auto pruned = pruneSparse(w, 0.1);
+    EXPECT_EQ(pruned.nnz(), static_cast<std::size_t>(
+                                std::ceil(0.1 * 64 * 64)));
+    // Survivors must be the largest-magnitude entries: the smallest
+    // surviving magnitude >= the largest pruned magnitude.
+    float min_kept = 1e9f;
+    for (std::size_t j = 0; j < pruned.cols(); ++j)
+        for (const auto &e : pruned.column(j))
+            min_kept = std::min(min_kept, std::abs(e.value));
+    const float threshold = pruneThreshold(w, 0.1);
+    EXPECT_GE(min_kept, threshold);
+}
+
+TEST(PruneDeath, RejectsBadDensity)
+{
+    Rng rng(44);
+    const auto dense = makeDenseWeights(4, 4, 1.0, rng);
+    EXPECT_EXIT(pruneDense(dense, 1.5), ::testing::ExitedWithCode(1),
+                "density");
+}
+
+} // namespace

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The central verification of the reproduction: the cycle-accurate
+ * simulator must match the untimed functional model bit-for-bit, and
+ * both must match the floating-point golden model up to fixed-point
+ * quantisation error, across layer shapes, sparsities, PE counts,
+ * FIFO depths and SRAM widths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hh"
+#include "core/functional.hh"
+#include "core/plan.hh"
+#include "helpers.hh"
+
+namespace {
+
+using namespace eie;
+
+struct Scenario
+{
+    std::size_t rows;
+    std::size_t cols;
+    double w_density;
+    double a_density;
+    unsigned n_pe;
+    unsigned fifo_depth;
+    unsigned width_bits;
+    const char *label;
+};
+
+std::ostream &
+operator<<(std::ostream &os, const Scenario &s)
+{
+    return os << s.label;
+}
+
+class AcceleratorEquivalence : public ::testing::TestWithParam<Scenario>
+{};
+
+TEST_P(AcceleratorEquivalence, TimingMatchesFunctionalBitExact)
+{
+    const Scenario s = GetParam();
+
+    auto layer = test::randomCompressedLayer(s.rows, s.cols, s.w_density,
+                                             s.n_pe, /*seed=*/17);
+    core::EieConfig config;
+    config.n_pe = s.n_pe;
+    config.fifo_depth = s.fifo_depth;
+    config.spmat_width_bits = s.width_bits;
+    config.enforce_capacity = false;
+
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+
+    const auto input =
+        test::randomActivations(s.cols, s.a_density, /*seed=*/23);
+
+    const core::FunctionalModel functional(config);
+    const auto input_raw = functional.quantizeInput(input);
+    const auto golden = functional.run(plan, input_raw);
+
+    const core::Accelerator accel(config);
+    const auto result = accel.run(plan, input_raw);
+
+    // Bit-exact agreement between the two machines.
+    ASSERT_EQ(result.output_raw.size(), golden.output_raw.size());
+    for (std::size_t i = 0; i < result.output_raw.size(); ++i)
+        ASSERT_EQ(result.output_raw[i], golden.output_raw[i])
+            << "output row " << i;
+
+    // Work accounting agrees.
+    EXPECT_EQ(result.stats.total_entries, golden.work.total_entries);
+    EXPECT_EQ(result.stats.padding_entries, golden.work.padding_entries);
+    EXPECT_EQ(result.stats.broadcasts, golden.work.broadcasts);
+
+    // Timing sanity: at least one cycle per per-PE entry, and the
+    // machine cannot beat perfect balance.
+    EXPECT_GE(result.stats.cycles, result.stats.theoretical_cycles);
+
+    // The float golden model agrees up to quantisation error. The
+    // error bound is loose: each output accumulates up to
+    // rows*density products of two quantised values.
+    const nn::Vector float_golden =
+        nn::relu(layer.quantizedWeights().spmv(input));
+    const core::FunctionalModel fm(config);
+    const nn::Vector out = fm.dequantize(result.output_raw);
+    const double tolerance =
+        0.01 * static_cast<double>(s.cols) * s.w_density + 0.05;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        ASSERT_NEAR(out[i], float_golden[i], tolerance)
+            << "output row " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AcceleratorEquivalence,
+    ::testing::Values(
+        Scenario{64, 32, 0.10, 0.40, 4, 8, 64, "tiny_4pe"},
+        Scenario{128, 96, 0.15, 0.30, 8, 8, 64, "small_8pe"},
+        Scenario{256, 128, 0.09, 0.35, 16, 8, 64, "alex_like_16pe"},
+        Scenario{512, 256, 0.04, 0.18, 64, 8, 64, "vgg_like_64pe"},
+        Scenario{300, 200, 0.10, 1.00, 64, 8, 64, "nt_like_dense_act"},
+        Scenario{256, 128, 0.10, 0.35, 64, 1, 64, "fifo_depth_1"},
+        Scenario{256, 128, 0.10, 0.35, 64, 256, 64, "fifo_depth_256"},
+        Scenario{256, 128, 0.10, 0.35, 32, 8, 32, "width_32"},
+        Scenario{256, 128, 0.10, 0.35, 32, 8, 512, "width_512"},
+        Scenario{100, 64, 0.50, 0.80, 8, 8, 64, "dense_weights"},
+        Scenario{97, 61, 0.13, 0.37, 7, 3, 64, "odd_sizes_7pe"},
+        Scenario{512, 40, 0.02, 0.50, 64, 8, 64, "padding_heavy"},
+        Scenario{64, 64, 0.10, 0.00, 8, 8, 64, "all_zero_input"},
+        Scenario{1, 1, 1.00, 1.00, 1, 1, 64, "degenerate_1x1"}),
+    [](const ::testing::TestParamInfo<Scenario> &info) {
+        return info.param.label;
+    });
+
+TEST(Accelerator, MultiBatchOutputSplit)
+{
+    // Outputs exceed regfile_entries * n_pe, forcing row batches
+    // (the NT-Wd situation).
+    const unsigned n_pe = 8;
+    auto layer =
+        test::randomCompressedLayer(200, 64, 0.2, n_pe, /*seed=*/5);
+
+    core::EieConfig config;
+    config.n_pe = n_pe;
+    config.regfile_entries = 8; // 64 outputs per batch -> 4 batches
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    EXPECT_EQ(plan.batches(), 4u);
+
+    const auto input = test::randomActivations(64, 0.5, /*seed=*/7);
+    const core::FunctionalModel functional(config);
+    const auto raw = functional.quantizeInput(input);
+    const auto golden = functional.run(plan, raw);
+    const auto result = core::Accelerator(config).run(plan, raw);
+    EXPECT_EQ(result.output_raw, golden.output_raw);
+    // Each batch re-scans the input.
+    EXPECT_EQ(result.stats.broadcasts, golden.work.broadcasts);
+}
+
+TEST(Accelerator, MultiPassColumnSplit)
+{
+    // Columns exceed the pointer SRAM, forcing passes (the VGG-6
+    // situation).
+    const unsigned n_pe = 8;
+    auto layer =
+        test::randomCompressedLayer(64, 300, 0.1, n_pe, /*seed=*/9);
+
+    core::EieConfig config;
+    config.n_pe = n_pe;
+    config.ptr_capacity = 101; // at most 100 columns per pass
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    EXPECT_EQ(plan.passes(), 3u);
+
+    const auto input = test::randomActivations(300, 0.4, /*seed=*/11);
+    const core::FunctionalModel functional(config);
+    const auto raw = functional.quantizeInput(input);
+    const auto golden = functional.run(plan, raw);
+    const auto result = core::Accelerator(config).run(plan, raw);
+    EXPECT_EQ(result.output_raw, golden.output_raw);
+}
+
+TEST(Accelerator, BypassAblationSameResultMoreCycles)
+{
+    auto layer =
+        test::randomCompressedLayer(64, 128, 0.3, 4, /*seed=*/3);
+
+    core::EieConfig with_bypass;
+    with_bypass.n_pe = 4;
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, with_bypass);
+
+    core::EieConfig no_bypass = with_bypass;
+    no_bypass.enable_bypass = false;
+
+    const auto input = test::randomActivations(128, 0.6, /*seed=*/4);
+    const core::FunctionalModel functional(with_bypass);
+    const auto raw = functional.quantizeInput(input);
+
+    const auto fast = core::Accelerator(with_bypass).run(plan, raw);
+    const auto slow = core::Accelerator(no_bypass).run(plan, raw);
+
+    EXPECT_EQ(fast.output_raw, slow.output_raw);
+    EXPECT_GE(slow.stats.cycles, fast.stats.cycles);
+    EXPECT_GT(slow.stats.hazard_stalls, 0u);
+    EXPECT_EQ(fast.stats.hazard_stalls, 0u);
+}
+
+TEST(Accelerator, DeeperFifoNeverSlower)
+{
+    auto layer =
+        test::randomCompressedLayer(256, 128, 0.08, 16, /*seed=*/21);
+    const auto input = test::randomActivations(128, 0.4, /*seed=*/22);
+
+    bool first = true;
+    std::uint64_t prev_cycles = 0;
+    for (unsigned depth : {1u, 2u, 4u, 8u, 32u}) {
+        core::EieConfig config;
+        config.n_pe = 16;
+        config.fifo_depth = depth;
+        const auto plan =
+            core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+        const core::FunctionalModel functional(config);
+        const auto raw = functional.quantizeInput(input);
+        const auto result = core::Accelerator(config).run(plan, raw);
+        // Deeper queues can only remove starvation, modulo a couple
+        // of cycles of pipeline noise.
+        if (!first)
+            EXPECT_LE(result.stats.cycles, prev_cycles + 2)
+                << "depth " << depth;
+        prev_cycles = result.stats.cycles;
+        first = false;
+    }
+}
+
+} // namespace

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * EieConfig derived-value checks against the paper's published
+ * design point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+
+namespace {
+
+using eie::core::EieConfig;
+
+TEST(EieConfig, PaperDesignPoint)
+{
+    EieConfig config; // defaults = the paper's 64-PE machine
+    config.validate();
+
+    // 64 PEs at 800 MHz, one MAC (2 ops) per PE per cycle:
+    // 102.4 GOP/s (§VI: "102 GOP/s").
+    EXPECT_NEAR(config.peakGops(), 102.4, 1e-9);
+
+    // 64-bit Spmat rows carry 8 entries (§IV).
+    EXPECT_EQ(config.entriesPerSpmatRow(), 8u);
+
+    // 21 LNZD nodes for 64 PEs: 16 + 4 + 1 (§VI).
+    EXPECT_EQ(config.lnzdNodeCount(), 21u);
+
+    // Quadtree depth 3 plus one pipeline stage.
+    EXPECT_EQ(config.lnzdLatency(), 4u);
+}
+
+TEST(EieConfig, LnzdNodeCountsScale)
+{
+    EieConfig config;
+    config.n_pe = 256;
+    EXPECT_EQ(config.lnzdNodeCount(), 64u + 16u + 4u + 1u);
+    config.n_pe = 4;
+    EXPECT_EQ(config.lnzdNodeCount(), 1u);
+    config.n_pe = 1;
+    EXPECT_EQ(config.lnzdNodeCount(), 0u);
+    EXPECT_EQ(config.lnzdLatency(), 1u);
+}
+
+TEST(EieConfig, WidthSweepEntriesPerRow)
+{
+    EieConfig config;
+    for (unsigned width : {32u, 64u, 128u, 256u, 512u}) {
+        config.spmat_width_bits = width;
+        config.validate();
+        EXPECT_EQ(config.entriesPerSpmatRow(), width / 8);
+    }
+}
+
+TEST(EieConfigDeath, RejectsBadParameters)
+{
+    EieConfig config;
+    config.n_pe = 0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "at least one PE");
+
+    config = EieConfig{};
+    config.spmat_width_bits = 20;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "multiple of 8");
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Extension feature tests (§VII-C and §VII-A): 1x1 convolution,
+ * Winograd 3x3 convolution, and the partitioning cost models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/ext/column_partition.hh"
+#include "core/ext/conv1x1.hh"
+#include "core/ext/winograd.hh"
+#include "helpers.hh"
+#include "nn/generate.hh"
+
+namespace {
+
+using namespace eie;
+using namespace eie::core::ext;
+
+FeatureMap
+randomMap(std::size_t channels, std::size_t h, std::size_t w,
+          double density, Rng &rng)
+{
+    FeatureMap map(channels, h, w);
+    for (std::size_t c = 0; c < channels; ++c)
+        for (std::size_t y = 0; y < h; ++y)
+            for (std::size_t x = 0; x < w; ++x)
+                if (rng.bernoulli(density))
+                    map.at(c, y, x) = static_cast<float>(
+                        std::abs(rng.normal(0.0, 1.0)));
+    return map;
+}
+
+TEST(Conv1x1, EieMatchesGolden)
+{
+    const auto layer = test::randomCompressedLayer(12, 8, 0.4, 4, 201);
+    const Conv1x1 conv(layer);
+    Rng rng(202);
+    const auto input = randomMap(8, 5, 5, 0.5, rng);
+
+    const auto golden = conv.forward(input);
+    core::EieConfig config;
+    config.n_pe = 4;
+    core::RunStats stats;
+    const auto eie_out = conv.forwardOnEie(input, config, &stats);
+
+    ASSERT_EQ(eie_out.channels(), 12u);
+    for (std::size_t c = 0; c < 12; ++c)
+        for (std::size_t y = 0; y < 5; ++y)
+            for (std::size_t x = 0; x < 5; ++x)
+                EXPECT_NEAR(eie_out.at(c, y, x), golden.at(c, y, x),
+                            0.05);
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_GT(stats.total_entries, 0u);
+}
+
+TEST(Conv1x1, ZeroInputPixelsCostNoBroadcasts)
+{
+    const auto layer = test::randomCompressedLayer(8, 8, 0.5, 4, 203);
+    const Conv1x1 conv(layer);
+    FeatureMap zeros(8, 3, 3);
+    core::EieConfig config;
+    config.n_pe = 4;
+    core::RunStats stats;
+    const auto out = conv.forwardOnEie(zeros, config, &stats);
+    EXPECT_EQ(stats.broadcasts, 0u);
+    for (std::size_t c = 0; c < 8; ++c)
+        EXPECT_EQ(out.at(c, 1, 1), 0.0f);
+}
+
+TEST(Winograd, DirectConvolutionKnownValue)
+{
+    // Identity-ish kernel: picks the centre pixel of channel 0.
+    Conv3x3Kernels kernels(1, 1);
+    kernels.at(0, 0, 1, 1) = 1.0f;
+    FeatureMap input(1, 4, 4);
+    float v = 0.0f;
+    for (std::size_t y = 0; y < 4; ++y)
+        for (std::size_t x = 0; x < 4; ++x)
+            input.at(0, y, x) = v++;
+    const auto out = directConv3x3(kernels, input);
+    ASSERT_EQ(out.height(), 2u);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), input.at(0, 1, 1));
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), input.at(0, 2, 2));
+}
+
+TEST(Winograd, TransformMatchesDirectWithoutQuantisation)
+{
+    // Use a wide codebook-friendly weight set: all kernel weights
+    // drawn from a tiny value set so the 16-entry codebook of every
+    // U_k is nearly exact; agreement must then be tight.
+    Rng rng(204);
+    Conv3x3Kernels kernels(4, 3);
+    for (std::size_t co = 0; co < 4; ++co)
+        for (std::size_t ci = 0; ci < 3; ++ci)
+            for (std::size_t k = 0; k < 9; ++k)
+                if (rng.bernoulli(0.7))
+                    kernels.at(co, ci, k / 3, k % 3) =
+                        0.25f * static_cast<float>(
+                                    rng.uniformInt(-2, 2));
+
+    const auto input = randomMap(3, 6, 6, 0.8, rng);
+    const auto direct = directConv3x3(kernels, input);
+
+    compress::CompressionOptions copts;
+    copts.interleave.n_pe = 2;
+    const WinogradConv3x3 winograd(kernels, copts);
+    const auto wino = winograd.forward(input);
+
+    ASSERT_EQ(wino.height(), direct.height());
+    double max_diff = 0.0;
+    for (std::size_t c = 0; c < 4; ++c)
+        for (std::size_t y = 0; y < direct.height(); ++y)
+            for (std::size_t x = 0; x < direct.width(); ++x)
+                max_diff = std::max(
+                    max_diff,
+                    std::abs(static_cast<double>(
+                        wino.at(c, y, x) - direct.at(c, y, x))));
+    EXPECT_LT(max_diff, 0.2);
+}
+
+TEST(Winograd, EieExecutionMatchesFloatWinograd)
+{
+    Rng rng(205);
+    Conv3x3Kernels kernels(4, 4);
+    for (std::size_t co = 0; co < 4; ++co)
+        for (std::size_t ci = 0; ci < 4; ++ci)
+            for (std::size_t k = 0; k < 9; ++k)
+                if (rng.bernoulli(0.6))
+                    kernels.at(co, ci, k / 3, k % 3) =
+                        static_cast<float>(rng.normal(0.0, 0.3));
+
+    const auto input = randomMap(4, 6, 6, 0.6, rng);
+    compress::CompressionOptions copts;
+    copts.interleave.n_pe = 4;
+    const WinogradConv3x3 winograd(kernels, copts);
+
+    const auto gold = winograd.forward(input);
+    core::EieConfig config;
+    config.n_pe = 4;
+    std::uint64_t cycles = 0;
+    const auto eie_out = winograd.forwardOnEie(input, config, &cycles);
+
+    for (std::size_t c = 0; c < 4; ++c)
+        for (std::size_t y = 0; y < gold.height(); ++y)
+            for (std::size_t x = 0; x < gold.width(); ++x)
+                EXPECT_NEAR(eie_out.at(c, y, x), gold.at(c, y, x),
+                            0.25);
+    EXPECT_GT(cycles, 0u);
+    EXPECT_DOUBLE_EQ(WinogradConv3x3::multiplySavings(), 2.25);
+}
+
+TEST(Partitioning, ColumnSchemeIdlesZeroActivationPes)
+{
+    // 8 columns on 8 PEs; half the activations zero: the column
+    // scheme idles exactly those PEs, the row scheme idles none.
+    const auto weights = test::randomWeights(64, 8, 0.5, 206);
+    nn::Vector acts(8, 1.0f);
+    for (std::size_t j = 0; j < 8; j += 2)
+        acts[j] = 0.0f;
+
+    const auto col = columnPartitionCost(weights, acts, 8);
+    EXPECT_EQ(col.idle_pes, 4u);
+    EXPECT_GT(col.reduction_cycles, 0u);
+
+    const auto row = rowPartitionCost(weights, acts, 8);
+    EXPECT_EQ(row.idle_pes, 0u);
+    EXPECT_EQ(row.reduction_cycles, 0u);
+    EXPECT_EQ(row.total_entries, col.total_entries);
+    EXPECT_LT(row.totalCycles(), col.totalCycles());
+}
+
+TEST(Partitioning, DenseActivationsStillPayReduction)
+{
+    const auto weights = test::randomWeights(128, 64, 0.2, 207);
+    const nn::Vector acts(64, 1.0f);
+    const auto col = columnPartitionCost(weights, acts, 16);
+    const auto row = rowPartitionCost(weights, acts, 16);
+    EXPECT_EQ(col.idle_pes, 0u);
+    // Reduction: ceil(log2 16) stages x ceil(128/4) transfers.
+    EXPECT_EQ(col.reduction_cycles, 4u * 32u);
+    EXPECT_EQ(row.reduction_cycles, 0u);
+}
+
+TEST(Partitioning, SinglePeDegenerate)
+{
+    const auto weights = test::randomWeights(16, 16, 0.3, 208);
+    const nn::Vector acts(16, 1.0f);
+    const auto col = columnPartitionCost(weights, acts, 1);
+    EXPECT_EQ(col.reduction_cycles, 0u);
+    EXPECT_EQ(col.compute_cycles, weights.nnz());
+}
+
+} // namespace

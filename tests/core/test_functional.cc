@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Functional-model tests: agreement with the float golden model,
+ * activation-sparsity skipping, and work accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/functional.hh"
+#include "core/plan.hh"
+#include "helpers.hh"
+
+namespace {
+
+using namespace eie;
+
+TEST(FunctionalModel, MatchesFloatGoldenWithinQuantization)
+{
+    const unsigned n_pe = 8;
+    auto layer = test::randomCompressedLayer(128, 96, 0.15, n_pe, 31);
+    core::EieConfig config;
+    config.n_pe = n_pe;
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+
+    const auto input = test::randomActivations(96, 0.5, 32);
+    const core::FunctionalModel model(config);
+    const auto result = model.run(plan, model.quantizeInput(input));
+    const auto out = model.dequantize(result.output_raw);
+
+    const nn::Vector golden =
+        nn::relu(layer.quantizedWeights().spmv(input));
+    for (std::size_t i = 0; i < out.size(); ++i)
+        ASSERT_NEAR(out[i], golden[i], 0.25) << "row " << i;
+}
+
+TEST(FunctionalModel, SkipsZeroActivationColumns)
+{
+    const unsigned n_pe = 4;
+    auto layer = test::randomCompressedLayer(64, 40, 0.2, n_pe, 33);
+    core::EieConfig config;
+    config.n_pe = n_pe;
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    const core::FunctionalModel model(config);
+
+    // Dense input: every column is walked.
+    std::vector<std::int64_t> dense(40, 256);
+    const auto full = model.run(plan, dense);
+    EXPECT_EQ(full.work.broadcasts, 40u);
+    EXPECT_EQ(full.work.total_entries,
+              plan.tiles[0][0].storage.totalEntries());
+
+    // Half the columns zeroed: only the rest are walked.
+    auto half = dense;
+    for (std::size_t j = 0; j < 40; j += 2)
+        half[j] = 0;
+    const auto partial = model.run(plan, half);
+    EXPECT_EQ(partial.work.broadcasts, 20u);
+    EXPECT_LT(partial.work.total_entries, full.work.total_entries);
+
+    // All-zero input: no work at all, all outputs zero.
+    std::vector<std::int64_t> zeros(40, 0);
+    const auto none = model.run(plan, zeros);
+    EXPECT_EQ(none.work.broadcasts, 0u);
+    EXPECT_EQ(none.work.total_entries, 0u);
+    for (auto v : none.output_raw)
+        EXPECT_EQ(v, 0);
+}
+
+TEST(FunctionalModel, PerPeWorkSumsToTotal)
+{
+    const unsigned n_pe = 16;
+    auto layer = test::randomCompressedLayer(256, 64, 0.1, n_pe, 35);
+    core::EieConfig config;
+    config.n_pe = n_pe;
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    const core::FunctionalModel model(config);
+    const auto input = test::randomActivations(64, 0.6, 36);
+    const auto result = model.run(plan, model.quantizeInput(input));
+
+    std::uint64_t sum = 0;
+    for (auto c : result.work.pe_entries)
+        sum += c;
+    EXPECT_EQ(sum, result.work.total_entries);
+    EXPECT_EQ(result.work.theoreticalCycles(n_pe),
+              (result.work.total_entries + n_pe - 1) / n_pe);
+}
+
+TEST(FunctionalModel, NoneNonlinearityKeepsNegatives)
+{
+    const unsigned n_pe = 4;
+    // Use a layer guaranteed to produce some negative outputs.
+    auto layer = test::randomCompressedLayer(64, 32, 0.3, n_pe, 37);
+    core::EieConfig config;
+    config.n_pe = n_pe;
+    const auto relu_plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    const auto raw_plan =
+        core::planLayer(layer, nn::Nonlinearity::None, config);
+    const core::FunctionalModel model(config);
+    const auto input = test::randomActivations(32, 1.0, 38);
+    const auto raw = model.quantizeInput(input);
+
+    const auto with_relu = model.run(relu_plan, raw);
+    const auto without = model.run(raw_plan, raw);
+
+    bool saw_negative = false;
+    for (std::size_t i = 0; i < without.output_raw.size(); ++i) {
+        if (without.output_raw[i] < 0) {
+            saw_negative = true;
+            EXPECT_EQ(with_relu.output_raw[i], 0);
+        } else {
+            EXPECT_EQ(with_relu.output_raw[i], without.output_raw[i]);
+        }
+    }
+    EXPECT_TRUE(saw_negative);
+}
+
+} // namespace

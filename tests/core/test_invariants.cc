@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Property sweep over random machine configurations and layers: the
+ * structural invariants every run must satisfy, regardless of
+ * parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/random.hh"
+#include "core/accelerator.hh"
+#include "core/functional.hh"
+#include "core/plan.hh"
+#include "helpers.hh"
+
+namespace {
+
+using namespace eie;
+
+class RandomConfigInvariants
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RandomConfigInvariants, HoldOnRandomMachineAndLayer)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+
+    core::EieConfig config;
+    config.n_pe =
+        static_cast<unsigned>(1u << rng.uniformInt(0, 5)); // 1..32
+    config.fifo_depth = static_cast<unsigned>(rng.uniformInt(1, 32));
+    config.spmat_width_bits =
+        static_cast<unsigned>(8u << rng.uniformInt(2, 6)); // 32..512
+    config.enable_bypass = rng.bernoulli(0.8);
+    config.enforce_capacity = false;
+    config.regfile_entries =
+        static_cast<unsigned>(rng.uniformInt(8, 64));
+
+    const auto rows = static_cast<std::size_t>(rng.uniformInt(8, 300));
+    const auto cols = static_cast<std::size_t>(rng.uniformInt(8, 200));
+    const double w_density = rng.uniformReal(0.02, 0.6);
+    const double a_density = rng.uniformReal(0.0, 1.0);
+
+    const auto layer = test::randomCompressedLayer(
+        rows, cols, w_density, config.n_pe, seed * 3 + 1);
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    const auto input =
+        test::randomActivations(cols, a_density, seed * 5 + 2);
+
+    const core::FunctionalModel functional(config);
+    const auto raw = functional.quantizeInput(input);
+    const auto golden = functional.run(plan, raw);
+    const auto result = core::Accelerator(config).run(plan, raw);
+
+    // 1. Bit-exact output agreement.
+    ASSERT_EQ(result.output_raw, golden.output_raw);
+
+    // 2. Work conservation: MACs == functional entry walk; per-PE
+    //    busy cycles sum to total MACs (one issue per busy cycle).
+    EXPECT_EQ(result.stats.total_entries, golden.work.total_entries);
+    const std::uint64_t busy_sum =
+        std::accumulate(result.stats.pe_busy.begin(),
+                        result.stats.pe_busy.end(), std::uint64_t{0});
+    EXPECT_EQ(busy_sum, result.stats.total_entries);
+
+    // 3. Timing bounds: no machine beats perfect balance, and the
+    //    load-balance metric is a valid fraction.
+    EXPECT_GE(result.stats.cycles, result.stats.theoretical_cycles);
+    EXPECT_GE(result.stats.loadBalance(), 0.0);
+    EXPECT_LE(result.stats.loadBalance(), 1.0 + 1e-12);
+
+    // 4. Flow conservation: broadcasts equal the non-zero quantised
+    //    activations times the number of row batches (re-scans).
+    std::uint64_t nnz_input = 0;
+    for (auto v : raw)
+        if (v != 0)
+            ++nnz_input;
+    EXPECT_EQ(result.stats.broadcasts, nnz_input * plan.batches());
+
+    // 5. With the bypass enabled there are no hazard stalls.
+    if (config.enable_bypass)
+        EXPECT_EQ(result.stats.hazard_stalls, 0u);
+
+    // 6. ReLU outputs are non-negative.
+    for (auto v : result.output_raw)
+        EXPECT_GE(v, 0);
+
+    // 7. SRAM traffic exists iff work exists.
+    if (result.stats.total_entries > 0) {
+        EXPECT_GT(result.stats.spmat_row_fetches, 0u);
+        EXPECT_GT(result.stats.ptr_sram_reads, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConfigInvariants,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+} // namespace

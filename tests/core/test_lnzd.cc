@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Leading non-zero detection: node selection, tree construction and
+ * the distributed scan schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/lnzd.hh"
+
+namespace {
+
+using namespace eie::core;
+
+TEST(LnzdSelect, PicksSmallestValidIndex)
+{
+    std::vector<LnzdCandidate> children(4);
+    EXPECT_FALSE(lnzdSelect(children).valid);
+
+    children[2] = {true, 7, 42};
+    auto pick = lnzdSelect(children);
+    EXPECT_TRUE(pick.valid);
+    EXPECT_EQ(pick.index, 7u);
+    EXPECT_EQ(pick.value, 42);
+
+    children[0] = {true, 9, 1};
+    children[3] = {true, 3, -5};
+    pick = lnzdSelect(children);
+    EXPECT_EQ(pick.index, 3u);
+    EXPECT_EQ(pick.value, -5);
+}
+
+TEST(LnzdTree, NodeCountAndDepth)
+{
+    EXPECT_EQ(LnzdTree(64, 4).nodeCount(), 21u);
+    EXPECT_EQ(LnzdTree(64, 4).depth(), 3u);
+    EXPECT_EQ(LnzdTree(256, 4).nodeCount(), 85u);
+    EXPECT_EQ(LnzdTree(16, 4).nodeCount(), 5u);
+    EXPECT_EQ(LnzdTree(1, 4).nodeCount(), 0u);
+    // Non-power-of-fanin leaf counts still reduce to one root.
+    EXPECT_EQ(LnzdTree(7, 4).depth(), 2u);
+}
+
+TEST(LnzdTree, ScanProducesAscendingNonZeros)
+{
+    eie::Rng rng(99);
+    for (unsigned n_pe : {1u, 3u, 4u, 16u, 64u}) {
+        LnzdTree tree(n_pe, 4);
+        std::vector<std::int64_t> acts(301);
+        for (auto &a : acts)
+            a = rng.bernoulli(0.3) ? rng.uniformInt(-100, 100) : 0;
+
+        const auto schedule = tree.scan(acts, n_pe);
+
+        // Exactly the non-zeros, in ascending index order.
+        std::size_t expected = 0;
+        for (std::size_t i = 0; i < acts.size(); ++i)
+            if (acts[i] != 0)
+                ++expected;
+        ASSERT_EQ(schedule.size(), expected) << n_pe << " PEs";
+
+        std::uint32_t prev = 0;
+        bool first = true;
+        for (const auto &[index, value] : schedule) {
+            EXPECT_EQ(value, acts[index]);
+            EXPECT_NE(value, 0);
+            if (!first)
+                EXPECT_GT(index, prev);
+            prev = index;
+            first = false;
+        }
+    }
+}
+
+TEST(LnzdTree, AllZeroAndAllDense)
+{
+    LnzdTree tree(8, 4);
+    std::vector<std::int64_t> zeros(50, 0);
+    EXPECT_TRUE(tree.scan(zeros, 8).empty());
+
+    std::vector<std::int64_t> dense(50, 3);
+    const auto schedule = tree.scan(dense, 8);
+    ASSERT_EQ(schedule.size(), 50u);
+    for (std::size_t i = 0; i < 50; ++i)
+        EXPECT_EQ(schedule[i].first, i);
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Compiler/scheduler tests: tiling decisions, capacity handling and
+ * plan-level statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/plan.hh"
+#include "helpers.hh"
+
+namespace {
+
+using namespace eie;
+
+TEST(Planner, SingleTileWhenEverythingFits)
+{
+    auto layer = test::randomCompressedLayer(128, 64, 0.1, 8, 1);
+    core::EieConfig config;
+    config.n_pe = 8;
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    EXPECT_EQ(plan.batches(), 1u);
+    EXPECT_EQ(plan.passes(), 1u);
+    EXPECT_EQ(plan.tiles[0][0].row_begin, 0u);
+    EXPECT_EQ(plan.tiles[0][0].row_end, 128u);
+    EXPECT_EQ(plan.tiles[0][0].col_begin, 0u);
+    EXPECT_EQ(plan.tiles[0][0].col_end, 64u);
+}
+
+TEST(Planner, RowBatchingFollowsRegfile)
+{
+    auto layer = test::randomCompressedLayer(1000, 32, 0.1, 4, 2);
+    core::EieConfig config;
+    config.n_pe = 4;
+    config.regfile_entries = 64; // 256 rows per batch
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    EXPECT_EQ(plan.batches(), 4u); // ceil(1000/256)
+    EXPECT_EQ(plan.tiles[3][0].row_begin, 768u);
+    EXPECT_EQ(plan.tiles[3][0].row_end, 1000u);
+}
+
+TEST(Planner, ColumnPassesFollowPointerCapacity)
+{
+    auto layer = test::randomCompressedLayer(32, 500, 0.1, 4, 3);
+    core::EieConfig config;
+    config.n_pe = 4;
+    config.ptr_capacity = 201; // 200 columns per pass
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    EXPECT_EQ(plan.passes(), 3u);
+    EXPECT_EQ(plan.tiles[0][2].col_begin, 400u);
+    EXPECT_EQ(plan.tiles[0][2].col_end, 500u);
+}
+
+TEST(Planner, EntriesArePreservedAcrossTiling)
+{
+    auto layer = test::randomCompressedLayer(300, 300, 0.15, 8, 4);
+    core::EieConfig config;
+    config.n_pe = 8;
+    config.regfile_entries = 16; // 128 rows per batch
+    config.ptr_capacity = 129;   // 128 cols per pass
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    EXPECT_GT(plan.batches(), 1u);
+    EXPECT_GT(plan.passes(), 1u);
+
+    // Real (non-padding) entries must equal the layer's nnz exactly;
+    // padding may differ from the untiled encoding.
+    EXPECT_EQ(plan.totalEntries() - plan.paddingEntries(),
+              layer.quantizedWeights().nnz());
+    EXPECT_GT(plan.realWorkRatio(), 0.0);
+    EXPECT_LE(plan.realWorkRatio(), 1.0);
+}
+
+TEST(PlannerDeath, CapacityEnforcement)
+{
+    auto layer = test::randomCompressedLayer(512, 128, 0.5, 2, 5);
+    core::EieConfig config;
+    config.n_pe = 2;
+    config.spmat_capacity_entries = 64; // far too small
+    config.enforce_capacity = true;
+    EXPECT_EXIT(
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config),
+        ::testing::ExitedWithCode(1), "Spmat");
+}
+
+TEST(Planner, RelaxedCapacityOnlyWarns)
+{
+    auto layer = test::randomCompressedLayer(512, 128, 0.5, 2, 5);
+    core::EieConfig config;
+    config.n_pe = 2;
+    config.spmat_capacity_entries = 64;
+    config.enforce_capacity = false;
+    eie::Logger::setQuiet(true);
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    eie::Logger::setQuiet(false);
+    // Row batching still applies (512 rows / (64 regs * 2 PEs) = 4
+    // batches); the too-small Spmat capacity only warns.
+    EXPECT_EQ(plan.batches(), 4u);
+}
+
+} // namespace

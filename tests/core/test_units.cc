@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Unit tests of the PE's building blocks: banked pointer reads, the
+ * wide-row Spmat streamer, the 4-stage arithmetic pipeline, and the
+ * activation read/write unit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/act_rw.hh"
+#include "core/arith.hh"
+#include "core/config.hh"
+#include "core/ptr_read.hh"
+#include "core/spmat_read.hh"
+#include "sim/stats.hh"
+
+namespace {
+
+using namespace eie;
+using namespace eie::core;
+
+TEST(PointerReadUnit, BankedLookup)
+{
+    EieConfig config;
+    sim::StatGroup stats("test");
+    PointerReadUnit unit(config, stats);
+
+    const std::vector<std::uint32_t> ptr{0, 3, 4, 6, 6, 8, 10, 11, 13};
+    unit.loadPointers(ptr);
+
+    for (std::uint32_t col = 0; col + 1 < ptr.size(); ++col) {
+        unit.request(col);
+        EXPECT_TRUE(unit.busy());
+        EXPECT_FALSE(unit.ready());
+        unit.tick();
+        ASSERT_TRUE(unit.ready());
+        const auto [begin, end] = unit.pointers();
+        EXPECT_EQ(begin, ptr[col]) << "col " << col;
+        EXPECT_EQ(end, ptr[col + 1]) << "col " << col;
+    }
+
+    // One read per bank per lookup.
+    EXPECT_EQ(stats.value("ptr_even_reads") + stats.value("ptr_odd_reads"),
+              2 * (ptr.size() - 1));
+}
+
+std::vector<compress::CscEntry>
+makeEntries(std::size_t count)
+{
+    std::vector<compress::CscEntry> entries(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        entries[i].weight_index = static_cast<std::uint8_t>(1 + i % 15);
+        entries[i].zero_count = static_cast<std::uint8_t>(i % 3);
+    }
+    return entries;
+}
+
+TEST(SpmatReadUnit, StreamsOneEntryPerCycleSteadyState)
+{
+    EieConfig config; // 64-bit rows: 8 entries per fetch
+    sim::StatGroup stats("test");
+    SpmatReadUnit unit(config, stats);
+    unit.loadEntries(makeEntries(40));
+
+    unit.startColumn(0, 40);
+    EXPECT_TRUE(unit.columnActive());
+    EXPECT_FALSE(unit.entryReady()); // nothing fetched yet
+
+    std::size_t consumed = 0;
+    std::size_t cycles = 0;
+    while (unit.columnActive() && cycles < 200) {
+        if (unit.entryReady()) {
+            EXPECT_EQ(unit.peekEntry().weight_index,
+                      1 + consumed % 15);
+            unit.consumeEntry();
+            ++consumed;
+        }
+        unit.prefetch(false, 0, 0);
+        unit.tick();
+        ++cycles;
+    }
+    EXPECT_EQ(consumed, 40u);
+    // 40 entries in 5 rows; one warm-up cycle for the first fetch,
+    // then one entry per cycle: no more than a couple of bubbles.
+    EXPECT_LE(cycles, 43u);
+    EXPECT_EQ(unit.rowFetches(), 5u);
+}
+
+TEST(SpmatReadUnit, RetainsRowAcrossColumnSwitch)
+{
+    EieConfig config;
+    sim::StatGroup stats("test");
+    SpmatReadUnit unit(config, stats);
+    unit.loadEntries(makeEntries(8)); // all in one 64-bit row
+
+    // Column A = entries [0,3), column B = [5,8): same SRAM row.
+    unit.startColumn(0, 3);
+    unit.prefetch(false, 0, 0);
+    unit.tick();
+    ASSERT_TRUE(unit.entryReady());
+    while (unit.columnActive()) {
+        unit.consumeEntry();
+        unit.tick();
+    }
+    EXPECT_EQ(unit.rowFetches(), 1u);
+
+    unit.startColumn(5, 8);
+    // The row is already buffered: no new fetch needed.
+    EXPECT_TRUE(unit.entryReady());
+    while (unit.columnActive()) {
+        unit.consumeEntry();
+        unit.tick();
+    }
+    EXPECT_EQ(unit.rowFetches(), 1u);
+}
+
+TEST(SpmatReadUnit, NarrowWidthFetchesMoreRows)
+{
+    EieConfig config;
+    config.spmat_width_bits = 32; // 4 entries per row
+    sim::StatGroup stats("test");
+    SpmatReadUnit unit(config, stats);
+    unit.loadEntries(makeEntries(40));
+
+    unit.startColumn(0, 40);
+    std::size_t cycles = 0;
+    while (unit.columnActive() && cycles < 400) {
+        if (unit.entryReady())
+            unit.consumeEntry();
+        unit.prefetch(false, 0, 0);
+        unit.tick();
+        ++cycles;
+    }
+    EXPECT_EQ(unit.rowFetches(), 10u);
+}
+
+compress::Codebook
+simpleCodebook()
+{
+    return compress::Codebook({0.0f, 1.0f, -2.0f, 0.5f});
+}
+
+TEST(ArithmeticUnit, MacSemanticsAndPadding)
+{
+    EieConfig config;
+    sim::StatGroup stats("test");
+    ArithmeticUnit unit(config, stats);
+    const auto codebook = simpleCodebook();
+
+    unit.configureBatch(4);
+    ASSERT_EQ(unit.accumulators().size(), 4u);
+
+    // a = 2.0 in Q8.8 raw = 512; w = 1.0 raw = 256.
+    const std::int64_t act = quantize(2.0, fixed16);
+    unit.issue(1, 0, act, codebook);
+    unit.tick();
+    EXPECT_EQ(unit.accumulators()[0], quantize(2.0, fixed16));
+
+    // Padding entry (index 0): occupies a slot, changes nothing.
+    unit.issue(0, 1, act, codebook);
+    unit.tick();
+    EXPECT_EQ(unit.accumulators()[1], 0);
+    EXPECT_EQ(stats.value("padding_macs"), 1u);
+    EXPECT_EQ(stats.value("macs"), 2u);
+
+    // Accumulate w = -2.0 twice into row 0: 2 + (-4) + (-4) = -6.
+    unit.issue(2, 0, act, codebook);
+    unit.tick();
+    unit.issue(2, 0, act, codebook);
+    unit.tick();
+    EXPECT_EQ(unit.accumulators()[0], quantize(-6.0, fixed16));
+
+    unit.applyRelu();
+    EXPECT_EQ(unit.accumulators()[0], 0);
+}
+
+TEST(ArithmeticUnit, BypassDisabledCreatesHazards)
+{
+    EieConfig config;
+    config.enable_bypass = false;
+    sim::StatGroup stats("test");
+    ArithmeticUnit unit(config, stats);
+    const auto codebook = simpleCodebook();
+    unit.configureBatch(2);
+
+    unit.issue(1, 0, 256, codebook);
+    // Same accumulator next cycle: blocked until the update retires.
+    unit.tick();
+    EXPECT_FALSE(unit.canIssue(0));
+    EXPECT_TRUE(unit.canIssue(1));
+    unit.tick();
+    EXPECT_FALSE(unit.canIssue(0));
+    unit.tick();
+    EXPECT_TRUE(unit.canIssue(0));
+    EXPECT_TRUE(unit.pipelineEmpty());
+}
+
+TEST(ArithmeticUnit, BypassEnabledNeverStalls)
+{
+    EieConfig config;
+    sim::StatGroup stats("test");
+    ArithmeticUnit unit(config, stats);
+    const auto codebook = simpleCodebook();
+    unit.configureBatch(1);
+
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(unit.canIssue(0));
+        unit.issue(1, 0, 256, codebook);
+        unit.tick();
+    }
+    // 5 x (1.0 * 1.0) accumulated.
+    EXPECT_EQ(unit.accumulators()[0], 5 * 256);
+}
+
+TEST(ArithmeticUnit, SaturationOnOverflow)
+{
+    EieConfig config;
+    sim::StatGroup stats("test");
+    ArithmeticUnit unit(config, stats);
+    // Large positive weight * large activation, repeatedly.
+    compress::Codebook codebook({0.0f, 100.0f});
+    unit.configureBatch(1);
+    const std::int64_t big_act = quantize(100.0, fixed16);
+    for (int i = 0; i < 10; ++i) {
+        unit.issue(1, 0, big_act, codebook);
+        unit.tick();
+    }
+    EXPECT_EQ(unit.accumulators()[0], fixed16.maxRaw());
+}
+
+TEST(ActRwUnit, DrainPacksFourPerWrite)
+{
+    EieConfig config;
+    sim::StatGroup stats("test");
+    ActRwUnit unit(config, stats);
+
+    unit.loadSourceShare(10); // 3 scan reads (ceil(10/4))
+    EXPECT_EQ(stats.value("act_scan_reads"), 3u);
+    unit.accountScanPass();
+    EXPECT_EQ(stats.value("act_scan_reads"), 6u);
+
+    std::vector<std::int64_t> values(9, 42);
+    unit.startDrain(values);
+    std::size_t cycles = 0;
+    while (unit.draining()) {
+        unit.drainCycle();
+        unit.tick();
+        ++cycles;
+    }
+    EXPECT_EQ(cycles, 3u); // ceil(9/4)
+    EXPECT_EQ(unit.writes(), 3u);
+    EXPECT_EQ(unit.drained(), values);
+}
+
+} // namespace

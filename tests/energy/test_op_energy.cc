@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Op-energy model tests against the paper's published anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/op_energy.hh"
+
+namespace {
+
+using eie::energy::OpEnergy;
+
+TEST(OpEnergy, TableIAnchors)
+{
+    EXPECT_DOUBLE_EQ(OpEnergy::int_add_32, 0.1);
+    EXPECT_DOUBLE_EQ(OpEnergy::float_add_32, 0.9);
+    EXPECT_DOUBLE_EQ(OpEnergy::int_mult_32, 3.1);
+    EXPECT_DOUBLE_EQ(OpEnergy::float_mult_32, 3.7);
+    EXPECT_DOUBLE_EQ(OpEnergy::sram_read_32b_32k, 5.0);
+    EXPECT_DOUBLE_EQ(OpEnergy::dram_read_32b, 640.0);
+
+    // "DRAM access uses ... 128x more than SRAM" (Table I caption).
+    EXPECT_DOUBLE_EQ(OpEnergy::dram_read_32b /
+                     OpEnergy::sram_read_32b_32k, 128.0);
+    EXPECT_DOUBLE_EQ(OpEnergy::relativeCost(OpEnergy::dram_read_32b),
+                     6400.0);
+}
+
+TEST(OpEnergy, SixteenBitMultiplySavings)
+{
+    // §VI-C: 16-bit fixed multiply uses 5x less energy than 32-bit
+    // fixed and 6.2x less than 32-bit float.
+    EXPECT_NEAR(OpEnergy::int_mult_32 / OpEnergy::intMult(16), 5.0,
+                0.01);
+    EXPECT_NEAR(OpEnergy::float_mult_32 / OpEnergy::intMult(16), 6.2,
+                0.25);
+}
+
+TEST(OpEnergy, MonotoneInWidth)
+{
+    double prev_mult = 0.0, prev_add = 0.0;
+    for (unsigned bits : {4u, 8u, 16u, 32u, 64u}) {
+        EXPECT_GT(OpEnergy::intMult(bits), prev_mult);
+        EXPECT_GT(OpEnergy::intAdd(bits), prev_add);
+        prev_mult = OpEnergy::intMult(bits);
+        prev_add = OpEnergy::intAdd(bits);
+    }
+    // Multiplier scales super-linearly, adder linearly.
+    EXPECT_GT(OpEnergy::intMult(32) / OpEnergy::intMult(16), 2.0);
+    EXPECT_NEAR(OpEnergy::intAdd(32) / OpEnergy::intAdd(16), 2.0,
+                1e-9);
+}
+
+TEST(OpEnergy, MacIsMultPlusAdd)
+{
+    EXPECT_DOUBLE_EQ(OpEnergy::fixedMac(16),
+                     OpEnergy::intMult(16) + OpEnergy::intAdd(16));
+}
+
+TEST(OpEnergyDeath, RejectsBadWidths)
+{
+    EXPECT_EXIT(OpEnergy::intMult(0), ::testing::ExitedWithCode(1),
+                "width");
+    EXPECT_EXIT(OpEnergy::intAdd(65), ::testing::ExitedWithCode(1),
+                "width");
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * PE area/power model tests: the Table II reproduction at the default
+ * design point, plus sensible extrapolation behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/pe_model.hh"
+
+namespace {
+
+using namespace eie;
+using namespace eie::energy;
+
+TEST(PeModel, TableIIPowerAtNominal)
+{
+    const core::EieConfig config;
+    const PeModel model(config);
+    const auto power = model.powerMw(PeActivity::nominal());
+
+    EXPECT_NEAR(power.act_queue, 0.112, 0.02);
+    EXPECT_NEAR(power.ptr_read, 1.807, 0.05);
+    EXPECT_NEAR(power.spmat_read, 4.955, 0.05);
+    EXPECT_NEAR(power.arith, 1.162, 0.05);
+    EXPECT_NEAR(power.act_rw, 1.122, 0.05);
+    EXPECT_NEAR(power.total(), 9.157, 0.1);
+}
+
+TEST(PeModel, TableIIArea)
+{
+    const core::EieConfig config;
+    const PeModel model(config);
+    const auto area = model.areaUm2();
+
+    EXPECT_NEAR(area.act_queue, 758, 20);
+    EXPECT_NEAR(area.ptr_read, 121849, 500);
+    EXPECT_NEAR(area.spmat_read, 469412, 500);
+    EXPECT_NEAR(area.arith, 3110, 10);
+    EXPECT_NEAR(area.act_rw, 18934, 100);
+    EXPECT_NEAR(area.total(), 638024, 1500);
+}
+
+TEST(PeModel, AcceleratorLevelNumbers)
+{
+    const core::EieConfig config;
+    // 64 PEs: 40.8 mm2 and ~590 mW (§I, §VI).
+    EXPECT_NEAR(acceleratorAreaMm2(config), 40.8, 0.2);
+    const double watts =
+        acceleratorPowerWatts(config, PeActivity::nominal());
+    EXPECT_NEAR(watts, 0.59, 0.03);
+}
+
+TEST(PeModel, IdleActivityCostsLess)
+{
+    const core::EieConfig config;
+    const PeModel model(config);
+    PeActivity idle; // all rates zero
+    const double idle_mw = model.powerMw(idle).total();
+    const double busy_mw =
+        model.powerMw(PeActivity::nominal()).total();
+    EXPECT_LT(idle_mw, busy_mw);
+    EXPECT_GT(idle_mw, 0.0); // leakage + clock remain
+}
+
+TEST(PeModel, ActivityFromRunStats)
+{
+    core::RunStats stats;
+    stats.n_pe = 4;
+    stats.clock_ghz = 0.8;
+    stats.cycles = 1000;
+    stats.total_entries = 3200;     // 0.8 per PE-cycle
+    stats.spmat_row_fetches = 400;  // 0.1 per PE-cycle
+    stats.ptr_sram_reads = 800;     // 0.2 per PE-cycle
+    stats.act_sram_reads = 200;
+    stats.act_sram_writes = 200;    // 0.1 combined per PE-cycle
+    stats.broadcasts = 500;         // 0.5 per cycle (every PE hears)
+
+    const auto activity = PeActivity::fromRun(stats);
+    EXPECT_NEAR(activity.alu_issue_rate, 0.8, 1e-12);
+    EXPECT_NEAR(activity.spmat_fetch_rate, 0.1, 1e-12);
+    EXPECT_NEAR(activity.ptr_read_rate, 0.2, 1e-12);
+    EXPECT_NEAR(activity.act_access_rate, 0.1, 1e-12);
+    EXPECT_NEAR(activity.queue_push_rate, 0.5, 1e-12);
+}
+
+TEST(PeModel, RunEnergyConsistent)
+{
+    core::RunStats stats;
+    stats.n_pe = 64;
+    stats.clock_ghz = 0.8;
+    stats.cycles = 8000; // 10 us
+    stats.pe_busy.assign(64, 8000);
+    stats.total_entries = 64 * 8000;
+
+    const core::EieConfig config;
+    const double uj = runEnergyUj(config, stats);
+    const double watts = acceleratorPowerWatts(
+        config, PeActivity::fromRun(stats));
+    EXPECT_NEAR(uj, watts * stats.timeUs(), 1e-9);
+}
+
+TEST(PeModel, WiderSpmatCostsMorePower)
+{
+    core::EieConfig narrow;
+    core::EieConfig wide;
+    wide.spmat_width_bits = 512;
+    const auto activity = PeActivity::nominal();
+    EXPECT_GT(PeModel(wide).powerMw(activity).spmat_read,
+              PeModel(narrow).powerMw(activity).spmat_read);
+}
+
+} // namespace

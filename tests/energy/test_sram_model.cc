@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SRAM energy/area model tests against the Table I/II calibration
+ * points and the monotonicity properties Figure 9 relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/sram_model.hh"
+
+namespace {
+
+using eie::energy::SramModel;
+
+constexpr std::size_t kB = 1024;
+
+TEST(SramModel, TableIAnchor)
+{
+    // 32-bit read of a 32KB array = 5 pJ.
+    EXPECT_NEAR(SramModel::readEnergyPj(32 * kB, 32), 5.0, 1e-9);
+}
+
+TEST(SramModel, EnergyGrowsWithCapacityAndWidth)
+{
+    double prev = 0.0;
+    for (std::size_t cap : {2 * kB, 32 * kB, 128 * kB}) {
+        const double e = SramModel::readEnergyPj(cap, 64);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+    prev = 0.0;
+    for (unsigned width : {32u, 64u, 128u, 256u, 512u}) {
+        const double e = SramModel::readEnergyPj(128 * kB, width);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(SramModel, WidthScalingSubLinearPerAccess)
+{
+    // Doubling the width must less-than-double per-access energy
+    // (fixed wordline/decode cost) — the property that puts the
+    // Figure 9 minimum at a finite width.
+    for (unsigned width : {32u, 64u, 128u, 256u}) {
+        const double narrow = SramModel::readEnergyPj(128 * kB, width);
+        const double wide =
+            SramModel::readEnergyPj(128 * kB, 2 * width);
+        EXPECT_LT(wide / narrow, 2.0) << width;
+        EXPECT_GT(wide / narrow, 1.0) << width;
+    }
+}
+
+TEST(SramModel, WritesSlightlyDearer)
+{
+    EXPECT_GT(SramModel::writeEnergyPj(32 * kB, 32),
+              SramModel::readEnergyPj(32 * kB, 32));
+}
+
+TEST(SramModel, TableIIAreaCalibration)
+{
+    // Linear fit through the paper's module areas.
+    EXPECT_NEAR(SramModel::areaUm2(128 * kB), 469412, 500);
+    EXPECT_NEAR(SramModel::areaUm2(32 * kB), 121849, 500);
+}
+
+TEST(SramModel, LeakageScalesWithCapacity)
+{
+    EXPECT_NEAR(SramModel::leakageMw(128 * kB) /
+                SramModel::leakageMw(2 * kB), 64.0, 1e-9);
+}
+
+TEST(SramModelDeath, RejectsZeroSizes)
+{
+    EXPECT_EXIT(SramModel::readEnergyPj(0, 32),
+                ::testing::ExitedWithCode(1), "capacity");
+    EXPECT_EXIT(SramModel::readEnergyPj(1024, 0),
+                ::testing::ExitedWithCode(1), "width");
+    EXPECT_EXIT(SramModel::areaUm2(0),
+                ::testing::ExitedWithCode(1), "capacity");
+}
+
+} // namespace

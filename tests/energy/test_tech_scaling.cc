@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Technology-scaling rule tests and the paper's 28 nm projection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/tech_scaling.hh"
+
+namespace {
+
+using namespace eie::energy;
+
+TEST(TechScaling, ClassicRules)
+{
+    // 45 -> 28 nm.
+    EXPECT_NEAR(TechScaling::areaScale(45, 28), 0.387, 0.001);
+    EXPECT_NEAR(TechScaling::delayScale(45, 28), 0.622, 0.001);
+    // Energy: s * v^2 at 1.0 -> 0.9 V.
+    EXPECT_NEAR(TechScaling::energyScale(45, 28), 0.504, 0.001);
+    // Identity scaling.
+    EXPECT_DOUBLE_EQ(TechScaling::areaScale(45, 45), 1.0);
+    EXPECT_DOUBLE_EQ(TechScaling::delayScale(45, 45), 1.0);
+}
+
+TEST(TechScaling, PaperProjectionReproducesTableV)
+{
+    using P = Eie28nmProjection;
+    // 800 MHz -> 1200 MHz.
+    EXPECT_NEAR(800.0 * P::freq_scale, 1200.0, 1e-9);
+    // 40.8 mm2 x 4 (PE count) x area scale = 63.2 ~ 63.8 mm2.
+    EXPECT_NEAR(40.8 * 4.0 * P::area_scale, 63.8, 0.8);
+    // 0.59 W x 4 x power scale = 2.36 W.
+    EXPECT_NEAR(0.59 * 4.0 * P::power_scale, 2.36, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared helpers for the test suite: deterministic layer construction
+ * and comparison utilities.
+ */
+
+#ifndef EIE_TESTS_HELPERS_HH
+#define EIE_TESTS_HELPERS_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+#include "compress/compressed_layer.hh"
+#include "nn/generate.hh"
+#include "nn/sparse.hh"
+
+namespace eie::test {
+
+/** Build a random sparse weight matrix with the given density. */
+inline nn::SparseMatrix
+randomWeights(std::size_t rows, std::size_t cols, double density,
+              std::uint64_t seed)
+{
+    Rng rng(seed);
+    nn::WeightGenOptions opts;
+    opts.density = density;
+    return nn::makeSparseWeights(rows, cols, opts, rng);
+}
+
+/** Compress a random layer end to end for @p n_pe PEs. */
+inline compress::CompressedLayer
+randomCompressedLayer(std::size_t rows, std::size_t cols, double density,
+                      unsigned n_pe, std::uint64_t seed)
+{
+    compress::CompressionOptions opts;
+    opts.interleave.n_pe = n_pe;
+    return compress::CompressedLayer::compress(
+        "test", randomWeights(rows, cols, density, seed), opts);
+}
+
+/** Random activations with the given non-zero fraction. */
+inline nn::Vector
+randomActivations(std::size_t n, double density, std::uint64_t seed)
+{
+    Rng rng(seed);
+    return nn::makeActivations(n, density, rng);
+}
+
+} // namespace eie::test
+
+#endif // EIE_TESTS_HELPERS_HH

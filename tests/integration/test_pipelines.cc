@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Cross-module integration tests: multi-layer feed-forward chains
+ * (ping-pong activation reuse) and the LSTM decomposition running on
+ * the cycle-accurate accelerator, verified against the float golden
+ * model end to end.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hh"
+#include "core/functional.hh"
+#include "core/plan.hh"
+#include "helpers.hh"
+#include "nn/layer.hh"
+#include "nn/lstm.hh"
+
+namespace {
+
+using namespace eie;
+
+TEST(Integration, ThreeLayerChainTracksGolden)
+{
+    const unsigned n_pe = 8;
+    core::EieConfig config;
+    config.n_pe = n_pe;
+    const core::Accelerator accel(config);
+    const core::FunctionalModel functional(config);
+
+    // A 96 -> 128 -> 64 -> 10 compressed MLP.
+    const auto l1 = test::randomCompressedLayer(128, 96, 0.2, n_pe, 301);
+    const auto l2 = test::randomCompressedLayer(64, 128, 0.2, n_pe, 302);
+    const auto l3 = test::randomCompressedLayer(10, 64, 0.3, n_pe, 303);
+
+    const auto input = test::randomActivations(96, 0.5, 304);
+
+    // Golden float chain (quantised weights, float activations).
+    nn::Vector golden = input;
+    golden = nn::relu(l1.quantizedWeights().spmv(golden));
+    golden = nn::relu(l2.quantizedWeights().spmv(golden));
+    golden = l3.quantizedWeights().spmv(golden);
+
+    // Accelerator chain: raw activations flow layer to layer without
+    // dequantisation (the ping-pong path).
+    std::vector<std::int64_t> act = functional.quantizeInput(input);
+    std::uint64_t total_cycles = 0;
+    for (const auto *layer : {&l1, &l2, &l3}) {
+        const bool last = layer == &l3;
+        const auto plan = core::planLayer(
+            *layer,
+            last ? nn::Nonlinearity::None : nn::Nonlinearity::ReLU,
+            config);
+        const auto result = accel.run(plan, act);
+        act = result.output_raw;
+        total_cycles += result.stats.cycles;
+    }
+
+    const nn::Vector out = functional.dequantize(act);
+    ASSERT_EQ(out.size(), golden.size());
+    // Quantisation error accumulates across three layers; the logits
+    // must still track and the argmax must agree.
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_NEAR(out[i], golden[i], 0.5) << "logit " << i;
+    EXPECT_EQ(nn::argmax(out), nn::argmax(golden));
+    EXPECT_GT(total_cycles, 0u);
+}
+
+TEST(Integration, ChainIsBitExactWithFunctionalModel)
+{
+    const unsigned n_pe = 4;
+    core::EieConfig config;
+    config.n_pe = n_pe;
+    const core::Accelerator accel(config);
+    const core::FunctionalModel functional(config);
+
+    const auto l1 = test::randomCompressedLayer(48, 32, 0.3, n_pe, 311);
+    const auto l2 = test::randomCompressedLayer(24, 48, 0.3, n_pe, 312);
+    const auto input = test::randomActivations(32, 0.6, 313);
+
+    std::vector<std::int64_t> act_sim = functional.quantizeInput(input);
+    std::vector<std::int64_t> act_fun = act_sim;
+    for (const auto *layer : {&l1, &l2}) {
+        const auto plan =
+            core::planLayer(*layer, nn::Nonlinearity::ReLU, config);
+        act_sim = accel.run(plan, act_sim).output_raw;
+        act_fun = functional.run(plan, act_fun).output_raw;
+        ASSERT_EQ(act_sim, act_fun);
+    }
+}
+
+TEST(Integration, LstmStepOnAccelerator)
+{
+    // The NT-LSTM decomposition: the packed gate M×V runs on EIE
+    // (Nonlinearity::None), gates on the host; the result must track
+    // the float LstmCell::step.
+    const std::size_t x_size = 24, h_size = 16;
+    const unsigned n_pe = 4;
+
+    Rng rng(321);
+    nn::WeightGenOptions gen;
+    gen.density = 0.25;
+    const auto packed_weights = nn::makeSparseWeights(
+        4 * h_size, x_size + h_size + 1, gen, rng);
+
+    compress::CompressionOptions copts;
+    copts.interleave.n_pe = n_pe;
+    const auto layer = compress::CompressedLayer::compress(
+        "lstm", packed_weights, copts);
+
+    // The golden cell uses the same quantised weights.
+    const nn::LstmCell cell(layer.quantizedWeights(), x_size, h_size);
+
+    core::EieConfig config;
+    config.n_pe = n_pe;
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::None, config);
+    const core::Accelerator accel(config);
+    const core::FunctionalModel functional(config);
+
+    nn::LstmState state_gold = cell.initialState();
+    nn::LstmState state_eie = cell.initialState();
+
+    for (int step = 0; step < 4; ++step) {
+        nn::Vector x(x_size);
+        for (auto &v : x)
+            v = static_cast<float>(rng.normal(0.0, 0.5));
+
+        state_gold = cell.step(x, state_gold);
+
+        const nn::Vector packed = cell.packInput(x, state_eie);
+        const auto result =
+            accel.run(plan, functional.quantizeInput(packed));
+        state_eie = cell.applyGates(
+            functional.dequantize(result.output_raw), state_eie);
+
+        for (std::size_t k = 0; k < h_size; ++k) {
+            EXPECT_NEAR(state_eie.h[k], state_gold.h[k], 0.05)
+                << "step " << step << " h[" << k << "]";
+            EXPECT_NEAR(state_eie.c[k], state_gold.c[k], 0.08)
+                << "step " << step << " c[" << k << "]";
+        }
+    }
+}
+
+TEST(Integration, StatsFeedEnergyModelSanely)
+{
+    const unsigned n_pe = 8;
+    core::EieConfig config;
+    config.n_pe = n_pe;
+    const auto layer =
+        test::randomCompressedLayer(128, 96, 0.15, n_pe, 331);
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    const core::FunctionalModel functional(config);
+    const auto input = test::randomActivations(96, 0.4, 332);
+    const auto result = core::Accelerator(config).run(
+        plan, functional.quantizeInput(input));
+
+    // Activity rates must be physical (0..1 for single-issue units).
+    const double pe_cycles =
+        static_cast<double>(result.stats.cycles) * n_pe;
+    EXPECT_LE(static_cast<double>(result.stats.total_entries),
+              pe_cycles);
+    EXPECT_LE(static_cast<double>(result.stats.spmat_row_fetches),
+              pe_cycles);
+    EXPECT_GT(result.stats.spmat_row_fetches, 0u);
+    EXPECT_GT(result.stats.ptr_sram_reads, 0u);
+    EXPECT_GT(result.stats.act_sram_writes, 0u);
+}
+
+} // namespace

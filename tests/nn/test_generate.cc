@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Synthetic generator tests: densities land near target, determinism,
+ * and structural realism properties the experiments depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "nn/generate.hh"
+
+namespace {
+
+using namespace eie;
+using namespace eie::nn;
+
+class WeightDensity : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(WeightDensity, LandsNearTarget)
+{
+    const double density = GetParam();
+    Rng rng(101);
+    WeightGenOptions opts;
+    opts.density = density;
+    const auto w = makeSparseWeights(256, 256, opts, rng);
+    EXPECT_NEAR(w.density(), density, 0.02) << "target " << density;
+}
+
+INSTANTIATE_TEST_SUITE_P(TableIIIDensities, WeightDensity,
+                         ::testing::Values(0.04, 0.09, 0.10, 0.11, 0.23,
+                                           0.25));
+
+TEST(MakeSparseWeights, DeterministicPerSeed)
+{
+    WeightGenOptions opts;
+    opts.density = 0.1;
+    Rng a(7), b(7), c(8);
+    const auto wa = makeSparseWeights(64, 64, opts, a);
+    const auto wb = makeSparseWeights(64, 64, opts, b);
+    const auto wc = makeSparseWeights(64, 64, opts, c);
+    EXPECT_EQ(wa.nnz(), wb.nnz());
+    for (std::size_t j = 0; j < 64; ++j)
+        EXPECT_EQ(wa.column(j), wb.column(j));
+    // Different seed gives a different pattern (overwhelmingly).
+    bool differs = wa.nnz() != wc.nnz();
+    for (std::size_t j = 0; !differs && j < 64; ++j)
+        differs = !(wa.column(j) == wc.column(j));
+    EXPECT_TRUE(differs);
+}
+
+TEST(MakeSparseWeights, ColumnJitterExists)
+{
+    // Per-column non-zero counts must vary (binomial jitter is what
+    // creates the load imbalance the paper measures).
+    WeightGenOptions opts;
+    opts.density = 0.1;
+    Rng rng(9);
+    const auto w = makeSparseWeights(128, 64, opts, rng);
+    std::size_t min_nnz = ~std::size_t{0}, max_nnz = 0;
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+        min_nnz = std::min(min_nnz, w.column(j).size());
+        max_nnz = std::max(max_nnz, w.column(j).size());
+    }
+    EXPECT_LT(min_nnz, max_nnz);
+}
+
+TEST(MakeSparseWeights, ValuesAreSignedAndNonZero)
+{
+    WeightGenOptions opts;
+    opts.density = 0.2;
+    Rng rng(10);
+    const auto w = makeSparseWeights(64, 64, opts, rng);
+    bool saw_positive = false, saw_negative = false;
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+        for (const auto &e : w.column(j)) {
+            EXPECT_NE(e.value, 0.0f);
+            saw_positive |= e.value > 0.0f;
+            saw_negative |= e.value < 0.0f;
+        }
+    }
+    EXPECT_TRUE(saw_positive);
+    EXPECT_TRUE(saw_negative);
+}
+
+class ActivationDensity : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(ActivationDensity, ExactNonZeroCount)
+{
+    const double density = GetParam();
+    Rng rng(11);
+    const auto a = makeActivations(1000, density, rng);
+    std::size_t nnz = 0;
+    for (float x : a)
+        if (x != 0.0f)
+            ++nnz;
+    EXPECT_EQ(nnz, static_cast<std::size_t>(
+                       std::lround(1000 * density)));
+}
+
+INSTANTIATE_TEST_SUITE_P(TableIIIActDensities, ActivationDensity,
+                         ::testing::Values(0.0, 0.183, 0.351, 0.375,
+                                           0.411, 1.0));
+
+TEST(MakeActivations, NonNegativeLikePostRelu)
+{
+    Rng rng(12);
+    const auto a = makeActivations(500, 0.5, rng);
+    for (float x : a)
+        EXPECT_GE(x, 0.0f);
+}
+
+TEST(GenerateDeath, RejectsBadDensity)
+{
+    Rng rng(13);
+    WeightGenOptions opts;
+    opts.density = 1.5;
+    EXPECT_EXIT(makeSparseWeights(4, 4, opts, rng),
+                ::testing::ExitedWithCode(1), "density");
+    EXPECT_EXIT(makeActivations(4, -0.1, rng),
+                ::testing::ExitedWithCode(1), "density");
+}
+
+} // namespace

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * FC layer tests (paper Eq. 1/2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/layer.hh"
+
+namespace {
+
+using namespace eie::nn;
+
+SparseMatrix
+tinyWeights()
+{
+    // [1 -1]
+    // [2  0]
+    SparseMatrix w(2, 2);
+    w.insert(0, 0, 1.0f);
+    w.insert(1, 0, 2.0f);
+    w.insert(0, 1, -1.0f);
+    return w;
+}
+
+TEST(FcLayer, ForwardWithRelu)
+{
+    FcLayer layer("t", tinyWeights());
+    const Vector out = layer.forward({1.0f, 3.0f});
+    // Pre-activation: [1-3, 2] = [-2, 2]; ReLU -> [0, 2].
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_FLOAT_EQ(out[0], 0.0f);
+    EXPECT_FLOAT_EQ(out[1], 2.0f);
+}
+
+TEST(FcLayer, ForwardWithBias)
+{
+    FcLayer layer("t", tinyWeights(), {5.0f, -10.0f},
+                  Nonlinearity::None);
+    const Vector out = layer.forward({1.0f, 3.0f});
+    EXPECT_FLOAT_EQ(out[0], 3.0f);   // -2 + 5
+    EXPECT_FLOAT_EQ(out[1], -8.0f);  // 2 - 10
+}
+
+TEST(FcLayer, NonlinearityVariants)
+{
+    const Vector v{-1.0f, 1.0f};
+    EXPECT_EQ(applyNonlinearity(Nonlinearity::None, v), v);
+    EXPECT_FLOAT_EQ(applyNonlinearity(Nonlinearity::ReLU, v)[0], 0.0f);
+    EXPECT_NEAR(applyNonlinearity(Nonlinearity::Sigmoid, v)[1],
+                0.73106, 1e-4);
+    EXPECT_NEAR(applyNonlinearity(Nonlinearity::Tanh, v)[0],
+                -0.76159, 1e-4);
+}
+
+TEST(FcLayer, SizesExposed)
+{
+    FcLayer layer("t", tinyWeights());
+    EXPECT_EQ(layer.inputSize(), 2u);
+    EXPECT_EQ(layer.outputSize(), 2u);
+    EXPECT_EQ(layer.name(), "t");
+}
+
+TEST(FcLayerDeath, BiasLengthChecked)
+{
+    EXPECT_EXIT(FcLayer("t", tinyWeights(), {1.0f},
+                        Nonlinearity::None),
+                ::testing::ExitedWithCode(1), "bias");
+}
+
+} // namespace

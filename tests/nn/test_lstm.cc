@@ -1,0 +1,128 @@
+/**
+ * @file
+ * LSTM cell tests: packed-M×V decomposition (NT-LSTM layer shape) and
+ * gate semantics.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "nn/generate.hh"
+#include "nn/lstm.hh"
+
+namespace {
+
+using namespace eie;
+using namespace eie::nn;
+
+LstmCell
+randomCell(std::size_t x, std::size_t h, std::uint64_t seed)
+{
+    Rng rng(seed);
+    WeightGenOptions opts;
+    opts.density = 0.3;
+    return LstmCell(makeSparseWeights(4 * h, x + h + 1, opts, rng), x, h);
+}
+
+TEST(LstmCell, NtLstmShape)
+{
+    // X = H = 600 gives the paper's 1201 -> 2400 packed layer.
+    Rng rng(1);
+    WeightGenOptions opts;
+    opts.density = 0.10;
+    const auto w = makeSparseWeights(2400, 1201, opts, rng);
+    LstmCell cell(w, 600, 600);
+    EXPECT_EQ(cell.weights().rows(), 2400u);
+    EXPECT_EQ(cell.weights().cols(), 1201u);
+    const auto packed = cell.packInput(Vector(600, 0.5f),
+                                       cell.initialState());
+    EXPECT_EQ(packed.size(), 1201u);
+    EXPECT_FLOAT_EQ(packed.back(), 1.0f); // bias column
+}
+
+TEST(LstmCell, StepEqualsManualGateMath)
+{
+    const auto cell = randomCell(4, 3, 2);
+    Rng rng(3);
+    Vector x(4);
+    for (auto &v : x)
+        v = static_cast<float>(rng.normal(0.0, 1.0));
+
+    LstmState state = cell.initialState();
+    state.c = {0.1f, -0.2f, 0.3f};
+    state.h = {0.5f, 0.0f, -0.5f};
+
+    const auto next = cell.step(x, state);
+
+    // Manual recomputation.
+    const Vector packed = cell.packInput(x, state);
+    const Vector pre = cell.weights().spmv(packed);
+    for (std::size_t k = 0; k < 3; ++k) {
+        const double i = 1.0 / (1.0 + std::exp(-pre[k]));
+        const double f = 1.0 / (1.0 + std::exp(-pre[3 + k]));
+        const double o = 1.0 / (1.0 + std::exp(-pre[6 + k]));
+        const double g = std::tanh(pre[9 + k]);
+        const double c = f * state.c[k] + i * g;
+        EXPECT_NEAR(next.c[k], c, 1e-5);
+        EXPECT_NEAR(next.h[k], o * std::tanh(c), 1e-5);
+    }
+}
+
+TEST(LstmCell, ForgetGateSaturationKeepsOrKillsCell)
+{
+    // Build a cell whose forget-gate rows are strongly positive
+    // (bias column large): c should persist.
+    const std::size_t h = 2, x = 2;
+    SparseMatrix w(4 * h, x + h + 1);
+    // Only bias entries: i = -inf-ish except forget = +big.
+    // Column layout: [x0 x1 h0 h1 bias].
+    const std::size_t bias_col = x + h;
+    // insert ascending rows in the bias column:
+    w.insert(0, bias_col, -20.0f); // input gate row 0: closed
+    w.insert(1, bias_col, -20.0f);
+    w.insert(2, bias_col, 20.0f);  // forget gate row 0: open
+    w.insert(3, bias_col, 20.0f);
+    w.insert(4, bias_col, 20.0f);  // output gate open
+    w.insert(5, bias_col, 20.0f);
+
+    LstmCell cell(w, x, h);
+    LstmState state{{0.0f, 0.0f}, {0.7f, -0.4f}};
+    const auto next = cell.step(Vector(x, 1.0f), state);
+    EXPECT_NEAR(next.c[0], 0.7f, 1e-3);
+    EXPECT_NEAR(next.c[1], -0.4f, 1e-3);
+    // h = o * tanh(c) with o ~ 1.
+    EXPECT_NEAR(next.h[0], std::tanh(0.7), 1e-3);
+}
+
+TEST(LstmCell, ApplyGatesMatchesStep)
+{
+    const auto cell = randomCell(5, 4, 7);
+    Rng rng(8);
+    Vector x(5);
+    for (auto &v : x)
+        v = static_cast<float>(rng.normal(0.0, 1.0));
+    LstmState state = cell.initialState();
+
+    const auto direct = cell.step(x, state);
+    const auto pre = cell.weights().spmv(cell.packInput(x, state));
+    const auto via_gates = cell.applyGates(pre, state);
+    for (std::size_t k = 0; k < 4; ++k) {
+        EXPECT_FLOAT_EQ(direct.h[k], via_gates.h[k]);
+        EXPECT_FLOAT_EQ(direct.c[k], via_gates.c[k]);
+    }
+}
+
+TEST(LstmCellDeath, ShapeChecks)
+{
+    Rng rng(9);
+    WeightGenOptions opts;
+    opts.density = 0.5;
+    const auto w = makeSparseWeights(12, 8, opts, rng);
+    EXPECT_EXIT(LstmCell(w, 4, 4), ::testing::ExitedWithCode(1), "rows");
+    const auto w2 = makeSparseWeights(16, 8, opts, rng);
+    EXPECT_EXIT(LstmCell(w2, 4, 4), ::testing::ExitedWithCode(1),
+                "cols");
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Sparse matrix tests: construction, SpMV, slicing, PE interleaving.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "nn/generate.hh"
+#include "nn/sparse.hh"
+
+namespace {
+
+using namespace eie;
+using namespace eie::nn;
+
+SparseMatrix
+smallExample()
+{
+    // [1 0 2]
+    // [0 3 0]
+    // [4 0 5]
+    SparseMatrix m(3, 3);
+    m.insert(0, 0, 1.0f);
+    m.insert(2, 0, 4.0f);
+    m.insert(1, 1, 3.0f);
+    m.insert(0, 2, 2.0f);
+    m.insert(2, 2, 5.0f);
+    return m;
+}
+
+TEST(SparseMatrix, BasicProperties)
+{
+    const auto m = smallExample();
+    EXPECT_EQ(m.nnz(), 5u);
+    EXPECT_NEAR(m.density(), 5.0 / 9.0, 1e-12);
+    EXPECT_EQ(m.column(1).size(), 1u);
+    EXPECT_EQ(m.column(1)[0].row, 1u);
+}
+
+TEST(SparseMatrix, SpmvMatchesDense)
+{
+    const auto m = smallExample();
+    const Vector a{1.0f, 2.0f, 3.0f};
+    const Vector sparse_result = m.spmv(a);
+    const Vector dense_result = matVec(m.toDense(), a);
+    ASSERT_EQ(sparse_result.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_FLOAT_EQ(sparse_result[i], dense_result[i]);
+}
+
+TEST(SparseMatrix, SpmvSkipsZeroActivations)
+{
+    const auto m = smallExample();
+    // Column 0 contributes nothing when a[0] == 0.
+    const Vector r = m.spmv({0.0f, 1.0f, 0.0f});
+    EXPECT_FLOAT_EQ(r[0], 0.0f);
+    EXPECT_FLOAT_EQ(r[1], 3.0f);
+    EXPECT_FLOAT_EQ(r[2], 0.0f);
+}
+
+TEST(SparseMatrix, DenseRoundTrip)
+{
+    Rng rng(3);
+    WeightGenOptions opts;
+    opts.density = 0.3;
+    const auto m = makeSparseWeights(20, 15, opts, rng);
+    const auto back = SparseMatrix::fromDense(m.toDense());
+    ASSERT_EQ(back.nnz(), m.nnz());
+    for (std::size_t j = 0; j < m.cols(); ++j)
+        EXPECT_EQ(back.column(j), m.column(j));
+}
+
+TEST(SparseMatrix, RowSliceRebasesIndices)
+{
+    const auto m = smallExample();
+    const auto slice = m.rowSlice(1, 3);
+    EXPECT_EQ(slice.rows(), 2u);
+    EXPECT_EQ(slice.cols(), 3u);
+    EXPECT_EQ(slice.nnz(), 3u);
+    EXPECT_EQ(slice.column(0)[0].row, 1u); // was row 2
+    EXPECT_EQ(slice.column(1)[0].row, 0u); // was row 1
+}
+
+TEST(SparseMatrix, RowPartitionMatchesRowSlice)
+{
+    Rng rng(4);
+    WeightGenOptions opts;
+    opts.density = 0.2;
+    const auto m = makeSparseWeights(50, 20, opts, rng);
+    const std::vector<std::size_t> bounds{0, 17, 34, 50};
+    const auto parts = m.rowPartition(bounds);
+    ASSERT_EQ(parts.size(), 3u);
+    for (std::size_t b = 0; b + 1 < bounds.size(); ++b) {
+        const auto ref = m.rowSlice(bounds[b], bounds[b + 1]);
+        ASSERT_EQ(parts[b].nnz(), ref.nnz());
+        for (std::size_t j = 0; j < m.cols(); ++j)
+            EXPECT_EQ(parts[b].column(j), ref.column(j));
+    }
+}
+
+TEST(SparseMatrix, ColSliceRebasesIndices)
+{
+    const auto m = smallExample();
+    const auto slice = m.colSlice(1, 3);
+    EXPECT_EQ(slice.cols(), 2u);
+    EXPECT_EQ(slice.nnz(), 3u);
+    EXPECT_EQ(slice.column(0)[0].row, 1u); // old column 1
+    EXPECT_EQ(slice.column(1).size(), 2u); // old column 2
+}
+
+TEST(SparseMatrix, PeColumnSlice)
+{
+    const auto m = smallExample();
+    // 2 PEs: PE0 owns rows 0, 2; PE1 owns row 1.
+    const auto pe0_col0 = m.peColumnSlice(0, 0, 2);
+    ASSERT_EQ(pe0_col0.size(), 2u);
+    EXPECT_EQ(pe0_col0[0].row, 0u);
+    EXPECT_EQ(pe0_col0[1].row, 2u);
+    const auto pe1_col0 = m.peColumnSlice(0, 1, 2);
+    EXPECT_TRUE(pe1_col0.empty());
+    const auto pe1_col1 = m.peColumnSlice(1, 1, 2);
+    ASSERT_EQ(pe1_col1.size(), 1u);
+}
+
+TEST(SparseMatrixDeath, InsertDiscipline)
+{
+    SparseMatrix m(4, 4);
+    m.insert(2, 1, 1.0f);
+    // Rows must ascend within a column.
+    EXPECT_DEATH(m.insert(1, 1, 2.0f), "ascending");
+    EXPECT_DEATH(m.insert(2, 1, 2.0f), "ascending");
+    EXPECT_DEATH(m.insert(4, 0, 1.0f), "out of");
+}
+
+} // namespace

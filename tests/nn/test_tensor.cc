@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Dense tensor primitive tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.hh"
+
+namespace {
+
+using namespace eie::nn;
+
+TEST(Matrix, IndexingAndBounds)
+{
+    Matrix m(2, 3);
+    m.at(0, 0) = 1.0f;
+    m.at(1, 2) = -2.0f;
+    EXPECT_FLOAT_EQ(m.at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(m.at(1, 2), -2.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 1), 0.0f);
+    EXPECT_DEATH(m.at(2, 0), "out of");
+    EXPECT_DEATH(m.at(0, 3), "out of");
+}
+
+TEST(MatVec, KnownProduct)
+{
+    Matrix m(2, 3);
+    // [1 2 3; 4 5 6] * [1 1 1]^T = [6 15]^T
+    float v = 1.0f;
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            m.at(i, j) = v++;
+    const Vector result = matVec(m, {1.0f, 1.0f, 1.0f});
+    ASSERT_EQ(result.size(), 2u);
+    EXPECT_FLOAT_EQ(result[0], 6.0f);
+    EXPECT_FLOAT_EQ(result[1], 15.0f);
+    EXPECT_DEATH(matVec(m, {1.0f}), "mismatch");
+}
+
+TEST(Nonlinearities, ReluSigmoidTanh)
+{
+    const Vector v{-1.0f, 0.0f, 2.0f};
+
+    const Vector r = relu(v);
+    EXPECT_FLOAT_EQ(r[0], 0.0f);
+    EXPECT_FLOAT_EQ(r[2], 2.0f);
+
+    const Vector s = sigmoid(v);
+    EXPECT_NEAR(s[0], 0.26894, 1e-4);
+    EXPECT_FLOAT_EQ(s[1], 0.5f);
+
+    const Vector t = tanhVec(v);
+    EXPECT_NEAR(t[0], -0.76159, 1e-4);
+    EXPECT_FLOAT_EQ(t[1], 0.0f);
+}
+
+TEST(Softmax, SumsToOneAndOrders)
+{
+    const Vector p = softmax({1.0f, 2.0f, 3.0f});
+    double sum = 0.0;
+    for (float x : p)
+        sum += x;
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+    EXPECT_LT(p[0], p[1]);
+    EXPECT_LT(p[1], p[2]);
+    // Stability with large inputs.
+    const Vector q = softmax({1000.0f, 1001.0f});
+    EXPECT_NEAR(q[0] + q[1], 1.0, 1e-6);
+}
+
+TEST(Argmax, FirstOnTies)
+{
+    EXPECT_EQ(argmax({1.0f, 5.0f, 5.0f, 2.0f}), 1u);
+    EXPECT_EQ(argmax({3.0f}), 0u);
+    EXPECT_DEATH(argmax({}), "empty");
+}
+
+TEST(VectorStats, ZeroFractionAndMaxDiff)
+{
+    EXPECT_DOUBLE_EQ(zeroFraction({0.0f, 1.0f, 0.0f, 2.0f}), 0.5);
+    EXPECT_DOUBLE_EQ(zeroFraction({}), 0.0);
+    EXPECT_DOUBLE_EQ(maxAbsDiff({1.0f, 2.0f}, {1.5f, 1.0f}), 1.0);
+    EXPECT_DEATH(maxAbsDiff({1.0f}, {1.0f, 2.0f}), "mismatch");
+}
+
+} // namespace

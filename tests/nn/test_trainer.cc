@@ -1,0 +1,96 @@
+/**
+ * @file
+ * MLP/SGD trainer tests — the substrate for the Figure 10 precision
+ * study. Verifies that training learns, and that fixed-point inference
+ * behaves as the paper reports (16-bit close to float, 8-bit badly
+ * degraded) on a task where that contrast is visible.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/trainer.hh"
+
+namespace {
+
+using namespace eie;
+using namespace eie::nn;
+
+TEST(ClusterDataset, ShapesAndLabels)
+{
+    Rng rng(1);
+    const auto data = makeClusterDataset(200, 16, 5, 3.0, 1.0, rng);
+    EXPECT_EQ(data.size(), 200u);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        EXPECT_EQ(data.inputs[i].size(), 16u);
+        EXPECT_GE(data.labels[i], 0);
+        EXPECT_LT(data.labels[i], 5);
+    }
+}
+
+TEST(Mlp, TrainingReducesLossAndBeatsChance)
+{
+    Rng rng(2);
+    const ClusterTask task(16, 4, 3.0, 1.2, rng);
+    const auto train = task.sample(600, rng);
+    const auto test = task.sample(200, rng);
+
+    Mlp mlp({16, 32, 4}, rng);
+    const double initial_acc = mlp.accuracy(test);
+
+    double first_loss = 0.0, last_loss = 0.0;
+    for (int epoch = 0; epoch < 15; ++epoch) {
+        const double loss = mlp.trainEpoch(train, 0.05, 16, rng);
+        if (epoch == 0)
+            first_loss = loss;
+        last_loss = loss;
+    }
+    EXPECT_LT(last_loss, first_loss);
+    const double trained_acc = mlp.accuracy(test);
+    EXPECT_GT(trained_acc, 0.6);       // far above 25% chance
+    EXPECT_GT(trained_acc, initial_acc);
+}
+
+TEST(Mlp, QuantizedInferencePrecisionLadder)
+{
+    // A deeper network on a harder task, where quantisation error
+    // compounds across layers — the regime of the paper's Figure 10.
+    Rng rng(3);
+    const ClusterTask task(32, 8, 4.5, 1.5, rng);
+    const auto train = task.sample(1200, rng);
+    const auto test = task.sample(400, rng);
+    Mlp mlp({32, 48, 48, 8}, rng);
+    for (int epoch = 0; epoch < 20; ++epoch)
+        mlp.trainEpoch(train, 0.05, 16, rng);
+
+    const double float_acc = mlp.accuracy(test);
+    EXPECT_GT(float_acc, 0.6);
+
+    const double acc16 = mlp.accuracyQuantized(test, FixedFormat{16, 8});
+    const double acc3 = mlp.accuracyQuantized(test, FixedFormat{3, 1});
+
+    // 16-bit fixed point tracks float closely (paper: < 0.5% loss).
+    EXPECT_NEAR(acc16, float_acc, 0.05);
+    // Very low precision is catastrophically worse — the collapse
+    // direction the paper shows for insufficient precision.
+    EXPECT_LT(acc3, float_acc - 0.15);
+}
+
+TEST(Mlp, DeterministicTraining)
+{
+    Rng ra(4), rb(4);
+    const auto data_a = makeClusterDataset(100, 8, 3, 3.0, 1.0, ra);
+    const auto data_b = makeClusterDataset(100, 8, 3, 3.0, 1.0, rb);
+    Mlp a({8, 16, 3}, ra);
+    Mlp b({8, 16, 3}, rb);
+    a.trainEpoch(data_a, 0.05, 16, ra);
+    b.trainEpoch(data_b, 0.05, 16, rb);
+    EXPECT_DOUBLE_EQ(a.accuracy(data_a), b.accuracy(data_b));
+}
+
+TEST(MlpDeath, NeedsTwoDims)
+{
+    Rng rng(5);
+    EXPECT_EXIT(Mlp({4}, rng), ::testing::ExitedWithCode(1), "dims");
+}
+
+} // namespace

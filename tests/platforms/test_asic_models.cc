@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ASIC/FPGA comparison model tests against Table V.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platforms/asic_models.hh"
+
+namespace {
+
+using namespace eie::platforms;
+
+Workload
+fc7()
+{
+    return {"Alex-7", 4096, 4096, 0.09, 0.353};
+}
+
+TEST(DaDianNao, BandwidthBoundFc7Throughput)
+{
+    // Table V: 147,938 frames/s on FC7 from the 4964 GB/s peak
+    // eDRAM bandwidth over 16-bit dense weights.
+    const DaDianNaoModel model;
+    const double frames = 1e6 / model.timeUs(fc7(), false, 1);
+    EXPECT_NEAR(frames, 147938.0, 2000.0);
+    // Cannot exploit sparsity: compressed time identical.
+    EXPECT_DOUBLE_EQ(model.timeUs(fc7(), true, 1),
+                     model.timeUs(fc7(), false, 1));
+    EXPECT_DOUBLE_EQ(model.powerWatts(), 15.97);
+    EXPECT_EQ(DaDianNaoModel::spec().technology_nm, 28u);
+}
+
+TEST(TrueNorth, PublishedOperatingPoint)
+{
+    const TrueNorthModel model;
+    EXPECT_NEAR(1e6 / model.timeUs(fc7(), false, 1), 1989.0, 1.0);
+    EXPECT_DOUBLE_EQ(model.powerWatts(), 0.18);
+    EXPECT_DOUBLE_EQ(TrueNorthModel::spec().area_mm2, 430.0);
+}
+
+TEST(AEye, Ddr3Bound)
+{
+    // Table V: ~33 frames/s on FC7 (16-bit weights over ~1.1 GB/s).
+    const AEyeModel model;
+    EXPECT_NEAR(1e6 / model.timeUs(fc7(), false, 1), 33.0, 4.0);
+}
+
+TEST(Specs, TableVRows)
+{
+    EXPECT_EQ(cpuSpec().technology_nm, 22u);
+    EXPECT_DOUBLE_EQ(cpuSpec().area_mm2, 356.0);
+    EXPECT_EQ(gpuSpec().year, 2015);
+    EXPECT_DOUBLE_EQ(gpuSpec().power_watts, 159.0);
+    EXPECT_EQ(mobileGpuSpec().type, "mGPU");
+}
+
+} // namespace

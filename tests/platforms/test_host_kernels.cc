@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Host kernel correctness: dense GEMV, CSR SpMV and the EIE-format
+ * CSC walk must agree with the golden sparse model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "platforms/host_kernels.hh"
+
+namespace {
+
+using namespace eie;
+using namespace eie::platforms;
+
+TEST(CsrMatrix, ConversionRoundTrip)
+{
+    const auto sparse = test::randomWeights(40, 30, 0.2, 90);
+    const auto csr = CsrMatrix::fromSparse(sparse);
+    EXPECT_EQ(csr.rows, 40u);
+    EXPECT_EQ(csr.cols, 30u);
+    EXPECT_EQ(csr.values.size(), sparse.nnz());
+    EXPECT_EQ(csr.row_ptr.size(), 41u);
+    EXPECT_EQ(csr.row_ptr.back(), sparse.nnz());
+    // Column indices ascend within each row (insertion order by j).
+    for (std::size_t i = 0; i < csr.rows; ++i)
+        for (std::uint32_t e = csr.row_ptr[i];
+             e + 1 < csr.row_ptr[i + 1]; ++e)
+            EXPECT_LT(csr.col_idx[e], csr.col_idx[e + 1]);
+}
+
+TEST(HostKernels, AllThreeAgreeWithGolden)
+{
+    const auto sparse = test::randomWeights(64, 48, 0.15, 91);
+    const auto input = test::randomActivations(48, 0.5, 92);
+    const nn::Vector golden = sparse.spmv(input);
+
+    const auto dense = sparse.toDense();
+    std::vector<float> y_dense(64);
+    denseGemv(dense, input, y_dense);
+
+    const auto csr = CsrMatrix::fromSparse(sparse);
+    std::vector<float> y_csr(64);
+    csrSpmv(csr, input, y_csr);
+
+    for (std::size_t i = 0; i < 64; ++i) {
+        EXPECT_NEAR(y_dense[i], golden[i], 1e-4) << i;
+        EXPECT_NEAR(y_csr[i], golden[i], 1e-4) << i;
+    }
+}
+
+TEST(HostKernels, CscCodebookMatchesQuantizedGolden)
+{
+    const auto layer = test::randomCompressedLayer(64, 48, 0.15, 8, 93);
+    const auto input = test::randomActivations(48, 0.5, 94);
+
+    // The CSC walk computes with codebook-quantised weights: compare
+    // against the quantised golden model.
+    const nn::Vector golden = layer.quantizedWeights().spmv(input);
+    std::vector<float> y(64);
+    cscCodebookSpmv(layer.storage(), input, y);
+    for (std::size_t i = 0; i < 64; ++i)
+        EXPECT_NEAR(y[i], golden[i], 1e-3) << i;
+}
+
+TEST(HostKernels, CscSkipsZeroActivations)
+{
+    // With an all-zero input the CSC kernel must not touch anything.
+    const auto layer = test::randomCompressedLayer(32, 32, 0.3, 4, 95);
+    const nn::Vector zeros(32, 0.0f);
+    std::vector<float> y(32, 42.0f);
+    cscCodebookSpmv(layer.storage(), zeros, y);
+    for (float v : y)
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(HostKernelsDeath, SizeChecks)
+{
+    const auto sparse = test::randomWeights(8, 8, 0.5, 96);
+    const auto dense = sparse.toDense();
+    std::vector<float> bad_y(4);
+    const nn::Vector input(8, 1.0f);
+    EXPECT_DEATH(denseGemv(dense, input, bad_y), "mismatch");
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Roofline platform model tests: calibration against the paper's
+ * Table IV wall-clock measurements and structural properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platforms/roofline.hh"
+
+namespace {
+
+using namespace eie::platforms;
+
+Workload
+alex6()
+{
+    return {"Alex-6", 4096, 9216, 0.09, 0.351};
+}
+
+Workload
+vgg6()
+{
+    return {"VGG-6", 4096, 25088, 0.04, 0.183};
+}
+
+TEST(Workload, DerivedQuantities)
+{
+    const auto w = alex6();
+    EXPECT_DOUBLE_EQ(w.denseFlops(), 2.0 * 4096 * 9216);
+    EXPECT_NEAR(w.nnz(), 0.09 * 4096 * 9216, 1.0);
+    EXPECT_DOUBLE_EQ(w.denseWeightBytes(), 4.0 * 4096 * 9216);
+    EXPECT_NEAR(w.csrBytes(), w.nnz() * 8 + 4 * 4097, 1.0);
+}
+
+TEST(Roofline, CalibrationWithinBandOfTableIV)
+{
+    // Spot checks against the paper's measured values; the model
+    // uses one bandwidth per platform so individual rows deviate,
+    // but each must land within ~2x of the measurement.
+    const RooflinePlatform cpu(cpuCoreI7Params());
+    EXPECT_NEAR(cpu.timeUs(vgg6(), false, 1), 35022.8, 35022.8 * 0.5);
+    EXPECT_NEAR(cpu.timeUs(alex6(), true, 1), 3066.5, 3066.5 * 0.5);
+
+    const RooflinePlatform gpu(gpuTitanXParams());
+    EXPECT_NEAR(gpu.timeUs(alex6(), false, 1), 541.5, 541.5 * 0.5);
+    EXPECT_NEAR(gpu.timeUs(vgg6(), false, 1), 1467.8, 1467.8 * 0.5);
+    EXPECT_NEAR(gpu.timeUs(alex6(), true, 1), 134.8, 134.8 * 0.7);
+
+    const RooflinePlatform mgpu(mobileGpuTegraK1Params());
+    EXPECT_NEAR(mgpu.timeUs(alex6(), false, 1), 12437.2,
+                12437.2 * 0.5);
+}
+
+TEST(Roofline, CompressionHelpsAtBatchOne)
+{
+    // Batch-1 sparse must beat dense on every platform (fewer bytes),
+    // but by far less than the 11x density ratio (irregularity).
+    for (const auto &make :
+         {cpuCoreI7Params, gpuTitanXParams, mobileGpuTegraK1Params}) {
+        const RooflinePlatform p(make());
+        const double dense = p.timeUs(alex6(), false, 1);
+        const double sparse = p.timeUs(alex6(), true, 1);
+        EXPECT_LT(sparse, dense) << p.name();
+        EXPECT_GT(sparse, dense / 11.0) << p.name();
+    }
+}
+
+TEST(Roofline, BatchingHelpsDenseHurtsSparse)
+{
+    // §VI-A / Table IV: batching speeds up dense dramatically, while
+    // batched sparse is *slower* than batched dense.
+    const RooflinePlatform cpu(cpuCoreI7Params());
+    const double dense1 = cpu.timeUs(alex6(), false, 1);
+    const double dense64 = cpu.timeUs(alex6(), false, 64);
+    EXPECT_LT(dense64, dense1 / 10.0);
+    const double sparse64 = cpu.timeUs(alex6(), true, 64);
+    EXPECT_GT(sparse64, dense64);
+}
+
+TEST(Roofline, PowerValuesAreTheMeasuredOnes)
+{
+    EXPECT_DOUBLE_EQ(RooflinePlatform(cpuCoreI7Params()).powerWatts(),
+                     73.0);
+    EXPECT_DOUBLE_EQ(RooflinePlatform(gpuTitanXParams()).powerWatts(),
+                     159.0);
+    EXPECT_DOUBLE_EQ(
+        RooflinePlatform(mobileGpuTegraK1Params()).powerWatts(), 5.1);
+}
+
+TEST(Roofline, EnergyIsTimeTimesPower)
+{
+    const RooflinePlatform gpu(gpuTitanXParams());
+    EXPECT_NEAR(gpu.energyUj(alex6(), false, 1),
+                gpu.timeUs(alex6(), false, 1) * 159.0, 1e-6);
+}
+
+TEST(Roofline, MakeBaselinePlatformsOrder)
+{
+    const auto platforms = makeBaselinePlatforms();
+    ASSERT_EQ(platforms.size(), 3u);
+    EXPECT_NE(platforms[0]->name().find("CPU"), std::string::npos);
+    EXPECT_NE(platforms[1]->name().find("GPU"), std::string::npos);
+    EXPECT_NE(platforms[2]->name().find("mGPU"), std::string::npos);
+}
+
+TEST(RooflineDeath, RejectsBadParamsAndBatch)
+{
+    RooflineParams params = cpuCoreI7Params();
+    params.dense_bw_gbs = 0.0;
+    EXPECT_EXIT(RooflinePlatform{params}, ::testing::ExitedWithCode(1),
+                "positive");
+    const RooflinePlatform cpu(cpuCoreI7Params());
+    EXPECT_EXIT(cpu.timeUs(alex6(), false, 0),
+                ::testing::ExitedWithCode(1), "batch");
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Registered-FIFO semantics tests: one-cycle visibility, conservative
+ * flow control, overflow/underflow panics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/fifo.hh"
+
+namespace {
+
+using eie::sim::Fifo;
+
+TEST(Fifo, PushVisibleAfterTick)
+{
+    Fifo<int> fifo(4);
+    EXPECT_TRUE(fifo.empty());
+    fifo.push(10);
+    EXPECT_TRUE(fifo.empty()); // registered: not yet visible
+    fifo.tick();
+    ASSERT_FALSE(fifo.empty());
+    EXPECT_EQ(fifo.front(), 10);
+    EXPECT_EQ(fifo.size(), 1u);
+}
+
+TEST(Fifo, PopTakesEffectAtTick)
+{
+    Fifo<int> fifo(4);
+    fifo.push(1);
+    fifo.tick();
+    fifo.push(2);
+    fifo.tick();
+    EXPECT_EQ(fifo.front(), 1);
+    fifo.pop();
+    EXPECT_EQ(fifo.front(), 1); // still visible this cycle
+    fifo.tick();
+    EXPECT_EQ(fifo.front(), 2);
+}
+
+TEST(Fifo, SimultaneousPushPopAtCapacity)
+{
+    Fifo<int> fifo(1);
+    fifo.push(1);
+    fifo.tick();
+    ASSERT_TRUE(fifo.full());
+    // Pop + push in the same cycle is legal even at capacity.
+    fifo.pop();
+    fifo.push(2);
+    fifo.tick();
+    EXPECT_EQ(fifo.front(), 2);
+    EXPECT_TRUE(fifo.full());
+}
+
+TEST(Fifo, FifoOrderPreserved)
+{
+    Fifo<int> fifo(8);
+    for (int i = 0; i < 5; ++i) {
+        fifo.push(i);
+        fifo.tick();
+    }
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(fifo.front(), i);
+        fifo.pop();
+        fifo.tick();
+    }
+    EXPECT_TRUE(fifo.empty());
+}
+
+TEST(Fifo, ClearDropsEverything)
+{
+    Fifo<int> fifo(4);
+    fifo.push(1);
+    fifo.tick();
+    fifo.push(2); // pending
+    fifo.clear();
+    fifo.tick();
+    EXPECT_TRUE(fifo.empty());
+}
+
+TEST(FifoDeath, OverflowUnderflowAndDoubleOps)
+{
+    Fifo<int> fifo(1);
+    EXPECT_DEATH(fifo.pop(), "empty");
+    EXPECT_DEATH(fifo.front(), "empty");
+
+    fifo.push(1);
+    EXPECT_DEATH(fifo.push(2), "multiple pushes");
+    fifo.tick();
+    // Full without a concurrent pop: push is a flow-control violation.
+    EXPECT_DEATH(fifo.push(3), "full");
+
+    fifo.pop();
+    EXPECT_DEATH(fifo.pop(), "multiple pops");
+}
+
+TEST(FifoDeath, ZeroCapacityRejected)
+{
+    EXPECT_DEATH(Fifo<int>(0), "capacity");
+}
+
+} // namespace

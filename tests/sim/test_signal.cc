@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Wire/register primitive tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/signal.hh"
+
+namespace {
+
+using namespace eie::sim;
+
+TEST(Signal, WriteReadAndChangeDetection)
+{
+    ChangeMonitor monitor;
+    Signal<int> wire(&monitor, 5);
+    EXPECT_EQ(wire.read(), 5);
+    EXPECT_EQ(monitor.changes(), 0u);
+
+    wire.write(5); // same value: no change noted
+    EXPECT_EQ(monitor.changes(), 0u);
+
+    wire.write(7);
+    EXPECT_EQ(wire.read(), 7);
+    EXPECT_EQ(monitor.changes(), 1u);
+
+    monitor.reset();
+    EXPECT_EQ(monitor.changes(), 0u);
+}
+
+TEST(Signal, WorksWithoutMonitor)
+{
+    Signal<bool> wire;
+    wire.write(true);
+    EXPECT_TRUE(wire.read());
+}
+
+TEST(Reg, TwoPhaseCommit)
+{
+    Reg<int> reg(1);
+    EXPECT_EQ(reg.read(), 1);
+
+    reg.write(2);
+    EXPECT_EQ(reg.read(), 1);     // not yet visible
+    EXPECT_EQ(reg.pending(), 2);
+
+    reg.tick();
+    EXPECT_EQ(reg.read(), 2);
+
+    // Without a new write, tick holds the value.
+    reg.tick();
+    EXPECT_EQ(reg.read(), 2);
+}
+
+TEST(Reg, ResetOverridesBothSides)
+{
+    Reg<int> reg(0);
+    reg.write(9);
+    reg.reset(4);
+    EXPECT_EQ(reg.read(), 4);
+    reg.tick();
+    EXPECT_EQ(reg.read(), 4);
+}
+
+} // namespace

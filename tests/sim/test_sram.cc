@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Synchronous SRAM model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/sram.hh"
+
+namespace {
+
+using namespace eie::sim;
+
+TEST(Sram, SynchronousReadLatency)
+{
+    StatGroup stats("test");
+    Sram sram("mem", 16, stats);
+    sram.load(3, 0xdeadbeef);
+
+    sram.read(3);
+    EXPECT_FALSE(sram.dataValid()); // data not there yet
+    sram.tick();
+    ASSERT_TRUE(sram.dataValid());
+    EXPECT_EQ(sram.dataOut(), 0xdeadbeefu);
+
+    // No access this cycle: dataValid drops after the next edge.
+    sram.tick();
+    EXPECT_FALSE(sram.dataValid());
+}
+
+TEST(Sram, WriteThenReadBack)
+{
+    StatGroup stats("test");
+    Sram sram("mem", 8, stats);
+    sram.write(5, 42);
+    sram.tick();
+    sram.read(5);
+    sram.tick();
+    EXPECT_EQ(sram.dataOut(), 42u);
+    EXPECT_EQ(sram.readCount(), 1u);
+    EXPECT_EQ(sram.writeCount(), 1u);
+}
+
+TEST(Sram, BackdoorLoadNotCounted)
+{
+    StatGroup stats("test");
+    Sram sram("mem", 8, stats);
+    sram.load({1, 2, 3});
+    EXPECT_EQ(sram.peek(0), 1u);
+    EXPECT_EQ(sram.peek(2), 3u);
+    EXPECT_EQ(sram.readCount(), 0u);
+    EXPECT_EQ(sram.writeCount(), 0u);
+    EXPECT_EQ(stats.value("mem_reads"), 0u);
+}
+
+TEST(Sram, StatsCountersTrackAccesses)
+{
+    StatGroup stats("test");
+    Sram sram("mem", 8, stats);
+    for (int i = 0; i < 5; ++i) {
+        sram.read(0);
+        sram.tick();
+    }
+    EXPECT_EQ(stats.value("mem_reads"), 5u);
+    EXPECT_EQ(stats.value("mem_writes"), 0u);
+}
+
+TEST(SramDeath, SinglePortedAndBounds)
+{
+    StatGroup stats("test");
+    Sram sram("mem", 4, stats);
+    sram.read(0);
+    EXPECT_DEATH(sram.read(1), "single-ported");
+    EXPECT_DEATH(sram.write(1, 0), "single-ported");
+    sram.tick();
+    EXPECT_DEATH(sram.read(4), "out of");
+    EXPECT_DEATH(sram.load(4, 0), "out of");
+    EXPECT_DEATH(Sram("bad", 0, stats), "at least one");
+}
+
+} // namespace

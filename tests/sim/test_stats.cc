@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Statistics registry tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace {
+
+using namespace eie::sim;
+
+TEST(Stats, CounterArithmetic)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 11u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, HierarchicalLookup)
+{
+    StatGroup root("sim");
+    StatGroup pe0("pe0", &root);
+    StatGroup queue("queue", &pe0);
+
+    auto &pushes = queue.counter("pushes", "entries pushed");
+    pushes += 7;
+
+    EXPECT_EQ(root.value("pe0.queue.pushes"), 7u);
+    EXPECT_EQ(pe0.value("queue.pushes"), 7u);
+    EXPECT_TRUE(root.has("pe0.queue.pushes"));
+    EXPECT_FALSE(root.has("pe0.queue.pops"));
+    EXPECT_FALSE(root.has("nothing.at.all"));
+    EXPECT_EQ(queue.fullPath(), "sim.pe0.queue");
+}
+
+TEST(Stats, CounterIsFindOrCreate)
+{
+    StatGroup root("sim");
+    auto &a = root.counter("x", "first");
+    auto &b = root.counter("x", "ignored");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Stats, DumpFormat)
+{
+    StatGroup root("sim");
+    StatGroup child("child", &root);
+    root.counter("top", "a top counter") += 3;
+    child.counter("inner", "an inner counter") += 4;
+
+    std::ostringstream os;
+    root.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("sim.top  3  # a top counter"), std::string::npos);
+    EXPECT_NE(out.find("sim.child.inner  4"), std::string::npos);
+}
+
+TEST(Stats, ResetAllRecurses)
+{
+    StatGroup root("sim");
+    StatGroup child("child", &root);
+    root.counter("a", "") += 1;
+    child.counter("b", "") += 2;
+    root.resetAll();
+    EXPECT_EQ(root.value("a"), 0u);
+    EXPECT_EQ(root.value("child.b"), 0u);
+}
+
+TEST(Stats, ChildUnregistersOnDestruction)
+{
+    StatGroup root("sim");
+    {
+        StatGroup child("child", &root);
+        child.counter("c", "") += 1;
+        EXPECT_TRUE(root.has("child.c"));
+    }
+    EXPECT_FALSE(root.has("child.c"));
+    // Re-creating a group with the same name is now legal.
+    StatGroup again("child", &root);
+    EXPECT_EQ(again.fullPath(), "sim.child");
+}
+
+TEST(StatsDeath, RejectsDotsAndDuplicates)
+{
+    StatGroup root("sim");
+    EXPECT_DEATH(root.counter("a.b", ""), "dots");
+    EXPECT_DEATH(StatGroup("a.b", &root), "dots");
+    StatGroup child("dup", &root);
+    EXPECT_DEATH(StatGroup("dup", &root), "duplicate");
+    EXPECT_DEATH(root.value("missing"), "no statistic");
+}
+
+} // namespace

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * VCD writer tests: header structure and change-only sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace.hh"
+
+namespace {
+
+using eie::sim::VcdWriter;
+
+TEST(VcdWriter, HeaderAndChanges)
+{
+    std::ostringstream os;
+    VcdWriter vcd(os, "1ns");
+
+    std::uint64_t clk = 0;
+    std::uint64_t bus = 0;
+    vcd.addSignal("top.clk", 1, [&] { return clk; });
+    vcd.addSignal("top.bus", 8, [&] { return bus; });
+    vcd.start();
+
+    clk = 1;
+    bus = 0xA5;
+    vcd.sample(0);
+
+    // Unchanged values produce no output.
+    vcd.sample(1);
+
+    clk = 0;
+    vcd.sample(2);
+
+    const std::string out = os.str();
+    EXPECT_NE(out.find("$timescale 1ns $end"), std::string::npos);
+    EXPECT_NE(out.find("$var wire 1"), std::string::npos);
+    EXPECT_NE(out.find("$var wire 8"), std::string::npos);
+    // Dots flattened to underscores.
+    EXPECT_NE(out.find("top_clk"), std::string::npos);
+    EXPECT_NE(out.find("$enddefinitions $end"), std::string::npos);
+    EXPECT_NE(out.find("#0"), std::string::npos);
+    EXPECT_NE(out.find("b10100101 "), std::string::npos);
+    EXPECT_NE(out.find("#2"), std::string::npos);
+    // Cycle 1 had no changes: no timestamp emitted.
+    EXPECT_EQ(out.find("#1\n"), std::string::npos);
+}
+
+TEST(VcdWriterDeath, ApiMisuse)
+{
+    std::ostringstream os;
+    VcdWriter vcd(os);
+    EXPECT_DEATH(vcd.sample(0), "before start");
+    vcd.addSignal("x", 1, [] { return 0ull; });
+    vcd.start();
+    EXPECT_DEATH(vcd.addSignal("y", 1, [] { return 0ull; }),
+                 "after start");
+    EXPECT_DEATH(vcd.start(), "twice");
+}
+
+TEST(VcdWriterDeath, BadWidth)
+{
+    std::ostringstream os;
+    VcdWriter vcd(os);
+    EXPECT_DEATH(vcd.addSignal("x", 0, [] { return 0ull; }), "width");
+    EXPECT_DEATH(vcd.addSignal("x", 65, [] { return 0ull; }), "width");
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Benchmark suite tests: Table III definitions, deterministic
+ * generation, and end-to-end suite execution on the simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.hh"
+#include "workloads/suite.hh"
+
+namespace {
+
+using namespace eie;
+using namespace eie::workloads;
+
+TEST(Suite, TableIIIRows)
+{
+    const auto &benchmarks = suite();
+    ASSERT_EQ(benchmarks.size(), 9u);
+
+    const auto &alex6 = findBenchmark("Alex-6");
+    EXPECT_EQ(alex6.input, 9216u);
+    EXPECT_EQ(alex6.output, 4096u);
+    EXPECT_DOUBLE_EQ(alex6.weight_density, 0.09);
+    EXPECT_DOUBLE_EQ(alex6.act_density, 0.351);
+
+    const auto &vgg6 = findBenchmark("VGG-6");
+    EXPECT_EQ(vgg6.input, 25088u);
+    EXPECT_DOUBLE_EQ(vgg6.weight_density, 0.04);
+
+    const auto &nt_lstm = findBenchmark("NT-LSTM");
+    EXPECT_EQ(nt_lstm.input, 1201u);  // 600 + 600 + 1
+    EXPECT_EQ(nt_lstm.output, 2400u); // 4 gates x 600
+    EXPECT_DOUBLE_EQ(nt_lstm.act_density, 1.0);
+}
+
+TEST(Suite, FindBenchmarkFatalOnUnknown)
+{
+    EXPECT_EXIT(findBenchmark("Alex-9"), ::testing::ExitedWithCode(1),
+                "no benchmark");
+}
+
+TEST(Suite, WorkloadConversion)
+{
+    const auto w = workloadOf(findBenchmark("NT-Wd"));
+    EXPECT_EQ(w.rows, 8791u);
+    EXPECT_EQ(w.cols, 600u);
+    EXPECT_DOUBLE_EQ(w.weight_density, 0.11);
+}
+
+TEST(SuiteRunner, GeneratedStatisticsMatchTargets)
+{
+    SuiteRunner runner;
+    const auto &bench = findBenchmark("Alex-8");
+    const auto &layer = runner.layer(bench);
+    EXPECT_EQ(layer.outputSize(), 1000u);
+    EXPECT_EQ(layer.inputSize(), 4096u);
+    EXPECT_NEAR(layer.quantizedWeights().density(), 0.25, 0.01);
+
+    const auto &input = runner.input(bench);
+    EXPECT_NEAR(1.0 - nn::zeroFraction(input), 0.375, 0.005);
+}
+
+TEST(SuiteRunner, DeterministicAcrossInstances)
+{
+    SuiteRunner a(7);
+    SuiteRunner b(7);
+    const auto &bench = findBenchmark("NT-We");
+    EXPECT_EQ(a.layer(bench).quantizedWeights().nnz(),
+              b.layer(bench).quantizedWeights().nnz());
+    EXPECT_EQ(a.input(bench), b.input(bench));
+
+    SuiteRunner c(8);
+    EXPECT_NE(a.input(bench), c.input(bench));
+}
+
+TEST(SuiteRunner, CachesLayers)
+{
+    SuiteRunner runner;
+    const auto &bench = findBenchmark("NT-We");
+    const auto &first = runner.layer(bench);
+    const auto &second = runner.layer(bench);
+    EXPECT_EQ(&first, &second);
+}
+
+TEST(SuiteRunner, EndToEndRunOnSmallBenchmark)
+{
+    SuiteRunner runner;
+    const auto &bench = findBenchmark("NT-We"); // smallest layer
+    core::EieConfig config;
+    config.n_pe = 16;
+    const auto result = runner.runEie(bench, config);
+
+    EXPECT_EQ(result.output_raw.size(), 600u);
+    EXPECT_GT(result.stats.cycles, 0u);
+    // Dense activations: every input column is broadcast, except the
+    // handful whose magnitude quantises to zero in 16-bit fixed
+    // point (extra dynamic sparsity the accelerator rightly skips).
+    EXPECT_LE(result.stats.broadcasts, 4096u);
+    EXPECT_GE(result.stats.broadcasts, 4050u);
+    EXPECT_GE(result.stats.cycles, result.stats.theoretical_cycles);
+}
+
+TEST(SuiteRunner, PrebuiltPlanMatchesFreshPlan)
+{
+    SuiteRunner runner;
+    const auto &bench = findBenchmark("NT-We");
+    core::EieConfig config;
+    config.n_pe = 8;
+    const auto plan = runner.plan(bench, config);
+    const auto a = runner.runEie(bench, config);
+    const auto b = runner.runEieWithPlan(bench, config, plan);
+    EXPECT_EQ(a.output_raw, b.output_raw);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+}
+
+} // namespace

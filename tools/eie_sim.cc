@@ -1,0 +1,164 @@
+/**
+ * @file
+ * eie_sim — command-line driver for the cycle-accurate EIE simulator.
+ *
+ * Usage:
+ *   eie_sim --list
+ *   eie_sim [--benchmark NAME | --all] [--pes N] [--fifo N]
+ *           [--width BITS] [--clock GHZ] [--no-bypass] [--relaxed]
+ *           [--seed S] [--export-model PATH] [--dump-stats]
+ *
+ * Runs Table III benchmarks (or one of them) through the simulator
+ * with the requested machine configuration and prints the timing,
+ * balance, traffic and energy summary. --export-model writes the
+ * EIEM compressed-model file of the chosen benchmark.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "compress/model_file.hh"
+#include "energy/pe_model.hh"
+#include "workloads/suite.hh"
+
+namespace {
+
+using namespace eie;
+
+void
+usage()
+{
+    std::cout <<
+        "eie_sim — cycle-accurate EIE simulator driver\n"
+        "  --list               list the Table III benchmarks\n"
+        "  --benchmark NAME     run one benchmark (default: --all)\n"
+        "  --all                run the whole suite\n"
+        "  --pes N              number of PEs (default 64)\n"
+        "  --fifo N             activation queue depth (default 8)\n"
+        "  --width BITS         Spmat SRAM width (default 64)\n"
+        "  --clock GHZ          clock in GHz (default 0.8)\n"
+        "  --no-bypass          disable the accumulator bypass\n"
+        "  --relaxed            warn instead of fail on SRAM capacity\n"
+        "  --seed S             workload generation seed\n"
+        "  --export-model PATH  write the benchmark's EIEM model file\n"
+        "  --dump-stats         print the raw statistics of each run\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> names;
+    core::EieConfig config;
+    std::uint64_t seed = 2016;
+    std::string export_path;
+    bool dump_stats = false;
+    bool run_all = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            fatal_if(i + 1 >= argc, "missing value after %s",
+                     arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--list") {
+            for (const auto &b : workloads::suite())
+                std::cout << b.name << "  (" << b.input << " -> "
+                          << b.output << ", W "
+                          << 100 * b.weight_density << "%, A "
+                          << 100 * b.act_density << "%)  "
+                          << b.description << "\n";
+            return 0;
+        } else if (arg == "--benchmark") {
+            names.push_back(next());
+        } else if (arg == "--all") {
+            run_all = true;
+        } else if (arg == "--pes") {
+            config.n_pe = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--fifo") {
+            config.fifo_depth =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--width") {
+            config.spmat_width_bits =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--clock") {
+            config.clock_ghz = std::stod(next());
+        } else if (arg == "--no-bypass") {
+            config.enable_bypass = false;
+        } else if (arg == "--relaxed") {
+            config.enforce_capacity = false;
+        } else if (arg == "--seed") {
+            seed = std::stoull(next());
+        } else if (arg == "--export-model") {
+            export_path = next();
+        } else if (arg == "--dump-stats") {
+            dump_stats = true;
+        } else {
+            fatal("unknown argument '%s' (try --help)", arg.c_str());
+        }
+    }
+    config.validate();
+    if (names.empty() || run_all)
+        for (const auto &b : workloads::suite())
+            names.push_back(b.name);
+
+    workloads::SuiteRunner runner(seed);
+
+    if (!export_path.empty()) {
+        fatal_if(names.size() != 1,
+                 "--export-model needs exactly one --benchmark");
+        const auto &bench = workloads::findBenchmark(names.front());
+        const auto plan = runner.plan(bench, config);
+        fatal_if(plan.batches() != 1 || plan.passes() != 1,
+                 "--export-model supports single-tile layers only "
+                 "(this one needs %zu batches x %zu passes)",
+                 plan.batches(), plan.passes());
+        compress::saveModelFile(export_path,
+                                plan.tiles[0][0].storage);
+        std::cout << "wrote " << export_path << "\n";
+        return 0;
+    }
+
+    TextTable table({"Benchmark", "Cycles", "Time(us)", "Theo(us)",
+                     "LoadBal", "Entries", "Pad%", "Broadcasts",
+                     "Power(W)", "Energy(uJ)"});
+    for (const std::string &name : names) {
+        const auto &bench = workloads::findBenchmark(name);
+        const auto result = runner.runEie(bench, config);
+        const auto &s = result.stats;
+        const double watts = energy::acceleratorPowerWatts(
+            config, energy::PeActivity::fromRun(s));
+        table.row()
+            .add(name)
+            .add(s.cycles)
+            .add(s.timeUs(), 2)
+            .add(s.theoreticalTimeUs(), 2)
+            .addPercent(s.loadBalance())
+            .add(s.total_entries)
+            .addPercent(s.total_entries
+                            ? static_cast<double>(s.padding_entries) /
+                              static_cast<double>(s.total_entries)
+                            : 0.0)
+            .add(s.broadcasts)
+            .add(watts, 3)
+            .add(energy::runEnergyUj(config, s), 3);
+        if (dump_stats)
+            s.print(std::cout);
+    }
+
+    std::cout << "EIE " << config.n_pe << " PEs @ "
+              << config.clock_ghz * 1000 << " MHz, FIFO depth "
+              << config.fifo_depth << ", Spmat width "
+              << config.spmat_width_bits << "b\n";
+    table.print(std::cout);
+    return 0;
+}
