@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Throughput of the compiled batched execution path vs. the scalar
+ * functional interpreter on a pruned 4096x4096 layer (Alex-7's shape:
+ * 9% weight density, 35% activation density, 64 PEs).
+ *
+ * Sweeps batch size x worker threads over a fixed set of frames,
+ * checks every configuration bit-exact against the scalar oracle, and
+ * writes BENCH_throughput.json (frames/sec and GOP/s per point) so
+ * later PRs have a perf trajectory to regress against. Run from the
+ * build directory:
+ *
+ *   ./bench_throughput_batched [output.json]
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/table.hh"
+#include "compress/compressed_layer.hh"
+#include "core/functional.hh"
+#include "core/kernel/compiled_layer.hh"
+#include "core/kernel/executor.hh"
+#include "core/kernel/worker_pool.hh"
+#include "core/plan.hh"
+#include "nn/generate.hh"
+
+namespace {
+
+using namespace eie;
+
+constexpr std::size_t kRows = 4096;
+constexpr std::size_t kCols = 4096;
+constexpr double kWeightDensity = 0.09;
+constexpr double kActDensity = 0.35;
+constexpr std::size_t kFrames = 64;
+constexpr unsigned kRepeats = 3;
+
+struct Point
+{
+    std::size_t batch = 0;
+    unsigned threads = 0;
+    double frames_per_sec = 0.0;
+    double gops = 0.0;
+    double speedup = 0.0;
+    bool bit_exact = false;
+};
+
+double
+seconds(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_throughput.json";
+
+    // Build the layer and plan once.
+    Rng rng(2016);
+    nn::WeightGenOptions wopts;
+    wopts.density = kWeightDensity;
+    compress::CompressionOptions copts;
+    copts.interleave.n_pe = 64;
+    const auto layer = compress::CompressedLayer::compress(
+        "alex7_shape", nn::makeSparseWeights(kRows, kCols, wopts, rng),
+        copts);
+
+    core::EieConfig config;
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    const core::FunctionalModel model(config);
+    const auto compiled =
+        core::kernel::CompiledLayer::compile(plan, config);
+
+    core::kernel::Batch frames;
+    for (std::size_t b = 0; b < kFrames; ++b) {
+        Rng frame_rng(4096 + 77 * b);
+        frames.push_back(model.quantizeInput(
+            nn::makeActivations(kCols, kActDensity, frame_rng)));
+    }
+
+    // Scalar interpreter baseline over all frames (the oracle).
+    core::kernel::Batch reference;
+    double useful_gops = 0.0;
+    double scalar_s = 0.0;
+    for (unsigned rep = 0; rep < kRepeats; ++rep) {
+        reference.clear();
+        useful_gops = 0.0;
+        const auto start = std::chrono::steady_clock::now();
+        for (const auto &frame : frames) {
+            auto result = model.run(plan, frame);
+            useful_gops += result.work.usefulGops();
+            reference.push_back(std::move(result.output_raw));
+        }
+        const double elapsed = seconds(start);
+        scalar_s = rep == 0 ? elapsed : std::min(scalar_s, elapsed);
+    }
+    const double scalar_fps = kFrames / scalar_s;
+
+    const unsigned hw_threads =
+        core::kernel::WorkerPool::hardwareThreads();
+    std::vector<unsigned> thread_counts{1};
+    if (hw_threads > 1)
+        thread_counts.push_back(hw_threads);
+
+    std::vector<Point> points;
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{16}, std::size_t{64}}) {
+        for (const unsigned threads : thread_counts) {
+            core::kernel::WorkerPool pool(threads);
+            core::kernel::WorkerPool *pool_ptr =
+                threads > 1 ? &pool : nullptr;
+
+            core::kernel::Batch outputs;
+            double batched_s = 0.0;
+            for (unsigned rep = 0; rep < kRepeats; ++rep) {
+                outputs.clear();
+                const auto start = std::chrono::steady_clock::now();
+                for (std::size_t at = 0; at < kFrames; at += batch) {
+                    const core::kernel::Batch chunk(
+                        frames.begin() + at,
+                        frames.begin() +
+                            std::min(at + batch, kFrames));
+                    auto out =
+                        core::kernel::runBatch(compiled, chunk,
+                                               pool_ptr);
+                    for (auto &frame_out : out)
+                        outputs.push_back(std::move(frame_out));
+                }
+                const double elapsed = seconds(start);
+                batched_s =
+                    rep == 0 ? elapsed : std::min(batched_s, elapsed);
+            }
+
+            Point p;
+            p.batch = batch;
+            p.threads = threads;
+            p.frames_per_sec = kFrames / batched_s;
+            p.gops = useful_gops / batched_s;
+            p.speedup = scalar_s / batched_s;
+            p.bit_exact = outputs == reference;
+            fatal_if(!p.bit_exact,
+                     "batch %zu x %u threads diverged from the scalar "
+                     "oracle", batch, threads);
+            points.push_back(p);
+        }
+    }
+
+    TextTable table({"Batch", "Threads", "Frames/s", "GOP/s", "Speedup",
+                     "Exact"});
+    table.row()
+        .add("scalar")
+        .add(std::uint64_t{1})
+        .add(scalar_fps, 1)
+        .add(useful_gops / scalar_s, 3)
+        .add(1.0, 2)
+        .add("ref");
+    for (const Point &p : points) {
+        table.row()
+            .add(static_cast<std::uint64_t>(p.batch))
+            .add(static_cast<std::uint64_t>(p.threads))
+            .add(p.frames_per_sec, 1)
+            .add(p.gops, 3)
+            .add(p.speedup, 2)
+            .add(p.bit_exact ? "yes" : "NO");
+    }
+    std::cout << "4096x4096, 9% weights, 35% activations, 64 PEs, "
+              << kFrames << " frames\n";
+    table.print(std::cout);
+
+    double best = 0.0;
+    for (const Point &p : points)
+        best = std::max(best, p.speedup);
+    std::cout << "best speedup over scalar interpreter: " << best
+              << "x\n";
+
+    std::ofstream json(json_path);
+    fatal_if(!json, "cannot write %s", json_path.c_str());
+    json << "{\n"
+         << "  \"layer\": {\"rows\": " << kRows << ", \"cols\": "
+         << kCols << ", \"weight_density\": " << kWeightDensity
+         << ", \"act_density\": " << kActDensity
+         << ", \"n_pe\": " << config.n_pe << "},\n"
+         << "  \"frames\": " << kFrames << ",\n"
+         << "  \"scalar\": {\"frames_per_sec\": " << scalar_fps
+         << ", \"gops\": " << useful_gops / scalar_s << "},\n"
+         << "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        json << "    {\"batch\": " << p.batch << ", \"threads\": "
+             << p.threads << ", \"frames_per_sec\": "
+             << p.frames_per_sec << ", \"gops\": " << p.gops
+             << ", \"speedup\": " << p.speedup << ", \"bit_exact\": "
+             << (p.bit_exact ? "true" : "false") << "}"
+             << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"best_speedup\": " << best << "\n"
+         << "}\n";
+    std::cout << "wrote " << json_path << "\n";
+    return 0;
+}

@@ -55,6 +55,17 @@ class Codebook
     /** Hardware format of decodeRaw() values. */
     const FixedFormat &format() const { return fmt_; }
 
+    /**
+     * The materialized decode LUT: rawValues()[i] == decodeRaw(i) for
+     * every table index. Execution paths (functional kernel, simulator
+     * arithmetic stage, host kernels) hoist this table out of their
+     * inner loops instead of calling decodeRaw() per entry.
+     */
+    const std::vector<std::int64_t> &rawValues() const
+    {
+        return raw_values_;
+    }
+
     /** All table values. */
     const std::vector<float> &values() const { return values_; }
 

@@ -18,6 +18,14 @@ ArithmeticUnit::configureBatch(std::uint32_t rows_this_pe)
     inflight_ = {-1, -1, -1};
 }
 
+void
+ArithmeticUnit::loadCodebook(const compress::Codebook &codebook)
+{
+    const auto &raw = codebook.rawValues();
+    decode_lut_ = raw.data();
+    decode_lut_size_ = raw.size();
+}
+
 bool
 ArithmeticUnit::canIssue(std::uint32_t local_row) const
 {
@@ -32,15 +40,17 @@ ArithmeticUnit::canIssue(std::uint32_t local_row) const
 
 void
 ArithmeticUnit::issue(std::uint8_t weight_index, std::uint32_t local_row,
-                      std::int64_t act_raw,
-                      const compress::Codebook &codebook)
+                      std::int64_t act_raw)
 {
     panic_if(local_row >= acc_.size(),
              "accumulator %u out of %zu configured rows", local_row,
              acc_.size());
     panic_if(!canIssue(local_row), "issued into a structural hazard");
+    panic_if(weight_index >= decode_lut_size_,
+             "codebook index %u out of %zu (codebook not loaded?)",
+             weight_index, decode_lut_size_);
 
-    const std::int64_t w = codebook.decodeRaw(weight_index);
+    const std::int64_t w = decode_lut_[weight_index];
     acc_[local_row] =
         macFixed(acc_[local_row], w, act_raw, weight_fmt_, act_fmt_);
 

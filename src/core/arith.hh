@@ -47,6 +47,15 @@ class ArithmeticUnit
      */
     void configureBatch(std::uint32_t rows_this_pe);
 
+    /**
+     * Latch the decode stage's weight LUT — the codebook's
+     * materialized raw values (Codebook::rawValues()), loaded once per
+     * tile like the hardware's codebook registers, instead of a
+     * decodeRaw() call per issued entry. The codebook must outlive
+     * the tile's execution.
+     */
+    void loadCodebook(const compress::Codebook &codebook);
+
     /** Hazard check: can an update to @p local_row issue this cycle? */
     bool canIssue(std::uint32_t local_row) const;
 
@@ -58,10 +67,9 @@ class ArithmeticUnit
      * @param weight_index 4-bit codebook index (0 = padding zero)
      * @param local_row    destination accumulator index
      * @param act_raw      broadcast activation value (raw fixed)
-     * @param codebook     shared-weight table for the decode stage
      */
     void issue(std::uint8_t weight_index, std::uint32_t local_row,
-               std::int64_t act_raw, const compress::Codebook &codebook);
+               std::int64_t act_raw);
 
     /** True when no update is in flight (safe to drain/read out). */
     bool pipelineEmpty() const;
@@ -79,6 +87,10 @@ class ArithmeticUnit
     FixedFormat act_fmt_;
     FixedFormat weight_fmt_;
     bool bypass_;
+
+    /** Decode-stage LUT: the loaded codebook's raw values. */
+    const std::int64_t *decode_lut_ = nullptr;
+    std::size_t decode_lut_size_ = 0;
 
     std::vector<std::int64_t> acc_;
     /** Rows of the updates in stages S2..S4 (-1 = bubble). An issue

@@ -1,6 +1,8 @@
 #include "core/functional.hh"
 
 #include "common/bits.hh"
+#include "core/kernel/compiled_layer.hh"
+#include "core/kernel/executor.hh"
 
 namespace eie::core {
 
@@ -40,6 +42,20 @@ FunctionalModel::dequantize(const std::vector<std::int64_t> &raw) const
     return out;
 }
 
+std::vector<std::vector<std::int64_t>>
+FunctionalModel::runBatch(
+    const LayerPlan &plan,
+    const std::vector<std::vector<std::int64_t>> &inputs,
+    unsigned threads) const
+{
+    const auto compiled = kernel::CompiledLayer::compile(plan, config_);
+    if (threads > 1) {
+        kernel::WorkerPool pool(threads);
+        return kernel::runBatch(compiled, inputs, &pool);
+    }
+    return kernel::runBatch(compiled, inputs);
+}
+
 FunctionalResult
 FunctionalModel::run(const LayerPlan &plan,
                      const std::vector<std::int64_t> &input_raw) const
@@ -68,7 +84,9 @@ FunctionalModel::run(const LayerPlan &plan,
 
         for (const Tile &tile : batch_tiles) {
             const auto &storage = tile.storage;
-            const auto &codebook = storage.codebook();
+            // Same decode helper as the simulator and the compiled
+            // kernel: the codebook's materialized raw-value LUT.
+            const auto &raw_lut = storage.codebook().rawValues();
             for (std::size_t jc = 0; jc < storage.cols(); ++jc) {
                 const std::int64_t a = input_raw[tile.col_begin + jc];
                 if (a == 0)
@@ -84,7 +102,7 @@ FunctionalModel::run(const LayerPlan &plan,
                         const auto &entry = entries[e];
                         pos += entry.zero_count + 1;
                         const std::int64_t w =
-                            codebook.decodeRaw(entry.weight_index);
+                            raw_lut[entry.weight_index];
                         const std::size_t local_row =
                             static_cast<std::size_t>(pos) * n_pe + k;
                         acc[local_row] = macFixed(

@@ -64,6 +64,24 @@ class FunctionalModel
     FunctionalResult run(const LayerPlan &plan,
                          const std::vector<std::int64_t> &input_raw) const;
 
+    /**
+     * Execute a planned layer on a batch of input vectors through the
+     * compiled kernel path (pre-decoded format, one column sweep
+     * amortized over the batch; see core/kernel/). Bit-exact with
+     * run() on every frame.
+     *
+     * Compiles the plan on every call — callers with a steady layer
+     * should compile once via kernel::CompiledLayer::compile and use
+     * kernel::runBatch (NetworkRunner does exactly that).
+     *
+     * @param threads worker threads for PE-parallel execution (1 =
+     *                single-threaded, the default)
+     */
+    std::vector<std::vector<std::int64_t>>
+    runBatch(const LayerPlan &plan,
+             const std::vector<std::vector<std::int64_t>> &inputs,
+             unsigned threads = 1) const;
+
     /** Quantise a float vector into the configured activation format. */
     std::vector<std::int64_t> quantizeInput(const nn::Vector &input) const;
 

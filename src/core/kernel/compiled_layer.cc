@@ -1,0 +1,60 @@
+#include "core/kernel/compiled_layer.hh"
+
+#include "common/logging.hh"
+
+namespace eie::core::kernel {
+
+CompiledLayer
+CompiledLayer::compile(const LayerPlan &plan, const EieConfig &config)
+{
+    panic_if(plan.n_pe != config.n_pe,
+             "plan compiled for %u PEs, machine has %u", plan.n_pe,
+             config.n_pe);
+
+    CompiledLayer layer;
+    layer.name = plan.name;
+    layer.input_size = plan.input_size;
+    layer.output_size = plan.output_size;
+    layer.nonlin = plan.nonlin;
+    layer.n_pe = plan.n_pe;
+    layer.act_format = config.act_format;
+    layer.weight_format = config.weight_format;
+
+    for (const auto &batch_tiles : plan.tiles) {
+        std::vector<CompiledTile> row_tiles;
+        for (const Tile &tile : batch_tiles) {
+            CompiledTile compiled;
+            compiled.row_begin = tile.row_begin;
+            compiled.row_end = tile.row_end;
+            compiled.col_begin = tile.col_begin;
+            compiled.col_end = tile.col_end;
+
+            const auto &storage = tile.storage;
+            const auto &raw_lut = storage.codebook().rawValues();
+            compiled.slices.resize(plan.n_pe);
+            for (unsigned k = 0; k < plan.n_pe; ++k) {
+                const auto image = storage.pe(k).exportDecoded();
+                CompiledSlice &slice = compiled.slices[k];
+                slice.col_ptr = image.col_ptr;
+                slice.entries.reserve(image.local_rows.size());
+                for (std::size_t e = 0; e < image.local_rows.size();
+                     ++e) {
+                    // Batch-local global row: the interleaving law of
+                    // §III-B, rebased to the tile's row range.
+                    slice.entries.push_back(KernelEntry{
+                        image.local_rows[e] * plan.n_pe + k,
+                        static_cast<std::int32_t>(
+                            raw_lut[image.weight_indices[e]])});
+                }
+                layer.real_entries += slice.entries.size();
+                layer.stripped_padding +=
+                    storage.pe(k).paddingEntries();
+            }
+            row_tiles.push_back(std::move(compiled));
+        }
+        layer.tiles.push_back(std::move(row_tiles));
+    }
+    return layer;
+}
+
+} // namespace eie::core::kernel

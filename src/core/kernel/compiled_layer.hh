@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The pre-decoded kernel format of the fast execution path.
+ *
+ * The interleaved CSC image the hardware walks (4-bit codebook index +
+ * 4-bit zero run, §III-B) is deliberately indirect: it optimizes SRAM
+ * bits, and the PE pays one decode per entry per input vector. A
+ * software engine must hoist that indirection out of the MAC loop (the
+ * authors' 2023 retrospective makes exactly this point), so compile()
+ * lowers a LayerPlan once into flat per-PE arrays of
+ * (batch-local output row, decoded fixed-point weight):
+ *
+ *  - zero-run deltas are resolved to absolute rows,
+ *  - padding entries (codebook index 0) are stripped — they exist only
+ *    to keep the 4-bit run field in range and always contribute zero,
+ *  - the 16-entry codebook is materialized through Codebook::rawValues()
+ *    so every weight is already a raw fixed-point operand.
+ *
+ * The tile grid of the plan (row batches x column passes) is preserved
+ * so the execution semantics — per-batch accumulator initialisation,
+ * accumulation across passes, non-linearity on drain — stay bit-exact
+ * with FunctionalModel::run. PE slices stay separate because PE k owns
+ * output rows i mod N == k: executing slices on different threads is
+ * race-free by construction.
+ */
+
+#ifndef EIE_CORE_KERNEL_COMPILED_LAYER_HH
+#define EIE_CORE_KERNEL_COMPILED_LAYER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/plan.hh"
+
+namespace eie::core::kernel {
+
+/** One pre-decoded matrix entry: destination row and raw weight. */
+struct KernelEntry
+{
+    /** Output row relative to the tile's row batch (row_begin). */
+    std::uint32_t row = 0;
+    /** Codebook-decoded fixed-point weight (weight_format raw). */
+    std::int32_t weight_raw = 0;
+};
+
+/** One PE's pre-decoded share of a tile. */
+struct CompiledSlice
+{
+    std::vector<KernelEntry> entries; ///< padding stripped
+    std::vector<std::uint32_t> col_ptr; ///< pass cols + 1 offsets
+};
+
+/** One row-batch x column-pass tile in kernel format. */
+struct CompiledTile
+{
+    std::size_t row_begin = 0;
+    std::size_t row_end = 0;
+    std::size_t col_begin = 0;
+    std::size_t col_end = 0;
+    std::vector<CompiledSlice> slices; ///< one per PE
+};
+
+/** A layer lowered to the kernel format, ready for runBatch(). */
+struct CompiledLayer
+{
+    std::string name;
+    std::size_t input_size = 0;
+    std::size_t output_size = 0;
+    nn::Nonlinearity nonlin = nn::Nonlinearity::ReLU;
+    unsigned n_pe = 0;
+
+    /** Datapath formats captured at compile time (from EieConfig). */
+    FixedFormat act_format;
+    FixedFormat weight_format;
+
+    /** tiles[batch][pass], mirroring LayerPlan::tiles. */
+    std::vector<std::vector<CompiledTile>> tiles;
+
+    /** Real (non-padding) entries kept by the compile. */
+    std::uint64_t real_entries = 0;
+    /** Padding entries stripped by the compile. */
+    std::uint64_t stripped_padding = 0;
+
+    /**
+     * Lower @p plan for execution on a machine with @p config's
+     * datapath formats. The plan must have been compiled for the same
+     * PE count.
+     */
+    static CompiledLayer compile(const LayerPlan &plan,
+                                 const EieConfig &config);
+};
+
+} // namespace eie::core::kernel
+
+#endif // EIE_CORE_KERNEL_COMPILED_LAYER_HH

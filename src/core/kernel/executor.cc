@@ -1,0 +1,141 @@
+#include "core/kernel/executor.hh"
+
+#include "common/fixed_point.hh"
+#include "common/logging.hh"
+
+namespace eie::core::kernel {
+
+namespace {
+
+/**
+ * Per-pass activation panel: the active (non-zero) frames of each
+ * column, gathered once per tile instead of once per PE per frame.
+ * Column j's active frames occupy slots [j*B, j*B + count[j]).
+ */
+struct ActivationPanel
+{
+    std::vector<std::uint32_t> frame; ///< frame index of each slot
+    std::vector<std::int64_t> value;  ///< activation value of the slot
+    std::vector<std::uint32_t> count; ///< active frames per column
+
+    void
+    gather(const Batch &inputs, std::size_t col_begin,
+           std::size_t col_end)
+    {
+        const std::size_t cols = col_end - col_begin;
+        const std::size_t batch = inputs.size();
+        frame.resize(cols * batch);
+        value.resize(cols * batch);
+        count.assign(cols, 0);
+        for (std::size_t j = 0; j < cols; ++j) {
+            std::uint32_t n = 0;
+            const std::size_t base = j * batch;
+            for (std::size_t b = 0; b < batch; ++b) {
+                const std::int64_t a = inputs[b][col_begin + j];
+                if (a == 0)
+                    continue; // the LNZD would never broadcast it
+                frame[base + n] = static_cast<std::uint32_t>(b);
+                value[base + n] = a;
+                ++n;
+            }
+            count[j] = n;
+        }
+    }
+};
+
+/** Sweep one PE slice of one tile over the gathered panel. */
+void
+runSlice(const CompiledSlice &slice, const ActivationPanel &panel,
+         std::size_t batch, std::int64_t *acc,
+         const FixedFormat &weight_fmt, const FixedFormat &act_fmt)
+{
+    const KernelEntry *entries = slice.entries.data();
+    const std::size_t cols = slice.col_ptr.size() - 1;
+    for (std::size_t j = 0; j < cols; ++j) {
+        const std::uint32_t n_active = panel.count[j];
+        if (n_active == 0)
+            continue;
+        const std::uint32_t e_begin = slice.col_ptr[j];
+        const std::uint32_t e_end = slice.col_ptr[j + 1];
+        if (e_begin == e_end)
+            continue;
+        const std::uint32_t *frames = &panel.frame[j * batch];
+        const std::int64_t *values = &panel.value[j * batch];
+        for (std::uint32_t e = e_begin; e < e_end; ++e) {
+            const std::int64_t w = entries[e].weight_raw;
+            std::int64_t *acc_row =
+                acc + static_cast<std::size_t>(entries[e].row) * batch;
+            for (std::uint32_t t = 0; t < n_active; ++t) {
+                acc_row[frames[t]] = macFixed(
+                    acc_row[frames[t]], w, values[t], weight_fmt,
+                    act_fmt);
+            }
+        }
+    }
+}
+
+} // namespace
+
+Batch
+runBatch(const CompiledLayer &layer, const Batch &inputs,
+         WorkerPool *pool)
+{
+    const std::size_t batch = inputs.size();
+    for (const auto &input : inputs)
+        panic_if(input.size() != layer.input_size,
+                 "input length %zu != compiled %zu", input.size(),
+                 layer.input_size);
+
+    Batch outputs(batch);
+    for (auto &output : outputs)
+        output.assign(layer.output_size, 0);
+    if (batch == 0)
+        return outputs;
+
+    ActivationPanel panel;
+    std::vector<std::int64_t> acc;
+    for (const auto &batch_tiles : layer.tiles) {
+        panic_if(batch_tiles.empty(), "row batch with no tiles");
+        const std::size_t row_begin = batch_tiles.front().row_begin;
+        const std::size_t row_end = batch_tiles.front().row_end;
+
+        // Accumulators zero per row batch, persisting across passes —
+        // frame-major per row so a PE's writes stay in its own rows.
+        acc.assign((row_end - row_begin) * batch, 0);
+
+        for (const CompiledTile &tile : batch_tiles) {
+            panel.gather(inputs, tile.col_begin, tile.col_end);
+            auto run_pe = [&](std::size_t k) {
+                runSlice(tile.slices[k], panel, batch, acc.data(),
+                         layer.weight_format, layer.act_format);
+            };
+            if (pool && pool->threads() > 1)
+                pool->parallelFor(tile.slices.size(), run_pe);
+            else
+                for (std::size_t k = 0; k < tile.slices.size(); ++k)
+                    run_pe(k);
+        }
+
+        // Drain: non-linearity, then commit the batch rows per frame.
+        for (std::size_t r = 0; r < row_end - row_begin; ++r) {
+            const std::int64_t *acc_row = &acc[r * batch];
+            for (std::size_t b = 0; b < batch; ++b) {
+                std::int64_t value = acc_row[b];
+                switch (layer.nonlin) {
+                  case nn::Nonlinearity::ReLU:
+                    value = reluRaw(value);
+                    break;
+                  case nn::Nonlinearity::None:
+                    break;
+                  default:
+                    fatal("the accelerator only applies ReLU or None; "
+                          "other nonlinearities run on the host");
+                }
+                outputs[b][row_begin + r] = value;
+            }
+        }
+    }
+    return outputs;
+}
+
+} // namespace eie::core::kernel

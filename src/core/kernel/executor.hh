@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Batched execution of a CompiledLayer.
+ *
+ * One sweep over the compressed columns is amortized across the whole
+ * batch: per column the active (non-zero) frames are gathered once,
+ * then every pre-decoded entry issues one MAC per active frame. Each
+ * frame's accumulator therefore sees exactly the update sequence the
+ * scalar interpreter would produce (passes, then columns, then entries
+ * in ascending order; zero activations skipped), so outputs are
+ * bit-exact with FunctionalModel::run — saturation order included.
+ *
+ * Parallel execution splits the work across PE slices: PE k only ever
+ * writes output rows i mod N == k, so threads share the accumulator
+ * buffer without synchronization or write conflicts.
+ */
+
+#ifndef EIE_CORE_KERNEL_EXECUTOR_HH
+#define EIE_CORE_KERNEL_EXECUTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/kernel/compiled_layer.hh"
+#include "core/kernel/worker_pool.hh"
+
+namespace eie::core::kernel {
+
+/** A batch of raw fixed-point activation vectors, one per frame. */
+using Batch = std::vector<std::vector<std::int64_t>>;
+
+/**
+ * Execute @p layer on every frame of @p inputs.
+ *
+ * @param layer  a compiled layer
+ * @param inputs B activation vectors of layer.input_size each
+ * @param pool   optional worker pool; when non-null and holding more
+ *               than one thread, PE slices execute in parallel
+ * @return B output vectors of layer.output_size each
+ */
+Batch runBatch(const CompiledLayer &layer, const Batch &inputs,
+               WorkerPool *pool = nullptr);
+
+} // namespace eie::core::kernel
+
+#endif // EIE_CORE_KERNEL_EXECUTOR_HH

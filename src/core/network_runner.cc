@@ -34,6 +34,10 @@ NetworkRunner::addLayer(const compress::CompressedLayer &layer,
              "output size %zu", layer.name().c_str(),
              layer.inputSize(), plans_.back().output_size);
     plans_.push_back(planLayer(layer, nonlin, config_));
+    // Invalidate the batched-path cache: kernels_ is rebuilt to match
+    // plans_ on the next runBatch().
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    kernels_.clear();
 }
 
 std::size_t
@@ -63,6 +67,53 @@ NetworkRunner::run(const std::vector<std::int64_t> &input_raw) const
         result.per_layer.push_back(layer_result.stats);
     }
     result.output_raw = std::move(act);
+    return result;
+}
+
+kernel::Batch
+NetworkRunner::runBatch(const kernel::Batch &inputs,
+                        unsigned threads) const
+{
+    fatal_if(plans_.empty(), "network has no layers");
+
+    // One lock for the whole execution: kernels_ and pool_ are shared
+    // mutable state, and WorkerPool::parallelFor is single-caller.
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+
+    if (kernels_.size() != plans_.size()) {
+        kernels_.clear();
+        kernels_.reserve(plans_.size());
+        for (const LayerPlan &plan : plans_)
+            kernels_.push_back(
+                kernel::CompiledLayer::compile(plan, config_));
+    }
+
+    kernel::WorkerPool *pool = nullptr;
+    if (threads > 1) {
+        if (!pool_ || pool_->threads() != threads)
+            pool_ = std::make_unique<kernel::WorkerPool>(threads);
+        pool = pool_.get();
+    }
+
+    kernel::Batch act = inputs;
+    for (const kernel::CompiledLayer &layer : kernels_)
+        act = kernel::runBatch(layer, act, pool);
+    return act;
+}
+
+std::vector<nn::Vector>
+NetworkRunner::runFloatBatch(const std::vector<nn::Vector> &inputs,
+                             unsigned threads) const
+{
+    kernel::Batch raw;
+    raw.reserve(inputs.size());
+    for (const nn::Vector &input : inputs)
+        raw.push_back(functional_.quantizeInput(input));
+    const kernel::Batch out = runBatch(raw, threads);
+    std::vector<nn::Vector> result;
+    result.reserve(out.size());
+    for (const auto &frame : out)
+        result.push_back(functional_.dequantize(frame));
     return result;
 }
 

@@ -13,10 +13,14 @@
 #ifndef EIE_CORE_NETWORK_RUNNER_HH
 #define EIE_CORE_NETWORK_RUNNER_HH
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/accelerator.hh"
+#include "core/kernel/compiled_layer.hh"
+#include "core/kernel/executor.hh"
 #include "core/plan.hh"
 #include "nn/layer.hh"
 
@@ -53,6 +57,15 @@ class NetworkRunner
     /** Number of layers added. */
     std::size_t layerCount() const { return plans_.size(); }
 
+    /** The compiled plan of layer @p i (for oracles and analyses). */
+    const LayerPlan &
+    plan(std::size_t i) const
+    {
+        fatal_if(i >= plans_.size(), "layer %zu out of %zu", i,
+                 plans_.size());
+        return plans_[i];
+    }
+
     std::size_t inputSize() const;
     std::size_t outputSize() const;
 
@@ -63,11 +76,41 @@ class NetworkRunner
     nn::Vector runFloat(const nn::Vector &input,
                         NetworkResult *result_out = nullptr) const;
 
+    /**
+     * Throughput path: run a batch of inputs through the whole stack
+     * on the compiled kernels (plans are lowered into the pre-decoded
+     * format on the first call, then cached). Activations ping-pong
+     * between layers exactly as in run(); outputs are bit-exact with
+     * running each frame through run() individually.
+     *
+     * Thread-safe, but concurrent callers on the same runner
+     * serialize (they share one worker pool); for truly concurrent
+     * serving use one NetworkRunner per request thread or drive
+     * kernel::runBatch with caller-owned pools.
+     *
+     * @param threads PE-parallel worker threads (1 = single-threaded).
+     *                The pool persists across calls with the same
+     *                thread count.
+     */
+    kernel::Batch runBatch(const kernel::Batch &inputs,
+                           unsigned threads = 1) const;
+
+    /** Float convenience wrapper around runBatch(). */
+    std::vector<nn::Vector>
+    runFloatBatch(const std::vector<nn::Vector> &inputs,
+                  unsigned threads = 1) const;
+
   private:
     EieConfig config_;
     Accelerator accelerator_;
     FunctionalModel functional_;
     std::vector<LayerPlan> plans_;
+
+    /** Batched-path state, built lazily on first runBatch() and
+     *  guarded by batch_mutex_ (run()/runFloat() never touch it). */
+    mutable std::mutex batch_mutex_;
+    mutable std::vector<kernel::CompiledLayer> kernels_;
+    mutable std::unique_ptr<kernel::WorkerPool> pool_;
 };
 
 } // namespace eie::core

@@ -34,6 +34,7 @@ Pe::loadTile(const compress::PeSlice &slice,
     spmat_.loadEntries(slice.entries());
     ptr_.loadPointers(slice.colPtr());
     codebook_ = &codebook;
+    arith_.loadCodebook(codebook);
 
     // Account this PE's share of the pass's input vector: the LNZD
     // scan walks it once per pass. PE k holds activations k, k+N, ...
@@ -104,8 +105,7 @@ Pe::computeCycle()
                 row_accum_ + entry.zero_count + 1);
             if (arith_.canIssue(local_row)) {
                 spmat_.consumeEntry();
-                arith_.issue(entry.weight_index, local_row, act_value_,
-                             *codebook_);
+                arith_.issue(entry.weight_index, local_row, act_value_);
                 row_accum_ = local_row;
                 ++macs_issued_;
                 busy = true;

@@ -75,7 +75,9 @@ cscCodebookSpmv(const compress::InterleavedCsc &w,
              "CSC SpMV size mismatch");
     std::fill(y.begin(), y.end(), 0.0f);
 
-    const auto &codebook = w.codebook();
+    // Hoist the 16-entry codebook out of the MAC loop, like the
+    // compiled kernel path (core/kernel/) hoists rawValues().
+    const float *decode_lut = w.codebook().values().data();
     const unsigned n_pe = w.numPe();
     for (unsigned k = 0; k < n_pe; ++k) {
         const auto &slice = w.pe(k);
@@ -90,7 +92,7 @@ cscCodebookSpmv(const compress::InterleavedCsc &w,
                  ++e) {
                 pos += entries[e].zero_count + 1;
                 const float weight =
-                    codebook.decode(entries[e].weight_index);
+                    decode_lut[entries[e].weight_index];
                 y[static_cast<std::size_t>(pos) * n_pe + k] +=
                     weight * aj;
             }

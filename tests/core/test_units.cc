@@ -146,27 +146,28 @@ TEST(ArithmeticUnit, MacSemanticsAndPadding)
     sim::StatGroup stats("test");
     ArithmeticUnit unit(config, stats);
     const auto codebook = simpleCodebook();
+    unit.loadCodebook(codebook);
 
     unit.configureBatch(4);
     ASSERT_EQ(unit.accumulators().size(), 4u);
 
     // a = 2.0 in Q8.8 raw = 512; w = 1.0 raw = 256.
     const std::int64_t act = quantize(2.0, fixed16);
-    unit.issue(1, 0, act, codebook);
+    unit.issue(1, 0, act);
     unit.tick();
     EXPECT_EQ(unit.accumulators()[0], quantize(2.0, fixed16));
 
     // Padding entry (index 0): occupies a slot, changes nothing.
-    unit.issue(0, 1, act, codebook);
+    unit.issue(0, 1, act);
     unit.tick();
     EXPECT_EQ(unit.accumulators()[1], 0);
     EXPECT_EQ(stats.value("padding_macs"), 1u);
     EXPECT_EQ(stats.value("macs"), 2u);
 
     // Accumulate w = -2.0 twice into row 0: 2 + (-4) + (-4) = -6.
-    unit.issue(2, 0, act, codebook);
+    unit.issue(2, 0, act);
     unit.tick();
-    unit.issue(2, 0, act, codebook);
+    unit.issue(2, 0, act);
     unit.tick();
     EXPECT_EQ(unit.accumulators()[0], quantize(-6.0, fixed16));
 
@@ -181,9 +182,10 @@ TEST(ArithmeticUnit, BypassDisabledCreatesHazards)
     sim::StatGroup stats("test");
     ArithmeticUnit unit(config, stats);
     const auto codebook = simpleCodebook();
+    unit.loadCodebook(codebook);
     unit.configureBatch(2);
 
-    unit.issue(1, 0, 256, codebook);
+    unit.issue(1, 0, 256);
     // Same accumulator next cycle: blocked until the update retires.
     unit.tick();
     EXPECT_FALSE(unit.canIssue(0));
@@ -201,11 +203,12 @@ TEST(ArithmeticUnit, BypassEnabledNeverStalls)
     sim::StatGroup stats("test");
     ArithmeticUnit unit(config, stats);
     const auto codebook = simpleCodebook();
+    unit.loadCodebook(codebook);
     unit.configureBatch(1);
 
     for (int i = 0; i < 5; ++i) {
         ASSERT_TRUE(unit.canIssue(0));
-        unit.issue(1, 0, 256, codebook);
+        unit.issue(1, 0, 256);
         unit.tick();
     }
     // 5 x (1.0 * 1.0) accumulated.
@@ -219,10 +222,11 @@ TEST(ArithmeticUnit, SaturationOnOverflow)
     ArithmeticUnit unit(config, stats);
     // Large positive weight * large activation, repeatedly.
     compress::Codebook codebook({0.0f, 100.0f});
+    unit.loadCodebook(codebook);
     unit.configureBatch(1);
     const std::int64_t big_act = quantize(100.0, fixed16);
     for (int i = 0; i < 10; ++i) {
-        unit.issue(1, 0, big_act, codebook);
+        unit.issue(1, 0, big_act);
         unit.tick();
     }
     EXPECT_EQ(unit.accumulators()[0], fixed16.maxRaw());

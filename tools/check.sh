@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build and ctest the whole tree in
+# Release and Debug, failing on any test regression. The kernel
+# equivalence suite (test_kernel) is additionally run with verbose
+# output so a bit-exactness break is loud in CI logs.
+#
+# Usage: tools/check.sh [extra cmake args...]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+for build_type in Release Debug; do
+    build_dir="build-check-${build_type,,}"
+    echo "=== ${build_type} ==="
+    cmake -B "${build_dir}" -S . \
+        -DCMAKE_BUILD_TYPE="${build_type}" "$@"
+    cmake --build "${build_dir}" -j "${jobs}"
+    ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+    ctest --test-dir "${build_dir}" --output-on-failure -R test_kernel
+done
+
+echo "all checks passed (Release + Debug)"

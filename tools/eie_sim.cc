@@ -7,22 +7,35 @@
  *   eie_sim [--benchmark NAME | --all] [--pes N] [--fifo N]
  *           [--width BITS] [--clock GHZ] [--no-bypass] [--relaxed]
  *           [--seed S] [--export-model PATH] [--dump-stats]
+ *   eie_sim --throughput B [--threads T] [--repeats R] [...]
  *
  * Runs Table III benchmarks (or one of them) through the simulator
  * with the requested machine configuration and prints the timing,
  * balance, traffic and energy summary. --export-model writes the
  * EIEM compressed-model file of the chosen benchmark.
+ *
+ * --throughput switches to the host execution engine: each benchmark
+ * layer is lowered to the pre-decoded kernel format (core/kernel/)
+ * and run through NetworkRunner::runBatch on B frames, optionally
+ * PE-parallel across T worker threads, with the scalar functional
+ * interpreter as both the baseline timing and the bit-exactness
+ * oracle.
  */
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "common/table.hh"
 #include "compress/model_file.hh"
+#include "core/functional.hh"
+#include "core/network_runner.hh"
 #include "energy/pe_model.hh"
+#include "nn/generate.hh"
 #include "workloads/suite.hh"
 
 namespace {
@@ -45,7 +58,100 @@ usage()
         "  --relaxed            warn instead of fail on SRAM capacity\n"
         "  --seed S             workload generation seed\n"
         "  --export-model PATH  write the benchmark's EIEM model file\n"
-        "  --dump-stats         print the raw statistics of each run\n";
+        "  --dump-stats         print the raw statistics of each run\n"
+        "  --throughput B       run the batched host engine, B frames\n"
+        "  --threads T          PE-parallel worker threads (default 1)\n"
+        "  --repeats R          timing repetitions, best wins "
+        "(default 3)\n";
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** The --throughput mode: scalar oracle vs. compiled batched engine. */
+int
+runThroughput(workloads::SuiteRunner &runner,
+              const std::vector<std::string> &names,
+              const core::EieConfig &config, std::size_t batch,
+              unsigned threads, unsigned repeats, std::uint64_t seed)
+{
+    TextTable table({"Benchmark", "Batch", "Threads", "Scalar f/s",
+                     "Batched f/s", "Speedup", "GOP/s", "Exact"});
+
+    for (const std::string &name : names) {
+        const auto &bench = workloads::findBenchmark(name);
+        const core::FunctionalModel model(config);
+
+        core::NetworkRunner net(config);
+        net.addLayer(runner.layer(bench), nn::Nonlinearity::ReLU);
+        // The scalar oracle walks the very plan the runner compiled.
+        const core::LayerPlan &plan = net.plan(0);
+
+        // B frames at the benchmark's activation density.
+        core::kernel::Batch inputs;
+        for (std::size_t b = 0; b < batch; ++b) {
+            Rng rng(seed + 77 * b + 1);
+            inputs.push_back(model.quantizeInput(nn::makeActivations(
+                bench.input, bench.act_density, rng)));
+        }
+
+        // Scalar interpreter: one full plan walk per frame.
+        std::vector<std::vector<std::int64_t>> reference;
+        double useful_gops = 0.0;
+        double scalar_s = 0.0;
+        for (unsigned rep = 0; rep < repeats; ++rep) {
+            reference.clear();
+            useful_gops = 0.0;
+            const auto start = std::chrono::steady_clock::now();
+            for (const auto &frame : inputs) {
+                auto result = model.run(plan, frame);
+                useful_gops += result.work.usefulGops();
+                reference.push_back(std::move(result.output_raw));
+            }
+            const double elapsed = secondsSince(start);
+            scalar_s = rep == 0 ? elapsed
+                                : std::min(scalar_s, elapsed);
+        }
+
+        // Compiled batched engine through NetworkRunner.
+        core::kernel::Batch outputs;
+        double batched_s = 0.0;
+        for (unsigned rep = 0; rep < repeats; ++rep) {
+            const auto start = std::chrono::steady_clock::now();
+            outputs = net.runBatch(inputs, threads);
+            const double elapsed = secondsSince(start);
+            batched_s = rep == 0 ? elapsed
+                                 : std::min(batched_s, elapsed);
+        }
+
+        bool exact = outputs.size() == reference.size();
+        for (std::size_t b = 0; exact && b < outputs.size(); ++b)
+            exact = outputs[b] == reference[b];
+
+        const double fbatch = static_cast<double>(batch);
+        table.row()
+            .add(name)
+            .add(static_cast<std::uint64_t>(batch))
+            .add(static_cast<std::uint64_t>(threads))
+            .add(fbatch / scalar_s, 1)
+            .add(fbatch / batched_s, 1)
+            .add(scalar_s / batched_s, 2)
+            .add(useful_gops / batched_s, 3)
+            .add(exact ? "yes" : "NO");
+        fatal_if(!exact,
+                 "batched output of '%s' diverged from the scalar "
+                 "interpreter", name.c_str());
+    }
+
+    std::cout << "Host engine: pre-decoded kernel format, batch "
+              << batch << ", " << threads << " thread(s)\n";
+    table.print(std::cout);
+    return 0;
 }
 
 } // namespace
@@ -59,6 +165,9 @@ main(int argc, char **argv)
     std::string export_path;
     bool dump_stats = false;
     bool run_all = false;
+    std::size_t throughput_batch = 0;
+    unsigned threads = 1;
+    unsigned repeats = 3;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -102,6 +211,16 @@ main(int argc, char **argv)
             export_path = next();
         } else if (arg == "--dump-stats") {
             dump_stats = true;
+        } else if (arg == "--throughput") {
+            throughput_batch = std::stoul(next());
+            fatal_if(throughput_batch == 0,
+                     "--throughput needs a batch size >= 1");
+        } else if (arg == "--threads") {
+            threads = static_cast<unsigned>(std::stoul(next()));
+            fatal_if(threads == 0, "--threads needs at least 1");
+        } else if (arg == "--repeats") {
+            repeats = static_cast<unsigned>(std::stoul(next()));
+            fatal_if(repeats == 0, "--repeats needs at least 1");
         } else {
             fatal("unknown argument '%s' (try --help)", arg.c_str());
         }
@@ -112,6 +231,10 @@ main(int argc, char **argv)
             names.push_back(b.name);
 
     workloads::SuiteRunner runner(seed);
+
+    if (throughput_batch > 0)
+        return runThroughput(runner, names, config, throughput_batch,
+                             threads, repeats, seed);
 
     if (!export_path.empty()) {
         fatal_if(names.size() != 1,
