@@ -1,16 +1,25 @@
 /**
  * @file
  * Shared plumbing for the table/figure benches: per-benchmark wall
- * clock on every platform model plus the simulated EIE, and small
- * statistics helpers.
+ * clock on every platform model plus the simulated EIE, small
+ * statistics helpers, and the one JSON emitter every BENCH_*.json
+ * file goes through (one schema, one formatting, one failure mode).
  */
 
 #ifndef EIE_BENCH_BENCH_COMMON_HH
 #define EIE_BENCH_BENCH_COMMON_HH
 
 #include <cmath>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
 #include <vector>
 
+#include "common/logging.hh"
 #include "core/config.hh"
 #include "core/run_stats.hh"
 #include "energy/pe_model.hh"
@@ -18,6 +27,135 @@
 #include "workloads/suite.hh"
 
 namespace eie::bench {
+
+/**
+ * A minimal ordered JSON value for benchmark result files. Insertion
+ * order is preserved so the emitted files diff cleanly across runs;
+ * numbers keep their integer/real identity. Build with set()/push(),
+ * then writeBenchJson() the root object.
+ */
+class Json
+{
+  public:
+    Json() : value_(Object{}) {}
+    /* implicit */ Json(double v) : value_(v) {}
+    /* implicit */ Json(std::uint64_t v) : value_(v) {}
+    /* implicit */ Json(unsigned v)
+        : value_(static_cast<std::uint64_t>(v)) {}
+    /* implicit */ Json(bool v) : value_(v) {}
+    /* implicit */ Json(std::string v) : value_(std::move(v)) {}
+    /* implicit */ Json(const char *v) : value_(std::string(v)) {}
+
+    /** An empty array value. */
+    static Json
+    array()
+    {
+        Json json;
+        json.value_ = Array{};
+        return json;
+    }
+
+    /** Object field (insertion-ordered; duplicate keys not checked). */
+    Json &
+    set(const std::string &key, Json value)
+    {
+        fatal_if(!std::holds_alternative<Object>(value_),
+                 "Json::set on a non-object");
+        std::get<Object>(value_).emplace_back(
+            key, std::make_shared<Json>(std::move(value)));
+        return *this;
+    }
+
+    /** Array element. */
+    Json &
+    push(Json value)
+    {
+        fatal_if(!std::holds_alternative<Array>(value_),
+                 "Json::push on a non-array");
+        std::get<Array>(value_).push_back(
+            std::make_shared<Json>(std::move(value)));
+        return *this;
+    }
+
+    void
+    write(std::ostream &os, unsigned indent = 0) const
+    {
+        const std::string pad(2 * indent, ' ');
+        const std::string inner(2 * (indent + 1), ' ');
+        if (const auto *object = std::get_if<Object>(&value_)) {
+            if (object->empty()) {
+                os << "{}";
+                return;
+            }
+            os << "{\n";
+            for (std::size_t i = 0; i < object->size(); ++i) {
+                os << inner;
+                writeString(os, (*object)[i].first);
+                os << ": ";
+                (*object)[i].second->write(os, indent + 1);
+                os << (i + 1 < object->size() ? "," : "") << "\n";
+            }
+            os << pad << "}";
+        } else if (const auto *array = std::get_if<Array>(&value_)) {
+            if (array->empty()) {
+                os << "[]";
+                return;
+            }
+            os << "[\n";
+            for (std::size_t i = 0; i < array->size(); ++i) {
+                os << inner;
+                (*array)[i]->write(os, indent + 1);
+                os << (i + 1 < array->size() ? "," : "") << "\n";
+            }
+            os << pad << "]";
+        } else if (const auto *real = std::get_if<double>(&value_)) {
+            os << *real;
+        } else if (const auto *integer =
+                       std::get_if<std::uint64_t>(&value_)) {
+            os << *integer;
+        } else if (const auto *boolean = std::get_if<bool>(&value_)) {
+            os << (*boolean ? "true" : "false");
+        } else {
+            writeString(os, std::get<std::string>(value_));
+        }
+    }
+
+  private:
+    static void
+    writeString(std::ostream &os, const std::string &text)
+    {
+        os << '"';
+        for (const char c : text) {
+            if (c == '"' || c == '\\')
+                os << '\\' << c;
+            else if (static_cast<unsigned char>(c) < 0x20)
+                os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+                   << "0123456789abcdef"[c & 0xf];
+            else
+                os << c;
+        }
+        os << '"';
+    }
+
+    using Object =
+        std::vector<std::pair<std::string, std::shared_ptr<Json>>>;
+    using Array = std::vector<std::shared_ptr<Json>>;
+
+    std::variant<Object, Array, double, std::uint64_t, bool,
+                 std::string>
+        value_;
+};
+
+/** Write @p root to @p path (fatal on failure) and log the path. */
+inline void
+writeBenchJson(const std::string &path, const Json &root)
+{
+    std::ofstream file(path);
+    fatal_if(!file, "cannot write %s", path.c_str());
+    root.write(file);
+    file << "\n";
+    std::cout << "wrote " << path << "\n";
+}
 
 /** All Table IV cells for one benchmark (microseconds per frame). */
 struct BenchTimes

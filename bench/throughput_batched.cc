@@ -1,32 +1,43 @@
 /**
  * @file
- * Throughput of the compiled batched execution path vs. the scalar
- * functional interpreter on a pruned 4096x4096 layer (Alex-7's shape:
- * 9% weight density, 35% activation density, 64 PEs).
+ * Throughput and serving benchmarks of the unified execution engine
+ * on a pruned 4096x4096 layer (Alex-7's shape: 9% weight density,
+ * 35% activation density, 64 PEs).
  *
- * Sweeps batch size x worker threads over a fixed set of frames,
- * checks every configuration bit-exact against the scalar oracle, and
- * writes BENCH_throughput.json (frames/sec and GOP/s per point) so
- * later PRs have a perf trajectory to regress against. Run from the
- * build directory:
+ * Part 1 — batched throughput: sweeps batch size x worker threads
+ * through the "compiled" ExecutionBackend over a fixed set of frames,
+ * checks every configuration bit-exact against the "scalar" oracle
+ * backend, and writes BENCH_throughput.json (frames/sec and GOP/s per
+ * point) so later PRs have a perf trajectory to regress against.
  *
- *   ./bench_throughput_batched [output.json]
+ * Part 2 — serving latency vs offered load: an engine::InferenceServer
+ * (dynamic micro-batcher) under synthetic open-loop arrivals at
+ * multiples of the serial single-vector capacity, emitting
+ * BENCH_serving.json with achieved throughput and p50/p99 request
+ * latency per offered load. At batch-forming load the server must
+ * sustain more than the serial request rate — that is the whole point
+ * of the micro-batcher.
+ *
+ * Run from the build directory:
+ *
+ *   ./bench_throughput_batched [throughput.json [serving.json]]
  */
 
 #include <chrono>
-#include <fstream>
-#include <iostream>
+#include <future>
+#include <thread>
 #include <vector>
 
+#include "bench_common.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/table.hh"
 #include "compress/compressed_layer.hh"
 #include "core/functional.hh"
-#include "core/kernel/compiled_layer.hh"
-#include "core/kernel/executor.hh"
 #include "core/kernel/worker_pool.hh"
 #include "core/plan.hh"
+#include "engine/backend.hh"
+#include "engine/server.hh"
 #include "nn/generate.hh"
 
 namespace {
@@ -39,6 +50,7 @@ constexpr double kWeightDensity = 0.09;
 constexpr double kActDensity = 0.35;
 constexpr std::size_t kFrames = 64;
 constexpr unsigned kRepeats = 3;
+constexpr std::size_t kServeRequests = 96;
 
 struct Point
 {
@@ -50,6 +62,17 @@ struct Point
     bool bit_exact = false;
 };
 
+struct ServePoint
+{
+    double load_factor = 0.0; ///< offered rate / serial capacity
+    double offered_rps = 0.0;
+    double achieved_rps = 0.0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double mean_batch = 0.0;
+    std::size_t max_depth = 0;
+};
+
 double
 seconds(std::chrono::steady_clock::time_point start)
 {
@@ -58,13 +81,28 @@ seconds(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+/** The layer description both JSON files share. */
+bench::Json
+layerJson(const core::EieConfig &config)
+{
+    bench::Json json;
+    json.set("rows", kRows)
+        .set("cols", kCols)
+        .set("weight_density", kWeightDensity)
+        .set("act_density", kActDensity)
+        .set("n_pe", config.n_pe);
+    return json;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const std::string json_path =
+    const std::string throughput_path =
         argc > 1 ? argv[1] : "BENCH_throughput.json";
+    const std::string serving_path =
+        argc > 2 ? argv[2] : "BENCH_serving.json";
 
     // Build the layer and plan once.
     Rng rng(2016);
@@ -80,8 +118,6 @@ main(int argc, char **argv)
     const auto plan =
         core::planLayer(layer, nn::Nonlinearity::ReLU, config);
     const core::FunctionalModel model(config);
-    const auto compiled =
-        core::kernel::CompiledLayer::compile(plan, config);
 
     core::kernel::Batch frames;
     for (std::size_t b = 0; b < kFrames; ++b) {
@@ -90,21 +126,28 @@ main(int argc, char **argv)
             nn::makeActivations(kCols, kActDensity, frame_rng)));
     }
 
-    // Scalar interpreter baseline over all frames (the oracle).
+    // ---- Part 1: batched throughput ---------------------------------
+
+    // Scalar oracle timing: rep 0 walks the interpreter with work
+    // accounting (it doubles as the reference and the GOP/s
+    // denominator), further reps go through the scalar backend.
     core::kernel::Batch reference;
     double useful_gops = 0.0;
     double scalar_s = 0.0;
-    for (unsigned rep = 0; rep < kRepeats; ++rep) {
-        reference.clear();
-        useful_gops = 0.0;
+    {
         const auto start = std::chrono::steady_clock::now();
         for (const auto &frame : frames) {
             auto result = model.run(plan, frame);
             useful_gops += result.work.usefulGops();
             reference.push_back(std::move(result.output_raw));
         }
-        const double elapsed = seconds(start);
-        scalar_s = rep == 0 ? elapsed : std::min(scalar_s, elapsed);
+        scalar_s = seconds(start);
+    }
+    const auto scalar = engine::makeBackend("scalar", config, {&plan});
+    for (unsigned rep = 1; rep < kRepeats; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        reference = scalar->runBatch(frames).outputs;
+        scalar_s = std::min(scalar_s, seconds(start));
     }
     const double scalar_fps = kFrames / scalar_s;
 
@@ -115,13 +158,12 @@ main(int argc, char **argv)
         thread_counts.push_back(hw_threads);
 
     std::vector<Point> points;
-    for (const std::size_t batch : {std::size_t{1}, std::size_t{4},
-                                    std::size_t{16}, std::size_t{64}}) {
-        for (const unsigned threads : thread_counts) {
-            core::kernel::WorkerPool pool(threads);
-            core::kernel::WorkerPool *pool_ptr =
-                threads > 1 ? &pool : nullptr;
-
+    for (const unsigned threads : thread_counts) {
+        const auto compiled =
+            engine::makeBackend("compiled", config, {&plan}, threads);
+        for (const std::size_t batch :
+             {std::size_t{1}, std::size_t{4}, std::size_t{16},
+              std::size_t{64}}) {
             core::kernel::Batch outputs;
             double batched_s = 0.0;
             for (unsigned rep = 0; rep < kRepeats; ++rep) {
@@ -132,9 +174,7 @@ main(int argc, char **argv)
                         frames.begin() + at,
                         frames.begin() +
                             std::min(at + batch, kFrames));
-                    auto out =
-                        core::kernel::runBatch(compiled, chunk,
-                                               pool_ptr);
+                    auto out = compiled->runBatch(chunk).outputs;
                     for (auto &frame_out : out)
                         outputs.push_back(std::move(frame_out));
                 }
@@ -185,29 +225,139 @@ main(int argc, char **argv)
     std::cout << "best speedup over scalar interpreter: " << best
               << "x\n";
 
-    std::ofstream json(json_path);
-    fatal_if(!json, "cannot write %s", json_path.c_str());
-    json << "{\n"
-         << "  \"layer\": {\"rows\": " << kRows << ", \"cols\": "
-         << kCols << ", \"weight_density\": " << kWeightDensity
-         << ", \"act_density\": " << kActDensity
-         << ", \"n_pe\": " << config.n_pe << "},\n"
-         << "  \"frames\": " << kFrames << ",\n"
-         << "  \"scalar\": {\"frames_per_sec\": " << scalar_fps
-         << ", \"gops\": " << useful_gops / scalar_s << "},\n"
-         << "  \"points\": [\n";
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const Point &p = points[i];
-        json << "    {\"batch\": " << p.batch << ", \"threads\": "
-             << p.threads << ", \"frames_per_sec\": "
-             << p.frames_per_sec << ", \"gops\": " << p.gops
-             << ", \"speedup\": " << p.speedup << ", \"bit_exact\": "
-             << (p.bit_exact ? "true" : "false") << "}"
-             << (i + 1 < points.size() ? "," : "") << "\n";
+    bench::Json throughput_points = bench::Json::array();
+    for (const Point &p : points) {
+        bench::Json point;
+        point.set("batch", p.batch)
+            .set("threads", p.threads)
+            .set("frames_per_sec", p.frames_per_sec)
+            .set("gops", p.gops)
+            .set("speedup", p.speedup)
+            .set("bit_exact", p.bit_exact);
+        throughput_points.push(std::move(point));
     }
-    json << "  ],\n"
-         << "  \"best_speedup\": " << best << "\n"
-         << "}\n";
-    std::cout << "wrote " << json_path << "\n";
+    bench::Json scalar_json;
+    scalar_json.set("frames_per_sec", scalar_fps)
+        .set("gops", useful_gops / scalar_s);
+    bench::Json throughput_json;
+    throughput_json.set("layer", layerJson(config))
+        .set("frames", kFrames)
+        .set("scalar", std::move(scalar_json))
+        .set("points", std::move(throughput_points))
+        .set("best_speedup", best);
+    bench::writeBenchJson(throughput_path, throughput_json);
+
+    // ---- Part 2: serving latency vs offered load --------------------
+
+    // Serial single-vector baseline: the latency-optimal (batch 1)
+    // path a server without a micro-batcher would run.
+    const auto serial =
+        engine::makeBackend("compiled", config, {&plan});
+    double serial_s = 0.0;
+    for (unsigned rep = 0; rep < kRepeats; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < 16; ++i)
+            serial->run(frames[i % kFrames]);
+        const double elapsed = seconds(start);
+        serial_s = rep == 0 ? elapsed : std::min(serial_s, elapsed);
+    }
+    const double serial_rps = 16.0 / serial_s;
+
+    engine::ServerOptions server_options;
+    server_options.max_batch = 16;
+    server_options.max_delay = std::chrono::microseconds(500);
+
+    std::vector<ServePoint> serve_points;
+    for (const double load : {0.5, 1.0, 2.0, 4.0}) {
+        engine::InferenceServer server(
+            engine::makeBackend("compiled", config, {&plan},
+                                hw_threads),
+            server_options);
+
+        const double offered_rps = load * serial_rps;
+        Rng arrival_rng(7000 + static_cast<std::uint64_t>(10 * load));
+        const std::vector<double> arrival_s =
+            engine::openLoopArrivals(kServeRequests, offered_rps,
+                                     arrival_rng);
+
+        const auto start = std::chrono::steady_clock::now();
+        std::vector<std::future<std::vector<std::int64_t>>> futures;
+        futures.reserve(kServeRequests);
+        for (std::size_t i = 0; i < kServeRequests; ++i) {
+            std::this_thread::sleep_until(
+                start + std::chrono::duration<double>(arrival_s[i]));
+            futures.push_back(server.submit(frames[i % kFrames]));
+        }
+        for (std::size_t i = 0; i < kServeRequests; ++i)
+            fatal_if(futures[i].get() != reference[i % kFrames],
+                     "served request %zu diverged from the scalar "
+                     "oracle", i);
+        const double wall_s = seconds(start);
+        server.stop();
+
+        const engine::ServerStats stats = server.stats();
+        ServePoint p;
+        p.load_factor = load;
+        p.offered_rps = offered_rps;
+        p.achieved_rps = static_cast<double>(stats.requests) / wall_s;
+        p.p50_us = stats.p50_latency_us;
+        p.p99_us = stats.p99_latency_us;
+        p.mean_batch = stats.mean_batch;
+        p.max_depth = stats.max_queue_depth;
+        serve_points.push_back(p);
+    }
+
+    TextTable serve_table({"Load", "Offered r/s", "Achieved r/s",
+                           "p50 us", "p99 us", "Mean batch",
+                           "Max depth"});
+    for (const ServePoint &p : serve_points) {
+        serve_table.row()
+            .add(p.load_factor, 1)
+            .add(p.offered_rps, 1)
+            .add(p.achieved_rps, 1)
+            .add(p.p50_us, 1)
+            .add(p.p99_us, 1)
+            .add(p.mean_batch, 2)
+            .add(static_cast<std::uint64_t>(p.max_depth));
+    }
+    std::cout << "\nInferenceServer, open-loop arrivals, max batch "
+              << server_options.max_batch << ", forming deadline "
+              << server_options.max_delay.count() << " us; serial "
+              << "single-vector capacity " << serial_rps << " r/s\n";
+    serve_table.print(std::cout);
+
+    const double peak_served = serve_points.back().achieved_rps;
+    std::cout << "served throughput at " << serve_points.back().load_factor
+              << "x load: " << peak_served << " r/s ("
+              << peak_served / serial_rps << "x serial)\n";
+
+    bench::Json serving_points = bench::Json::array();
+    for (const ServePoint &p : serve_points) {
+        bench::Json point;
+        point.set("load_factor", p.load_factor)
+            .set("offered_rps", p.offered_rps)
+            .set("achieved_rps", p.achieved_rps)
+            .set("p50_latency_us", p.p50_us)
+            .set("p99_latency_us", p.p99_us)
+            .set("mean_batch", p.mean_batch)
+            .set("max_queue_depth", p.max_depth);
+        serving_points.push(std::move(point));
+    }
+    bench::Json server_json;
+    server_json.set("backend", "compiled")
+        .set("threads", hw_threads)
+        .set("max_batch", server_options.max_batch)
+        .set("max_delay_us",
+             static_cast<std::uint64_t>(
+                 server_options.max_delay.count()));
+    bench::Json serving_json;
+    serving_json.set("layer", layerJson(config))
+        .set("requests", kServeRequests)
+        .set("serial_rps", serial_rps)
+        .set("server", std::move(server_json))
+        .set("points", std::move(serving_points))
+        .set("peak_served_rps", peak_served)
+        .set("peak_over_serial", peak_served / serial_rps);
+    bench::writeBenchJson(serving_path, serving_json);
     return 0;
 }

@@ -7,8 +7,10 @@
  *  2. Compress it (codebook + interleaved CSC for 4 PEs) and print
  *     PE0's storage image — it matches Figure 3 exactly.
  *  3. Run the sparse activation vector a = (0,0,a2,0,a4,a5,0,a7)
- *     through both the functional model and the cycle-accurate
- *     simulator and verify them against the float golden model.
+ *     through every execution backend by name — the scalar
+ *     interpreter, the compiled kernel and the cycle-accurate
+ *     simulator — via the unified engine::ExecutionBackend API, and
+ *     verify them bit-identical and against the float golden model.
  */
 
 #include <cstdio>
@@ -16,9 +18,9 @@
 
 #include "common/table.hh"
 #include "compress/compressed_layer.hh"
-#include "core/accelerator.hh"
 #include "core/functional.hh"
 #include "core/plan.hh"
+#include "engine/backend.hh"
 #include "nn/sparse.hh"
 #include "nn/tensor.hh"
 
@@ -83,27 +85,43 @@ main()
 
     const core::FunctionalModel functional(config);
     const auto input_raw = functional.quantizeInput(a);
-    const auto golden = functional.run(plan, input_raw);
 
-    const core::Accelerator accel(config);
-    const auto result = accel.run(plan, input_raw);
+    // One network, three interchangeable execution paths — selected
+    // by name through the unified backend API.
+    std::vector<std::int64_t> reference;
+    engine::RunReport sim_report;
+    bool bit_exact = true;
+    for (const std::string &name : engine::backendNames()) {
+        const auto backend =
+            engine::makeBackend(name, config, {&plan});
+        engine::RunReport report = backend->run(input_raw);
+        if (reference.empty())
+            reference = report.outputs.front();
+        bit_exact &= report.outputs.front() == reference;
+        std::cout << "backend '" << name << "': "
+                  << (report.outputs.front() == reference
+                          ? "bit-exact"
+                          : "MISMATCH");
+        if (backend->timed())
+            std::cout << " (" << report.totalCycles() << " cycles)";
+        std::cout << "\n";
+        if (backend->timed())
+            sim_report = std::move(report);
+    }
 
-    const nn::Vector b_eie = functional.dequantize(result.output_raw);
+    const nn::Vector b_eie = functional.dequantize(reference);
     const nn::Vector b_float = nn::relu(layer.quantizedWeights().spmv(a));
 
-    TextTable table({"row", "EIE b (simulated)", "float golden"});
+    TextTable table({"row", "EIE b (all backends)", "float golden"});
     for (std::size_t i = 0; i < b_eie.size(); ++i)
         table.row().add(static_cast<std::uint64_t>(i))
             .add(b_eie[i], 4).add(b_float[i], 4);
     table.print(std::cout);
 
-    bool bit_exact = result.output_raw == golden.output_raw;
-    std::cout << "\ncycle-accurate == functional model: "
-              << (bit_exact ? "bit-exact" : "MISMATCH") << "\n";
-    std::cout << "broadcasts (non-zero activations): "
-              << result.stats.broadcasts << " of " << a.size()
-              << " inputs; cycles: " << result.stats.cycles
-              << "; load balance: " << result.stats.loadBalance()
-              << "\n";
+    const core::RunStats &stats = sim_report.stats[0][0];
+    std::cout << "\nbroadcasts (non-zero activations): "
+              << stats.broadcasts << " of " << a.size()
+              << " inputs; cycles: " << stats.cycles
+              << "; load balance: " << stats.loadBalance() << "\n";
     return bit_exact ? 0 : 1;
 }

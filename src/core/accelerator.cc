@@ -19,12 +19,27 @@ RunResult
 Accelerator::run(const LayerPlan &plan,
                  const std::vector<std::int64_t> &input_raw) const
 {
-    panic_if(input_raw.size() != plan.input_size,
-             "input length %zu != planned %zu", input_raw.size(),
-             plan.input_size);
-    panic_if(plan.n_pe != config_.n_pe,
-             "plan compiled for %u PEs, machine has %u", plan.n_pe,
+    kernel::CompileOptions options;
+    options.host_stream = false; // the sim walks only the SimEntry image
+    options.sim_stream = true;
+    return run(kernel::CompiledLayer::compile(plan, config_, options),
+               input_raw);
+}
+
+RunResult
+Accelerator::run(const kernel::CompiledLayer &layer,
+                 const std::vector<std::int64_t> &input_raw) const
+{
+    panic_if(input_raw.size() != layer.input_size,
+             "input length %zu != compiled %zu", input_raw.size(),
+             layer.input_size);
+    panic_if(layer.n_pe != config_.n_pe,
+             "layer compiled for %u PEs, machine has %u", layer.n_pe,
              config_.n_pe);
+    panic_if(!layer.has_sim_stream,
+             "layer '%s' compiled without the simulator stream "
+             "(CompiledLayer::CompileOptions::sim_stream)",
+             layer.name.c_str());
 
     const unsigned n_pe = config_.n_pe;
 
@@ -52,21 +67,20 @@ Accelerator::run(const LayerPlan &plan,
     const LnzdTree tree(n_pe, config_.lnzd_fanin);
 
     RunResult result;
-    result.output_raw.assign(plan.output_size, 0);
+    result.output_raw.assign(layer.output_size, 0);
 
     std::uint64_t compute_cycles = 0;
     std::uint64_t drain_cycles = 0;
 
-    for (const auto &batch_tiles : plan.tiles) {
+    for (const auto &batch_tiles : layer.tiles) {
         panic_if(batch_tiles.empty(), "batch with no tiles");
 
         for (std::size_t p = 0; p < batch_tiles.size(); ++p) {
-            const Tile &tile = batch_tiles[p];
+            const kernel::CompiledTile &tile = batch_tiles[p];
 
             // I/O mode: load the tile (one-time cost, not timed).
             for (unsigned k = 0; k < n_pe; ++k)
-                pes[k]->loadTile(tile.storage.pe(k),
-                                 tile.storage.codebook(), p == 0);
+                pes[k]->loadTile(tile.slices[k], p == 0);
 
             // LNZD scan of this pass's input slice.
             std::vector<std::int64_t> pass_input(
@@ -81,7 +95,7 @@ Accelerator::run(const LayerPlan &plan,
             // exhausted and every PE has retired its work.
             const std::uint64_t start = sim.cycle();
             const std::uint64_t budget = 10000 +
-                4 * (tile.storage.totalEntries() + pass_input.size());
+                4 * (tile.total_entries + pass_input.size());
             const bool finished = sim.runUntil(
                 [&] {
                     if (!ccu.done())
@@ -96,7 +110,7 @@ Accelerator::run(const LayerPlan &plan,
                      "pass did not converge within %llu cycles "
                      "(layer '%s')",
                      static_cast<unsigned long long>(budget),
-                     plan.name.c_str());
+                     layer.name.c_str());
             compute_cycles += sim.cycle() - start;
         }
 
@@ -104,7 +118,7 @@ Accelerator::run(const LayerPlan &plan,
         // path), then stream accumulators into the act SRAM.
         const std::uint64_t drain_start = sim.cycle();
         for (auto &pe : pes) {
-            if (plan.nonlin == nn::Nonlinearity::ReLU)
+            if (layer.nonlin == nn::Nonlinearity::ReLU)
                 pe->applyRelu();
             pe->startBatchDrain();
         }

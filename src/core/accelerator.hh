@@ -23,6 +23,7 @@
 
 #include "core/config.hh"
 #include "core/functional.hh"
+#include "core/kernel/compiled_layer.hh"
 #include "core/plan.hh"
 #include "core/run_stats.hh"
 #include "nn/tensor.hh"
@@ -35,8 +36,23 @@ class Accelerator
   public:
     explicit Accelerator(const EieConfig &config);
 
-    /** Execute a planned layer on a raw fixed-point input vector. */
+    /**
+     * Execute a planned layer on a raw fixed-point input vector.
+     * Lowers the plan to the pre-decoded kernel format (with the
+     * simulator stream) and delegates to the CompiledLayer overload;
+     * repeat callers should compile once themselves.
+     */
     RunResult run(const LayerPlan &plan,
+                  const std::vector<std::int64_t> &input_raw) const;
+
+    /**
+     * Execute a pre-compiled layer (CompiledLayer::compile with
+     * CompileOptions::sim_stream) on a raw fixed-point input vector. This is
+     * the simulator's hot loop: the PEs walk the flat pre-decoded
+     * arrays, with cycle timing identical to interpreting the raw
+     * interleaved-CSC image.
+     */
+    RunResult run(const kernel::CompiledLayer &layer,
                   const std::vector<std::int64_t> &input_raw) const;
 
     /**

@@ -42,23 +42,31 @@ void
 ArithmeticUnit::issue(std::uint8_t weight_index, std::uint32_t local_row,
                       std::int64_t act_raw)
 {
+    panic_if(weight_index >= decode_lut_size_,
+             "codebook index %u out of %zu (codebook not loaded?)",
+             weight_index, decode_lut_size_);
+    issueRaw(decode_lut_[weight_index], local_row, act_raw,
+             weight_index == 0);
+}
+
+void
+ArithmeticUnit::issueRaw(std::int64_t weight_raw,
+                         std::uint32_t local_row, std::int64_t act_raw,
+                         bool is_padding)
+{
     panic_if(local_row >= acc_.size(),
              "accumulator %u out of %zu configured rows", local_row,
              acc_.size());
     panic_if(!canIssue(local_row), "issued into a structural hazard");
-    panic_if(weight_index >= decode_lut_size_,
-             "codebook index %u out of %zu (codebook not loaded?)",
-             weight_index, decode_lut_size_);
 
-    const std::int64_t w = decode_lut_[weight_index];
-    acc_[local_row] =
-        macFixed(acc_[local_row], w, act_raw, weight_fmt_, act_fmt_);
+    acc_[local_row] = macFixed(acc_[local_row], weight_raw, act_raw,
+                               weight_fmt_, act_fmt_);
 
     panic_if(inflight_[0] != -1, "double issue in one cycle");
     inflight_[0] = static_cast<std::int32_t>(local_row);
 
     ++macs_;
-    if (weight_index == 0)
+    if (is_padding)
         ++padding_macs_;
 }
 

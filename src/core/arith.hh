@@ -71,6 +71,19 @@ class ArithmeticUnit
     void issue(std::uint8_t weight_index, std::uint32_t local_row,
                std::int64_t act_raw);
 
+    /**
+     * Pre-decoded issue: the hot path of the kernel-format simulator
+     * stream. Identical timing and architectural effect to issue(),
+     * but the codebook lookup already happened at compile time.
+     *
+     * @param weight_raw codebook-decoded weight (weight_format raw)
+     * @param local_row  destination accumulator index
+     * @param act_raw    broadcast activation value (raw fixed)
+     * @param is_padding entry was a codebook-index-0 padding slot
+     */
+    void issueRaw(std::int64_t weight_raw, std::uint32_t local_row,
+                  std::int64_t act_raw, bool is_padding);
+
     /** True when no update is in flight (safe to drain/read out). */
     bool pipelineEmpty() const;
 

@@ -1,10 +1,101 @@
 #include "core/functional.hh"
 
+#include <cstring>
+#include <mutex>
+#include <type_traits>
+
 #include "common/bits.hh"
-#include "core/kernel/compiled_layer.hh"
-#include "core/kernel/executor.hh"
+#include "engine/backend.hh"
 
 namespace eie::core {
+
+/** Cached "compiled" backend for the batch path. The backend is held
+ *  by shared_ptr so callers execute outside the cache lock: a cache
+ *  replacement under a concurrent runBatch just drops the old
+ *  backend's last reference when that call finishes. */
+struct FunctionalModel::BatchCache
+{
+    std::mutex mutex;
+    std::uint64_t fingerprint = 0;
+    unsigned threads = 0;
+    std::shared_ptr<engine::ExecutionBackend> backend;
+};
+
+namespace {
+
+/** FNV-1a over the plan's full content (structure, entries, codebook)
+ *  so the cache can never serve a stale kernel — two plans hash equal
+ *  only if they describe the same stored image. */
+class Fnv1a
+{
+  public:
+    void
+    mix(std::uint64_t value)
+    {
+        // Word-at-a-time FNV variant: one xor/multiply per 64 bits
+        // keeps the per-call fingerprint walk cheap relative to the
+        // MAC sweep it guards.
+        hash_ ^= value;
+        hash_ *= 0x100000001b3ull;
+    }
+
+    /** Mix a POD array eight bytes at a time (tail zero-padded). */
+    template <typename T>
+    void
+    mixBytes(const std::vector<T> &data)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto *bytes =
+            reinterpret_cast<const unsigned char *>(data.data());
+        const std::size_t total = data.size() * sizeof(T);
+        std::size_t at = 0;
+        for (; at + 8 <= total; at += 8) {
+            std::uint64_t word;
+            std::memcpy(&word, bytes + at, 8);
+            mix(word);
+        }
+        std::uint64_t tail = 0;
+        if (at < total)
+            std::memcpy(&tail, bytes + at, total - at);
+        mix(tail);
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+std::uint64_t
+fingerprintPlan(const LayerPlan &plan)
+{
+    Fnv1a fnv;
+    for (char c : plan.name)
+        fnv.mix(static_cast<std::uint64_t>(c));
+    fnv.mix(plan.input_size);
+    fnv.mix(plan.output_size);
+    fnv.mix(static_cast<std::uint64_t>(plan.nonlin));
+    fnv.mix(plan.n_pe);
+    for (const auto &batch_tiles : plan.tiles) {
+        for (const Tile &tile : batch_tiles) {
+            fnv.mix(tile.row_begin);
+            fnv.mix(tile.row_end);
+            fnv.mix(tile.col_begin);
+            fnv.mix(tile.col_end);
+            for (std::int64_t raw :
+                 tile.storage.codebook().rawValues())
+                fnv.mix(static_cast<std::uint64_t>(raw));
+            for (unsigned k = 0; k < tile.storage.numPe(); ++k) {
+                const auto &slice = tile.storage.pe(k);
+                fnv.mixBytes(slice.colPtr());
+                fnv.mixBytes(slice.entries());
+            }
+        }
+    }
+    return fnv.value();
+}
+
+} // namespace
 
 std::uint64_t
 WorkStats::theoreticalCycles(unsigned n_pe) const
@@ -19,9 +110,27 @@ WorkStats::usefulGops() const
         1e9;
 }
 
-FunctionalModel::FunctionalModel(const EieConfig &config) : config_(config)
+FunctionalModel::FunctionalModel(const EieConfig &config)
+    : config_(config), batch_cache_(std::make_unique<BatchCache>())
 {
     config_.validate();
+}
+
+FunctionalModel::~FunctionalModel() = default;
+
+FunctionalModel::FunctionalModel(const FunctionalModel &other)
+    : config_(other.config_),
+      batch_cache_(std::make_unique<BatchCache>())
+{}
+
+FunctionalModel &
+FunctionalModel::operator=(const FunctionalModel &other)
+{
+    if (this != &other) {
+        config_ = other.config_;
+        batch_cache_ = std::make_unique<BatchCache>();
+    }
+    return *this;
 }
 
 std::vector<std::int64_t>
@@ -48,12 +157,23 @@ FunctionalModel::runBatch(
     const std::vector<std::vector<std::int64_t>> &inputs,
     unsigned threads) const
 {
-    const auto compiled = kernel::CompiledLayer::compile(plan, config_);
-    if (threads > 1) {
-        kernel::WorkerPool pool(threads);
-        return kernel::runBatch(compiled, inputs, &pool);
+    const std::uint64_t fingerprint = fingerprintPlan(plan);
+    std::shared_ptr<engine::ExecutionBackend> backend;
+    {
+        std::lock_guard<std::mutex> lock(batch_cache_->mutex);
+        if (!batch_cache_->backend ||
+            batch_cache_->fingerprint != fingerprint ||
+            batch_cache_->threads != threads) {
+            batch_cache_->backend = engine::makeBackend(
+                "compiled", config_, {&plan}, threads);
+            batch_cache_->fingerprint = fingerprint;
+            batch_cache_->threads = threads;
+        }
+        backend = batch_cache_->backend;
     }
-    return kernel::runBatch(compiled, inputs);
+    // Execute outside the cache lock: concurrent callers on the same
+    // model only serialize if they share a worker pool.
+    return backend->runBatch(inputs).outputs;
 }
 
 FunctionalResult

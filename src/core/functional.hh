@@ -14,6 +14,7 @@
 #define EIE_CORE_FUNCTIONAL_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/config.hh"
@@ -55,6 +56,11 @@ class FunctionalModel
 {
   public:
     explicit FunctionalModel(const EieConfig &config);
+    ~FunctionalModel();
+
+    /** Copies share the configuration but not the batch-path cache. */
+    FunctionalModel(const FunctionalModel &other);
+    FunctionalModel &operator=(const FunctionalModel &other);
 
     /**
      * Execute a planned layer on a raw fixed-point input vector.
@@ -66,13 +72,15 @@ class FunctionalModel
 
     /**
      * Execute a planned layer on a batch of input vectors through the
-     * compiled kernel path (pre-decoded format, one column sweep
-     * amortized over the batch; see core/kernel/). Bit-exact with
-     * run() on every frame.
+     * engine's "compiled" ExecutionBackend (pre-decoded format, one
+     * column sweep amortized over the batch; see core/kernel/ and
+     * engine/backend.hh). Bit-exact with run() on every frame.
      *
-     * Compiles the plan on every call — callers with a steady layer
-     * should compile once via kernel::CompiledLayer::compile and use
-     * kernel::runBatch (NetworkRunner does exactly that).
+     * The compiled backend — pre-decoded layer plus worker pool — is
+     * cached across calls, keyed by a content fingerprint of the
+     * plan, so steady callers compile and spawn threads once. Layer
+     * stacks should use NetworkRunner, which owns per-network
+     * backends.
      *
      * @param threads worker threads for PE-parallel execution (1 =
      *                single-threaded, the default)
@@ -90,6 +98,11 @@ class FunctionalModel
 
   private:
     EieConfig config_;
+
+    /** Batch-path cache (compiled backend + plan fingerprint),
+     *  mutex-guarded internally; see functional.cc. */
+    struct BatchCache;
+    mutable std::unique_ptr<BatchCache> batch_cache_;
 };
 
 } // namespace eie::core

@@ -4,12 +4,42 @@
 
 namespace eie::core::kernel {
 
+std::vector<SimEntry>
+decodeSimStream(const compress::PeSlice &slice,
+                const std::vector<std::int64_t> &raw_lut)
+{
+    const auto &entries = slice.entries();
+    const auto &col_ptr = slice.colPtr();
+    std::vector<SimEntry> stream;
+    stream.reserve(entries.size());
+    for (std::size_t j = 0; j + 1 < col_ptr.size(); ++j) {
+        // The PE's address-accumulation register restarts per column.
+        std::int64_t row = -1;
+        for (std::uint32_t e = col_ptr[j]; e < col_ptr[j + 1]; ++e) {
+            const compress::CscEntry &entry = entries[e];
+            row += entry.zero_count + 1;
+            panic_if(entry.weight_index >= raw_lut.size(),
+                     "codebook index %u out of %zu",
+                     entry.weight_index, raw_lut.size());
+            stream.push_back(SimEntry{
+                static_cast<std::uint32_t>(row),
+                static_cast<std::int32_t>(raw_lut[entry.weight_index]),
+                entry.weight_index == 0});
+        }
+    }
+    return stream;
+}
+
 CompiledLayer
-CompiledLayer::compile(const LayerPlan &plan, const EieConfig &config)
+CompiledLayer::compile(const LayerPlan &plan, const EieConfig &config,
+                       const CompileOptions &options)
 {
     panic_if(plan.n_pe != config.n_pe,
              "plan compiled for %u PEs, machine has %u", plan.n_pe,
              config.n_pe);
+
+    panic_if(!options.host_stream && !options.sim_stream,
+             "compile with no stream selected");
 
     CompiledLayer layer;
     layer.name = plan.name;
@@ -19,6 +49,8 @@ CompiledLayer::compile(const LayerPlan &plan, const EieConfig &config)
     layer.n_pe = plan.n_pe;
     layer.act_format = config.act_format;
     layer.weight_format = config.weight_format;
+    layer.has_host_stream = options.host_stream;
+    layer.has_sim_stream = options.sim_stream;
 
     for (const auto &batch_tiles : plan.tiles) {
         std::vector<CompiledTile> row_tiles;
@@ -33,22 +65,32 @@ CompiledLayer::compile(const LayerPlan &plan, const EieConfig &config)
             const auto &raw_lut = storage.codebook().rawValues();
             compiled.slices.resize(plan.n_pe);
             for (unsigned k = 0; k < plan.n_pe; ++k) {
-                const auto image = storage.pe(k).exportDecoded();
+                const compress::PeSlice &pe = storage.pe(k);
                 CompiledSlice &slice = compiled.slices[k];
-                slice.col_ptr = image.col_ptr;
-                slice.entries.reserve(image.local_rows.size());
-                for (std::size_t e = 0; e < image.local_rows.size();
-                     ++e) {
-                    // Batch-local global row: the interleaving law of
-                    // §III-B, rebased to the tile's row range.
-                    slice.entries.push_back(KernelEntry{
-                        image.local_rows[e] * plan.n_pe + k,
-                        static_cast<std::int32_t>(
-                            raw_lut[image.weight_indices[e]])});
+                slice.local_rows = pe.localRows();
+                if (options.host_stream) {
+                    const auto image = pe.exportDecoded();
+                    slice.col_ptr = image.col_ptr;
+                    slice.entries.reserve(image.local_rows.size());
+                    for (std::size_t e = 0;
+                         e < image.local_rows.size(); ++e) {
+                        // Batch-local global row: the interleaving
+                        // law of §III-B, rebased to the tile's row
+                        // range.
+                        slice.entries.push_back(KernelEntry{
+                            image.local_rows[e] * plan.n_pe + k,
+                            static_cast<std::int32_t>(
+                                raw_lut[image.weight_indices[e]])});
+                    }
                 }
-                layer.real_entries += slice.entries.size();
-                layer.stripped_padding +=
-                    storage.pe(k).paddingEntries();
+                if (options.sim_stream) {
+                    slice.sim_entries = decodeSimStream(pe, raw_lut);
+                    slice.sim_col_ptr = pe.colPtr();
+                }
+                compiled.total_entries += pe.totalEntries();
+                layer.real_entries +=
+                    pe.totalEntries() - pe.paddingEntries();
+                layer.stripped_padding += pe.paddingEntries();
             }
             row_tiles.push_back(std::move(compiled));
         }

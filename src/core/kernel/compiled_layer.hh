@@ -30,10 +30,25 @@
 #include <cstdint>
 #include <vector>
 
+#include "compress/interleaved.hh"
 #include "core/config.hh"
 #include "core/plan.hh"
 
 namespace eie::core::kernel {
+
+/** Options for CompiledLayer::compile. */
+struct CompileOptions
+{
+    /** Build the padding-stripped KernelEntry arrays runBatch()
+     *  consumes. On by default; the simulator-only path turns it off
+     *  to halve compile work and resident entry storage. */
+    bool host_stream = true;
+
+    /** Also build the padding-preserving per-PE SimEntry streams the
+     *  cycle-accurate path consumes. Off by default: the host kernel
+     *  path does not pay for timing-model state. */
+    bool sim_stream = false;
+};
 
 /** One pre-decoded matrix entry: destination row and raw weight. */
 struct KernelEntry
@@ -44,11 +59,38 @@ struct KernelEntry
     std::int32_t weight_raw = 0;
 };
 
+/**
+ * One pre-decoded entry of the cycle simulator's stream. Unlike
+ * KernelEntry, padding entries are preserved (they occupy real SRAM
+ * bandwidth and pipeline slots, which the timing model must charge)
+ * and rows are PE-local accumulator indices, matching the per-PE
+ * register files the simulator models.
+ */
+struct SimEntry
+{
+    std::uint32_t local_row = 0;  ///< PE-local accumulator index
+    std::int32_t weight_raw = 0;  ///< codebook-decoded fixed point
+    bool is_padding = false;      ///< codebook index 0 entry
+};
+
 /** One PE's pre-decoded share of a tile. */
 struct CompiledSlice
 {
     std::vector<KernelEntry> entries; ///< padding stripped
     std::vector<std::uint32_t> col_ptr; ///< pass cols + 1 offsets
+
+    /** @name Simulator stream (only with CompileOptions::sim_stream).
+     *  Entry-for-entry image of the interleaved CSC walk — padding
+     *  preserved, zero runs resolved, weights decoded — so the
+     *  cycle-accurate PE consumes it with identical timing but
+     *  without per-entry decode work. */
+    ///@{
+    std::vector<SimEntry> sim_entries;
+    std::vector<std::uint32_t> sim_col_ptr; ///< cols+1, incl. padding
+    ///@}
+
+    /** Local output rows this PE owns in the tile's row batch. */
+    std::uint32_t local_rows = 0;
 };
 
 /** One row-batch x column-pass tile in kernel format. */
@@ -59,6 +101,10 @@ struct CompiledTile
     std::size_t col_begin = 0;
     std::size_t col_end = 0;
     std::vector<CompiledSlice> slices; ///< one per PE
+
+    /** Stored entries (incl. padding) over all slices — sizes the
+     *  simulator's per-pass cycle budget. */
+    std::uint64_t total_entries = 0;
 };
 
 /** A layer lowered to the kernel format, ready for runBatch(). */
@@ -82,14 +128,30 @@ struct CompiledLayer
     /** Padding entries stripped by the compile. */
     std::uint64_t stripped_padding = 0;
 
+    /** Slices carry the host kernel arrays (CompileOptions::host_stream). */
+    bool has_host_stream = false;
+    /** Slices carry the simulator stream (CompileOptions::sim_stream). */
+    bool has_sim_stream = false;
+
     /**
      * Lower @p plan for execution on a machine with @p config's
      * datapath formats. The plan must have been compiled for the same
      * PE count.
      */
     static CompiledLayer compile(const LayerPlan &plan,
-                                 const EieConfig &config);
+                                 const EieConfig &config,
+                                 const CompileOptions &options = {});
 };
+
+/**
+ * Decode one PE slice into its simulator stream: zero runs resolved to
+ * PE-local rows, weights decoded through @p raw_lut, padding entries
+ * preserved in place. Shared by compile() and the legacy
+ * Pe::loadTile(PeSlice) path so the two streams cannot diverge.
+ */
+std::vector<SimEntry>
+decodeSimStream(const compress::PeSlice &slice,
+                const std::vector<std::int64_t> &raw_lut);
 
 } // namespace eie::core::kernel
 

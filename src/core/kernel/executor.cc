@@ -81,6 +81,9 @@ runBatch(const CompiledLayer &layer, const Batch &inputs,
          WorkerPool *pool)
 {
     const std::size_t batch = inputs.size();
+    panic_if(!layer.has_host_stream,
+             "layer '%s' compiled without the host kernel arrays "
+             "(CompileOptions::host_stream)", layer.name.c_str());
     for (const auto &input : inputs)
         panic_if(input.size() != layer.input_size,
                  "input length %zu != compiled %zu", input.size(),

@@ -1,5 +1,7 @@
 #include "core/network_runner.hh"
 
+#include "engine/backend.hh"
+
 namespace eie::core {
 
 std::uint64_t
@@ -21,8 +23,10 @@ NetworkResult::totalTimeUs() const
 }
 
 NetworkRunner::NetworkRunner(const EieConfig &config)
-    : config_(config), accelerator_(config), functional_(config)
+    : config_(config), functional_(config)
 {}
+
+NetworkRunner::~NetworkRunner() = default;
 
 void
 NetworkRunner::addLayer(const compress::CompressedLayer &layer,
@@ -34,10 +38,9 @@ NetworkRunner::addLayer(const compress::CompressedLayer &layer,
              "output size %zu", layer.name().c_str(),
              layer.inputSize(), plans_.back().output_size);
     plans_.push_back(planLayer(layer, nonlin, config_));
-    // Invalidate the batched-path cache: kernels_ is rebuilt to match
-    // plans_ on the next runBatch().
-    std::lock_guard<std::mutex> lock(batch_mutex_);
-    kernels_.clear();
+    // The stack changed: every cached backend describes the old one.
+    std::lock_guard<std::mutex> lock(backend_mutex_);
+    backends_.clear();
 }
 
 std::size_t
@@ -54,19 +57,38 @@ NetworkRunner::outputSize() const
     return plans_.back().output_size;
 }
 
-NetworkResult
-NetworkRunner::run(const std::vector<std::int64_t> &input_raw) const
+engine::ExecutionBackend &
+NetworkRunner::backend(const std::string &name, unsigned threads) const
 {
     fatal_if(plans_.empty(), "network has no layers");
 
-    NetworkResult result;
-    std::vector<std::int64_t> act = input_raw;
-    for (const LayerPlan &plan : plans_) {
-        RunResult layer_result = accelerator_.run(plan, act);
-        act = std::move(layer_result.output_raw);
-        result.per_layer.push_back(layer_result.stats);
+    // Only the compiled backend consumes the thread count; normalize
+    // the key so scalar/sim requests at different counts share one
+    // backend (a SimBackend holds the full compiled image).
+    const unsigned effective = name == "compiled" ? threads : 1;
+    const std::string key = name + "/" + std::to_string(effective);
+    std::lock_guard<std::mutex> lock(backend_mutex_);
+    auto it = backends_.find(key);
+    if (it == backends_.end()) {
+        std::vector<const LayerPlan *> plan_ptrs;
+        plan_ptrs.reserve(plans_.size());
+        for (const LayerPlan &plan : plans_)
+            plan_ptrs.push_back(&plan);
+        it = backends_
+                 .emplace(key, engine::makeBackend(name, config_,
+                                                   plan_ptrs, threads))
+                 .first;
     }
-    result.output_raw = std::move(act);
+    return *it->second;
+}
+
+NetworkResult
+NetworkRunner::run(const std::vector<std::int64_t> &input_raw) const
+{
+    engine::RunReport report = backend("sim").run(input_raw);
+    NetworkResult result;
+    result.output_raw = std::move(report.outputs.front());
+    result.per_layer = std::move(report.stats.front());
     return result;
 }
 
@@ -74,31 +96,7 @@ kernel::Batch
 NetworkRunner::runBatch(const kernel::Batch &inputs,
                         unsigned threads) const
 {
-    fatal_if(plans_.empty(), "network has no layers");
-
-    // One lock for the whole execution: kernels_ and pool_ are shared
-    // mutable state, and WorkerPool::parallelFor is single-caller.
-    std::lock_guard<std::mutex> lock(batch_mutex_);
-
-    if (kernels_.size() != plans_.size()) {
-        kernels_.clear();
-        kernels_.reserve(plans_.size());
-        for (const LayerPlan &plan : plans_)
-            kernels_.push_back(
-                kernel::CompiledLayer::compile(plan, config_));
-    }
-
-    kernel::WorkerPool *pool = nullptr;
-    if (threads > 1) {
-        if (!pool_ || pool_->threads() != threads)
-            pool_ = std::make_unique<kernel::WorkerPool>(threads);
-        pool = pool_.get();
-    }
-
-    kernel::Batch act = inputs;
-    for (const kernel::CompiledLayer &layer : kernels_)
-        act = kernel::runBatch(layer, act, pool);
-    return act;
+    return backend("compiled", threads).runBatch(inputs).outputs;
 }
 
 std::vector<nn::Vector>

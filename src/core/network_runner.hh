@@ -8,21 +8,33 @@
  * computation". NetworkRunner captures that usage: compile a stack of
  * compressed layers once, then run inputs through the whole stack
  * with raw fixed-point activations flowing layer to layer.
+ *
+ * Execution goes through the unified engine::ExecutionBackend API:
+ * the runner owns one lazily-built backend per (name, threads) pair —
+ * run() drives the cycle-accurate "sim" backend, runBatch() the
+ * "compiled" kernel backend — and backend() hands any of the three
+ * paths to callers that want to drive them directly (or to wrap in an
+ * engine::InferenceServer).
  */
 
 #ifndef EIE_CORE_NETWORK_RUNNER_HH
 #define EIE_CORE_NETWORK_RUNNER_HH
 
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
-#include "core/accelerator.hh"
-#include "core/kernel/compiled_layer.hh"
+#include "core/functional.hh"
 #include "core/kernel/executor.hh"
 #include "core/plan.hh"
+#include "core/run_stats.hh"
 #include "nn/layer.hh"
+
+namespace eie::engine {
+class ExecutionBackend;
+} // namespace eie::engine
 
 namespace eie::core {
 
@@ -44,12 +56,17 @@ class NetworkRunner
 {
   public:
     explicit NetworkRunner(const EieConfig &config);
+    ~NetworkRunner();
+
+    NetworkRunner(const NetworkRunner &) = delete;
+    NetworkRunner &operator=(const NetworkRunner &) = delete;
 
     /**
      * Append a layer (compiled immediately). The layer object must
      * outlive the runner. Layer input sizes must chain: the first
      * layer defines the network input size, each further layer's
-     * input must equal the previous layer's output.
+     * input must equal the previous layer's output. Invalidates every
+     * backend previously returned by backend().
      */
     void addLayer(const compress::CompressedLayer &layer,
                   nn::Nonlinearity nonlin);
@@ -66,10 +83,29 @@ class NetworkRunner
         return plans_[i];
     }
 
+    /** The compiled plans of the whole stack, execution order. */
+    const std::vector<LayerPlan> &plans() const { return plans_; }
+
+    /** The machine configuration the stack was compiled for. */
+    const EieConfig &config() const { return config_; }
+
     std::size_t inputSize() const;
     std::size_t outputSize() const;
 
-    /** Run one input through the whole stack (raw fixed point). */
+    /**
+     * The execution backend @p name ("scalar", "compiled", "sim")
+     * over this network, built on first use and cached per
+     * (name, threads). The reference stays valid until the next
+     * addLayer() or the runner's destruction. Thread-safe.
+     *
+     * @param threads PE-parallel worker threads (compiled backend
+     *                only; the other backends ignore it)
+     */
+    engine::ExecutionBackend &backend(const std::string &name,
+                                      unsigned threads = 1) const;
+
+    /** Run one input through the whole stack (raw fixed point) on the
+     *  cycle-accurate backend, returning per-layer timing. */
     NetworkResult run(const std::vector<std::int64_t> &input_raw) const;
 
     /** Float convenience wrapper. */
@@ -78,19 +114,18 @@ class NetworkRunner
 
     /**
      * Throughput path: run a batch of inputs through the whole stack
-     * on the compiled kernels (plans are lowered into the pre-decoded
-     * format on the first call, then cached). Activations ping-pong
-     * between layers exactly as in run(); outputs are bit-exact with
-     * running each frame through run() individually.
+     * on the compiled backend (pre-decoded kernels, cached across
+     * calls). Activations ping-pong between layers exactly as in
+     * run(); outputs are bit-exact with running each frame through
+     * run() individually.
      *
-     * Thread-safe, but concurrent callers on the same runner
-     * serialize (they share one worker pool); for truly concurrent
-     * serving use one NetworkRunner per request thread or drive
-     * kernel::runBatch with caller-owned pools.
+     * Thread-safe, but concurrent callers on the same thread count
+     * serialize (they share one worker pool). For concurrent serving
+     * use engine::InferenceServer, which owns the batching.
      *
      * @param threads PE-parallel worker threads (1 = single-threaded).
-     *                The pool persists across calls with the same
-     *                thread count.
+     *                The backend (pool included) persists per thread
+     *                count.
      */
     kernel::Batch runBatch(const kernel::Batch &inputs,
                            unsigned threads = 1) const;
@@ -102,15 +137,15 @@ class NetworkRunner
 
   private:
     EieConfig config_;
-    Accelerator accelerator_;
     FunctionalModel functional_;
     std::vector<LayerPlan> plans_;
 
-    /** Batched-path state, built lazily on first runBatch() and
-     *  guarded by batch_mutex_ (run()/runFloat() never touch it). */
-    mutable std::mutex batch_mutex_;
-    mutable std::vector<kernel::CompiledLayer> kernels_;
-    mutable std::unique_ptr<kernel::WorkerPool> pool_;
+    /** Backend cache keyed by "name/threads", built lazily and
+     *  invalidated by addLayer(); guarded by backend_mutex_. */
+    mutable std::mutex backend_mutex_;
+    mutable std::map<std::string,
+                     std::unique_ptr<engine::ExecutionBackend>>
+        backends_;
 };
 
 } // namespace eie::core

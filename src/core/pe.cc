@@ -28,17 +28,35 @@ Pe::Pe(unsigned index, const EieConfig &config, const Ccu &ccu,
 {}
 
 void
+Pe::loadTile(const kernel::CompiledSlice &slice, bool batch_start)
+{
+    panic_if(slice.sim_col_ptr.empty(),
+             "compiled slice has no simulator stream (compile with "
+             "CompileOptions::sim_stream)");
+    spmat_.loadStream(slice.sim_entries.data(),
+                      slice.sim_entries.size());
+    ptr_.loadPointers(slice.sim_col_ptr);
+    resetFrontEnd(slice.sim_col_ptr.size() - 1, slice.local_rows,
+                  batch_start);
+}
+
+void
 Pe::loadTile(const compress::PeSlice &slice,
              const compress::Codebook &codebook, bool batch_start)
 {
-    spmat_.loadEntries(slice.entries());
+    spmat_.loadEntries(
+        kernel::decodeSimStream(slice, codebook.rawValues()));
     ptr_.loadPointers(slice.colPtr());
-    codebook_ = &codebook;
-    arith_.loadCodebook(codebook);
+    resetFrontEnd(slice.colPtr().size() - 1, slice.localRows(),
+                  batch_start);
+}
 
+void
+Pe::resetFrontEnd(std::size_t pass_cols, std::uint32_t local_rows,
+                  bool batch_start)
+{
     // Account this PE's share of the pass's input vector: the LNZD
     // scan walks it once per pass. PE k holds activations k, k+N, ...
-    const std::size_t pass_cols = slice.colPtr().size() - 1;
     const std::size_t share = pass_cols > index_
         ? (pass_cols - index_ + n_pe_ - 1) / n_pe_
         : 0;
@@ -46,13 +64,12 @@ Pe::loadTile(const compress::PeSlice &slice,
 
     queue_.clear();
     desc_state_ = DescState::Empty;
-    row_accum_ = -1;
     act_value_ = 0;
     stashed_bcast_ = Broadcast{};
     mode_ = Mode::Compute;
 
     if (batch_start)
-        arith_.configureBatch(slice.localRows());
+        arith_.configureBatch(local_rows);
 }
 
 bool
@@ -95,18 +112,19 @@ Pe::computeCycle()
         ++queue_pushes_;
     }
 
-    // 2. Issue one entry from the active column.
+    // 2. Issue one entry from the active column. The stream is the
+    //    pre-decoded kernel image: the zero-run address accumulation
+    //    and codebook lookup happened at compile time, so the hot
+    //    loop is a row check plus one MAC.
     bool busy = false;
     bool stalled = false;
     if (spmat_.columnActive()) {
         if (spmat_.entryReady()) {
-            const compress::CscEntry entry = spmat_.peekEntry();
-            const auto local_row = static_cast<std::uint32_t>(
-                row_accum_ + entry.zero_count + 1);
-            if (arith_.canIssue(local_row)) {
+            const kernel::SimEntry entry = spmat_.peekEntry();
+            if (arith_.canIssue(entry.local_row)) {
                 spmat_.consumeEntry();
-                arith_.issue(entry.weight_index, local_row, act_value_);
-                row_accum_ = local_row;
+                arith_.issueRaw(entry.weight_raw, entry.local_row,
+                                act_value_, entry.is_padding);
                 ++macs_issued_;
                 busy = true;
                 ++busy_;
@@ -138,7 +156,6 @@ Pe::computeCycle()
     if (!spmat_.columnActive() && desc_state_ == DescState::Ready) {
         spmat_.startColumn(desc_begin_, desc_end_);
         act_value_ = desc_value_;
-        row_accum_ = -1;
         desc_state_ = DescState::Empty;
         queue_.pop();
         popped_this_cycle = true;

@@ -63,7 +63,23 @@ class Pe : public sim::Module
        sim::StatGroup &parent);
 
     /**
-     * Load one tile's slice (I/O mode).
+     * Load one tile's pre-decoded slice (I/O mode). This is the hot
+     * path: the slice's SimEntry stream (compiled once per layer with
+     * CompiledLayer::CompileOptions::sim_stream) is borrowed zero-copy and
+     * must outlive the pass.
+     *
+     * @param slice        this PE's compiled share (sim stream built)
+     * @param batch_start  true on the first pass of a row batch:
+     *                     resizes and zeroes the accumulators
+     */
+    void loadTile(const kernel::CompiledSlice &slice, bool batch_start);
+
+    /**
+     * Load one tile's slice from the raw interleaved-CSC image
+     * (I/O mode). Decodes the slice into an owned SimEntry stream on
+     * the spot — identical timing, but the decode cost recurs per
+     * load; steady-state callers should compile once and use the
+     * CompiledSlice overload.
      *
      * @param slice        this PE's interleaved-CSC share
      * @param codebook     shared-weight table
@@ -116,6 +132,8 @@ class Pe : public sim::Module
     enum class Mode { Compute, Drain };
 
     void computeCycle();
+    void resetFrontEnd(std::size_t pass_cols, std::uint32_t local_rows,
+                       bool batch_start);
 
     unsigned index_;
     unsigned n_pe_;
@@ -128,12 +146,12 @@ class Pe : public sim::Module
     ActRwUnit act_rw_;
 
     const Ccu &ccu_;
-    const compress::Codebook *codebook_ = nullptr;
 
     Broadcast stashed_bcast_;
 
-    // Active-column walk state.
-    std::int64_t row_accum_ = -1;   ///< address-accumulation register
+    // Active-column walk state. (The hardware's address-accumulation
+    // register is resolved at compile time: SimEntry rows arrive
+    // absolute, so only the driving activation remains.)
     std::int64_t act_value_ = 0;    ///< activation driving this column
 
     // One-entry column descriptor buffer.

@@ -12,9 +12,18 @@ SpmatReadUnit::SpmatReadUnit(const EieConfig &config,
 }
 
 void
-SpmatReadUnit::loadEntries(std::vector<compress::CscEntry> entries)
+SpmatReadUnit::loadEntries(std::vector<kernel::SimEntry> entries)
 {
-    entries_ = std::move(entries);
+    owned_ = std::move(entries);
+    loadStream(owned_.data(), owned_.size());
+}
+
+void
+SpmatReadUnit::loadStream(const kernel::SimEntry *entries,
+                          std::size_t count)
+{
+    stream_ = entries;
+    stream_size_ = count;
     cur_ = 0;
     end_ = 0;
     slot_ = {-1, -1};
@@ -55,9 +64,9 @@ void
 SpmatReadUnit::startColumn(std::uint32_t begin, std::uint32_t end)
 {
     panic_if(columnActive(), "startColumn while a column is active");
-    panic_if(begin > end || end > entries_.size(),
+    panic_if(begin > end || end > stream_size_,
              "bad column range [%u,%u) of %zu entries", begin, end,
-             entries_.size());
+             stream_size_);
     cur_ = begin;
     end_ = end;
     if (columnActive())
@@ -70,11 +79,11 @@ SpmatReadUnit::entryReady() const
     return columnActive() && buffered(rowOf(cur_));
 }
 
-compress::CscEntry
+kernel::SimEntry
 SpmatReadUnit::peekEntry() const
 {
     panic_if(!entryReady(), "peekEntry with no ready entry");
-    return entries_[cur_];
+    return stream_[cur_];
 }
 
 void

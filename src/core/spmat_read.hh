@@ -16,6 +16,13 @@
  * often sit in an already-fetched row (and conversely, wide rows
  * fetch entries that are wasted when the following column is skipped,
  * which is the Figure 9 waste effect).
+ *
+ * The data payload served is the pre-decoded kernel::SimEntry stream
+ * of a CompiledLayer slice — zero runs resolved, weights decoded,
+ * padding preserved — so the hot loop does no per-entry decode. All
+ * timing (row residency, fetch schedule, buffer occupancy) is a pure
+ * function of entry *indices* and therefore identical to walking the
+ * raw 8-bit (v, z) image: one stored entry is one stored entry.
  */
 
 #ifndef EIE_CORE_SPMAT_READ_HH
@@ -25,8 +32,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "compress/interleaved.hh"
 #include "core/config.hh"
+#include "core/kernel/compiled_layer.hh"
 #include "sim/stats.hh"
 
 namespace eie::core {
@@ -37,8 +44,15 @@ class SpmatReadUnit
   public:
     SpmatReadUnit(const EieConfig &config, sim::StatGroup &stats);
 
-    /** Backdoor-load this PE's entry stream (I/O mode DMA). */
-    void loadEntries(std::vector<compress::CscEntry> entries);
+    /** Backdoor-load this PE's entry stream (I/O mode DMA), taking
+     *  ownership of the decoded image. */
+    void loadEntries(std::vector<kernel::SimEntry> entries);
+
+    /**
+     * Backdoor-load a borrowed stream (the zero-copy path: the
+     * entries live in a CompiledLayer that outlives the run).
+     */
+    void loadStream(const kernel::SimEntry *entries, std::size_t count);
 
     /** Begin walking entries [begin, end) of the newly active column;
      *  evicts row-buffer slots that precede the new position. */
@@ -51,7 +65,7 @@ class SpmatReadUnit
     bool entryReady() const;
 
     /** Look at the next entry; requires entryReady(). */
-    compress::CscEntry peekEntry() const;
+    kernel::SimEntry peekEntry() const;
 
     /** Consume the next entry; requires entryReady(). */
     void consumeEntry();
@@ -83,7 +97,9 @@ class SpmatReadUnit
     void tryFetch(std::int64_t row);
 
     unsigned entries_per_row_;
-    std::vector<compress::CscEntry> entries_;
+    std::vector<kernel::SimEntry> owned_;      ///< loadEntries() storage
+    const kernel::SimEntry *stream_ = nullptr; ///< active stream view
+    std::size_t stream_size_ = 0;
     std::uint32_t cur_ = 0;
     std::uint32_t end_ = 0;
     std::array<std::int64_t, 2> slot_{-1, -1}; ///< buffered row ids

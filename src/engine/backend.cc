@@ -1,0 +1,194 @@
+#include "engine/backend.hh"
+
+#include "common/logging.hh"
+#include "engine/backends.hh"
+
+namespace eie::engine {
+
+namespace {
+
+void
+checkInputs(const ExecutionBackend &backend,
+            const core::kernel::Batch &inputs)
+{
+    for (const auto &input : inputs)
+        panic_if(input.size() != backend.inputSize(),
+                 "input length %zu != network input size %zu",
+                 input.size(), backend.inputSize());
+}
+
+} // namespace
+
+std::uint64_t
+RunReport::totalCycles() const
+{
+    std::uint64_t total = 0;
+    for (const auto &frame : stats)
+        for (const core::RunStats &layer : frame)
+            total += layer.cycles;
+    return total;
+}
+
+double
+RunReport::totalTimeUs() const
+{
+    double total = 0.0;
+    for (const auto &frame : stats)
+        for (const core::RunStats &layer : frame)
+            total += layer.timeUs();
+    return total;
+}
+
+ExecutionBackend::ExecutionBackend(
+    std::string name, const std::vector<const core::LayerPlan *> &plans)
+    : name_(std::move(name))
+{
+    fatal_if(plans.empty(), "backend needs at least one layer");
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+        fatal_if(plans[i] == nullptr, "layer %zu is null", i);
+        fatal_if(i > 0 && plans[i]->input_size !=
+                              plans[i - 1]->output_size,
+                 "layer '%s' input size %zu does not chain with "
+                 "previous output size %zu", plans[i]->name.c_str(),
+                 plans[i]->input_size, plans[i - 1]->output_size);
+    }
+    input_size_ = plans.front()->input_size;
+    output_size_ = plans.back()->output_size;
+    layer_count_ = plans.size();
+}
+
+RunReport
+ExecutionBackend::run(const std::vector<std::int64_t> &input_raw) const
+{
+    return runBatch(core::kernel::Batch{input_raw});
+}
+
+const std::vector<std::string> &
+backendNames()
+{
+    static const std::vector<std::string> names{"scalar", "compiled",
+                                                "sim"};
+    return names;
+}
+
+std::unique_ptr<ExecutionBackend>
+makeBackend(const std::string &name, const core::EieConfig &config,
+            const std::vector<const core::LayerPlan *> &plans,
+            unsigned threads)
+{
+    if (name == "scalar")
+        return std::make_unique<ScalarBackend>(config, plans);
+    if (name == "compiled")
+        return std::make_unique<CompiledBackend>(config, plans, threads);
+    if (name == "sim")
+        return std::make_unique<SimBackend>(config, plans);
+    std::string known;
+    for (const std::string &n : backendNames())
+        known += (known.empty() ? "" : ", ") + n;
+    fatal("unknown execution backend '%s' (known: %s)", name.c_str(),
+          known.c_str());
+    return nullptr; // unreachable: fatal() exits
+}
+
+// ------------------------------------------------------------- scalar
+
+ScalarBackend::ScalarBackend(
+    const core::EieConfig &config,
+    const std::vector<const core::LayerPlan *> &plans)
+    : ExecutionBackend("scalar", plans), model_(config), plans_(plans)
+{}
+
+RunReport
+ScalarBackend::runBatch(const core::kernel::Batch &inputs) const
+{
+    checkInputs(*this, inputs);
+    RunReport report;
+    report.outputs.reserve(inputs.size());
+    for (const auto &input : inputs) {
+        std::vector<std::int64_t> act = input;
+        for (const core::LayerPlan *plan : plans_)
+            act = model_.run(*plan, act).output_raw;
+        report.outputs.push_back(std::move(act));
+    }
+    return report;
+}
+
+// ----------------------------------------------------------- compiled
+
+CompiledBackend::CompiledBackend(
+    const core::EieConfig &config,
+    const std::vector<const core::LayerPlan *> &plans, unsigned threads)
+    : ExecutionBackend("compiled", plans)
+{
+    layers_.reserve(plans.size());
+    for (const core::LayerPlan *plan : plans)
+        layers_.push_back(
+            core::kernel::CompiledLayer::compile(*plan, config));
+    if (threads > 1)
+        pool_ = std::make_unique<core::kernel::WorkerPool>(threads);
+}
+
+unsigned
+CompiledBackend::threads() const
+{
+    return pool_ ? pool_->threads() : 1;
+}
+
+RunReport
+CompiledBackend::runBatch(const core::kernel::Batch &inputs) const
+{
+    checkInputs(*this, inputs);
+    // The pool's parallelFor is single-caller, so pooled execution
+    // serializes; without a pool the layers are read-only shared
+    // state and concurrent callers proceed in parallel.
+    std::unique_lock<std::mutex> lock(pool_mutex_, std::defer_lock);
+    if (pool_)
+        lock.lock();
+    RunReport report;
+    const core::kernel::Batch *act = &inputs;
+    for (const core::kernel::CompiledLayer &layer : layers_) {
+        report.outputs = core::kernel::runBatch(layer, *act, pool_.get());
+        act = &report.outputs;
+    }
+    return report;
+}
+
+// ---------------------------------------------------------------- sim
+
+SimBackend::SimBackend(const core::EieConfig &config,
+                       const std::vector<const core::LayerPlan *> &plans)
+    : ExecutionBackend("sim", plans), accelerator_(config)
+{
+    core::kernel::CompileOptions options;
+    options.host_stream = false; // the sim walks only the SimEntry image
+    options.sim_stream = true;
+    layers_.reserve(plans.size());
+    for (const core::LayerPlan *plan : plans)
+        layers_.push_back(
+            core::kernel::CompiledLayer::compile(*plan, config,
+                                                 options));
+}
+
+RunReport
+SimBackend::runBatch(const core::kernel::Batch &inputs) const
+{
+    checkInputs(*this, inputs);
+    RunReport report;
+    report.outputs.reserve(inputs.size());
+    report.stats.reserve(inputs.size());
+    for (const auto &input : inputs) {
+        std::vector<std::int64_t> act = input;
+        std::vector<core::RunStats> frame_stats;
+        frame_stats.reserve(layers_.size());
+        for (const core::kernel::CompiledLayer &layer : layers_) {
+            core::RunResult result = accelerator_.run(layer, act);
+            act = std::move(result.output_raw);
+            frame_stats.push_back(std::move(result.stats));
+        }
+        report.outputs.push_back(std::move(act));
+        report.stats.push_back(std::move(frame_stats));
+    }
+    return report;
+}
+
+} // namespace eie::engine

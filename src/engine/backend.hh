@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The unified execution-path abstraction.
+ *
+ * The engine executes compiled layer stacks through three bit-exact
+ * paths — the scalar interpreter oracle, the compiled host kernel and
+ * the cycle-accurate simulator. Historically each was a bespoke entry
+ * point (FunctionalModel::run, kernel::runBatch, Accelerator) that
+ * every tool and bench wired up by hand; ExecutionBackend puts one
+ * interface in front of all three, selected by name, so any caller
+ * can swap paths with a string. All backends return the same
+ * RunReport; the timed backend additionally fills per-frame,
+ * per-layer RunStats.
+ */
+
+#ifndef EIE_ENGINE_BACKEND_HH
+#define EIE_ENGINE_BACKEND_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/kernel/executor.hh"
+#include "core/plan.hh"
+#include "core/run_stats.hh"
+
+namespace eie::engine {
+
+/** What one backend execution produced. */
+struct RunReport
+{
+    /** One output vector per input frame (raw fixed point). */
+    core::kernel::Batch outputs;
+
+    /**
+     * stats[frame][layer]: cycle-level statistics, filled only by
+     * timed backends (ExecutionBackend::timed()); empty otherwise.
+     */
+    std::vector<std::vector<core::RunStats>> stats;
+
+    /** Total simulated cycles over all frames and layers (0 untimed). */
+    std::uint64_t totalCycles() const;
+
+    /** Total simulated time over all frames and layers, microseconds. */
+    double totalTimeUs() const;
+};
+
+/**
+ * One execution path over a fixed stack of planned layers.
+ *
+ * Implementations are immutable after construction and safe to call
+ * from several threads; the compiled backend serializes concurrent
+ * runBatch() calls internally (they share one worker pool).
+ */
+class ExecutionBackend
+{
+  public:
+    virtual ~ExecutionBackend() = default;
+
+    ExecutionBackend(const ExecutionBackend &) = delete;
+    ExecutionBackend &operator=(const ExecutionBackend &) = delete;
+
+    /** The backend's registry name ("scalar", "compiled", "sim"). */
+    const std::string &name() const { return name_; }
+
+    /** Whether runBatch() fills RunReport::stats. */
+    virtual bool timed() const { return false; }
+
+    std::size_t inputSize() const { return input_size_; }
+    std::size_t outputSize() const { return output_size_; }
+    std::size_t layerCount() const { return layer_count_; }
+
+    /**
+     * Run every frame of @p inputs through the whole layer stack.
+     * Outputs are bit-identical across all backends for the same
+     * inputs.
+     */
+    virtual RunReport runBatch(const core::kernel::Batch &inputs) const = 0;
+
+    /** Single-frame convenience wrapper around runBatch(). */
+    RunReport run(const std::vector<std::int64_t> &input_raw) const;
+
+  protected:
+    /** Validates the stack (non-empty, chained sizes, non-null). */
+    ExecutionBackend(std::string name,
+                     const std::vector<const core::LayerPlan *> &plans);
+
+  private:
+    std::string name_;
+    std::size_t input_size_ = 0;
+    std::size_t output_size_ = 0;
+    std::size_t layer_count_ = 0;
+};
+
+/** The registered backend names, factory order. */
+const std::vector<std::string> &backendNames();
+
+/**
+ * Build a backend by name over @p plans (the layer stack in execution
+ * order; sizes must chain).
+ *
+ *  - "scalar"   — FunctionalModel interpreter, the bit-exactness
+ *                 oracle. Keeps the plan pointers: the plans must
+ *                 outlive the backend.
+ *  - "compiled" — pre-decoded kernel path with a persistent
+ *                 PE-parallel worker pool of @p threads workers.
+ *                 Compiles at construction; does not retain the plans.
+ *  - "sim"      — cycle-accurate simulator, timing stats in the
+ *                 report. Compiles (with the simulator stream) at
+ *                 construction; does not retain the plans.
+ *
+ * Fatal on an unknown name, an empty stack, or a non-chaining stack.
+ */
+std::unique_ptr<ExecutionBackend>
+makeBackend(const std::string &name, const core::EieConfig &config,
+            const std::vector<const core::LayerPlan *> &plans,
+            unsigned threads = 1);
+
+} // namespace eie::engine
+
+#endif // EIE_ENGINE_BACKEND_HH

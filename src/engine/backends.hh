@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The three concrete execution backends. Most callers should go
+ * through makeBackend() and program against ExecutionBackend; the
+ * concrete types are exposed for tests and for callers that need a
+ * backend-specific knob at construction time.
+ */
+
+#ifndef EIE_ENGINE_BACKENDS_HH
+#define EIE_ENGINE_BACKENDS_HH
+
+#include <mutex>
+
+#include "core/accelerator.hh"
+#include "core/functional.hh"
+#include "core/kernel/worker_pool.hh"
+#include "engine/backend.hh"
+
+namespace eie::engine {
+
+/** The scalar interpreter oracle (FunctionalModel::run per frame). */
+class ScalarBackend : public ExecutionBackend
+{
+  public:
+    /** Keeps the plan pointers: @p plans must outlive the backend. */
+    ScalarBackend(const core::EieConfig &config,
+                  const std::vector<const core::LayerPlan *> &plans);
+
+    RunReport runBatch(const core::kernel::Batch &inputs) const override;
+
+  private:
+    core::FunctionalModel model_;
+    std::vector<const core::LayerPlan *> plans_;
+};
+
+/**
+ * The compiled host-kernel path: pre-decoded format, column sweeps
+ * amortized over the batch, PE-parallel worker pool. Compiles every
+ * layer at construction and does not retain the plans. Concurrent
+ * runBatch() callers serialize on the shared pool.
+ */
+class CompiledBackend : public ExecutionBackend
+{
+  public:
+    CompiledBackend(const core::EieConfig &config,
+                    const std::vector<const core::LayerPlan *> &plans,
+                    unsigned threads);
+
+    unsigned threads() const;
+
+    RunReport runBatch(const core::kernel::Batch &inputs) const override;
+
+  private:
+    std::vector<core::kernel::CompiledLayer> layers_;
+    mutable std::mutex pool_mutex_; ///< parallelFor is single-caller
+    mutable std::unique_ptr<core::kernel::WorkerPool> pool_;
+};
+
+/**
+ * The cycle-accurate simulator path. Compiles every layer (with the
+ * simulator stream) at construction and does not retain the plans;
+ * each frame runs the full timing model and contributes one
+ * RunStats row per layer to the report.
+ */
+class SimBackend : public ExecutionBackend
+{
+  public:
+    SimBackend(const core::EieConfig &config,
+               const std::vector<const core::LayerPlan *> &plans);
+
+    bool timed() const override { return true; }
+
+    RunReport runBatch(const core::kernel::Batch &inputs) const override;
+
+  private:
+    core::Accelerator accelerator_;
+    std::vector<core::kernel::CompiledLayer> layers_;
+};
+
+} // namespace eie::engine
+
+#endif // EIE_ENGINE_BACKENDS_HH

@@ -1,0 +1,214 @@
+#include "engine/server.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace eie::engine {
+
+std::vector<double>
+openLoopArrivals(std::size_t count, double rate_per_sec, Rng &rng)
+{
+    std::vector<double> arrivals(count, 0.0);
+    if (rate_per_sec <= 0.0)
+        return arrivals;
+    double clock_s = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        // Clamp the uniform draw away from 1.0: log(0) would make
+        // this arrival (and every later one) infinitely late.
+        const double u =
+            std::min(rng.uniformReal(0.0, 1.0), 1.0 - 1e-12);
+        clock_s += -std::log(1.0 - u) / rate_per_sec;
+        arrivals[i] = clock_s;
+    }
+    return arrivals;
+}
+
+namespace {
+
+/** Latency reservoir size: large enough for stable p99 estimates,
+ *  small enough that stats() copies are trivial. */
+constexpr std::size_t kLatencySampleCap = 16384;
+
+/** Percentile of an unsorted sample (nearest-rank), 0 when empty. */
+double
+percentile(std::vector<double> sample, double p)
+{
+    if (sample.empty())
+        return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(sample.size() - 1));
+    std::nth_element(sample.begin(),
+                     sample.begin() + static_cast<std::ptrdiff_t>(rank),
+                     sample.end());
+    return sample[rank];
+}
+
+} // namespace
+
+InferenceServer::InferenceServer(
+    std::unique_ptr<ExecutionBackend> backend,
+    const ServerOptions &options)
+    : backend_(std::move(backend)), options_(options)
+{
+    fatal_if(!backend_, "server needs a backend");
+    fatal_if(options_.max_batch == 0, "max_batch must be >= 1");
+    batcher_ = std::thread([this] { batcherLoop(); });
+}
+
+InferenceServer::~InferenceServer()
+{
+    stop();
+}
+
+std::future<std::vector<std::int64_t>>
+InferenceServer::submit(std::vector<std::int64_t> input_raw)
+{
+    fatal_if(input_raw.size() != backend_->inputSize(),
+             "input length %zu != network input size %zu",
+             input_raw.size(), backend_->inputSize());
+
+    Pending pending;
+    pending.input = std::move(input_raw);
+    pending.enqueued = std::chrono::steady_clock::now();
+    std::future<std::vector<std::int64_t>> future =
+        pending.promise.get_future();
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fatal_if(stopping_, "submit() on a stopped server");
+        queue_.push_back(std::move(pending));
+        max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+    }
+    work_cv_.notify_all();
+    return future;
+}
+
+std::vector<std::int64_t>
+InferenceServer::infer(std::vector<std::int64_t> input_raw)
+{
+    return submit(std::move(input_raw)).get();
+}
+
+void
+InferenceServer::batcherLoop()
+{
+    for (;;) {
+        std::vector<Pending> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty()) {
+                // stopping_ and drained: done.
+                return;
+            }
+
+            // Deadline- and size-bounded forming: hold the oldest
+            // request at most max_delay while the batch fills.
+            const auto deadline =
+                queue_.front().enqueued + options_.max_delay;
+            work_cv_.wait_until(lock, deadline, [this] {
+                return stopping_ ||
+                    queue_.size() >= options_.max_batch;
+            });
+
+            const std::size_t take =
+                std::min(queue_.size(), options_.max_batch);
+            batch.reserve(take);
+            for (std::size_t i = 0; i < take; ++i) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+        }
+
+        // Execute outside the lock: submitters keep enqueuing while
+        // the backend sweeps this batch.
+        core::kernel::Batch inputs;
+        inputs.reserve(batch.size());
+        for (const Pending &pending : batch)
+            inputs.push_back(pending.input);
+        RunReport report = backend_->runBatch(inputs);
+
+        // Record the batch BEFORE fulfilling the promises: a client
+        // that just observed its future resolve must find its request
+        // reflected in stats().
+        const auto now = std::chrono::steady_clock::now();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            completed_ += batch.size();
+            ++batches_;
+            for (const Pending &pending : batch)
+                recordLatency(
+                    std::chrono::duration<double, std::micro>(
+                        now - pending.enqueued)
+                        .count());
+        }
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            batch[i].promise.set_value(std::move(report.outputs[i]));
+    }
+}
+
+void
+InferenceServer::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    // call_once makes concurrent stop() (e.g. an explicit stop racing
+    // the destructor) safe: exactly one caller joins, the others
+    // block until the drain has finished.
+    std::call_once(join_once_, [this] {
+        if (batcher_.joinable())
+            batcher_.join();
+    });
+}
+
+void
+InferenceServer::recordLatency(double latency_us)
+{
+    ++latency_seen_;
+    if (latency_sample_.size() < kLatencySampleCap) {
+        latency_sample_.push_back(latency_us);
+        return;
+    }
+    // Algorithm R: keep each seen latency with probability cap/seen,
+    // using a cheap xorshift stream (statistics, not cryptography).
+    sample_rng_ ^= sample_rng_ << 13;
+    sample_rng_ ^= sample_rng_ >> 7;
+    sample_rng_ ^= sample_rng_ << 17;
+    const std::uint64_t slot = sample_rng_ % latency_seen_;
+    if (slot < kLatencySampleCap)
+        latency_sample_[slot] = latency_us;
+}
+
+ServerStats
+InferenceServer::stats() const
+{
+    std::vector<double> latencies;
+    ServerStats stats;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats.requests = completed_;
+        stats.batches = batches_;
+        stats.max_queue_depth = max_queue_depth_;
+        latencies = latency_sample_;
+    }
+    stats.mean_batch = stats.batches
+        ? static_cast<double>(stats.requests) /
+            static_cast<double>(stats.batches)
+        : 0.0;
+    stats.p50_latency_us = percentile(latencies, 0.5);
+    stats.p99_latency_us = percentile(latencies, 0.99);
+    stats.max_latency_us =
+        latencies.empty() ? 0.0
+                          : *std::max_element(latencies.begin(),
+                                              latencies.end());
+    return stats;
+}
+
+} // namespace eie::engine

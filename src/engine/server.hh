@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Async serving front end over an ExecutionBackend.
+ *
+ * EIE's pitch is latency-bound FC/LSTM serving where classic batching
+ * hurts latency — yet a deployed engine must absorb many concurrent
+ * single-vector requests. InferenceServer bridges the two with a
+ * dynamic micro-batcher: submissions enqueue individually and a
+ * batcher thread coalesces whatever is waiting into one backend
+ * batch sweep, bounded by a maximum batch size and a forming
+ * deadline. Under light load a request rides alone (deadline-bounded
+ * added latency); under heavy load batches fill instantly and
+ * throughput approaches the backend's batched peak.
+ *
+ * Thread safety: submit()/infer() may be called from any number of
+ * threads. Responses are delivered through per-request futures, so
+ * request/response pairing is structural; requests from one thread
+ * are executed in submission order (the queue is FIFO).
+ */
+
+#ifndef EIE_ENGINE_SERVER_HH
+#define EIE_ENGINE_SERVER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/random.hh"
+#include "engine/backend.hh"
+
+namespace eie::engine {
+
+/**
+ * Exponential (Poisson-process) open-loop arrival offsets in seconds
+ * from a common start, for synthetic serving traffic: the schedule
+ * never waits for responses. A non-positive @p rate_per_sec yields
+ * all-zero offsets (back-to-back submission).
+ */
+std::vector<double> openLoopArrivals(std::size_t count,
+                                     double rate_per_sec, Rng &rng);
+
+/** Micro-batching policy of an InferenceServer. */
+struct ServerOptions
+{
+    /** Largest batch one backend sweep may coalesce. */
+    std::size_t max_batch = 16;
+
+    /** How long the batcher may hold the oldest queued request while
+     *  waiting for the batch to fill. */
+    std::chrono::microseconds max_delay{200};
+};
+
+/** Aggregate serving statistics since construction. */
+struct ServerStats
+{
+    std::uint64_t requests = 0;   ///< completed requests
+    std::uint64_t batches = 0;    ///< backend sweeps executed
+    double mean_batch = 0.0;      ///< requests / batches
+    std::size_t max_queue_depth = 0;
+
+    /** Request latency (submit to response), microseconds, estimated
+     *  from a bounded uniform sample of all completed requests. */
+    double p50_latency_us = 0.0;
+    double p99_latency_us = 0.0;
+    double max_latency_us = 0.0;
+};
+
+/** Async request queue + dynamic micro-batcher over one backend. */
+class InferenceServer
+{
+  public:
+    /**
+     * Take ownership of @p backend and start the batcher thread.
+     * Any backend works; "compiled" (optionally with a worker pool)
+     * is the intended serving path.
+     */
+    explicit InferenceServer(std::unique_ptr<ExecutionBackend> backend,
+                             const ServerOptions &options = {});
+
+    /** Stops accepting, completes queued requests, joins. */
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer &) = delete;
+    InferenceServer &operator=(const InferenceServer &) = delete;
+
+    /**
+     * Enqueue one input vector; the future resolves to the network's
+     * raw output once a batch containing the request completes.
+     * Fatal if the input length does not match the network or the
+     * server is stopped.
+     */
+    std::future<std::vector<std::int64_t>>
+    submit(std::vector<std::int64_t> input_raw);
+
+    /** Blocking convenience wrapper: submit and wait. */
+    std::vector<std::int64_t>
+    infer(std::vector<std::int64_t> input_raw);
+
+    /** The backend being served. */
+    const ExecutionBackend &backend() const { return *backend_; }
+
+    /** Stop accepting new requests, drain the queue, join. Idempotent. */
+    void stop();
+
+    /** Snapshot of the aggregate statistics. */
+    ServerStats stats() const;
+
+  private:
+    struct Pending
+    {
+        std::vector<std::int64_t> input;
+        std::promise<std::vector<std::int64_t>> promise;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    void batcherLoop();
+    void recordLatency(double latency_us); ///< caller holds mutex_
+
+    std::unique_ptr<ExecutionBackend> backend_;
+    ServerOptions options_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::deque<Pending> queue_;
+    bool stopping_ = false;
+    std::once_flag join_once_;
+
+    // Statistics (guarded by mutex_). Latencies are a bounded
+    // uniform reservoir (algorithm R) so a long-lived server keeps
+    // O(1) memory and stats() copies a fixed-size sample.
+    std::uint64_t completed_ = 0;
+    std::uint64_t batches_ = 0;
+    std::size_t max_queue_depth_ = 0;
+    std::vector<double> latency_sample_;
+    std::uint64_t latency_seen_ = 0;
+    std::uint64_t sample_rng_ = 0x9e3779b97f4a7c15ull;
+
+    std::thread batcher_;
+};
+
+} // namespace eie::engine
+
+#endif // EIE_ENGINE_SERVER_HH

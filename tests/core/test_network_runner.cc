@@ -74,6 +74,51 @@ TEST(NetworkRunner, FloatWrapper)
     EXPECT_EQ(details.per_layer.size(), 1u);
 }
 
+TEST(NetworkRunner, MultiLayerBatchMatchesScalarOracleRaggedSizes)
+{
+    // Three chained layers, PE-parallel execution, and ragged batch
+    // sizes: a single frame, an odd count, and one larger than the
+    // serving queue's default micro-batch (16). Every frame must be
+    // bit-exact with the scalar interpreter walked layer by layer.
+    const unsigned n_pe = 4;
+    core::EieConfig config;
+    config.n_pe = n_pe;
+
+    core::NetworkRunner runner(config);
+    runner.addLayer(test::randomCompressedLayer(64, 40, 0.2, n_pe, 531),
+                    nn::Nonlinearity::ReLU);
+    runner.addLayer(test::randomCompressedLayer(56, 64, 0.25, n_pe, 532),
+                    nn::Nonlinearity::ReLU);
+    runner.addLayer(test::randomCompressedLayer(24, 56, 0.3, n_pe, 533),
+                    nn::Nonlinearity::None);
+
+    const core::FunctionalModel model(config);
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{33}}) {
+        core::kernel::Batch frames;
+        for (std::size_t b = 0; b < batch; ++b)
+            frames.push_back(model.quantizeInput(test::randomActivations(
+                40, 0.5, 534 + 17 * batch + b)));
+
+        core::kernel::Batch reference;
+        for (const auto &frame : frames) {
+            std::vector<std::int64_t> act = frame;
+            for (std::size_t l = 0; l < runner.layerCount(); ++l)
+                act = model.run(runner.plan(l), act).output_raw;
+            reference.push_back(std::move(act));
+        }
+
+        for (unsigned threads : {1u, 3u}) {
+            const auto outputs = runner.runBatch(frames, threads);
+            ASSERT_EQ(outputs.size(), batch);
+            for (std::size_t b = 0; b < batch; ++b)
+                EXPECT_EQ(outputs[b], reference[b])
+                    << "batch " << batch << ", " << threads
+                    << " threads, frame " << b;
+        }
+    }
+}
+
 TEST(NetworkRunnerDeath, RejectsMismatchedChain)
 {
     core::EieConfig config;

@@ -44,13 +44,16 @@ TEST(PointerReadUnit, BankedLookup)
               2 * (ptr.size() - 1));
 }
 
-std::vector<compress::CscEntry>
+std::vector<core::kernel::SimEntry>
 makeEntries(std::size_t count)
 {
-    std::vector<compress::CscEntry> entries(count);
+    // Pre-decoded stream entries (the payload is irrelevant to the
+    // streamer's timing; rows/weights just need to be recognisable).
+    std::vector<core::kernel::SimEntry> entries(count);
     for (std::size_t i = 0; i < count; ++i) {
-        entries[i].weight_index = static_cast<std::uint8_t>(1 + i % 15);
-        entries[i].zero_count = static_cast<std::uint8_t>(i % 3);
+        entries[i].local_row = static_cast<std::uint32_t>(i);
+        entries[i].weight_raw = static_cast<std::int32_t>(1 + i % 15);
+        entries[i].is_padding = false;
     }
     return entries;
 }
@@ -70,8 +73,8 @@ TEST(SpmatReadUnit, StreamsOneEntryPerCycleSteadyState)
     std::size_t cycles = 0;
     while (unit.columnActive() && cycles < 200) {
         if (unit.entryReady()) {
-            EXPECT_EQ(unit.peekEntry().weight_index,
-                      1 + consumed % 15);
+            EXPECT_EQ(unit.peekEntry().weight_raw,
+                      static_cast<std::int32_t>(1 + consumed % 15));
             unit.consumeEntry();
             ++consumed;
         }
@@ -112,6 +115,33 @@ TEST(SpmatReadUnit, RetainsRowAcrossColumnSwitch)
         unit.tick();
     }
     EXPECT_EQ(unit.rowFetches(), 1u);
+}
+
+TEST(SpmatReadUnit, BorrowedStreamBehavesLikeOwned)
+{
+    EieConfig config;
+    sim::StatGroup stats("test");
+    SpmatReadUnit unit(config, stats);
+
+    // Zero-copy load of a caller-owned stream (the CompiledLayer
+    // path): identical streaming behaviour and fetch schedule.
+    const auto entries = makeEntries(16);
+    unit.loadStream(entries.data(), entries.size());
+    unit.startColumn(0, 16);
+    std::size_t consumed = 0;
+    std::size_t cycles = 0;
+    while (unit.columnActive() && cycles < 100) {
+        if (unit.entryReady()) {
+            EXPECT_EQ(unit.peekEntry().local_row, consumed);
+            unit.consumeEntry();
+            ++consumed;
+        }
+        unit.prefetch(false, 0, 0);
+        unit.tick();
+        ++cycles;
+    }
+    EXPECT_EQ(consumed, 16u);
+    EXPECT_EQ(unit.rowFetches(), 2u); // 16 entries in 2 64-bit rows
 }
 
 TEST(SpmatReadUnit, NarrowWidthFetchesMoreRows)
@@ -173,6 +203,39 @@ TEST(ArithmeticUnit, MacSemanticsAndPadding)
 
     unit.applyRelu();
     EXPECT_EQ(unit.accumulators()[0], 0);
+}
+
+TEST(ArithmeticUnit, IssueRawMatchesCodebookIssue)
+{
+    EieConfig config;
+    sim::StatGroup stats("test");
+    ArithmeticUnit indexed(config, stats);
+    sim::StatGroup raw_stats("raw");
+    ArithmeticUnit raw(config, raw_stats);
+
+    const auto codebook = simpleCodebook();
+    indexed.loadCodebook(codebook);
+    indexed.configureBatch(3);
+    raw.configureBatch(3);
+
+    // The pre-decoded path must be architecturally identical to the
+    // codebook-indexed path, padding accounting included.
+    const std::int64_t act = quantize(1.5, fixed16);
+    const auto &lut = codebook.rawValues();
+    const std::uint8_t sequence[] = {1, 2, 0, 3, 2};
+    for (std::size_t i = 0; i < std::size(sequence); ++i) {
+        const std::uint8_t wi = sequence[i];
+        const auto row = static_cast<std::uint32_t>(i % 3);
+        indexed.issue(wi, row, act);
+        indexed.tick();
+        raw.issueRaw(lut[wi], row, act, wi == 0);
+        raw.tick();
+    }
+    EXPECT_EQ(indexed.accumulators(), raw.accumulators());
+    EXPECT_EQ(stats.value("macs"), raw_stats.value("macs"));
+    EXPECT_EQ(stats.value("padding_macs"),
+              raw_stats.value("padding_macs"));
+    EXPECT_EQ(raw_stats.value("padding_macs"), 1u);
 }
 
 TEST(ArithmeticUnit, BypassDisabledCreatesHazards)

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * InferenceServer tests: bit-exact outputs and request/response
+ * pairing under concurrent submitters, micro-batch forming bounds,
+ * graceful drain on stop, and statistics sanity. The concurrent
+ * tests double as the ThreadSanitizer workload in tools/check.sh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/functional.hh"
+#include "core/network_runner.hh"
+#include "engine/backend.hh"
+#include "engine/server.hh"
+#include "helpers.hh"
+
+namespace {
+
+using namespace eie;
+
+/** A small two-layer network plus its scalar oracle. */
+struct ServingFixture
+{
+    core::EieConfig config;
+    core::NetworkRunner net;
+    core::FunctionalModel model;
+
+    ServingFixture() : net(makeConfig()), model(makeConfig())
+    {
+        config = makeConfig();
+        net.addLayer(test::randomCompressedLayer(48, 32, 0.25, 4, 701),
+                     nn::Nonlinearity::ReLU);
+        net.addLayer(test::randomCompressedLayer(24, 48, 0.25, 4, 702),
+                     nn::Nonlinearity::ReLU);
+    }
+
+    static core::EieConfig
+    makeConfig()
+    {
+        core::EieConfig config;
+        config.n_pe = 4;
+        return config;
+    }
+
+    std::unique_ptr<engine::ExecutionBackend>
+    compiledBackend(unsigned threads = 1) const
+    {
+        return engine::makeBackend("compiled", config,
+                                   {&net.plan(0), &net.plan(1)},
+                                   threads);
+    }
+
+    std::vector<std::int64_t>
+    randomInput(std::uint64_t seed) const
+    {
+        return model.quantizeInput(
+            test::randomActivations(32, 0.6, seed));
+    }
+
+    std::vector<std::int64_t>
+    oracle(const std::vector<std::int64_t> &input) const
+    {
+        return net.backend("scalar").run(input).outputs.front();
+    }
+};
+
+TEST(InferenceServer, ConcurrentSubmittersBitExactAndOrdered)
+{
+    ServingFixture fx;
+    engine::ServerOptions options;
+    options.max_batch = 8;
+    options.max_delay = std::chrono::microseconds(200);
+    engine::InferenceServer server(fx.compiledBackend(2), options);
+
+    constexpr int kClients = 4;
+    constexpr int kPerClient = 32;
+
+    // Each client thread submits its own request sequence and keeps
+    // the futures in submission order: the response of request i must
+    // be the oracle output of input i (no cross-wiring between
+    // clients or within a client).
+    std::vector<std::thread> clients;
+    std::vector<std::vector<std::vector<std::int64_t>>> inputs(kClients);
+    std::vector<std::vector<std::vector<std::int64_t>>> outputs(
+        kClients);
+    for (int c = 0; c < kClients; ++c) {
+        for (int i = 0; i < kPerClient; ++i)
+            inputs[c].push_back(
+                fx.randomInput(900 + 37 * c + 1000 * i));
+        outputs[c].resize(kPerClient);
+        clients.emplace_back([&, c] {
+            std::vector<std::future<std::vector<std::int64_t>>> futures;
+            for (int i = 0; i < kPerClient; ++i)
+                futures.push_back(server.submit(inputs[c][i]));
+            for (int i = 0; i < kPerClient; ++i)
+                outputs[c][i] = futures[i].get();
+        });
+    }
+    for (auto &client : clients)
+        client.join();
+
+    for (int c = 0; c < kClients; ++c)
+        for (int i = 0; i < kPerClient; ++i)
+            EXPECT_EQ(outputs[c][i], fx.oracle(inputs[c][i]))
+                << "client " << c << ", request " << i;
+
+    const engine::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requests,
+              static_cast<std::uint64_t>(kClients * kPerClient));
+    EXPECT_GE(stats.batches, 1u);
+    EXPECT_LE(stats.batches, stats.requests);
+    EXPECT_GE(stats.mean_batch, 1.0);
+    EXPECT_LE(stats.p50_latency_us, stats.p99_latency_us + 1e-9);
+    EXPECT_LE(stats.p99_latency_us, stats.max_latency_us + 1e-9);
+    EXPECT_GE(stats.max_queue_depth, 1u);
+}
+
+TEST(InferenceServer, MaxBatchOneServesEveryRequestAlone)
+{
+    ServingFixture fx;
+    engine::ServerOptions options;
+    options.max_batch = 1;
+    engine::InferenceServer server(fx.compiledBackend(), options);
+
+    for (int i = 0; i < 10; ++i) {
+        const auto input = fx.randomInput(1200 + i);
+        EXPECT_EQ(server.infer(input), fx.oracle(input));
+    }
+    const engine::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requests, 10u);
+    EXPECT_EQ(stats.batches, 10u); // batch cap of one: no coalescing
+    EXPECT_DOUBLE_EQ(stats.mean_batch, 1.0);
+}
+
+TEST(InferenceServer, BurstCoalescesIntoFewerSweeps)
+{
+    ServingFixture fx;
+    engine::ServerOptions options;
+    options.max_batch = 16;
+    // A generous deadline so the burst below reliably forms batches
+    // instead of racing the batcher request by request.
+    options.max_delay = std::chrono::milliseconds(50);
+    engine::InferenceServer server(fx.compiledBackend(), options);
+
+    constexpr int kRequests = 64;
+    std::vector<std::vector<std::int64_t>> inputs;
+    std::vector<std::future<std::vector<std::int64_t>>> futures;
+    for (int i = 0; i < kRequests; ++i)
+        inputs.push_back(fx.randomInput(1300 + i));
+    for (int i = 0; i < kRequests; ++i)
+        futures.push_back(server.submit(inputs[i]));
+    for (int i = 0; i < kRequests; ++i)
+        EXPECT_EQ(futures[i].get(), fx.oracle(inputs[i]));
+
+    const engine::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kRequests));
+    // 64 requests at max_batch 16 need at least 4 sweeps; coalescing
+    // must do visibly better than one sweep per request.
+    EXPECT_GE(stats.batches, 4u);
+    EXPECT_LE(stats.batches, static_cast<std::uint64_t>(kRequests) / 2);
+    EXPECT_GE(stats.mean_batch, 2.0);
+}
+
+TEST(InferenceServer, StopDrainsQueuedRequests)
+{
+    ServingFixture fx;
+    engine::ServerOptions options;
+    options.max_batch = 4;
+    options.max_delay = std::chrono::milliseconds(20);
+    auto server = std::make_unique<engine::InferenceServer>(
+        fx.compiledBackend(), options);
+
+    std::vector<std::vector<std::int64_t>> inputs;
+    std::vector<std::future<std::vector<std::int64_t>>> futures;
+    for (int i = 0; i < 12; ++i) {
+        inputs.push_back(fx.randomInput(1400 + i));
+        futures.push_back(server->submit(inputs[i]));
+    }
+    server->stop(); // must complete everything already queued
+    for (int i = 0; i < 12; ++i)
+        EXPECT_EQ(futures[i].get(), fx.oracle(inputs[i]));
+    server.reset(); // double-stop via destructor is fine
+}
+
+TEST(InferenceServer, WorksOverTheScalarBackendToo)
+{
+    ServingFixture fx;
+    engine::InferenceServer server(engine::makeBackend(
+        "scalar", fx.config, {&fx.net.plan(0), &fx.net.plan(1)}));
+    const auto input = fx.randomInput(1500);
+    EXPECT_EQ(server.infer(input), fx.oracle(input));
+}
+
+TEST(InferenceServerDeath, RejectsWrongInputSize)
+{
+    ServingFixture fx;
+    engine::InferenceServer server(fx.compiledBackend());
+    EXPECT_EXIT(server.submit(std::vector<std::int64_t>(7, 1)),
+                ::testing::ExitedWithCode(1), "input length");
+}
+
+} // namespace

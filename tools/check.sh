@@ -4,6 +4,12 @@
 # equivalence suite (test_kernel) is additionally run with verbose
 # output so a bit-exactness break is loud in CI logs.
 #
+# A third pass rebuilds the concurrency-sensitive suites — worker
+# pool, batched kernels, execution backends, the inference server —
+# under ThreadSanitizer (-DEIE_TSAN=ON) and runs them; a data race in
+# the serving path fails the check even when the race never corrupts
+# an assertion.
+#
 # Usage: tools/check.sh [extra cmake args...]
 
 set -euo pipefail
@@ -21,4 +27,16 @@ for build_type in Release Debug; do
     ctest --test-dir "${build_dir}" --output-on-failure -R test_kernel
 done
 
-echo "all checks passed (Release + Debug)"
+echo "=== ThreadSanitizer (kernel + engine + server) ==="
+tsan_dir="build-check-tsan"
+tsan_tests="test_kernel test_backend test_server test_network_runner"
+cmake -B "${tsan_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEIE_TSAN=ON "$@"
+# Build only the sanitized suites: instrumenting the full bench/tool
+# tree would double the check's wall clock for no extra coverage.
+cmake --build "${tsan_dir}" -j "${jobs}" \
+    --target ${tsan_tests}
+ctest --test-dir "${tsan_dir}" --output-on-failure \
+    -R "$(echo "${tsan_tests}" | tr ' ' '|')"
+
+echo "all checks passed (Release + Debug + TSan)"

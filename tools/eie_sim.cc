@@ -1,6 +1,6 @@
 /**
  * @file
- * eie_sim — command-line driver for the cycle-accurate EIE simulator.
+ * eie_sim — command-line driver for the EIE execution engine.
  *
  * Usage:
  *   eie_sim --list
@@ -8,24 +8,35 @@
  *           [--width BITS] [--clock GHZ] [--no-bypass] [--relaxed]
  *           [--seed S] [--export-model PATH] [--dump-stats]
  *   eie_sim --throughput B [--threads T] [--repeats R] [...]
+ *   eie_sim --serve N [--rate RPS] [--backend NAME] [--max-batch B]
+ *           [--max-delay-us U] [--threads T] [...]
  *
- * Runs Table III benchmarks (or one of them) through the simulator
- * with the requested machine configuration and prints the timing,
- * balance, traffic and energy summary. --export-model writes the
- * EIEM compressed-model file of the chosen benchmark.
+ * Runs Table III benchmarks (or one of them) through the
+ * cycle-accurate simulator with the requested machine configuration
+ * and prints the timing, balance, traffic and energy summary.
+ * --export-model writes the EIEM compressed-model file of the chosen
+ * benchmark.
  *
  * --throughput switches to the host execution engine: each benchmark
- * layer is lowered to the pre-decoded kernel format (core/kernel/)
- * and run through NetworkRunner::runBatch on B frames, optionally
- * PE-parallel across T worker threads, with the scalar functional
- * interpreter as both the baseline timing and the bit-exactness
+ * layer runs through the unified "compiled" ExecutionBackend on B
+ * frames, optionally PE-parallel across T worker threads, with the
+ * "scalar" backend as both the baseline timing and the bit-exactness
  * oracle.
+ *
+ * --serve starts an engine::InferenceServer over the selected backend
+ * and drives it with synthetic open-loop traffic: N single-vector
+ * requests with exponential interarrival gaps at --rate requests/sec
+ * (0 = back-to-back), reporting achieved throughput, request latency
+ * percentiles and micro-batch statistics per benchmark.
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <future>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
@@ -33,8 +44,11 @@
 #include "common/table.hh"
 #include "compress/model_file.hh"
 #include "core/functional.hh"
+#include "core/kernel/worker_pool.hh"
 #include "core/network_runner.hh"
 #include "energy/pe_model.hh"
+#include "engine/backend.hh"
+#include "engine/server.hh"
 #include "nn/generate.hh"
 #include "workloads/suite.hh"
 
@@ -46,7 +60,7 @@ void
 usage()
 {
     std::cout <<
-        "eie_sim — cycle-accurate EIE simulator driver\n"
+        "eie_sim — EIE execution-engine driver\n"
         "  --list               list the Table III benchmarks\n"
         "  --benchmark NAME     run one benchmark (default: --all)\n"
         "  --all                run the whole suite\n"
@@ -62,7 +76,16 @@ usage()
         "  --throughput B       run the batched host engine, B frames\n"
         "  --threads T          PE-parallel worker threads (default 1)\n"
         "  --repeats R          timing repetitions, best wins "
-        "(default 3)\n";
+        "(default 3)\n"
+        "  --serve N            serve N open-loop requests per "
+        "benchmark\n"
+        "  --rate RPS           offered request rate (0 = "
+        "back-to-back)\n"
+        "  --backend NAME       execution backend for --serve "
+        "(default compiled)\n"
+        "  --max-batch B        micro-batcher batch cap (default 16)\n"
+        "  --max-delay-us U     micro-batcher forming deadline "
+        "(default 200)\n";
 }
 
 double
@@ -73,7 +96,24 @@ secondsSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
-/** The --throughput mode: scalar oracle vs. compiled batched engine. */
+/** Quantized open-loop request inputs for one benchmark. */
+core::kernel::Batch
+makeRequestInputs(const workloads::Benchmark &bench,
+                  const core::FunctionalModel &model, std::size_t count,
+                  std::uint64_t seed)
+{
+    core::kernel::Batch inputs;
+    inputs.reserve(count);
+    for (std::size_t b = 0; b < count; ++b) {
+        Rng rng(seed + 77 * b + 1);
+        inputs.push_back(model.quantizeInput(nn::makeActivations(
+            bench.input, bench.act_density, rng)));
+    }
+    return inputs;
+}
+
+/** The --throughput mode: scalar oracle vs. compiled batched engine,
+ *  both driven through the unified ExecutionBackend API. */
 int
 runThroughput(workloads::SuiteRunner &runner,
               const std::vector<std::string> &names,
@@ -89,41 +129,41 @@ runThroughput(workloads::SuiteRunner &runner,
 
         core::NetworkRunner net(config);
         net.addLayer(runner.layer(bench), nn::Nonlinearity::ReLU);
-        // The scalar oracle walks the very plan the runner compiled.
-        const core::LayerPlan &plan = net.plan(0);
 
         // B frames at the benchmark's activation density.
-        core::kernel::Batch inputs;
-        for (std::size_t b = 0; b < batch; ++b) {
-            Rng rng(seed + 77 * b + 1);
-            inputs.push_back(model.quantizeInput(nn::makeActivations(
-                bench.input, bench.act_density, rng)));
-        }
+        const core::kernel::Batch inputs =
+            makeRequestInputs(bench, model, batch, seed);
 
-        // Scalar interpreter: one full plan walk per frame.
-        std::vector<std::vector<std::int64_t>> reference;
+        // Scalar oracle timing: rep 0 walks the interpreter with work
+        // accounting (it doubles as the reference and the GOP/s
+        // denominator), further reps go through the scalar backend.
+        core::kernel::Batch reference;
         double useful_gops = 0.0;
         double scalar_s = 0.0;
-        for (unsigned rep = 0; rep < repeats; ++rep) {
-            reference.clear();
-            useful_gops = 0.0;
+        {
             const auto start = std::chrono::steady_clock::now();
             for (const auto &frame : inputs) {
-                auto result = model.run(plan, frame);
+                auto result = model.run(net.plan(0), frame);
                 useful_gops += result.work.usefulGops();
                 reference.push_back(std::move(result.output_raw));
             }
-            const double elapsed = secondsSince(start);
-            scalar_s = rep == 0 ? elapsed
-                                : std::min(scalar_s, elapsed);
+            scalar_s = secondsSince(start);
+        }
+        const engine::ExecutionBackend &scalar = net.backend("scalar");
+        for (unsigned rep = 1; rep < repeats; ++rep) {
+            const auto start = std::chrono::steady_clock::now();
+            reference = scalar.runBatch(inputs).outputs;
+            scalar_s = std::min(scalar_s, secondsSince(start));
         }
 
-        // Compiled batched engine through NetworkRunner.
+        // Compiled backend: pre-decoded kernels + worker pool.
+        const engine::ExecutionBackend &compiled =
+            net.backend("compiled", threads);
         core::kernel::Batch outputs;
         double batched_s = 0.0;
         for (unsigned rep = 0; rep < repeats; ++rep) {
             const auto start = std::chrono::steady_clock::now();
-            outputs = net.runBatch(inputs, threads);
+            outputs = compiled.runBatch(inputs).outputs;
             const double elapsed = secondsSince(start);
             batched_s = rep == 0 ? elapsed
                                  : std::min(batched_s, elapsed);
@@ -154,6 +194,99 @@ runThroughput(workloads::SuiteRunner &runner,
     return 0;
 }
 
+/** Serving knobs of the --serve mode. */
+struct ServeArgs
+{
+    std::size_t requests = 0;    ///< 0 = mode off
+    double rate = 0.0;           ///< offered req/s; 0 = back-to-back
+    std::string backend = "compiled";
+    engine::ServerOptions options;
+};
+
+/** The --serve mode: an InferenceServer under synthetic open-loop
+ *  arrival traffic, one benchmark at a time. */
+int
+runServe(workloads::SuiteRunner &runner,
+         const std::vector<std::string> &names,
+         const core::EieConfig &config, const ServeArgs &args,
+         unsigned threads, std::uint64_t seed)
+{
+    TextTable table({"Benchmark", "Requests", "Offered r/s",
+                     "Achieved r/s", "p50 us", "p99 us", "Mean batch",
+                     "Max depth", "Exact"});
+    std::string diverged;
+
+    for (const std::string &name : names) {
+        const auto &bench = workloads::findBenchmark(name);
+        const core::FunctionalModel model(config);
+
+        core::NetworkRunner net(config);
+        net.addLayer(runner.layer(bench), nn::Nonlinearity::ReLU);
+
+        const core::kernel::Batch inputs =
+            makeRequestInputs(bench, model, args.requests, seed);
+
+        Rng arrival_rng(seed ^ 0x5e57e11aULL);
+        const std::vector<double> arrival_s = engine::openLoopArrivals(
+            inputs.size(), args.rate, arrival_rng);
+
+        engine::InferenceServer server(
+            engine::makeBackend(args.backend, config,
+                                {&net.plan(0)}, threads),
+            args.options);
+
+        const auto start = std::chrono::steady_clock::now();
+        std::vector<std::future<std::vector<std::int64_t>>> futures;
+        futures.reserve(inputs.size());
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            std::this_thread::sleep_until(
+                start + std::chrono::duration<double>(arrival_s[i]));
+            futures.push_back(server.submit(inputs[i]));
+        }
+        core::kernel::Batch outputs;
+        outputs.reserve(futures.size());
+        for (auto &future : futures)
+            outputs.push_back(future.get());
+        const double wall_s = secondsSince(start);
+        server.stop();
+
+        // Bit-exactness spot check against the scalar oracle (capped:
+        // the oracle is deliberately slow).
+        const std::size_t check =
+            std::min<std::size_t>(outputs.size(), 16);
+        bool exact = true;
+        const engine::ExecutionBackend &oracle = net.backend("scalar");
+        for (std::size_t i = 0; exact && i < check; ++i)
+            exact = outputs[i] ==
+                oracle.run(inputs[i]).outputs.front();
+        if (!exact)
+            diverged = name; // reported (and fatal) after the table
+
+        const engine::ServerStats stats = server.stats();
+        table.row()
+            .add(name)
+            .add(stats.requests)
+            .add(args.rate, 1)
+            .add(static_cast<double>(stats.requests) / wall_s, 1)
+            .add(stats.p50_latency_us, 1)
+            .add(stats.p99_latency_us, 1)
+            .add(stats.mean_batch, 2)
+            .add(static_cast<std::uint64_t>(stats.max_queue_depth))
+            .add(exact ? "yes" : "NO");
+    }
+
+    std::cout << "Serving engine: backend '" << args.backend
+              << "', max batch " << args.options.max_batch
+              << ", forming deadline "
+              << args.options.max_delay.count() << " us, " << threads
+              << " worker thread(s), open-loop arrivals\n";
+    table.print(std::cout);
+    fatal_if(!diverged.empty(),
+             "served output of '%s' diverged from the scalar oracle",
+             diverged.c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -168,6 +301,7 @@ main(int argc, char **argv)
     std::size_t throughput_batch = 0;
     unsigned threads = 1;
     unsigned repeats = 3;
+    ServeArgs serve;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -217,7 +351,31 @@ main(int argc, char **argv)
                      "--throughput needs a batch size >= 1");
         } else if (arg == "--threads") {
             threads = static_cast<unsigned>(std::stoul(next()));
-            fatal_if(threads == 0, "--threads needs at least 1");
+            const unsigned hw =
+                core::kernel::WorkerPool::hardwareThreads();
+            fatal_if(threads == 0,
+                     "--threads needs at least 1 worker (got 0)");
+            fatal_if(threads > hw,
+                     "--threads %u exceeds this machine's %u hardware "
+                     "thread(s); oversubscribing the PE-parallel pool "
+                     "only adds contention", threads, hw);
+        } else if (arg == "--serve") {
+            serve.requests = std::stoul(next());
+            fatal_if(serve.requests == 0,
+                     "--serve needs at least 1 request");
+        } else if (arg == "--rate") {
+            serve.rate = std::stod(next());
+            fatal_if(serve.rate < 0.0, "--rate must be >= 0");
+        } else if (arg == "--backend") {
+            serve.backend = next();
+        } else if (arg == "--max-batch") {
+            serve.options.max_batch = std::stoul(next());
+            fatal_if(serve.options.max_batch == 0,
+                     "--max-batch needs at least 1");
+        } else if (arg == "--max-delay-us") {
+            const long long us = std::stoll(next());
+            fatal_if(us < 0, "--max-delay-us must be >= 0");
+            serve.options.max_delay = std::chrono::microseconds(us);
         } else if (arg == "--repeats") {
             repeats = static_cast<unsigned>(std::stoul(next()));
             fatal_if(repeats == 0, "--repeats needs at least 1");
@@ -231,6 +389,9 @@ main(int argc, char **argv)
             names.push_back(b.name);
 
     workloads::SuiteRunner runner(seed);
+
+    if (serve.requests > 0)
+        return runServe(runner, names, config, serve, threads, seed);
 
     if (throughput_batch > 0)
         return runThroughput(runner, names, config, throughput_batch,
