@@ -15,6 +15,7 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -146,10 +147,25 @@ class Json
         value_;
 };
 
-/** Write @p root to @p path (fatal on failure) and log the path. */
+/** Schema revision stamped into every BENCH_*.json; bump when any
+ *  emitter changes a field's meaning so trajectory tooling can tell
+ *  comparable runs apart. */
+inline constexpr std::uint64_t kBenchSchemaVersion = 2;
+
+/**
+ * Write @p root to @p path (fatal on failure) and log the path.
+ * Every file is stamped with the schema version and the machine's
+ * hardware thread count, so perf trajectories across PRs compare
+ * like with like (a 1-core CI box and a 32-core workstation produce
+ * very different serving numbers).
+ */
 inline void
-writeBenchJson(const std::string &path, const Json &root)
+writeBenchJson(const std::string &path, Json root)
 {
+    root.set("schema_version", kBenchSchemaVersion)
+        .set("hardware_threads",
+             static_cast<std::uint64_t>(
+                 std::thread::hardware_concurrency()));
     std::ofstream file(path);
     fatal_if(!file, "cannot write %s", path.c_str());
     root.write(file);

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Cluster scaling benchmark: requests/s versus shard count at
+ * saturating offered load, the Fig. 11 scalability argument lifted
+ * from PEs to whole EIE instances.
+ *
+ * A 1024x1024 pruned layer (9% weights, 35% activations, 16 PEs) is
+ * loaded as an in-memory serve::LoadedModel and served by a
+ * serve::ClusterEngine at 1, 2 and 4 replicated shards (one worker
+ * thread each), plus a 4-shard column-partitioned point. Load is
+ * saturating: every request is submitted back-to-back up front, so
+ * each point measures peak cluster service rate, not arrival
+ * behaviour. Every response is verified bit-exact against the
+ * "scalar" oracle backend.
+ *
+ * Writes BENCH_cluster.json (requests/s, speedup over one shard,
+ * latency percentiles per point; schema-stamped with the machine's
+ * hardware thread count — shard scaling is only observable with at
+ * least as many cores as shards).
+ *
+ * Run from the build directory:
+ *
+ *   ./bench_cluster_scaling [cluster.json]
+ */
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/table.hh"
+#include "compress/compressed_layer.hh"
+#include "core/ext/column_partition.hh"
+#include "core/functional.hh"
+#include "engine/backend.hh"
+#include "nn/generate.hh"
+#include "serve/cluster.hh"
+#include "serve/registry.hh"
+
+namespace {
+
+using namespace eie;
+
+constexpr std::size_t kRows = 1024;
+constexpr std::size_t kCols = 1024;
+constexpr double kWeightDensity = 0.09;
+constexpr double kActDensity = 0.35;
+constexpr unsigned kPes = 16;
+constexpr std::size_t kDistinctInputs = 32;
+constexpr std::size_t kRequestsPerShard = 768;
+
+struct Point
+{
+    unsigned shards = 0;
+    serve::Placement placement = serve::Placement::Replicated;
+    std::size_t requests = 0;
+    double wall_s = 0.0;
+    double rps = 0.0;
+    double speedup = 0.0; ///< vs the 1-shard replicated point
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double mean_batch = 0.0;
+};
+
+/** Saturating closed sweep: submit everything, then wait for it. */
+Point
+runPoint(const std::shared_ptr<const serve::LoadedModel> &model,
+         unsigned shards, serve::Placement placement,
+         const std::vector<std::vector<std::int64_t>> &inputs,
+         const std::vector<std::vector<std::int64_t>> &reference)
+{
+    serve::ClusterOptions options;
+    options.shards = shards;
+    options.placement = placement;
+    options.threads_per_shard = 1;
+    options.server.max_batch = 16;
+    options.server.max_delay = std::chrono::microseconds(200);
+    serve::ClusterEngine cluster(model, options);
+
+    const std::size_t requests = kRequestsPerShard * shards;
+    std::vector<std::future<std::vector<std::int64_t>>> futures;
+    futures.reserve(requests);
+
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < requests; ++i)
+        futures.push_back(
+            cluster.submit(inputs[i % inputs.size()]));
+    for (std::size_t i = 0; i < requests; ++i)
+        fatal_if(futures[i].get() != reference[i % inputs.size()],
+                 "request %zu diverged from the scalar oracle "
+                 "(%u shards, %s)", i, shards,
+                 serve::placementName(placement));
+    const double wall_s =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    cluster.stop();
+
+    const serve::ClusterStats stats = cluster.stats();
+    Point p;
+    p.shards = shards;
+    p.placement = placement;
+    p.requests = requests;
+    p.wall_s = wall_s;
+    p.rps = static_cast<double>(requests) / wall_s;
+    p.p50_us = stats.p50_latency_us;
+    p.p99_us = stats.p99_latency_us;
+    p.mean_batch = stats.mean_batch;
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_cluster.json";
+
+    // Build the layer once and wrap it as an in-memory LoadedModel
+    // (the registry's fromStorage path, minus the file).
+    Rng rng(2016);
+    nn::WeightGenOptions wopts;
+    wopts.density = kWeightDensity;
+    compress::CompressionOptions copts;
+    copts.interleave.n_pe = kPes;
+    const auto layer = compress::CompressedLayer::compress(
+        "cluster_bench",
+        nn::makeSparseWeights(kRows, kCols, wopts, rng), copts);
+
+    core::EieConfig config;
+    config.n_pe = kPes;
+    const auto model = serve::LoadedModel::fromStorage(
+        "cluster_bench", 1, layer.storage(), nn::Nonlinearity::ReLU,
+        config);
+
+    const core::FunctionalModel functional(config);
+    std::vector<std::vector<std::int64_t>> inputs;
+    std::vector<nn::Vector> float_inputs;
+    for (std::size_t i = 0; i < kDistinctInputs; ++i) {
+        Rng frame_rng(4096 + 77 * i);
+        float_inputs.push_back(
+            nn::makeActivations(kCols, kActDensity, frame_rng));
+        inputs.push_back(functional.quantizeInput(float_inputs.back()));
+    }
+
+    const auto oracle =
+        engine::makeBackend("scalar", config, {&model->plan()});
+    std::vector<std::vector<std::int64_t>> reference;
+    for (const auto &input : inputs)
+        reference.push_back(oracle->run(input).outputs.front());
+
+    const unsigned hw_threads = std::thread::hardware_concurrency();
+    std::vector<Point> points;
+    for (const unsigned shards : {1u, 2u, 4u})
+        points.push_back(runPoint(model, shards,
+                                  serve::Placement::Replicated,
+                                  inputs, reference));
+    points.push_back(runPoint(model, 4,
+                              serve::Placement::ColumnPartitioned,
+                              inputs, reference));
+    const double base_rps = points.front().rps;
+    for (Point &p : points)
+        p.speedup = p.rps / base_rps;
+
+    // Analytic context for the partitioned point: the §VII-A cost
+    // model of distributing columns (compute makespan + reduction).
+    const auto analytic = core::ext::columnPartitionCost(
+        model->quantized(), float_inputs.front(), 4);
+
+    TextTable table({"Shards", "Policy", "Requests", "Requests/s",
+                     "Speedup", "p50 us", "p99 us", "Mean batch"});
+    for (const Point &p : points) {
+        table.row()
+            .add(static_cast<std::uint64_t>(p.shards))
+            .add(serve::placementName(p.placement))
+            .add(static_cast<std::uint64_t>(p.requests))
+            .add(p.rps, 1)
+            .add(p.speedup, 2)
+            .add(p.p50_us, 1)
+            .add(p.p99_us, 1)
+            .add(p.mean_batch, 2);
+    }
+    std::cout << kRows << "x" << kCols << ", "
+              << 100 * kWeightDensity << "% weights, "
+              << 100 * kActDensity << "% activations, " << kPes
+              << " PEs, saturating offered load\n";
+    table.print(std::cout);
+    if (hw_threads < 4)
+        std::cout << "note: only " << hw_threads
+                  << " hardware thread(s) — shard scaling is "
+                     "serialized on this machine; compare points "
+                     "only across runs with equal hardware_threads\n";
+
+    bench::Json layer_json;
+    layer_json.set("rows", kRows)
+        .set("cols", kCols)
+        .set("weight_density", kWeightDensity)
+        .set("act_density", kActDensity)
+        .set("n_pe", config.n_pe);
+    bench::Json points_json = bench::Json::array();
+    for (const Point &p : points) {
+        bench::Json point;
+        point.set("shards", static_cast<std::uint64_t>(p.shards))
+            .set("placement", serve::placementName(p.placement))
+            .set("requests", static_cast<std::uint64_t>(p.requests))
+            .set("wall_s", p.wall_s)
+            .set("requests_per_sec", p.rps)
+            .set("speedup_vs_1shard", p.speedup)
+            .set("p50_latency_us", p.p50_us)
+            .set("p99_latency_us", p.p99_us)
+            .set("mean_batch", p.mean_batch);
+        points_json.push(std::move(point));
+    }
+    bench::Json analytic_json;
+    analytic_json
+        .set("compute_cycles", analytic.compute_cycles)
+        .set("reduction_cycles", analytic.reduction_cycles)
+        .set("load_balance", analytic.load_balance);
+    bench::Json root;
+    root.set("layer", std::move(layer_json))
+        .set("distinct_inputs",
+             static_cast<std::uint64_t>(kDistinctInputs))
+        .set("requests_per_shard",
+             static_cast<std::uint64_t>(kRequestsPerShard))
+        .set("points", std::move(points_json))
+        .set("column_partition_analytic", std::move(analytic_json));
+    bench::writeBenchJson(json_path, root);
+    return 0;
+}

@@ -54,12 +54,21 @@ LayerPlan
 planLayer(const compress::CompressedLayer &layer, nn::Nonlinearity nonlin,
           const EieConfig &config)
 {
+    return planLayer(layer.name(), layer.quantizedWeights(),
+                     layer.codebook(), nonlin, config);
+}
+
+LayerPlan
+planLayer(std::string name, const nn::SparseMatrix &weights,
+          const compress::Codebook &codebook, nn::Nonlinearity nonlin,
+          const EieConfig &config)
+{
     config.validate();
 
     LayerPlan plan;
-    plan.name = layer.name();
-    plan.input_size = layer.inputSize();
-    plan.output_size = layer.outputSize();
+    plan.name = std::move(name);
+    plan.input_size = weights.cols();
+    plan.output_size = weights.rows();
     plan.nonlin = nonlin;
     plan.n_pe = config.n_pe;
 
@@ -67,7 +76,7 @@ planLayer(const compress::CompressedLayer &layer, nn::Nonlinearity nonlin,
     const std::size_t rows_per_batch =
         static_cast<std::size_t>(config.regfile_entries) * config.n_pe;
     const auto row_bounds =
-        splitBoundaries(layer.outputSize(), rows_per_batch);
+        splitBoundaries(weights.rows(), rows_per_batch);
 
     // Column passes: pointer SRAM holds cols+1 pointers, and each PE's
     // activation SRAM must hold its share of the pass's input slice.
@@ -79,10 +88,9 @@ planLayer(const compress::CompressedLayer &layer, nn::Nonlinearity nonlin,
     const std::size_t cols_per_pass = std::max<std::size_t>(
         1, std::min(ptr_cols, act_cols));
     const auto col_bounds =
-        splitBoundaries(layer.inputSize(), cols_per_pass);
+        splitBoundaries(weights.cols(), cols_per_pass);
 
-    const nn::SparseMatrix &weights = layer.quantizedWeights();
-    const auto batches = weights.rowPartition(row_bounds);
+    auto batches = weights.rowPartition(row_bounds);
 
     compress::InterleaveOptions iopts;
     iopts.n_pe = config.n_pe;
@@ -94,8 +102,8 @@ planLayer(const compress::CompressedLayer &layer, nn::Nonlinearity nonlin,
                 col_bounds.size() > 2
                     ? batches[b].colSlice(col_bounds[p], col_bounds[p + 1])
                     : std::move(batches[b]);
-            compress::InterleavedCsc storage(tile_weights,
-                                             layer.codebook(), iopts);
+            compress::InterleavedCsc storage(tile_weights, codebook,
+                                             iopts);
 
             // Capacity checks against the per-PE SRAM budgets.
             std::size_t max_entries = 0;

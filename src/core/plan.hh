@@ -84,6 +84,19 @@ struct LayerPlan
 LayerPlan planLayer(const compress::CompressedLayer &layer,
                     nn::Nonlinearity nonlin, const EieConfig &config);
 
+/**
+ * Compile a layer given directly as quantised weights plus the shared
+ * codebook — the entry point for layers that do not come from the
+ * in-process compression pipeline: models deserialised from EIEM
+ * files (serve::ModelRegistry) and column-sliced sub-layers of a
+ * sharded deployment (serve::ClusterEngine). @p quantized values must
+ * already be codebook values; encoding maps each non-zero to its
+ * nearest table entry, so re-encoding quantised weights is lossless.
+ */
+LayerPlan planLayer(std::string name, const nn::SparseMatrix &quantized,
+                    const compress::Codebook &codebook,
+                    nn::Nonlinearity nonlin, const EieConfig &config);
+
 } // namespace eie::core
 
 #endif // EIE_CORE_PLAN_HH

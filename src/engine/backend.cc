@@ -115,15 +115,33 @@ ScalarBackend::runBatch(const core::kernel::Batch &inputs) const
 
 // ----------------------------------------------------------- compiled
 
+std::shared_ptr<const CompiledStack>
+compileLayerStack(const core::EieConfig &config,
+                  const std::vector<const core::LayerPlan *> &plans)
+{
+    auto layers = std::make_shared<CompiledStack>();
+    layers->reserve(plans.size());
+    for (const core::LayerPlan *plan : plans) {
+        fatal_if(plan == nullptr, "null layer plan");
+        layers->push_back(
+            core::kernel::CompiledLayer::compile(*plan, config));
+    }
+    return layers;
+}
+
 CompiledBackend::CompiledBackend(
     const core::EieConfig &config,
     const std::vector<const core::LayerPlan *> &plans, unsigned threads)
-    : ExecutionBackend("compiled", plans)
+    : CompiledBackend(plans, compileLayerStack(config, plans), threads)
+{}
+
+CompiledBackend::CompiledBackend(
+    const std::vector<const core::LayerPlan *> &plans,
+    std::shared_ptr<const CompiledStack> layers, unsigned threads)
+    : ExecutionBackend("compiled", plans), layers_(std::move(layers))
 {
-    layers_.reserve(plans.size());
-    for (const core::LayerPlan *plan : plans)
-        layers_.push_back(
-            core::kernel::CompiledLayer::compile(*plan, config));
+    fatal_if(!layers_ || layers_->size() != plans.size(),
+             "compiled stack does not match the plan stack");
     if (threads > 1)
         pool_ = std::make_unique<core::kernel::WorkerPool>(threads);
 }
@@ -146,7 +164,7 @@ CompiledBackend::runBatch(const core::kernel::Batch &inputs) const
         lock.lock();
     RunReport report;
     const core::kernel::Batch *act = &inputs;
-    for (const core::kernel::CompiledLayer &layer : layers_) {
+    for (const core::kernel::CompiledLayer &layer : *layers_) {
         report.outputs = core::kernel::runBatch(layer, *act, pool_.get());
         act = &report.outputs;
     }

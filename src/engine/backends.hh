@@ -33,11 +33,26 @@ class ScalarBackend : public ExecutionBackend
     std::vector<const core::LayerPlan *> plans_;
 };
 
+/** A pre-decoded layer stack shareable between backends (read-only
+ *  after construction; see compileLayerStack). */
+using CompiledStack = std::vector<core::kernel::CompiledLayer>;
+
+/**
+ * Lower @p plans into the pre-decoded kernel format once, for sharing
+ * across several CompiledBackend instances: replicated serving shards
+ * execute the same immutable arrays instead of compiling (and
+ * holding) one copy each.
+ */
+std::shared_ptr<const CompiledStack>
+compileLayerStack(const core::EieConfig &config,
+                  const std::vector<const core::LayerPlan *> &plans);
+
 /**
  * The compiled host-kernel path: pre-decoded format, column sweeps
  * amortized over the batch, PE-parallel worker pool. Compiles every
- * layer at construction and does not retain the plans. Concurrent
- * runBatch() callers serialize on the shared pool.
+ * layer at construction (or adopts a pre-compiled shared stack) and
+ * does not retain the plans. Concurrent runBatch() callers serialize
+ * on the shared pool.
  */
 class CompiledBackend : public ExecutionBackend
 {
@@ -46,12 +61,19 @@ class CompiledBackend : public ExecutionBackend
                     const std::vector<const core::LayerPlan *> &plans,
                     unsigned threads);
 
+    /** Adopt @p layers compiled by compileLayerStack() from the same
+     *  plan stack — the layers are shared, not copied, so N backends
+     *  over one stack hold one set of pre-decoded arrays. */
+    CompiledBackend(const std::vector<const core::LayerPlan *> &plans,
+                    std::shared_ptr<const CompiledStack> layers,
+                    unsigned threads);
+
     unsigned threads() const;
 
     RunReport runBatch(const core::kernel::Batch &inputs) const override;
 
   private:
-    std::vector<core::kernel::CompiledLayer> layers_;
+    std::shared_ptr<const CompiledStack> layers_;
     mutable std::mutex pool_mutex_; ///< parallelFor is single-caller
     mutable std::unique_ptr<core::kernel::WorkerPool> pool_;
 };

@@ -2,10 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <stdexcept>
 
 #include "common/logging.hh"
 
 namespace eie::engine {
+
+const char *
+DeadlineExpired::what() const noexcept
+{
+    return "request deadline expired before execution";
+}
+
+const char *
+ServerStopped::what() const noexcept
+{
+    return "request submitted to a stopped InferenceServer";
+}
 
 std::vector<double>
 openLoopArrivals(std::size_t count, double rate_per_sec, Rng &rng)
@@ -25,15 +39,75 @@ openLoopArrivals(std::size_t count, double rate_per_sec, Rng &rng)
     return arrivals;
 }
 
-namespace {
+namespace detail {
+
+FormedBatch
+formBatch(std::deque<Pending> &queue, std::size_t max_batch,
+          std::chrono::steady_clock::time_point now)
+{
+    FormedBatch formed;
+
+    // Expired requests never reach the backend, drained or not.
+    std::deque<Pending> live;
+    for (Pending &pending : queue) {
+        if (pending.deadline <= now)
+            formed.dropped.push_back(std::move(pending));
+        else
+            live.push_back(std::move(pending));
+    }
+    queue.swap(live);
+    if (queue.empty())
+        return formed;
+
+    // Stable selection by descending priority: order[] is arrival
+    // order, so equal priorities keep FIFO semantics.
+    std::vector<std::size_t> order(queue.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&queue](std::size_t a, std::size_t b) {
+                         return queue[a].priority > queue[b].priority;
+                     });
+    const std::size_t take = std::min(queue.size(), max_batch);
+    std::vector<bool> taken(queue.size(), false);
+    formed.batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+        taken[order[i]] = true;
+        formed.batch.push_back(std::move(queue[order[i]]));
+    }
+    std::deque<Pending> rest;
+    for (std::size_t i = 0; i < queue.size(); ++i)
+        if (!taken[i])
+            rest.push_back(std::move(queue[i]));
+    queue.swap(rest);
+    return formed;
+}
+
+} // namespace detail
 
 /** Latency reservoir size: large enough for stable p99 estimates,
  *  small enough that stats() copies are trivial. */
-constexpr std::size_t kLatencySampleCap = 16384;
+static constexpr std::size_t kLatencySampleCap = 16384;
 
-/** Percentile of an unsorted sample (nearest-rank), 0 when empty. */
+void
+LatencyReservoir::record(double latency_us)
+{
+    ++seen_;
+    if (sample_.size() < kLatencySampleCap) {
+        sample_.push_back(latency_us);
+        return;
+    }
+    // Algorithm R: keep each seen latency with probability cap/seen,
+    // using a cheap xorshift stream (statistics, not cryptography).
+    rng_ ^= rng_ << 13;
+    rng_ ^= rng_ >> 7;
+    rng_ ^= rng_ << 17;
+    const std::uint64_t slot = rng_ % seen_;
+    if (slot < kLatencySampleCap)
+        sample_[slot] = latency_us;
+}
+
 double
-percentile(std::vector<double> sample, double p)
+percentileOf(std::vector<double> sample, double p)
 {
     if (sample.empty())
         return 0.0;
@@ -43,6 +117,16 @@ percentile(std::vector<double> sample, double p)
                      sample.begin() + static_cast<std::ptrdiff_t>(rank),
                      sample.end());
     return sample[rank];
+}
+
+namespace {
+
+/** Fail a request's future with the deadline-drop error. */
+void
+failDropped(detail::Pending &pending)
+{
+    pending.promise.set_exception(
+        std::make_exception_ptr(DeadlineExpired{}));
 }
 
 } // namespace
@@ -63,21 +147,31 @@ InferenceServer::~InferenceServer()
 }
 
 std::future<std::vector<std::int64_t>>
-InferenceServer::submit(std::vector<std::int64_t> input_raw)
+InferenceServer::submit(std::vector<std::int64_t> input_raw,
+                        const SubmitOptions &options)
 {
     fatal_if(input_raw.size() != backend_->inputSize(),
              "input length %zu != network input size %zu",
              input_raw.size(), backend_->inputSize());
 
-    Pending pending;
+    detail::Pending pending;
     pending.input = std::move(input_raw);
     pending.enqueued = std::chrono::steady_clock::now();
+    if (options.deadline.count() > 0)
+        pending.deadline = pending.enqueued + options.deadline;
+    pending.priority = options.priority;
     std::future<std::vector<std::int64_t>> future =
         pending.promise.get_future();
 
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        fatal_if(stopping_, "submit() on a stopped server");
+        if (stopping_) {
+            // A cluster tearing down races its clients' last submits;
+            // that is a per-request failure, not a process error.
+            pending.promise.set_exception(
+                std::make_exception_ptr(ServerStopped{}));
+            return future;
+        }
         queue_.push_back(std::move(pending));
         max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
     }
@@ -91,11 +185,20 @@ InferenceServer::infer(std::vector<std::int64_t> input_raw)
     return submit(std::move(input_raw)).get();
 }
 
+std::chrono::steady_clock::time_point
+InferenceServer::nextWakeup() const
+{
+    auto wake = queue_.front().enqueued + options_.max_delay;
+    for (const detail::Pending &pending : queue_)
+        wake = std::min(wake, pending.deadline);
+    return wake;
+}
+
 void
 InferenceServer::batcherLoop()
 {
     for (;;) {
-        std::vector<Pending> batch;
+        detail::FormedBatch formed;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             work_cv_.wait(lock, [this] {
@@ -103,32 +206,62 @@ InferenceServer::batcherLoop()
             });
             if (queue_.empty()) {
                 // stopping_ and drained: done.
-                return;
+                break;
             }
 
             // Deadline- and size-bounded forming: hold the oldest
-            // request at most max_delay while the batch fills.
-            const auto deadline =
-                queue_.front().enqueued + options_.max_delay;
-            work_cv_.wait_until(lock, deadline, [this] {
-                return stopping_ ||
-                    queue_.size() >= options_.max_batch;
-            });
-
-            const std::size_t take =
-                std::min(queue_.size(), options_.max_batch);
-            batch.reserve(take);
-            for (std::size_t i = 0; i < take; ++i) {
-                batch.push_back(std::move(queue_.front()));
-                queue_.pop_front();
+            // request until the batch fills or its forming deadline
+            // (max_delay) passes. A queued request's own deadline
+            // wakes the batcher early so it is dropped promptly —
+            // but a drop must only drop, never cut the forming wait
+            // short for the still-live requests.
+            for (;;) {
+                const auto now = std::chrono::steady_clock::now();
+                std::deque<detail::Pending> live;
+                for (detail::Pending &pending : queue_) {
+                    if (pending.deadline <= now)
+                        formed.dropped.push_back(std::move(pending));
+                    else
+                        live.push_back(std::move(pending));
+                }
+                queue_.swap(live);
+                if (stopping_ || queue_.empty() ||
+                    queue_.size() >= options_.max_batch)
+                    break;
+                if (queue_.front().enqueued + options_.max_delay <=
+                    now)
+                    break;
+                // Re-arm when a newly submitted request carries an
+                // earlier deadline than this wait was computed for:
+                // submit() notifies, and nextWakeup() moving earlier
+                // pops the wait so the next pass drops on time.
+                const auto wake = nextWakeup();
+                work_cv_.wait_until(lock, wake, [this, wake] {
+                    return stopping_ ||
+                        queue_.size() >= options_.max_batch ||
+                        nextWakeup() < wake;
+                });
             }
+
+            detail::FormedBatch selected = detail::formBatch(
+                queue_, options_.max_batch,
+                std::chrono::steady_clock::now());
+            formed.batch = std::move(selected.batch);
+            for (detail::Pending &pending : selected.dropped)
+                formed.dropped.push_back(std::move(pending));
+            dropped_deadline_ += formed.dropped.size();
         }
+        // Fail drops outside the lock: set_exception wakes waiters.
+        for (detail::Pending &pending : formed.dropped)
+            failDropped(pending);
+        if (formed.batch.empty())
+            continue;
 
         // Execute outside the lock: submitters keep enqueuing while
         // the backend sweeps this batch.
         core::kernel::Batch inputs;
-        inputs.reserve(batch.size());
-        for (const Pending &pending : batch)
+        inputs.reserve(formed.batch.size());
+        for (const detail::Pending &pending : formed.batch)
             inputs.push_back(pending.input);
         RunReport report = backend_->runBatch(inputs);
 
@@ -138,17 +271,30 @@ InferenceServer::batcherLoop()
         const auto now = std::chrono::steady_clock::now();
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            completed_ += batch.size();
+            completed_ += formed.batch.size();
             ++batches_;
-            for (const Pending &pending : batch)
-                recordLatency(
+            for (const detail::Pending &pending : formed.batch)
+                latencies_.record(
                     std::chrono::duration<double, std::micro>(
                         now - pending.enqueued)
                         .count());
         }
-        for (std::size_t i = 0; i < batch.size(); ++i)
-            batch[i].promise.set_value(std::move(report.outputs[i]));
+        for (std::size_t i = 0; i < formed.batch.size(); ++i)
+            formed.batch[i].promise.set_value(
+                std::move(report.outputs[i]));
     }
+
+    // Defensive: the drain above completes everything that was queued
+    // when stop() ran, so this is normally empty — but no future may
+    // ever be abandoned, whatever the exit path.
+    std::deque<detail::Pending> leftovers;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        leftovers.swap(queue_);
+    }
+    for (detail::Pending &pending : leftovers)
+        pending.promise.set_exception(
+            std::make_exception_ptr(ServerStopped{}));
 }
 
 void
@@ -168,22 +314,18 @@ InferenceServer::stop()
     });
 }
 
-void
-InferenceServer::recordLatency(double latency_us)
+std::size_t
+InferenceServer::queueDepth() const
 {
-    ++latency_seen_;
-    if (latency_sample_.size() < kLatencySampleCap) {
-        latency_sample_.push_back(latency_us);
-        return;
-    }
-    // Algorithm R: keep each seen latency with probability cap/seen,
-    // using a cheap xorshift stream (statistics, not cryptography).
-    sample_rng_ ^= sample_rng_ << 13;
-    sample_rng_ ^= sample_rng_ >> 7;
-    sample_rng_ ^= sample_rng_ << 17;
-    const std::uint64_t slot = sample_rng_ % latency_seen_;
-    if (slot < kLatencySampleCap)
-        latency_sample_[slot] = latency_us;
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+std::vector<double>
+InferenceServer::latencySampleSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return latencies_.sample();
 }
 
 ServerStats
@@ -195,15 +337,16 @@ InferenceServer::stats() const
         std::lock_guard<std::mutex> lock(mutex_);
         stats.requests = completed_;
         stats.batches = batches_;
+        stats.dropped_deadline = dropped_deadline_;
         stats.max_queue_depth = max_queue_depth_;
-        latencies = latency_sample_;
+        latencies = latencies_.sample();
     }
     stats.mean_batch = stats.batches
         ? static_cast<double>(stats.requests) /
             static_cast<double>(stats.batches)
         : 0.0;
-    stats.p50_latency_us = percentile(latencies, 0.5);
-    stats.p99_latency_us = percentile(latencies, 0.99);
+    stats.p50_latency_us = percentileOf(latencies, 0.5);
+    stats.p99_latency_us = percentileOf(latencies, 0.99);
     stats.max_latency_us =
         latencies.empty() ? 0.0
                           : *std::max_element(latencies.begin(),

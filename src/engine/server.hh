@@ -12,10 +12,19 @@
  * added latency); under heavy load batches fill instantly and
  * throughput approaches the backend's batched peak.
  *
+ * Requests carry an optional priority and deadline: when the queue
+ * holds more than one batch of work the batcher pops higher-priority
+ * requests first (FIFO within a priority level), and a request whose
+ * deadline passes before it reaches the backend is dropped — its
+ * future fails with a clear error and ServerStats counts the drop.
+ *
  * Thread safety: submit()/infer() may be called from any number of
  * threads. Responses are delivered through per-request futures, so
- * request/response pairing is structural; requests from one thread
- * are executed in submission order (the queue is FIFO).
+ * request/response pairing is structural; same-priority requests from
+ * one thread execute in submission order. Every future obtained from
+ * submit() is guaranteed to complete — with the output, or with an
+ * exception (deadline drop, submit on a stopped/stopping server) —
+ * even when the server is destroyed with a full queue mid-burst.
  */
 
 #ifndef EIE_ENGINE_SERVER_HH
@@ -25,6 +34,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -37,6 +47,31 @@
 namespace eie::engine {
 
 /**
+ * @name Failure modes delivered through request futures.
+ * Their what() strings are static literals on purpose: the exception
+ * object crosses threads (set on the promise side, rethrown and read
+ * on the future side), and a refcounted message string would make
+ * the two sides share mutable state.
+ */
+///@{
+
+/** The request's deadline expired while it was still queued. */
+class DeadlineExpired : public std::exception
+{
+  public:
+    const char *what() const noexcept override;
+};
+
+/** The request reached a server that had already stopped. */
+class ServerStopped : public std::exception
+{
+  public:
+    const char *what() const noexcept override;
+};
+
+///@}
+
+/**
  * Exponential (Poisson-process) open-loop arrival offsets in seconds
  * from a common start, for synthetic serving traffic: the schedule
  * never waits for responses. A non-positive @p rate_per_sec yields
@@ -44,6 +79,30 @@ namespace eie::engine {
  */
 std::vector<double> openLoopArrivals(std::size_t count,
                                      double rate_per_sec, Rng &rng);
+
+/**
+ * Bounded uniform sample of a latency stream (algorithm R): a
+ * long-lived server keeps O(1) memory and snapshots copy a
+ * fixed-size sample. Not thread-safe — callers hold their own lock.
+ * Shared by InferenceServer and the cluster gather worker so the
+ * sampling policy cannot drift between them.
+ */
+class LatencyReservoir
+{
+  public:
+    void record(double latency_us);
+
+    /** The current sample (bounded; uniform over everything seen). */
+    const std::vector<double> &sample() const { return sample_; }
+
+  private:
+    std::vector<double> sample_;
+    std::uint64_t seen_ = 0;
+    std::uint64_t rng_ = 0x9e3779b97f4a7c15ull;
+};
+
+/** Nearest-rank percentile of an unsorted sample, 0 when empty. */
+double percentileOf(std::vector<double> sample, double p);
 
 /** Micro-batching policy of an InferenceServer. */
 struct ServerOptions
@@ -56,6 +115,19 @@ struct ServerOptions
     std::chrono::microseconds max_delay{200};
 };
 
+/** Per-request scheduling knobs for InferenceServer::submit(). */
+struct SubmitOptions
+{
+    /** Higher-priority requests pop first when the queue holds more
+     *  than one batch of work (FIFO within a level). */
+    int priority = 0;
+
+    /** Time budget from submission; a request still queued when it
+     *  expires is dropped (future fails, drop counted). Zero (the
+     *  default) means no deadline. */
+    std::chrono::microseconds deadline{0};
+};
+
 /** Aggregate serving statistics since construction. */
 struct ServerStats
 {
@@ -64,12 +136,49 @@ struct ServerStats
     double mean_batch = 0.0;      ///< requests / batches
     std::size_t max_queue_depth = 0;
 
+    /** Requests dropped because their deadline expired in the queue. */
+    std::uint64_t dropped_deadline = 0;
+
     /** Request latency (submit to response), microseconds, estimated
      *  from a bounded uniform sample of all completed requests. */
     double p50_latency_us = 0.0;
     double p99_latency_us = 0.0;
     double max_latency_us = 0.0;
 };
+
+namespace detail {
+
+/** One queued request (exposed for the batch-forming policy tests). */
+struct Pending
+{
+    std::vector<std::int64_t> input;
+    std::promise<std::vector<std::int64_t>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+    /** Absolute drop time; time_point::max() = no deadline. */
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+    int priority = 0;
+};
+
+/** What one batch-forming step popped from the queue. */
+struct FormedBatch
+{
+    std::vector<Pending> batch;   ///< to execute, selection order
+    std::vector<Pending> dropped; ///< deadline expired before @p now
+};
+
+/**
+ * The micro-batcher's pop policy, as a pure queue transformation so
+ * it is unit-testable without timing races: remove every request
+ * whose deadline lies at or before @p now (returned in `dropped`),
+ * then select up to @p max_batch of the remainder by priority
+ * (descending), FIFO within a priority level. The queue keeps the
+ * unselected requests in arrival order.
+ */
+FormedBatch formBatch(std::deque<Pending> &queue, std::size_t max_batch,
+                      std::chrono::steady_clock::time_point now);
+
+} // namespace detail
 
 /** Async request queue + dynamic micro-batcher over one backend. */
 class InferenceServer
@@ -91,12 +200,14 @@ class InferenceServer
 
     /**
      * Enqueue one input vector; the future resolves to the network's
-     * raw output once a batch containing the request completes.
-     * Fatal if the input length does not match the network or the
-     * server is stopped.
+     * raw output once a batch containing the request completes, or
+     * fails with DeadlineExpired / ServerStopped if the request's
+     * deadline expires in the queue or the server is stopped. Fatal
+     * if the input length does not match the network.
      */
     std::future<std::vector<std::int64_t>>
-    submit(std::vector<std::int64_t> input_raw);
+    submit(std::vector<std::int64_t> input_raw,
+           const SubmitOptions &options = {});
 
     /** Blocking convenience wrapper: submit and wait. */
     std::vector<std::int64_t>
@@ -105,41 +216,44 @@ class InferenceServer
     /** The backend being served. */
     const ExecutionBackend &backend() const { return *backend_; }
 
-    /** Stop accepting new requests, drain the queue, join. Idempotent. */
+    /** Stop accepting new requests, drain the queue, join. Idempotent.
+     *  Every already-submitted future completes (drained requests with
+     *  their output, expired ones with the deadline error). */
     void stop();
+
+    /** Requests currently queued (not yet handed to the backend). */
+    std::size_t queueDepth() const;
 
     /** Snapshot of the aggregate statistics. */
     ServerStats stats() const;
 
-  private:
-    struct Pending
-    {
-        std::vector<std::int64_t> input;
-        std::promise<std::vector<std::int64_t>> promise;
-        std::chrono::steady_clock::time_point enqueued;
-    };
+    /** The raw latency reservoir behind the stats() percentiles, for
+     *  callers that merge samples across servers (ClusterEngine). */
+    std::vector<double> latencySampleSnapshot() const;
 
+  private:
     void batcherLoop();
-    void recordLatency(double latency_us); ///< caller holds mutex_
+
+    /** Earliest instant the batcher must wake while forming: the
+     *  oldest request's forming deadline or the earliest request
+     *  deadline, whichever comes first. Caller holds mutex_. */
+    std::chrono::steady_clock::time_point nextWakeup() const;
 
     std::unique_ptr<ExecutionBackend> backend_;
     ServerOptions options_;
 
     mutable std::mutex mutex_;
     std::condition_variable work_cv_;
-    std::deque<Pending> queue_;
+    std::deque<detail::Pending> queue_;
     bool stopping_ = false;
     std::once_flag join_once_;
 
-    // Statistics (guarded by mutex_). Latencies are a bounded
-    // uniform reservoir (algorithm R) so a long-lived server keeps
-    // O(1) memory and stats() copies a fixed-size sample.
+    // Statistics (guarded by mutex_).
     std::uint64_t completed_ = 0;
     std::uint64_t batches_ = 0;
+    std::uint64_t dropped_deadline_ = 0;
     std::size_t max_queue_depth_ = 0;
-    std::vector<double> latency_sample_;
-    std::uint64_t latency_seen_ = 0;
-    std::uint64_t sample_rng_ = 0x9e3779b97f4a7c15ull;
+    LatencyReservoir latencies_;
 
     std::thread batcher_;
 };

@@ -1,0 +1,469 @@
+#include "serve/cluster.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/fixed_point.hh"
+#include "common/logging.hh"
+#include "engine/backends.hh"
+
+namespace eie::serve {
+
+namespace {
+
+/**
+ * Contiguous column boundaries (shards+1 values) balancing stored
+ * non-zeros: boundary s sits where the cumulative entry weight
+ * crosses s/shards of the total, constrained so every shard owns at
+ * least one column. Columns are weighted nnz+1 so empty columns still
+ * spread instead of piling onto one shard.
+ */
+std::vector<std::size_t>
+partitionColumns(const nn::SparseMatrix &weights, unsigned shards)
+{
+    const std::size_t cols = weights.cols();
+    fatal_if(cols < shards,
+             "cannot column-partition %zu columns over %u shards",
+             cols, shards);
+
+    std::vector<std::uint64_t> prefix(cols + 1, 0);
+    for (std::size_t j = 0; j < cols; ++j)
+        prefix[j + 1] = prefix[j] + weights.column(j).size() + 1;
+
+    std::vector<std::size_t> bounds(shards + 1, 0);
+    bounds[shards] = cols;
+    for (unsigned s = 1; s < shards; ++s) {
+        const std::uint64_t ideal =
+            prefix[cols] * s / shards;
+        const std::size_t lo = bounds[s - 1] + 1;
+        const std::size_t hi = cols - (shards - s);
+        std::size_t cut = static_cast<std::size_t>(
+            std::lower_bound(prefix.begin(), prefix.end(), ideal) -
+            prefix.begin());
+        bounds[s] = std::clamp(cut, lo, hi);
+    }
+    return bounds;
+}
+
+} // namespace
+
+Placement
+placementFromName(const std::string &name)
+{
+    if (name == "replicated")
+        return Placement::Replicated;
+    if (name == "partitioned")
+        return Placement::ColumnPartitioned;
+    fatal("unknown placement '%s' (known: replicated, partitioned)",
+          name.c_str());
+    return Placement::Replicated; // unreachable: fatal() exits
+}
+
+const char *
+placementName(Placement placement)
+{
+    return placement == Placement::Replicated ? "replicated"
+                                              : "partitioned";
+}
+
+// -------------------------------------------------------- ClusterEngine
+
+ClusterEngine::ClusterEngine(std::shared_ptr<const LoadedModel> model,
+                             const ClusterOptions &options)
+    : model_(std::move(model)), options_(options)
+{
+    fatal_if(!model_, "cluster needs a model");
+    fatal_if(options_.shards == 0, "cluster needs at least one shard");
+
+    const core::EieConfig &config = model_->config();
+    shards_.reserve(options_.shards);
+
+    if (options_.placement == Placement::Replicated) {
+        col_bounds_ = {0, model_->inputSize()};
+        const std::vector<const core::LayerPlan *> plans{
+            &model_->plan()};
+        // "compiled" shards adopt one shared pre-decoded stack: N
+        // replicas, one copy of the weights.
+        std::shared_ptr<const engine::CompiledStack> stack;
+        if (options_.backend == "compiled")
+            stack = engine::compileLayerStack(config, plans);
+        for (unsigned s = 0; s < options_.shards; ++s) {
+            std::unique_ptr<engine::ExecutionBackend> backend;
+            if (stack)
+                backend = std::make_unique<engine::CompiledBackend>(
+                    plans, stack, options_.threads_per_shard);
+            else
+                backend = engine::makeBackend(
+                    options_.backend, config, plans,
+                    options_.threads_per_shard);
+            shards_.push_back(std::make_unique<engine::InferenceServer>(
+                std::move(backend), options_.server));
+        }
+        return;
+    }
+
+    // Column-partitioned: one contiguous, nnz-balanced column range
+    // per shard, each planned as its own sub-layer with no drain
+    // non-linearity — the gather applies it after summing partials.
+    col_bounds_ = partitionColumns(model_->quantized(),
+                                   options_.shards);
+    shard_plans_.reserve(options_.shards);
+    for (unsigned s = 0; s < options_.shards; ++s) {
+        const std::size_t begin = col_bounds_[s];
+        const std::size_t end = col_bounds_[s + 1];
+        shard_plans_.push_back(core::planLayer(
+            model_->name() + "#cols" + std::to_string(begin) + "-" +
+                std::to_string(end),
+            model_->quantized().colSlice(begin, end),
+            model_->codebook(), nn::Nonlinearity::None, config));
+    }
+    for (unsigned s = 0; s < options_.shards; ++s)
+        shards_.push_back(std::make_unique<engine::InferenceServer>(
+            engine::makeBackend(options_.backend, config,
+                                {&shard_plans_[s]},
+                                options_.threads_per_shard),
+            options_.server));
+    gatherer_ = std::thread([this] { gatherLoop(); });
+}
+
+ClusterEngine::~ClusterEngine()
+{
+    stop();
+}
+
+std::size_t
+ClusterEngine::pickShard()
+{
+    std::lock_guard<std::mutex> lock(route_mutex_);
+    // Least-loaded by live queue depth; the scan starts one past the
+    // last pick so depth ties degrade to round-robin.
+    std::size_t best = round_robin_ % shards_.size();
+    std::size_t best_depth = shards_[best]->queueDepth();
+    for (std::size_t i = 1; i < shards_.size(); ++i) {
+        const std::size_t at = (round_robin_ + i) % shards_.size();
+        const std::size_t depth = shards_[at]->queueDepth();
+        if (depth < best_depth) {
+            best = at;
+            best_depth = depth;
+        }
+    }
+    round_robin_ = best + 1;
+    return best;
+}
+
+std::future<std::vector<std::int64_t>>
+ClusterEngine::submit(std::vector<std::int64_t> input_raw,
+                      const engine::SubmitOptions &options)
+{
+    fatal_if(input_raw.size() != inputSize(),
+             "input length %zu != model input size %zu",
+             input_raw.size(), inputSize());
+    {
+        std::lock_guard<std::mutex> lock(gather_mutex_);
+        if (stopping_) {
+            std::promise<std::vector<std::int64_t>> promise;
+            promise.set_exception(
+                std::make_exception_ptr(engine::ServerStopped{}));
+            return promise.get_future();
+        }
+    }
+
+    if (options_.placement == Placement::Replicated)
+        return shards_[pickShard()]->submit(std::move(input_raw),
+                                            options);
+
+    // Scatter: each shard sees only its owned input columns.
+    GatherJob job;
+    job.enqueued = std::chrono::steady_clock::now();
+    job.parts.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+        job.parts.push_back(shards_[s]->submit(
+            std::vector<std::int64_t>(
+                input_raw.begin() +
+                    static_cast<std::ptrdiff_t>(col_bounds_[s]),
+                input_raw.begin() +
+                    static_cast<std::ptrdiff_t>(col_bounds_[s + 1])),
+            options));
+    std::future<std::vector<std::int64_t>> future =
+        job.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(gather_mutex_);
+        if (stopping_) {
+            // stop() may have slipped in since the check above; a job
+            // enqueued now would never be gathered (the worker exits
+            // once stopping_ and drained), so fail it instead.
+            job.promise.set_exception(
+                std::make_exception_ptr(engine::ServerStopped{}));
+            return future;
+        }
+        gather_queue_.push_back(std::move(job));
+    }
+    gather_cv_.notify_all();
+    return future;
+}
+
+std::vector<std::int64_t>
+ClusterEngine::infer(std::vector<std::int64_t> input_raw)
+{
+    return submit(std::move(input_raw)).get();
+}
+
+void
+ClusterEngine::gatherLoop()
+{
+    const FixedFormat acc_fmt = model_->config().act_format;
+    for (;;) {
+        GatherJob job;
+        {
+            std::unique_lock<std::mutex> lock(gather_mutex_);
+            gather_cv_.wait(lock, [this] {
+                return stopping_ || !gather_queue_.empty();
+            });
+            if (gather_queue_.empty())
+                return; // stopping_ and drained
+            job = std::move(gather_queue_.front());
+            gather_queue_.pop_front();
+        }
+
+        try {
+            // Reduce in ascending column order: with per-MAC
+            // saturation never engaged this equals the oracle's
+            // sequential accumulation (see the header's caveat).
+            std::vector<std::int64_t> acc(outputSize(), 0);
+            for (auto &part : job.parts) {
+                const std::vector<std::int64_t> partial = part.get();
+                panic_if(partial.size() != acc.size(),
+                         "shard partial size %zu != output size %zu",
+                         partial.size(), acc.size());
+                for (std::size_t r = 0; r < acc.size(); ++r)
+                    acc[r] =
+                        saturateRaw(acc[r] + partial[r], acc_fmt);
+            }
+            switch (model_->nonlin()) {
+              case nn::Nonlinearity::ReLU:
+                for (std::int64_t &value : acc)
+                    value = reluRaw(value);
+                break;
+              case nn::Nonlinearity::None:
+                break;
+              default:
+                panic("cluster gather supports ReLU or None only");
+            }
+
+            const double latency_us =
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - job.enqueued)
+                    .count();
+            {
+                std::lock_guard<std::mutex> lock(gather_mutex_);
+                ++gathered_;
+                gather_latencies_.record(latency_us);
+            }
+            job.promise.set_value(std::move(acc));
+        } catch (const engine::DeadlineExpired &) {
+            // One request dropped on a shard is one dropped gather —
+            // counted here so the cluster reports client requests,
+            // not per-shard sub-requests.
+            {
+                std::lock_guard<std::mutex> lock(gather_mutex_);
+                ++gather_dropped_;
+            }
+            job.promise.set_exception(std::current_exception());
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(gather_mutex_);
+                ++gather_failed_;
+            }
+            job.promise.set_exception(std::current_exception());
+        }
+    }
+}
+
+void
+ClusterEngine::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(gather_mutex_);
+        stopping_ = true;
+    }
+    gather_cv_.notify_all();
+    // Draining the shards completes every scattered part, which in
+    // turn unblocks the gather worker's pending jobs.
+    for (auto &shard : shards_)
+        shard->stop();
+    std::call_once(join_once_, [this] {
+        if (gatherer_.joinable())
+            gatherer_.join();
+    });
+}
+
+ClusterStats
+ClusterEngine::stats() const
+{
+    ClusterStats stats;
+    stats.shards.reserve(shards_.size());
+
+    std::uint64_t shard_requests = 0;
+    std::uint64_t shard_batches = 0;
+    std::vector<double> latencies;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        ShardStats shard;
+        shard.server = shards_[s]->stats();
+        shard.queue_depth = shards_[s]->queueDepth();
+        if (options_.placement == Placement::Replicated) {
+            shard.col_begin = col_bounds_.front();
+            shard.col_end = col_bounds_.back();
+            const std::vector<double> sample =
+                shards_[s]->latencySampleSnapshot();
+            latencies.insert(latencies.end(), sample.begin(),
+                             sample.end());
+        } else {
+            shard.col_begin = col_bounds_[s];
+            shard.col_end = col_bounds_[s + 1];
+        }
+        shard_requests += shard.server.requests;
+        shard_batches += shard.server.batches;
+        // Replicated: one client request = one shard request, so the
+        // shard sum is the cluster count. Partitioned shards each see
+        // every request; drops are counted at the gather instead.
+        if (options_.placement == Placement::Replicated)
+            stats.dropped_deadline += shard.server.dropped_deadline;
+        stats.shards.push_back(std::move(shard));
+    }
+    for (ShardStats &shard : stats.shards)
+        shard.utilization = shard_requests
+            ? static_cast<double>(shard.server.requests) /
+                static_cast<double>(shard_requests)
+            : 0.0;
+    stats.mean_batch = shard_batches
+        ? static_cast<double>(shard_requests) /
+            static_cast<double>(shard_batches)
+        : 0.0;
+
+    if (options_.placement == Placement::Replicated) {
+        stats.requests = shard_requests;
+    } else {
+        std::lock_guard<std::mutex> lock(gather_mutex_);
+        stats.requests = gathered_;
+        stats.failed = gather_failed_;
+        stats.dropped_deadline = gather_dropped_;
+        latencies = gather_latencies_.sample();
+    }
+    stats.p50_latency_us = engine::percentileOf(latencies, 0.5);
+    stats.p99_latency_us = engine::percentileOf(latencies, 0.99);
+    stats.max_latency_us =
+        latencies.empty() ? 0.0
+                          : *std::max_element(latencies.begin(),
+                                              latencies.end());
+    return stats;
+}
+
+// ----------------------------------------------------- ServingDirectory
+
+ServingDirectory::ServingDirectory(ModelRegistry &registry,
+                                   const ClusterOptions &defaults)
+    : registry_(registry), defaults_(defaults)
+{}
+
+ServingDirectory::~ServingDirectory()
+{
+    stopAll();
+}
+
+ClusterEngine *
+ServingDirectory::cluster(const std::string &name,
+                          std::uint32_t version, std::string &error)
+{
+    const std::shared_ptr<const LoadedModel> model =
+        registry_.load(name, version);
+    if (!model) {
+        error = "model '" + name + "'" +
+            (version ? " version " + std::to_string(version) : "") +
+            " not found in registry";
+        return nullptr;
+    }
+    // Preflight what ClusterEngine's constructor would fatal() on: a
+    // client request must never be able to take the daemon down.
+    if (defaults_.placement == Placement::ColumnPartitioned &&
+        model->inputSize() < defaults_.shards) {
+        error = "model '" + model->name() + "' has " +
+            std::to_string(model->inputSize()) +
+            " input columns, fewer than the " +
+            std::to_string(defaults_.shards) +
+            " partitioned shards";
+        return nullptr;
+    }
+    const std::string key =
+        model->name() + "@" + std::to_string(model->version());
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = clusters_.find(key);
+        if (it != clusters_.end())
+            return it->second.get();
+    }
+
+    // Build outside the lock: planning the column slices and
+    // compiling N shard backends must not stall requests for models
+    // that are already serving. A racing build of the same model
+    // wastes one engine; the first insert wins and the loser is
+    // stopped outside the lock.
+    auto built = std::make_unique<ClusterEngine>(model, defaults_);
+    ClusterEngine *result = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = clusters_.find(key);
+        if (it == clusters_.end())
+            it = clusters_.emplace(key, std::move(built)).first;
+        result = it->second.get();
+    }
+    return result; // a losing `built` drains its shards here
+}
+
+std::string
+ServingDirectory::statsJson() const
+{
+    std::ostringstream os;
+    os << "{\"clusters\":[";
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool first = true;
+    for (const auto &[key, cluster] : clusters_) {
+        const ClusterStats stats = cluster->stats();
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"model\":\"" << cluster->model().name() << "\""
+           << ",\"version\":" << cluster->model().version()
+           << ",\"placement\":\""
+           << placementName(cluster->options().placement) << "\""
+           << ",\"shards\":" << cluster->shardCount()
+           << ",\"requests\":" << stats.requests
+           << ",\"dropped_deadline\":" << stats.dropped_deadline
+           << ",\"failed\":" << stats.failed
+           << ",\"mean_batch\":" << stats.mean_batch
+           << ",\"p50_latency_us\":" << stats.p50_latency_us
+           << ",\"p99_latency_us\":" << stats.p99_latency_us
+           << ",\"shard_stats\":[";
+        for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+            const ShardStats &shard = stats.shards[s];
+            os << (s ? "," : "") << "{\"requests\":"
+               << shard.server.requests
+               << ",\"queue_depth\":" << shard.queue_depth
+               << ",\"utilization\":" << shard.utilization
+               << ",\"col_begin\":" << shard.col_begin
+               << ",\"col_end\":" << shard.col_end << "}";
+        }
+        os << "]}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+void
+ServingDirectory::stopAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[key, cluster] : clusters_)
+        cluster->stop();
+}
+
+} // namespace eie::serve

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Sharded multi-instance serving: one ClusterEngine owns N shard
+ * workers, each an engine::InferenceServer over its own EIE execution
+ * backend, under one of two placement policies (EIE §VII, Fig. 11 —
+ * compressed-sparse inference parallelises across PEs *and* across
+ * instances):
+ *
+ *  - Replicated: every shard holds the full layer; requests route to
+ *    the least-loaded shard (live queue depth, round-robin on ties).
+ *    Shards running the "compiled" backend share one immutable
+ *    pre-decoded stack (engine::compileLayerStack), so N replicas
+ *    cost one copy of the weights. This is the throughput policy.
+ *
+ *  - ColumnPartitioned: the layer's columns are split into contiguous
+ *    ranges balanced by stored non-zeros, one sub-layer per shard
+ *    (cf. core/ext/column_partition — the §VII-A scheme, which costs
+ *    a cross-PE reduction on chip but is exactly what lets a layer
+ *    too big for one instance spread across several). submit()
+ *    scatters the matching input slice to every shard and a gather
+ *    worker sums the partial outputs (saturating adds in column
+ *    order) and applies the non-linearity. This is the capacity
+ *    policy for large layers.
+ *
+ * Outputs are bit-exact with the scalar oracle on the full layer:
+ * replicated trivially (same plan, same backend semantics), and
+ * column-partitioned whenever no intermediate accumulation saturates
+ * — splitting columns only reorders saturating adds, and below the
+ * accumulator limits the order is immaterial. Saturating workloads
+ * should shard replicated.
+ */
+
+#ifndef EIE_SERVE_CLUSTER_HH
+#define EIE_SERVE_CLUSTER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/server.hh"
+#include "serve/registry.hh"
+
+namespace eie::serve {
+
+/** How a ClusterEngine places a model onto its shards. */
+enum class Placement
+{
+    Replicated,       ///< full copy per shard, least-loaded routing
+    ColumnPartitioned ///< contiguous column ranges, scatter-gather
+};
+
+/** Parse "replicated" / "partitioned" (fatal on anything else). */
+Placement placementFromName(const std::string &name);
+
+/** The registry name of @p placement. */
+const char *placementName(Placement placement);
+
+/** Shape and policy of one serving cluster. */
+struct ClusterOptions
+{
+    unsigned shards = 1;
+    Placement placement = Placement::Replicated;
+
+    /** Execution backend per shard ("compiled", "scalar", "sim"). */
+    std::string backend = "compiled";
+
+    /** PE-parallel worker threads inside each shard's backend. */
+    unsigned threads_per_shard = 1;
+
+    /** Micro-batcher policy of every shard's InferenceServer. */
+    engine::ServerOptions server;
+};
+
+/** One shard's contribution to the cluster statistics. */
+struct ShardStats
+{
+    engine::ServerStats server;
+    std::size_t queue_depth = 0; ///< live queue depth at snapshot
+    double utilization = 0.0;    ///< share of the cluster's requests
+    std::size_t col_begin = 0;   ///< owned columns [col_begin,
+    std::size_t col_end = 0;     ///<               col_end)
+};
+
+/** Aggregated cluster statistics since construction. */
+struct ClusterStats
+{
+    std::uint64_t requests = 0; ///< completed end-to-end requests
+    std::uint64_t dropped_deadline = 0;
+    std::uint64_t failed = 0; ///< gathers failed by a shard error
+    double mean_batch = 0.0;  ///< request-weighted over shards
+
+    /** End-to-end request latency percentiles: shard samples merged
+     *  (replicated) or gather-side measurements (partitioned). */
+    double p50_latency_us = 0.0;
+    double p99_latency_us = 0.0;
+    double max_latency_us = 0.0;
+
+    std::vector<ShardStats> shards;
+};
+
+/** N InferenceServer shards behind one submit() front door. */
+class ClusterEngine
+{
+  public:
+    /** Build the shard plans/backends/servers for @p model. The model
+     *  is shared (and kept alive) by the cluster. */
+    ClusterEngine(std::shared_ptr<const LoadedModel> model,
+                  const ClusterOptions &options);
+
+    /** Stops (drains) every shard and the gather worker. */
+    ~ClusterEngine();
+
+    ClusterEngine(const ClusterEngine &) = delete;
+    ClusterEngine &operator=(const ClusterEngine &) = delete;
+
+    const LoadedModel &model() const { return *model_; }
+    const ClusterOptions &options() const { return options_; }
+    unsigned shardCount() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
+    std::size_t inputSize() const { return model_->inputSize(); }
+    std::size_t outputSize() const { return model_->outputSize(); }
+
+    /**
+     * Enqueue one input vector. Replicated: routes to the shard with
+     * the shallowest queue. Partitioned: scatters input slices to
+     * every shard; the returned future resolves when the gather
+     * completes. Fails (future exception) on deadline expiry, a
+     * stopped cluster, or a shard error. Fatal on a wrong input size.
+     */
+    std::future<std::vector<std::int64_t>>
+    submit(std::vector<std::int64_t> input_raw,
+           const engine::SubmitOptions &options = {});
+
+    /** Blocking convenience wrapper: submit and wait. */
+    std::vector<std::int64_t>
+    infer(std::vector<std::int64_t> input_raw);
+
+    /** Stop accepting, drain every shard, join workers. Idempotent. */
+    void stop();
+
+    /** Aggregated snapshot across all shards. */
+    ClusterStats stats() const;
+
+    /** Column ownership boundaries (shards+1 ascending values; for
+     *  Replicated every shard owns the full range). */
+    const std::vector<std::size_t> &columnBounds() const
+    {
+        return col_bounds_;
+    }
+
+  private:
+    struct GatherJob
+    {
+        std::vector<std::future<std::vector<std::int64_t>>> parts;
+        std::promise<std::vector<std::int64_t>> promise;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    void gatherLoop();
+    std::size_t pickShard(); ///< least-loaded, round-robin on ties
+
+    std::shared_ptr<const LoadedModel> model_;
+    ClusterOptions options_;
+
+    /** Partitioned sub-plans (empty for Replicated). Stable storage:
+     *  backends keep pointers into it. */
+    std::vector<core::LayerPlan> shard_plans_;
+    std::vector<std::size_t> col_bounds_;
+
+    std::vector<std::unique_ptr<engine::InferenceServer>> shards_;
+    std::size_t round_robin_ = 0; ///< guarded by route_mutex_
+    std::mutex route_mutex_;
+
+    // Gather worker (partitioned placement only).
+    mutable std::mutex gather_mutex_;
+    std::condition_variable gather_cv_;
+    std::deque<GatherJob> gather_queue_;
+    bool stopping_ = false;
+    std::uint64_t gathered_ = 0;
+    std::uint64_t gather_failed_ = 0;
+    std::uint64_t gather_dropped_ = 0; ///< deadline-dropped gathers
+    engine::LatencyReservoir gather_latencies_;
+    std::thread gatherer_;
+    std::once_flag join_once_;
+};
+
+/**
+ * Lazily-built ClusterEngines over a ModelRegistry, one per served
+ * (model, version): the lookup the TCP front end dispatches on.
+ */
+class ServingDirectory
+{
+  public:
+    /** Clusters are built on first request with @p defaults. */
+    ServingDirectory(ModelRegistry &registry,
+                     const ClusterOptions &defaults);
+
+    ~ServingDirectory();
+
+    ServingDirectory(const ServingDirectory &) = delete;
+    ServingDirectory &operator=(const ServingDirectory &) = delete;
+
+    /**
+     * The cluster serving @p name at @p version (0 = latest),
+     * building it on first use. Returns nullptr and sets @p error
+     * when the model does not exist in the registry.
+     */
+    ClusterEngine *cluster(const std::string &name,
+                           std::uint32_t version, std::string &error);
+
+    /** Aggregate statistics of every live cluster as a JSON object
+     *  string (the wire protocol's stats payload). */
+    std::string statsJson() const;
+
+    /** Stop (drain) every cluster. */
+    void stopAll();
+
+  private:
+    ModelRegistry &registry_;
+    ClusterOptions defaults_;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<ClusterEngine>> clusters_;
+};
+
+} // namespace eie::serve
+
+#endif // EIE_SERVE_CLUSTER_HH

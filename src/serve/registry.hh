@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The serving cluster's model registry: named, versioned compressed
+ * models on disk in the EIEM format (compress/model_file), loaded and
+ * planned once and handed out as shared immutable artifacts.
+ *
+ * Directory layout, one file per published version:
+ *
+ *   <root>/<model name>/v<version>.eiem
+ *
+ * load() deserialises the interleaved-CSC image, reconstructs the
+ * quantised weight matrix and codebook from it, and compiles a
+ * LayerPlan for the registry's machine configuration — possibly a
+ * different PE count than the file was encoded for, since planLayer
+ * re-interleaves tiles for the target machine. Loaded models are
+ * cached by (name, version): every shard of a ClusterEngine (and any
+ * number of clusters) shares one LoadedModel, so the planning work
+ * and the quantised weights exist once per process.
+ */
+
+#ifndef EIE_SERVE_REGISTRY_HH
+#define EIE_SERVE_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "compress/interleaved.hh"
+#include "core/config.hh"
+#include "core/plan.hh"
+#include "nn/sparse.hh"
+
+namespace eie::serve {
+
+/** One (name, version) coordinate in the registry. */
+struct ModelId
+{
+    std::string name;
+    std::uint32_t version = 0;
+
+    bool
+    operator==(const ModelId &other) const
+    {
+        return name == other.name && version == other.version;
+    }
+};
+
+/**
+ * A model loaded and planned for one machine configuration. Immutable
+ * after construction; shards of a cluster share it by shared_ptr.
+ * The quantised weights and codebook are retained so the cluster can
+ * build column-partitioned sub-plans without re-reading the file.
+ */
+class LoadedModel
+{
+  public:
+    /** Plan @p storage (an EIEM image, from disk or in memory) for
+     *  @p config. */
+    static std::shared_ptr<const LoadedModel>
+    fromStorage(std::string name, std::uint32_t version,
+                const compress::InterleavedCsc &storage,
+                nn::Nonlinearity nonlin, const core::EieConfig &config);
+
+    const std::string &name() const { return name_; }
+    std::uint32_t version() const { return version_; }
+    const core::EieConfig &config() const { return config_; }
+    nn::Nonlinearity nonlin() const { return nonlin_; }
+
+    /** The full-layer plan, compiled for config(). */
+    const core::LayerPlan &plan() const { return plan_; }
+
+    /** Codebook-quantised weights (decoded from the stored image). */
+    const nn::SparseMatrix &quantized() const { return quantized_; }
+
+    /** The shared-weight table of the stored image. */
+    const compress::Codebook &codebook() const { return codebook_; }
+
+    std::size_t inputSize() const { return plan_.input_size; }
+    std::size_t outputSize() const { return plan_.output_size; }
+
+  private:
+    LoadedModel(std::string name, std::uint32_t version,
+                nn::Nonlinearity nonlin, const core::EieConfig &config,
+                nn::SparseMatrix quantized, compress::Codebook codebook);
+
+    std::string name_;
+    std::uint32_t version_;
+    nn::Nonlinearity nonlin_;
+    core::EieConfig config_;
+    nn::SparseMatrix quantized_;
+    compress::Codebook codebook_;
+    core::LayerPlan plan_;
+};
+
+/** Named, versioned EIEM models under one root directory. */
+class ModelRegistry
+{
+  public:
+    /**
+     * @param root   registry directory (created if missing)
+     * @param config machine configuration models are planned for
+     */
+    ModelRegistry(std::string root, const core::EieConfig &config);
+
+    const std::string &root() const { return root_; }
+    const core::EieConfig &config() const { return config_; }
+
+    /**
+     * Write @p storage as version @p version of model @p name
+     * (version must be >= 1; overwriting an existing version is
+     * allowed and invalidates its cache entry). Returns the file
+     * path. Fatal on an invalid name (allowed: [A-Za-z0-9._-]).
+     */
+    std::string publish(const std::string &name, std::uint32_t version,
+                        const compress::InterleavedCsc &storage);
+
+    /** Every (name, version) present on disk, sorted by name then
+     *  ascending version. */
+    std::vector<ModelId> list() const;
+
+    /** Highest published version of @p name; 0 when absent. */
+    std::uint32_t latestVersion(const std::string &name) const;
+
+    /** Whether version @p version of @p name exists on disk. */
+    bool has(const std::string &name, std::uint32_t version) const;
+
+    /**
+     * Load (or fetch from cache) version @p version of @p name;
+     * version 0 resolves to the latest published version. Returns
+     * nullptr when the model (or the requested version) does not
+     * exist. Fatal on a corrupt file.
+     */
+    std::shared_ptr<const LoadedModel>
+    load(const std::string &name, std::uint32_t version = 0,
+         nn::Nonlinearity nonlin = nn::Nonlinearity::ReLU);
+
+  private:
+    std::string modelDir(const std::string &name) const;
+    std::string versionPath(const std::string &name,
+                            std::uint32_t version) const;
+
+    std::string root_;
+    core::EieConfig config_;
+
+    mutable std::mutex mutex_;
+    /** Cache key "name@version#nonlin" (version resolved, never 0):
+     *  the plan depends on the drain nonlinearity too. */
+    std::map<std::string, std::shared_ptr<const LoadedModel>> cache_;
+};
+
+} // namespace eie::serve
+
+#endif // EIE_SERVE_REGISTRY_HH

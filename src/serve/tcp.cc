@@ -1,0 +1,552 @@
+#include "serve/tcp.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace eie::serve {
+
+namespace {
+
+/** Receive exactly @p size bytes; false on EOF/error/shutdown. */
+bool
+recvExact(int fd, void *out, std::size_t size)
+{
+    auto *p = static_cast<std::uint8_t *>(out);
+    while (size > 0) {
+        const ssize_t got = ::recv(fd, p, size, 0);
+        if (got == 0)
+            return false; // orderly EOF
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += got;
+        size -= static_cast<std::size_t>(got);
+    }
+    return true;
+}
+
+/** Send all of @p data; false on error/shutdown. */
+bool
+sendAll(int fd, const std::uint8_t *data, std::size_t size)
+{
+    while (size > 0) {
+        const ssize_t sent =
+            ::send(fd, data, size, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += sent;
+        size -= static_cast<std::size_t>(sent);
+    }
+    return true;
+}
+
+/** Read one whole frame body; empty vector on EOF/close. Throws
+ *  WireError on an oversized frame. */
+std::vector<std::uint8_t>
+recvFrameBody(int fd)
+{
+    std::uint32_t body_len = 0;
+    if (!recvExact(fd, &body_len, sizeof(body_len)))
+        return {};
+    if (body_len == 0 || body_len > wire::kMaxBodyBytes)
+        throw wire::WireError("frame body length " +
+                              std::to_string(body_len) +
+                              " out of range");
+    std::vector<std::uint8_t> body(body_len);
+    if (!recvExact(fd, body.data(), body.size()))
+        return {};
+    return body;
+}
+
+void
+setNoDelay(int fd)
+{
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+} // namespace
+
+// ------------------------------------------------------------ TcpServer
+
+TcpServer::TcpServer(ServingDirectory &directory,
+                     const TcpServerOptions &options)
+    : directory_(directory), options_(options)
+{}
+
+TcpServer::~TcpServer()
+{
+    stop();
+}
+
+void
+TcpServer::start()
+{
+    fatal_if(started_, "TcpServer::start() called twice");
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatal_if(listen_fd_ < 0, "socket(): %s", std::strerror(errno));
+
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    fatal_if(::inet_pton(AF_INET, options_.bind_address.c_str(),
+                         &addr.sin_addr) != 1,
+             "invalid bind address '%s'",
+             options_.bind_address.c_str());
+    fatal_if(::bind(listen_fd_,
+                    reinterpret_cast<const sockaddr *>(&addr),
+                    sizeof(addr)) != 0,
+             "bind(%s:%u): %s", options_.bind_address.c_str(),
+             options_.port, std::strerror(errno));
+    fatal_if(::listen(listen_fd_, options_.backlog) != 0,
+             "listen(): %s", std::strerror(errno));
+
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    fatal_if(::getsockname(listen_fd_,
+                           reinterpret_cast<sockaddr *>(&bound),
+                           &bound_len) != 0,
+             "getsockname(): %s", std::strerror(errno));
+    port_ = ntohs(bound.sin_port);
+
+    started_ = true;
+    acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+TcpServer::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            // Transient failures (peer reset before accept, momentary
+            // fd exhaustion) must not kill the accept loop — only a
+            // stop() (which closes the listener) ends it.
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            {
+                std::lock_guard<std::mutex> lock(connections_mutex_);
+                if (stopping_)
+                    return;
+            }
+            if (errno == EMFILE || errno == ENFILE ||
+                errno == ENOBUFS || errno == ENOMEM) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+                continue;
+            }
+            inform("accept(): %s; no longer accepting",
+                   std::strerror(errno));
+            return;
+        }
+        setNoDelay(fd);
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        if (stopping_) {
+            ::close(fd);
+            return;
+        }
+        reapFinishedLocked();
+        ++accepted_;
+        auto connection = std::make_unique<Connection>();
+        connection->fd = fd;
+        Connection &ref = *connection;
+        connection->reader =
+            std::thread([this, &ref] { readerLoop(ref); });
+        connection->writer =
+            std::thread([this, &ref] { writerLoop(ref); });
+        connections_.push_back(std::move(connection));
+    }
+}
+
+void
+TcpServer::reapFinishedLocked()
+{
+    // Join and release connections whose both threads have exited, so
+    // a long-lived daemon under connection churn does not accumulate
+    // fds and thread handles until stop(). Caller holds
+    // connections_mutex_.
+    std::erase_if(connections_, [](const std::unique_ptr<Connection>
+                                       &connection) {
+        if (connection->live_threads.load() != 0)
+            return false;
+        if (connection->reader.joinable())
+            connection->reader.join();
+        if (connection->writer.joinable())
+            connection->writer.join();
+        ::close(connection->fd);
+        return true;
+    });
+}
+
+void
+TcpServer::enqueue(Connection &connection, Outbound outbound)
+{
+    {
+        std::lock_guard<std::mutex> lock(connection.mutex);
+        connection.outbox.push_back(std::move(outbound));
+    }
+    connection.cv.notify_all();
+}
+
+void
+TcpServer::readerLoop(Connection &connection)
+{
+    bool greeted = false;
+    try {
+        for (;;) {
+            const std::vector<std::uint8_t> body =
+                recvFrameBody(connection.fd);
+            if (body.empty())
+                break; // client closed (or stop() shut us down)
+            wire::Message message = wire::decodeBody(body);
+
+            if (!greeted) {
+                const auto *hello =
+                    std::get_if<wire::Hello>(&message);
+                if (hello == nullptr ||
+                    hello->protocol != wire::kProtocolVersion)
+                    break; // handshake violation: drop
+                greeted = true;
+                Outbound ack;
+                ack.ready = wire::HelloAck{};
+                enqueue(connection, std::move(ack));
+                continue;
+            }
+
+            if (auto *request =
+                    std::get_if<wire::InferRequest>(&message)) {
+                std::string error;
+                ClusterEngine *cluster = directory_.cluster(
+                    request->model, request->version, error);
+                if (cluster != nullptr &&
+                    request->input.size() != cluster->inputSize())
+                    error = "input length " +
+                        std::to_string(request->input.size()) +
+                        " != model input size " +
+                        std::to_string(cluster->inputSize());
+                if (cluster == nullptr || !error.empty()) {
+                    wire::InferResponse response;
+                    response.id = request->id;
+                    response.ok = false;
+                    response.error = error;
+                    Outbound out;
+                    out.ready = std::move(response);
+                    enqueue(connection, std::move(out));
+                    continue;
+                }
+                engine::SubmitOptions submit;
+                submit.priority = request->priority;
+                submit.deadline =
+                    std::chrono::microseconds(request->deadline_us);
+                Outbound out;
+                out.id = request->id;
+                out.pending = cluster->submit(
+                    std::move(request->input), submit);
+                enqueue(connection, std::move(out));
+            } else if (std::holds_alternative<wire::StatsRequest>(
+                           message)) {
+                Outbound out;
+                out.ready =
+                    wire::StatsResponse{directory_.statsJson()};
+                enqueue(connection, std::move(out));
+            } else if (const auto *info =
+                           std::get_if<wire::InfoRequest>(&message)) {
+                wire::InfoResponse response;
+                std::string error;
+                const ClusterEngine *cluster = directory_.cluster(
+                    info->model, info->version, error);
+                if (cluster == nullptr) {
+                    response.error = error;
+                } else {
+                    response.ok = true;
+                    response.model = cluster->model().name();
+                    response.version = cluster->model().version();
+                    response.input_size = cluster->inputSize();
+                    response.output_size = cluster->outputSize();
+                    response.shards = cluster->shardCount();
+                    response.placement = placementName(
+                        cluster->options().placement);
+                }
+                Outbound out;
+                out.ready = std::move(response);
+                enqueue(connection, std::move(out));
+            } else {
+                break; // client sent a server-to-client frame: drop
+            }
+        }
+    } catch (const wire::WireError &error) {
+        if (!Logger::quiet())
+            inform("dropping connection: %s", error.what());
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(connection.mutex);
+        connection.closing = true;
+    }
+    connection.cv.notify_all();
+    // Wake a writer blocked in send() and prevent further reads.
+    ::shutdown(connection.fd, SHUT_RD);
+    connection.live_threads.fetch_sub(1);
+}
+
+void
+TcpServer::writerLoop(Connection &connection)
+{
+    for (;;) {
+        Outbound outbound;
+        {
+            std::unique_lock<std::mutex> lock(connection.mutex);
+            connection.cv.wait(lock, [&connection] {
+                return connection.closing ||
+                    !connection.outbox.empty();
+            });
+            if (connection.outbox.empty())
+                break; // closing and fully flushed
+            outbound = std::move(connection.outbox.front());
+            connection.outbox.pop_front();
+        }
+
+        wire::Message message;
+        if (outbound.pending.valid()) {
+            wire::InferResponse response;
+            response.id = outbound.id;
+            try {
+                response.output = outbound.pending.get();
+                response.ok = true;
+            } catch (const std::exception &error) {
+                response.ok = false;
+                response.error = error.what();
+            }
+            message = std::move(response);
+        } else {
+            message = std::move(outbound.ready);
+        }
+        const std::vector<std::uint8_t> frame =
+            wire::encodeFrame(message);
+        if (!sendAll(connection.fd, frame.data(), frame.size()))
+            break; // peer gone; pending futures still complete above
+    }
+    // Flushed (or the peer is gone): FIN the socket so the client's
+    // reads terminate, and unblock a reader still in recv() when the
+    // writer is the one bailing out.
+    ::shutdown(connection.fd, SHUT_RDWR);
+    connection.live_threads.fetch_sub(1);
+}
+
+void
+TcpServer::stop()
+{
+    if (!started_)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        stopping_ = true;
+    }
+    std::call_once(join_once_, [this] {
+        // Closing the listener pops acceptLoop out of accept().
+        ::shutdown(listen_fd_, SHUT_RDWR);
+        ::close(listen_fd_);
+        if (acceptor_.joinable())
+            acceptor_.join();
+
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        for (auto &connection : connections_) {
+            ::shutdown(connection->fd, SHUT_RDWR);
+            {
+                std::lock_guard<std::mutex> conn_lock(
+                    connection->mutex);
+                connection->closing = true;
+            }
+            connection->cv.notify_all();
+        }
+        for (auto &connection : connections_) {
+            if (connection->reader.joinable())
+                connection->reader.join();
+            if (connection->writer.joinable())
+                connection->writer.join();
+            ::close(connection->fd);
+        }
+        connections_.clear();
+    });
+}
+
+std::uint64_t
+TcpServer::connectionsAccepted() const
+{
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    return accepted_;
+}
+
+std::size_t
+TcpServer::trackedConnections() const
+{
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    return connections_.size();
+}
+
+// ------------------------------------------------------------ TcpClient
+
+TcpClient::TcpClient(const std::string &host, std::uint16_t port)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *results = nullptr;
+    const int rc = ::getaddrinfo(
+        host.c_str(), std::to_string(port).c_str(), &hints, &results);
+    if (rc != 0)
+        throw std::runtime_error("cannot resolve '" + host +
+                                 "': " + ::gai_strerror(rc));
+
+    int fd = -1;
+    for (const addrinfo *ai = results; ai != nullptr;
+         ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype,
+                      ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(results);
+    if (fd < 0)
+        throw std::runtime_error("cannot connect to " + host + ":" +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(errno));
+    setNoDelay(fd);
+    fd_ = fd;
+
+    sendFrame(wire::Hello{});
+    const wire::Message ack = readFrame();
+    const auto *hello_ack = std::get_if<wire::HelloAck>(&ack);
+    if (hello_ack == nullptr ||
+        hello_ack->protocol != wire::kProtocolVersion) {
+        close();
+        throw std::runtime_error("handshake failed: unexpected or "
+                                 "mismatched HelloAck");
+    }
+}
+
+TcpClient::~TcpClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+TcpClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+TcpClient::sendFrame(const wire::Message &message)
+{
+    if (fd_ < 0)
+        throw wire::WireError("client connection is closed");
+    const std::vector<std::uint8_t> frame =
+        wire::encodeFrame(message);
+    if (!sendAll(fd_, frame.data(), frame.size()))
+        throw wire::WireError("connection lost while sending");
+}
+
+wire::Message
+TcpClient::readFrame()
+{
+    if (fd_ < 0)
+        throw wire::WireError("client connection is closed");
+    const std::vector<std::uint8_t> body = recvFrameBody(fd_);
+    if (body.empty())
+        throw wire::WireError("connection closed by server");
+    return wire::decodeBody(body);
+}
+
+std::uint64_t
+TcpClient::sendInfer(const std::string &model, std::uint32_t version,
+                     const std::vector<std::int64_t> &input,
+                     std::int32_t priority, std::uint32_t deadline_us)
+{
+    wire::InferRequest request;
+    request.id = next_id_++;
+    request.model = model;
+    request.version = version;
+    request.priority = priority;
+    request.deadline_us = deadline_us;
+    request.input = input;
+    sendFrame(request);
+    return request.id;
+}
+
+wire::InferResponse
+TcpClient::readResponse()
+{
+    const wire::Message message = readFrame();
+    const auto *response = std::get_if<wire::InferResponse>(&message);
+    if (response == nullptr)
+        throw wire::WireError("expected an InferResponse frame");
+    return *response;
+}
+
+std::vector<std::int64_t>
+TcpClient::infer(const std::string &model,
+                 const std::vector<std::int64_t> &input,
+                 std::uint32_t version)
+{
+    const std::uint64_t id = sendInfer(model, version, input);
+    wire::InferResponse response = readResponse();
+    if (response.id != id)
+        throw wire::WireError("response id does not match request");
+    if (!response.ok)
+        throw std::runtime_error("server error: " + response.error);
+    return std::move(response.output);
+}
+
+std::string
+TcpClient::stats()
+{
+    sendFrame(wire::StatsRequest{});
+    const wire::Message message = readFrame();
+    const auto *response = std::get_if<wire::StatsResponse>(&message);
+    if (response == nullptr)
+        throw wire::WireError("expected a StatsResponse frame");
+    return response->json;
+}
+
+wire::InfoResponse
+TcpClient::info(const std::string &model, std::uint32_t version)
+{
+    wire::InfoRequest request;
+    request.model = model;
+    request.version = version;
+    sendFrame(request);
+    const wire::Message message = readFrame();
+    const auto *response = std::get_if<wire::InfoResponse>(&message);
+    if (response == nullptr)
+        throw wire::WireError("expected an InfoResponse frame");
+    return *response;
+}
+
+} // namespace eie::serve

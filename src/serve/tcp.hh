@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Loopback/LAN TCP transport for the serving cluster: a TcpServer
+ * that dispatches wire-protocol frames (serve/wire.hh) onto a
+ * ServingDirectory's ClusterEngines, and a TcpClient that speaks the
+ * same frames. This is the `tools/eie_serve` daemon's front door.
+ *
+ * Connection model: one reader thread and one writer thread per
+ * accepted connection. The reader decodes frames and submits infer
+ * requests to the routed cluster immediately (so the cluster's
+ * micro-batchers see the full pipeline depth); the writer completes
+ * the per-request futures in request order and streams the responses
+ * back, so a client may pipeline arbitrarily many requests and read
+ * responses FIFO. Malformed frames, handshake violations and
+ * oversized bodies close the connection — they never take the daemon
+ * down.
+ *
+ * Lifecycle: TcpServer::stop() closes the listener and all accepted
+ * sockets and joins the per-connection threads; pending responses
+ * complete first (shard servers guarantee every submitted future
+ * resolves). Stop the TcpServer before stopping the directory's
+ * clusters.
+ */
+
+#ifndef EIE_SERVE_TCP_HH
+#define EIE_SERVE_TCP_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cluster.hh"
+#include "serve/wire.hh"
+
+namespace eie::serve {
+
+/** Listening parameters of a TcpServer. */
+struct TcpServerOptions
+{
+    /** TCP port; 0 binds an ephemeral port (read it via port()). */
+    std::uint16_t port = 0;
+
+    /** Bind address; loopback by default — exposing an unauthenticated
+     *  inference socket beyond the host is an operator decision. */
+    std::string bind_address = "127.0.0.1";
+
+    int backlog = 64;
+};
+
+/** Frame-dispatching TCP front end over a ServingDirectory. */
+class TcpServer
+{
+  public:
+    TcpServer(ServingDirectory &directory,
+              const TcpServerOptions &options = {});
+
+    /** Stops and joins (see stop()). */
+    ~TcpServer();
+
+    TcpServer(const TcpServer &) = delete;
+    TcpServer &operator=(const TcpServer &) = delete;
+
+    /** Bind, listen and start accepting. Fatal on bind failure. */
+    void start();
+
+    /** The bound port (valid after start(); resolves port 0). */
+    std::uint16_t port() const { return port_; }
+
+    /** Close the listener and every connection, join all threads.
+     *  Idempotent. */
+    void stop();
+
+    /** Connections accepted since start (diagnostics). */
+    std::uint64_t connectionsAccepted() const;
+
+    /** Connections currently tracked (live plus finished ones not
+     *  yet reaped; reaping happens on accept). */
+    std::size_t trackedConnections() const;
+
+  private:
+    /** One queued outbound response: either already materialised or
+     *  an in-flight inference future completed by the writer. */
+    struct Outbound
+    {
+        wire::Message ready;  ///< used when !pending.valid()
+        std::uint64_t id = 0; ///< request id for pending responses
+        std::future<std::vector<std::int64_t>> pending;
+    };
+
+    struct Connection
+    {
+        int fd = -1;
+        std::thread reader;
+        std::thread writer;
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::deque<Outbound> outbox;
+        bool closing = false;
+        /** Reader + writer still running; 0 = reapable. */
+        std::atomic<int> live_threads{2};
+    };
+
+    void acceptLoop();
+    void readerLoop(Connection &connection);
+    void writerLoop(Connection &connection);
+    void enqueue(Connection &connection, Outbound outbound);
+    void reapFinishedLocked(); ///< caller holds connections_mutex_
+
+    ServingDirectory &directory_;
+    TcpServerOptions options_;
+
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread acceptor_;
+    bool started_ = false;
+
+    mutable std::mutex connections_mutex_;
+    std::vector<std::unique_ptr<Connection>> connections_;
+    std::uint64_t accepted_ = 0;
+    bool stopping_ = false;
+    std::once_flag join_once_;
+};
+
+/** Blocking wire-protocol client (pipelining supported). */
+class TcpClient
+{
+  public:
+    /** Connect to @p host:@p port and handshake. Throws
+     *  std::runtime_error on connection or handshake failure. */
+    TcpClient(const std::string &host, std::uint16_t port);
+
+    ~TcpClient();
+
+    TcpClient(const TcpClient &) = delete;
+    TcpClient &operator=(const TcpClient &) = delete;
+
+    /**
+     * Send one inference request without waiting (pipelining);
+     * returns the request id. Responses arrive in request order via
+     * readResponse().
+     */
+    std::uint64_t sendInfer(const std::string &model,
+                            std::uint32_t version,
+                            const std::vector<std::int64_t> &input,
+                            std::int32_t priority = 0,
+                            std::uint32_t deadline_us = 0);
+
+    /** Read the next InferResponse (blocking). Throws WireError on a
+     *  protocol violation or a closed connection. */
+    wire::InferResponse readResponse();
+
+    /** Synchronous convenience: send one request, wait for its
+     *  response, return the output. Throws std::runtime_error with
+     *  the server's message on an error response. */
+    std::vector<std::int64_t>
+    infer(const std::string &model,
+          const std::vector<std::int64_t> &input,
+          std::uint32_t version = 0);
+
+    /** Fetch the server's aggregated stats JSON. Must not be called
+     *  with inference responses still unread (responses are FIFO). */
+    std::string stats();
+
+    /** Describe a served model (sizes, shard layout; builds its
+     *  cluster on first touch). Same FIFO caveat as stats(). */
+    wire::InfoResponse info(const std::string &model,
+                            std::uint32_t version = 0);
+
+    /** Close the connection (idempotent; further calls throw). */
+    void close();
+
+  private:
+    void sendFrame(const wire::Message &message);
+    wire::Message readFrame();
+
+    int fd_ = -1;
+    std::uint64_t next_id_ = 1;
+};
+
+} // namespace eie::serve
+
+#endif // EIE_SERVE_TCP_HH

@@ -1,0 +1,273 @@
+#include "serve/wire.hh"
+
+#include <cstring>
+
+namespace eie::serve::wire {
+
+namespace {
+
+/** Little-endian scalar/string/vector writer (appends to a buffer). */
+class BodyWriter
+{
+  public:
+    template <typename T>
+    void
+    scalar(T value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto *p = reinterpret_cast<const std::uint8_t *>(&value);
+        bytes_.insert(bytes_.end(), p, p + sizeof(T));
+    }
+
+    void
+    string(const std::string &text)
+    {
+        scalar<std::uint32_t>(static_cast<std::uint32_t>(text.size()));
+        bytes_.insert(bytes_.end(), text.begin(), text.end());
+    }
+
+    void
+    vectorI64(const std::vector<std::int64_t> &values)
+    {
+        scalar<std::uint32_t>(
+            static_cast<std::uint32_t>(values.size()));
+        for (const std::int64_t v : values)
+            scalar<std::int64_t>(v);
+    }
+
+    std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/** Bounds-checked reader over one frame body. */
+class BodyReader
+{
+  public:
+    explicit BodyReader(std::span<const std::uint8_t> bytes)
+        : bytes_(bytes)
+    {}
+
+    template <typename T>
+    T
+    scalar()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (pos_ + sizeof(T) > bytes_.size())
+            throw WireError("frame truncated");
+        T value;
+        std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return value;
+    }
+
+    std::string
+    string(std::size_t max_len)
+    {
+        const auto len = scalar<std::uint32_t>();
+        if (len > max_len)
+            throw WireError("string field exceeds limit");
+        if (pos_ + len > bytes_.size())
+            throw WireError("frame truncated");
+        std::string text(
+            reinterpret_cast<const char *>(bytes_.data() + pos_), len);
+        pos_ += len;
+        return text;
+    }
+
+    std::vector<std::int64_t>
+    vectorI64()
+    {
+        const auto count = scalar<std::uint32_t>();
+        if (static_cast<std::size_t>(count) * 8 >
+            bytes_.size() - pos_)
+            throw WireError("vector field exceeds frame");
+        std::vector<std::int64_t> values(count);
+        for (auto &v : values)
+            v = scalar<std::int64_t>();
+        return values;
+    }
+
+    void
+    done() const
+    {
+        if (pos_ != bytes_.size())
+            throw WireError("trailing bytes after frame payload");
+    }
+
+  private:
+    std::span<const std::uint8_t> bytes_;
+    std::size_t pos_ = 0;
+};
+
+/** Wrap a finished body in the length-prefixed frame. */
+std::vector<std::uint8_t>
+frame(MsgType type, BodyWriter body_writer)
+{
+    const std::vector<std::uint8_t> payload = body_writer.take();
+    const std::uint32_t body_len =
+        static_cast<std::uint32_t>(1 + payload.size());
+    std::vector<std::uint8_t> out;
+    out.reserve(4 + body_len);
+    const auto *p = reinterpret_cast<const std::uint8_t *>(&body_len);
+    out.insert(out.end(), p, p + 4);
+    out.push_back(static_cast<std::uint8_t>(type));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+} // namespace
+
+MsgType
+messageType(const Message &message)
+{
+    return std::visit(
+        [](const auto &msg) {
+            using T = std::decay_t<decltype(msg)>;
+            if constexpr (std::is_same_v<T, Hello>)
+                return MsgType::Hello;
+            else if constexpr (std::is_same_v<T, HelloAck>)
+                return MsgType::HelloAck;
+            else if constexpr (std::is_same_v<T, InferRequest>)
+                return MsgType::InferRequest;
+            else if constexpr (std::is_same_v<T, InferResponse>)
+                return MsgType::InferResponse;
+            else if constexpr (std::is_same_v<T, StatsRequest>)
+                return MsgType::StatsRequest;
+            else if constexpr (std::is_same_v<T, StatsResponse>)
+                return MsgType::StatsResponse;
+            else if constexpr (std::is_same_v<T, InfoRequest>)
+                return MsgType::InfoRequest;
+            else
+                return MsgType::InfoResponse;
+        },
+        message);
+}
+
+std::vector<std::uint8_t>
+encodeFrame(const Message &message)
+{
+    BodyWriter writer;
+    std::visit(
+        [&writer](const auto &msg) {
+            using T = std::decay_t<decltype(msg)>;
+            if constexpr (std::is_same_v<T, Hello> ||
+                          std::is_same_v<T, HelloAck>) {
+                writer.scalar<std::uint32_t>(msg.protocol);
+            } else if constexpr (std::is_same_v<T, InferRequest>) {
+                writer.scalar<std::uint64_t>(msg.id);
+                writer.string(msg.model);
+                writer.scalar<std::uint32_t>(msg.version);
+                writer.scalar<std::int32_t>(msg.priority);
+                writer.scalar<std::uint32_t>(msg.deadline_us);
+                writer.vectorI64(msg.input);
+            } else if constexpr (std::is_same_v<T, InferResponse>) {
+                writer.scalar<std::uint64_t>(msg.id);
+                writer.scalar<std::uint8_t>(msg.ok ? 1 : 0);
+                if (msg.ok)
+                    writer.vectorI64(msg.output);
+                else
+                    writer.string(msg.error);
+            } else if constexpr (std::is_same_v<T, StatsRequest>) {
+                // empty payload
+            } else if constexpr (std::is_same_v<T, StatsResponse>) {
+                writer.string(msg.json);
+            } else if constexpr (std::is_same_v<T, InfoRequest>) {
+                writer.string(msg.model);
+                writer.scalar<std::uint32_t>(msg.version);
+            } else { // InfoResponse
+                writer.scalar<std::uint8_t>(msg.ok ? 1 : 0);
+                writer.string(msg.error);
+                writer.string(msg.model);
+                writer.scalar<std::uint32_t>(msg.version);
+                writer.scalar<std::uint64_t>(msg.input_size);
+                writer.scalar<std::uint64_t>(msg.output_size);
+                writer.scalar<std::uint32_t>(msg.shards);
+                writer.string(msg.placement);
+            }
+        },
+        message);
+    return frame(messageType(message), std::move(writer));
+}
+
+Message
+decodeBody(std::span<const std::uint8_t> body)
+{
+    if (body.empty())
+        throw WireError("empty frame body");
+    if (body.size() > kMaxBodyBytes)
+        throw WireError("frame body exceeds limit");
+
+    BodyReader reader(body.subspan(1));
+    switch (static_cast<MsgType>(body[0])) {
+      case MsgType::Hello: {
+        Hello msg;
+        msg.protocol = reader.scalar<std::uint32_t>();
+        reader.done();
+        return msg;
+      }
+      case MsgType::HelloAck: {
+        HelloAck msg;
+        msg.protocol = reader.scalar<std::uint32_t>();
+        reader.done();
+        return msg;
+      }
+      case MsgType::InferRequest: {
+        InferRequest msg;
+        msg.id = reader.scalar<std::uint64_t>();
+        msg.model = reader.string(kMaxModelName);
+        msg.version = reader.scalar<std::uint32_t>();
+        msg.priority = reader.scalar<std::int32_t>();
+        msg.deadline_us = reader.scalar<std::uint32_t>();
+        msg.input = reader.vectorI64();
+        reader.done();
+        return msg;
+      }
+      case MsgType::InferResponse: {
+        InferResponse msg;
+        msg.id = reader.scalar<std::uint64_t>();
+        msg.ok = reader.scalar<std::uint8_t>() != 0;
+        if (msg.ok)
+            msg.output = reader.vectorI64();
+        else
+            msg.error = reader.string(kMaxBodyBytes);
+        reader.done();
+        return msg;
+      }
+      case MsgType::StatsRequest: {
+        reader.done();
+        return StatsRequest{};
+      }
+      case MsgType::StatsResponse: {
+        StatsResponse msg;
+        msg.json = reader.string(kMaxBodyBytes);
+        reader.done();
+        return msg;
+      }
+      case MsgType::InfoRequest: {
+        InfoRequest msg;
+        msg.model = reader.string(kMaxModelName);
+        msg.version = reader.scalar<std::uint32_t>();
+        reader.done();
+        return msg;
+      }
+      case MsgType::InfoResponse: {
+        InfoResponse msg;
+        msg.ok = reader.scalar<std::uint8_t>() != 0;
+        msg.error = reader.string(kMaxBodyBytes);
+        msg.model = reader.string(kMaxModelName);
+        msg.version = reader.scalar<std::uint32_t>();
+        msg.input_size = reader.scalar<std::uint64_t>();
+        msg.output_size = reader.scalar<std::uint64_t>();
+        msg.shards = reader.scalar<std::uint32_t>();
+        msg.placement = reader.string(kMaxBodyBytes);
+        reader.done();
+        return msg;
+      }
+    }
+    throw WireError("unknown frame type " +
+                    std::to_string(static_cast<unsigned>(body[0])));
+}
+
+} // namespace eie::serve::wire

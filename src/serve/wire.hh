@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The serving cluster's wire protocol: length-prefixed binary frames
+ * carrying inference requests/responses and stats queries between a
+ * TcpClient and a TcpServer (serve/tcp.hh).
+ *
+ * Frame layout (little-endian scalars):
+ *
+ *   u32 body_len | body
+ *   body = u8 type | payload
+ *
+ * Payloads by type:
+ *   Hello / HelloAck : u32 protocol version (handshake, first frame
+ *                      in each direction)
+ *   InferRequest     : u64 id, str model, u32 version (0 = latest),
+ *                      i32 priority, u32 deadline_us (0 = none),
+ *                      vec<i64> input (raw fixed-point activations)
+ *   InferResponse    : u64 id, u8 ok, then str error (ok = 0) or
+ *                      vec<i64> output (ok = 1)
+ *   StatsRequest     : empty
+ *   StatsResponse    : str json (ServingDirectory::statsJson)
+ *   InfoRequest      : str model, u32 version (0 = latest)
+ *   InfoResponse     : u8 ok, str error, str model, u32 version,
+ *                      u64 input_size, u64 output_size, u32 shards,
+ *                      str placement
+ *
+ * str is u32 length + bytes; vec<i64> is u32 count + count x i64.
+ * Decoding is defensive — a malformed or oversized frame throws
+ * WireError (the transport drops the connection) instead of killing
+ * the daemon, unlike the fatal()-on-corruption model-file loader
+ * whose inputs are operator-owned files.
+ */
+
+#ifndef EIE_SERVE_WIRE_HH
+#define EIE_SERVE_WIRE_HH
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace eie::serve::wire {
+
+/** Protocol revision; bumped on any frame-layout change. */
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/** Upper bound on one frame's body, guarding decoder allocations. */
+inline constexpr std::size_t kMaxBodyBytes = std::size_t{1} << 28;
+
+/** Longest accepted model name (matches the registry's limit). */
+inline constexpr std::size_t kMaxModelName = 128;
+
+/** Frame type tags (the body's leading byte). */
+enum class MsgType : std::uint8_t
+{
+    Hello = 1,
+    HelloAck = 2,
+    InferRequest = 3,
+    InferResponse = 4,
+    StatsRequest = 5,
+    StatsResponse = 6,
+    InfoRequest = 7,
+    InfoResponse = 8,
+};
+
+struct Hello
+{
+    std::uint32_t protocol = kProtocolVersion;
+};
+
+struct HelloAck
+{
+    std::uint32_t protocol = kProtocolVersion;
+};
+
+struct InferRequest
+{
+    std::uint64_t id = 0;
+    std::string model;
+    std::uint32_t version = 0;   ///< 0 = latest published
+    std::int32_t priority = 0;   ///< engine::SubmitOptions::priority
+    std::uint32_t deadline_us = 0; ///< 0 = no deadline
+    std::vector<std::int64_t> input;
+};
+
+struct InferResponse
+{
+    std::uint64_t id = 0;
+    bool ok = false;
+    std::string error;                 ///< set when !ok
+    std::vector<std::int64_t> output;  ///< set when ok
+};
+
+struct StatsRequest
+{};
+
+struct StatsResponse
+{
+    std::string json;
+};
+
+struct InfoRequest
+{
+    std::string model;
+    std::uint32_t version = 0; ///< 0 = latest published
+};
+
+struct InfoResponse
+{
+    bool ok = false;
+    std::string error; ///< set when !ok
+    std::string model;
+    std::uint32_t version = 0; ///< resolved (never 0 when ok)
+    std::uint64_t input_size = 0;
+    std::uint64_t output_size = 0;
+    std::uint32_t shards = 0;
+    std::string placement;
+};
+
+using Message = std::variant<Hello, HelloAck, InferRequest,
+                             InferResponse, StatsRequest,
+                             StatsResponse, InfoRequest,
+                             InfoResponse>;
+
+/** Thrown on any malformed, truncated or oversized frame. */
+class WireError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Serialise @p message as one whole frame (length prefix included). */
+std::vector<std::uint8_t> encodeFrame(const Message &message);
+
+/**
+ * Decode one frame body (the bytes after the length prefix: type tag
+ * plus payload). Throws WireError on unknown types, truncation,
+ * trailing garbage or limit violations.
+ */
+Message decodeBody(std::span<const std::uint8_t> body);
+
+/** The type tag @p message would carry on the wire. */
+MsgType messageType(const Message &message);
+
+} // namespace eie::serve::wire
+
+#endif // EIE_SERVE_WIRE_HH

@@ -203,4 +203,198 @@ TEST(InferenceServerDeath, RejectsWrongInputSize)
                 ::testing::ExitedWithCode(1), "input length");
 }
 
+// ---------------------------------------------------------------------
+// Batch-forming policy (priorities + deadlines), tested as the pure
+// queue transformation so there is no timing race to fight.
+
+engine::detail::Pending
+makePending(int tag, int priority,
+            std::chrono::steady_clock::time_point deadline =
+                std::chrono::steady_clock::time_point::max())
+{
+    engine::detail::Pending pending;
+    pending.input = {tag};
+    pending.priority = priority;
+    pending.enqueued = std::chrono::steady_clock::now();
+    pending.deadline = deadline;
+    return pending;
+}
+
+int
+tagOf(const engine::detail::Pending &pending)
+{
+    return static_cast<int>(pending.input.front());
+}
+
+TEST(FormBatch, PopsHigherPrioritiesFirstFifoWithinLevel)
+{
+    std::deque<engine::detail::Pending> queue;
+    queue.push_back(makePending(0, 0));
+    queue.push_back(makePending(1, 5));
+    queue.push_back(makePending(2, 0));
+    queue.push_back(makePending(3, 5));
+    queue.push_back(makePending(4, 9));
+
+    auto formed = engine::detail::formBatch(
+        queue, 3, std::chrono::steady_clock::now());
+    ASSERT_EQ(formed.batch.size(), 3u);
+    EXPECT_EQ(tagOf(formed.batch[0]), 4); // highest priority
+    EXPECT_EQ(tagOf(formed.batch[1]), 1); // FIFO within priority 5
+    EXPECT_EQ(tagOf(formed.batch[2]), 3);
+    EXPECT_TRUE(formed.dropped.empty());
+
+    // The remainder keeps arrival order.
+    ASSERT_EQ(queue.size(), 2u);
+    EXPECT_EQ(tagOf(queue[0]), 0);
+    EXPECT_EQ(tagOf(queue[1]), 2);
+
+    // Promises of selected requests must still be fulfillable.
+    for (auto &pending : formed.batch)
+        pending.promise.set_value({});
+    for (auto &pending : queue)
+        pending.promise.set_value({});
+}
+
+TEST(FormBatch, DropsExpiredRequestsBeforeSelection)
+{
+    const auto now = std::chrono::steady_clock::now();
+    std::deque<engine::detail::Pending> queue;
+    queue.push_back(
+        makePending(0, 9, now - std::chrono::microseconds(1)));
+    queue.push_back(makePending(1, 0));
+    queue.push_back(
+        makePending(2, 9, now - std::chrono::microseconds(1)));
+    queue.push_back(
+        makePending(3, 0, now + std::chrono::seconds(10)));
+
+    auto formed = engine::detail::formBatch(queue, 8, now);
+    ASSERT_EQ(formed.dropped.size(), 2u);
+    EXPECT_EQ(tagOf(formed.dropped[0]), 0);
+    EXPECT_EQ(tagOf(formed.dropped[1]), 2);
+    ASSERT_EQ(formed.batch.size(), 2u);
+    EXPECT_EQ(tagOf(formed.batch[0]), 1);
+    EXPECT_EQ(tagOf(formed.batch[1]), 3);
+    EXPECT_TRUE(queue.empty());
+
+    for (auto &pending : formed.batch)
+        pending.promise.set_value({});
+    for (auto &pending : formed.dropped)
+        pending.promise.set_exception(std::make_exception_ptr(
+            std::runtime_error("dropped")));
+}
+
+TEST(InferenceServer, ExpiredDeadlinesDropAndAreCounted)
+{
+    ServingFixture fx;
+    // A batch cap the burst cannot reach and a forming deadline far
+    // beyond the request deadlines: every request must expire queued,
+    // deterministically.
+    engine::ServerOptions options;
+    options.max_batch = 1000;
+    options.max_delay = std::chrono::milliseconds(200);
+    engine::InferenceServer server(fx.compiledBackend(), options);
+
+    engine::SubmitOptions submit;
+    submit.deadline = std::chrono::milliseconds(2);
+    std::vector<std::future<std::vector<std::int64_t>>> futures;
+    for (int i = 0; i < 10; ++i)
+        futures.push_back(
+            server.submit(fx.randomInput(1600 + i), submit));
+    for (auto &future : futures)
+        EXPECT_THROW(future.get(), engine::DeadlineExpired);
+
+    const engine::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requests, 0u);
+    EXPECT_EQ(stats.dropped_deadline, 10u);
+}
+
+TEST(InferenceServer, MixedPriorityBurstStaysBitExact)
+{
+    ServingFixture fx;
+    engine::ServerOptions options;
+    options.max_batch = 4;
+    options.max_delay = std::chrono::microseconds(500);
+    engine::InferenceServer server(fx.compiledBackend(), options);
+
+    // Priorities reorder execution, never responses: every future
+    // must still resolve to its own request's oracle output.
+    std::vector<std::vector<std::int64_t>> inputs;
+    std::vector<std::future<std::vector<std::int64_t>>> futures;
+    for (int i = 0; i < 32; ++i) {
+        engine::SubmitOptions submit;
+        submit.priority = i % 3;
+        inputs.push_back(fx.randomInput(1700 + i));
+        futures.push_back(server.submit(inputs.back(), submit));
+    }
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(futures[i].get(), fx.oracle(inputs[i]))
+            << "request " << i;
+    EXPECT_EQ(server.stats().dropped_deadline, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Shutdown ordering: destroying the server mid-burst must complete
+// every already-obtained future (with an output or a clear error) —
+// the TSan pass in tools/check.sh runs this against the real thread
+// interleavings.
+
+TEST(InferenceServer, StopWithFullQueueMidBurstCompletesEveryFuture)
+{
+    ServingFixture fx;
+    for (int round = 0; round < 3; ++round) {
+        engine::ServerOptions options;
+        options.max_batch = 4;
+        options.max_delay = std::chrono::microseconds(100);
+        auto server = std::make_unique<engine::InferenceServer>(
+            fx.compiledBackend(), options);
+
+        constexpr int kSubmitters = 4;
+        constexpr int kPerSubmitter = 24;
+        std::vector<std::thread> submitters;
+        // completed[c][i]: 1 = served bit-exact, 2 = failed with a
+        // runtime_error (submit raced stop), 0 = abandoned future or
+        // wrong output — the bugs this test guards against.
+        std::vector<std::vector<int>> completed(
+            kSubmitters, std::vector<int>(kPerSubmitter, 0));
+        for (int c = 0; c < kSubmitters; ++c) {
+            submitters.emplace_back([&, c] {
+                for (int i = 0; i < kPerSubmitter; ++i) {
+                    const auto input = fx.randomInput(
+                        2000 + 997 * round + 59 * c + 17 * i);
+                    auto future = server->submit(input);
+                    try {
+                        completed[c][i] =
+                            future.get() == fx.oracle(input) ? 1 : 0;
+                    } catch (const engine::ServerStopped &) {
+                        completed[c][i] = 2;
+                    }
+                }
+            });
+        }
+        // Stop while the burst is in full flight: the queue holds
+        // un-executed requests and more submits are racing in.
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+        server->stop();
+        for (auto &submitter : submitters)
+            submitter.join();
+        server.reset(); // double-stop via destructor
+
+        for (int c = 0; c < kSubmitters; ++c)
+            for (int i = 0; i < kPerSubmitter; ++i)
+                EXPECT_NE(completed[c][i], 0)
+                    << "abandoned or wrong: round " << round
+                    << ", client " << c << ", request " << i;
+    }
+}
+
+TEST(InferenceServer, SubmitAfterStopFailsTheFutureNotTheProcess)
+{
+    ServingFixture fx;
+    engine::InferenceServer server(fx.compiledBackend());
+    server.stop();
+    auto future = server.submit(fx.randomInput(2100));
+    EXPECT_THROW(future.get(), engine::ServerStopped);
+    EXPECT_EQ(server.queueDepth(), 0u);
+}
+
 } // namespace

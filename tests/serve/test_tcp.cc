@@ -1,0 +1,323 @@
+/**
+ * @file
+ * TCP loopback end-to-end tests: the full serving stack — EIEM model
+ * file on disk, ModelRegistry load, ServingDirectory + ClusterEngine,
+ * wire frames over a real socket — verified bit-exact against
+ * FunctionalModel on the same vectors, plus pipelining, error
+ * responses, stats/info frames and deadline propagation over the
+ * wire.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "compress/model_file.hh"
+#include "core/functional.hh"
+#include "helpers.hh"
+#include "serve/cluster.hh"
+#include "serve/registry.hh"
+#include "serve/tcp.hh"
+
+namespace {
+
+using namespace eie;
+namespace fs = std::filesystem;
+
+/** Registry + directory + listening server on an ephemeral port. */
+struct TcpFixture
+{
+    fs::path dir;
+    core::EieConfig config;
+    compress::CompressedLayer layer;
+    serve::ModelRegistry registry;
+    serve::ServingDirectory directory;
+    serve::TcpServer server;
+    core::FunctionalModel functional;
+    core::LayerPlan oracle_plan;
+
+    explicit TcpFixture(
+        serve::Placement placement = serve::Placement::Replicated,
+        unsigned shards = 2)
+        : dir(scratchDir()), config(makeConfig()),
+          layer(test::randomCompressedLayer(96, 64, 0.25, 4, 1101)),
+          registry(dir.string(), config),
+          directory(registry, makeClusterOptions(placement, shards)),
+          server(directory), functional(config),
+          oracle_plan(core::planLayer(layer, nn::Nonlinearity::ReLU,
+                                      config))
+    {
+        // The satellite round trip: the model reaches the serving
+        // stack only through its on-disk EIEM file.
+        registry.publish("fc", 1, layer.storage());
+        server.start();
+    }
+
+    ~TcpFixture()
+    {
+        server.stop();
+        directory.stopAll();
+        fs::remove_all(dir);
+    }
+
+    static fs::path
+    scratchDir()
+    {
+        static int counter = 0;
+        return fs::temp_directory_path() /
+            ("eie_tcp_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++));
+    }
+
+    static core::EieConfig
+    makeConfig()
+    {
+        core::EieConfig config;
+        config.n_pe = 4;
+        return config;
+    }
+
+    static serve::ClusterOptions
+    makeClusterOptions(serve::Placement placement, unsigned shards)
+    {
+        serve::ClusterOptions options;
+        options.shards = shards;
+        options.placement = placement;
+        options.server.max_batch = 8;
+        options.server.max_delay = std::chrono::microseconds(200);
+        return options;
+    }
+
+    std::vector<std::int64_t>
+    randomInput(std::uint64_t seed) const
+    {
+        return functional.quantizeInput(
+            test::randomActivations(64, 0.6, seed));
+    }
+
+    /** The FunctionalModel oracle on the original (pre-file) plan. */
+    std::vector<std::int64_t>
+    oracle(const std::vector<std::int64_t> &input) const
+    {
+        return functional.run(oracle_plan, input).output_raw;
+    }
+};
+
+TEST(TcpServing, ModelFileRoundTripServesBitExactOverTheWire)
+{
+    TcpFixture fx;
+    serve::TcpClient client("127.0.0.1", fx.server.port());
+
+    const serve::wire::InfoResponse info = client.info("fc");
+    ASSERT_TRUE(info.ok) << info.error;
+    EXPECT_EQ(info.input_size, 64u);
+    EXPECT_EQ(info.output_size, 96u);
+    EXPECT_EQ(info.shards, 2u);
+    EXPECT_EQ(info.placement, "replicated");
+
+    for (int i = 0; i < 16; ++i) {
+        const auto input = fx.randomInput(1200 + i);
+        EXPECT_EQ(client.infer("fc", input), fx.oracle(input))
+            << "request " << i;
+    }
+
+    // A version written straight through compress::saveModelFile
+    // (no publish() involved — e.g. rsync'd in by an operator) must
+    // be served just the same.
+    compress::saveModelFile((fx.dir / "fc" / "v2.eiem").string(),
+                            fx.layer.storage());
+    const auto input = fx.randomInput(1299);
+    EXPECT_EQ(client.infer("fc", input, /*version=*/2),
+              fx.oracle(input));
+    const serve::wire::InfoResponse v2 = client.info("fc", 0);
+    EXPECT_TRUE(v2.ok);
+    EXPECT_EQ(v2.version, 2u); // version 0 now resolves to v2
+}
+
+TEST(TcpServing, PartitionedClusterServesBitExactOverTheWire)
+{
+    TcpFixture fx(serve::Placement::ColumnPartitioned, 4);
+    serve::TcpClient client("127.0.0.1", fx.server.port());
+    for (int i = 0; i < 12; ++i) {
+        const auto input = fx.randomInput(1300 + i);
+        EXPECT_EQ(client.infer("fc", input), fx.oracle(input))
+            << "request " << i;
+    }
+}
+
+TEST(TcpServing, PipelinedBurstKeepsOrderAndBitExactness)
+{
+    TcpFixture fx;
+    serve::TcpClient client("127.0.0.1", fx.server.port());
+
+    constexpr int kRequests = 256;
+    std::vector<std::vector<std::int64_t>> inputs;
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < kRequests; ++i) {
+        inputs.push_back(fx.randomInput(1400 + i));
+        ids.push_back(client.sendInfer("fc", 0, inputs.back()));
+    }
+    for (int i = 0; i < kRequests; ++i) {
+        const serve::wire::InferResponse response =
+            client.readResponse();
+        EXPECT_EQ(response.id, ids[i]) << "responses must be FIFO";
+        ASSERT_TRUE(response.ok) << response.error;
+        EXPECT_EQ(response.output, fx.oracle(inputs[i]))
+            << "request " << i;
+    }
+
+    const std::string stats = client.stats();
+    EXPECT_NE(stats.find("\"requests\":256"), std::string::npos)
+        << stats;
+}
+
+TEST(TcpServing, ConcurrentConnectionsShareTheCluster)
+{
+    TcpFixture fx;
+    constexpr int kClients = 3;
+    constexpr int kPerClient = 32;
+    std::vector<std::thread> threads;
+    std::vector<std::string> failures(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            try {
+                serve::TcpClient client("127.0.0.1",
+                                        fx.server.port());
+                for (int i = 0; i < kPerClient; ++i) {
+                    const auto input =
+                        fx.randomInput(1500 + 41 * c + 100 * i);
+                    if (client.infer("fc", input) !=
+                        fx.oracle(input)) {
+                        failures[c] = "diverged at request " +
+                            std::to_string(i);
+                        return;
+                    }
+                }
+            } catch (const std::exception &error) {
+                failures[c] = error.what();
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    for (int c = 0; c < kClients; ++c)
+        EXPECT_TRUE(failures[c].empty())
+            << "client " << c << ": " << failures[c];
+    EXPECT_EQ(fx.server.connectionsAccepted(), 3u);
+}
+
+TEST(TcpServing, UnknownModelAndWrongSizeYieldErrorResponses)
+{
+    TcpFixture fx;
+    serve::TcpClient client("127.0.0.1", fx.server.port());
+
+    const serve::wire::InfoResponse info = client.info("missing");
+    EXPECT_FALSE(info.ok);
+    EXPECT_NE(info.error.find("not found"), std::string::npos);
+
+    EXPECT_THROW(client.infer("missing", fx.randomInput(1600)),
+                 std::runtime_error);
+
+    // Wrong input length: an error response, not a dead daemon.
+    EXPECT_THROW(client.infer("fc", std::vector<std::int64_t>(3, 1)),
+                 std::runtime_error);
+
+    // And the connection is still healthy afterwards.
+    const auto input = fx.randomInput(1601);
+    EXPECT_EQ(client.infer("fc", input), fx.oracle(input));
+}
+
+TEST(TcpServing, DeadlinesDropOverTheWire)
+{
+    TcpFixture fx;
+    // Forming deadline far beyond the request deadlines and a batch
+    // cap a small burst cannot reach: every request expires queued.
+    serve::ClusterOptions options = TcpFixture::makeClusterOptions(
+        serve::Placement::Replicated, 1);
+    options.server.max_batch = 1000;
+    options.server.max_delay = std::chrono::milliseconds(200);
+    serve::ServingDirectory directory(fx.registry, options);
+    serve::TcpServer server(directory);
+    server.start();
+
+    serve::TcpClient client("127.0.0.1", server.port());
+    constexpr int kRequests = 8;
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < kRequests; ++i)
+        ids.push_back(client.sendInfer("fc", 0,
+                                       fx.randomInput(1700 + i), 0,
+                                       /*deadline_us=*/2000));
+    for (int i = 0; i < kRequests; ++i) {
+        const serve::wire::InferResponse response =
+            client.readResponse();
+        EXPECT_EQ(response.id, ids[i]);
+        EXPECT_FALSE(response.ok);
+        EXPECT_NE(response.error.find("deadline"), std::string::npos)
+            << response.error;
+    }
+    server.stop();
+    directory.stopAll();
+}
+
+TEST(TcpServing, FinishedConnectionsAreReaped)
+{
+    TcpFixture fx;
+    for (int i = 0; i < 3; ++i) {
+        serve::TcpClient client("127.0.0.1", fx.server.port());
+        const auto input = fx.randomInput(1900 + i);
+        EXPECT_EQ(client.infer("fc", input), fx.oracle(input));
+    } // destructor closes; the server notices EOF asynchronously
+
+    // Reaping happens on accept: fresh probe connections must shake
+    // the three finished ones out (probe + at most one lingering
+    // previous probe may still be tracked).
+    bool reaped = false;
+    for (int attempt = 0; attempt < 100 && !reaped; ++attempt) {
+        serve::TcpClient probe("127.0.0.1", fx.server.port());
+        const auto input = fx.randomInput(1950);
+        EXPECT_EQ(probe.infer("fc", input), fx.oracle(input));
+        reaped = fx.server.trackedConnections() <= 2;
+        if (!reaped)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(reaped) << "finished connections were never reaped";
+}
+
+TEST(TcpServing, GarbageFramesDropTheConnectionNotTheServer)
+{
+    TcpFixture fx;
+
+    // Raw socket sending an absurd frame length: the server must
+    // drop this connection (recv returns EOF for us) and keep
+    // serving everyone else.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(fx.server.port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::uint32_t absurd_len = 0xffffffffu;
+    ASSERT_EQ(::send(fd, &absurd_len, sizeof(absurd_len),
+                     MSG_NOSIGNAL),
+              static_cast<ssize_t>(sizeof(absurd_len)));
+    char byte = 0;
+    EXPECT_EQ(::recv(fd, &byte, 1, 0), 0); // server closed on us
+    ::close(fd);
+
+    // The server keeps serving healthy clients.
+    serve::TcpClient client("127.0.0.1", fx.server.port());
+    const auto input = fx.randomInput(1800);
+    EXPECT_EQ(client.infer("fc", input), fx.oracle(input));
+}
+
+} // namespace

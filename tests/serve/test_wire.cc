@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Wire-protocol codec tests: every message type round-trips through
+ * encodeFrame/decodeBody, and malformed frames (truncation, trailing
+ * garbage, unknown types, oversized fields) throw WireError instead
+ * of crashing — the daemon's survival property against byte-level
+ * garbage from the network.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <span>
+
+#include "serve/wire.hh"
+
+namespace {
+
+using namespace eie::serve;
+
+/** Strip the length prefix, returning the frame body. */
+std::vector<std::uint8_t>
+body(const std::vector<std::uint8_t> &frame)
+{
+    EXPECT_GE(frame.size(), 5u);
+    std::uint32_t body_len = 0;
+    std::memcpy(&body_len, frame.data(), 4);
+    EXPECT_EQ(body_len, frame.size() - 4);
+    return {frame.begin() + 4, frame.end()};
+}
+
+/** Encode, frame-check, decode. */
+wire::Message
+roundTrip(const wire::Message &message)
+{
+    return wire::decodeBody(body(wire::encodeFrame(message)));
+}
+
+TEST(Wire, HelloRoundTrip)
+{
+    const auto decoded = roundTrip(wire::Hello{});
+    const auto *hello = std::get_if<wire::Hello>(&decoded);
+    ASSERT_NE(hello, nullptr);
+    EXPECT_EQ(hello->protocol, wire::kProtocolVersion);
+
+    const auto ack = roundTrip(wire::HelloAck{});
+    EXPECT_TRUE(std::holds_alternative<wire::HelloAck>(ack));
+}
+
+TEST(Wire, InferRequestRoundTrip)
+{
+    wire::InferRequest request;
+    request.id = 0x1122334455667788ull;
+    request.model = "alex-7";
+    request.version = 3;
+    request.priority = -2;
+    request.deadline_us = 1500;
+    request.input = {0, -5, 127, -32768, 32767, 42};
+
+    const auto decoded = roundTrip(request);
+    const auto *out = std::get_if<wire::InferRequest>(&decoded);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->id, request.id);
+    EXPECT_EQ(out->model, request.model);
+    EXPECT_EQ(out->version, request.version);
+    EXPECT_EQ(out->priority, request.priority);
+    EXPECT_EQ(out->deadline_us, request.deadline_us);
+    EXPECT_EQ(out->input, request.input);
+}
+
+TEST(Wire, InferResponseRoundTripsBothArms)
+{
+    wire::InferResponse ok;
+    ok.id = 7;
+    ok.ok = true;
+    ok.output = {1, 2, 3, -9000000000ll};
+    const auto decoded_ok = roundTrip(ok);
+    const auto *out = std::get_if<wire::InferResponse>(&decoded_ok);
+    ASSERT_NE(out, nullptr);
+    EXPECT_TRUE(out->ok);
+    EXPECT_EQ(out->output, ok.output);
+    EXPECT_TRUE(out->error.empty());
+
+    wire::InferResponse failed;
+    failed.id = 8;
+    failed.ok = false;
+    failed.error = "deadline expired";
+    const auto decoded_err = roundTrip(failed);
+    const auto *err = std::get_if<wire::InferResponse>(&decoded_err);
+    ASSERT_NE(err, nullptr);
+    EXPECT_FALSE(err->ok);
+    EXPECT_EQ(err->error, failed.error);
+    EXPECT_TRUE(err->output.empty());
+}
+
+TEST(Wire, StatsAndInfoRoundTrip)
+{
+    EXPECT_TRUE(std::holds_alternative<wire::StatsRequest>(
+        roundTrip(wire::StatsRequest{})));
+
+    wire::StatsResponse stats;
+    stats.json = "{\"clusters\":[]}";
+    const auto decoded = roundTrip(stats);
+    const auto *out = std::get_if<wire::StatsResponse>(&decoded);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->json, stats.json);
+
+    wire::InfoRequest info_request;
+    info_request.model = "m";
+    info_request.version = 9;
+    const auto decoded_req = roundTrip(info_request);
+    const auto *req = std::get_if<wire::InfoRequest>(&decoded_req);
+    ASSERT_NE(req, nullptr);
+    EXPECT_EQ(req->model, "m");
+    EXPECT_EQ(req->version, 9u);
+
+    wire::InfoResponse info;
+    info.ok = true;
+    info.model = "m";
+    info.version = 9;
+    info.input_size = 4096;
+    info.output_size = 4096;
+    info.shards = 4;
+    info.placement = "partitioned";
+    const auto decoded_info = roundTrip(info);
+    const auto *out_info = std::get_if<wire::InfoResponse>(&decoded_info);
+    ASSERT_NE(out_info, nullptr);
+    EXPECT_TRUE(out_info->ok);
+    EXPECT_EQ(out_info->input_size, 4096u);
+    EXPECT_EQ(out_info->shards, 4u);
+    EXPECT_EQ(out_info->placement, "partitioned");
+}
+
+TEST(Wire, MalformedFramesThrowInsteadOfCrashing)
+{
+    // Empty body.
+    EXPECT_THROW(wire::decodeBody({}), wire::WireError);
+
+    // Unknown type tag.
+    const std::vector<std::uint8_t> unknown{0xff, 0, 0, 0, 0};
+    EXPECT_THROW(wire::decodeBody(unknown), wire::WireError);
+
+    // Truncations at every prefix length of a valid frame.
+    wire::InferRequest request;
+    request.model = "m";
+    request.input = {1, 2, 3};
+    const auto frame_body = body(wire::encodeFrame(request));
+    for (std::size_t len = 1; len < frame_body.size(); ++len) {
+        const std::span<const std::uint8_t> prefix(frame_body.data(),
+                                                   len);
+        EXPECT_THROW(wire::decodeBody(prefix), wire::WireError)
+            << "prefix length " << len;
+    }
+
+    // Trailing garbage after a complete payload.
+    auto padded = frame_body;
+    padded.push_back(0);
+    EXPECT_THROW(wire::decodeBody(padded), wire::WireError);
+}
+
+TEST(Wire, RejectsOversizedDeclaredFields)
+{
+    // A model-name length beyond kMaxModelName must be rejected
+    // before any allocation happens.
+    std::vector<std::uint8_t> evil;
+    evil.push_back(
+        static_cast<std::uint8_t>(wire::MsgType::InferRequest));
+    for (int i = 0; i < 8; ++i)
+        evil.push_back(0); // id
+    const std::uint32_t huge = 0x10000000;
+    const auto *p = reinterpret_cast<const std::uint8_t *>(&huge);
+    evil.insert(evil.end(), p, p + 4); // name length
+    EXPECT_THROW(wire::decodeBody(evil), wire::WireError);
+
+    // A vector count larger than the remaining frame bytes, too.
+    wire::InferRequest request;
+    request.model = "m";
+    request.input = {1};
+    auto frame_body = body(wire::encodeFrame(request));
+    // The input count field sits 4+8+4+1+4+4+4 = 25 bytes in; bump it.
+    const std::size_t count_at = frame_body.size() - 4 - 8;
+    std::uint32_t bogus = 1000;
+    std::memcpy(frame_body.data() + count_at, &bogus, 4);
+    EXPECT_THROW(wire::decodeBody(frame_body), wire::WireError);
+}
+
+TEST(Wire, MessageTypeTagsAreStable)
+{
+    // The wire tags are protocol surface: renumbering breaks every
+    // deployed peer, so pin them.
+    EXPECT_EQ(static_cast<unsigned>(wire::MsgType::Hello), 1u);
+    EXPECT_EQ(static_cast<unsigned>(wire::MsgType::HelloAck), 2u);
+    EXPECT_EQ(static_cast<unsigned>(wire::MsgType::InferRequest), 3u);
+    EXPECT_EQ(static_cast<unsigned>(wire::MsgType::InferResponse), 4u);
+    EXPECT_EQ(static_cast<unsigned>(wire::MsgType::StatsRequest), 5u);
+    EXPECT_EQ(static_cast<unsigned>(wire::MsgType::StatsResponse), 6u);
+    EXPECT_EQ(static_cast<unsigned>(wire::MsgType::InfoRequest), 7u);
+    EXPECT_EQ(static_cast<unsigned>(wire::MsgType::InfoResponse), 8u);
+}
+
+} // namespace

@@ -4,11 +4,16 @@
 # equivalence suite (test_kernel) is additionally run with verbose
 # output so a bit-exactness break is loud in CI logs.
 #
+# The serving-cluster subsystem (src/serve/: registry, sharded
+# cluster, wire protocol, TCP loopback) gets its own labeled ctest
+# pass so a serving regression is called out by name even when the
+# full run already covered it.
+#
 # A third pass rebuilds the concurrency-sensitive suites — worker
-# pool, batched kernels, execution backends, the inference server —
-# under ThreadSanitizer (-DEIE_TSAN=ON) and runs them; a data race in
-# the serving path fails the check even when the race never corrupts
-# an assertion.
+# pool, batched kernels, execution backends, the inference server,
+# the cluster engine and the TCP front end — under ThreadSanitizer
+# (-DEIE_TSAN=ON) and runs them; a data race in the serving path
+# fails the check even when the race never corrupts an assertion.
 #
 # Usage: tools/check.sh [extra cmake args...]
 
@@ -25,17 +30,24 @@ for build_type in Release Debug; do
     cmake --build "${build_dir}" -j "${jobs}"
     ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
     ctest --test-dir "${build_dir}" --output-on-failure -R test_kernel
+    echo "=== ${build_type} serving cluster (-L serve) ==="
+    ctest --test-dir "${build_dir}" --output-on-failure -L serve
 done
 
-echo "=== ThreadSanitizer (kernel + engine + server) ==="
+echo "=== ThreadSanitizer (kernel + engine + server + cluster) ==="
 tsan_dir="build-check-tsan"
-tsan_tests="test_kernel test_backend test_server test_network_runner"
+tsan_tests="test_kernel test_backend test_server test_network_runner \
+test_cluster test_tcp"
 cmake -B "${tsan_dir}" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEIE_TSAN=ON "$@"
 # Build only the sanitized suites: instrumenting the full bench/tool
 # tree would double the check's wall clock for no extra coverage.
 cmake --build "${tsan_dir}" -j "${jobs}" \
     --target ${tsan_tests}
+# tools/tsan.supp silences the uninstrumented-libstdc++ exception_ptr
+# refcount false positive (see the file for the full story).
+TSAN_OPTIONS="suppressions=$(pwd)/tools/tsan.supp \
+${TSAN_OPTIONS:-}" \
 ctest --test-dir "${tsan_dir}" --output-on-failure \
     -R "$(echo "${tsan_tests}" | tr ' ' '|')"
 

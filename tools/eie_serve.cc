@@ -1,0 +1,492 @@
+/**
+ * @file
+ * eie_serve — the EIE serving-cluster daemon and its client.
+ *
+ * Registry management:
+ *   eie_serve --registry DIR --publish NAME
+ *             [--benchmark B | --rows R --cols C --density D]
+ *             [--version V] [--pes N] [--seed S]
+ *   eie_serve --registry DIR --list-models
+ *
+ * Daemon (loopback TCP front end over a sharded cluster per model):
+ *   eie_serve --registry DIR --listen PORT [--shards N]
+ *             [--policy replicated|partitioned] [--backend NAME]
+ *             [--threads-per-shard T] [--max-batch B]
+ *             [--max-delay-us U] [--pes N] [--duration-s S]
+ *
+ * Client (open-loop or back-to-back pipelined traffic):
+ *   eie_serve --connect HOST:PORT --model NAME [--version V]
+ *             [--requests N] [--rate RPS] [--window W]
+ *             [--distinct D] [--act-density A] [--priority P]
+ *             [--deadline-us U] [--check] [--registry DIR]
+ *             [--pes N] [--seed S]
+ *
+ * The client derives its input size from the server's InfoResponse,
+ * cycles deterministic activation vectors through the pipeline, and
+ * with --check verifies every response bit-exactly against the
+ * "scalar" oracle backend run on the same model loaded from
+ * --registry (daemon and client share the registry directory on one
+ * host — the loopback deployment this tool targets).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/table.hh"
+#include "core/functional.hh"
+#include "engine/backend.hh"
+#include "nn/generate.hh"
+#include "serve/cluster.hh"
+#include "serve/registry.hh"
+#include "serve/tcp.hh"
+#include "workloads/suite.hh"
+
+namespace {
+
+using namespace eie;
+
+std::atomic<bool> g_interrupted{false};
+
+void
+onSignal(int)
+{
+    g_interrupted.store(true);
+}
+
+void
+usage()
+{
+    std::cout <<
+        "eie_serve — EIE serving-cluster daemon and client\n"
+        "registry:\n"
+        "  --registry DIR        model registry directory\n"
+        "  --publish NAME        publish a model (see below), then "
+        "exit\n"
+        "  --benchmark B         publish the Table III benchmark "
+        "layer B\n"
+        "  --rows R --cols C --density D\n"
+        "                        publish a synthetic R x C layer "
+        "instead\n"
+        "  --version V           version to publish (default: "
+        "latest+1)\n"
+        "  --list-models         list the registry's models, then "
+        "exit\n"
+        "daemon:\n"
+        "  --listen PORT         serve the registry over TCP "
+        "(0 = ephemeral)\n"
+        "  --shards N            shard workers per cluster "
+        "(default 1)\n"
+        "  --policy P            replicated | partitioned\n"
+        "  --backend NAME        shard backend (default compiled)\n"
+        "  --threads-per-shard T worker threads per shard "
+        "(default 1)\n"
+        "  --max-batch B         shard micro-batcher cap "
+        "(default 16)\n"
+        "  --max-delay-us U      batch forming deadline "
+        "(default 200)\n"
+        "  --duration-s S        exit after S seconds (default: "
+        "until SIGINT)\n"
+        "client:\n"
+        "  --connect HOST:PORT   run the traffic client\n"
+        "  --model NAME          model to request\n"
+        "  --requests N          requests to send (default 1000)\n"
+        "  --rate RPS            offered rate (0 = back-to-back)\n"
+        "  --window W            max pipelined in-flight requests "
+        "(default 256)\n"
+        "  --distinct D          distinct input vectors "
+        "(default 64)\n"
+        "  --act-density A       input activation density "
+        "(default 0.35)\n"
+        "  --priority P          request priority (default 0)\n"
+        "  --deadline-us U       per-request deadline (0 = none)\n"
+        "  --check               verify responses against the scalar "
+        "oracle (needs --registry)\n"
+        "common:\n"
+        "  --pes N               machine PE count (default 64)\n"
+        "  --seed S              generator seed (default 2016)\n";
+}
+
+/** D deterministic quantised activation vectors of @p size. */
+std::vector<std::vector<std::int64_t>>
+makeDistinctInputs(std::size_t count, std::size_t size, double density,
+                   const core::FunctionalModel &model,
+                   std::uint64_t seed)
+{
+    std::vector<std::vector<std::int64_t>> inputs;
+    inputs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        Rng rng(seed + 77 * i + 1);
+        inputs.push_back(model.quantizeInput(
+            nn::makeActivations(size, density, rng)));
+    }
+    return inputs;
+}
+
+struct Args
+{
+    std::string registry_dir;
+    std::string publish_name;
+    std::string benchmark;
+    std::size_t rows = 0, cols = 0;
+    double density = 0.09;
+    std::uint32_t version = 0;
+    bool list_models = false;
+
+    bool listen = false;
+    std::uint16_t port = 0;
+    serve::ClusterOptions cluster;
+    double duration_s = 0.0;
+
+    std::string connect_host;
+    std::uint16_t connect_port = 0;
+    std::string model;
+    std::size_t requests = 1000;
+    double rate = 0.0;
+    std::size_t window = 256;
+    std::size_t distinct = 64;
+    double act_density = 0.35;
+    std::int32_t priority = 0;
+    std::uint32_t deadline_us = 0;
+    bool check = false;
+
+    core::EieConfig config;
+    std::uint64_t seed = 2016;
+};
+
+int
+runPublish(const Args &args)
+{
+    serve::ModelRegistry registry(args.registry_dir, args.config);
+    const std::uint32_t version = args.version
+        ? args.version
+        : registry.latestVersion(args.publish_name) + 1;
+
+    std::string path;
+    if (!args.benchmark.empty()) {
+        workloads::SuiteRunner runner(args.seed);
+        const auto &bench = workloads::findBenchmark(args.benchmark);
+        path = registry.publish(args.publish_name, version,
+                                runner.layer(bench).storage());
+    } else {
+        fatal_if(args.rows == 0 || args.cols == 0,
+                 "--publish needs --benchmark or --rows/--cols");
+        Rng rng(args.seed);
+        nn::WeightGenOptions wopts;
+        wopts.density = args.density;
+        compress::CompressionOptions copts;
+        copts.interleave.n_pe = args.config.n_pe;
+        const auto layer = compress::CompressedLayer::compress(
+            args.publish_name,
+            nn::makeSparseWeights(args.rows, args.cols, wopts, rng),
+            copts);
+        path = registry.publish(args.publish_name, version,
+                                layer.storage());
+    }
+    std::cout << "published " << args.publish_name << " v" << version
+              << " -> " << path << "\n";
+    return 0;
+}
+
+int
+runListModels(const Args &args)
+{
+    serve::ModelRegistry registry(args.registry_dir, args.config);
+    for (const serve::ModelId &id : registry.list()) {
+        const auto model = registry.load(id.name, id.version);
+        std::cout << id.name << " v" << id.version;
+        if (model)
+            std::cout << "  (" << model->inputSize() << " -> "
+                      << model->outputSize() << ")";
+        std::cout << "\n";
+    }
+    return 0;
+}
+
+int
+runDaemon(const Args &args)
+{
+    serve::ModelRegistry registry(args.registry_dir, args.config);
+    serve::ServingDirectory directory(registry, args.cluster);
+    serve::TcpServerOptions server_options;
+    server_options.port = args.port;
+    serve::TcpServer server(directory, server_options);
+    server.start();
+
+    std::cout << "eie_serve: listening on 127.0.0.1:" << server.port()
+              << " (" << args.cluster.shards << " shard(s), "
+              << serve::placementName(args.cluster.placement) << ", "
+              << args.cluster.backend << " backend)\n"
+              << std::flush;
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    const auto start = std::chrono::steady_clock::now();
+    while (!g_interrupted.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (args.duration_s > 0.0 &&
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                    .count() >= args.duration_s)
+            break;
+    }
+
+    server.stop();
+    std::cout << "final stats: " << directory.statsJson() << "\n";
+    directory.stopAll();
+    return 0;
+}
+
+int
+runClient(const Args &args)
+{
+    fatal_if(args.model.empty(), "--connect needs --model");
+    fatal_if(args.check && args.registry_dir.empty(),
+             "--check needs --registry to load the oracle model");
+
+    serve::TcpClient client(args.connect_host, args.connect_port);
+    const serve::wire::InfoResponse info =
+        client.info(args.model, args.version);
+    fatal_if(!info.ok, "server: %s", info.error.c_str());
+    std::cout << "model " << info.model << " v" << info.version
+              << ": " << info.input_size << " -> "
+              << info.output_size << ", " << info.shards
+              << " shard(s), " << info.placement << "\n";
+
+    const core::FunctionalModel model(args.config);
+    const std::size_t distinct =
+        std::min(args.distinct, args.requests);
+    const auto inputs = makeDistinctInputs(
+        distinct, info.input_size, args.act_density, model,
+        args.seed);
+
+    // Oracle outputs for --check: one scalar-backend run per distinct
+    // input, against the same model file the daemon serves.
+    std::vector<std::vector<std::int64_t>> reference;
+    if (args.check) {
+        serve::ModelRegistry registry(args.registry_dir, args.config);
+        const auto loaded =
+            registry.load(args.model, info.version);
+        fatal_if(!loaded, "model '%s' v%u not in registry '%s'",
+                 args.model.c_str(), info.version,
+                 args.registry_dir.c_str());
+        const auto oracle = engine::makeBackend(
+            "scalar", args.config, {&loaded->plan()});
+        for (const auto &input : inputs)
+            reference.push_back(oracle->run(input).outputs.front());
+    }
+
+    Rng arrival_rng(args.seed ^ 0x5e57e11aULL);
+    const std::vector<double> arrival_s = engine::openLoopArrivals(
+        args.requests, args.rate, arrival_rng);
+
+    std::uint64_t ok = 0, errors = 0, mismatches = 0;
+    std::size_t in_flight = 0;
+    std::uint64_t next_read_id = 0;
+    std::vector<std::uint64_t> ids;
+    ids.reserve(args.requests);
+
+    auto readOne = [&] {
+        const serve::wire::InferResponse response =
+            client.readResponse();
+        fatal_if(response.id != ids[next_read_id],
+                 "response order violated: got id %llu, expected "
+                 "%llu",
+                 static_cast<unsigned long long>(response.id),
+                 static_cast<unsigned long long>(
+                     ids[next_read_id]));
+        if (!response.ok) {
+            ++errors;
+        } else {
+            ++ok;
+            if (args.check &&
+                response.output != reference[next_read_id % distinct])
+                ++mismatches;
+        }
+        ++next_read_id;
+        --in_flight;
+    };
+
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < args.requests; ++i) {
+        if (args.rate > 0.0)
+            std::this_thread::sleep_until(
+                start + std::chrono::duration<double>(arrival_s[i]));
+        while (in_flight >= args.window)
+            readOne();
+        ids.push_back(client.sendInfer(
+            args.model, args.version, inputs[i % distinct],
+            args.priority, args.deadline_us));
+        ++in_flight;
+    }
+    while (in_flight > 0)
+        readOne();
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+
+    TextTable table({"Requests", "OK", "Errors", "Mismatch",
+                     "Wall s", "Requests/s"});
+    table.row()
+        .add(static_cast<std::uint64_t>(args.requests))
+        .add(ok)
+        .add(errors)
+        .add(mismatches)
+        .add(wall_s, 3)
+        .add(static_cast<double>(ok) / wall_s, 1);
+    table.print(std::cout);
+    std::cout << "server stats: " << client.stats() << "\n";
+
+    fatal_if(mismatches > 0,
+             "%llu responses diverged from the scalar oracle",
+             static_cast<unsigned long long>(mismatches));
+    // Deadline-bearing traffic legitimately sheds load; everything
+    // else must succeed.
+    fatal_if(errors > 0 && args.deadline_us == 0,
+             "%llu requests failed",
+             static_cast<unsigned long long>(errors));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            fatal_if(i + 1 >= argc, "missing value after %s",
+                     arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--registry") {
+            args.registry_dir = next();
+        } else if (arg == "--publish") {
+            args.publish_name = next();
+        } else if (arg == "--benchmark") {
+            args.benchmark = next();
+        } else if (arg == "--rows") {
+            args.rows = std::stoul(next());
+        } else if (arg == "--cols") {
+            args.cols = std::stoul(next());
+        } else if (arg == "--density") {
+            args.density = std::stod(next());
+        } else if (arg == "--version") {
+            args.version =
+                static_cast<std::uint32_t>(std::stoul(next()));
+        } else if (arg == "--list-models") {
+            args.list_models = true;
+        } else if (arg == "--listen") {
+            args.listen = true;
+            args.port = static_cast<std::uint16_t>(std::stoul(next()));
+        } else if (arg == "--shards") {
+            args.cluster.shards =
+                static_cast<unsigned>(std::stoul(next()));
+            fatal_if(args.cluster.shards == 0,
+                     "--shards needs at least 1");
+        } else if (arg == "--policy") {
+            args.cluster.placement =
+                serve::placementFromName(next());
+        } else if (arg == "--backend") {
+            args.cluster.backend = next();
+        } else if (arg == "--threads-per-shard") {
+            args.cluster.threads_per_shard =
+                static_cast<unsigned>(std::stoul(next()));
+            fatal_if(args.cluster.threads_per_shard == 0,
+                     "--threads-per-shard needs at least 1");
+        } else if (arg == "--max-batch") {
+            args.cluster.server.max_batch = std::stoul(next());
+            fatal_if(args.cluster.server.max_batch == 0,
+                     "--max-batch needs at least 1");
+        } else if (arg == "--max-delay-us") {
+            const long long us = std::stoll(next());
+            fatal_if(us < 0, "--max-delay-us must be >= 0");
+            args.cluster.server.max_delay =
+                std::chrono::microseconds(us);
+        } else if (arg == "--duration-s") {
+            args.duration_s = std::stod(next());
+        } else if (arg == "--connect") {
+            const std::string target = next();
+            const std::size_t colon = target.rfind(':');
+            fatal_if(colon == std::string::npos,
+                     "--connect needs HOST:PORT");
+            args.connect_host = target.substr(0, colon);
+            args.connect_port = static_cast<std::uint16_t>(
+                std::stoul(target.substr(colon + 1)));
+        } else if (arg == "--model") {
+            args.model = next();
+        } else if (arg == "--requests") {
+            args.requests = std::stoul(next());
+            fatal_if(args.requests == 0,
+                     "--requests needs at least 1");
+        } else if (arg == "--rate") {
+            args.rate = std::stod(next());
+            fatal_if(args.rate < 0.0, "--rate must be >= 0");
+        } else if (arg == "--window") {
+            args.window = std::stoul(next());
+            fatal_if(args.window == 0, "--window needs at least 1");
+        } else if (arg == "--distinct") {
+            args.distinct = std::stoul(next());
+            fatal_if(args.distinct == 0,
+                     "--distinct needs at least 1");
+        } else if (arg == "--act-density") {
+            args.act_density = std::stod(next());
+        } else if (arg == "--priority") {
+            args.priority =
+                static_cast<std::int32_t>(std::stol(next()));
+        } else if (arg == "--deadline-us") {
+            args.deadline_us =
+                static_cast<std::uint32_t>(std::stoul(next()));
+        } else if (arg == "--check") {
+            args.check = true;
+        } else if (arg == "--pes") {
+            args.config.n_pe =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--seed") {
+            args.seed = std::stoull(next());
+        } else {
+            fatal("unknown argument '%s' (try --help)", arg.c_str());
+        }
+    }
+    args.config.validate();
+
+    if (!args.publish_name.empty()) {
+        fatal_if(args.registry_dir.empty(),
+                 "--publish needs --registry");
+        return runPublish(args);
+    }
+    if (args.list_models) {
+        fatal_if(args.registry_dir.empty(),
+                 "--list-models needs --registry");
+        return runListModels(args);
+    }
+    if (args.listen) {
+        fatal_if(args.registry_dir.empty(),
+                 "--listen needs --registry");
+        return runDaemon(args);
+    }
+    if (!args.connect_host.empty()) {
+        // The transport layer throws (it is library code); the CLI
+        // reports failures in the repo's fatal() convention.
+        try {
+            return runClient(args);
+        } catch (const std::exception &error) {
+            fatal("%s", error.what());
+        }
+    }
+
+    usage();
+    return 1;
+}
