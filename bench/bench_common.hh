@@ -22,6 +22,7 @@
 
 #include "common/logging.hh"
 #include "core/config.hh"
+#include "core/kernel/variant.hh"
 #include "core/run_stats.hh"
 #include "energy/pe_model.hh"
 #include "platforms/roofline.hh"
@@ -149,15 +150,37 @@ class Json
 
 /** Schema revision stamped into every BENCH_*.json; bump when any
  *  emitter changes a field's meaning so trajectory tooling can tell
- *  comparable runs apart. */
-inline constexpr std::uint64_t kBenchSchemaVersion = 2;
+ *  comparable runs apart. v3 adds the compiler/march/kernel_simd
+ *  stamps and per-variant throughput series. */
+inline constexpr std::uint64_t kBenchSchemaVersion = 3;
+
+/** The -march baseline this binary was compiled against (compile
+ *  time; the runtime SIMD dispatch may exceed it via function
+ *  multiversioning — see kernel_simd). */
+inline const char *
+compileMarch()
+{
+#if defined(__AVX512F__)
+    return "avx512f";
+#elif defined(__AVX2__)
+    return "avx2";
+#elif defined(__SSE4_1__)
+    return "sse4.1";
+#elif defined(__x86_64__)
+    return "x86-64 baseline";
+#else
+    return "generic";
+#endif
+}
 
 /**
  * Write @p root to @p path (fatal on failure) and log the path.
- * Every file is stamped with the schema version and the machine's
- * hardware thread count, so perf trajectories across PRs compare
- * like with like (a 1-core CI box and a 32-core workstation produce
- * very different serving numbers).
+ * Every file is stamped with the schema version, the machine's
+ * hardware thread count, the compiler and -march baseline, and the
+ * runtime-dispatched SIMD ISA of the kernel's vector variant, so
+ * perf trajectories across PRs compare like with like (a 1-core CI
+ * box and a 32-core AVX2 workstation produce very different
+ * numbers).
  */
 inline void
 writeBenchJson(const std::string &path, Json root)
@@ -165,7 +188,10 @@ writeBenchJson(const std::string &path, Json root)
     root.set("schema_version", kBenchSchemaVersion)
         .set("hardware_threads",
              static_cast<std::uint64_t>(
-                 std::thread::hardware_concurrency()));
+                 std::thread::hardware_concurrency()))
+        .set("compiler", __VERSION__)
+        .set("march", compileMarch())
+        .set("kernel_simd", core::kernel::simdIsaName());
     std::ofstream file(path);
     fatal_if(!file, "cannot write %s", path.c_str());
     root.write(file);

@@ -37,6 +37,7 @@
 #include "core/kernel/worker_pool.hh"
 #include "core/plan.hh"
 #include "engine/backend.hh"
+#include "engine/backends.hh"
 #include "engine/server.hh"
 #include "nn/generate.hh"
 
@@ -54,6 +55,7 @@ constexpr std::size_t kServeRequests = 96;
 
 struct Point
 {
+    std::string kernel;
     std::size_t batch = 0;
     unsigned threads = 0;
     double frames_per_sec = 0.0;
@@ -157,50 +159,80 @@ main(int argc, char **argv)
     if (hw_threads > 1)
         thread_counts.push_back(hw_threads);
 
-    std::vector<Point> points;
-    for (const unsigned threads : thread_counts) {
-        const auto compiled =
-            engine::makeBackend("compiled", config, {&plan}, threads);
-        for (const std::size_t batch :
-             {std::size_t{1}, std::size_t{4}, std::size_t{16},
-              std::size_t{64}}) {
-            core::kernel::Batch outputs;
-            double batched_s = 0.0;
-            for (unsigned rep = 0; rep < kRepeats; ++rep) {
-                outputs.clear();
-                const auto start = std::chrono::steady_clock::now();
-                for (std::size_t at = 0; at < kFrames; at += batch) {
-                    const core::kernel::Batch chunk(
-                        frames.begin() + at,
-                        frames.begin() +
-                            std::min(at + batch, kFrames));
-                    auto out = compiled->runBatch(chunk).outputs;
-                    for (auto &frame_out : out)
-                        outputs.push_back(std::move(frame_out));
-                }
-                const double elapsed = seconds(start);
-                batched_s =
-                    rep == 0 ? elapsed : std::min(batched_s, elapsed);
-            }
+    // One series per kernel variant: the explicit inner loops plus
+    // "auto" (what production callers get). Every point is checked
+    // bit-exact against the scalar oracle.
+    const std::vector<core::kernel::KernelVariant> variants{
+        core::kernel::KernelVariant::Reference,
+        core::kernel::KernelVariant::Vector,
+        core::kernel::KernelVariant::Fused,
+        core::kernel::KernelVariant::Auto,
+    };
 
-            Point p;
-            p.batch = batch;
-            p.threads = threads;
-            p.frames_per_sec = kFrames / batched_s;
-            p.gops = useful_gops / batched_s;
-            p.speedup = scalar_s / batched_s;
-            p.bit_exact = outputs == reference;
-            fatal_if(!p.bit_exact,
-                     "batch %zu x %u threads diverged from the scalar "
-                     "oracle", batch, threads);
-            points.push_back(p);
+    // One pre-decoded stack (fused stream included) shared by every
+    // (variant x threads) backend: the compiled image is
+    // variant-independent, the variant only picks the inner loop.
+    const std::vector<const core::LayerPlan *> plan_stack{&plan};
+    const auto shared_stack =
+        engine::compileLayerStack(config, plan_stack);
+
+    std::vector<Point> points;
+    for (const core::kernel::KernelVariant kernel : variants) {
+        for (const unsigned threads : thread_counts) {
+            // A multi-thread pool demotes "fused" to the reference
+            // loop; re-measuring it there would just stamp reference
+            // timings with the wrong label.
+            if (kernel == core::kernel::KernelVariant::Fused &&
+                threads > 1)
+                continue;
+            const auto compiled =
+                std::make_unique<engine::CompiledBackend>(
+                    plan_stack, shared_stack, threads, kernel);
+            for (const std::size_t batch :
+                 {std::size_t{1}, std::size_t{4}, std::size_t{16},
+                  std::size_t{64}}) {
+                core::kernel::Batch outputs;
+                double batched_s = 0.0;
+                for (unsigned rep = 0; rep < kRepeats; ++rep) {
+                    outputs.clear();
+                    const auto start = std::chrono::steady_clock::now();
+                    for (std::size_t at = 0; at < kFrames;
+                         at += batch) {
+                        const core::kernel::Batch chunk(
+                            frames.begin() + at,
+                            frames.begin() +
+                                std::min(at + batch, kFrames));
+                        auto out = compiled->runBatch(chunk).outputs;
+                        for (auto &frame_out : out)
+                            outputs.push_back(std::move(frame_out));
+                    }
+                    const double elapsed = seconds(start);
+                    batched_s = rep == 0 ? elapsed
+                                         : std::min(batched_s, elapsed);
+                }
+
+                Point p;
+                p.kernel = core::kernel::kernelVariantName(kernel);
+                p.batch = batch;
+                p.threads = threads;
+                p.frames_per_sec = kFrames / batched_s;
+                p.gops = useful_gops / batched_s;
+                p.speedup = scalar_s / batched_s;
+                p.bit_exact = outputs == reference;
+                fatal_if(!p.bit_exact,
+                         "kernel '%s', batch %zu x %u threads "
+                         "diverged from the scalar oracle",
+                         p.kernel.c_str(), batch, threads);
+                points.push_back(p);
+            }
         }
     }
 
-    TextTable table({"Batch", "Threads", "Frames/s", "GOP/s", "Speedup",
-                     "Exact"});
+    TextTable table({"Kernel", "Batch", "Threads", "Frames/s", "GOP/s",
+                     "Speedup", "Exact"});
     table.row()
         .add("scalar")
+        .add("-")
         .add(std::uint64_t{1})
         .add(scalar_fps, 1)
         .add(useful_gops / scalar_s, 3)
@@ -208,6 +240,7 @@ main(int argc, char **argv)
         .add("ref");
     for (const Point &p : points) {
         table.row()
+            .add(p.kernel)
             .add(static_cast<std::uint64_t>(p.batch))
             .add(static_cast<std::uint64_t>(p.threads))
             .add(p.frames_per_sec, 1)
@@ -225,10 +258,40 @@ main(int argc, char **argv)
     std::cout << "best speedup over scalar interpreter: " << best
               << "x\n";
 
+    // The headline regression gate: the SIMD (or fused) inner loop
+    // must out-run the reference loop at the serving batch size.
+    auto rateAt = [&](const char *kernel, std::size_t batch) {
+        double rate = 0.0;
+        for (const Point &p : points)
+            if (p.kernel == kernel && p.batch == batch)
+                rate = std::max(rate, p.frames_per_sec);
+        return rate;
+    };
+    const double reference_64 = rateAt("reference", 64);
+    const double vector_64 = rateAt("vector", 64);
+    const double fused_64 = rateAt("fused", 64);
+    std::cout << "batch 64: reference " << reference_64
+              << " f/s, vector " << vector_64 << " f/s, fused "
+              << fused_64 << " f/s\n";
+    // With real SIMD lanes this is a hard regression gate; on a box
+    // whose dispatch fell back to the portable scalar loop the dense
+    // sweep can legitimately lose to the sparse gather, so only warn.
+    const bool have_simd =
+        std::string(core::kernel::simdIsaName()) != "scalar";
+    fatal_if(have_simd && std::max(vector_64, fused_64) <= reference_64,
+             "neither vector nor fused beat the reference kernel at "
+             "batch 64 despite %s lanes",
+             core::kernel::simdIsaName());
+    if (std::max(vector_64, fused_64) <= reference_64)
+        std::cout << "WARNING: neither vector nor fused beat the "
+                     "reference kernel at batch 64 (scalar fallback "
+                     "dispatch)\n";
+
     bench::Json throughput_points = bench::Json::array();
     for (const Point &p : points) {
         bench::Json point;
-        point.set("batch", p.batch)
+        point.set("kernel", p.kernel)
+            .set("batch", p.batch)
             .set("threads", p.threads)
             .set("frames_per_sec", p.frames_per_sec)
             .set("gops", p.gops)
@@ -239,12 +302,21 @@ main(int argc, char **argv)
     bench::Json scalar_json;
     scalar_json.set("frames_per_sec", scalar_fps)
         .set("gops", useful_gops / scalar_s);
+    bench::Json batch64_json;
+    batch64_json.set("reference_fps", reference_64)
+        .set("vector_fps", vector_64)
+        .set("fused_fps", fused_64)
+        .set("best_over_reference",
+             reference_64 > 0.0
+                 ? std::max(vector_64, fused_64) / reference_64
+                 : 0.0);
     bench::Json throughput_json;
     throughput_json.set("layer", layerJson(config))
         .set("frames", kFrames)
         .set("scalar", std::move(scalar_json))
         .set("points", std::move(throughput_points))
-        .set("best_speedup", best);
+        .set("best_speedup", best)
+        .set("batch64_by_kernel", std::move(batch64_json));
     bench::writeBenchJson(throughput_path, throughput_json);
 
     // ---- Part 2: serving latency vs offered load --------------------
@@ -345,6 +417,7 @@ main(int argc, char **argv)
     }
     bench::Json server_json;
     server_json.set("backend", "compiled")
+        .set("kernel", "auto")
         .set("threads", hw_threads)
         .set("max_batch", server_options.max_batch)
         .set("max_delay_us",

@@ -18,6 +18,7 @@ struct FunctionalModel::BatchCache
     std::mutex mutex;
     std::uint64_t fingerprint = 0;
     unsigned threads = 0;
+    kernel::KernelVariant kernel = kernel::KernelVariant::Auto;
     std::shared_ptr<engine::ExecutionBackend> backend;
 };
 
@@ -155,7 +156,7 @@ std::vector<std::vector<std::int64_t>>
 FunctionalModel::runBatch(
     const LayerPlan &plan,
     const std::vector<std::vector<std::int64_t>> &inputs,
-    unsigned threads) const
+    unsigned threads, kernel::KernelVariant kernel) const
 {
     const std::uint64_t fingerprint = fingerprintPlan(plan);
     std::shared_ptr<engine::ExecutionBackend> backend;
@@ -163,11 +164,13 @@ FunctionalModel::runBatch(
         std::lock_guard<std::mutex> lock(batch_cache_->mutex);
         if (!batch_cache_->backend ||
             batch_cache_->fingerprint != fingerprint ||
-            batch_cache_->threads != threads) {
+            batch_cache_->threads != threads ||
+            batch_cache_->kernel != kernel) {
             batch_cache_->backend = engine::makeBackend(
-                "compiled", config_, {&plan}, threads);
+                "compiled", config_, {&plan}, threads, kernel);
             batch_cache_->fingerprint = fingerprint;
             batch_cache_->threads = threads;
+            batch_cache_->kernel = kernel;
         }
         backend = batch_cache_->backend;
     }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "core/kernel/variant.hh"
 #include "core/plan.hh"
 #include "nn/tensor.hh"
 
@@ -84,11 +85,16 @@ class FunctionalModel
      *
      * @param threads worker threads for PE-parallel execution (1 =
      *                single-threaded, the default)
+     * @param kernel  kernel variant for the compiled backend's inner
+     *                loop (see core/kernel/variant.hh; Auto = fastest
+     *                bit-exact for the configured formats)
      */
     std::vector<std::vector<std::int64_t>>
     runBatch(const LayerPlan &plan,
              const std::vector<std::vector<std::int64_t>> &inputs,
-             unsigned threads = 1) const;
+             unsigned threads = 1,
+             kernel::KernelVariant kernel =
+                 kernel::KernelVariant::Auto) const;
 
     /** Quantise a float vector into the configured activation format. */
     std::vector<std::int64_t> quantizeInput(const nn::Vector &input) const;

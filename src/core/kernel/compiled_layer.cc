@@ -1,8 +1,60 @@
 #include "core/kernel/compiled_layer.hh"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/logging.hh"
 
 namespace eie::core::kernel {
+
+namespace {
+
+/**
+ * Merge the per-PE streams of @p tile into one slice-fused stream:
+ * per column, the entries of every slice concatenated and sorted by
+ * row. Entries of a column hit distinct accumulator rows (PE k owns
+ * rows i mod N == k, one CSC entry per (row, col)), so any per-column
+ * order yields the exact saturating-MAC sequence of the per-slice
+ * walk; sorting keeps the accumulator writes ascending for locality.
+ */
+SliceStream
+fuseSlices(const CompiledTile &tile)
+{
+    SliceStream fused;
+    panic_if(tile.slices.empty(), "tile with no slices");
+    const std::size_t cols = tile.slices.front().stream.col_ptr.size()
+        ? tile.slices.front().stream.col_ptr.size() - 1
+        : 0;
+
+    std::size_t total = 0;
+    for (const CompiledSlice &slice : tile.slices)
+        total += slice.stream.entryCount();
+    fused.rows.reserve(total);
+    fused.weights.reserve(total);
+    fused.col_ptr.reserve(cols + 1);
+    fused.col_ptr.push_back(0);
+
+    std::vector<std::pair<std::uint32_t, std::int32_t>> column;
+    for (std::size_t j = 0; j < cols; ++j) {
+        column.clear();
+        for (const CompiledSlice &slice : tile.slices) {
+            const SliceStream &s = slice.stream;
+            for (std::uint32_t e = s.col_ptr[j]; e < s.col_ptr[j + 1];
+                 ++e)
+                column.emplace_back(s.rows[e], s.weights[e]);
+        }
+        std::sort(column.begin(), column.end());
+        for (const auto &[row, weight] : column) {
+            fused.rows.push_back(row);
+            fused.weights.push_back(weight);
+        }
+        fused.col_ptr.push_back(
+            static_cast<std::uint32_t>(fused.rows.size()));
+    }
+    return fused;
+}
+
+} // namespace
 
 std::vector<SimEntry>
 decodeSimStream(const compress::PeSlice &slice,
@@ -50,6 +102,7 @@ CompiledLayer::compile(const LayerPlan &plan, const EieConfig &config,
     layer.act_format = config.act_format;
     layer.weight_format = config.weight_format;
     layer.has_host_stream = options.host_stream;
+    layer.has_fused_stream = options.host_stream && options.fused_stream;
     layer.has_sim_stream = options.sim_stream;
 
     for (const auto &batch_tiles : plan.tiles) {
@@ -70,17 +123,20 @@ CompiledLayer::compile(const LayerPlan &plan, const EieConfig &config,
                 slice.local_rows = pe.localRows();
                 if (options.host_stream) {
                     const auto image = pe.exportDecoded();
-                    slice.col_ptr = image.col_ptr;
-                    slice.entries.reserve(image.local_rows.size());
+                    SliceStream &stream = slice.stream;
+                    stream.col_ptr = image.col_ptr;
+                    stream.rows.reserve(image.local_rows.size());
+                    stream.weights.reserve(image.local_rows.size());
                     for (std::size_t e = 0;
                          e < image.local_rows.size(); ++e) {
                         // Batch-local global row: the interleaving
                         // law of §III-B, rebased to the tile's row
                         // range.
-                        slice.entries.push_back(KernelEntry{
-                            image.local_rows[e] * plan.n_pe + k,
+                        stream.rows.push_back(
+                            image.local_rows[e] * plan.n_pe + k);
+                        stream.weights.push_back(
                             static_cast<std::int32_t>(
-                                raw_lut[image.weight_indices[e]])});
+                                raw_lut[image.weight_indices[e]]));
                     }
                 }
                 if (options.sim_stream) {
@@ -92,6 +148,8 @@ CompiledLayer::compile(const LayerPlan &plan, const EieConfig &config,
                     pe.totalEntries() - pe.paddingEntries();
                 layer.stripped_padding += pe.paddingEntries();
             }
+            if (layer.has_fused_stream)
+                compiled.fused = fuseSlices(compiled);
             row_tiles.push_back(std::move(compiled));
         }
         layer.tiles.push_back(std::move(row_tiles));

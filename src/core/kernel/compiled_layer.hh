@@ -1,20 +1,30 @@
 /**
  * @file
- * The pre-decoded kernel format of the fast execution path.
+ * The pre-decoded kernel format of the fast execution path
+ * (KernelStream v2).
  *
  * The interleaved CSC image the hardware walks (4-bit codebook index +
  * 4-bit zero run, §III-B) is deliberately indirect: it optimizes SRAM
  * bits, and the PE pays one decode per entry per input vector. A
  * software engine must hoist that indirection out of the MAC loop (the
  * authors' 2023 retrospective makes exactly this point), so compile()
- * lowers a LayerPlan once into flat per-PE arrays of
- * (batch-local output row, decoded fixed-point weight):
+ * lowers a LayerPlan once into flat structure-of-arrays streams per PE
+ * slice — codebook-pre-expanded int32 weight values, batch-local
+ * output rows and per-column extents in separate contiguous arrays:
  *
  *  - zero-run deltas are resolved to absolute rows,
  *  - padding entries (codebook index 0) are stripped — they exist only
  *    to keep the 4-bit run field in range and always contribute zero,
  *  - the 16-entry codebook is materialized through Codebook::rawValues()
  *    so every weight is already a raw fixed-point operand.
+ *
+ * The SoA split is what lets the "vector" kernel variant run a SIMD
+ * saturating MAC over 32-bit lanes (weights stream through one array,
+ * rows through another, nothing interleaved), and each tile optionally
+ * carries a slice-fused single stream — all PE slices merged per
+ * column, rows sorted — so a 1-thread run walks one column extent
+ * instead of one per PE. See core/kernel/variant.hh for the variant
+ * registry that picks the inner loop.
  *
  * The tile grid of the plan (row batches x column passes) is preserved
  * so the execution semantics — per-batch accumulator initialisation,
@@ -39,10 +49,15 @@ namespace eie::core::kernel {
 /** Options for CompiledLayer::compile. */
 struct CompileOptions
 {
-    /** Build the padding-stripped KernelEntry arrays runBatch()
-     *  consumes. On by default; the simulator-only path turns it off
-     *  to halve compile work and resident entry storage. */
+    /** Build the padding-stripped SoA streams runBatch() consumes. On
+     *  by default; the simulator-only path turns it off to halve
+     *  compile work and resident entry storage. */
     bool host_stream = true;
+
+    /** Also build the per-tile slice-fused single stream the "fused"
+     *  kernel variant walks on 1-thread runs. Costs a second resident
+     *  copy of the host entries; ignored without host_stream. */
+    bool fused_stream = true;
 
     /** Also build the padding-preserving per-PE SimEntry streams the
      *  cycle-accurate path consumes. Off by default: the host kernel
@@ -50,18 +65,30 @@ struct CompileOptions
     bool sim_stream = false;
 };
 
-/** One pre-decoded matrix entry: destination row and raw weight. */
-struct KernelEntry
+/**
+ * One flat SoA kernel stream (KernelStream v2): per entry a
+ * destination row and a codebook-pre-expanded weight, in separate
+ * contiguous arrays, with per-column extents in col_ptr. Used both
+ * per PE slice (CompiledSlice::stream) and slice-fused per tile
+ * (CompiledTile::fused).
+ */
+struct SliceStream
 {
-    /** Output row relative to the tile's row batch (row_begin). */
-    std::uint32_t row = 0;
-    /** Codebook-decoded fixed-point weight (weight_format raw). */
-    std::int32_t weight_raw = 0;
+    /** Output row of each entry, relative to the tile's row batch
+     *  (row_begin). */
+    std::vector<std::uint32_t> rows;
+    /** Codebook-decoded fixed-point weight of each entry
+     *  (weight_format raw). */
+    std::vector<std::int32_t> weights;
+    /** Per-column extents: pass cols + 1 offsets into rows/weights. */
+    std::vector<std::uint32_t> col_ptr;
+
+    std::size_t entryCount() const { return rows.size(); }
 };
 
 /**
- * One pre-decoded entry of the cycle simulator's stream. Unlike
- * KernelEntry, padding entries are preserved (they occupy real SRAM
+ * One pre-decoded entry of the cycle simulator's stream. Unlike the
+ * host streams, padding entries are preserved (they occupy real SRAM
  * bandwidth and pipeline slots, which the timing model must charge)
  * and rows are PE-local accumulator indices, matching the per-PE
  * register files the simulator models.
@@ -76,8 +103,8 @@ struct SimEntry
 /** One PE's pre-decoded share of a tile. */
 struct CompiledSlice
 {
-    std::vector<KernelEntry> entries; ///< padding stripped
-    std::vector<std::uint32_t> col_ptr; ///< pass cols + 1 offsets
+    /** The padding-stripped SoA host stream of this slice. */
+    SliceStream stream;
 
     /** @name Simulator stream (only with CompileOptions::sim_stream).
      *  Entry-for-entry image of the interleaved CSC walk — padding
@@ -101,6 +128,13 @@ struct CompiledTile
     std::size_t col_begin = 0;
     std::size_t col_end = 0;
     std::vector<CompiledSlice> slices; ///< one per PE
+
+    /** All PE slices merged into one stream, entries row-sorted per
+     *  column (only with CompileOptions::fused_stream). Entries of a
+     *  column always hit distinct accumulator rows — PE k owns rows
+     *  i mod N == k and CSC stores one entry per (row, col) — so the
+     *  merge order cannot change any saturating-MAC sequence. */
+    SliceStream fused;
 
     /** Stored entries (incl. padding) over all slices — sizes the
      *  simulator's per-pass cycle budget. */
@@ -128,8 +162,10 @@ struct CompiledLayer
     /** Padding entries stripped by the compile. */
     std::uint64_t stripped_padding = 0;
 
-    /** Slices carry the host kernel arrays (CompileOptions::host_stream). */
+    /** Slices carry the host SoA streams (CompileOptions::host_stream). */
     bool has_host_stream = false;
+    /** Tiles carry the slice-fused stream (CompileOptions::fused_stream). */
+    bool has_fused_stream = false;
     /** Slices carry the simulator stream (CompileOptions::sim_stream). */
     bool has_sim_stream = false;
 

@@ -3,14 +3,20 @@
 #include "common/fixed_point.hh"
 #include "common/logging.hh"
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define EIE_KERNEL_X86 1
+#include <immintrin.h>
+#endif
+
 namespace eie::core::kernel {
 
 namespace {
 
 /**
- * Per-pass activation panel: the active (non-zero) frames of each
- * column, gathered once per tile instead of once per PE per frame.
- * Column j's active frames occupy slots [j*B, j*B + count[j]).
+ * Per-pass activation panel of the sparse variants: the active
+ * (non-zero) frames of each column, gathered once per tile instead of
+ * once per PE per frame. Column j's active frames occupy slots
+ * [j*B, j*B + count[j]).
  */
 struct ActivationPanel
 {
@@ -43,28 +49,166 @@ struct ActivationPanel
     }
 };
 
-/** Sweep one PE slice of one tile over the gathered panel. */
-void
-runSlice(const CompiledSlice &slice, const ActivationPanel &panel,
-         std::size_t batch, std::int64_t *acc,
-         const FixedFormat &weight_fmt, const FixedFormat &act_fmt)
+/**
+ * Per-pass activation panel of the vector variant: every frame of
+ * every column, transposed to column-major int32 so the MAC row
+ * kernel streams contiguous lanes. Zero activations stay in place —
+ * their product is zero and sat(acc + 0) == acc, so the dense sweep
+ * is bit-exact with the sparse skip — but columns with no active
+ * frame at all are flagged and skipped whole.
+ */
+struct DensePanel
 {
-    const KernelEntry *entries = slice.entries.data();
-    const std::size_t cols = slice.col_ptr.size() - 1;
+    std::vector<std::int32_t> value;  ///< cols x batch, column-major
+    std::vector<std::uint8_t> active; ///< any non-zero frame in column
+
+    void
+    gather(const Batch &inputs, std::size_t col_begin,
+           std::size_t col_end)
+    {
+        const std::size_t cols = col_end - col_begin;
+        const std::size_t batch = inputs.size();
+        value.resize(cols * batch);
+        active.assign(cols, 0);
+        for (std::size_t j = 0; j < cols; ++j) {
+            const std::size_t base = j * batch;
+            std::uint8_t any = 0;
+            for (std::size_t b = 0; b < batch; ++b) {
+                // In act_format range by the withinActFormat() gate
+                // in runBatch(), so the cast is value-preserving.
+                const std::int64_t a = inputs[b][col_begin + j];
+                value[base + b] = static_cast<std::int32_t>(a);
+                any |= a != 0;
+            }
+            active[j] = any;
+        }
+    }
+};
+
+// ------------------------------------------------- MAC row kernels
+
+/**
+ * One saturating MAC row of the vector variant:
+ * acc[b] = clamp(acc[b] + ((w * act[b]) >> shift), lo, hi) for every
+ * frame b. All intermediates fit 32-bit lanes by vectorEligible();
+ * C++20 guarantees the arithmetic right shift on negatives.
+ */
+using MacRowFn = void (*)(std::int32_t *acc, const std::int32_t *act,
+                          std::int32_t w, int shift, std::int32_t lo,
+                          std::int32_t hi, std::size_t n);
+
+void
+macRowScalar(std::int32_t *acc, const std::int32_t *act, std::int32_t w,
+             int shift, std::int32_t lo, std::int32_t hi, std::size_t n)
+{
+    for (std::size_t b = 0; b < n; ++b) {
+        std::int32_t v = acc[b] + ((w * act[b]) >> shift);
+        v = v < lo ? lo : v;
+        v = v > hi ? hi : v;
+        acc[b] = v;
+    }
+}
+
+#if defined(EIE_KERNEL_X86)
+
+__attribute__((target("sse4.1"))) void
+macRowSse41(std::int32_t *acc, const std::int32_t *act, std::int32_t w,
+            int shift, std::int32_t lo, std::int32_t hi, std::size_t n)
+{
+    const __m128i vw = _mm_set1_epi32(w);
+    const __m128i vlo = _mm_set1_epi32(lo);
+    const __m128i vhi = _mm_set1_epi32(hi);
+    const __m128i vshift = _mm_cvtsi32_si128(shift);
+    std::size_t b = 0;
+    for (; b + 4 <= n; b += 4) {
+        const __m128i va = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(act + b));
+        const __m128i vacc = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(acc + b));
+        __m128i v = _mm_add_epi32(
+            vacc, _mm_sra_epi32(_mm_mullo_epi32(vw, va), vshift));
+        v = _mm_min_epi32(_mm_max_epi32(v, vlo), vhi);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(acc + b), v);
+    }
+    macRowScalar(acc + b, act + b, w, shift, lo, hi, n - b);
+}
+
+__attribute__((target("avx2"))) void
+macRowAvx2(std::int32_t *acc, const std::int32_t *act, std::int32_t w,
+           int shift, std::int32_t lo, std::int32_t hi, std::size_t n)
+{
+    const __m256i vw = _mm256_set1_epi32(w);
+    const __m256i vlo = _mm256_set1_epi32(lo);
+    const __m256i vhi = _mm256_set1_epi32(hi);
+    const __m128i vshift = _mm_cvtsi32_si128(shift);
+    std::size_t b = 0;
+    for (; b + 8 <= n; b += 8) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(act + b));
+        const __m256i vacc = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(acc + b));
+        __m256i v = _mm256_add_epi32(
+            vacc,
+            _mm256_sra_epi32(_mm256_mullo_epi32(vw, va), vshift));
+        v = _mm256_min_epi32(_mm256_max_epi32(v, vlo), vhi);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc + b), v);
+    }
+    macRowScalar(acc + b, act + b, w, shift, lo, hi, n - b);
+}
+
+#endif // EIE_KERNEL_X86
+
+/** The dispatched MAC row kernel and the ISA label BENCH files
+ *  stamp for it — one selection site, so they cannot drift. */
+struct MacRowKernel
+{
+    MacRowFn fn;
+    const char *isa;
+};
+
+/** Runtime ISA dispatch, decided once. */
+MacRowKernel
+pickMacRow()
+{
+#if defined(EIE_KERNEL_X86)
+    if (__builtin_cpu_supports("avx2"))
+        return {macRowAvx2, "avx2"};
+    if (__builtin_cpu_supports("sse4.1"))
+        return {macRowSse41, "sse4.1"};
+#endif
+    return {macRowScalar, "scalar"};
+}
+
+const MacRowKernel g_mac_row_kernel = pickMacRow();
+const MacRowFn g_mac_row = g_mac_row_kernel.fn;
+
+// ------------------------------------------------- slice inner loops
+
+/** Sweep one SoA stream over the gathered sparse panel (the scalar
+ *  reference loop; also walks the slice-fused stream). */
+void
+runStreamReference(const SliceStream &stream,
+                   const ActivationPanel &panel, std::size_t batch,
+                   std::int64_t *acc, const FixedFormat &weight_fmt,
+                   const FixedFormat &act_fmt)
+{
+    const std::uint32_t *rows = stream.rows.data();
+    const std::int32_t *weights = stream.weights.data();
+    const std::size_t cols = stream.col_ptr.size() - 1;
     for (std::size_t j = 0; j < cols; ++j) {
         const std::uint32_t n_active = panel.count[j];
         if (n_active == 0)
             continue;
-        const std::uint32_t e_begin = slice.col_ptr[j];
-        const std::uint32_t e_end = slice.col_ptr[j + 1];
+        const std::uint32_t e_begin = stream.col_ptr[j];
+        const std::uint32_t e_end = stream.col_ptr[j + 1];
         if (e_begin == e_end)
             continue;
         const std::uint32_t *frames = &panel.frame[j * batch];
         const std::int64_t *values = &panel.value[j * batch];
         for (std::uint32_t e = e_begin; e < e_end; ++e) {
-            const std::int64_t w = entries[e].weight_raw;
+            const std::int64_t w = weights[e];
             std::int64_t *acc_row =
-                acc + static_cast<std::size_t>(entries[e].row) * batch;
+                acc + static_cast<std::size_t>(rows[e]) * batch;
             for (std::uint32_t t = 0; t < n_active; ++t) {
                 acc_row[frames[t]] = macFixed(
                     acc_row[frames[t]], w, values[t], weight_fmt,
@@ -74,11 +218,179 @@ runSlice(const CompiledSlice &slice, const ActivationPanel &panel,
     }
 }
 
+/** Sweep one SoA stream over the dense panel with the SIMD MAC row
+ *  kernel (the vector variant's loop). */
+void
+runStreamVector(const SliceStream &stream, const DensePanel &panel,
+                std::size_t batch, std::int32_t *acc, int shift,
+                std::int32_t lo, std::int32_t hi)
+{
+    const std::uint32_t *rows = stream.rows.data();
+    const std::int32_t *weights = stream.weights.data();
+    const std::size_t cols = stream.col_ptr.size() - 1;
+    for (std::size_t j = 0; j < cols; ++j) {
+        if (!panel.active[j])
+            continue;
+        const std::uint32_t e_begin = stream.col_ptr[j];
+        const std::uint32_t e_end = stream.col_ptr[j + 1];
+        if (e_begin == e_end)
+            continue;
+        const std::int32_t *act = &panel.value[j * batch];
+        for (std::uint32_t e = e_begin; e < e_end; ++e)
+            g_mac_row(acc + static_cast<std::size_t>(rows[e]) * batch,
+                      act, weights[e], shift, lo, hi, batch);
+    }
+}
+
+// ------------------------------------------------------ tile drivers
+
+/** Drain one row batch: non-linearity, then commit per frame. */
+template <typename AccT>
+void
+drainRowBatch(const CompiledLayer &layer, const AccT *acc,
+              std::size_t row_begin, std::size_t row_end,
+              std::size_t batch, Batch &outputs)
+{
+    for (std::size_t r = 0; r < row_end - row_begin; ++r) {
+        const AccT *acc_row = acc + r * batch;
+        for (std::size_t b = 0; b < batch; ++b) {
+            std::int64_t value = acc_row[b];
+            switch (layer.nonlin) {
+              case nn::Nonlinearity::ReLU:
+                value = reluRaw(value);
+                break;
+              case nn::Nonlinearity::None:
+                break;
+              default:
+                fatal("the accelerator only applies ReLU or None; "
+                      "other nonlinearities run on the host");
+            }
+            outputs[b][row_begin + r] = value;
+        }
+    }
+}
+
+/**
+ * The shared tile driver of every variant: accumulators zero per row
+ * batch and persist across passes — frame-major per row so a PE's
+ * writes stay in its own rows — and each tile gathers its panel once
+ * before @p tile_fn sweeps it into @p acc.
+ */
+template <typename AccT, typename Panel, typename TileFn>
+void
+executeTiles(const CompiledLayer &layer, const Batch &inputs,
+             Batch &outputs, Panel &panel, const TileFn &tile_fn)
+{
+    const std::size_t batch = inputs.size();
+    std::vector<AccT> acc;
+    for (const auto &batch_tiles : layer.tiles) {
+        panic_if(batch_tiles.empty(), "row batch with no tiles");
+        const std::size_t row_begin = batch_tiles.front().row_begin;
+        const std::size_t row_end = batch_tiles.front().row_end;
+        acc.assign((row_end - row_begin) * batch, 0);
+        for (const CompiledTile &tile : batch_tiles) {
+            panel.gather(inputs, tile.col_begin, tile.col_end);
+            tile_fn(tile, acc.data());
+        }
+        drainRowBatch(layer, acc.data(), row_begin, row_end, batch,
+                      outputs);
+    }
+}
+
+/** Run @p run_pe over every PE slice, pooled when available. */
+template <typename RunPe>
+void
+forEachSlice(const CompiledTile &tile, WorkerPool *pool,
+             const RunPe &run_pe)
+{
+    if (pool && pool->threads() > 1)
+        pool->parallelFor(tile.slices.size(), run_pe);
+    else
+        for (std::size_t k = 0; k < tile.slices.size(); ++k)
+            run_pe(k);
+}
+
+/** The reference and fused variants: int64 accumulators, sparse
+ *  gather panel; fused walks one merged stream serially. */
+void
+executeSparse(const CompiledLayer &layer, const Batch &inputs,
+              WorkerPool *pool, bool fused, Batch &outputs)
+{
+    const std::size_t batch = inputs.size();
+    ActivationPanel panel;
+    executeTiles<std::int64_t>(
+        layer, inputs, outputs, panel,
+        [&](const CompiledTile &tile, std::int64_t *acc) {
+            if (fused) {
+                runStreamReference(tile.fused, panel, batch, acc,
+                                   layer.weight_format,
+                                   layer.act_format);
+                return;
+            }
+            forEachSlice(tile, pool, [&](std::size_t k) {
+                runStreamReference(tile.slices[k].stream, panel, batch,
+                                   acc, layer.weight_format,
+                                   layer.act_format);
+            });
+        });
+}
+
+/** The vector variant: int32 accumulators, dense panel, SIMD MAC
+ *  rows; per-slice parallelism as in the reference loop. */
+void
+executeVector(const CompiledLayer &layer, const Batch &inputs,
+              WorkerPool *pool, Batch &outputs)
+{
+    const std::size_t batch = inputs.size();
+    const int shift =
+        2 * static_cast<int>(layer.weight_format.fracBits) -
+        static_cast<int>(layer.act_format.fracBits);
+    const auto lo = static_cast<std::int32_t>(layer.act_format.minRaw());
+    const auto hi = static_cast<std::int32_t>(layer.act_format.maxRaw());
+
+    DensePanel panel;
+    executeTiles<std::int32_t>(
+        layer, inputs, outputs, panel,
+        [&](const CompiledTile &tile, std::int32_t *acc) {
+            forEachSlice(tile, pool, [&](std::size_t k) {
+                runStreamVector(tile.slices[k].stream, panel, batch,
+                                acc, shift, lo, hi);
+            });
+        });
+}
+
+/**
+ * Whether every activation is a valid act_format raw — the bound
+ * vectorEligible()'s 32-bit-lane arithmetic actually relies on.
+ * Out-of-format inputs (possible from an unvalidated remote client:
+ * the wire protocol carries raw int64 activations verbatim) must not
+ * crash or silently wrap; runBatch demotes them to the reference
+ * loop, which computes the same defined int64 semantics as before
+ * the vector variant existed.
+ */
+bool
+withinActFormat(const Batch &inputs, const FixedFormat &fmt)
+{
+    const std::int64_t lo = fmt.minRaw();
+    const std::int64_t hi = fmt.maxRaw();
+    for (const auto &input : inputs)
+        for (const std::int64_t a : input)
+            if (a < lo || a > hi)
+                return false;
+    return true;
+}
+
 } // namespace
+
+const char *
+simdIsaName()
+{
+    return g_mac_row_kernel.isa;
+}
 
 Batch
 runBatch(const CompiledLayer &layer, const Batch &inputs,
-         WorkerPool *pool)
+         WorkerPool *pool, KernelVariant variant)
 {
     const std::size_t batch = inputs.size();
     panic_if(!layer.has_host_stream,
@@ -95,48 +407,24 @@ runBatch(const CompiledLayer &layer, const Batch &inputs,
     if (batch == 0)
         return outputs;
 
-    ActivationPanel panel;
-    std::vector<std::int64_t> acc;
-    for (const auto &batch_tiles : layer.tiles) {
-        panic_if(batch_tiles.empty(), "row batch with no tiles");
-        const std::size_t row_begin = batch_tiles.front().row_begin;
-        const std::size_t row_end = batch_tiles.front().row_end;
-
-        // Accumulators zero per row batch, persisting across passes —
-        // frame-major per row so a PE's writes stay in its own rows.
-        acc.assign((row_end - row_begin) * batch, 0);
-
-        for (const CompiledTile &tile : batch_tiles) {
-            panel.gather(inputs, tile.col_begin, tile.col_end);
-            auto run_pe = [&](std::size_t k) {
-                runSlice(tile.slices[k], panel, batch, acc.data(),
-                         layer.weight_format, layer.act_format);
-            };
-            if (pool && pool->threads() > 1)
-                pool->parallelFor(tile.slices.size(), run_pe);
-            else
-                for (std::size_t k = 0; k < tile.slices.size(); ++k)
-                    run_pe(k);
-        }
-
-        // Drain: non-linearity, then commit the batch rows per frame.
-        for (std::size_t r = 0; r < row_end - row_begin; ++r) {
-            const std::int64_t *acc_row = &acc[r * batch];
-            for (std::size_t b = 0; b < batch; ++b) {
-                std::int64_t value = acc_row[b];
-                switch (layer.nonlin) {
-                  case nn::Nonlinearity::ReLU:
-                    value = reluRaw(value);
-                    break;
-                  case nn::Nonlinearity::None:
-                    break;
-                  default:
-                    fatal("the accelerator only applies ReLU or None; "
-                          "other nonlinearities run on the host");
-                }
-                outputs[b][row_begin + r] = value;
-            }
-        }
+    const unsigned threads = pool ? pool->threads() : 1;
+    KernelVariant resolved =
+        resolveKernelVariant(variant, layer, batch, threads);
+    if (resolved == KernelVariant::Vector &&
+        !withinActFormat(inputs, layer.act_format))
+        resolved = KernelVariant::Reference;
+    switch (resolved) {
+      case KernelVariant::Vector:
+        executeVector(layer, inputs, pool, outputs);
+        break;
+      case KernelVariant::Fused:
+        executeSparse(layer, inputs, pool, /*fused=*/true, outputs);
+        break;
+      case KernelVariant::Reference:
+        executeSparse(layer, inputs, pool, /*fused=*/false, outputs);
+        break;
+      case KernelVariant::Auto:
+        panic("resolveKernelVariant returned Auto");
     }
     return outputs;
 }

@@ -1,18 +1,30 @@
 /**
  * @file
- * Batched execution of a CompiledLayer.
+ * Batched, variant-dispatched execution of a CompiledLayer.
  *
  * One sweep over the compressed columns is amortized across the whole
- * batch: per column the active (non-zero) frames are gathered once,
- * then every pre-decoded entry issues one MAC per active frame. Each
- * frame's accumulator therefore sees exactly the update sequence the
- * scalar interpreter would produce (passes, then columns, then entries
- * in ascending order; zero activations skipped), so outputs are
- * bit-exact with FunctionalModel::run — saturation order included.
+ * batch. The inner loop is selected by KernelVariant (see
+ * variant.hh): the scalar sparse-gather reference walk, the SIMD
+ * dense-batch vector MAC, or the slice-fused serial stream. Every
+ * variant preserves the exact per-accumulator update sequence of the
+ * scalar interpreter (passes, then columns, then at most one entry
+ * per accumulator per column; a zero activation contributes a zero
+ * product and sat(acc + 0) == acc), so outputs are bit-exact with
+ * FunctionalModel::run — saturation order included — regardless of
+ * the variant.
  *
  * Parallel execution splits the work across PE slices: PE k only ever
  * writes output rows i mod N == k, so threads share the accumulator
- * buffer without synchronization or write conflicts.
+ * buffer without synchronization or write conflicts. The fused
+ * variant is the single-thread form; under a multi-thread pool it
+ * demotes to the per-slice reference loop (outputs unchanged).
+ *
+ * Inputs are raw act_format values (quantizeInput or a previous
+ * layer's outputs); the vector variant relies on that contract to
+ * keep its 32-bit lanes exact, and runBatch enforces it — a batch
+ * containing any out-of-format activation (e.g. unvalidated remote
+ * input) executes on the reference loop instead, preserving the
+ * defined wide-integer semantics without a crash path.
  */
 
 #ifndef EIE_CORE_KERNEL_EXECUTOR_HH
@@ -22,6 +34,7 @@
 #include <vector>
 
 #include "core/kernel/compiled_layer.hh"
+#include "core/kernel/variant.hh"
 #include "core/kernel/worker_pool.hh"
 
 namespace eie::core::kernel {
@@ -32,14 +45,18 @@ using Batch = std::vector<std::vector<std::int64_t>>;
 /**
  * Execute @p layer on every frame of @p inputs.
  *
- * @param layer  a compiled layer
- * @param inputs B activation vectors of layer.input_size each
- * @param pool   optional worker pool; when non-null and holding more
- *               than one thread, PE slices execute in parallel
+ * @param layer   a compiled layer (host stream required)
+ * @param inputs  B activation vectors of layer.input_size each
+ * @param pool    optional worker pool; when non-null and holding more
+ *                than one thread, PE slices execute in parallel
+ * @param variant inner-loop selection; Auto resolves to the fastest
+ *                bit-exact variant for the layer's formats and this
+ *                call's batch/thread shape (resolveKernelVariant)
  * @return B output vectors of layer.output_size each
  */
 Batch runBatch(const CompiledLayer &layer, const Batch &inputs,
-               WorkerPool *pool = nullptr);
+               WorkerPool *pool = nullptr,
+               KernelVariant variant = KernelVariant::Auto);
 
 } // namespace eie::core::kernel
 

@@ -1,0 +1,127 @@
+#include "core/kernel/variant.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/kernel/compiled_layer.hh"
+
+namespace eie::core::kernel {
+
+namespace {
+
+/** Below this batch the dense lanes of "vector" carry too many zero
+ *  activations to beat the sparse gather loops; Auto prefers the
+ *  fused (serial) or reference stream instead. */
+constexpr std::size_t kVectorAutoBatch = 8;
+
+} // namespace
+
+const std::vector<std::string> &
+kernelVariantNames()
+{
+    static const std::vector<std::string> names{"auto", "reference",
+                                                "vector", "fused"};
+    return names;
+}
+
+const char *
+kernelVariantName(KernelVariant variant)
+{
+    switch (variant) {
+      case KernelVariant::Auto:
+        return "auto";
+      case KernelVariant::Reference:
+        return "reference";
+      case KernelVariant::Vector:
+        return "vector";
+      case KernelVariant::Fused:
+        return "fused";
+    }
+    panic("invalid kernel variant %d", static_cast<int>(variant));
+    return ""; // unreachable: panic() aborts
+}
+
+KernelVariant
+kernelVariantFromName(const std::string &name)
+{
+    if (name == "auto")
+        return KernelVariant::Auto;
+    if (name == "reference")
+        return KernelVariant::Reference;
+    if (name == "vector")
+        return KernelVariant::Vector;
+    if (name == "fused")
+        return KernelVariant::Fused;
+    std::string known;
+    for (const std::string &n : kernelVariantNames())
+        known += (known.empty() ? "" : ", ") + n;
+    fatal("unknown kernel variant '%s' (known: %s)", name.c_str(),
+          known.c_str());
+    return KernelVariant::Auto; // unreachable: fatal() exits
+}
+
+bool
+vectorEligible(const FixedFormat &weight_fmt, const FixedFormat &acc_fmt)
+{
+    // The "shift and add" alignment must be an arithmetic right shift
+    // (a left shift would widen the product past the lane).
+    const int shift = 2 * static_cast<int>(weight_fmt.fracBits) -
+        static_cast<int>(acc_fmt.fracBits);
+    if (shift < 0 || shift > 31)
+        return false;
+    // w * a must fit an int32 lane: |w| <= 2^(wb-1), |a| <= 2^(ab-1),
+    // so the product magnitude is at most 2^(wb+ab-2).
+    const int product_bits = static_cast<int>(weight_fmt.totalBits) +
+        static_cast<int>(acc_fmt.totalBits) - 2;
+    if (product_bits > 30)
+        return false;
+    // acc + (product >> shift) must fit an int32 lane before the
+    // saturation clamp.
+    const int sum_bits = std::max(
+        static_cast<int>(acc_fmt.totalBits) - 1, product_bits - shift);
+    return sum_bits <= 29;
+}
+
+bool
+vectorEligible(const CompiledLayer &layer)
+{
+    return vectorEligible(layer.weight_format, layer.act_format);
+}
+
+KernelVariant
+resolveKernelVariant(KernelVariant requested, const CompiledLayer &layer,
+                     std::size_t batch, unsigned threads)
+{
+    switch (requested) {
+      case KernelVariant::Reference:
+        return KernelVariant::Reference;
+      case KernelVariant::Vector:
+        fatal_if(!vectorEligible(layer),
+                 "kernel variant 'vector' is not bit-exact for layer "
+                 "'%s' (weights Q%u.%u, accumulator Q%u.%u overflow "
+                 "32-bit lanes); use 'auto', 'reference' or 'fused'",
+                 layer.name.c_str(), layer.weight_format.totalBits,
+                 layer.weight_format.fracBits,
+                 layer.act_format.totalBits, layer.act_format.fracBits);
+        return KernelVariant::Vector;
+      case KernelVariant::Fused:
+        // Fusion is the single-thread form; a pooled run executes the
+        // per-slice streams instead (outputs unchanged).
+        if (threads > 1 || !layer.has_fused_stream)
+            return KernelVariant::Reference;
+        return KernelVariant::Fused;
+      case KernelVariant::Auto:
+        break;
+    }
+    if (vectorEligible(layer) && batch >= kVectorAutoBatch)
+        return KernelVariant::Vector;
+    if (threads <= 1 && layer.has_fused_stream)
+        return KernelVariant::Fused;
+    return KernelVariant::Reference;
+}
+
+// simdIsaName() is defined in executor.cc, next to the MAC row
+// kernel dispatch it reports on, so the stamp can never drift from
+// the loop that actually runs.
+
+} // namespace eie::core::kernel

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The kernel-variant registry of the compiled execution path.
+ *
+ * One pre-decoded KernelStream (see compiled_layer.hh) can be walked
+ * by more than one inner loop, and which loop wins depends on the
+ * batch size, the thread count and the datapath formats. Instead of
+ * forking the executor per loop, every consumer — CompiledBackend,
+ * the WorkerPool batched executor, the serving cluster and the CLI
+ * tools — selects a KernelVariant by name and kernel::runBatch
+ * dispatches:
+ *
+ *  - "reference": the scalar sparse-gather loop over the per-slice
+ *    streams. Bit-exact for every format; the in-process oracle the
+ *    other variants are validated against.
+ *  - "vector": a 32-bit-lane SIMD saturating MAC, dense over the
+ *    batch dimension (zero activations contribute a zero product, and
+ *    sat(acc + 0) == acc, so skipping them is an optimization, not a
+ *    semantic — the dense sweep is bit-exact). Requires the layer's
+ *    formats to fit 32-bit lanes; see vectorEligible().
+ *  - "fused": the per-column slice-fused stream — all PE slices of a
+ *    tile merged into one row-sorted stream per column, so a
+ *    single-thread run walks one column extent instead of one per PE
+ *    and never scatters between per-slice accumulator views. With a
+ *    multi-thread pool (fusion is the 1-thread form) it falls back to
+ *    the per-slice reference loop, outputs unchanged.
+ *  - "auto": the fastest variant that is bit-exact for the layer's
+ *    formats and the call's batch/thread shape; the default
+ *    everywhere.
+ *
+ * All variants produce bit-identical outputs (the saturating-MAC
+ * update sequence per accumulator is preserved exactly); "vector" is
+ * additionally gated by the format predicate so it can never be
+ * selected where 32-bit lanes would overflow.
+ */
+
+#ifndef EIE_CORE_KERNEL_VARIANT_HH
+#define EIE_CORE_KERNEL_VARIANT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/fixed_point.hh"
+
+namespace eie::core::kernel {
+
+struct CompiledLayer;
+
+/** The registered kernel inner loops (Auto = select per call). */
+enum class KernelVariant
+{
+    Auto,      ///< fastest bit-exact variant for the call shape
+    Reference, ///< scalar sparse-gather loop, the oracle
+    Vector,    ///< SIMD 32-bit-lane dense-batch saturating MAC
+    Fused,     ///< slice-fused single stream per column (1 thread)
+};
+
+/** Registry names, selection order ("auto", "reference", ...). */
+const std::vector<std::string> &kernelVariantNames();
+
+/** The registry name of @p variant. */
+const char *kernelVariantName(KernelVariant variant);
+
+/** Parse a registry name; fatal (listing the valid names) on an
+ *  unknown one. */
+KernelVariant kernelVariantFromName(const std::string &name);
+
+/**
+ * Whether the "vector" variant's 32-bit lanes are bit-exact for a
+ * layer with weights in @p weight_fmt accumulating into @p acc_fmt
+ * activations: the product must fit an int32 lane, the shift-and-add
+ * alignment must be a right shift, and accumulator + aligned product
+ * must fit an int32 lane before saturation.
+ */
+bool vectorEligible(const FixedFormat &weight_fmt,
+                    const FixedFormat &acc_fmt);
+
+/** Format predicate over a compiled layer's captured formats. */
+bool vectorEligible(const CompiledLayer &layer);
+
+/**
+ * Resolve @p requested for one runBatch call:
+ *
+ *  - Auto picks Vector when the formats are eligible and the batch is
+ *    wide enough to fill lanes, the Fused stream for serial small
+ *    batches, and Reference otherwise.
+ *  - Fused demotes to Reference when the pool runs more than one
+ *    thread (the fused stream is a single serial walk) or the layer
+ *    was compiled without the fused stream.
+ *  - Vector is fatal when the layer's formats are not eligible: the
+ *    lanes would overflow, silently breaking bit-exactness.
+ *
+ * The returned variant is always directly executable on @p layer.
+ */
+KernelVariant resolveKernelVariant(KernelVariant requested,
+                                   const CompiledLayer &layer,
+                                   std::size_t batch, unsigned threads);
+
+/**
+ * The instruction set the SIMD MAC row kernel dispatched to at
+ * runtime on this machine: "avx2", "sse4.1" or "scalar" (the
+ * portable fallback loop). Stamped into BENCH_*.json files.
+ */
+const char *simdIsaName();
+
+} // namespace eie::core::kernel
+
+#endif // EIE_CORE_KERNEL_VARIANT_HH

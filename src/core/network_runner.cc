@@ -58,15 +58,21 @@ NetworkRunner::outputSize() const
 }
 
 engine::ExecutionBackend &
-NetworkRunner::backend(const std::string &name, unsigned threads) const
+NetworkRunner::backend(const std::string &name, unsigned threads,
+                       kernel::KernelVariant kernel) const
 {
     fatal_if(plans_.empty(), "network has no layers");
 
-    // Only the compiled backend consumes the thread count; normalize
-    // the key so scalar/sim requests at different counts share one
-    // backend (a SimBackend holds the full compiled image).
-    const unsigned effective = name == "compiled" ? threads : 1;
-    const std::string key = name + "/" + std::to_string(effective);
+    // Only the compiled backend consumes the thread count and the
+    // kernel variant; normalize the key so scalar/sim requests at
+    // different counts share one backend (a SimBackend holds the full
+    // compiled image).
+    const bool compiled = name == "compiled";
+    const unsigned effective = compiled ? threads : 1;
+    const kernel::KernelVariant effective_kernel =
+        compiled ? kernel : kernel::KernelVariant::Auto;
+    const std::string key = name + "/" + std::to_string(effective) +
+        "/" + kernel::kernelVariantName(effective_kernel);
     std::lock_guard<std::mutex> lock(backend_mutex_);
     auto it = backends_.find(key);
     if (it == backends_.end()) {
@@ -75,8 +81,9 @@ NetworkRunner::backend(const std::string &name, unsigned threads) const
         for (const LayerPlan &plan : plans_)
             plan_ptrs.push_back(&plan);
         it = backends_
-                 .emplace(key, engine::makeBackend(name, config_,
-                                                   plan_ptrs, threads))
+                 .emplace(key,
+                          engine::makeBackend(name, config_, plan_ptrs,
+                                              threads, effective_kernel))
                  .first;
     }
     return *it->second;
@@ -93,10 +100,12 @@ NetworkRunner::run(const std::vector<std::int64_t> &input_raw) const
 }
 
 kernel::Batch
-NetworkRunner::runBatch(const kernel::Batch &inputs,
-                        unsigned threads) const
+NetworkRunner::runBatch(const kernel::Batch &inputs, unsigned threads,
+                        kernel::KernelVariant kernel) const
 {
-    return backend("compiled", threads).runBatch(inputs).outputs;
+    return backend("compiled", threads, kernel)
+        .runBatch(inputs)
+        .outputs;
 }
 
 std::vector<nn::Vector>

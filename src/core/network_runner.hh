@@ -95,14 +95,19 @@ class NetworkRunner
     /**
      * The execution backend @p name ("scalar", "compiled", "sim")
      * over this network, built on first use and cached per
-     * (name, threads). The reference stays valid until the next
-     * addLayer() or the runner's destruction. Thread-safe.
+     * (name, threads, kernel). The reference stays valid until the
+     * next addLayer() or the runner's destruction. Thread-safe.
      *
      * @param threads PE-parallel worker threads (compiled backend
      *                only; the other backends ignore it)
+     * @param kernel  compiled backend's kernel variant (see
+     *                core/kernel/variant.hh; the other backends
+     *                ignore it)
      */
-    engine::ExecutionBackend &backend(const std::string &name,
-                                      unsigned threads = 1) const;
+    engine::ExecutionBackend &
+    backend(const std::string &name, unsigned threads = 1,
+            kernel::KernelVariant kernel =
+                kernel::KernelVariant::Auto) const;
 
     /** Run one input through the whole stack (raw fixed point) on the
      *  cycle-accurate backend, returning per-layer timing. */
@@ -126,9 +131,13 @@ class NetworkRunner
      * @param threads PE-parallel worker threads (1 = single-threaded).
      *                The backend (pool included) persists per thread
      *                count.
+     * @param kernel  kernel variant (Auto = fastest bit-exact for the
+     *                layer formats and call shape)
      */
     kernel::Batch runBatch(const kernel::Batch &inputs,
-                           unsigned threads = 1) const;
+                           unsigned threads = 1,
+                           kernel::KernelVariant kernel =
+                               kernel::KernelVariant::Auto) const;
 
     /** Float convenience wrapper around runBatch(). */
     std::vector<nn::Vector>

@@ -71,23 +71,33 @@ backendNames()
     return names;
 }
 
+void
+validateBackendName(const std::string &name)
+{
+    std::string known;
+    for (const std::string &n : backendNames()) {
+        if (n == name)
+            return;
+        known += (known.empty() ? "" : ", ") + n;
+    }
+    fatal("unknown execution backend '%s' (known: %s)", name.c_str(),
+          known.c_str());
+}
+
 std::unique_ptr<ExecutionBackend>
 makeBackend(const std::string &name, const core::EieConfig &config,
             const std::vector<const core::LayerPlan *> &plans,
-            unsigned threads)
+            unsigned threads, core::kernel::KernelVariant kernel)
 {
+    validateBackendName(name);
     if (name == "scalar")
         return std::make_unique<ScalarBackend>(config, plans);
     if (name == "compiled")
-        return std::make_unique<CompiledBackend>(config, plans, threads);
-    if (name == "sim")
-        return std::make_unique<SimBackend>(config, plans);
-    std::string known;
-    for (const std::string &n : backendNames())
-        known += (known.empty() ? "" : ", ") + n;
-    fatal("unknown execution backend '%s' (known: %s)", name.c_str(),
-          known.c_str());
-    return nullptr; // unreachable: fatal() exits
+        return std::make_unique<CompiledBackend>(config, plans, threads,
+                                                 kernel);
+    panic_if(name != "sim", "backend registry out of sync with '%s'",
+             name.c_str());
+    return std::make_unique<SimBackend>(config, plans);
 }
 
 // ------------------------------------------------------------- scalar
@@ -117,31 +127,57 @@ ScalarBackend::runBatch(const core::kernel::Batch &inputs) const
 
 std::shared_ptr<const CompiledStack>
 compileLayerStack(const core::EieConfig &config,
-                  const std::vector<const core::LayerPlan *> &plans)
+                  const std::vector<const core::LayerPlan *> &plans,
+                  const core::kernel::CompileOptions &options)
 {
     auto layers = std::make_shared<CompiledStack>();
     layers->reserve(plans.size());
     for (const core::LayerPlan *plan : plans) {
         fatal_if(plan == nullptr, "null layer plan");
-        layers->push_back(
-            core::kernel::CompiledLayer::compile(*plan, config));
+        layers->push_back(core::kernel::CompiledLayer::compile(
+            *plan, config, options));
     }
     return layers;
 }
 
+core::kernel::CompileOptions
+compiledStackOptions(unsigned threads,
+                     core::kernel::KernelVariant kernel)
+{
+    core::kernel::CompileOptions options;
+    options.fused_stream = threads <= 1 &&
+        (kernel == core::kernel::KernelVariant::Auto ||
+         kernel == core::kernel::KernelVariant::Fused);
+    return options;
+}
+
 CompiledBackend::CompiledBackend(
     const core::EieConfig &config,
-    const std::vector<const core::LayerPlan *> &plans, unsigned threads)
-    : CompiledBackend(plans, compileLayerStack(config, plans), threads)
+    const std::vector<const core::LayerPlan *> &plans, unsigned threads,
+    core::kernel::KernelVariant kernel)
+    : CompiledBackend(
+          plans,
+          compileLayerStack(config, plans,
+                            compiledStackOptions(threads, kernel)),
+          threads, kernel)
 {}
 
 CompiledBackend::CompiledBackend(
     const std::vector<const core::LayerPlan *> &plans,
-    std::shared_ptr<const CompiledStack> layers, unsigned threads)
-    : ExecutionBackend("compiled", plans), layers_(std::move(layers))
+    std::shared_ptr<const CompiledStack> layers, unsigned threads,
+    core::kernel::KernelVariant kernel)
+    : ExecutionBackend("compiled", plans), layers_(std::move(layers)),
+      kernel_(kernel)
 {
     fatal_if(!layers_ || layers_->size() != plans.size(),
              "compiled stack does not match the plan stack");
+    // Surface an ineligible explicit "vector" request at construction
+    // (listing the offending layer) instead of on the first runBatch.
+    if (kernel_ == core::kernel::KernelVariant::Vector)
+        for (const core::kernel::CompiledLayer &layer : *layers_)
+            core::kernel::resolveKernelVariant(kernel_, layer,
+                                               /*batch=*/1,
+                                               /*threads=*/1);
     if (threads > 1)
         pool_ = std::make_unique<core::kernel::WorkerPool>(threads);
 }
@@ -165,7 +201,8 @@ CompiledBackend::runBatch(const core::kernel::Batch &inputs) const
     RunReport report;
     const core::kernel::Batch *act = &inputs;
     for (const core::kernel::CompiledLayer &layer : *layers_) {
-        report.outputs = core::kernel::runBatch(layer, *act, pool_.get());
+        report.outputs = core::kernel::runBatch(layer, *act, pool_.get(),
+                                                kernel_);
         act = &report.outputs;
     }
     return report;

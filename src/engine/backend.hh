@@ -96,6 +96,11 @@ class ExecutionBackend
 /** The registered backend names, factory order. */
 const std::vector<std::string> &backendNames();
 
+/** Fatal — listing the registered names — unless @p name is one of
+ *  them. For CLI flag validation at parse time; makeBackend calls it
+ *  too, so both paths emit one error message. */
+void validateBackendName(const std::string &name);
+
 /**
  * Build a backend by name over @p plans (the layer stack in execution
  * order; sizes must chain).
@@ -104,18 +109,24 @@ const std::vector<std::string> &backendNames();
  *                 oracle. Keeps the plan pointers: the plans must
  *                 outlive the backend.
  *  - "compiled" — pre-decoded kernel path with a persistent
- *                 PE-parallel worker pool of @p threads workers.
- *                 Compiles at construction; does not retain the plans.
+ *                 PE-parallel worker pool of @p threads workers and
+ *                 the requested kernel variant. Compiles at
+ *                 construction; does not retain the plans.
  *  - "sim"      — cycle-accurate simulator, timing stats in the
  *                 report. Compiles (with the simulator stream) at
  *                 construction; does not retain the plans.
+ *
+ * @p kernel selects the compiled backend's inner loop (see
+ * core/kernel/variant.hh); the other backends ignore it.
  *
  * Fatal on an unknown name, an empty stack, or a non-chaining stack.
  */
 std::unique_ptr<ExecutionBackend>
 makeBackend(const std::string &name, const core::EieConfig &config,
             const std::vector<const core::LayerPlan *> &plans,
-            unsigned threads = 1);
+            unsigned threads = 1,
+            core::kernel::KernelVariant kernel =
+                core::kernel::KernelVariant::Auto);
 
 } // namespace eie::engine
 

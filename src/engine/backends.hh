@@ -41,39 +41,66 @@ using CompiledStack = std::vector<core::kernel::CompiledLayer>;
  * Lower @p plans into the pre-decoded kernel format once, for sharing
  * across several CompiledBackend instances: replicated serving shards
  * execute the same immutable arrays instead of compiling (and
- * holding) one copy each.
+ * holding) one copy each. @p options tunes the compile — e.g. skip
+ * the fused stream (a second resident copy of the entries) when
+ * every consumer runs a multi-thread pool, where the fused variant
+ * is unreachable.
  */
 std::shared_ptr<const CompiledStack>
 compileLayerStack(const core::EieConfig &config,
-                  const std::vector<const core::LayerPlan *> &plans);
+                  const std::vector<const core::LayerPlan *> &plans,
+                  const core::kernel::CompileOptions &options = {});
 
 /**
- * The compiled host-kernel path: pre-decoded format, column sweeps
- * amortized over the batch, PE-parallel worker pool. Compiles every
- * layer at construction (or adopts a pre-compiled shared stack) and
- * does not retain the plans. Concurrent runBatch() callers serialize
- * on the shared pool.
+ * Compile options for a stack whose consumers all run @p threads
+ * worker threads with the @p kernel variant: the fused stream (a
+ * second resident copy of the entries) is compiled only where the
+ * fused variant is reachable — serial consumers requesting Fused or
+ * Auto. A multi-thread pool demotes Fused to the per-slice loop, and
+ * explicit Reference/Vector never walk it. The one rule both
+ * CompiledBackend and the serving cluster's shared stacks follow.
+ */
+core::kernel::CompileOptions
+compiledStackOptions(unsigned threads,
+                     core::kernel::KernelVariant kernel);
+
+/**
+ * The compiled host-kernel path: pre-decoded SoA streams, column
+ * sweeps amortized over the batch, PE-parallel worker pool, inner
+ * loop selected by kernel variant (core/kernel/variant.hh; Auto picks
+ * the fastest bit-exact loop per call). Compiles every layer at
+ * construction (or adopts a pre-compiled shared stack) and does not
+ * retain the plans. Concurrent runBatch() callers serialize on the
+ * shared pool.
  */
 class CompiledBackend : public ExecutionBackend
 {
   public:
     CompiledBackend(const core::EieConfig &config,
                     const std::vector<const core::LayerPlan *> &plans,
-                    unsigned threads);
+                    unsigned threads,
+                    core::kernel::KernelVariant kernel =
+                        core::kernel::KernelVariant::Auto);
 
     /** Adopt @p layers compiled by compileLayerStack() from the same
      *  plan stack — the layers are shared, not copied, so N backends
      *  over one stack hold one set of pre-decoded arrays. */
     CompiledBackend(const std::vector<const core::LayerPlan *> &plans,
                     std::shared_ptr<const CompiledStack> layers,
-                    unsigned threads);
+                    unsigned threads,
+                    core::kernel::KernelVariant kernel =
+                        core::kernel::KernelVariant::Auto);
 
     unsigned threads() const;
+
+    /** The kernel variant every runBatch() dispatches with. */
+    core::kernel::KernelVariant kernel() const { return kernel_; }
 
     RunReport runBatch(const core::kernel::Batch &inputs) const override;
 
   private:
     std::shared_ptr<const CompiledStack> layers_;
+    core::kernel::KernelVariant kernel_;
     mutable std::mutex pool_mutex_; ///< parallelFor is single-caller
     mutable std::unique_ptr<core::kernel::WorkerPool> pool_;
 };

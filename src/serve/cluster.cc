@@ -75,6 +75,18 @@ ClusterEngine::ClusterEngine(std::shared_ptr<const LoadedModel> model,
     fatal_if(!model_, "cluster needs a model");
     fatal_if(options_.shards == 0, "cluster needs at least one shard");
 
+    // Multi-thread shards demote the fused variant to the per-slice
+    // loop (and their shared stack skips the fused stream entirely);
+    // normalize here so stats and banners report the variant that
+    // actually runs.
+    if (options_.kernel == core::kernel::KernelVariant::Fused &&
+        options_.threads_per_shard > 1) {
+        warn("kernel 'fused' is the single-thread form; shards with "
+             "%u threads run 'reference' instead",
+             options_.threads_per_shard);
+        options_.kernel = core::kernel::KernelVariant::Reference;
+    }
+
     const core::EieConfig &config = model_->config();
     shards_.reserve(options_.shards);
 
@@ -86,16 +98,20 @@ ClusterEngine::ClusterEngine(std::shared_ptr<const LoadedModel> model,
         // replicas, one copy of the weights.
         std::shared_ptr<const engine::CompiledStack> stack;
         if (options_.backend == "compiled")
-            stack = engine::compileLayerStack(config, plans);
+            stack = engine::compileLayerStack(
+                config, plans,
+                engine::compiledStackOptions(
+                    options_.threads_per_shard, options_.kernel));
         for (unsigned s = 0; s < options_.shards; ++s) {
             std::unique_ptr<engine::ExecutionBackend> backend;
             if (stack)
                 backend = std::make_unique<engine::CompiledBackend>(
-                    plans, stack, options_.threads_per_shard);
+                    plans, stack, options_.threads_per_shard,
+                    options_.kernel);
             else
                 backend = engine::makeBackend(
                     options_.backend, config, plans,
-                    options_.threads_per_shard);
+                    options_.threads_per_shard, options_.kernel);
             shards_.push_back(std::make_unique<engine::InferenceServer>(
                 std::move(backend), options_.server));
         }
@@ -121,7 +137,8 @@ ClusterEngine::ClusterEngine(std::shared_ptr<const LoadedModel> model,
         shards_.push_back(std::make_unique<engine::InferenceServer>(
             engine::makeBackend(options_.backend, config,
                                 {&shard_plans_[s]},
-                                options_.threads_per_shard),
+                                options_.threads_per_shard,
+                                options_.kernel),
             options_.server));
     gatherer_ = std::thread([this] { gatherLoop(); });
 }
@@ -435,6 +452,11 @@ ServingDirectory::statsJson() const
            << ",\"version\":" << cluster->model().version()
            << ",\"placement\":\""
            << placementName(cluster->options().placement) << "\""
+           << ",\"backend\":\"" << cluster->options().backend << "\""
+           << ",\"kernel\":\""
+           << core::kernel::kernelVariantName(
+                  cluster->options().kernel)
+           << "\""
            << ",\"shards\":" << cluster->shardCount()
            << ",\"requests\":" << stats.requests
            << ",\"dropped_deadline\":" << stats.dropped_deadline

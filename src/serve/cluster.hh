@@ -71,6 +71,11 @@ struct ClusterOptions
     /** Execution backend per shard ("compiled", "scalar", "sim"). */
     std::string backend = "compiled";
 
+    /** Kernel variant of every "compiled" shard's inner loop (see
+     *  core/kernel/variant.hh; Auto = fastest bit-exact). */
+    core::kernel::KernelVariant kernel =
+        core::kernel::KernelVariant::Auto;
+
     /** PE-parallel worker threads inside each shard's backend. */
     unsigned threads_per_shard = 1;
 

@@ -14,6 +14,7 @@
 #include "core/functional.hh"
 #include "core/kernel/compiled_layer.hh"
 #include "core/kernel/executor.hh"
+#include "core/kernel/variant.hh"
 #include "core/kernel/worker_pool.hh"
 #include "core/network_runner.hh"
 #include "core/plan.hh"
@@ -22,6 +23,13 @@
 namespace {
 
 using namespace eie;
+
+using core::kernel::KernelVariant;
+
+/** Every registry variant, explicit and auto. */
+const std::vector<KernelVariant> kAllVariants{
+    KernelVariant::Auto, KernelVariant::Reference,
+    KernelVariant::Vector, KernelVariant::Fused};
 
 /** Quantized random frames at the given activation density. */
 core::kernel::Batch
@@ -83,13 +91,17 @@ TEST(CompiledKernel, RandomizedEquivalenceAcrossConfigs)
             const auto reference = scalarReference(model, plan, frames);
 
             for (unsigned threads : {1u, 4u}) {
-                const auto outputs =
-                    model.runBatch(plan, frames, threads);
-                ASSERT_EQ(outputs.size(), reference.size());
-                for (std::size_t b = 0; b < batch; ++b)
-                    EXPECT_EQ(outputs[b], reference[b])
-                        << p.n_pe << " PEs, batch " << batch << ", "
-                        << threads << " threads, frame " << b;
+                for (const KernelVariant kernel : kAllVariants) {
+                    const auto outputs =
+                        model.runBatch(plan, frames, threads, kernel);
+                    ASSERT_EQ(outputs.size(), reference.size());
+                    for (std::size_t b = 0; b < batch; ++b)
+                        EXPECT_EQ(outputs[b], reference[b])
+                            << p.n_pe << " PEs, batch " << batch
+                            << ", " << threads << " threads, kernel "
+                            << core::kernel::kernelVariantName(kernel)
+                            << ", frame " << b;
+                }
             }
         }
     }
@@ -106,13 +118,16 @@ TEST(CompiledKernel, NonePreservesNegativesLikeScalar)
 
     const auto frames = makeFrames(model, 48, 8, 1.0, 78);
     const auto reference = scalarReference(model, plan, frames);
-    const auto outputs = model.runBatch(plan, frames);
 
     bool saw_negative = false;
-    for (std::size_t b = 0; b < frames.size(); ++b) {
-        EXPECT_EQ(outputs[b], reference[b]);
-        for (auto v : outputs[b])
-            saw_negative |= v < 0;
+    for (const KernelVariant kernel : kAllVariants) {
+        const auto outputs = model.runBatch(plan, frames, 1, kernel);
+        for (std::size_t b = 0; b < frames.size(); ++b) {
+            EXPECT_EQ(outputs[b], reference[b])
+                << core::kernel::kernelVariantName(kernel);
+            for (auto v : outputs[b])
+                saw_negative |= v < 0;
+        }
     }
     EXPECT_TRUE(saw_negative);
 }
@@ -141,9 +156,12 @@ TEST(CompiledKernel, PaddingEntriesAreStrippedAndContributeZero)
     const core::FunctionalModel model(config);
     const auto frames = makeFrames(model, 32, 4, 1.0, 92);
     const auto reference = scalarReference(model, plan, frames);
-    const auto outputs = model.runBatch(plan, frames);
-    for (std::size_t b = 0; b < frames.size(); ++b)
-        EXPECT_EQ(outputs[b], reference[b]);
+    for (const KernelVariant kernel : kAllVariants) {
+        const auto outputs = model.runBatch(plan, frames, 1, kernel);
+        for (std::size_t b = 0; b < frames.size(); ++b)
+            EXPECT_EQ(outputs[b], reference[b])
+                << core::kernel::kernelVariantName(kernel);
+    }
 }
 
 TEST(CompiledKernel, NetworkRunnerBatchMatchesPerFrameRun)

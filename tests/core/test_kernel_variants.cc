@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Kernel-variant tests: the variant registry (auto / reference /
+ * vector / fused) must resolve as documented, every variant must be
+ * bit-exact with the scalar oracle exactly at the saturation
+ * boundary of the accumulator format, and ragged / all-zero
+ * activation batches (the panel skip paths and the SIMD tail lanes)
+ * must flow through every variant — including the threads>1
+ * WorkerPool route — without divergence.
+ *
+ * The column-partitioned serving caveat that motivates the
+ * saturation suite (splitting a saturating layer across shards
+ * reorders the saturating adds and may change outputs; PR 3 ships
+ * partitioned placement with exactly that caveat) is asserted in
+ * tests/serve/test_cluster.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/functional.hh"
+#include "core/kernel/compiled_layer.hh"
+#include "core/kernel/executor.hh"
+#include "core/kernel/variant.hh"
+#include "core/kernel/worker_pool.hh"
+#include "core/plan.hh"
+#include "helpers.hh"
+
+namespace {
+
+using namespace eie;
+
+using core::kernel::KernelVariant;
+
+const std::vector<KernelVariant> kAllVariants{
+    KernelVariant::Auto, KernelVariant::Reference,
+    KernelVariant::Vector, KernelVariant::Fused};
+
+const std::vector<KernelVariant> kExplicitVariants{
+    KernelVariant::Reference, KernelVariant::Vector,
+    KernelVariant::Fused};
+
+/**
+ * A dense layer whose partial sums slam into both accumulator rails:
+ * every row holds @p cols/2 weights of +magnitude followed by cols/2
+ * of -magnitude, so a frame of ones drives each accumulator up into
+ * +saturation and then down through -saturation while the
+ * unsaturated sum would be exactly zero.
+ */
+compress::CompressedLayer
+saturatingLayer(std::size_t rows, std::size_t cols, unsigned n_pe,
+                float magnitude)
+{
+    nn::SparseMatrix weights(rows, cols);
+    for (std::size_t j = 0; j < cols; ++j)
+        for (std::size_t i = 0; i < rows; ++i)
+            weights.insert(i, j, j < cols / 2 ? magnitude : -magnitude);
+    compress::CompressionOptions opts;
+    opts.interleave.n_pe = n_pe;
+    return compress::CompressedLayer::compress("saturating", weights,
+                                               opts);
+}
+
+TEST(KernelVariants, RegistryNamesRoundTrip)
+{
+    ASSERT_EQ(core::kernel::kernelVariantNames().size(), 4u);
+    for (const std::string &name : core::kernel::kernelVariantNames())
+        EXPECT_STREQ(core::kernel::kernelVariantName(
+                         core::kernel::kernelVariantFromName(name)),
+                     name.c_str());
+}
+
+TEST(KernelVariants, VectorEligibilityPredicate)
+{
+    // The paper's default Q16.8 x Q16.8 datapath fits 32-bit lanes.
+    EXPECT_TRUE(core::kernel::vectorEligible(fixed16, fixed16));
+
+    // A negative shift-and-add alignment (left shift) is out.
+    EXPECT_FALSE(core::kernel::vectorEligible(FixedFormat{16, 6},
+                                              FixedFormat{16, 13}));
+
+    // A 32-bit weight operand overflows the product lane.
+    EXPECT_FALSE(core::kernel::vectorEligible(FixedFormat{32, 8},
+                                              FixedFormat{16, 8}));
+}
+
+TEST(KernelVariants, ResolutionFollowsTheDocumentedRules)
+{
+    core::EieConfig config;
+    config.n_pe = 4;
+    const auto layer = test::randomCompressedLayer(64, 48, 0.3, 4, 11);
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    const auto compiled =
+        core::kernel::CompiledLayer::compile(plan, config);
+    ASSERT_TRUE(compiled.has_fused_stream);
+    ASSERT_TRUE(core::kernel::vectorEligible(compiled));
+
+    using core::kernel::resolveKernelVariant;
+    // Auto: wide batch fills SIMD lanes; serial small batch takes the
+    // fused stream; pooled small batch the per-slice reference loop.
+    EXPECT_EQ(resolveKernelVariant(KernelVariant::Auto, compiled, 64, 1),
+              KernelVariant::Vector);
+    EXPECT_EQ(resolveKernelVariant(KernelVariant::Auto, compiled, 1, 1),
+              KernelVariant::Fused);
+    EXPECT_EQ(resolveKernelVariant(KernelVariant::Auto, compiled, 1, 4),
+              KernelVariant::Reference);
+    // Fusion is the 1-thread form: a pooled request demotes.
+    EXPECT_EQ(
+        resolveKernelVariant(KernelVariant::Fused, compiled, 8, 4),
+        KernelVariant::Reference);
+    EXPECT_EQ(
+        resolveKernelVariant(KernelVariant::Fused, compiled, 8, 1),
+        KernelVariant::Fused);
+    // Explicit requests stick where legal.
+    EXPECT_EQ(
+        resolveKernelVariant(KernelVariant::Vector, compiled, 1, 4),
+        KernelVariant::Vector);
+    EXPECT_EQ(
+        resolveKernelVariant(KernelVariant::Reference, compiled, 64, 1),
+        KernelVariant::Reference);
+
+    // Without the fused stream every fused request demotes and Auto
+    // never selects it.
+    core::kernel::CompileOptions no_fused;
+    no_fused.fused_stream = false;
+    const auto lean =
+        core::kernel::CompiledLayer::compile(plan, config, no_fused);
+    ASSERT_FALSE(lean.has_fused_stream);
+    EXPECT_EQ(resolveKernelVariant(KernelVariant::Fused, lean, 1, 1),
+              KernelVariant::Reference);
+    EXPECT_EQ(resolveKernelVariant(KernelVariant::Auto, lean, 1, 1),
+              KernelVariant::Reference);
+}
+
+TEST(KernelVariants, FusedStreamMergesEverySliceRowSorted)
+{
+    core::EieConfig config;
+    config.n_pe = 4;
+    const auto layer = test::randomCompressedLayer(96, 40, 0.25, 4, 21);
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    const auto compiled =
+        core::kernel::CompiledLayer::compile(plan, config);
+
+    for (const auto &batch_tiles : compiled.tiles) {
+        for (const auto &tile : batch_tiles) {
+            std::size_t slice_entries = 0;
+            for (const auto &slice : tile.slices)
+                slice_entries += slice.stream.entryCount();
+            ASSERT_EQ(tile.fused.entryCount(), slice_entries);
+            ASSERT_EQ(tile.fused.col_ptr.size(),
+                      tile.slices.front().stream.col_ptr.size());
+            // Rows ascend within each column of the merged stream and
+            // are unique (distinct accumulators: the fusion cannot
+            // reorder any accumulator's MAC sequence).
+            const auto &col_ptr = tile.fused.col_ptr;
+            for (std::size_t j = 0; j + 1 < col_ptr.size(); ++j)
+                for (std::uint32_t e = col_ptr[j];
+                     e + 1 < col_ptr[j + 1]; ++e)
+                    ASSERT_LT(tile.fused.rows[e],
+                              tile.fused.rows[e + 1]);
+        }
+    }
+}
+
+TEST(KernelVariants, SaturationBoundaryBitExactAcrossVariants)
+{
+    core::EieConfig config;
+    config.n_pe = 4;
+    const auto layer = saturatingLayer(8, 16, 4, 100.0f);
+    // None (not ReLU) so the -saturated outputs stay observable.
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::None, config);
+    const core::FunctionalModel model(config);
+
+    core::kernel::Batch frames;
+    frames.push_back(model.quantizeInput(nn::Vector(16, 1.0f)));
+    frames.push_back(model.quantizeInput(nn::Vector(16, 0.5f)));
+    frames.push_back(model.quantizeInput(
+        test::randomActivations(16, 1.0, 31)));
+
+    core::kernel::Batch reference;
+    for (const auto &frame : frames)
+        reference.push_back(model.run(plan, frame).output_raw);
+
+    // The ones-frame proves the partials saturated: its unsaturated
+    // sum is exactly zero per row, but the saturating MAC walk pins
+    // every accumulator to the negative rail.
+    for (const std::int64_t out : reference[0]) {
+        ASSERT_NE(out, 0);
+        ASSERT_EQ(out, config.act_format.minRaw());
+    }
+
+    for (unsigned threads : {1u, 4u}) {
+        for (const KernelVariant kernel : kAllVariants) {
+            const auto outputs =
+                model.runBatch(plan, frames, threads, kernel);
+            for (std::size_t b = 0; b < frames.size(); ++b)
+                EXPECT_EQ(outputs[b], reference[b])
+                    << core::kernel::kernelVariantName(kernel) << ", "
+                    << threads << " threads, frame " << b;
+        }
+    }
+}
+
+TEST(KernelVariants, IneligibleFormatsFallBackBitExact)
+{
+    // A negative shift-and-add alignment keeps "vector" out; Auto
+    // must route around it and stay bit-exact.
+    core::EieConfig config;
+    config.n_pe = 4;
+    config.weight_format = FixedFormat{16, 6};
+    config.act_format = FixedFormat{16, 13};
+    const auto layer = test::randomCompressedLayer(64, 48, 0.3, 4, 41);
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    const auto compiled =
+        core::kernel::CompiledLayer::compile(plan, config);
+    ASSERT_FALSE(core::kernel::vectorEligible(compiled));
+    EXPECT_EQ(core::kernel::resolveKernelVariant(KernelVariant::Auto,
+                                                 compiled, 64, 1),
+              KernelVariant::Fused);
+
+    const core::FunctionalModel model(config);
+    core::kernel::Batch frames;
+    for (std::size_t b = 0; b < 9; ++b)
+        frames.push_back(model.quantizeInput(
+            test::randomActivations(48, 0.5, 42 + b)));
+
+    core::kernel::Batch reference;
+    for (const auto &frame : frames)
+        reference.push_back(model.run(plan, frame).output_raw);
+
+    for (const KernelVariant kernel :
+         {KernelVariant::Auto, KernelVariant::Reference,
+          KernelVariant::Fused}) {
+        const auto outputs =
+            core::kernel::runBatch(compiled, frames, nullptr, kernel);
+        for (std::size_t b = 0; b < frames.size(); ++b)
+            EXPECT_EQ(outputs[b], reference[b])
+                << core::kernel::kernelVariantName(kernel);
+    }
+}
+
+TEST(KernelVariants, OutOfFormatActivationsFallBackToReference)
+{
+    // The wire protocol carries raw int64 activations verbatim, so a
+    // remote client can submit values outside act_format. The vector
+    // variant's 32-bit lanes cannot represent them; runBatch must
+    // demote to the reference loop (same defined int64 semantics as
+    // the scalar oracle), not crash or wrap.
+    core::EieConfig config;
+    config.n_pe = 4;
+    const auto layer = test::randomCompressedLayer(64, 48, 0.3, 4, 71);
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    const auto compiled =
+        core::kernel::CompiledLayer::compile(plan, config);
+    const core::FunctionalModel model(config);
+
+    core::kernel::Batch frames;
+    for (std::size_t b = 0; b < 9; ++b)
+        frames.push_back(model.quantizeInput(
+            test::randomActivations(48, 0.5, 72 + b)));
+    frames[4][7] = std::int64_t{1} << 40;  // far outside Q16.8
+    frames[8][0] = -(std::int64_t{1} << 33);
+
+    core::kernel::Batch reference;
+    for (const auto &frame : frames)
+        reference.push_back(model.run(plan, frame).output_raw);
+
+    for (const KernelVariant kernel : kAllVariants) {
+        const auto outputs =
+            core::kernel::runBatch(compiled, frames, nullptr, kernel);
+        for (std::size_t b = 0; b < frames.size(); ++b)
+            EXPECT_EQ(outputs[b], reference[b])
+                << core::kernel::kernelVariantName(kernel)
+                << ", frame " << b;
+    }
+}
+
+TEST(KernelVariants, RaggedAndAllZeroBatchesAcrossVariants)
+{
+    core::EieConfig config;
+    config.n_pe = 4;
+    const auto layer = test::randomCompressedLayer(96, 64, 0.2, 4, 51);
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    const auto compiled =
+        core::kernel::CompiledLayer::compile(plan, config);
+    const core::FunctionalModel model(config);
+    core::kernel::WorkerPool pool(3);
+
+    const std::vector<std::int64_t> zero_frame(64, 0);
+
+    // Ragged batch sizes exercise the SIMD tail lanes (1, 3, 5, 9 are
+    // all off the 4/8-lane grid); interleaved all-zero frames and the
+    // all-zero batch exercise the activation-panel skip path.
+    std::vector<core::kernel::Batch> batches;
+    for (const std::size_t batch : {1u, 3u, 5u, 9u}) {
+        core::kernel::Batch frames;
+        for (std::size_t b = 0; b < batch; ++b)
+            frames.push_back(model.quantizeInput(
+                test::randomActivations(64, 0.4, 60 + 13 * b)));
+        batches.push_back(std::move(frames));
+    }
+    {
+        core::kernel::Batch mixed;
+        for (std::size_t b = 0; b < 6; ++b)
+            mixed.push_back(b % 2 == 0 ? zero_frame
+                                       : model.quantizeInput(
+                                             test::randomActivations(
+                                                 64, 0.4, 80 + b)));
+        batches.push_back(std::move(mixed));
+    }
+    batches.push_back(core::kernel::Batch(5, zero_frame));
+    batches.push_back(core::kernel::Batch{}); // empty batch
+
+    for (const auto &frames : batches) {
+        core::kernel::Batch reference;
+        for (const auto &frame : frames)
+            reference.push_back(model.run(plan, frame).output_raw);
+
+        for (core::kernel::WorkerPool *p :
+             {static_cast<core::kernel::WorkerPool *>(nullptr),
+              &pool}) {
+            for (const KernelVariant kernel : kAllVariants) {
+                const auto outputs =
+                    core::kernel::runBatch(compiled, frames, p, kernel);
+                ASSERT_EQ(outputs.size(), frames.size());
+                for (std::size_t b = 0; b < frames.size(); ++b)
+                    EXPECT_EQ(outputs[b], reference[b])
+                        << core::kernel::kernelVariantName(kernel)
+                        << ", batch " << frames.size() << ", "
+                        << (p ? "pooled" : "serial") << ", frame "
+                        << b;
+            }
+        }
+    }
+
+    // Explicit variants on the all-zero batch: outputs are exactly
+    // the zero vector after ReLU.
+    const core::kernel::Batch zeros(3, zero_frame);
+    for (const KernelVariant kernel : kExplicitVariants) {
+        const auto outputs =
+            core::kernel::runBatch(compiled, zeros, nullptr, kernel);
+        for (const auto &out : outputs)
+            EXPECT_EQ(out, std::vector<std::int64_t>(96, 0))
+                << core::kernel::kernelVariantName(kernel);
+    }
+}
+
+} // namespace

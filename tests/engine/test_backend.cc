@@ -139,9 +139,16 @@ TEST(ExecutionBackend, NetworkRunnerHandsOutCachedBackends)
 
     engine::ExecutionBackend &compiled = net.backend("compiled");
     engine::ExecutionBackend &again = net.backend("compiled");
-    EXPECT_EQ(&compiled, &again); // cached per (name, threads)
+    EXPECT_EQ(&compiled, &again); // cached per (name, threads, kernel)
     EXPECT_NE(&compiled, &net.backend("compiled", 2));
     EXPECT_NE(&compiled, &net.backend("scalar"));
+    EXPECT_NE(&compiled,
+              &net.backend("compiled", 1,
+                           core::kernel::KernelVariant::Vector));
+    // Non-compiled backends normalize the kernel key: one instance.
+    EXPECT_EQ(&net.backend("scalar"),
+              &net.backend("scalar", 1,
+                           core::kernel::KernelVariant::Fused));
 
     // addLayer invalidates: a new stack means new backends.
     net.addLayer(test::randomCompressedLayer(16, 32, 0.3, 4, 621),
@@ -175,6 +182,42 @@ TEST(ExecutionBackend, FunctionalRunBatchCachesCompiledBackend)
     }
 }
 
+TEST(ExecutionBackend, CompiledKernelVariantsMatchScalarOnAStack)
+{
+    core::EieConfig config;
+    config.n_pe = 4;
+    const auto l1 = test::randomCompressedLayer(96, 64, 0.25, 4, 650);
+    const auto l2 = test::randomCompressedLayer(48, 96, 0.2, 4, 651);
+    const auto plan1 =
+        core::planLayer(l1, nn::Nonlinearity::ReLU, config);
+    const auto plan2 =
+        core::planLayer(l2, nn::Nonlinearity::ReLU, config);
+    const std::vector<const core::LayerPlan *> plans{&plan1, &plan2};
+
+    const core::FunctionalModel model(config);
+    const auto frames = makeFrames(model, 64, 9, 0.5, 652);
+    const auto scalar = engine::makeBackend("scalar", config, plans);
+    const auto reference = scalar->runBatch(frames).outputs;
+
+    for (const core::kernel::KernelVariant kernel :
+         {core::kernel::KernelVariant::Auto,
+          core::kernel::KernelVariant::Reference,
+          core::kernel::KernelVariant::Vector,
+          core::kernel::KernelVariant::Fused}) {
+        for (const unsigned threads : {1u, 4u}) {
+            const auto backend = engine::makeBackend(
+                "compiled", config, plans, threads, kernel);
+            const auto *compiled =
+                dynamic_cast<engine::CompiledBackend *>(backend.get());
+            ASSERT_NE(compiled, nullptr);
+            EXPECT_EQ(compiled->kernel(), kernel);
+            EXPECT_EQ(backend->runBatch(frames).outputs, reference)
+                << core::kernel::kernelVariantName(kernel) << ", "
+                << threads << " threads";
+        }
+    }
+}
+
 TEST(ExecutionBackendDeath, UnknownNameAndBrokenStacks)
 {
     core::EieConfig config;
@@ -189,6 +232,18 @@ TEST(ExecutionBackendDeath, UnknownNameAndBrokenStacks)
                 ::testing::ExitedWithCode(1), "at least one layer");
     EXPECT_EXIT(engine::makeBackend("scalar", config, {&plan, &plan}),
                 ::testing::ExitedWithCode(1), "chain");
+
+    // An explicit "vector" request on formats that overflow 32-bit
+    // lanes must fail loudly at construction, not silently diverge.
+    core::EieConfig narrow = config;
+    narrow.weight_format = FixedFormat{16, 6};
+    narrow.act_format = FixedFormat{16, 13};
+    const auto narrow_plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, narrow);
+    EXPECT_EXIT(
+        engine::makeBackend("compiled", narrow, {&narrow_plan}, 1,
+                            core::kernel::KernelVariant::Vector),
+        ::testing::ExitedWithCode(1), "not bit-exact");
 }
 
 } // namespace

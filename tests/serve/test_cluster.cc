@@ -294,6 +294,84 @@ TEST(ClusterEngineDeath, RejectsWrongInputSizeAndZeroShards)
                 ::testing::ExitedWithCode(1), "at least one shard");
 }
 
+TEST(ClusterEngine, KernelVariantsServeBitExactOnEveryPlacement)
+{
+    ClusterFixture fx;
+    for (const core::kernel::KernelVariant kernel :
+         {core::kernel::KernelVariant::Reference,
+          core::kernel::KernelVariant::Vector,
+          core::kernel::KernelVariant::Fused}) {
+        for (const serve::Placement placement :
+             {serve::Placement::Replicated,
+              serve::Placement::ColumnPartitioned}) {
+            serve::ClusterOptions opts = fx.options(2, placement);
+            opts.kernel = kernel;
+            serve::ClusterEngine cluster(fx.model, opts);
+            for (int i = 0; i < 6; ++i) {
+                const auto input = fx.randomInput(7000 + i);
+                EXPECT_EQ(cluster.infer(input), fx.oracle(input))
+                    << core::kernel::kernelVariantName(kernel) << ", "
+                    << serve::placementName(placement) << ", input "
+                    << i;
+            }
+        }
+    }
+}
+
+/**
+ * The PR 3 caveat, asserted: column-partitioned placement reorders
+ * the saturating adds (each shard saturates its own partial before
+ * the gather sums them), so a layer whose partials saturate can
+ * diverge from the oracle — replicated placement cannot. Weights
+ * +127 in columns 0-1 and -127 in columns 2-3 with a ones input
+ * drive each row's accumulator to +sat then down: the oracle walks
+ * 32512, sat -> 32767, 255, -32257, while two column shards produce
+ * sat(+65024) = 32767 and sat(-65024) = -32768, gathering to -1.
+ * Saturating workloads must shard replicated.
+ */
+TEST(ClusterEngine, ColumnPartitionedSaturationCaveatIsReal)
+{
+    core::EieConfig config;
+    config.n_pe = 2;
+
+    nn::SparseMatrix weights(4, 4);
+    for (std::size_t j = 0; j < 4; ++j)
+        for (std::size_t i = 0; i < 4; ++i)
+            weights.insert(i, j, j < 2 ? 127.0f : -127.0f);
+    compress::CompressionOptions copts;
+    copts.interleave.n_pe = 2;
+    const auto layer = compress::CompressedLayer::compress(
+        "saturating", weights, copts);
+    // None (not ReLU) keeps the negative results observable.
+    const auto model = serve::LoadedModel::fromStorage(
+        "saturating", 1, layer.storage(), nn::Nonlinearity::None,
+        config);
+
+    const core::FunctionalModel functional(config);
+    const auto input = functional.quantizeInput(nn::Vector(4, 1.0f));
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::None, config);
+    const auto oracle = functional.run(plan, input).output_raw;
+    ASSERT_EQ(oracle, std::vector<std::int64_t>(4, -32257));
+
+    serve::ClusterOptions opts;
+    opts.shards = 2;
+    opts.placement = serve::Placement::Replicated;
+    serve::ClusterEngine replicated(model, opts);
+    EXPECT_EQ(replicated.infer(input), oracle);
+
+    opts.placement = serve::Placement::ColumnPartitioned;
+    serve::ClusterEngine partitioned(model, opts);
+    ASSERT_EQ(partitioned.columnBounds(),
+              (std::vector<std::size_t>{0, 2, 4}));
+    const auto partitioned_out = partitioned.infer(input);
+    EXPECT_EQ(partitioned_out, std::vector<std::int64_t>(4, -1));
+    EXPECT_NE(partitioned_out, oracle)
+        << "partitioned placement unexpectedly matched the oracle on "
+           "a saturating layer — if the gather semantics changed, "
+           "update the documented caveat";
+}
+
 TEST(ClusterEngine, PlacementNamesRoundTrip)
 {
     EXPECT_EQ(serve::placementFromName("replicated"),

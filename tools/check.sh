@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build and ctest the whole tree in
 # Release and Debug, failing on any test regression. The kernel
-# equivalence suite (test_kernel) is additionally run with verbose
-# output so a bit-exactness break is loud in CI logs.
+# equivalence suites (`-L kernel`: test_kernel + test_kernel_variants)
+# are additionally run with verbose output so a bit-exactness break —
+# in any kernel variant — is loud in CI logs.
 #
 # The serving-cluster subsystem (src/serve/: registry, sharded
 # cluster, wire protocol, TCP loopback) gets its own labeled ctest
 # pass so a serving regression is called out by name even when the
-# full run already covered it.
+# full run already covered it. A Release variant-matrix smoke then
+# drives eie_sim through every kernel variant (--kernel
+# reference|vector|fused) in both the batched-throughput and the
+# serving path, each checked bit-exact against the scalar oracle by
+# the tool itself.
 #
 # A third pass rebuilds the concurrency-sensitive suites — worker
-# pool, batched kernels, execution backends, the inference server,
-# the cluster engine and the TCP front end — under ThreadSanitizer
-# (-DEIE_TSAN=ON) and runs them; a data race in the serving path
-# fails the check even when the race never corrupts an assertion.
+# pool, batched kernels (all variants), execution backends, the
+# inference server, the cluster engine and the TCP front end — under
+# ThreadSanitizer (-DEIE_TSAN=ON) and runs them; a data race in the
+# serving path fails the check even when the race never corrupts an
+# assertion.
 #
 # Usage: tools/check.sh [extra cmake args...]
 
@@ -29,15 +35,24 @@ for build_type in Release Debug; do
         -DCMAKE_BUILD_TYPE="${build_type}" "$@"
     cmake --build "${build_dir}" -j "${jobs}"
     ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
-    ctest --test-dir "${build_dir}" --output-on-failure -R test_kernel
+    echo "=== ${build_type} kernel equivalence (-L kernel) ==="
+    ctest --test-dir "${build_dir}" --output-on-failure -L kernel
     echo "=== ${build_type} serving cluster (-L serve) ==="
     ctest --test-dir "${build_dir}" --output-on-failure -L serve
 done
 
+echo "=== kernel variant matrix (Release eie_sim smoke) ==="
+for kernel in reference vector fused; do
+    ./build-check-release/eie_sim --throughput 16 --benchmark NT-We \
+        --kernel "${kernel}"
+    ./build-check-release/eie_sim --serve 24 --benchmark NT-We \
+        --kernel "${kernel}"
+done
+
 echo "=== ThreadSanitizer (kernel + engine + server + cluster) ==="
 tsan_dir="build-check-tsan"
-tsan_tests="test_kernel test_backend test_server test_network_runner \
-test_cluster test_tcp"
+tsan_tests="test_kernel test_kernel_variants test_backend test_server \
+test_network_runner test_cluster test_tcp"
 cmake -B "${tsan_dir}" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEIE_TSAN=ON "$@"
 # Build only the sanitized suites: instrumenting the full bench/tool
@@ -51,4 +66,4 @@ ${TSAN_OPTIONS:-}" \
 ctest --test-dir "${tsan_dir}" --output-on-failure \
     -R "$(echo "${tsan_tests}" | tr ' ' '|')"
 
-echo "all checks passed (Release + Debug + TSan)"
+echo "all checks passed (Release + Debug + variant matrix + TSan)"

@@ -11,7 +11,7 @@
  * Daemon (loopback TCP front end over a sharded cluster per model):
  *   eie_serve --registry DIR --listen PORT [--shards N]
  *             [--policy replicated|partitioned] [--backend NAME]
- *             [--threads-per-shard T] [--max-batch B]
+ *             [--kernel V] [--threads-per-shard T] [--max-batch B]
  *             [--max-delay-us U] [--pes N] [--duration-s S]
  *
  * Client (open-loop or back-to-back pipelined traffic):
@@ -85,6 +85,8 @@ usage()
         "(default 1)\n"
         "  --policy P            replicated | partitioned\n"
         "  --backend NAME        shard backend (default compiled)\n"
+        "  --kernel V            shard kernel variant: auto | "
+        "reference | vector | fused\n"
         "  --threads-per-shard T worker threads per shard "
         "(default 1)\n"
         "  --max-batch B         shard micro-batcher cap "
@@ -222,7 +224,9 @@ runDaemon(const Args &args)
     std::cout << "eie_serve: listening on 127.0.0.1:" << server.port()
               << " (" << args.cluster.shards << " shard(s), "
               << serve::placementName(args.cluster.placement) << ", "
-              << args.cluster.backend << " backend)\n"
+              << args.cluster.backend << " backend, "
+              << core::kernel::kernelVariantName(args.cluster.kernel)
+              << " kernel)\n"
               << std::flush;
 
     std::signal(SIGINT, onSignal);
@@ -400,7 +404,15 @@ main(int argc, char **argv)
             args.cluster.placement =
                 serve::placementFromName(next());
         } else if (arg == "--backend") {
+            // validateBackendName is fatal (listing the valid names)
+            // on an unknown value.
             args.cluster.backend = next();
+            engine::validateBackendName(args.cluster.backend);
+        } else if (arg == "--kernel") {
+            // kernelVariantFromName is fatal (listing the valid
+            // names) on an unknown value.
+            args.cluster.kernel =
+                core::kernel::kernelVariantFromName(next());
         } else if (arg == "--threads-per-shard") {
             args.cluster.threads_per_shard =
                 static_cast<unsigned>(std::stoul(next()));

@@ -7,9 +7,10 @@
  *   eie_sim [--benchmark NAME | --all] [--pes N] [--fifo N]
  *           [--width BITS] [--clock GHZ] [--no-bypass] [--relaxed]
  *           [--seed S] [--export-model PATH] [--dump-stats]
- *   eie_sim --throughput B [--threads T] [--repeats R] [...]
- *   eie_sim --serve N [--rate RPS] [--backend NAME] [--max-batch B]
- *           [--max-delay-us U] [--threads T] [...]
+ *   eie_sim --throughput B [--threads T] [--kernel V] [--repeats R]
+ *           [...]
+ *   eie_sim --serve N [--rate RPS] [--backend NAME] [--kernel V]
+ *           [--max-batch B] [--max-delay-us U] [--threads T] [...]
  *
  * Runs Table III benchmarks (or one of them) through the
  * cycle-accurate simulator with the requested machine configuration
@@ -75,6 +76,8 @@ usage()
         "  --dump-stats         print the raw statistics of each run\n"
         "  --throughput B       run the batched host engine, B frames\n"
         "  --threads T          PE-parallel worker threads (default 1)\n"
+        "  --kernel V           kernel variant: auto | reference | "
+        "vector | fused\n"
         "  --repeats R          timing repetitions, best wins "
         "(default 3)\n"
         "  --serve N            serve N open-loop requests per "
@@ -118,7 +121,8 @@ int
 runThroughput(workloads::SuiteRunner &runner,
               const std::vector<std::string> &names,
               const core::EieConfig &config, std::size_t batch,
-              unsigned threads, unsigned repeats, std::uint64_t seed)
+              unsigned threads, core::kernel::KernelVariant kernel,
+              unsigned repeats, std::uint64_t seed)
 {
     TextTable table({"Benchmark", "Batch", "Threads", "Scalar f/s",
                      "Batched f/s", "Speedup", "GOP/s", "Exact"});
@@ -158,7 +162,7 @@ runThroughput(workloads::SuiteRunner &runner,
 
         // Compiled backend: pre-decoded kernels + worker pool.
         const engine::ExecutionBackend &compiled =
-            net.backend("compiled", threads);
+            net.backend("compiled", threads, kernel);
         core::kernel::Batch outputs;
         double batched_s = 0.0;
         for (unsigned rep = 0; rep < repeats; ++rep) {
@@ -189,7 +193,8 @@ runThroughput(workloads::SuiteRunner &runner,
     }
 
     std::cout << "Host engine: pre-decoded kernel format, batch "
-              << batch << ", " << threads << " thread(s)\n";
+              << batch << ", " << threads << " thread(s), kernel '"
+              << core::kernel::kernelVariantName(kernel) << "'\n";
     table.print(std::cout);
     return 0;
 }
@@ -200,6 +205,8 @@ struct ServeArgs
     std::size_t requests = 0;    ///< 0 = mode off
     double rate = 0.0;           ///< offered req/s; 0 = back-to-back
     std::string backend = "compiled";
+    core::kernel::KernelVariant kernel =
+        core::kernel::KernelVariant::Auto;
     engine::ServerOptions options;
 };
 
@@ -231,8 +238,8 @@ runServe(workloads::SuiteRunner &runner,
             inputs.size(), args.rate, arrival_rng);
 
         engine::InferenceServer server(
-            engine::makeBackend(args.backend, config,
-                                {&net.plan(0)}, threads),
+            engine::makeBackend(args.backend, config, {&net.plan(0)},
+                                threads, args.kernel),
             args.options);
 
         const auto start = std::chrono::steady_clock::now();
@@ -276,6 +283,8 @@ runServe(workloads::SuiteRunner &runner,
     }
 
     std::cout << "Serving engine: backend '" << args.backend
+              << "', kernel '"
+              << core::kernel::kernelVariantName(args.kernel)
               << "', max batch " << args.options.max_batch
               << ", forming deadline "
               << args.options.max_delay.count() << " us, " << threads
@@ -367,7 +376,15 @@ main(int argc, char **argv)
             serve.rate = std::stod(next());
             fatal_if(serve.rate < 0.0, "--rate must be >= 0");
         } else if (arg == "--backend") {
+            // validateBackendName is fatal (listing the valid names)
+            // on an unknown value.
             serve.backend = next();
+            engine::validateBackendName(serve.backend);
+        } else if (arg == "--kernel") {
+            // kernelVariantFromName is fatal (listing the valid
+            // names) on an unknown value.
+            serve.kernel =
+                core::kernel::kernelVariantFromName(next());
         } else if (arg == "--max-batch") {
             serve.options.max_batch = std::stoul(next());
             fatal_if(serve.options.max_batch == 0,
@@ -384,6 +401,14 @@ main(int argc, char **argv)
         }
     }
     config.validate();
+    // Fusion is the single-thread form; normalize here so the tables
+    // and banners label the loop that actually runs.
+    if (serve.kernel == core::kernel::KernelVariant::Fused &&
+        threads > 1) {
+        warn("kernel 'fused' is the single-thread form; %u threads "
+             "run 'reference' instead", threads);
+        serve.kernel = core::kernel::KernelVariant::Reference;
+    }
     if (names.empty() || run_all)
         for (const auto &b : workloads::suite())
             names.push_back(b.name);
@@ -395,7 +420,7 @@ main(int argc, char **argv)
 
     if (throughput_batch > 0)
         return runThroughput(runner, names, config, throughput_batch,
-                             threads, repeats, seed);
+                             threads, serve.kernel, repeats, seed);
 
     if (!export_path.empty()) {
         fatal_if(names.size() != 1,
