@@ -20,6 +20,7 @@
 #include <variant>
 #include <vector>
 
+#include "client/client.hh"
 #include "common/logging.hh"
 #include "core/config.hh"
 #include "core/kernel/variant.hh"
@@ -197,6 +198,22 @@ writeBenchJson(const std::string &path, Json root)
     root.write(file);
     file << "\n";
     std::cout << "wrote " << path << "\n";
+}
+
+/**
+ * The client-transport stamp of one BENCH_client.json series: which
+ * endpoint string and resolved transport produced the numbers, so a
+ * local-loopback run and a cross-host run never get compared as the
+ * same series. Every series the client-overhead bench emits goes
+ * through here (one stamp, one schema).
+ */
+inline Json
+clientTransportStamp(const client::Client &client)
+{
+    Json stamp;
+    stamp.set("transport", client.transport())
+        .set("endpoint", client.endpoint());
+    return stamp;
 }
 
 /** All Table IV cells for one benchmark (microseconds per frame). */

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Client-overhead series: what the typed eie::client front door
+ * costs per request over each transport, against the raw backend
+ * sweep as the floor.
+ *
+ * One synthetic FC layer is published to a scratch registry and
+ * served four ways — the direct compiled backend (no client at
+ * all), a `local:` endpoint, a `cluster:` endpoint and a `tcp://`
+ * endpoint against an in-process loopback daemon — under the same
+ * pipelined single-frame workload. A streaming-session series then
+ * measures per-step latency of the LSTM path on the in-process and
+ * wire transports. Results land in BENCH_client.json, every series
+ * stamped with its transport and endpoint via
+ * bench::clientTransportStamp so trajectories compare like with
+ * like.
+ *
+ * On a loopback the tcp series measures protocol + socket overhead,
+ * not network latency; hardware_threads/compiler stamps (schema v3)
+ * travel in the file as usual.
+ */
+
+#include <chrono>
+#include <deque>
+#include <filesystem>
+#include <iostream>
+
+#include <unistd.h>
+
+#include "bench_common.hh"
+#include "client/client.hh"
+#include "common/random.hh"
+#include "compress/compressed_layer.hh"
+#include "core/functional.hh"
+#include "engine/backend.hh"
+#include "nn/generate.hh"
+#include "serve/registry.hh"
+#include "serve/tcp.hh"
+
+namespace {
+
+using namespace eie;
+namespace fs = std::filesystem;
+
+constexpr std::size_t kRows = 1024;
+constexpr std::size_t kCols = 1024;
+constexpr double kDensity = 0.09;
+constexpr std::size_t kRequests = 2000;
+constexpr std::size_t kWindow = 64;
+constexpr std::size_t kSessionSteps = 200;
+// LSTM model: H = 64, X = 64 -> (4H) x (X+H+1) = 256 x 129.
+constexpr std::size_t kLstmHidden = 64;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Pipelined single-frame requests; returns wall seconds. */
+double
+drive(client::Client &client, const std::string &model,
+      const std::vector<std::vector<std::int64_t>> &inputs)
+{
+    std::deque<std::future<client::InferenceResult>> in_flight;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kRequests; ++i) {
+        while (in_flight.size() >= kWindow) {
+            const client::InferenceResult result =
+                in_flight.front().get();
+            fatal_if(!result.ok(), "request failed: %s",
+                     result.status.toString().c_str());
+            in_flight.pop_front();
+        }
+        client::InferenceRequest request;
+        request.model = model;
+        request.fixed.push_back(inputs[i % inputs.size()]);
+        in_flight.push_back(client.submit(std::move(request)));
+    }
+    while (!in_flight.empty()) {
+        fatal_if(!in_flight.front().get().ok(), "request failed");
+        in_flight.pop_front();
+    }
+    return secondsSince(start);
+}
+
+} // namespace
+
+int
+main()
+{
+    core::EieConfig config; // 64 PE
+    const std::uint64_t seed = 2016;
+
+    // Scratch registry with the FC layer and the LSTM gate layer.
+    const fs::path dir = fs::temp_directory_path() /
+        ("eie_bench_client_" + std::to_string(::getpid()));
+    serve::ModelRegistry registry(dir.string(), config);
+    {
+        Rng rng(seed);
+        nn::WeightGenOptions wopts;
+        wopts.density = kDensity;
+        compress::CompressionOptions copts;
+        copts.interleave.n_pe = config.n_pe;
+        registry.publish(
+            "fc", 1,
+            compress::CompressedLayer::compress(
+                "fc", nn::makeSparseWeights(kRows, kCols, wopts, rng),
+                copts)
+                .storage());
+        registry.publish(
+            "lstm", 1,
+            compress::CompressedLayer::compress(
+                "lstm",
+                nn::makeSparseWeights(4 * kLstmHidden,
+                                      2 * kLstmHidden + 1, wopts,
+                                      rng),
+                copts)
+                .storage());
+    }
+
+    // Deterministic single-frame inputs.
+    const core::FunctionalModel functional(config);
+    std::vector<std::vector<std::int64_t>> inputs;
+    for (std::size_t i = 0; i < 64; ++i) {
+        Rng rng(seed + 77 * i + 1);
+        inputs.push_back(functional.quantizeInput(
+            nn::makeActivations(kCols, 0.35, rng)));
+    }
+
+    // The floor: the raw compiled backend, same frames, no client,
+    // no batcher — the per-frame cost everything else is charged
+    // against.
+    const auto loaded = registry.load("fc");
+    fatal_if(!loaded, "registry lost the fc model");
+    const auto direct =
+        engine::makeBackend("compiled", config, {&loaded->plan()});
+    const auto direct_start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kRequests; ++i)
+        direct->run(inputs[i % inputs.size()]);
+    const double direct_s = secondsSince(direct_start);
+    const double direct_us = 1e6 * direct_s /
+        static_cast<double>(kRequests);
+    std::cout << "direct compiled backend: " << direct_us
+              << " us/frame\n";
+
+    // Loopback daemon for the tcp series.
+    serve::ServingDirectory directory(registry,
+                                      serve::ClusterOptions{});
+    serve::TcpServer server(directory);
+    server.start();
+
+    client::ClientOptions options;
+    options.config = config;
+    const std::vector<std::string> endpoints = {
+        "local:compiled,dir=" + dir.string(),
+        "cluster:" + dir.string() + ",shards=1",
+        "tcp://127.0.0.1:" + std::to_string(server.port()),
+    };
+
+    bench::Json series = bench::Json::array();
+    for (const std::string &endpoint : endpoints) {
+        auto client = client::Client::connectOrDie(endpoint, options);
+        const double wall_s = drive(*client, "fc", inputs);
+        const double rps =
+            static_cast<double>(kRequests) / wall_s;
+        const double us_per_request = 1e6 * wall_s /
+            static_cast<double>(kRequests);
+
+        bench::Json row = bench::clientTransportStamp(*client);
+        row.set("requests",
+                static_cast<std::uint64_t>(kRequests))
+            .set("window", static_cast<std::uint64_t>(kWindow))
+            .set("requests_per_s", rps)
+            .set("us_per_request", us_per_request)
+            .set("overhead_us_vs_direct",
+                 us_per_request - direct_us);
+        client::EndpointStats stats;
+        if (client->stats(stats).ok() && stats.requests > 0) {
+            row.set("p50_latency_us", stats.p50_latency_us)
+                .set("p99_latency_us", stats.p99_latency_us)
+                .set("mean_batch", stats.mean_batch);
+        }
+        std::cout << client->transport() << ": " << rps
+                  << " requests/s (" << us_per_request
+                  << " us/request, +"
+                  << us_per_request - direct_us
+                  << " us over direct)\n";
+        series.push(std::move(row));
+        client->close();
+    }
+
+    // Streaming-session series: per-step latency of the recurrent
+    // path (strictly sequential, so this is pure round-trip cost).
+    bench::Json session_series = bench::Json::array();
+    for (const std::string &endpoint : endpoints) {
+        auto client = client::Client::connectOrDie(endpoint, options);
+        client::Status status;
+        const auto session = client->openSession("lstm", 0, status);
+        fatal_if(!session, "openSession(%s): %s", endpoint.c_str(),
+                 status.toString().c_str());
+        Rng rng(seed ^ 0x15150ull);
+        const nn::Vector x =
+            nn::makeActivations(session->inputSize(), 0.7, rng);
+        const auto start = std::chrono::steady_clock::now();
+        for (std::size_t t = 0; t < kSessionSteps; ++t)
+            fatal_if(!session->step(x).ok(), "session step failed");
+        const double step_us = 1e6 * secondsSince(start) /
+            static_cast<double>(kSessionSteps);
+
+        bench::Json row = bench::clientTransportStamp(*client);
+        row.set("steps",
+                static_cast<std::uint64_t>(kSessionSteps))
+            .set("us_per_step", step_us);
+        std::cout << client->transport() << " session: " << step_us
+                  << " us/step\n";
+        session_series.push(std::move(row));
+        client->close();
+    }
+
+    server.stop();
+    directory.stopAll();
+
+    bench::Json root;
+    // Sequential session steps pay the micro-batcher's forming
+    // window (a lone request waits max_delay before dispatch), so
+    // the policy travels with the numbers.
+    root.set("benchmark", "client_overhead")
+        .set("max_delay_us",
+             static_cast<std::uint64_t>(
+                 engine::ServerOptions{}.max_delay.count()))
+        .set("rows", static_cast<std::uint64_t>(kRows))
+        .set("cols", static_cast<std::uint64_t>(kCols))
+        .set("weight_density", kDensity)
+        .set("n_pe", static_cast<std::uint64_t>(config.n_pe))
+        .set("direct_us_per_frame", direct_us)
+        .set("series", std::move(series))
+        .set("session_series", std::move(session_series));
+    bench::writeBenchJson("BENCH_client.json", std::move(root));
+
+    fs::remove_all(dir);
+    return 0;
+}

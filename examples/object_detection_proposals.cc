@@ -12,22 +12,24 @@
  * per-region latency and how each region's dynamic activation
  * sparsity changes the work (sparser regions finish faster —
  * something a dense engine cannot exploit). The same stack is then
- * put behind an engine::InferenceServer to show the serving path a
- * detector would actually deploy: concurrent region submissions,
- * micro-batched onto the compiled kernels, bit-exact with the
- * simulator.
+ * put behind the typed eie::client API (a `local:compiled` endpoint
+ * over an in-memory model) to show the serving path a detector would
+ * actually deploy: concurrent region submissions, micro-batched onto
+ * the compiled kernels, bit-exact with the simulator — and one
+ * endpoint-string edit away from a sharded cluster or a remote
+ * daemon.
  */
 
 #include <future>
 #include <iostream>
 #include <vector>
 
+#include "client/client.hh"
 #include "common/random.hh"
 #include "common/table.hh"
 #include "core/network_runner.hh"
 #include "energy/pe_model.hh"
 #include "engine/backend.hh"
-#include "engine/server.hh"
 #include "nn/generate.hh"
 #include "workloads/suite.hh"
 
@@ -98,32 +100,47 @@ main()
                  "alone costs 35,022 us on the CPU and 1,467 us on "
                  "the Titan X.\n";
 
-    // Phase 2: the serving path — every region submitted concurrently
-    // to an InferenceServer over the compiled backend, micro-batched,
-    // and verified bit-exact against the simulator's outputs.
-    engine::ServerOptions options;
-    options.max_batch = 4;
-    options.max_delay = std::chrono::microseconds(500);
-    engine::InferenceServer server(
-        engine::makeBackend("compiled", config,
-                            {&head.plan(0), &head.plan(1)}),
-        options);
+    // Phase 2: the serving path — the FC6+FC7 stack registered as an
+    // in-memory model behind the typed client, every region
+    // submitted concurrently through one `local:compiled` endpoint,
+    // micro-batched, and verified bit-exact against the simulator's
+    // outputs. Swapping this endpoint string for "cluster:<dir>" or
+    // "tcp://host:port" deploys the identical caller code.
+    client::ClientOptions options;
+    options.config = config;
+    options.server.max_batch = 4;
+    options.server.max_delay = std::chrono::microseconds(500);
+    options.models.push_back(client::LocalModel{
+        "rcnn-head", {&head.plan(0), &head.plan(1)}});
+    const auto client =
+        client::Client::connectOrDie("local:compiled", options);
 
-    std::vector<std::future<std::vector<std::int64_t>>> futures;
-    for (const auto &input : region_inputs)
-        futures.push_back(server.submit(input));
+    std::vector<std::future<client::InferenceResult>> futures;
+    for (const auto &input : region_inputs) {
+        client::InferenceRequest request;
+        request.model = "rcnn-head";
+        request.fixed.push_back(input);
+        futures.push_back(client->submit(std::move(request)));
+    }
     bool exact = true;
-    for (int r = 0; r < regions; ++r)
-        exact &= futures[r].get() == timed.outputs[r];
-    server.stop();
+    for (int r = 0; r < regions; ++r) {
+        client::InferenceResult result = futures[r].get();
+        if (!result.ok()) {
+            std::cout << "region " << r << " failed: "
+                      << result.status.toString() << "\n";
+            return 1;
+        }
+        exact &= result.outputs.front() == timed.outputs[r];
+    }
 
-    const engine::ServerStats stats = server.stats();
+    client::EndpointStats stats;
+    if (!client->stats(stats).ok())
+        return 1;
     std::cout << "\nserved the same " << stats.requests
-              << " regions through InferenceServer (compiled "
-                 "backend): "
-              << stats.batches << " micro-batches, mean batch "
-              << stats.mean_batch << ", p99 latency "
-              << stats.p99_latency_us << " us host wall clock, "
+              << " regions through endpoint '" << client->endpoint()
+              << "': mean batch " << stats.mean_batch
+              << ", p99 latency " << stats.p99_latency_us
+              << " us host wall clock, "
               << (exact ? "bit-exact with the simulator"
                         : "MISMATCH")
               << "\n";

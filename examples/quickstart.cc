@@ -7,15 +7,22 @@
  *  2. Compress it (codebook + interleaved CSC for 4 PEs) and print
  *     PE0's storage image — it matches Figure 3 exactly.
  *  3. Run the sparse activation vector a = (0,0,a2,0,a4,a5,0,a7)
- *     through every execution backend by name — the scalar
- *     interpreter, the compiled kernel and the cycle-accurate
- *     simulator — via the unified engine::ExecutionBackend API, and
- *     verify them bit-identical and against the float golden model.
+ *     through every execution path via the typed eie::client API:
+ *     one in-memory model, three `local:<backend>` endpoint strings
+ *     (the scalar interpreter, the compiled kernel and the
+ *     cycle-accurate simulator), bit-identical outputs verified
+ *     against the float golden model. The same Client code would
+ *     reach a sharded in-process cluster (`cluster:<dir>`) or a
+ *     remote daemon (`tcp://host:port`) by swapping the endpoint
+ *     string — that is the point of the front door.
+ *  4. Drop to the engine layer for cycle-accurate timing detail
+ *     (RunStats), which the serving API deliberately does not carry.
  */
 
 #include <cstdio>
 #include <iostream>
 
+#include "client/client.hh"
 #include "common/table.hh"
 #include "compress/compressed_layer.hh"
 #include "core/functional.hh"
@@ -83,42 +90,52 @@ main()
     const auto plan =
         core::planLayer(layer, nn::Nonlinearity::ReLU, config);
 
-    const core::FunctionalModel functional(config);
-    const auto input_raw = functional.quantizeInput(a);
+    // One network, three interchangeable execution paths — each an
+    // endpoint string through the one typed client API. The plan is
+    // registered as an in-memory model; a production caller would
+    // point the same code at "cluster:<dir>" or "tcp://host:port".
+    client::ClientOptions options;
+    options.config = config;
+    options.models.push_back(client::LocalModel{"fig2", {&plan}});
 
-    // One network, three interchangeable execution paths — selected
-    // by name through the unified backend API.
     std::vector<std::int64_t> reference;
-    engine::RunReport sim_report;
     bool bit_exact = true;
-    for (const std::string &name : engine::backendNames()) {
-        const auto backend =
-            engine::makeBackend(name, config, {&plan});
-        engine::RunReport report = backend->run(input_raw);
+    for (const std::string &backend : engine::backendNames()) {
+        const auto client =
+            client::Client::connectOrDie("local:" + backend, options);
+        const client::InferenceResult result =
+            client->inferFloat("fig2", a);
+        if (!result.ok()) {
+            std::cout << "endpoint '" << client->endpoint()
+                      << "' failed: " << result.status.toString()
+                      << "\n";
+            return 1;
+        }
         if (reference.empty())
-            reference = report.outputs.front();
-        bit_exact &= report.outputs.front() == reference;
-        std::cout << "backend '" << name << "': "
-                  << (report.outputs.front() == reference
-                          ? "bit-exact"
-                          : "MISMATCH");
-        if (backend->timed())
-            std::cout << " (" << report.totalCycles() << " cycles)";
-        std::cout << "\n";
-        if (backend->timed())
-            sim_report = std::move(report);
+            reference = result.outputs.front();
+        const bool matches = result.outputs.front() == reference;
+        bit_exact &= matches;
+        std::cout << "endpoint '" << client->endpoint() << "': "
+                  << (matches ? "bit-exact" : "MISMATCH") << "\n";
     }
 
+    const core::FunctionalModel functional(config);
     const nn::Vector b_eie = functional.dequantize(reference);
     const nn::Vector b_float = nn::relu(layer.quantizedWeights().spmv(a));
 
-    TextTable table({"row", "EIE b (all backends)", "float golden"});
+    TextTable table({"row", "EIE b (all endpoints)", "float golden"});
     for (std::size_t i = 0; i < b_eie.size(); ++i)
         table.row().add(static_cast<std::uint64_t>(i))
             .add(b_eie[i], 4).add(b_float[i], 4);
     table.print(std::cout);
 
-    const core::RunStats &stats = sim_report.stats[0][0];
+    // --- 4. Timing detail below the client API ----------------------
+    // The serving surface carries outputs and Status only; for
+    // cycle-level analyses, drive the "sim" backend directly.
+    const auto sim = engine::makeBackend("sim", config, {&plan});
+    const engine::RunReport report =
+        sim->run(functional.quantizeInput(a));
+    const core::RunStats &stats = report.stats[0][0];
     std::cout << "\nbroadcasts (non-zero activations): "
               << stats.broadcasts << " of " << a.size()
               << " inputs; cycles: " << stats.cycles

@@ -1,0 +1,1107 @@
+#include "client/client.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "core/kernel/variant.hh"
+#include "engine/lstm_session.hh"
+#include "serve/registry.hh"
+#include "serve/tcp.hh"
+
+namespace eie::client {
+
+namespace detail {
+
+/** One frame's outcome as it crosses a transport boundary. */
+struct FrameResult
+{
+    Status status;
+    std::vector<std::int64_t> output;
+};
+
+/** An already-resolved FrameResult future (validation failures). */
+std::future<FrameResult>
+readyFrame(Status status)
+{
+    std::promise<FrameResult> promise;
+    promise.set_value({std::move(status), {}});
+    return promise.get_future();
+}
+
+/** Map the engine's future exceptions onto the Status taxonomy. */
+Status
+statusFromException(std::exception_ptr exception)
+{
+    try {
+        std::rethrow_exception(std::move(exception));
+    } catch (const engine::DeadlineExpired &error) {
+        return Status::error(StatusCode::DeadlineExpired,
+                             error.what());
+    } catch (const engine::ServerStopped &error) {
+        return Status::error(StatusCode::Unavailable, error.what());
+    } catch (const std::invalid_argument &error) {
+        return Status::error(StatusCode::InvalidArgument,
+                             error.what());
+    } catch (const std::exception &error) {
+        return Status::error(StatusCode::Internal, error.what());
+    }
+}
+
+/** Map a wire error code (+ message) onto the Status taxonomy. */
+Status
+statusFromWire(serve::wire::ErrorCode code, std::string message)
+{
+    switch (code) {
+      case serve::wire::ErrorCode::InvalidArgument:
+        return Status::error(StatusCode::InvalidArgument,
+                             std::move(message));
+      case serve::wire::ErrorCode::NotFound:
+        return Status::error(StatusCode::NotFound,
+                             std::move(message));
+      case serve::wire::ErrorCode::DeadlineExpired:
+        return Status::error(StatusCode::DeadlineExpired,
+                             std::move(message));
+      case serve::wire::ErrorCode::Unavailable:
+        return Status::error(StatusCode::Unavailable,
+                             std::move(message));
+      case serve::wire::ErrorCode::ProtocolError:
+        return Status::error(StatusCode::ProtocolError,
+                             std::move(message));
+      case serve::wire::ErrorCode::Internal:
+        break;
+    }
+    return Status::error(StatusCode::Internal, std::move(message));
+}
+
+/** ServingDirectory lookup failures: a missing model is the
+ *  caller's NotFound; a policy rejection is the deployment's
+ *  problem, hence Internal. */
+Status
+statusFromDirectoryError(serve::ServingDirectory::LookupStatus status,
+                         std::string error)
+{
+    const StatusCode code =
+        status == serve::ServingDirectory::LookupStatus::NotFound
+        ? StatusCode::NotFound
+        : StatusCode::Internal;
+    return Status::error(code, std::move(error));
+}
+
+/** Wrap an engine future (which reports failures by throwing on
+ *  get()) into a no-throw FrameResult future. Deferred: the mapping
+ *  runs on the waiter's thread at get() time. */
+std::future<FrameResult>
+adaptEngineFuture(std::future<std::vector<std::int64_t>> future)
+{
+    return std::async(
+        std::launch::deferred,
+        [future = std::move(future)]() mutable -> FrameResult {
+            try {
+                return {Status::success(), future.get()};
+            } catch (...) {
+                return {statusFromException(std::current_exception()),
+                        {}};
+            }
+        });
+}
+
+/** Clamp a request deadline into the wire's u32 microsecond field. */
+std::uint32_t
+wireDeadlineUs(std::chrono::microseconds deadline)
+{
+    const auto us = deadline.count();
+    if (us <= 0)
+        return 0;
+    return static_cast<std::uint32_t>(std::min<std::int64_t>(
+        us, std::numeric_limits<std::uint32_t>::max()));
+}
+
+// ------------------------------------------------------------ sessions
+
+/** The transport-facing half of a client::Session. */
+class SessionImpl
+{
+  public:
+    virtual ~SessionImpl() = default;
+
+    virtual Session::StepResult
+    step(const nn::Vector &x, std::int32_t priority,
+         std::chrono::microseconds deadline) = 0;
+    virtual void close() = 0;
+
+    virtual std::size_t inputSize() const = 0;
+    virtual std::size_t hiddenSize() const = 0;
+    virtual const std::string &model() const = 0;
+    virtual std::uint64_t steps() const = 0;
+};
+
+/**
+ * A session whose recurrent state lives in this process (local: and
+ * cluster: endpoints): engine::LstmSession around a submit callback
+ * that throws the engine's failure exceptions on get().
+ */
+class InProcessSession final : public SessionImpl
+{
+  public:
+    /** The per-step M×V: packed raw input + scheduling knobs in, raw
+     *  pre-activations out; throws on failure. */
+    using Mxv = std::function<std::vector<std::int64_t>(
+        std::vector<std::int64_t>, std::int32_t,
+        std::chrono::microseconds)>;
+
+    InProcessSession(std::string model, const core::EieConfig &config,
+                     const engine::LstmShape &shape, Mxv mxv)
+        : model_(std::move(model)), session_(config, shape),
+          mxv_(std::move(mxv))
+    {}
+
+    Session::StepResult
+    step(const nn::Vector &x, std::int32_t priority,
+         std::chrono::microseconds deadline) override
+    {
+        if (closed_)
+            return {Status::error(StatusCode::Unavailable,
+                                  "session is closed"),
+                    {}};
+        try {
+            nn::Vector h = session_.step(
+                x, [&](std::vector<std::int64_t> packed) {
+                    return mxv_(std::move(packed), priority,
+                                deadline);
+                });
+            return {Status::success(), std::move(h)};
+        } catch (...) {
+            return {statusFromException(std::current_exception()),
+                    {}};
+        }
+    }
+
+    void close() override { closed_ = true; }
+
+    std::size_t
+    inputSize() const override
+    {
+        return session_.shape().input_size;
+    }
+    std::size_t
+    hiddenSize() const override
+    {
+        return session_.shape().hidden_size;
+    }
+    const std::string &model() const override { return model_; }
+    std::uint64_t steps() const override { return session_.steps(); }
+
+  private:
+    std::string model_;
+    engine::LstmSession session_;
+    Mxv mxv_;
+    bool closed_ = false;
+};
+
+/** A session proxying wire Session frames (the state lives in the
+ *  daemon). */
+class TcpSession final : public SessionImpl
+{
+  public:
+    TcpSession(serve::TcpClient &client, std::uint64_t session_id,
+               std::string model, std::size_t input_size,
+               std::size_t hidden_size)
+        : client_(client), session_id_(session_id),
+          model_(std::move(model)), input_size_(input_size),
+          hidden_size_(hidden_size)
+    {}
+
+    ~TcpSession() override { close(); }
+
+    Session::StepResult
+    step(const nn::Vector &x, std::int32_t priority,
+         std::chrono::microseconds deadline) override
+    {
+        if (closed_)
+            return {Status::error(StatusCode::Unavailable,
+                                  "session is closed"),
+                    {}};
+        serve::wire::SessionState state =
+            client_
+                .submitStep(session_id_,
+                            std::vector<float>(x.begin(), x.end()),
+                            priority, wireDeadlineUs(deadline))
+                .get();
+        if (!state.ok)
+            return {statusFromWire(state.code,
+                                   std::move(state.error)),
+                    {}};
+        ++steps_;
+        return {Status::success(),
+                nn::Vector(state.h.begin(), state.h.end())};
+    }
+
+    void
+    close() override
+    {
+        if (closed_)
+            return;
+        closed_ = true;
+        client_.closeSession(session_id_);
+    }
+
+    std::size_t inputSize() const override { return input_size_; }
+    std::size_t hiddenSize() const override { return hidden_size_; }
+    const std::string &model() const override { return model_; }
+    std::uint64_t steps() const override { return steps_; }
+
+  private:
+    serve::TcpClient &client_;
+    std::uint64_t session_id_;
+    std::string model_;
+    std::size_t input_size_;
+    std::size_t hidden_size_;
+    std::uint64_t steps_ = 0;
+    bool closed_ = false;
+};
+
+// ----------------------------------------------------------- transport
+
+/** One endpoint's execution surface behind the typed API. */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    virtual Status info(const std::string &model,
+                        std::uint32_t version, ModelInfo &out) = 0;
+    virtual std::future<FrameResult>
+    submitFrame(const std::string &model, std::uint32_t version,
+                std::vector<std::int64_t> frame, std::int32_t priority,
+                std::chrono::microseconds deadline) = 0;
+    virtual std::unique_ptr<SessionImpl>
+    openSession(const std::string &model, std::uint32_t version,
+                Status &status) = 0;
+    virtual Status stats(EndpointStats &out) = 0;
+    virtual void close() = 0;
+};
+
+// ------------------------------------------------------ LocalTransport
+
+/**
+ * `local:` — one engine::ExecutionBackend per served model (built by
+ * name/threads/kernel from the endpoint), each behind its own
+ * micro-batching InferenceServer so scheduling semantics (priority,
+ * deadline drops, stopped-endpoint failures) match the remote
+ * transports exactly. Models come from ClientOptions::models
+ * (in-memory stacks) or a ModelRegistry directory.
+ */
+class LocalTransport final : public Transport
+{
+  public:
+    LocalTransport(const ParsedEndpoint &endpoint,
+                   const ClientOptions &options)
+        : config_(options.config), backend_name_(endpoint.backend),
+          kernel_(endpoint.kernel.empty()
+                      ? core::kernel::KernelVariant::Auto
+                      : core::kernel::kernelVariantFromName(
+                            endpoint.kernel)),
+          threads_(endpoint.threads ? endpoint.threads : 1),
+          server_options_(options.server), models_(options.models)
+    {
+        const std::string dir =
+            !endpoint.dir.empty() ? endpoint.dir : options.registry;
+        if (!dir.empty())
+            registry_ = std::make_unique<serve::ModelRegistry>(
+                dir, config_);
+    }
+
+    Status
+    info(const std::string &model, std::uint32_t version,
+         ModelInfo &out) override
+    {
+        Status status;
+        const Entry *entry =
+            entryFor(model, version, nn::Nonlinearity::ReLU, status);
+        if (entry != nullptr)
+            out = entry->info;
+        return status;
+    }
+
+    std::future<FrameResult>
+    submitFrame(const std::string &model, std::uint32_t version,
+                std::vector<std::int64_t> frame, std::int32_t priority,
+                std::chrono::microseconds deadline) override
+    {
+        Status status;
+        Entry *entry =
+            entryFor(model, version, nn::Nonlinearity::ReLU, status);
+        if (entry == nullptr)
+            return readyFrame(std::move(status));
+        if (frame.size() != entry->info.input_size)
+            return readyFrame(Status::error(
+                StatusCode::InvalidArgument,
+                "input length " + std::to_string(frame.size()) +
+                    " != model input size " +
+                    std::to_string(entry->info.input_size)));
+        engine::SubmitOptions submit;
+        submit.priority = priority;
+        submit.deadline = deadline;
+        return adaptEngineFuture(
+            entry->server->submit(std::move(frame), submit));
+    }
+
+    std::unique_ptr<SessionImpl>
+    openSession(const std::string &model, std::uint32_t version,
+                Status &status) override
+    {
+        // Registry-backed entries get a dedicated None-drain plan
+        // (the gate pre-activations feed host sigmoids/tanh);
+        // in-memory stacks are served as registered — the caller
+        // owns their nonlinearity.
+        Entry *entry =
+            entryFor(model, version, nn::Nonlinearity::None, status);
+        if (entry == nullptr)
+            return nullptr;
+        engine::LstmShape shape;
+        std::string error;
+        if (!engine::LstmShape::derive(entry->info.input_size,
+                                       entry->info.output_size,
+                                       shape, error)) {
+            status = Status::error(StatusCode::InvalidArgument,
+                                   std::move(error));
+            return nullptr;
+        }
+        engine::InferenceServer *server = entry->server.get();
+        std::string model_name = entry->info.model;
+        status = Status::success();
+        return std::make_unique<InProcessSession>(
+            std::move(model_name), config_, shape,
+            [server](std::vector<std::int64_t> packed,
+                     std::int32_t priority,
+                     std::chrono::microseconds deadline) {
+                engine::SubmitOptions submit;
+                submit.priority = priority;
+                submit.deadline = deadline;
+                return server->submit(std::move(packed), submit)
+                    .get();
+            });
+    }
+
+    Status
+    stats(EndpointStats &out) override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out = EndpointStats{};
+        std::ostringstream json;
+        json << "{\"models\":[";
+        bool first = true;
+        for (const auto &[key, entry] : entries_) {
+            const engine::ServerStats stats = entry.server->stats();
+            out.requests += stats.requests;
+            out.dropped_deadline += stats.dropped_deadline;
+            // Request-weighted latency/batch aggregation.
+            out.mean_batch += stats.mean_batch *
+                static_cast<double>(stats.requests);
+            out.p50_latency_us += stats.p50_latency_us *
+                static_cast<double>(stats.requests);
+            out.p99_latency_us += stats.p99_latency_us *
+                static_cast<double>(stats.requests);
+            out.max_queue_depth =
+                std::max(out.max_queue_depth, stats.max_queue_depth);
+            json << (first ? "" : ",") << "{\"model\":\""
+                 << entry.info.model << "\",\"requests\":"
+                 << stats.requests << ",\"mean_batch\":"
+                 << stats.mean_batch << ",\"p50_latency_us\":"
+                 << stats.p50_latency_us << ",\"p99_latency_us\":"
+                 << stats.p99_latency_us << "}";
+            first = false;
+        }
+        json << "]}";
+        if (out.requests > 0) {
+            const double n = static_cast<double>(out.requests);
+            out.mean_batch /= n;
+            out.p50_latency_us /= n;
+            out.p99_latency_us /= n;
+        }
+        out.json = json.str();
+        return Status::success();
+    }
+
+    void
+    close() override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        for (auto &[key, entry] : entries_)
+            entry.server->stop();
+    }
+
+  private:
+    struct Entry
+    {
+        /** Keeps a registry model's plan alive (null in-memory). */
+        std::shared_ptr<const serve::LoadedModel> loaded;
+        std::unique_ptr<engine::InferenceServer> server;
+        ModelInfo info;
+    };
+
+    /** The cached entry under @p key, or null. Map nodes are stable
+     *  and never erased, so returned pointers outlive the lock. */
+    Entry *
+    findEntry(const std::string &key)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(key);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    /** Insert @p entry under @p key unless the endpoint closed or a
+     *  racing build won; a losing build is discarded (its server
+     *  stops in the destructor). */
+    Entry *
+    insertEntry(const std::string &key, Entry entry, Status &status)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_) {
+            status = Status::error(StatusCode::Unavailable,
+                                   "client endpoint is closed");
+            return nullptr;
+        }
+        status = Status::success();
+        auto it = entries_.find(key);
+        if (it == entries_.end())
+            it = entries_.emplace(key, std::move(entry)).first;
+        return &it->second;
+    }
+
+    /** Find-or-build the served entry. Model resolution and backend
+     *  compilation happen outside mutex_ (first touch of a model
+     *  must not stall requests for models already serving); a racing
+     *  duplicate build wastes one backend, the first insert wins. */
+    Entry *
+    entryFor(const std::string &model, std::uint32_t version,
+             nn::Nonlinearity nonlin, Status &status)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_) {
+                status = Status::error(StatusCode::Unavailable,
+                                       "client endpoint is closed");
+                return nullptr;
+            }
+        }
+
+        // In-memory models first (version 1 by definition; models_
+        // is immutable after construction).
+        for (const LocalModel &local : models_) {
+            if (local.name != model)
+                continue;
+            if (version > 1) {
+                status = Status::error(
+                    StatusCode::NotFound,
+                    "in-memory model '" + model + "' has no version " +
+                        std::to_string(version));
+                return nullptr;
+            }
+            const std::string key = "mem:" + model;
+            if (Entry *entry = findEntry(key)) {
+                status = Status::success();
+                return entry;
+            }
+            Entry entry;
+            entry.server = std::make_unique<engine::InferenceServer>(
+                engine::makeBackend(backend_name_, config_,
+                                    local.plans, threads_, kernel_),
+                server_options_);
+            entry.info.model = model;
+            entry.info.version = 1;
+            entry.info.input_size = entry.server->backend().inputSize();
+            entry.info.output_size =
+                entry.server->backend().outputSize();
+            return insertEntry(key, std::move(entry), status);
+        }
+
+        if (!registry_) {
+            status = Status::error(
+                StatusCode::NotFound,
+                "model '" + model +
+                    "' not found (no in-memory model of that name "
+                    "and no registry directory configured for this "
+                    "local: endpoint)");
+            return nullptr;
+        }
+        const std::shared_ptr<const serve::LoadedModel> loaded =
+            registry_->load(model, version, nonlin);
+        if (!loaded) {
+            status = Status::error(
+                StatusCode::NotFound,
+                "model '" + model + "'" +
+                    (version ? " version " + std::to_string(version)
+                             : "") +
+                    " not found in registry '" + registry_->root() +
+                    "'");
+            return nullptr;
+        }
+        const std::string key = "reg:" + model + "@" +
+            std::to_string(loaded->version()) + "#" +
+            std::to_string(static_cast<int>(nonlin));
+        if (Entry *entry = findEntry(key)) {
+            status = Status::success();
+            return entry;
+        }
+        Entry entry;
+        entry.loaded = loaded;
+        entry.server = std::make_unique<engine::InferenceServer>(
+            engine::makeBackend(backend_name_, config_,
+                                {&loaded->plan()}, threads_, kernel_),
+            server_options_);
+        entry.info.model = loaded->name();
+        entry.info.version = loaded->version();
+        entry.info.input_size = loaded->inputSize();
+        entry.info.output_size = loaded->outputSize();
+        return insertEntry(key, std::move(entry), status);
+    }
+
+    core::EieConfig config_;
+    std::string backend_name_;
+    core::kernel::KernelVariant kernel_;
+    unsigned threads_;
+    engine::ServerOptions server_options_;
+    std::vector<LocalModel> models_;
+    std::unique_ptr<serve::ModelRegistry> registry_;
+
+    std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+    bool closed_ = false;
+};
+
+// ---------------------------------------------------- ClusterTransport
+
+/** `cluster:` — an in-process ServingDirectory over the registry at
+ *  the endpoint's directory; the same engine the TCP daemon fronts,
+ *  minus the socket. */
+class ClusterTransport final : public Transport
+{
+  public:
+    ClusterTransport(const ParsedEndpoint &endpoint,
+                     const ClientOptions &options)
+        : config_(options.config),
+          registry_(endpoint.dir, options.config),
+          directory_(registry_,
+                     clusterOptions(endpoint, options))
+    {}
+
+    Status
+    info(const std::string &model, std::uint32_t version,
+         ModelInfo &out) override
+    {
+        if (closed_.load())
+            return Status::error(StatusCode::Unavailable,
+                                 "client endpoint is closed");
+        std::string error;
+        serve::ServingDirectory::LookupStatus lookup;
+        const serve::ClusterEngine *cluster = directory_.cluster(
+            model, version, error, nn::Nonlinearity::ReLU, &lookup);
+        if (cluster == nullptr)
+            return statusFromDirectoryError(lookup,
+                                            std::move(error));
+        out.model = cluster->model().name();
+        out.version = cluster->model().version();
+        out.input_size = cluster->inputSize();
+        out.output_size = cluster->outputSize();
+        out.shards = cluster->shardCount();
+        out.placement =
+            serve::placementName(cluster->options().placement);
+        return Status::success();
+    }
+
+    std::future<FrameResult>
+    submitFrame(const std::string &model, std::uint32_t version,
+                std::vector<std::int64_t> frame, std::int32_t priority,
+                std::chrono::microseconds deadline) override
+    {
+        // The closed flag guards model lookups too: a stopped
+        // directory would otherwise happily build a fresh live
+        // cluster for a first-touch model.
+        if (closed_.load())
+            return readyFrame(Status::error(
+                StatusCode::Unavailable,
+                "client endpoint is closed"));
+        std::string error;
+        serve::ServingDirectory::LookupStatus lookup;
+        serve::ClusterEngine *cluster = directory_.cluster(
+            model, version, error, nn::Nonlinearity::ReLU, &lookup);
+        if (cluster == nullptr)
+            return readyFrame(statusFromDirectoryError(
+                lookup, std::move(error)));
+        if (frame.size() != cluster->inputSize())
+            return readyFrame(Status::error(
+                StatusCode::InvalidArgument,
+                "input length " + std::to_string(frame.size()) +
+                    " != model input size " +
+                    std::to_string(cluster->inputSize())));
+        engine::SubmitOptions submit;
+        submit.priority = priority;
+        submit.deadline = deadline;
+        return adaptEngineFuture(
+            cluster->submit(std::move(frame), submit));
+    }
+
+    std::unique_ptr<SessionImpl>
+    openSession(const std::string &model, std::uint32_t version,
+                Status &status) override
+    {
+        if (closed_.load()) {
+            status = Status::error(StatusCode::Unavailable,
+                                   "client endpoint is closed");
+            return nullptr;
+        }
+        std::string error;
+        serve::ServingDirectory::LookupStatus lookup;
+        serve::ClusterEngine *cluster =
+            directory_.cluster(model, version, error,
+                               nn::Nonlinearity::None, &lookup);
+        if (cluster == nullptr) {
+            status =
+                statusFromDirectoryError(lookup, std::move(error));
+            return nullptr;
+        }
+        engine::LstmShape shape;
+        if (!engine::LstmShape::derive(cluster->inputSize(),
+                                       cluster->outputSize(), shape,
+                                       error)) {
+            status = Status::error(StatusCode::InvalidArgument,
+                                   std::move(error));
+            return nullptr;
+        }
+        status = Status::success();
+        return std::make_unique<InProcessSession>(
+            cluster->model().name(), config_, shape,
+            [cluster](std::vector<std::int64_t> packed,
+                      std::int32_t priority,
+                      std::chrono::microseconds deadline) {
+                engine::SubmitOptions submit;
+                submit.priority = priority;
+                submit.deadline = deadline;
+                return cluster->submit(std::move(packed), submit)
+                    .get();
+            });
+    }
+
+    Status
+    stats(EndpointStats &out) override
+    {
+        out = EndpointStats{};
+        for (const auto &snapshot : directory_.statsSnapshot()) {
+            const serve::ClusterStats &stats = snapshot.stats;
+            out.requests += stats.requests;
+            out.dropped_deadline += stats.dropped_deadline;
+            out.mean_batch += stats.mean_batch *
+                static_cast<double>(stats.requests);
+            out.p50_latency_us += stats.p50_latency_us *
+                static_cast<double>(stats.requests);
+            out.p99_latency_us += stats.p99_latency_us *
+                static_cast<double>(stats.requests);
+            for (const serve::ShardStats &shard : stats.shards)
+                out.max_queue_depth =
+                    std::max(out.max_queue_depth,
+                             shard.server.max_queue_depth);
+        }
+        if (out.requests > 0) {
+            const double n = static_cast<double>(out.requests);
+            out.mean_batch /= n;
+            out.p50_latency_us /= n;
+            out.p99_latency_us /= n;
+        }
+        out.json = directory_.statsJson();
+        return Status::success();
+    }
+
+    void
+    close() override
+    {
+        closed_.store(true);
+        directory_.stopAll();
+    }
+
+  private:
+    static serve::ClusterOptions
+    clusterOptions(const ParsedEndpoint &endpoint,
+                   const ClientOptions &options)
+    {
+        serve::ClusterOptions cluster = options.cluster;
+        if (endpoint.shards != 0)
+            cluster.shards = endpoint.shards;
+        if (!endpoint.placement.empty())
+            cluster.placement =
+                serve::placementFromName(endpoint.placement);
+        if (!endpoint.cluster_backend.empty())
+            cluster.backend = endpoint.cluster_backend;
+        if (!endpoint.kernel.empty())
+            cluster.kernel = core::kernel::kernelVariantFromName(
+                endpoint.kernel);
+        if (endpoint.threads != 0)
+            cluster.threads_per_shard = endpoint.threads;
+        cluster.server = options.server;
+        return cluster;
+    }
+
+    core::EieConfig config_;
+    serve::ModelRegistry registry_;
+    serve::ServingDirectory directory_;
+    std::atomic<bool> closed_{false};
+};
+
+// -------------------------------------------------------- TcpTransport
+
+/** `tcp://` — a remote eie_serve daemon over the async wire client;
+ *  responses correlate by id, failures arrive as wire error codes. */
+class TcpTransport final : public Transport
+{
+  public:
+    /** Connecting can fail; a null return carries the Status. */
+    static std::unique_ptr<TcpTransport>
+    create(const ParsedEndpoint &endpoint, Status &status)
+    {
+        try {
+            auto transport = std::unique_ptr<TcpTransport>(
+                new TcpTransport(endpoint.host, endpoint.port));
+            status = Status::success();
+            return transport;
+        } catch (const serve::wire::WireError &error) {
+            status = Status::error(StatusCode::ProtocolError,
+                                   error.what());
+        } catch (const std::exception &error) {
+            status = Status::error(StatusCode::TransportError,
+                                   error.what());
+        }
+        return nullptr;
+    }
+
+    Status
+    info(const std::string &model, std::uint32_t version,
+         ModelInfo &out) override
+    {
+        try {
+            const serve::wire::InfoResponse response =
+                client_.info(model, version);
+            if (!response.ok)
+                // The daemon's only info failure is a missing model.
+                return Status::error(StatusCode::NotFound,
+                                     response.error);
+            out.model = response.model;
+            out.version = response.version;
+            out.input_size = response.input_size;
+            out.output_size = response.output_size;
+            out.shards = response.shards;
+            out.placement = response.placement;
+            return Status::success();
+        } catch (const serve::wire::WireError &error) {
+            return Status::error(StatusCode::Unavailable,
+                                 error.what());
+        }
+    }
+
+    std::future<FrameResult>
+    submitFrame(const std::string &model, std::uint32_t version,
+                std::vector<std::int64_t> frame, std::int32_t priority,
+                std::chrono::microseconds deadline) override
+    {
+        std::future<serve::wire::InferResponse> response =
+            client_.submitInfer(model, version, std::move(frame),
+                                priority, wireDeadlineUs(deadline));
+        return std::async(
+            std::launch::deferred,
+            [response = std::move(response)]() mutable
+            -> FrameResult {
+                serve::wire::InferResponse r = response.get();
+                if (!r.ok)
+                    return {statusFromWire(r.code,
+                                           std::move(r.error)),
+                            {}};
+                return {Status::success(), std::move(r.output)};
+            });
+    }
+
+    std::unique_ptr<SessionImpl>
+    openSession(const std::string &model, std::uint32_t version,
+                Status &status) override
+    {
+        const std::uint64_t session_id = client_.nextSessionId();
+        const serve::wire::SessionAck ack =
+            client_.openSession(session_id, model, version).get();
+        if (!ack.ok) {
+            status = statusFromWire(ack.code, ack.error);
+            return nullptr;
+        }
+        status = Status::success();
+        return std::make_unique<TcpSession>(
+            client_, session_id, model,
+            static_cast<std::size_t>(ack.input_size),
+            static_cast<std::size_t>(ack.hidden_size));
+    }
+
+    Status
+    stats(EndpointStats &out) override
+    {
+        try {
+            out = EndpointStats{};
+            out.json = client_.stats();
+            return Status::success();
+        } catch (const serve::wire::WireError &error) {
+            return Status::error(StatusCode::Unavailable,
+                                 error.what());
+        }
+    }
+
+    void close() override { client_.close(); }
+
+  private:
+    TcpTransport(const std::string &host, std::uint16_t port)
+        : client_(host, port)
+    {}
+
+    serve::TcpClient client_;
+};
+
+} // namespace detail
+
+// -------------------------------------------------------------- Session
+
+Session::Session(std::unique_ptr<detail::SessionImpl> impl)
+    : impl_(std::move(impl))
+{}
+
+Session::~Session() = default;
+
+Session::StepResult
+Session::step(const nn::Vector &x, std::int32_t priority,
+              std::chrono::microseconds deadline)
+{
+    return impl_->step(x, priority, deadline);
+}
+
+std::size_t
+Session::inputSize() const
+{
+    return impl_->inputSize();
+}
+
+std::size_t
+Session::hiddenSize() const
+{
+    return impl_->hiddenSize();
+}
+
+const std::string &
+Session::model() const
+{
+    return impl_->model();
+}
+
+std::uint64_t
+Session::steps() const
+{
+    return impl_->steps();
+}
+
+void
+Session::close()
+{
+    impl_->close();
+}
+
+// --------------------------------------------------------------- Client
+
+Client::Client(std::string endpoint, TransportKind kind,
+               const core::EieConfig &config,
+               std::unique_ptr<detail::Transport> transport)
+    : endpoint_(std::move(endpoint)), kind_(kind),
+      functional_(config), transport_(std::move(transport))
+{}
+
+Client::~Client()
+{
+    close();
+}
+
+std::unique_ptr<Client>
+Client::connect(const std::string &endpoint,
+                const ClientOptions &options, Status &status)
+{
+    ParsedEndpoint parsed;
+    status = parseEndpoint(endpoint, parsed);
+    if (!status.ok())
+        return nullptr;
+
+    std::unique_ptr<detail::Transport> transport;
+    switch (parsed.kind) {
+      case TransportKind::Local:
+        transport = std::make_unique<detail::LocalTransport>(
+            parsed, options);
+        break;
+      case TransportKind::Cluster:
+        transport = std::make_unique<detail::ClusterTransport>(
+            parsed, options);
+        break;
+      case TransportKind::Tcp:
+        transport = detail::TcpTransport::create(parsed, status);
+        if (!transport)
+            return nullptr;
+        break;
+    }
+    status = Status::success();
+    return std::unique_ptr<Client>(
+        new Client(endpoint, parsed.kind, options.config,
+                   std::move(transport)));
+}
+
+std::unique_ptr<Client>
+Client::connectOrDie(const std::string &endpoint,
+                     const ClientOptions &options)
+{
+    Status status;
+    std::unique_ptr<Client> client =
+        connect(endpoint, options, status);
+    fatal_if(!client, "cannot connect to '%s': %s", endpoint.c_str(),
+             status.toString().c_str());
+    return client;
+}
+
+const char *
+Client::transport() const
+{
+    return transportKindName(kind_);
+}
+
+std::future<InferenceResult>
+Client::submit(InferenceRequest request)
+{
+    // Request-level validation resolves immediately.
+    const auto ready = [](Status status) {
+        std::promise<InferenceResult> promise;
+        InferenceResult result;
+        result.status = std::move(status);
+        promise.set_value(std::move(result));
+        return promise.get_future();
+    };
+    if (!request.fixed.empty() && !request.floats.empty())
+        return ready(Status::error(
+            StatusCode::InvalidArgument,
+            "request carries both fixed and float frames"));
+
+    const bool use_floats = !request.floats.empty();
+    std::vector<std::vector<std::int64_t>> frames;
+    if (use_floats) {
+        frames.reserve(request.floats.size());
+        for (const nn::Vector &frame : request.floats)
+            frames.push_back(functional_.quantizeInput(frame));
+    } else {
+        frames = std::move(request.fixed);
+    }
+
+    std::vector<std::future<detail::FrameResult>> futures;
+    futures.reserve(frames.size());
+    for (std::vector<std::int64_t> &frame : frames)
+        futures.push_back(transport_->submitFrame(
+            request.model, request.version, std::move(frame),
+            request.priority, request.deadline));
+
+    // Deferred gather: waiting happens on the caller's get(). The
+    // lambda owns everything it touches (FunctionalModel copies
+    // share the configuration only), so the future stays valid even
+    // past the Client's destruction — transports guarantee every
+    // frame future resolves when they shut down.
+    return std::async(
+        std::launch::deferred,
+        [functional = functional_, use_floats,
+         futures = std::move(futures)]() mutable {
+            InferenceResult result;
+            result.frame_status.reserve(futures.size());
+            result.outputs.reserve(futures.size());
+            for (std::future<detail::FrameResult> &future : futures) {
+                detail::FrameResult frame = future.get();
+                if (!frame.status.ok() && result.status.ok())
+                    result.status = frame.status;
+                if (use_floats)
+                    result.float_outputs.push_back(
+                        frame.status.ok()
+                            ? functional.dequantize(frame.output)
+                            : nn::Vector{});
+                result.frame_status.push_back(
+                    std::move(frame.status));
+                result.outputs.push_back(std::move(frame.output));
+            }
+            return result;
+        });
+}
+
+InferenceResult
+Client::infer(const InferenceRequest &request)
+{
+    return submit(request).get();
+}
+
+InferenceResult
+Client::inferRaw(const std::string &model,
+                 std::vector<std::int64_t> frame)
+{
+    InferenceRequest request;
+    request.model = model;
+    request.fixed.push_back(std::move(frame));
+    return infer(request);
+}
+
+InferenceResult
+Client::inferFloat(const std::string &model, const nn::Vector &frame)
+{
+    InferenceRequest request;
+    request.model = model;
+    request.floats.push_back(frame);
+    return infer(request);
+}
+
+Status
+Client::info(const std::string &model, std::uint32_t version,
+             ModelInfo &out)
+{
+    return transport_->info(model, version, out);
+}
+
+std::unique_ptr<Session>
+Client::openSession(const std::string &model, std::uint32_t version,
+                    Status &status)
+{
+    std::unique_ptr<detail::SessionImpl> impl =
+        transport_->openSession(model, version, status);
+    if (!impl)
+        return nullptr;
+    return std::unique_ptr<Session>(new Session(std::move(impl)));
+}
+
+Status
+Client::stats(EndpointStats &out)
+{
+    return transport_->stats(out);
+}
+
+std::vector<std::int64_t>
+Client::quantize(const nn::Vector &input) const
+{
+    return functional_.quantizeInput(input);
+}
+
+nn::Vector
+Client::dequantize(const std::vector<std::int64_t> &raw) const
+{
+    return functional_.dequantize(raw);
+}
+
+void
+Client::close()
+{
+    transport_->close();
+}
+
+} // namespace eie::client

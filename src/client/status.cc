@@ -1,0 +1,29 @@
+#include "client/status.hh"
+
+namespace eie::client {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "OK";
+      case StatusCode::InvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::NotFound: return "NOT_FOUND";
+      case StatusCode::DeadlineExpired: return "DEADLINE_EXPIRED";
+      case StatusCode::Unavailable: return "UNAVAILABLE";
+      case StatusCode::ProtocolError: return "PROTOCOL_ERROR";
+      case StatusCode::TransportError: return "TRANSPORT_ERROR";
+      case StatusCode::Internal: return "INTERNAL";
+    }
+    return "INTERNAL";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok() && message.empty())
+        return statusCodeName(code);
+    return std::string(statusCodeName(code)) + ": " + message;
+}
+
+} // namespace eie::client

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The client API's uniform error taxonomy.
+ *
+ * The repo's execution paths historically failed four different ways:
+ * fatal() in the core/engine layers, exceptions from the transports,
+ * failed futures from the servers and ok-byte error strings on the
+ * wire. Every eie::client surface reports failures as a Status
+ * instead — a small code from one closed set plus a human message —
+ * so a caller handles a deadline drop, a missing model or a dead
+ * connection the same way whether the endpoint is in-process or a
+ * TCP daemon. The codes shared with the wire protocol
+ * (InvalidArgument .. Unavailable) map 1:1 onto wire::ErrorCode;
+ * ProtocolError and TransportError are client-local (an in-process
+ * endpoint has no frames to corrupt or sockets to lose).
+ */
+
+#ifndef EIE_CLIENT_STATUS_HH
+#define EIE_CLIENT_STATUS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace eie::client {
+
+/** Failure classes of every client operation. */
+enum class StatusCode : std::uint8_t
+{
+    Ok = 0,
+    /** Malformed request: wrong input length, bad endpoint option,
+     *  a non-LSTM-shaped model behind openSession(), ... */
+    InvalidArgument,
+    /** Unknown model, version or session. */
+    NotFound,
+    /** The request's deadline expired while it was still queued. */
+    DeadlineExpired,
+    /** The endpoint is stopped, closed or shutting down. */
+    Unavailable,
+    /** The peer violated the wire protocol (malformed frame,
+     *  version mismatch, unexpected message). */
+    ProtocolError,
+    /** The transport failed outright (cannot connect, DNS failure). */
+    TransportError,
+    /** Unclassified server-side failure. */
+    Internal,
+};
+
+/** Stable upper-case name of @p code ("OK", "NOT_FOUND", ...). */
+const char *statusCodeName(StatusCode code);
+
+/** One operation's outcome: a code plus a human-readable message. */
+struct Status
+{
+    StatusCode code = StatusCode::Ok;
+    std::string message;
+
+    bool ok() const { return code == StatusCode::Ok; }
+
+    static Status
+    success()
+    {
+        return {};
+    }
+
+    static Status
+    error(StatusCode code, std::string message)
+    {
+        return {code, std::move(message)};
+    }
+
+    /** "OK" or "NOT_FOUND: model 'x' ..." for logs and fatals. */
+    std::string toString() const;
+
+    bool
+    operator==(const Status &other) const
+    {
+        return code == other.code; // messages are advisory
+    }
+};
+
+} // namespace eie::client
+
+#endif // EIE_CLIENT_STATUS_HH

@@ -389,29 +389,43 @@ ServingDirectory::~ServingDirectory()
 
 ClusterEngine *
 ServingDirectory::cluster(const std::string &name,
-                          std::uint32_t version, std::string &error)
+                          std::uint32_t version, std::string &error,
+                          nn::Nonlinearity nonlin,
+                          LookupStatus *status)
 {
-    const std::shared_ptr<const LoadedModel> model =
-        registry_.load(name, version);
-    if (!model) {
-        error = "model '" + name + "'" +
-            (version ? " version " + std::to_string(version) : "") +
-            " not found in registry";
+    const auto fail = [&](LookupStatus kind, std::string message) {
+        error = std::move(message);
+        if (status != nullptr)
+            *status = kind;
         return nullptr;
-    }
+    };
+
+    const std::shared_ptr<const LoadedModel> model =
+        registry_.load(name, version, nonlin);
+    if (!model)
+        return fail(LookupStatus::NotFound,
+                    "model '" + name + "'" +
+                        (version
+                             ? " version " + std::to_string(version)
+                             : "") +
+                        " not found in registry");
     // Preflight what ClusterEngine's constructor would fatal() on: a
     // client request must never be able to take the daemon down.
     if (defaults_.placement == Placement::ColumnPartitioned &&
-        model->inputSize() < defaults_.shards) {
-        error = "model '" + model->name() + "' has " +
-            std::to_string(model->inputSize()) +
-            " input columns, fewer than the " +
-            std::to_string(defaults_.shards) +
-            " partitioned shards";
-        return nullptr;
-    }
-    const std::string key =
-        model->name() + "@" + std::to_string(model->version());
+        model->inputSize() < defaults_.shards)
+        return fail(LookupStatus::Rejected,
+                    "model '" + model->name() + "' has " +
+                        std::to_string(model->inputSize()) +
+                        " input columns, fewer than the " +
+                        std::to_string(defaults_.shards) +
+                        " partitioned shards");
+    if (status != nullptr)
+        *status = LookupStatus::Ok;
+    // Nonlinearity is part of the identity: an LSTM session's None
+    // cluster must never alias the default ReLU inference cluster.
+    const std::string key = model->name() + "@" +
+        std::to_string(model->version()) + "#" +
+        std::to_string(static_cast<int>(nonlin));
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = clusters_.find(key);
@@ -478,6 +492,19 @@ ServingDirectory::statsJson() const
     }
     os << "]}";
     return os.str();
+}
+
+std::vector<ServingDirectory::ClusterSnapshot>
+ServingDirectory::statsSnapshot() const
+{
+    std::vector<ClusterSnapshot> snapshots;
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshots.reserve(clusters_.size());
+    for (const auto &[key, cluster] : clusters_)
+        snapshots.push_back({cluster->model().name(),
+                             cluster->model().version(),
+                             cluster->stats()});
+    return snapshots;
 }
 
 void

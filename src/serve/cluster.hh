@@ -215,17 +215,48 @@ class ServingDirectory
     ServingDirectory(const ServingDirectory &) = delete;
     ServingDirectory &operator=(const ServingDirectory &) = delete;
 
+    /** Why a cluster() lookup failed — typed, so the transports map
+     *  it onto their error taxonomies without parsing messages. */
+    enum class LookupStatus
+    {
+        Ok,       ///< cluster returned
+        NotFound, ///< no such model/version in the registry
+        Rejected, ///< model exists but cannot serve under the
+                  ///< directory's policy (e.g. fewer input columns
+                  ///< than partitioned shards)
+    };
+
     /**
-     * The cluster serving @p name at @p version (0 = latest),
-     * building it on first use. Returns nullptr and sets @p error
-     * when the model does not exist in the registry.
+     * The cluster serving @p name at @p version (0 = latest) with
+     * drain non-linearity @p nonlin, building it on first use.
+     * Plain inference uses the default ReLU; streaming LSTM sessions
+     * ask for Nonlinearity::None (gate pre-activations feed
+     * sigmoids/tanh on the host, so the M×V must not rectify) — the
+     * two are distinct cache entries sharing one LoadedModel's
+     * weights. Returns nullptr and sets @p error (and, when given,
+     * @p status) when the lookup fails.
      */
     ClusterEngine *cluster(const std::string &name,
-                           std::uint32_t version, std::string &error);
+                           std::uint32_t version, std::string &error,
+                           nn::Nonlinearity nonlin =
+                               nn::Nonlinearity::ReLU,
+                           LookupStatus *status = nullptr);
 
     /** Aggregate statistics of every live cluster as a JSON object
      *  string (the wire protocol's stats payload). */
     std::string statsJson() const;
+
+    /** One live cluster's identity and statistics snapshot. */
+    struct ClusterSnapshot
+    {
+        std::string model;
+        std::uint32_t version = 0;
+        ClusterStats stats;
+    };
+
+    /** Structured per-cluster statistics (what statsJson renders),
+     *  for in-process callers that aggregate rather than print. */
+    std::vector<ClusterSnapshot> statsSnapshot() const;
 
     /** Stop (drain) every cluster. */
     void stopAll();

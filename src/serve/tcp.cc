@@ -1,7 +1,9 @@
 #include "serve/tcp.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <optional>
 
 #include <arpa/inet.h>
 #include <netdb.h>
@@ -11,6 +13,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "engine/lstm_session.hh"
 
 namespace eie::serve {
 
@@ -79,9 +82,57 @@ setNoDelay(int fd)
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+/**
+ * Remove and return the pending entry registered under @p key, if
+ * still present — the one correlate/reclaim primitive shared by the
+ * client's reader (response arrived) and its submitters (send
+ * failed): whoever extracts the entry owns resolving its promise,
+ * so the two sides can never double-resolve.
+ */
+template <typename Map>
+std::optional<typename Map::mapped_type>
+takePending(std::mutex &mutex, Map &map, std::uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = map.find(key);
+    if (it == map.end())
+        return std::nullopt;
+    typename Map::mapped_type value = std::move(it->second);
+    map.erase(it);
+    return value;
+}
+
+/** Map a ServingDirectory lookup failure onto the wire taxonomy: a
+ *  missing model is the client's NotFound; a policy rejection (e.g.
+ *  the partitioned-shards preflight) is a server deployment problem,
+ *  hence Internal. */
+wire::ErrorCode
+clusterErrorCode(ServingDirectory::LookupStatus status)
+{
+    return status == ServingDirectory::LookupStatus::NotFound
+        ? wire::ErrorCode::NotFound
+        : wire::ErrorCode::Internal;
+}
+
 } // namespace
 
 // ------------------------------------------------------------ TcpServer
+
+/** One open streaming LSTM session (reader-thread state). */
+struct TcpServer::LiveSession
+{
+    LiveSession(const core::EieConfig &config,
+                const engine::LstmShape &shape, ClusterEngine *engine)
+        : session(config, shape), cluster(engine)
+    {}
+
+    engine::LstmSession session;
+    /** The None-nonlinearity cluster running the gate M×V; owned by
+     *  the ServingDirectory, which outlives the server. */
+    ClusterEngine *cluster;
+};
+
+TcpServer::Connection::~Connection() = default;
 
 TcpServer::TcpServer(ServingDirectory &directory,
                      const TcpServerOptions &options)
@@ -207,6 +258,105 @@ TcpServer::enqueue(Connection &connection, Outbound outbound)
 }
 
 void
+TcpServer::handleSessionOpen(Connection &connection,
+                             const wire::SessionOpen &open)
+{
+    wire::SessionAck ack;
+    ack.session_id = open.session_id;
+
+    std::string error;
+    ServingDirectory::LookupStatus lookup;
+    // Sessions run the gate M×V with no drain non-linearity: the
+    // pre-activations feed the host-side sigmoids/tanh.
+    ClusterEngine *cluster =
+        directory_.cluster(open.model, open.version, error,
+                           nn::Nonlinearity::None, &lookup);
+    engine::LstmShape shape;
+    if (cluster == nullptr) {
+        ack.code = clusterErrorCode(lookup);
+        ack.error = std::move(error);
+    } else if (!engine::LstmShape::derive(cluster->inputSize(),
+                                          cluster->outputSize(), shape,
+                                          error)) {
+        ack.code = wire::ErrorCode::InvalidArgument;
+        ack.error = std::move(error);
+    } else if (connection.sessions.count(open.session_id) != 0) {
+        ack.code = wire::ErrorCode::InvalidArgument;
+        ack.error = "session id " + std::to_string(open.session_id) +
+            " is already open on this connection";
+    } else if (connection.sessions.size() >=
+               options_.max_sessions_per_connection) {
+        ack.code = wire::ErrorCode::Unavailable;
+        ack.error = "session limit (" +
+            std::to_string(options_.max_sessions_per_connection) +
+            " per connection) reached; close a session first";
+    } else {
+        connection.sessions.emplace(
+            open.session_id,
+            std::make_unique<LiveSession>(cluster->model().config(),
+                                          shape, cluster));
+        ack.ok = true;
+        ack.input_size = shape.input_size;
+        ack.hidden_size = shape.hidden_size;
+    }
+
+    Outbound out;
+    out.ready = std::move(ack);
+    enqueue(connection, std::move(out));
+}
+
+void
+TcpServer::handleSessionStep(Connection &connection,
+                             const wire::SessionStep &step)
+{
+    wire::SessionState state;
+    state.session_id = step.session_id;
+    state.id = step.id;
+
+    const auto it = connection.sessions.find(step.session_id);
+    if (it == connection.sessions.end()) {
+        state.code = wire::ErrorCode::NotFound;
+        state.error = "session " + std::to_string(step.session_id) +
+            " is not open on this connection";
+    } else {
+        LiveSession &live = *it->second;
+        engine::SubmitOptions submit;
+        submit.priority = step.priority;
+        submit.deadline = std::chrono::microseconds(step.deadline_us);
+        const nn::Vector x(step.x.begin(), step.x.end());
+        // A step consumes the previous step's state, so it is served
+        // synchronously here in the reader; a failed step leaves the
+        // session state unchanged (the client may retry).
+        try {
+            const nn::Vector h = live.session.step(
+                x, [&](std::vector<std::int64_t> packed) {
+                    return live.cluster
+                        ->submit(std::move(packed), submit)
+                        .get();
+                });
+            state.ok = true;
+            state.h.assign(h.begin(), h.end());
+        } catch (const std::invalid_argument &error) {
+            state.code = wire::ErrorCode::InvalidArgument;
+            state.error = error.what();
+        } catch (const engine::DeadlineExpired &error) {
+            state.code = wire::ErrorCode::DeadlineExpired;
+            state.error = error.what();
+        } catch (const engine::ServerStopped &error) {
+            state.code = wire::ErrorCode::Unavailable;
+            state.error = error.what();
+        } catch (const std::exception &error) {
+            state.code = wire::ErrorCode::Internal;
+            state.error = error.what();
+        }
+    }
+
+    Outbound out;
+    out.ready = std::move(state);
+    enqueue(connection, std::move(out));
+}
+
+void
 TcpServer::readerLoop(Connection &connection)
 {
     bool greeted = false;
@@ -221,32 +371,56 @@ TcpServer::readerLoop(Connection &connection)
             if (!greeted) {
                 const auto *hello =
                     std::get_if<wire::Hello>(&message);
-                if (hello == nullptr ||
-                    hello->protocol != wire::kProtocolVersion)
-                    break; // handshake violation: drop
+                if (hello == nullptr)
+                    break; // not a handshake: drop
+                wire::HelloAck ack;
+                // Answer in the layout the client can decode — a v1
+                // peer gets the protocol-only ack its own handshake
+                // check rejects cleanly.
+                ack.wire_layout = std::min(hello->protocol,
+                                           wire::kProtocolVersion);
+                if (hello->protocol != wire::kProtocolVersion) {
+                    ack.ok = false;
+                    ack.error = "unsupported protocol version " +
+                        std::to_string(hello->protocol) +
+                        " (server speaks " +
+                        std::to_string(wire::kProtocolVersion) + ")";
+                    Outbound nack;
+                    nack.ready = std::move(ack);
+                    enqueue(connection, std::move(nack));
+                    break; // writer flushes the rejection, then closes
+                }
                 greeted = true;
-                Outbound ack;
-                ack.ready = wire::HelloAck{};
-                enqueue(connection, std::move(ack));
+                Outbound out;
+                out.ready = std::move(ack);
+                enqueue(connection, std::move(out));
                 continue;
             }
 
             if (auto *request =
                     std::get_if<wire::InferRequest>(&message)) {
                 std::string error;
+                wire::ErrorCode code = wire::ErrorCode::Internal;
+                ServingDirectory::LookupStatus lookup;
                 ClusterEngine *cluster = directory_.cluster(
-                    request->model, request->version, error);
-                if (cluster != nullptr &&
-                    request->input.size() != cluster->inputSize())
+                    request->model, request->version, error,
+                    nn::Nonlinearity::ReLU, &lookup);
+                if (cluster == nullptr) {
+                    code = clusterErrorCode(lookup);
+                } else if (request->input.size() !=
+                           cluster->inputSize()) {
+                    code = wire::ErrorCode::InvalidArgument;
                     error = "input length " +
                         std::to_string(request->input.size()) +
                         " != model input size " +
                         std::to_string(cluster->inputSize());
+                }
                 if (cluster == nullptr || !error.empty()) {
                     wire::InferResponse response;
                     response.id = request->id;
                     response.ok = false;
-                    response.error = error;
+                    response.code = code;
+                    response.error = std::move(error);
                     Outbound out;
                     out.ready = std::move(response);
                     enqueue(connection, std::move(out));
@@ -288,6 +462,16 @@ TcpServer::readerLoop(Connection &connection)
                 Outbound out;
                 out.ready = std::move(response);
                 enqueue(connection, std::move(out));
+            } else if (const auto *open =
+                           std::get_if<wire::SessionOpen>(&message)) {
+                handleSessionOpen(connection, *open);
+            } else if (const auto *step =
+                           std::get_if<wire::SessionStep>(&message)) {
+                handleSessionStep(connection, *step);
+            } else if (const auto *session_close =
+                           std::get_if<wire::SessionClose>(
+                               &message)) {
+                connection.sessions.erase(session_close->session_id);
             } else {
                 break; // client sent a server-to-client frame: drop
             }
@@ -331,8 +515,14 @@ TcpServer::writerLoop(Connection &connection)
             try {
                 response.output = outbound.pending.get();
                 response.ok = true;
+            } catch (const engine::DeadlineExpired &error) {
+                response.code = wire::ErrorCode::DeadlineExpired;
+                response.error = error.what();
+            } catch (const engine::ServerStopped &error) {
+                response.code = wire::ErrorCode::Unavailable;
+                response.error = error.what();
             } catch (const std::exception &error) {
-                response.ok = false;
+                response.code = wire::ErrorCode::Internal;
                 response.error = error.what();
             }
             message = std::move(response);
@@ -436,78 +626,260 @@ TcpClient::TcpClient(const std::string &host, std::uint16_t port)
     setNoDelay(fd);
     fd_ = fd;
 
-    sendFrame(wire::Hello{});
-    const wire::Message ack = readFrame();
-    const auto *hello_ack = std::get_if<wire::HelloAck>(&ack);
-    if (hello_ack == nullptr ||
-        hello_ack->protocol != wire::kProtocolVersion) {
-        close();
-        throw std::runtime_error("handshake failed: unexpected or "
-                                 "mismatched HelloAck");
+    // Handshake synchronously (the reader thread starts only after a
+    // successful negotiation, so a rejected connection never has
+    // in-flight state to fail).
+    try {
+        const std::vector<std::uint8_t> hello =
+            wire::encodeFrame(wire::Hello{});
+        if (!sendAll(fd_, hello.data(), hello.size()))
+            throw wire::WireError(
+                "connection lost while sending Hello");
+        const std::vector<std::uint8_t> body = recvFrameBody(fd_);
+        if (body.empty())
+            throw wire::WireError(
+                "handshake failed: server closed the connection "
+                "without a HelloAck (protocol version mismatch with "
+                "a pre-v2 server?)");
+        const wire::Message message = wire::decodeBody(body);
+        const auto *ack = std::get_if<wire::HelloAck>(&message);
+        if (ack == nullptr)
+            throw wire::WireError(
+                "handshake failed: expected a HelloAck frame");
+        if (!ack->ok)
+            throw wire::WireError("handshake rejected by server: " +
+                                  ack->error);
+        if (ack->protocol != wire::kProtocolVersion)
+            throw wire::WireError(
+                "protocol version mismatch: client speaks " +
+                std::to_string(wire::kProtocolVersion) +
+                ", server speaks " + std::to_string(ack->protocol));
+    } catch (...) {
+        ::close(fd_);
+        fd_ = -1;
+        throw;
     }
+
+    connected_.store(true);
+    reader_ = std::thread([this] { readerLoop(); });
 }
 
 TcpClient::~TcpClient()
 {
+    close();
     if (fd_ >= 0)
         ::close(fd_);
+}
+
+bool
+TcpClient::connected() const
+{
+    return connected_.load();
 }
 
 void
 TcpClient::close()
 {
-    if (fd_ >= 0) {
-        ::close(fd_);
-        fd_ = -1;
+    // Shut the socket down (unblocking a reader in recv — it then
+    // fails all in-flight futures) and join exactly once; the fd is
+    // released by the destructor so concurrent senders never race a
+    // reused descriptor.
+    std::call_once(join_once_, [this] {
+        connected_.store(false);
+        if (fd_ >= 0)
+            ::shutdown(fd_, SHUT_RDWR);
+        if (reader_.joinable())
+            reader_.join();
+    });
+}
+
+void
+TcpClient::failAllPending(wire::ErrorCode code,
+                          const std::string &reason)
+{
+    connected_.store(false);
+
+    std::map<std::uint64_t, std::promise<wire::InferResponse>> infers;
+    std::map<std::uint64_t,
+             std::pair<std::uint64_t, std::promise<wire::SessionState>>>
+        steps;
+    std::map<std::uint64_t, std::promise<wire::SessionAck>> opens;
+    std::deque<std::promise<wire::StatsResponse>> stats;
+    std::deque<std::promise<wire::InfoResponse>> infos;
+    {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        infers.swap(pending_infer_);
+        steps.swap(pending_steps_);
+        opens.swap(pending_session_opens_);
+        stats.swap(pending_stats_);
+        infos.swap(pending_info_);
+    }
+
+    for (auto &[id, promise] : infers) {
+        wire::InferResponse response;
+        response.id = id;
+        response.code = code;
+        response.error = reason;
+        promise.set_value(std::move(response));
+    }
+    for (auto &[id, step] : steps) {
+        wire::SessionState state;
+        state.session_id = step.first;
+        state.id = id;
+        state.code = code;
+        state.error = reason;
+        step.second.set_value(std::move(state));
+    }
+    for (auto &[session_id, promise] : opens) {
+        wire::SessionAck ack;
+        ack.session_id = session_id;
+        ack.code = code;
+        ack.error = reason;
+        promise.set_value(std::move(ack));
+    }
+    const auto lost =
+        std::make_exception_ptr(wire::WireError(reason));
+    for (auto &promise : stats)
+        promise.set_exception(lost);
+    for (auto &promise : infos)
+        promise.set_exception(lost);
+}
+
+void
+TcpClient::readerLoop()
+{
+    std::string reason = "connection closed by server";
+    wire::ErrorCode code = wire::ErrorCode::Unavailable;
+    try {
+        for (;;) {
+            const std::vector<std::uint8_t> body =
+                recvFrameBody(fd_);
+            if (body.empty())
+                break;
+            wire::Message message = wire::decodeBody(body);
+
+            if (auto *response =
+                    std::get_if<wire::InferResponse>(&message)) {
+                if (auto promise = takePending(
+                        pending_mutex_, pending_infer_,
+                        response->id))
+                    promise->set_value(std::move(*response));
+                // An unknown id is tolerated: the submitter may have
+                // failed its promise on a send error already.
+            } else if (auto *state =
+                           std::get_if<wire::SessionState>(
+                               &message)) {
+                if (auto step = takePending(pending_mutex_,
+                                            pending_steps_,
+                                            state->id))
+                    step->second.set_value(std::move(*state));
+            } else if (auto *ack = std::get_if<wire::SessionAck>(
+                           &message)) {
+                if (auto promise = takePending(
+                        pending_mutex_, pending_session_opens_,
+                        ack->session_id))
+                    promise->set_value(std::move(*ack));
+            } else if (auto *stats_response =
+                           std::get_if<wire::StatsResponse>(
+                               &message)) {
+                std::promise<wire::StatsResponse> promise;
+                bool found = false;
+                {
+                    std::lock_guard<std::mutex> lock(pending_mutex_);
+                    if (!pending_stats_.empty()) {
+                        promise = std::move(pending_stats_.front());
+                        pending_stats_.pop_front();
+                        found = true;
+                    }
+                }
+                if (found)
+                    promise.set_value(std::move(*stats_response));
+            } else if (auto *info_response =
+                           std::get_if<wire::InfoResponse>(
+                               &message)) {
+                std::promise<wire::InfoResponse> promise;
+                bool found = false;
+                {
+                    std::lock_guard<std::mutex> lock(pending_mutex_);
+                    if (!pending_info_.empty()) {
+                        promise = std::move(pending_info_.front());
+                        pending_info_.pop_front();
+                        found = true;
+                    }
+                }
+                if (found)
+                    promise.set_value(std::move(*info_response));
+            } else {
+                reason = "protocol violation: unexpected frame type "
+                         "from server";
+                code = wire::ErrorCode::ProtocolError;
+                break;
+            }
+        }
+    } catch (const wire::WireError &error) {
+        reason = error.what();
+        code = wire::ErrorCode::ProtocolError;
+    }
+
+    ::shutdown(fd_, SHUT_RDWR);
+    failAllPending(code, reason);
+}
+
+void
+TcpClient::sendFrameLocked(const wire::Message &message)
+{
+    if (!connected_.load())
+        throw wire::WireError("client connection is closed");
+    const std::vector<std::uint8_t> frame =
+        wire::encodeFrame(message);
+    if (!sendAll(fd_, frame.data(), frame.size())) {
+        connected_.store(false);
+        throw wire::WireError("connection lost while sending");
     }
 }
 
 void
 TcpClient::sendFrame(const wire::Message &message)
 {
-    if (fd_ < 0)
-        throw wire::WireError("client connection is closed");
-    const std::vector<std::uint8_t> frame =
-        wire::encodeFrame(message);
-    if (!sendAll(fd_, frame.data(), frame.size()))
-        throw wire::WireError("connection lost while sending");
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    sendFrameLocked(message);
 }
 
-wire::Message
-TcpClient::readFrame()
-{
-    if (fd_ < 0)
-        throw wire::WireError("client connection is closed");
-    const std::vector<std::uint8_t> body = recvFrameBody(fd_);
-    if (body.empty())
-        throw wire::WireError("connection closed by server");
-    return wire::decodeBody(body);
-}
-
-std::uint64_t
-TcpClient::sendInfer(const std::string &model, std::uint32_t version,
-                     const std::vector<std::int64_t> &input,
-                     std::int32_t priority, std::uint32_t deadline_us)
+std::future<wire::InferResponse>
+TcpClient::submitInfer(const std::string &model,
+                       std::uint32_t version,
+                       std::vector<std::int64_t> input,
+                       std::int32_t priority,
+                       std::uint32_t deadline_us)
 {
     wire::InferRequest request;
-    request.id = next_id_++;
+    request.id = next_id_.fetch_add(1);
     request.model = model;
     request.version = version;
     request.priority = priority;
     request.deadline_us = deadline_us;
-    request.input = input;
-    sendFrame(request);
-    return request.id;
-}
+    request.input = std::move(input);
 
-wire::InferResponse
-TcpClient::readResponse()
-{
-    const wire::Message message = readFrame();
-    const auto *response = std::get_if<wire::InferResponse>(&message);
-    if (response == nullptr)
-        throw wire::WireError("expected an InferResponse frame");
-    return *response;
+    std::future<wire::InferResponse> future;
+    {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        future = pending_infer_[request.id].get_future();
+    }
+    try {
+        sendFrame(request);
+    } catch (const wire::WireError &error) {
+        // Resolve the promise ourselves unless the reader's
+        // failAllPending() already claimed it.
+        if (auto promise = takePending(pending_mutex_,
+                                       pending_infer_, request.id)) {
+            wire::InferResponse response;
+            response.id = request.id;
+            response.code = wire::ErrorCode::Unavailable;
+            response.error = error.what();
+            promise->set_value(std::move(response));
+        }
+    }
+    return future;
 }
 
 std::vector<std::int64_t>
@@ -515,24 +887,132 @@ TcpClient::infer(const std::string &model,
                  const std::vector<std::int64_t> &input,
                  std::uint32_t version)
 {
-    const std::uint64_t id = sendInfer(model, version, input);
-    wire::InferResponse response = readResponse();
-    if (response.id != id)
-        throw wire::WireError("response id does not match request");
+    wire::InferResponse response =
+        submitInfer(model, version, input).get();
     if (!response.ok)
         throw std::runtime_error("server error: " + response.error);
     return std::move(response.output);
 }
 
+std::future<wire::SessionAck>
+TcpClient::openSession(std::uint64_t session_id,
+                       const std::string &model,
+                       std::uint32_t version)
+{
+    wire::SessionOpen open;
+    open.session_id = session_id;
+    open.model = model;
+    open.version = version;
+
+    std::future<wire::SessionAck> future;
+    {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        future = pending_session_opens_[session_id].get_future();
+    }
+    try {
+        sendFrame(open);
+    } catch (const wire::WireError &error) {
+        if (auto promise = takePending(pending_mutex_,
+                                       pending_session_opens_,
+                                       session_id)) {
+            wire::SessionAck ack;
+            ack.session_id = session_id;
+            ack.code = wire::ErrorCode::Unavailable;
+            ack.error = error.what();
+            promise->set_value(std::move(ack));
+        }
+    }
+    return future;
+}
+
+std::future<wire::SessionState>
+TcpClient::submitStep(std::uint64_t session_id, std::vector<float> x,
+                      std::int32_t priority,
+                      std::uint32_t deadline_us)
+{
+    wire::SessionStep step;
+    step.session_id = session_id;
+    step.id = next_id_.fetch_add(1);
+    step.priority = priority;
+    step.deadline_us = deadline_us;
+    step.x = std::move(x);
+
+    std::future<wire::SessionState> future;
+    {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        auto &pending = pending_steps_[step.id];
+        pending.first = session_id;
+        future = pending.second.get_future();
+    }
+    try {
+        sendFrame(step);
+    } catch (const wire::WireError &error) {
+        if (auto pending = takePending(pending_mutex_,
+                                       pending_steps_, step.id)) {
+            wire::SessionState state;
+            state.session_id = session_id;
+            state.id = step.id;
+            state.code = wire::ErrorCode::Unavailable;
+            state.error = error.what();
+            pending->second.set_value(std::move(state));
+        }
+    }
+    return future;
+}
+
+void
+TcpClient::closeSession(std::uint64_t session_id)
+{
+    try {
+        wire::SessionClose close_msg;
+        close_msg.session_id = session_id;
+        sendFrame(close_msg);
+    } catch (const wire::WireError &) {
+        // Fire-and-forget: a lost connection discards the state
+        // server-side anyway.
+    }
+}
+
+std::uint64_t
+TcpClient::nextSessionId()
+{
+    return next_session_id_.fetch_add(1);
+}
+
 std::string
 TcpClient::stats()
 {
-    sendFrame(wire::StatsRequest{});
-    const wire::Message message = readFrame();
-    const auto *response = std::get_if<wire::StatsResponse>(&message);
-    if (response == nullptr)
-        throw wire::WireError("expected a StatsResponse frame");
-    return response->json;
+    // Register + send under send_mutex_: StatsResponses are matched
+    // FIFO, so the promise queue must mirror the wire order exactly.
+    std::future<wire::StatsResponse> future;
+    {
+        std::lock_guard<std::mutex> send_lock(send_mutex_);
+        {
+            std::lock_guard<std::mutex> lock(pending_mutex_);
+            pending_stats_.emplace_back();
+            future = pending_stats_.back().get_future();
+        }
+        try {
+            sendFrameLocked(wire::StatsRequest{});
+        } catch (const wire::WireError &) {
+            // Unless the reader's failAllPending() beat us to it,
+            // the back is still our promise (send_mutex_ excludes
+            // other registrars).
+            std::promise<wire::StatsResponse> promise;
+            bool mine = false;
+            {
+                std::lock_guard<std::mutex> lock(pending_mutex_);
+                if (!pending_stats_.empty()) {
+                    promise = std::move(pending_stats_.back());
+                    pending_stats_.pop_back();
+                    mine = true;
+                }
+            }
+            if (mine)
+                promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get().json;
 }
 
 wire::InfoResponse
@@ -541,12 +1021,33 @@ TcpClient::info(const std::string &model, std::uint32_t version)
     wire::InfoRequest request;
     request.model = model;
     request.version = version;
-    sendFrame(request);
-    const wire::Message message = readFrame();
-    const auto *response = std::get_if<wire::InfoResponse>(&message);
-    if (response == nullptr)
-        throw wire::WireError("expected an InfoResponse frame");
-    return *response;
+
+    std::future<wire::InfoResponse> future;
+    {
+        std::lock_guard<std::mutex> send_lock(send_mutex_);
+        {
+            std::lock_guard<std::mutex> lock(pending_mutex_);
+            pending_info_.emplace_back();
+            future = pending_info_.back().get_future();
+        }
+        try {
+            sendFrameLocked(request);
+        } catch (const wire::WireError &) {
+            std::promise<wire::InfoResponse> promise;
+            bool mine = false;
+            {
+                std::lock_guard<std::mutex> lock(pending_mutex_);
+                if (!pending_info_.empty()) {
+                    promise = std::move(pending_info_.back());
+                    pending_info_.pop_back();
+                    mine = true;
+                }
+            }
+            if (mine)
+                promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
 }
 
 } // namespace eie::serve

@@ -2,18 +2,37 @@
  * @file
  * Loopback/LAN TCP transport for the serving cluster: a TcpServer
  * that dispatches wire-protocol frames (serve/wire.hh) onto a
- * ServingDirectory's ClusterEngines, and a TcpClient that speaks the
- * same frames. This is the `tools/eie_serve` daemon's front door.
+ * ServingDirectory's ClusterEngines, and an asynchronous TcpClient
+ * that speaks the same frames. This is the `tools/eie_serve` daemon's
+ * front door and the transport behind `eie::client::Client`'s
+ * `tcp://` endpoints.
  *
- * Connection model: one reader thread and one writer thread per
- * accepted connection. The reader decodes frames and submits infer
- * requests to the routed cluster immediately (so the cluster's
+ * Connection model (server): one reader thread and one writer thread
+ * per accepted connection. The reader decodes frames and submits
+ * infer requests to the routed cluster immediately (so the cluster's
  * micro-batchers see the full pipeline depth); the writer completes
- * the per-request futures in request order and streams the responses
- * back, so a client may pipeline arbitrarily many requests and read
- * responses FIFO. Malformed frames, handshake violations and
+ * the per-request futures and streams the responses back, so a
+ * client may pipeline arbitrarily many requests. Streaming LSTM
+ * sessions (SessionOpen/SessionStep) are handled inline by the
+ * reader — a step is inherently sequential (it consumes the previous
+ * step's recurrent state), so the reader blocks on the M×V and
+ * replies with the new hidden state. The handshake negotiates the
+ * protocol version: a mismatched client receives a HelloAck rejection
+ * encoded in the layout it can decode (see wire.hh) and the
+ * connection closes. Malformed frames, handshake violations and
  * oversized bodies close the connection — they never take the daemon
  * down.
+ *
+ * Connection model (client): one background reader thread correlates
+ * responses to in-flight requests — InferResponse and SessionState
+ * by request id, SessionAck by session id, Stats/Info by per-type
+ * FIFO (the server preserves each type's relative order, and the
+ * send mutex keeps the promise queues in wire order) — and resolves
+ * the matching std::future. Requests may be submitted from any thread and
+ * responses may arrive in any order, so a future client no longer
+ * head-of-line blocks on a FIFO readResponse(). Transport loss
+ * resolves every in-flight inference/session future with an
+ * Unavailable error response instead of throwing.
  *
  * Lifecycle: TcpServer::stop() closes the listener and all accepted
  * sockets and joins the per-connection threads; pending responses
@@ -30,14 +49,20 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "serve/cluster.hh"
 #include "serve/wire.hh"
+
+namespace eie::engine {
+class LstmSession;
+} // namespace eie::engine
 
 namespace eie::serve {
 
@@ -52,6 +77,13 @@ struct TcpServerOptions
     std::string bind_address = "127.0.0.1";
 
     int backlog = 64;
+
+    /** Open LSTM sessions one connection may hold; an open beyond
+     *  the cap is rejected with an Unavailable ack. Bounds the
+     *  memory a client can pin server-side (each session holds the
+     *  recurrent state plus the host gate math) the same way
+     *  kMaxBodyBytes bounds per-frame allocations. */
+    std::size_t max_sessions_per_connection = 64;
 };
 
 /** Frame-dispatching TCP front end over a ServingDirectory. */
@@ -94,8 +126,13 @@ class TcpServer
         std::future<std::vector<std::int64_t>> pending;
     };
 
+    /** One open streaming LSTM session (reader-thread state). */
+    struct LiveSession;
+
     struct Connection
     {
+        ~Connection(); ///< out-of-line: LiveSession is incomplete here
+
         int fd = -1;
         std::thread reader;
         std::thread writer;
@@ -103,6 +140,8 @@ class TcpServer
         std::condition_variable cv;
         std::deque<Outbound> outbox;
         bool closing = false;
+        /** Open LSTM sessions by id; touched by the reader only. */
+        std::map<std::uint64_t, std::unique_ptr<LiveSession>> sessions;
         /** Reader + writer still running; 0 = reapable. */
         std::atomic<int> live_threads{2};
     };
@@ -110,6 +149,10 @@ class TcpServer
     void acceptLoop();
     void readerLoop(Connection &connection);
     void writerLoop(Connection &connection);
+    void handleSessionOpen(Connection &connection,
+                           const wire::SessionOpen &open);
+    void handleSessionStep(Connection &connection,
+                           const wire::SessionStep &step);
     void enqueue(Connection &connection, Outbound outbound);
     void reapFinishedLocked(); ///< caller holds connections_mutex_
 
@@ -128,35 +171,40 @@ class TcpServer
     std::once_flag join_once_;
 };
 
-/** Blocking wire-protocol client (pipelining supported). */
+/**
+ * Asynchronous wire-protocol client: pipelined submissions from any
+ * thread, responses correlated by id on a background reader.
+ */
 class TcpClient
 {
   public:
-    /** Connect to @p host:@p port and handshake. Throws
-     *  std::runtime_error on connection or handshake failure. */
+    /** Connect to @p host:@p port and handshake (negotiating the
+     *  protocol version). Throws wire::WireError on a protocol or
+     *  version mismatch and std::runtime_error on connection
+     *  failure. */
     TcpClient(const std::string &host, std::uint16_t port);
 
+    /** Closes and joins the reader. */
     ~TcpClient();
 
     TcpClient(const TcpClient &) = delete;
     TcpClient &operator=(const TcpClient &) = delete;
 
     /**
-     * Send one inference request without waiting (pipelining);
-     * returns the request id. Responses arrive in request order via
-     * readResponse().
+     * Submit one inference request; the future resolves with the
+     * server's InferResponse once it arrives, in any order relative
+     * to other in-flight requests. The future never throws: server
+     * errors arrive as ok = false responses with an ErrorCode, and a
+     * lost connection resolves every in-flight future with
+     * ErrorCode::Unavailable.
      */
-    std::uint64_t sendInfer(const std::string &model,
-                            std::uint32_t version,
-                            const std::vector<std::int64_t> &input,
-                            std::int32_t priority = 0,
-                            std::uint32_t deadline_us = 0);
+    std::future<wire::InferResponse>
+    submitInfer(const std::string &model, std::uint32_t version,
+                std::vector<std::int64_t> input,
+                std::int32_t priority = 0,
+                std::uint32_t deadline_us = 0);
 
-    /** Read the next InferResponse (blocking). Throws WireError on a
-     *  protocol violation or a closed connection. */
-    wire::InferResponse readResponse();
-
-    /** Synchronous convenience: send one request, wait for its
+    /** Synchronous convenience: submit one request, wait for its
      *  response, return the output. Throws std::runtime_error with
      *  the server's message on an error response. */
     std::vector<std::int64_t>
@@ -164,24 +212,79 @@ class TcpClient
           const std::vector<std::int64_t> &input,
           std::uint32_t version = 0);
 
-    /** Fetch the server's aggregated stats JSON. Must not be called
-     *  with inference responses still unread (responses are FIFO). */
+    /** Open a streaming LSTM session on @p model; the ack carries
+     *  the (X, H) shape. Same no-throw future semantics as
+     *  submitInfer(). */
+    std::future<wire::SessionAck>
+    openSession(std::uint64_t session_id, const std::string &model,
+                std::uint32_t version = 0);
+
+    /** Submit one session step (x only; the state lives server
+     *  side). Steps of one session must be submitted sequentially —
+     *  wait for each SessionState before the next step. */
+    std::future<wire::SessionState>
+    submitStep(std::uint64_t session_id, std::vector<float> x,
+               std::int32_t priority = 0,
+               std::uint32_t deadline_us = 0);
+
+    /** Discard a session's server-side state (fire-and-forget). */
+    void closeSession(std::uint64_t session_id);
+
+    /** A fresh session id, unique within this client. */
+    std::uint64_t nextSessionId();
+
+    /** Fetch the server's aggregated stats JSON (blocking). Throws
+     *  wire::WireError on a lost connection. */
     std::string stats();
 
     /** Describe a served model (sizes, shard layout; builds its
-     *  cluster on first touch). Same FIFO caveat as stats(). */
+     *  cluster on first touch). Blocking; throws wire::WireError on
+     *  a lost connection. */
     wire::InfoResponse info(const std::string &model,
                             std::uint32_t version = 0);
 
-    /** Close the connection (idempotent; further calls throw). */
+    /** Whether the connection is still up (in-flight futures after a
+     *  loss resolve with Unavailable). */
+    bool connected() const;
+
+    /** Close the connection and join the reader; idempotent. Every
+     *  in-flight future resolves with Unavailable. */
     void close();
 
   private:
-    void sendFrame(const wire::Message &message);
-    wire::Message readFrame();
+    void sendFrame(const wire::Message &message); ///< locks send_mutex_
+    /** Caller holds send_mutex_ (stats/info register their FIFO
+     *  promise and send under one critical section so wire order
+     *  matches queue order). */
+    void sendFrameLocked(const wire::Message &message);
+    void readerLoop();
+    /** Resolve every in-flight future with @p code (Unavailable on a
+     *  lost connection, ProtocolError on a wire violation) and mark
+     *  the client disconnected. */
+    void failAllPending(wire::ErrorCode code,
+                        const std::string &reason);
 
     int fd_ = -1;
-    std::uint64_t next_id_ = 1;
+
+    std::mutex send_mutex_;
+    std::atomic<bool> connected_{false};
+    std::thread reader_;
+    std::once_flag join_once_;
+
+    mutable std::mutex pending_mutex_;
+    std::atomic<std::uint64_t> next_id_{1};
+    std::atomic<std::uint64_t> next_session_id_{1};
+    std::map<std::uint64_t, std::promise<wire::InferResponse>>
+        pending_infer_;
+    /** Keyed by step id; the session id rides along so a failed
+     *  connection can synthesize fully-addressed SessionStates. */
+    std::map<std::uint64_t,
+             std::pair<std::uint64_t, std::promise<wire::SessionState>>>
+        pending_steps_;
+    std::map<std::uint64_t, std::promise<wire::SessionAck>>
+        pending_session_opens_; ///< keyed by session_id
+    std::deque<std::promise<wire::StatsResponse>> pending_stats_;
+    std::deque<std::promise<wire::InfoResponse>> pending_info_;
 };
 
 } // namespace eie::serve

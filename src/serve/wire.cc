@@ -35,6 +35,15 @@ class BodyWriter
             scalar<std::int64_t>(v);
     }
 
+    void
+    vectorF32(const std::vector<float> &values)
+    {
+        scalar<std::uint32_t>(
+            static_cast<std::uint32_t>(values.size()));
+        for (const float v : values)
+            scalar<float>(v);
+    }
+
     std::vector<std::uint8_t> take() { return std::move(bytes_); }
 
   private:
@@ -89,6 +98,21 @@ class BodyReader
         return values;
     }
 
+    std::vector<float>
+    vectorF32()
+    {
+        const auto count = scalar<std::uint32_t>();
+        if (static_cast<std::size_t>(count) * 4 >
+            bytes_.size() - pos_)
+            throw WireError("vector field exceeds frame");
+        std::vector<float> values(count);
+        for (auto &v : values)
+            v = scalar<float>();
+        return values;
+    }
+
+    bool atEnd() const { return pos_ == bytes_.size(); }
+
     void
     done() const
     {
@@ -117,6 +141,16 @@ frame(MsgType type, BodyWriter body_writer)
     return out;
 }
 
+ErrorCode
+errorCodeFromByte(std::uint8_t byte)
+{
+    // Unknown codes from a newer peer degrade to Internal instead of
+    // rejecting the frame: the error string still travels.
+    return byte > static_cast<std::uint8_t>(ErrorCode::Unavailable)
+        ? ErrorCode::Internal
+        : static_cast<ErrorCode>(byte);
+}
+
 } // namespace
 
 MsgType
@@ -139,8 +173,18 @@ messageType(const Message &message)
                 return MsgType::StatsResponse;
             else if constexpr (std::is_same_v<T, InfoRequest>)
                 return MsgType::InfoRequest;
-            else
+            else if constexpr (std::is_same_v<T, InfoResponse>)
                 return MsgType::InfoResponse;
+            else if constexpr (std::is_same_v<T, SessionOpen>)
+                return MsgType::SessionOpen;
+            else if constexpr (std::is_same_v<T, SessionAck>)
+                return MsgType::SessionAck;
+            else if constexpr (std::is_same_v<T, SessionStep>)
+                return MsgType::SessionStep;
+            else if constexpr (std::is_same_v<T, SessionState>)
+                return MsgType::SessionState;
+            else
+                return MsgType::SessionClose;
         },
         message);
 }
@@ -152,9 +196,14 @@ encodeFrame(const Message &message)
     std::visit(
         [&writer](const auto &msg) {
             using T = std::decay_t<decltype(msg)>;
-            if constexpr (std::is_same_v<T, Hello> ||
-                          std::is_same_v<T, HelloAck>) {
+            if constexpr (std::is_same_v<T, Hello>) {
                 writer.scalar<std::uint32_t>(msg.protocol);
+            } else if constexpr (std::is_same_v<T, HelloAck>) {
+                writer.scalar<std::uint32_t>(msg.protocol);
+                if (msg.wire_layout >= 2) {
+                    writer.scalar<std::uint8_t>(msg.ok ? 1 : 0);
+                    writer.string(msg.error);
+                }
             } else if constexpr (std::is_same_v<T, InferRequest>) {
                 writer.scalar<std::uint64_t>(msg.id);
                 writer.string(msg.model);
@@ -165,10 +214,13 @@ encodeFrame(const Message &message)
             } else if constexpr (std::is_same_v<T, InferResponse>) {
                 writer.scalar<std::uint64_t>(msg.id);
                 writer.scalar<std::uint8_t>(msg.ok ? 1 : 0);
-                if (msg.ok)
+                if (msg.ok) {
                     writer.vectorI64(msg.output);
-                else
+                } else {
+                    writer.scalar<std::uint8_t>(
+                        static_cast<std::uint8_t>(msg.code));
                     writer.string(msg.error);
+                }
             } else if constexpr (std::is_same_v<T, StatsRequest>) {
                 // empty payload
             } else if constexpr (std::is_same_v<T, StatsResponse>) {
@@ -176,7 +228,7 @@ encodeFrame(const Message &message)
             } else if constexpr (std::is_same_v<T, InfoRequest>) {
                 writer.string(msg.model);
                 writer.scalar<std::uint32_t>(msg.version);
-            } else { // InfoResponse
+            } else if constexpr (std::is_same_v<T, InfoResponse>) {
                 writer.scalar<std::uint8_t>(msg.ok ? 1 : 0);
                 writer.string(msg.error);
                 writer.string(msg.model);
@@ -185,6 +237,34 @@ encodeFrame(const Message &message)
                 writer.scalar<std::uint64_t>(msg.output_size);
                 writer.scalar<std::uint32_t>(msg.shards);
                 writer.string(msg.placement);
+            } else if constexpr (std::is_same_v<T, SessionOpen>) {
+                writer.scalar<std::uint64_t>(msg.session_id);
+                writer.string(msg.model);
+                writer.scalar<std::uint32_t>(msg.version);
+            } else if constexpr (std::is_same_v<T, SessionAck>) {
+                writer.scalar<std::uint64_t>(msg.session_id);
+                writer.scalar<std::uint8_t>(msg.ok ? 1 : 0);
+                writer.scalar<std::uint8_t>(
+                    static_cast<std::uint8_t>(msg.code));
+                writer.string(msg.error);
+                writer.scalar<std::uint64_t>(msg.input_size);
+                writer.scalar<std::uint64_t>(msg.hidden_size);
+            } else if constexpr (std::is_same_v<T, SessionStep>) {
+                writer.scalar<std::uint64_t>(msg.session_id);
+                writer.scalar<std::uint64_t>(msg.id);
+                writer.scalar<std::int32_t>(msg.priority);
+                writer.scalar<std::uint32_t>(msg.deadline_us);
+                writer.vectorF32(msg.x);
+            } else if constexpr (std::is_same_v<T, SessionState>) {
+                writer.scalar<std::uint64_t>(msg.session_id);
+                writer.scalar<std::uint64_t>(msg.id);
+                writer.scalar<std::uint8_t>(msg.ok ? 1 : 0);
+                writer.scalar<std::uint8_t>(
+                    static_cast<std::uint8_t>(msg.code));
+                writer.string(msg.error);
+                writer.vectorF32(msg.h);
+            } else { // SessionClose
+                writer.scalar<std::uint64_t>(msg.session_id);
             }
         },
         message);
@@ -210,6 +290,15 @@ decodeBody(std::span<const std::uint8_t> body)
       case MsgType::HelloAck: {
         HelloAck msg;
         msg.protocol = reader.scalar<std::uint32_t>();
+        if (reader.atEnd()) {
+            // v1 legacy layout: the version field only.
+            msg.wire_layout = 1;
+            msg.ok = true;
+        } else {
+            msg.wire_layout = 2;
+            msg.ok = reader.scalar<std::uint8_t>() != 0;
+            msg.error = reader.string(kMaxBodyBytes);
+        }
         reader.done();
         return msg;
       }
@@ -228,10 +317,12 @@ decodeBody(std::span<const std::uint8_t> body)
         InferResponse msg;
         msg.id = reader.scalar<std::uint64_t>();
         msg.ok = reader.scalar<std::uint8_t>() != 0;
-        if (msg.ok)
+        if (msg.ok) {
             msg.output = reader.vectorI64();
-        else
+        } else {
+            msg.code = errorCodeFromByte(reader.scalar<std::uint8_t>());
             msg.error = reader.string(kMaxBodyBytes);
+        }
         reader.done();
         return msg;
       }
@@ -262,6 +353,52 @@ decodeBody(std::span<const std::uint8_t> body)
         msg.output_size = reader.scalar<std::uint64_t>();
         msg.shards = reader.scalar<std::uint32_t>();
         msg.placement = reader.string(kMaxBodyBytes);
+        reader.done();
+        return msg;
+      }
+      case MsgType::SessionOpen: {
+        SessionOpen msg;
+        msg.session_id = reader.scalar<std::uint64_t>();
+        msg.model = reader.string(kMaxModelName);
+        msg.version = reader.scalar<std::uint32_t>();
+        reader.done();
+        return msg;
+      }
+      case MsgType::SessionAck: {
+        SessionAck msg;
+        msg.session_id = reader.scalar<std::uint64_t>();
+        msg.ok = reader.scalar<std::uint8_t>() != 0;
+        msg.code = errorCodeFromByte(reader.scalar<std::uint8_t>());
+        msg.error = reader.string(kMaxBodyBytes);
+        msg.input_size = reader.scalar<std::uint64_t>();
+        msg.hidden_size = reader.scalar<std::uint64_t>();
+        reader.done();
+        return msg;
+      }
+      case MsgType::SessionStep: {
+        SessionStep msg;
+        msg.session_id = reader.scalar<std::uint64_t>();
+        msg.id = reader.scalar<std::uint64_t>();
+        msg.priority = reader.scalar<std::int32_t>();
+        msg.deadline_us = reader.scalar<std::uint32_t>();
+        msg.x = reader.vectorF32();
+        reader.done();
+        return msg;
+      }
+      case MsgType::SessionState: {
+        SessionState msg;
+        msg.session_id = reader.scalar<std::uint64_t>();
+        msg.id = reader.scalar<std::uint64_t>();
+        msg.ok = reader.scalar<std::uint8_t>() != 0;
+        msg.code = errorCodeFromByte(reader.scalar<std::uint8_t>());
+        msg.error = reader.string(kMaxBodyBytes);
+        msg.h = reader.vectorF32();
+        reader.done();
+        return msg;
+      }
+      case MsgType::SessionClose: {
+        SessionClose msg;
+        msg.session_id = reader.scalar<std::uint64_t>();
         reader.done();
         return msg;
       }

@@ -1,8 +1,9 @@
 /**
  * @file
  * The serving cluster's wire protocol: length-prefixed binary frames
- * carrying inference requests/responses and stats queries between a
- * TcpClient and a TcpServer (serve/tcp.hh).
+ * carrying inference requests/responses, streaming LSTM session
+ * traffic and stats queries between a TcpClient and a TcpServer
+ * (serve/tcp.hh).
  *
  * Frame layout (little-endian scalars):
  *
@@ -10,25 +11,48 @@
  *   body = u8 type | payload
  *
  * Payloads by type:
- *   Hello / HelloAck : u32 protocol version (handshake, first frame
- *                      in each direction)
+ *   Hello            : u32 protocol version (first frame the client
+ *                      sends)
+ *   HelloAck         : u32 protocol version, then — in the v2 layout —
+ *                      u8 ok and str error. The server answers in the
+ *                      layout of min(client version, server version)
+ *                      so a v1 client still decodes the ack: a
+ *                      mismatched client gets a clean rejection (v2+:
+ *                      ok = 0 plus the reason; v1: a protocol number
+ *                      its own handshake check refuses) instead of
+ *                      undefined decoding of later frames.
  *   InferRequest     : u64 id, str model, u32 version (0 = latest),
  *                      i32 priority, u32 deadline_us (0 = none),
  *                      vec<i64> input (raw fixed-point activations)
- *   InferResponse    : u64 id, u8 ok, then str error (ok = 0) or
- *                      vec<i64> output (ok = 1)
+ *   InferResponse    : u64 id, u8 ok, then vec<i64> output (ok = 1)
+ *                      or u8 code + str error (ok = 0)
  *   StatsRequest     : empty
  *   StatsResponse    : str json (ServingDirectory::statsJson)
  *   InfoRequest      : str model, u32 version (0 = latest)
  *   InfoResponse     : u8 ok, str error, str model, u32 version,
  *                      u64 input_size, u64 output_size, u32 shards,
  *                      str placement
+ *   SessionOpen      : u64 session_id, str model, u32 version
+ *   SessionAck       : u64 session_id, u8 ok, u8 code, str error,
+ *                      u64 input_size (X), u64 hidden_size (H)
+ *   SessionStep      : u64 session_id, u64 id, i32 priority,
+ *                      u32 deadline_us, vec<f32> x
+ *   SessionState     : u64 session_id, u64 id, u8 ok, u8 code,
+ *                      str error, vec<f32> h (the new hidden state)
+ *   SessionClose     : u64 session_id (one-way; no reply)
  *
- * str is u32 length + bytes; vec<i64> is u32 count + count x i64.
- * Decoding is defensive — a malformed or oversized frame throws
- * WireError (the transport drops the connection) instead of killing
- * the daemon, unlike the fatal()-on-corruption model-file loader
- * whose inputs are operator-owned files.
+ * str is u32 length + bytes; vec<i64> is u32 count + count x i64;
+ * vec<f32> is u32 count + count x f32 (IEEE-754 bit patterns, so a
+ * session's recurrent state round-trips bit-exactly). Decoding is
+ * defensive — a malformed or oversized frame throws WireError (the
+ * transport drops the connection) instead of killing the daemon,
+ * unlike the fatal()-on-corruption model-file loader whose inputs are
+ * operator-owned files.
+ *
+ * Version history:
+ *   v1 — Hello..InfoResponse, error responses carried a string only.
+ *   v2 — HelloAck gained ok/error (negotiated layout), InferResponse
+ *        errors carry an ErrorCode, session messages added.
  */
 
 #ifndef EIE_SERVE_WIRE_HH
@@ -44,7 +68,7 @@
 namespace eie::serve::wire {
 
 /** Protocol revision; bumped on any frame-layout change. */
-inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /** Upper bound on one frame's body, guarding decoder allocations. */
 inline constexpr std::size_t kMaxBodyBytes = std::size_t{1} << 28;
@@ -63,6 +87,30 @@ enum class MsgType : std::uint8_t
     StatsResponse = 6,
     InfoRequest = 7,
     InfoResponse = 8,
+    SessionOpen = 9,
+    SessionAck = 10,
+    SessionStep = 11,
+    SessionState = 12,
+    SessionClose = 13,
+};
+
+/**
+ * Failure taxonomy carried on error responses, one byte on the wire.
+ * Mirrored (and extended with client-local codes) by
+ * client::StatusCode so every transport reports the same failure the
+ * same way.
+ */
+enum class ErrorCode : std::uint8_t
+{
+    Internal = 0,        ///< unclassified server-side failure
+    InvalidArgument = 1, ///< wrong input size / not LSTM-shaped / ...
+    NotFound = 2,        ///< unknown model, version or session
+    DeadlineExpired = 3, ///< dropped in a queue past its deadline
+    Unavailable = 4,     ///< server stopped / shutting down
+    /** Synthesized by TcpClient for responses it fails after a wire
+     *  violation; a server never sends it (decoding maps the byte to
+     *  Internal like any unknown code). */
+    ProtocolError = 5,
 };
 
 struct Hello
@@ -73,6 +121,17 @@ struct Hello
 struct HelloAck
 {
     std::uint32_t protocol = kProtocolVersion;
+    bool ok = true;
+    std::string error; ///< set when !ok (v2 layout only)
+
+    /**
+     * Which layout to encode with: >= 2 appends ok/error, 1 is the
+     * protocol-only legacy layout. The server sets this to
+     * min(client's Hello version, kProtocolVersion) so the peer can
+     * always decode the ack; filled on decode with the layout found.
+     * Never travels as a field itself.
+     */
+    std::uint32_t wire_layout = kProtocolVersion;
 };
 
 struct InferRequest
@@ -89,6 +148,7 @@ struct InferResponse
 {
     std::uint64_t id = 0;
     bool ok = false;
+    ErrorCode code = ErrorCode::Internal; ///< meaningful when !ok
     std::string error;                 ///< set when !ok
     std::vector<std::int64_t> output;  ///< set when ok
 };
@@ -119,10 +179,59 @@ struct InfoResponse
     std::string placement;
 };
 
+/** Open a streaming LSTM session on @p model (state lives server
+ *  side, one session per @p session_id per connection). */
+struct SessionOpen
+{
+    std::uint64_t session_id = 0; ///< client-chosen, unique per conn
+    std::string model;
+    std::uint32_t version = 0; ///< 0 = latest published
+};
+
+struct SessionAck
+{
+    std::uint64_t session_id = 0;
+    bool ok = false;
+    ErrorCode code = ErrorCode::Internal; ///< meaningful when !ok
+    std::string error;
+    std::uint64_t input_size = 0;  ///< X (per-step input length)
+    std::uint64_t hidden_size = 0; ///< H (hidden/cell state length)
+};
+
+/** One LSTM time step: x only — the server packs [x; h; 1] with the
+ *  session's recurrent state and runs the M×V. */
+struct SessionStep
+{
+    std::uint64_t session_id = 0;
+    std::uint64_t id = 0; ///< step id (shared id space with infer)
+    std::int32_t priority = 0;
+    std::uint32_t deadline_us = 0; ///< 0 = no deadline
+    std::vector<float> x;
+};
+
+/** The state half of the session pair: the new hidden state after
+ *  one committed step (the cell state stays server-side). */
+struct SessionState
+{
+    std::uint64_t session_id = 0;
+    std::uint64_t id = 0;
+    bool ok = false;
+    ErrorCode code = ErrorCode::Internal; ///< meaningful when !ok
+    std::string error;
+    std::vector<float> h;
+};
+
+/** Discard a session's state (one-way; unknown ids are ignored). */
+struct SessionClose
+{
+    std::uint64_t session_id = 0;
+};
+
 using Message = std::variant<Hello, HelloAck, InferRequest,
                              InferResponse, StatsRequest,
                              StatsResponse, InfoRequest,
-                             InfoResponse>;
+                             InfoResponse, SessionOpen, SessionAck,
+                             SessionStep, SessionState, SessionClose>;
 
 /** Thrown on any malformed, truncated or oversized frame. */
 class WireError : public std::runtime_error

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 #include <thread>
 
@@ -151,22 +152,22 @@ TEST(TcpServing, PartitionedClusterServesBitExactOverTheWire)
     }
 }
 
-TEST(TcpServing, PipelinedBurstKeepsOrderAndBitExactness)
+TEST(TcpServing, PipelinedBurstCorrelatesResponsesById)
 {
     TcpFixture fx;
     serve::TcpClient client("127.0.0.1", fx.server.port());
 
+    // Every request in flight at once; the async client correlates
+    // each response to its future by id, whatever the arrival order.
     constexpr int kRequests = 256;
     std::vector<std::vector<std::int64_t>> inputs;
-    std::vector<std::uint64_t> ids;
+    std::vector<std::future<serve::wire::InferResponse>> futures;
     for (int i = 0; i < kRequests; ++i) {
         inputs.push_back(fx.randomInput(1400 + i));
-        ids.push_back(client.sendInfer("fc", 0, inputs.back()));
+        futures.push_back(client.submitInfer("fc", 0, inputs.back()));
     }
     for (int i = 0; i < kRequests; ++i) {
-        const serve::wire::InferResponse response =
-            client.readResponse();
-        EXPECT_EQ(response.id, ids[i]) << "responses must be FIFO";
+        const serve::wire::InferResponse response = futures[i].get();
         ASSERT_TRUE(response.ok) << response.error;
         EXPECT_EQ(response.output, fx.oracle(inputs[i]))
             << "request " << i;
@@ -248,16 +249,16 @@ TEST(TcpServing, DeadlinesDropOverTheWire)
 
     serve::TcpClient client("127.0.0.1", server.port());
     constexpr int kRequests = 8;
-    std::vector<std::uint64_t> ids;
+    std::vector<std::future<serve::wire::InferResponse>> futures;
     for (int i = 0; i < kRequests; ++i)
-        ids.push_back(client.sendInfer("fc", 0,
-                                       fx.randomInput(1700 + i), 0,
-                                       /*deadline_us=*/2000));
+        futures.push_back(client.submitInfer(
+            "fc", 0, fx.randomInput(1700 + i), 0,
+            /*deadline_us=*/2000));
     for (int i = 0; i < kRequests; ++i) {
-        const serve::wire::InferResponse response =
-            client.readResponse();
-        EXPECT_EQ(response.id, ids[i]);
+        const serve::wire::InferResponse response = futures[i].get();
         EXPECT_FALSE(response.ok);
+        EXPECT_EQ(response.code,
+                  serve::wire::ErrorCode::DeadlineExpired);
         EXPECT_NE(response.error.find("deadline"), std::string::npos)
             << response.error;
     }
@@ -288,6 +289,143 @@ TEST(TcpServing, FinishedConnectionsAreReaped)
                 std::chrono::milliseconds(5));
     }
     EXPECT_TRUE(reaped) << "finished connections were never reaped";
+}
+
+namespace {
+
+/** Connect a raw client socket to @p port. */
+int
+rawConnect(std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    return fd;
+}
+
+/** Receive exactly @p size bytes (test helper; fails on short read). */
+std::vector<std::uint8_t>
+rawRecv(int fd, std::size_t size)
+{
+    std::vector<std::uint8_t> bytes(size);
+    std::size_t at = 0;
+    while (at < size) {
+        const ssize_t got =
+            ::recv(fd, bytes.data() + at, size - at, 0);
+        if (got <= 0)
+            break;
+        at += static_cast<std::size_t>(got);
+    }
+    EXPECT_EQ(at, size);
+    return bytes;
+}
+
+} // namespace
+
+TEST(TcpServing, OldClientGetsACleanVersionRejection)
+{
+    TcpFixture fx;
+
+    // Simulate a protocol-v1 client: its Hello carries version 1 and
+    // it can only decode the protocol-only HelloAck layout. A v2
+    // server must answer exactly that layout (the v1 client's own
+    // handshake check then rejects the foreign version cleanly)
+    // instead of leaving the peer to misdecode a longer ack.
+    const int fd = rawConnect(fx.server.port());
+    const std::uint8_t v1_hello[] = {5, 0, 0, 0, // body length
+                                     1,          // MsgType::Hello
+                                     1, 0, 0, 0}; // protocol = 1
+    ASSERT_EQ(::send(fd, v1_hello, sizeof(v1_hello), MSG_NOSIGNAL),
+              static_cast<ssize_t>(sizeof(v1_hello)));
+
+    // Expect a 5-byte body: HelloAck tag + u32 protocol — nothing
+    // else (the v2 tail would be undefined bytes to a v1 decoder).
+    const std::vector<std::uint8_t> header = rawRecv(fd, 4);
+    std::uint32_t body_len = 0;
+    std::memcpy(&body_len, header.data(), 4);
+    ASSERT_EQ(body_len, 5u);
+    const std::vector<std::uint8_t> ack_body = rawRecv(fd, body_len);
+    EXPECT_EQ(ack_body[0],
+              static_cast<std::uint8_t>(serve::wire::MsgType::HelloAck));
+    std::uint32_t protocol = 0;
+    std::memcpy(&protocol, ack_body.data() + 1, 4);
+    EXPECT_EQ(protocol, serve::wire::kProtocolVersion);
+
+    // ... and the server closes the connection.
+    char byte = 0;
+    EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+    ::close(fd);
+
+    // The daemon keeps serving current-version clients.
+    serve::TcpClient client("127.0.0.1", fx.server.port());
+    const auto input = fx.randomInput(2100);
+    EXPECT_EQ(client.infer("fc", input), fx.oracle(input));
+}
+
+TEST(TcpServing, NewClientRejectsOldServerCleanly)
+{
+    // Simulate a protocol-v1 server on a raw listener. Two historic
+    // behaviours exist: answering with a v1 HelloAck carrying its own
+    // version, or (the deployed v1 daemon) closing without an ack.
+    // Both must surface as a clean handshake error on the client.
+    for (const bool send_v1_ack : {true, false}) {
+        const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(listener, 0);
+        const int one = 1;
+        ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = 0;
+        ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr),
+                  1);
+        ASSERT_EQ(::bind(listener,
+                         reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        ASSERT_EQ(::listen(listener, 1), 0);
+        sockaddr_in bound{};
+        socklen_t bound_len = sizeof(bound);
+        ASSERT_EQ(::getsockname(listener,
+                                reinterpret_cast<sockaddr *>(&bound),
+                                &bound_len),
+                  0);
+        const std::uint16_t port = ntohs(bound.sin_port);
+
+        std::thread old_server([listener, send_v1_ack] {
+            const int fd = ::accept(listener, nullptr, nullptr);
+            ASSERT_GE(fd, 0);
+            rawRecv(fd, 9); // the client's Hello frame
+            if (send_v1_ack) {
+                const std::uint8_t v1_ack[] = {5, 0, 0, 0, // length
+                                               2, // MsgType::HelloAck
+                                               1, 0, 0, 0}; // v1
+                ::send(fd, v1_ack, sizeof(v1_ack), MSG_NOSIGNAL);
+            }
+            ::close(fd);
+        });
+
+        try {
+            serve::TcpClient client("127.0.0.1", port);
+            FAIL() << "handshake with a v1 server must fail "
+                   << "(send_v1_ack=" << send_v1_ack << ")";
+        } catch (const serve::wire::WireError &error) {
+            // Clean rejection naming the mismatch, not garbage
+            // decoding.
+            const std::string what = error.what();
+            EXPECT_TRUE(what.find("version") != std::string::npos ||
+                        what.find("HelloAck") != std::string::npos)
+                << what;
+        }
+        old_server.join();
+        ::close(listener);
+    }
 }
 
 TEST(TcpServing, GarbageFramesDropTheConnectionNotTheServer)

@@ -84,13 +84,119 @@ TEST(Wire, InferResponseRoundTripsBothArms)
     wire::InferResponse failed;
     failed.id = 8;
     failed.ok = false;
+    failed.code = wire::ErrorCode::DeadlineExpired;
     failed.error = "deadline expired";
     const auto decoded_err = roundTrip(failed);
     const auto *err = std::get_if<wire::InferResponse>(&decoded_err);
     ASSERT_NE(err, nullptr);
     EXPECT_FALSE(err->ok);
+    EXPECT_EQ(err->code, wire::ErrorCode::DeadlineExpired);
     EXPECT_EQ(err->error, failed.error);
     EXPECT_TRUE(err->output.empty());
+}
+
+TEST(Wire, HelloAckNegotiatesBothLayouts)
+{
+    // v2 layout: ok/error travel (a mismatched client gets the
+    // reason).
+    wire::HelloAck rejection;
+    rejection.ok = false;
+    rejection.error = "unsupported protocol version 7";
+    const auto decoded = roundTrip(rejection);
+    const auto *ack = std::get_if<wire::HelloAck>(&decoded);
+    ASSERT_NE(ack, nullptr);
+    EXPECT_FALSE(ack->ok);
+    EXPECT_EQ(ack->error, rejection.error);
+    EXPECT_EQ(ack->wire_layout, 2u);
+
+    // v1 legacy layout: protocol only — what a v1 peer can decode.
+    // Its absence of a tail must decode as an ok ack (a v1 server's
+    // acks carried no error channel).
+    wire::HelloAck legacy;
+    legacy.protocol = 1;
+    legacy.wire_layout = 1;
+    const auto legacy_frame = body(wire::encodeFrame(legacy));
+    EXPECT_EQ(legacy_frame.size(), 1u + 4u); // tag + u32 only
+    const auto decoded_legacy = wire::decodeBody(legacy_frame);
+    const auto *old = std::get_if<wire::HelloAck>(&decoded_legacy);
+    ASSERT_NE(old, nullptr);
+    EXPECT_TRUE(old->ok);
+    EXPECT_EQ(old->protocol, 1u);
+    EXPECT_EQ(old->wire_layout, 1u);
+}
+
+TEST(Wire, SessionMessagesRoundTrip)
+{
+    wire::SessionOpen open;
+    open.session_id = 11;
+    open.model = "nt-lstm";
+    open.version = 2;
+    const auto decoded_open = roundTrip(open);
+    const auto *open_out = std::get_if<wire::SessionOpen>(&decoded_open);
+    ASSERT_NE(open_out, nullptr);
+    EXPECT_EQ(open_out->session_id, 11u);
+    EXPECT_EQ(open_out->model, "nt-lstm");
+    EXPECT_EQ(open_out->version, 2u);
+
+    wire::SessionAck ack;
+    ack.session_id = 11;
+    ack.ok = true;
+    ack.input_size = 600;
+    ack.hidden_size = 600;
+    const auto decoded_ack = roundTrip(ack);
+    const auto *ack_out = std::get_if<wire::SessionAck>(&decoded_ack);
+    ASSERT_NE(ack_out, nullptr);
+    EXPECT_TRUE(ack_out->ok);
+    EXPECT_EQ(ack_out->input_size, 600u);
+    EXPECT_EQ(ack_out->hidden_size, 600u);
+
+    wire::SessionAck nack;
+    nack.session_id = 12;
+    nack.code = wire::ErrorCode::InvalidArgument;
+    nack.error = "model 64 -> 96 is not LSTM-shaped";
+    const auto decoded_nack = roundTrip(nack);
+    const auto *nack_out = std::get_if<wire::SessionAck>(&decoded_nack);
+    ASSERT_NE(nack_out, nullptr);
+    EXPECT_FALSE(nack_out->ok);
+    EXPECT_EQ(nack_out->code, wire::ErrorCode::InvalidArgument);
+    EXPECT_EQ(nack_out->error, nack.error);
+
+    // Step/state: float payloads must round-trip bit-exactly (they
+    // carry the recurrent trajectory).
+    wire::SessionStep step;
+    step.session_id = 11;
+    step.id = 99;
+    step.priority = 3;
+    step.deadline_us = 250;
+    step.x = {0.0f, -1.5f, 3.25e-7f, 1024.5f};
+    const auto decoded_step = roundTrip(step);
+    const auto *step_out = std::get_if<wire::SessionStep>(&decoded_step);
+    ASSERT_NE(step_out, nullptr);
+    EXPECT_EQ(step_out->session_id, 11u);
+    EXPECT_EQ(step_out->id, 99u);
+    EXPECT_EQ(step_out->priority, 3);
+    EXPECT_EQ(step_out->deadline_us, 250u);
+    EXPECT_EQ(step_out->x, step.x);
+
+    wire::SessionState state;
+    state.session_id = 11;
+    state.id = 99;
+    state.ok = true;
+    state.h = {0.5f, -0.25f, 0.0f};
+    const auto decoded_state = roundTrip(state);
+    const auto *state_out =
+        std::get_if<wire::SessionState>(&decoded_state);
+    ASSERT_NE(state_out, nullptr);
+    EXPECT_TRUE(state_out->ok);
+    EXPECT_EQ(state_out->h, state.h);
+
+    wire::SessionClose close_msg;
+    close_msg.session_id = 11;
+    const auto decoded_close = roundTrip(close_msg);
+    const auto *close_out =
+        std::get_if<wire::SessionClose>(&decoded_close);
+    ASSERT_NE(close_out, nullptr);
+    EXPECT_EQ(close_out->session_id, 11u);
 }
 
 TEST(Wire, StatsAndInfoRoundTrip)
@@ -196,6 +302,23 @@ TEST(Wire, MessageTypeTagsAreStable)
     EXPECT_EQ(static_cast<unsigned>(wire::MsgType::StatsResponse), 6u);
     EXPECT_EQ(static_cast<unsigned>(wire::MsgType::InfoRequest), 7u);
     EXPECT_EQ(static_cast<unsigned>(wire::MsgType::InfoResponse), 8u);
+    EXPECT_EQ(static_cast<unsigned>(wire::MsgType::SessionOpen), 9u);
+    EXPECT_EQ(static_cast<unsigned>(wire::MsgType::SessionAck), 10u);
+    EXPECT_EQ(static_cast<unsigned>(wire::MsgType::SessionStep), 11u);
+    EXPECT_EQ(static_cast<unsigned>(wire::MsgType::SessionState), 12u);
+    EXPECT_EQ(static_cast<unsigned>(wire::MsgType::SessionClose), 13u);
+
+    // Error codes are wire surface too.
+    EXPECT_EQ(static_cast<unsigned>(wire::ErrorCode::Internal), 0u);
+    EXPECT_EQ(static_cast<unsigned>(wire::ErrorCode::InvalidArgument),
+              1u);
+    EXPECT_EQ(static_cast<unsigned>(wire::ErrorCode::NotFound), 2u);
+    EXPECT_EQ(static_cast<unsigned>(wire::ErrorCode::DeadlineExpired),
+              3u);
+    EXPECT_EQ(static_cast<unsigned>(wire::ErrorCode::Unavailable), 4u);
+
+    // The session messages and negotiated HelloAck are the v2 bump.
+    EXPECT_EQ(wire::kProtocolVersion, 2u);
 }
 
 } // namespace

@@ -39,6 +39,8 @@ for build_type in Release Debug; do
     ctest --test-dir "${build_dir}" --output-on-failure -L kernel
     echo "=== ${build_type} serving cluster (-L serve) ==="
     ctest --test-dir "${build_dir}" --output-on-failure -L serve
+    echo "=== ${build_type} client API (-L client) ==="
+    ctest --test-dir "${build_dir}" --output-on-failure -L client
 done
 
 echo "=== kernel variant matrix (Release eie_sim smoke) ==="
@@ -49,10 +51,11 @@ for kernel in reference vector fused; do
         --kernel "${kernel}"
 done
 
-echo "=== ThreadSanitizer (kernel + engine + server + cluster) ==="
+echo "=== ThreadSanitizer (kernel + engine + server + cluster + \
+client) ==="
 tsan_dir="build-check-tsan"
 tsan_tests="test_kernel test_kernel_variants test_backend test_server \
-test_network_runner test_cluster test_tcp"
+test_network_runner test_cluster test_tcp test_client test_session"
 cmake -B "${tsan_dir}" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEIE_TSAN=ON "$@"
 # Build only the sanitized suites: instrumenting the full bench/tool

@@ -21,22 +21,28 @@
  *             [--deadline-us U] [--check] [--registry DIR]
  *             [--pes N] [--seed S]
  *
- * The client derives its input size from the server's InfoResponse,
- * cycles deterministic activation vectors through the pipeline, and
- * with --check verifies every response bit-exactly against the
- * "scalar" oracle backend run on the same model loaded from
- * --registry (daemon and client share the registry directory on one
- * host — the loopback deployment this tool targets).
+ * The client mode rides the typed eie::client::Client front door on
+ * a `tcp://host:port` endpoint: it derives its input size from
+ * info(), cycles deterministic activation vectors through a
+ * window-bounded pipeline of submit() futures, and with --check
+ * verifies every response bit-exactly against the "scalar" oracle
+ * backend run on the same model loaded from --registry (daemon and
+ * client share the registry directory on one host — the loopback
+ * deployment this tool targets).
  */
 
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <deque>
+#include <future>
 #include <iostream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "client/client.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/table.hh"
@@ -254,10 +260,20 @@ runClient(const Args &args)
     fatal_if(args.check && args.registry_dir.empty(),
              "--check needs --registry to load the oracle model");
 
-    serve::TcpClient client(args.connect_host, args.connect_port);
-    const serve::wire::InfoResponse info =
-        client.info(args.model, args.version);
-    fatal_if(!info.ok, "server: %s", info.error.c_str());
+    // The typed front door: the same client code would drive an
+    // in-process endpoint by swapping this string for "local:..." or
+    // "cluster:...".
+    const std::string endpoint = "tcp://" + args.connect_host + ":" +
+        std::to_string(args.connect_port);
+    client::ClientOptions options;
+    options.config = args.config;
+    const auto client = client::Client::connectOrDie(endpoint, options);
+
+    client::ModelInfo info;
+    const client::Status info_status =
+        client->info(args.model, args.version, info);
+    fatal_if(!info_status.ok(), "server: %s",
+             info_status.toString().c_str());
     std::cout << "model " << info.model << " v" << info.version
               << ": " << info.input_size << " -> "
               << info.output_size << ", " << info.shards
@@ -291,30 +307,22 @@ runClient(const Args &args)
         args.requests, args.rate, arrival_rng);
 
     std::uint64_t ok = 0, errors = 0, mismatches = 0;
-    std::size_t in_flight = 0;
-    std::uint64_t next_read_id = 0;
-    std::vector<std::uint64_t> ids;
-    ids.reserve(args.requests);
+    std::deque<std::pair<std::size_t,
+                         std::future<client::InferenceResult>>>
+        in_flight;
 
     auto readOne = [&] {
-        const serve::wire::InferResponse response =
-            client.readResponse();
-        fatal_if(response.id != ids[next_read_id],
-                 "response order violated: got id %llu, expected "
-                 "%llu",
-                 static_cast<unsigned long long>(response.id),
-                 static_cast<unsigned long long>(
-                     ids[next_read_id]));
-        if (!response.ok) {
+        auto [index, future] = std::move(in_flight.front());
+        in_flight.pop_front();
+        const client::InferenceResult result = future.get();
+        if (!result.ok()) {
             ++errors;
         } else {
             ++ok;
             if (args.check &&
-                response.output != reference[next_read_id % distinct])
+                result.outputs.front() != reference[index % distinct])
                 ++mismatches;
         }
-        ++next_read_id;
-        --in_flight;
     };
 
     const auto start = std::chrono::steady_clock::now();
@@ -322,14 +330,18 @@ runClient(const Args &args)
         if (args.rate > 0.0)
             std::this_thread::sleep_until(
                 start + std::chrono::duration<double>(arrival_s[i]));
-        while (in_flight >= args.window)
+        while (in_flight.size() >= args.window)
             readOne();
-        ids.push_back(client.sendInfer(
-            args.model, args.version, inputs[i % distinct],
-            args.priority, args.deadline_us));
-        ++in_flight;
+        client::InferenceRequest request;
+        request.model = args.model;
+        request.version = args.version;
+        request.priority = args.priority;
+        request.deadline =
+            std::chrono::microseconds(args.deadline_us);
+        request.fixed.push_back(inputs[i % distinct]);
+        in_flight.emplace_back(i, client->submit(std::move(request)));
     }
-    while (in_flight > 0)
+    while (!in_flight.empty())
         readOne();
     const double wall_s = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - start)
@@ -345,7 +357,9 @@ runClient(const Args &args)
         .add(wall_s, 3)
         .add(static_cast<double>(ok) / wall_s, 1);
     table.print(std::cout);
-    std::cout << "server stats: " << client.stats() << "\n";
+    client::EndpointStats stats;
+    if (client->stats(stats).ok())
+        std::cout << "server stats: " << stats.json << "\n";
 
     fatal_if(mismatches > 0,
              "%llu responses diverged from the scalar oracle",

@@ -24,10 +24,12 @@
  * "scalar" backend as both the baseline timing and the bit-exactness
  * oracle.
  *
- * --serve starts an engine::InferenceServer over the selected backend
- * and drives it with synthetic open-loop traffic: N single-vector
- * requests with exponential interarrival gaps at --rate requests/sec
- * (0 = back-to-back), reporting achieved throughput, request latency
+ * --serve puts each benchmark layer behind the typed
+ * eie::client::Client on a `local:<backend>` endpoint (an in-memory
+ * model over a micro-batching InferenceServer) and drives it with
+ * synthetic open-loop traffic: N single-vector requests with
+ * exponential interarrival gaps at --rate requests/sec (0 =
+ * back-to-back), reporting achieved throughput, request latency
  * percentiles and micro-batch statistics per benchmark.
  */
 
@@ -40,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "client/client.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/table.hh"
@@ -210,8 +213,10 @@ struct ServeArgs
     engine::ServerOptions options;
 };
 
-/** The --serve mode: an InferenceServer under synthetic open-loop
- *  arrival traffic, one benchmark at a time. */
+/** The --serve mode: the typed eie::client::Client over a `local:`
+ *  endpoint (in-memory model, micro-batching server underneath)
+ *  under synthetic open-loop arrival traffic, one benchmark at a
+ *  time. */
 int
 runServe(workloads::SuiteRunner &runner,
          const std::vector<std::string> &names,
@@ -222,6 +227,11 @@ runServe(workloads::SuiteRunner &runner,
                      "Achieved r/s", "p50 us", "p99 us", "Mean batch",
                      "Max depth", "Exact"});
     std::string diverged;
+
+    const std::string endpoint = "local:" + args.backend +
+        ",kernel=" +
+        core::kernel::kernelVariantName(args.kernel) +
+        ",threads=" + std::to_string(threads);
 
     for (const std::string &name : names) {
         const auto &bench = workloads::findBenchmark(name);
@@ -237,25 +247,37 @@ runServe(workloads::SuiteRunner &runner,
         const std::vector<double> arrival_s = engine::openLoopArrivals(
             inputs.size(), args.rate, arrival_rng);
 
-        engine::InferenceServer server(
-            engine::makeBackend(args.backend, config, {&net.plan(0)},
-                                threads, args.kernel),
-            args.options);
+        // The compiled stack goes behind the client API as an
+        // in-memory model; the endpoint string picks the backend,
+        // kernel variant and worker threads.
+        client::ClientOptions options;
+        options.config = config;
+        options.server = args.options;
+        options.models.push_back(
+            client::LocalModel{name, {&net.plan(0)}});
+        const auto client =
+            client::Client::connectOrDie(endpoint, options);
 
         const auto start = std::chrono::steady_clock::now();
-        std::vector<std::future<std::vector<std::int64_t>>> futures;
+        std::vector<std::future<client::InferenceResult>> futures;
         futures.reserve(inputs.size());
         for (std::size_t i = 0; i < inputs.size(); ++i) {
             std::this_thread::sleep_until(
                 start + std::chrono::duration<double>(arrival_s[i]));
-            futures.push_back(server.submit(inputs[i]));
+            client::InferenceRequest request;
+            request.model = name;
+            request.fixed.push_back(inputs[i]);
+            futures.push_back(client->submit(std::move(request)));
         }
         core::kernel::Batch outputs;
         outputs.reserve(futures.size());
-        for (auto &future : futures)
-            outputs.push_back(future.get());
+        for (auto &future : futures) {
+            client::InferenceResult result = future.get();
+            fatal_if(!result.ok(), "request failed: %s",
+                     result.status.toString().c_str());
+            outputs.push_back(std::move(result.outputs.front()));
+        }
         const double wall_s = secondsSince(start);
-        server.stop();
 
         // Bit-exactness spot check against the scalar oracle (capped:
         // the oracle is deliberately slow).
@@ -269,7 +291,9 @@ runServe(workloads::SuiteRunner &runner,
         if (!exact)
             diverged = name; // reported (and fatal) after the table
 
-        const engine::ServerStats stats = server.stats();
+        client::EndpointStats stats;
+        fatal_if(!client->stats(stats).ok(),
+                 "endpoint stats unavailable");
         table.row()
             .add(name)
             .add(stats.requests)
@@ -280,15 +304,14 @@ runServe(workloads::SuiteRunner &runner,
             .add(stats.mean_batch, 2)
             .add(static_cast<std::uint64_t>(stats.max_queue_depth))
             .add(exact ? "yes" : "NO");
+        client->close();
     }
 
-    std::cout << "Serving engine: backend '" << args.backend
-              << "', kernel '"
-              << core::kernel::kernelVariantName(args.kernel)
+    std::cout << "Serving engine: endpoint '" << endpoint
               << "', max batch " << args.options.max_batch
               << ", forming deadline "
-              << args.options.max_delay.count() << " us, " << threads
-              << " worker thread(s), open-loop arrivals\n";
+              << args.options.max_delay.count()
+              << " us, open-loop arrivals\n";
     table.print(std::cout);
     fatal_if(!diverged.empty(),
              "served output of '%s' diverged from the scalar oracle",
