@@ -18,6 +18,14 @@
  * sustain more than the serial request rate — that is the whole point
  * of the micro-batcher.
  *
+ * Part 3 — overload with and without load shedding: a batch-1 server
+ * (so capacity is pinned at the serial rate) driven at 1x and 2x
+ * capacity. Without admission control the 2x queue grows without
+ * bound and p99 blows up with it; with max_queue set the server
+ * sheds the excess and the p99 of the *accepted* requests stays
+ * within a small factor of the 1x-load p99. Both series land in the
+ * "overload" object of BENCH_serving.json.
+ *
  * Run from the build directory:
  *
  *   ./bench_throughput_batched [throughput.json [serving.json]]
@@ -72,6 +80,20 @@ struct ServePoint
     double p50_us = 0.0;
     double p99_us = 0.0;
     double mean_batch = 0.0;
+    std::size_t max_depth = 0;
+};
+
+struct OverloadPoint
+{
+    std::string label;
+    double load_factor = 0.0;
+    std::size_t max_queue = 0; ///< 0 = unbounded
+    double offered_rps = 0.0;
+    std::uint64_t accepted = 0;
+    std::uint64_t shed = 0;
+    double achieved_rps = 0.0; ///< accepted requests / wall clock
+    double p50_us = 0.0;       ///< accepted requests only
+    double p99_us = 0.0;       ///< accepted requests only
     std::size_t max_depth = 0;
 };
 
@@ -431,6 +453,148 @@ main(int argc, char **argv)
         .set("points", std::move(serving_points))
         .set("peak_served_rps", peak_served)
         .set("peak_over_serial", peak_served / serial_rps);
+    // ---- Part 3: overload with and without shedding -----------------
+
+    // A batch-1 server pins capacity at the serial single-vector rate,
+    // so "2x load" is genuine overload rather than more batching
+    // headroom. Three runs: 1x load unbounded (the reference p99), 2x
+    // load unbounded (the queue blowup), 2x load with admission
+    // control (the shed series the resilience layer exists for).
+    struct OverloadConfig
+    {
+        const char *label;
+        double load;
+        std::size_t max_queue;
+    };
+    const std::vector<OverloadConfig> overload_configs{
+        {"1x unbounded", 1.0, 0},
+        {"2x unbounded", 2.0, 0},
+        {"2x shedding", 2.0, 4},
+    };
+
+    std::vector<OverloadPoint> overload_points;
+    for (const OverloadConfig &config_point : overload_configs) {
+        engine::ServerOptions overload_options;
+        overload_options.max_batch = 1;
+        overload_options.max_delay = std::chrono::microseconds(50);
+        overload_options.max_queue = config_point.max_queue;
+        overload_options.shed_policy = engine::ShedPolicy::RejectNew;
+        engine::InferenceServer server(
+            engine::makeBackend("compiled", config, {&plan}),
+            overload_options);
+
+        const double offered_rps = config_point.load * serial_rps;
+        Rng arrival_rng(9000 +
+                        static_cast<std::uint64_t>(
+                            10 * config_point.load +
+                            config_point.max_queue));
+        const std::vector<double> arrival_s =
+            engine::openLoopArrivals(kServeRequests, offered_rps,
+                                     arrival_rng);
+
+        const auto start = std::chrono::steady_clock::now();
+        std::vector<std::future<std::vector<std::int64_t>>> futures;
+        futures.reserve(kServeRequests);
+        for (std::size_t i = 0; i < kServeRequests; ++i) {
+            std::this_thread::sleep_until(
+                start + std::chrono::duration<double>(arrival_s[i]));
+            futures.push_back(server.submit(frames[i % kFrames]));
+        }
+        std::uint64_t accepted = 0;
+        std::uint64_t shed = 0;
+        for (std::size_t i = 0; i < kServeRequests; ++i) {
+            try {
+                fatal_if(futures[i].get() != reference[i % kFrames],
+                         "overloaded request %zu diverged from the "
+                         "scalar oracle", i);
+                ++accepted;
+            } catch (const engine::ServerOverloaded &) {
+                ++shed;
+            }
+        }
+        const double wall_s = seconds(start);
+        server.stop();
+
+        const engine::ServerStats stats = server.stats();
+        fatal_if(stats.requests_shed != shed,
+                 "server counted %llu shed requests but %llu futures "
+                 "failed with ServerOverloaded",
+                 static_cast<unsigned long long>(stats.requests_shed),
+                 static_cast<unsigned long long>(shed));
+        fatal_if(config_point.max_queue == 0 && shed != 0,
+                 "unbounded server shed %llu requests",
+                 static_cast<unsigned long long>(shed));
+
+        OverloadPoint p;
+        p.label = config_point.label;
+        p.load_factor = config_point.load;
+        p.max_queue = config_point.max_queue;
+        p.offered_rps = offered_rps;
+        p.accepted = accepted;
+        p.shed = shed;
+        p.achieved_rps = static_cast<double>(accepted) / wall_s;
+        p.p50_us = stats.p50_latency_us;
+        p.p99_us = stats.p99_latency_us;
+        p.max_depth = stats.max_queue_depth;
+        overload_points.push_back(p);
+    }
+
+    TextTable overload_table({"Series", "Load", "Max queue",
+                              "Accepted", "Shed", "Achieved r/s",
+                              "p50 us", "p99 us", "Max depth"});
+    for (const OverloadPoint &p : overload_points) {
+        overload_table.row()
+            .add(p.label)
+            .add(p.load_factor, 1)
+            .add(static_cast<std::uint64_t>(p.max_queue))
+            .add(p.accepted)
+            .add(p.shed)
+            .add(p.achieved_rps, 1)
+            .add(p.p50_us, 1)
+            .add(p.p99_us, 1)
+            .add(static_cast<std::uint64_t>(p.max_depth));
+    }
+    std::cout << "\nOverload (batch-1 server, capacity = serial rate, "
+              << kServeRequests << " requests):\n";
+    overload_table.print(std::cout);
+
+    const double baseline_p99 = overload_points[0].p99_us;
+    const double blowup_p99 = overload_points[1].p99_us;
+    const double shed_p99 = overload_points[2].p99_us;
+    const double blowup_ratio =
+        baseline_p99 > 0.0 ? blowup_p99 / baseline_p99 : 0.0;
+    const double shed_ratio =
+        baseline_p99 > 0.0 ? shed_p99 / baseline_p99 : 0.0;
+    std::cout << "2x-load p99 over 1x-load p99: unbounded "
+              << blowup_ratio << "x, with shedding " << shed_ratio
+              << "x (" << overload_points[2].shed << " of "
+              << kServeRequests << " requests shed)\n";
+    if (shed_ratio > 3.0)
+        std::cout << "WARNING: accepted-request p99 under shedding "
+                     "exceeded 3x the 1x-load p99\n";
+
+    bench::Json overload_series = bench::Json::array();
+    for (const OverloadPoint &p : overload_points) {
+        bench::Json point;
+        point.set("series", p.label)
+            .set("load_factor", p.load_factor)
+            .set("max_queue", p.max_queue)
+            .set("offered_rps", p.offered_rps)
+            .set("accepted", p.accepted)
+            .set("shed", p.shed)
+            .set("achieved_rps", p.achieved_rps)
+            .set("p50_latency_us", p.p50_us)
+            .set("p99_latency_us", p.p99_us)
+            .set("max_queue_depth", p.max_depth);
+        overload_series.push(std::move(point));
+    }
+    bench::Json overload_json;
+    overload_json.set("max_batch", std::uint64_t{1})
+        .set("shed_policy", "reject_new")
+        .set("points", std::move(overload_series))
+        .set("p99_blowup_unbounded", blowup_ratio)
+        .set("p99_ratio_with_shedding", shed_ratio);
+    serving_json.set("overload", std::move(overload_json));
     bench::writeBenchJson(serving_path, serving_json);
     return 0;
 }

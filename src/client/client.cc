@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <limits>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <sstream>
+#include <thread>
 
 #include "common/logging.hh"
 #include "core/kernel/variant.hh"
@@ -24,15 +27,6 @@ struct FrameResult
     std::vector<std::int64_t> output;
 };
 
-/** An already-resolved FrameResult future (validation failures). */
-std::future<FrameResult>
-readyFrame(Status status)
-{
-    std::promise<FrameResult> promise;
-    promise.set_value({std::move(status), {}});
-    return promise.get_future();
-}
-
 /** Map the engine's future exceptions onto the Status taxonomy. */
 Status
 statusFromException(std::exception_ptr exception)
@@ -44,12 +38,109 @@ statusFromException(std::exception_ptr exception)
                              error.what());
     } catch (const engine::ServerStopped &error) {
         return Status::error(StatusCode::Unavailable, error.what());
+    } catch (const engine::ServerOverloaded &error) {
+        // Admission control shed the request: the server is healthy
+        // but saturated — the canonical retry-after-backoff signal.
+        return Status::error(StatusCode::Unavailable, error.what());
     } catch (const std::invalid_argument &error) {
         return Status::error(StatusCode::InvalidArgument,
                              error.what());
     } catch (const std::exception &error) {
         return Status::error(StatusCode::Internal, error.what());
     }
+}
+
+/**
+ * A no-throw frame future supporting deadline-bounded waits (which
+ * std::async's deferred futures cannot: wait_until() on them returns
+ * without running the task). Wraps either an immediately-known
+ * result or a promise-backed future plus a mapper onto FrameResult;
+ * the mapping runs on the waiter's thread at take() time.
+ */
+class FrameFuture
+{
+  public:
+    FrameFuture() = default;
+
+    /** An already-resolved frame (validation failures). */
+    static FrameFuture
+    ready(Status status)
+    {
+        FrameFuture f;
+        f.immediate_ = FrameResult{std::move(status), {}};
+        return f;
+    }
+
+    /** Wrap an engine future (reports failure by throwing on get). */
+    static FrameFuture
+    ofEngine(std::future<std::vector<std::int64_t>> future)
+    {
+        auto shared = std::make_shared<
+            std::future<std::vector<std::int64_t>>>(
+            std::move(future));
+        FrameFuture f;
+        f.wait_until_ = [shared](
+                            std::chrono::steady_clock::time_point t) {
+            return shared->wait_until(t) ==
+                std::future_status::ready;
+        };
+        f.take_ = [shared]() -> FrameResult {
+            try {
+                return {Status::success(), shared->get()};
+            } catch (...) {
+                return {statusFromException(std::current_exception()),
+                        {}};
+            }
+        };
+        return f;
+    }
+
+    /** Wrap a wire InferResponse future (no-throw value). */
+    static FrameFuture
+    ofWire(std::future<serve::wire::InferResponse> future);
+
+    /**
+     * Block until resolved or @p deadline (max() = forever); false
+     * on timeout — the frame stays in flight and take() may still be
+     * called later.
+     */
+    bool
+    waitUntil(std::chrono::steady_clock::time_point deadline) const
+    {
+        if (immediate_ || !wait_until_)
+            return true;
+        if (deadline ==
+            std::chrono::steady_clock::time_point::max()) {
+            // wait_until(max()) overflows some libstdc++ clocks;
+            // waiting on a year keeps "forever" finite and safe.
+            deadline = std::chrono::steady_clock::now() +
+                std::chrono::hours(24 * 365);
+        }
+        return wait_until_(deadline);
+    }
+
+    /** The frame's outcome; blocks until resolved. */
+    FrameResult
+    take()
+    {
+        if (immediate_)
+            return std::move(*immediate_);
+        waitUntil(std::chrono::steady_clock::time_point::max());
+        return take_();
+    }
+
+  private:
+    std::optional<FrameResult> immediate_;
+    std::function<bool(std::chrono::steady_clock::time_point)>
+        wait_until_;
+    std::function<FrameResult()> take_;
+};
+
+/** An already-resolved FrameFuture (validation failures). */
+FrameFuture
+readyFrame(Status status)
+{
+    return FrameFuture::ready(std::move(status));
 }
 
 /** Map a wire error code (+ message) onto the Status taxonomy. */
@@ -92,22 +183,23 @@ statusFromDirectoryError(serve::ServingDirectory::LookupStatus status,
     return Status::error(code, std::move(error));
 }
 
-/** Wrap an engine future (which reports failures by throwing on
- *  get()) into a no-throw FrameResult future. Deferred: the mapping
- *  runs on the waiter's thread at get() time. */
-std::future<FrameResult>
-adaptEngineFuture(std::future<std::vector<std::int64_t>> future)
+FrameFuture
+FrameFuture::ofWire(std::future<serve::wire::InferResponse> future)
 {
-    return std::async(
-        std::launch::deferred,
-        [future = std::move(future)]() mutable -> FrameResult {
-            try {
-                return {Status::success(), future.get()};
-            } catch (...) {
-                return {statusFromException(std::current_exception()),
-                        {}};
-            }
-        });
+    auto shared = std::make_shared<
+        std::future<serve::wire::InferResponse>>(std::move(future));
+    FrameFuture f;
+    f.wait_until_ = [shared](
+                        std::chrono::steady_clock::time_point t) {
+        return shared->wait_until(t) == std::future_status::ready;
+    };
+    f.take_ = [shared]() -> FrameResult {
+        serve::wire::InferResponse r = shared->get();
+        if (!r.ok)
+            return {statusFromWire(r.code, std::move(r.error)), {}};
+        return {Status::success(), std::move(r.output)};
+    };
+    return f;
 }
 
 /** Clamp a request deadline into the wire's u32 microsecond field. */
@@ -204,14 +296,17 @@ class InProcessSession final : public SessionImpl
 };
 
 /** A session proxying wire Session frames (the state lives in the
- *  daemon). */
+ *  daemon). Pins its connection by shared_ptr: a transport that
+ *  reconnects meanwhile does not pull this session's socket (and the
+ *  recurrent state only the daemon end of it knows) out from under
+ *  it. */
 class TcpSession final : public SessionImpl
 {
   public:
-    TcpSession(serve::TcpClient &client, std::uint64_t session_id,
-               std::string model, std::size_t input_size,
-               std::size_t hidden_size)
-        : client_(client), session_id_(session_id),
+    TcpSession(std::shared_ptr<serve::TcpClient> client,
+               std::uint64_t session_id, std::string model,
+               std::size_t input_size, std::size_t hidden_size)
+        : client_(std::move(client)), session_id_(session_id),
           model_(std::move(model)), input_size_(input_size),
           hidden_size_(hidden_size)
     {}
@@ -228,9 +323,9 @@ class TcpSession final : public SessionImpl
                     {}};
         serve::wire::SessionState state =
             client_
-                .submitStep(session_id_,
-                            std::vector<float>(x.begin(), x.end()),
-                            priority, wireDeadlineUs(deadline))
+                ->submitStep(session_id_,
+                             std::vector<float>(x.begin(), x.end()),
+                             priority, wireDeadlineUs(deadline))
                 .get();
         if (!state.ok)
             return {statusFromWire(state.code,
@@ -247,7 +342,7 @@ class TcpSession final : public SessionImpl
         if (closed_)
             return;
         closed_ = true;
-        client_.closeSession(session_id_);
+        client_->closeSession(session_id_);
     }
 
     std::size_t inputSize() const override { return input_size_; }
@@ -256,7 +351,7 @@ class TcpSession final : public SessionImpl
     std::uint64_t steps() const override { return steps_; }
 
   private:
-    serve::TcpClient &client_;
+    std::shared_ptr<serve::TcpClient> client_;
     std::uint64_t session_id_;
     std::string model_;
     std::size_t input_size_;
@@ -275,7 +370,7 @@ class Transport
 
     virtual Status info(const std::string &model,
                         std::uint32_t version, ModelInfo &out) = 0;
-    virtual std::future<FrameResult>
+    virtual FrameFuture
     submitFrame(const std::string &model, std::uint32_t version,
                 std::vector<std::int64_t> frame, std::int32_t priority,
                 std::chrono::microseconds deadline) = 0;
@@ -328,7 +423,7 @@ class LocalTransport final : public Transport
         return status;
     }
 
-    std::future<FrameResult>
+    FrameFuture
     submitFrame(const std::string &model, std::uint32_t version,
                 std::vector<std::int64_t> frame, std::int32_t priority,
                 std::chrono::microseconds deadline) override
@@ -347,7 +442,7 @@ class LocalTransport final : public Transport
         engine::SubmitOptions submit;
         submit.priority = priority;
         submit.deadline = deadline;
-        return adaptEngineFuture(
+        return FrameFuture::ofEngine(
             entry->server->submit(std::move(frame), submit));
     }
 
@@ -400,6 +495,7 @@ class LocalTransport final : public Transport
             const engine::ServerStats stats = entry.server->stats();
             out.requests += stats.requests;
             out.dropped_deadline += stats.dropped_deadline;
+            out.requests_shed += stats.requests_shed;
             // Request-weighted latency/batch aggregation.
             out.mean_batch += stats.mean_batch *
                 static_cast<double>(stats.requests);
@@ -411,7 +507,8 @@ class LocalTransport final : public Transport
                 std::max(out.max_queue_depth, stats.max_queue_depth);
             json << (first ? "" : ",") << "{\"model\":\""
                  << entry.info.model << "\",\"requests\":"
-                 << stats.requests << ",\"mean_batch\":"
+                 << stats.requests << ",\"requests_shed\":"
+                 << stats.requests_shed << ",\"mean_batch\":"
                  << stats.mean_batch << ",\"p50_latency_us\":"
                  << stats.p50_latency_us << ",\"p99_latency_us\":"
                  << stats.p99_latency_us << "}";
@@ -616,7 +713,7 @@ class ClusterTransport final : public Transport
         return Status::success();
     }
 
-    std::future<FrameResult>
+    FrameFuture
     submitFrame(const std::string &model, std::uint32_t version,
                 std::vector<std::int64_t> frame, std::int32_t priority,
                 std::chrono::microseconds deadline) override
@@ -644,7 +741,7 @@ class ClusterTransport final : public Transport
         engine::SubmitOptions submit;
         submit.priority = priority;
         submit.deadline = deadline;
-        return adaptEngineFuture(
+        return FrameFuture::ofEngine(
             cluster->submit(std::move(frame), submit));
     }
 
@@ -697,6 +794,7 @@ class ClusterTransport final : public Transport
             const serve::ClusterStats &stats = snapshot.stats;
             out.requests += stats.requests;
             out.dropped_deadline += stats.dropped_deadline;
+            out.requests_shed += stats.requests_shed;
             out.mean_batch += stats.mean_batch *
                 static_cast<double>(stats.requests);
             out.p50_latency_us += stats.p50_latency_us *
@@ -756,7 +854,10 @@ class ClusterTransport final : public Transport
 // -------------------------------------------------------- TcpTransport
 
 /** `tcp://` — a remote eie_serve daemon over the async wire client;
- *  responses correlate by id, failures arrive as wire error codes. */
+ *  responses correlate by id, failures arrive as wire error codes.
+ *  A lost connection is re-dialed (with a fresh wire-v2 handshake)
+ *  on the next call, so a bounced daemon costs the in-flight
+ *  requests, not the client object. */
 class TcpTransport final : public Transport
 {
   public:
@@ -783,9 +884,14 @@ class TcpTransport final : public Transport
     info(const std::string &model, std::uint32_t version,
          ModelInfo &out) override
     {
+        Status status;
+        const std::shared_ptr<serve::TcpClient> client =
+            ensureClient(status);
+        if (!client)
+            return status;
         try {
             const serve::wire::InfoResponse response =
-                client_.info(model, version);
+                client->info(model, version);
             if (!response.ok)
                 // The daemon's only info failure is a missing model.
                 return Status::error(StatusCode::NotFound,
@@ -803,41 +909,39 @@ class TcpTransport final : public Transport
         }
     }
 
-    std::future<FrameResult>
+    FrameFuture
     submitFrame(const std::string &model, std::uint32_t version,
                 std::vector<std::int64_t> frame, std::int32_t priority,
                 std::chrono::microseconds deadline) override
     {
-        std::future<serve::wire::InferResponse> response =
-            client_.submitInfer(model, version, std::move(frame),
-                                priority, wireDeadlineUs(deadline));
-        return std::async(
-            std::launch::deferred,
-            [response = std::move(response)]() mutable
-            -> FrameResult {
-                serve::wire::InferResponse r = response.get();
-                if (!r.ok)
-                    return {statusFromWire(r.code,
-                                           std::move(r.error)),
-                            {}};
-                return {Status::success(), std::move(r.output)};
-            });
+        Status status;
+        const std::shared_ptr<serve::TcpClient> client =
+            ensureClient(status);
+        if (!client)
+            return readyFrame(std::move(status));
+        return FrameFuture::ofWire(
+            client->submitInfer(model, version, std::move(frame),
+                                priority, wireDeadlineUs(deadline)));
     }
 
     std::unique_ptr<SessionImpl>
     openSession(const std::string &model, std::uint32_t version,
                 Status &status) override
     {
-        const std::uint64_t session_id = client_.nextSessionId();
+        const std::shared_ptr<serve::TcpClient> client =
+            ensureClient(status);
+        if (!client)
+            return nullptr;
+        const std::uint64_t session_id = client->nextSessionId();
         const serve::wire::SessionAck ack =
-            client_.openSession(session_id, model, version).get();
+            client->openSession(session_id, model, version).get();
         if (!ack.ok) {
             status = statusFromWire(ack.code, ack.error);
             return nullptr;
         }
         status = Status::success();
         return std::make_unique<TcpSession>(
-            client_, session_id, model,
+            client, session_id, model,
             static_cast<std::size_t>(ack.input_size),
             static_cast<std::size_t>(ack.hidden_size));
     }
@@ -845,9 +949,14 @@ class TcpTransport final : public Transport
     Status
     stats(EndpointStats &out) override
     {
+        Status status;
+        const std::shared_ptr<serve::TcpClient> client =
+            ensureClient(status);
+        if (!client)
+            return status;
         try {
             out = EndpointStats{};
-            out.json = client_.stats();
+            out.json = client->stats();
             return Status::success();
         } catch (const serve::wire::WireError &error) {
             return Status::error(StatusCode::Unavailable,
@@ -855,14 +964,66 @@ class TcpTransport final : public Transport
         }
     }
 
-    void close() override { client_.close(); }
+    void
+    close() override
+    {
+        std::shared_ptr<serve::TcpClient> client;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+            client = client_;
+        }
+        if (client)
+            client->close();
+    }
 
   private:
-    TcpTransport(const std::string &host, std::uint16_t port)
-        : client_(host, port)
+    TcpTransport(std::string host, std::uint16_t port)
+        : host_(std::move(host)), port_(port),
+          client_(std::make_shared<serve::TcpClient>(host_, port_))
     {}
 
-    serve::TcpClient client_;
+    /**
+     * The live connection, re-dialing (full wire handshake) when the
+     * previous one died. Sessions opened on the old connection keep
+     * their own shared_ptr; their server-side state died with the
+     * daemon, so their steps report Unavailable — reconnection is
+     * for stateless requests.
+     */
+    std::shared_ptr<serve::TcpClient>
+    ensureClient(Status &status)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_) {
+            status = Status::error(StatusCode::Unavailable,
+                                   "client endpoint is closed");
+            return nullptr;
+        }
+        if (client_ && client_->connected()) {
+            status = Status::success();
+            return client_;
+        }
+        try {
+            client_ =
+                std::make_shared<serve::TcpClient>(host_, port_);
+            status = Status::success();
+            return client_;
+        } catch (const serve::wire::WireError &error) {
+            status = Status::error(StatusCode::ProtocolError,
+                                   error.what());
+        } catch (const std::exception &error) {
+            status = Status::error(StatusCode::TransportError,
+                                   error.what());
+        }
+        return nullptr;
+    }
+
+    std::string host_;
+    std::uint16_t port_;
+
+    std::mutex mutex_;
+    bool closed_ = false;
+    std::shared_ptr<serve::TcpClient> client_;
 };
 
 } // namespace detail
@@ -915,10 +1076,11 @@ Session::close()
 // --------------------------------------------------------------- Client
 
 Client::Client(std::string endpoint, TransportKind kind,
-               const core::EieConfig &config,
+               const ClientOptions &options,
                std::unique_ptr<detail::Transport> transport)
     : endpoint_(std::move(endpoint)), kind_(kind),
-      functional_(config), transport_(std::move(transport))
+      functional_(options.config), retry_(options.retry),
+      transport_(std::move(transport))
 {}
 
 Client::~Client()
@@ -953,7 +1115,7 @@ Client::connect(const std::string &endpoint,
     }
     status = Status::success();
     return std::unique_ptr<Client>(
-        new Client(endpoint, parsed.kind, options.config,
+        new Client(endpoint, parsed.kind, options,
                    std::move(transport)));
 }
 
@@ -1001,27 +1163,74 @@ Client::submit(InferenceRequest request)
         frames = std::move(request.fixed);
     }
 
-    std::vector<std::future<detail::FrameResult>> futures;
+    // Retry needs the frame bytes back for re-submission, so only
+    // then do the initial submissions keep a copy.
+    const bool retry_enabled =
+        request.idempotent && retry_.max_attempts > 1;
+    const auto overall_deadline = retry_.timeout.count() > 0
+        ? std::chrono::steady_clock::now() + retry_.timeout
+        : std::chrono::steady_clock::time_point::max();
+
+    std::vector<detail::FrameFuture> futures;
     futures.reserve(frames.size());
-    for (std::vector<std::int64_t> &frame : frames)
+    for (std::vector<std::int64_t> &frame : frames) {
+        std::vector<std::int64_t> submitted =
+            retry_enabled ? frame : std::move(frame);
         futures.push_back(transport_->submitFrame(
-            request.model, request.version, std::move(frame),
+            request.model, request.version, std::move(submitted),
             request.priority, request.deadline));
+    }
 
     // Deferred gather: waiting happens on the caller's get(). The
     // lambda owns everything it touches (FunctionalModel copies
-    // share the configuration only), so the future stays valid even
-    // past the Client's destruction — transports guarantee every
-    // frame future resolves when they shut down.
+    // share the configuration only, and the transport is co-owned
+    // by shared_ptr), so the future stays valid even past the
+    // Client's destruction — transports guarantee every frame
+    // future resolves when they shut down.
     return std::async(
         std::launch::deferred,
         [functional = functional_, use_floats,
-         futures = std::move(futures)]() mutable {
+         futures = std::move(futures), frames = std::move(frames),
+         transport = transport_, policy = retry_, retry_enabled,
+         overall_deadline, model = std::move(request.model),
+         version = request.version, priority = request.priority,
+         deadline = request.deadline]() mutable {
+            // One frame's outcome after waiting, including any
+            // retry attempts. The overall timeout bounds waits and
+            // backoffs across all attempts; on its expiry the frame
+            // stays in flight server-side, but this caller stops
+            // waiting for it.
+            const auto resolve =
+                [&](detail::FrameFuture &future,
+                    std::size_t index) -> detail::FrameResult {
+                for (unsigned attempt = 0;; ++attempt) {
+                    if (!future.waitUntil(overall_deadline))
+                        return {Status::error(
+                                    StatusCode::DeadlineExpired,
+                                    "client-side request timeout"),
+                                {}};
+                    detail::FrameResult frame = future.take();
+                    if (!retry_enabled ||
+                        !retryableStatus(frame.status.code) ||
+                        attempt + 1 >= policy.max_attempts)
+                        return frame;
+                    const auto resume =
+                        std::chrono::steady_clock::now() +
+                        retryBackoff(policy, attempt);
+                    if (resume >= overall_deadline)
+                        return frame; // no budget for another try
+                    std::this_thread::sleep_until(resume);
+                    future = transport->submitFrame(
+                        model, version, frames[index], priority,
+                        deadline);
+                }
+            };
+
             InferenceResult result;
             result.frame_status.reserve(futures.size());
             result.outputs.reserve(futures.size());
-            for (std::future<detail::FrameResult> &future : futures) {
-                detail::FrameResult frame = future.get();
+            for (std::size_t i = 0; i < futures.size(); ++i) {
+                detail::FrameResult frame = resolve(futures[i], i);
                 if (!frame.status.ok() && result.status.ok())
                     result.status = frame.status;
                 if (use_floats)

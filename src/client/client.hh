@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "client/endpoint.hh"
+#include "client/retry.hh"
 #include "client/status.hh"
 #include "core/config.hh"
 #include "core/functional.hh"
@@ -88,6 +89,12 @@ struct InferenceRequest
 
     /** Time budget per frame from submission; zero = none. */
     std::chrono::microseconds deadline{0};
+
+    /** Whether re-submitting this request is safe. Inference is
+     *  naturally idempotent, so this defaults true; clear it for
+     *  requests with side effects the caller tracks externally —
+     *  ClientOptions::retry only ever retries idempotent requests. */
+    bool idempotent = true;
 };
 
 /** The response half: per-frame outputs plus the uniform Status. */
@@ -127,6 +134,7 @@ struct EndpointStats
 {
     std::uint64_t requests = 0;
     std::uint64_t dropped_deadline = 0;
+    std::uint64_t requests_shed = 0; ///< rejected by admission control
     double mean_batch = 0.0;
     double p50_latency_us = 0.0;
     double p99_latency_us = 0.0;
@@ -169,6 +177,10 @@ struct ClientOptions
     /** In-memory models for `local:` endpoints (looked up before the
      *  registry directory). */
     std::vector<LocalModel> models;
+
+    /** Retry/backoff/timeout policy applied to every idempotent
+     *  request (see client/retry.hh). The default retries nothing. */
+    RetryPolicy retry;
 };
 
 /**
@@ -299,13 +311,16 @@ class Client
 
   private:
     Client(std::string endpoint, TransportKind kind,
-           const core::EieConfig &config,
+           const ClientOptions &options,
            std::unique_ptr<detail::Transport> transport);
 
     std::string endpoint_;
     TransportKind kind_;
     core::FunctionalModel functional_; ///< float <-> raw conversions
-    std::unique_ptr<detail::Transport> transport_;
+    RetryPolicy retry_;
+    /** Shared: the deferred futures submit() hands out co-own the
+     *  transport so retries work even past the Client's lifetime. */
+    std::shared_ptr<detail::Transport> transport_;
 };
 
 } // namespace eie::client

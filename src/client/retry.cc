@@ -1,0 +1,45 @@
+#include "client/retry.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eie::client {
+
+std::chrono::microseconds
+retryBackoff(const RetryPolicy &policy, unsigned attempt)
+{
+    double nominal =
+        static_cast<double>(policy.initial_backoff.count()) *
+        std::pow(std::max(policy.multiplier, 1.0),
+                 static_cast<double>(attempt));
+    nominal = std::min(
+        nominal, static_cast<double>(policy.max_backoff.count()));
+
+    // Per-attempt jitter from a splitmix-style hash of (seed,
+    // attempt): stateless, so backoff(policy, k) never depends on
+    // which attempts were computed before it.
+    std::uint64_t z = policy.jitter_seed +
+        (attempt + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const double unit =
+        static_cast<double>(z >> 11) / 9007199254740992.0; // [0, 1)
+    const double jittered = nominal * (0.5 + 0.5 * unit);
+    return std::chrono::microseconds(
+        static_cast<std::int64_t>(jittered));
+}
+
+bool
+retryableStatus(StatusCode code)
+{
+    // Unavailable: the server shed, stopped or dropped us — it said
+    // "not now", not "never". TransportError: the connection died;
+    // the transport reconnects on the next submit. Everything else
+    // (bad request, missing model, expired deadline, internal error)
+    // would fail identically on a retry.
+    return code == StatusCode::Unavailable ||
+        code == StatusCode::TransportError;
+}
+
+} // namespace eie::client

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Client-side retry policy: bounded re-submission of idempotent
+ * requests that failed with a transient status (Unavailable — a shed
+ * or stopped server — or TransportError — a dead connection), with
+ * exponential backoff and deterministic jitter so tests replay the
+ * exact schedule. A per-request wall-clock timeout bounds the total
+ * wait across all attempts.
+ *
+ * The backoff schedule is a pure function of (policy, attempt): no
+ * global RNG, no clock reads. Jitter decorrelates a thundering herd
+ * of clients that all saw the same shed — give each client its own
+ * jitter_seed — while keeping any one client reproducible.
+ */
+
+#ifndef EIE_CLIENT_RETRY_HH
+#define EIE_CLIENT_RETRY_HH
+
+#include <chrono>
+#include <cstdint>
+
+#include "client/status.hh"
+
+namespace eie::client {
+
+/** When and how often a Client re-submits a failed frame. */
+struct RetryPolicy
+{
+    /** Total tries including the first; 1 (the default) disables
+     *  retry entirely. */
+    unsigned max_attempts = 1;
+
+    /** Backoff before the first retry; attempt k waits
+     *  initial_backoff * multiplier^k, capped at max_backoff, scaled
+     *  by the jitter factor. */
+    std::chrono::microseconds initial_backoff{1000};
+    double multiplier = 2.0;
+    std::chrono::microseconds max_backoff{100000};
+
+    /** Seed of the deterministic jitter stream; each attempt's wait
+     *  is scaled into [1/2, 1] of its nominal backoff. */
+    std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+
+    /** Wall-clock budget per request across all attempts (waiting
+     *  and backing off); expiry yields DeadlineExpired. 0 = none. */
+    std::chrono::microseconds timeout{0};
+};
+
+/**
+ * The wait before retry number @p attempt (0-based: attempt 0 is the
+ * wait between the first try and the second). Deterministic.
+ */
+std::chrono::microseconds retryBackoff(const RetryPolicy &policy,
+                                       unsigned attempt);
+
+/** Whether @p code marks a transient failure worth retrying. */
+bool retryableStatus(StatusCode code);
+
+} // namespace eie::client
+
+#endif // EIE_CLIENT_RETRY_HH

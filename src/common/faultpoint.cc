@@ -1,0 +1,103 @@
+#include "common/faultpoint.hh"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace eie::fault {
+
+namespace {
+
+struct Armed
+{
+    FaultSpec spec;
+    std::uint64_t hits = 0;
+};
+
+/**
+ * How many points are currently armed. The fast path in fire() reads
+ * only this; the registry below is touched solely while it is
+ * non-zero, so disarmed fault points stay off the serving hot path.
+ */
+std::atomic<std::uint64_t> armed_points{0};
+
+std::mutex &
+registryMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::map<std::string, Armed> &
+registry()
+{
+    static std::map<std::string, Armed> points;
+    return points;
+}
+
+} // namespace
+
+bool
+fire(const char *point, std::string_view detail)
+{
+    if (armed_points.load(std::memory_order_relaxed) == 0)
+        return false;
+
+    std::lock_guard lock(registryMutex());
+    auto it = registry().find(point);
+    if (it == registry().end())
+        return false;
+
+    Armed &armed = it->second;
+    if (!armed.spec.match.empty() &&
+        detail.find(armed.spec.match) == std::string_view::npos)
+        return false;
+
+    if (armed.spec.skip > 0) {
+        --armed.spec.skip;
+        return false;
+    }
+    if (armed.spec.count == 0)
+        return false;
+    --armed.spec.count;
+    ++armed.hits;
+    return true;
+}
+
+void
+arm(const std::string &point, FaultSpec spec)
+{
+    std::lock_guard lock(registryMutex());
+    auto [it, inserted] = registry().insert_or_assign(
+        point, Armed{std::move(spec), 0});
+    (void)it;
+    if (inserted)
+        armed_points.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+disarm(const std::string &point)
+{
+    std::lock_guard lock(registryMutex());
+    if (registry().erase(point) > 0)
+        armed_points.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+disarmAll()
+{
+    std::lock_guard lock(registryMutex());
+    armed_points.fetch_sub(registry().size(),
+                           std::memory_order_relaxed);
+    registry().clear();
+}
+
+std::uint64_t
+hits(const std::string &point)
+{
+    std::lock_guard lock(registryMutex());
+    auto it = registry().find(point);
+    return it == registry().end() ? 0 : it->second.hits;
+}
+
+} // namespace eie::fault

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic fault-injection points for resilience testing.
+ *
+ * A fault point is a named site in production code — e.g.
+ * "tcp.drop_after_write" or "shard.submit_fail" — that asks the
+ * harness whether an injected fault should trigger right now:
+ *
+ *     if (fault::fire("shard.submit_fail", shard_tag))
+ *         throw std::runtime_error("injected fault: shard.submit_fail");
+ *
+ * Points are compiled in everywhere but cost a single relaxed atomic
+ * load while nothing is armed, so they are safe to leave in hot
+ * serving paths. Tests (and only tests) arm them:
+ *
+ *     fault::arm("shard.submit_fail", {.skip = 2, .count = 1,
+ *                                      .match = "shard0"});
+ *
+ * fires exactly once, on the third call whose detail string contains
+ * "shard0". Everything is deterministic: no randomness, no timers —
+ * the same test sequence trips the same faults every run.
+ *
+ * Registered points:
+ *   tcp.drop_after_write   server drops the connection after a reply
+ *   shard.submit_fail      a shard's submit path throws
+ *   registry.truncate_read model file bytes truncated after read
+ *   batcher.stall          batcher thread sleeps before running a batch
+ */
+
+#ifndef EIE_COMMON_FAULTPOINT_HH
+#define EIE_COMMON_FAULTPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace eie::fault {
+
+/** What to inject at a fault point once armed. */
+struct FaultSpec
+{
+    /** Number of matching calls to let through before firing. */
+    std::uint64_t skip = 0;
+    /** Number of matching calls to fire on after the skips. */
+    std::uint64_t count = UINT64_MAX;
+    /**
+     * Only fire when the call site's detail string contains this
+     * substring (empty matches everything). Lets one armed point
+     * target e.g. a single shard out of many.
+     */
+    std::string match;
+};
+
+/**
+ * Should the named fault point trigger on this call?
+ *
+ * Near-free while nothing is armed (one relaxed atomic load). The
+ * call is counted against the armed spec's skip/count budget only
+ * when @p detail matches.
+ *
+ * @param point  fault point name, e.g. "tcp.drop_after_write"
+ * @param detail call-site context matched against FaultSpec::match
+ * @return true if the caller should inject its fault now
+ */
+bool fire(const char *point, std::string_view detail = {});
+
+/** Arm @p point with @p spec, replacing any previous arming. */
+void arm(const std::string &point, FaultSpec spec = {});
+
+/** Disarm @p point; calls to fire() become free again. */
+void disarm(const std::string &point);
+
+/** Disarm every point (test teardown). */
+void disarmAll();
+
+/** @return how many times @p point has fired since it was armed. */
+std::uint64_t hits(const std::string &point);
+
+} // namespace eie::fault
+
+#endif // EIE_COMMON_FAULTPOINT_HH

@@ -1,9 +1,12 @@
 #include "compress/model_file.hh"
 
+#include <cstdarg>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
 #include "common/bitstream.hh"
+#include "common/faultpoint.hh"
 #include "compress/huffman.hh"
 
 namespace eie::compress {
@@ -12,6 +15,25 @@ namespace {
 
 constexpr char magic[4] = {'E', 'I', 'E', 'M'};
 constexpr std::uint32_t version = 1;
+
+/** Throw ModelFileError with a printf-formatted message. */
+[[gnu::format(printf, 1, 2)]] [[noreturn]] void
+corrupt(const char *fmt, ...)
+{
+    char buf[512];
+    std::va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    throw ModelFileError(buf);
+}
+
+/** corrupt() unless the condition holds. */
+#define corrupt_if(cond, ...) \
+    do { \
+        if (cond) \
+            corrupt(__VA_ARGS__); \
+    } while (0)
 
 /** FNV-1a over a byte range. */
 std::uint64_t
@@ -61,9 +83,10 @@ class ByteReader
     void
     raw(void *out, std::size_t size)
     {
-        fatal_if(pos_ + size > bytes_.size(),
-                 "model file truncated at offset %zu", pos_);
-        std::memcpy(out, bytes_.data() + pos_, size);
+        corrupt_if(size > bytes_.size() - pos_,
+                   "model file truncated at offset %zu", pos_);
+        if (size != 0) // empty vectors hand us a null destination
+            std::memcpy(out, bytes_.data() + pos_, size);
         pos_ += size;
     }
 
@@ -173,36 +196,36 @@ serializeModel(const InterleavedCsc &model)
 InterleavedCsc
 deserializeModel(std::span<const std::uint8_t> bytes)
 {
-    fatal_if(bytes.size() < sizeof(magic) + 8,
-             "model buffer too small (%zu bytes)", bytes.size());
+    corrupt_if(bytes.size() < sizeof(magic) + 8,
+               "model buffer too small (%zu bytes)", bytes.size());
 
     // Verify the trailing checksum first.
     const std::size_t payload_size = bytes.size() - 8;
     std::uint64_t stored_checksum;
     std::memcpy(&stored_checksum, bytes.data() + payload_size, 8);
-    fatal_if(fnv1a(bytes.subspan(0, payload_size)) != stored_checksum,
-             "model file checksum mismatch (corrupted file?)");
+    corrupt_if(fnv1a(bytes.subspan(0, payload_size)) != stored_checksum,
+               "model file checksum mismatch (corrupted file?)");
 
     ByteReader reader(bytes.subspan(0, payload_size));
     char file_magic[4];
     reader.raw(file_magic, sizeof(file_magic));
-    fatal_if(std::memcmp(file_magic, magic, sizeof(magic)) != 0,
-             "not an EIEM model file");
+    corrupt_if(std::memcmp(file_magic, magic, sizeof(magic)) != 0,
+               "not an EIEM model file");
     const auto file_version = reader.scalar<std::uint32_t>();
-    fatal_if(file_version != version, "unsupported model version %u",
-             file_version);
+    corrupt_if(file_version != version, "unsupported model version %u",
+               file_version);
 
     const auto rows = reader.scalar<std::uint64_t>();
     const auto cols = reader.scalar<std::uint64_t>();
     InterleaveOptions opts;
     opts.n_pe = reader.scalar<std::uint32_t>();
     opts.index_bits = reader.scalar<std::uint32_t>();
-    fatal_if(opts.n_pe == 0 || opts.n_pe > 65536,
-             "implausible PE count %u", opts.n_pe);
+    corrupt_if(opts.n_pe == 0 || opts.n_pe > 65536,
+               "implausible PE count %u", opts.n_pe);
 
     const auto cb_size = reader.scalar<std::uint32_t>();
-    fatal_if(cb_size == 0 || cb_size > 16, "implausible codebook size "
-             "%u", cb_size);
+    corrupt_if(cb_size == 0 || cb_size > 16,
+               "implausible codebook size %u", cb_size);
     std::vector<float> values(cb_size);
     for (auto &v : values)
         v = reader.scalar<float>();
@@ -246,13 +269,16 @@ InterleavedCsc
 loadModelFile(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary | std::ios::ate);
-    fatal_if(!in, "cannot open '%s' for reading", path.c_str());
+    corrupt_if(!in, "cannot open '%s' for reading", path.c_str());
     const auto size = static_cast<std::size_t>(in.tellg());
     in.seekg(0);
     std::vector<std::uint8_t> bytes(size);
     in.read(reinterpret_cast<char *>(bytes.data()),
             static_cast<std::streamsize>(size));
-    fatal_if(!in, "failed reading '%s'", path.c_str());
+    corrupt_if(!in, "failed reading '%s'", path.c_str());
+    if (fault::fire("registry.truncate_read", path) &&
+        bytes.size() > 8)
+        bytes.resize(bytes.size() / 2);
     return deserializeModel(bytes);
 }
 

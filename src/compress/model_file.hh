@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -31,16 +32,30 @@
 
 namespace eie::compress {
 
+/**
+ * A model file or buffer that cannot be parsed: missing, truncated,
+ * bad magic/version/checksum, or implausible structure. Thrown (not
+ * fatal) so a serving process survives one bad `.eiem` under its
+ * registry directory — callers map it to a typed per-request status.
+ */
+class ModelFileError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
 /** Serialise an encoded layer to the EIEM byte format. */
 std::vector<std::uint8_t> serializeModel(const InterleavedCsc &model);
 
-/** Parse an EIEM byte buffer (fatal on corruption). */
+/** Parse an EIEM byte buffer; throws ModelFileError on corruption. */
 InterleavedCsc deserializeModel(std::span<const std::uint8_t> bytes);
 
-/** Write @p model to @p path. */
+/** Write @p model to @p path (fatal on I/O failure: the writer owns
+ *  the destination, so failing to write it is an operator error). */
 void saveModelFile(const std::string &path, const InterleavedCsc &model);
 
-/** Read a model from @p path. */
+/** Read a model from @p path; throws ModelFileError when the file is
+ *  missing, unreadable or corrupt. */
 InterleavedCsc loadModelFile(const std::string &path);
 
 } // namespace eie::compress

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/faultpoint.hh"
 #include "common/logging.hh"
 
 namespace eie::engine {
@@ -19,6 +20,12 @@ const char *
 ServerStopped::what() const noexcept
 {
     return "request submitted to a stopped InferenceServer";
+}
+
+const char *
+ServerOverloaded::what() const noexcept
+{
+    return "request shed: server queue is full";
 }
 
 std::vector<double>
@@ -163,6 +170,15 @@ InferenceServer::submit(std::vector<std::int64_t> input_raw,
     std::future<std::vector<std::int64_t>> future =
         pending.promise.get_future();
 
+    if (fault::fire("shard.submit_fail", options_.fault_tag)) {
+        pending.promise.set_exception(std::make_exception_ptr(
+            std::runtime_error("injected fault: shard.submit_fail")));
+        return future;
+    }
+
+    bool shed_newcomer = false;
+    detail::Pending evicted;
+    bool have_evicted = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (stopping_) {
@@ -172,10 +188,60 @@ InferenceServer::submit(std::vector<std::int64_t> input_raw,
                 std::make_exception_ptr(ServerStopped{}));
             return future;
         }
-        queue_.push_back(std::move(pending));
-        max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+        if (options_.max_queue > 0 &&
+            queue_.size() >= options_.max_queue) {
+            if (options_.shed_policy ==
+                ShedPolicy::EvictLowestPriority) {
+                // Oldest request at the lowest priority level loses
+                // its slot — but only to a strictly higher-priority
+                // newcomer, so equal-priority traffic stays FIFO.
+                auto victim = queue_.begin();
+                for (auto it = queue_.begin(); it != queue_.end();
+                     ++it)
+                    if (it->priority < victim->priority)
+                        victim = it;
+                if (victim->priority < pending.priority) {
+                    evicted = std::move(*victim);
+                    queue_.erase(victim);
+                    have_evicted = true;
+                } else {
+                    shed_newcomer = true;
+                }
+            } else {
+                shed_newcomer = true;
+            }
+        }
+        if (!shed_newcomer && options_.max_queue > 0 &&
+            options_.shed_infeasible_deadlines &&
+            pending.deadline !=
+                std::chrono::steady_clock::time_point::max()) {
+            // Every max_batch requests ahead cost up to one forming
+            // window; a deadline inside that estimate would only be
+            // admitted to expire in the queue — shed it now instead
+            // so the client learns "overloaded", not "too late".
+            const auto sweeps = queue_.size() / options_.max_batch + 1;
+            const auto earliest_done = pending.enqueued +
+                sweeps * options_.max_delay;
+            if (pending.deadline < earliest_done)
+                shed_newcomer = true;
+        }
+        requests_shed_ += (shed_newcomer ? 1 : 0) +
+            (have_evicted ? 1 : 0);
+        if (!shed_newcomer) {
+            queue_.push_back(std::move(pending));
+            max_queue_depth_ =
+                std::max(max_queue_depth_, queue_.size());
+        }
     }
-    work_cv_.notify_all();
+    // Fail shed requests outside the lock: set_exception wakes waiters.
+    if (shed_newcomer)
+        pending.promise.set_exception(
+            std::make_exception_ptr(ServerOverloaded{}));
+    if (have_evicted)
+        evicted.promise.set_exception(
+            std::make_exception_ptr(ServerOverloaded{}));
+    if (!shed_newcomer)
+        work_cv_.notify_all();
     return future;
 }
 
@@ -256,6 +322,15 @@ InferenceServer::batcherLoop()
             failDropped(pending);
         if (formed.batch.empty())
             continue;
+
+        if (fault::fire("batcher.stall", options_.fault_tag)) {
+            // A wedged backend from the queue's point of view:
+            // requests keep their deadlines ticking while nothing
+            // drains. Long enough to expire test deadlines, short
+            // enough to keep the suite fast.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(25));
+        }
 
         // Execute outside the lock: submitters keep enqueuing while
         // the backend sweeps this batch.
@@ -338,6 +413,7 @@ InferenceServer::stats() const
         stats.requests = completed_;
         stats.batches = batches_;
         stats.dropped_deadline = dropped_deadline_;
+        stats.requests_shed = requests_shed_;
         stats.max_queue_depth = max_queue_depth_;
         latencies = latencies_.sample();
     }

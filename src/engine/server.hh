@@ -69,6 +69,16 @@ class ServerStopped : public std::exception
     const char *what() const noexcept override;
 };
 
+/** The request was shed by admission control (queue full or deadline
+ *  infeasible). Clients should treat this as Unavailable: the server
+ *  is healthy but saturated, and an idempotent request may be retried
+ *  after backoff. */
+class ServerOverloaded : public std::exception
+{
+  public:
+    const char *what() const noexcept override;
+};
+
 ///@}
 
 /**
@@ -104,6 +114,17 @@ class LatencyReservoir
 /** Nearest-rank percentile of an unsorted sample, 0 when empty. */
 double percentileOf(std::vector<double> sample, double p);
 
+/** What admission control sheds when the queue is at max_queue. */
+enum class ShedPolicy {
+    /** Always reject the newly arriving request. */
+    RejectNew,
+    /** Evict the lowest-priority queued request when the newcomer
+     *  outranks it (oldest such request goes first); otherwise shed
+     *  the newcomer. Keeps high-priority traffic admitted under
+     *  sustained overload. */
+    EvictLowestPriority,
+};
+
 /** Micro-batching policy of an InferenceServer. */
 struct ServerOptions
 {
@@ -113,6 +134,24 @@ struct ServerOptions
     /** How long the batcher may hold the oldest queued request while
      *  waiting for the batch to fill. */
     std::chrono::microseconds max_delay{200};
+
+    /** Admission control: maximum queued (unformed) requests before
+     *  new arrivals are shed with ServerOverloaded. 0 (the default)
+     *  leaves the queue unbounded — the pre-shedding behavior. */
+    std::size_t max_queue = 0;
+
+    /** Which request loses when the queue is full. */
+    ShedPolicy shed_policy = ShedPolicy::RejectNew;
+
+    /** When max_queue > 0, also shed a request at admission if its
+     *  deadline cannot plausibly be met given the work already queued
+     *  ahead of it (queue_depth / max_batch forming sweeps, each up
+     *  to max_delay). Off by default. */
+    bool shed_infeasible_deadlines = false;
+
+    /** Opaque label handed to fault::fire() at this server's fault
+     *  points, so tests can target one shard of a cluster. */
+    std::string fault_tag;
 };
 
 /** Per-request scheduling knobs for InferenceServer::submit(). */
@@ -138,6 +177,11 @@ struct ServerStats
 
     /** Requests dropped because their deadline expired in the queue. */
     std::uint64_t dropped_deadline = 0;
+
+    /** Requests shed by admission control (queue cap / infeasible
+     *  deadline), including queued requests evicted by a
+     *  higher-priority newcomer. */
+    std::uint64_t requests_shed = 0;
 
     /** Request latency (submit to response), microseconds, estimated
      *  from a bounded uniform sample of all completed requests. */
@@ -252,6 +296,7 @@ class InferenceServer
     std::uint64_t completed_ = 0;
     std::uint64_t batches_ = 0;
     std::uint64_t dropped_deadline_ = 0;
+    std::uint64_t requests_shed_ = 0;
     std::size_t max_queue_depth_ = 0;
     LatencyReservoir latencies_;
 

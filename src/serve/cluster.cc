@@ -90,6 +90,16 @@ ClusterEngine::ClusterEngine(std::shared_ptr<const LoadedModel> model,
     const core::EieConfig &config = model_->config();
     shards_.reserve(options_.shards);
 
+    // Tag each shard's fault points "shard<N>" (unless the caller
+    // chose a tag) so tests can inject failures into exactly one
+    // replica and watch the breaker eject it.
+    const auto shardServerOptions = [&](unsigned s) {
+        engine::ServerOptions server = options_.server;
+        if (server.fault_tag.empty())
+            server.fault_tag = "shard" + std::to_string(s);
+        return server;
+    };
+
     if (options_.placement == Placement::Replicated) {
         col_bounds_ = {0, model_->inputSize()};
         const std::vector<const core::LayerPlan *> plans{
@@ -113,7 +123,11 @@ ClusterEngine::ClusterEngine(std::shared_ptr<const LoadedModel> model,
                     options_.backend, config, plans,
                     options_.threads_per_shard, options_.kernel);
             shards_.push_back(std::make_unique<engine::InferenceServer>(
-                std::move(backend), options_.server));
+                std::move(backend), shardServerOptions(s)));
+        }
+        if (healthTracking()) {
+            health_.resize(shards_.size());
+            gatherer_ = std::thread([this] { healthLoop(); });
         }
         return;
     }
@@ -139,7 +153,7 @@ ClusterEngine::ClusterEngine(std::shared_ptr<const LoadedModel> model,
                                 {&shard_plans_[s]},
                                 options_.threads_per_shard,
                                 options_.kernel),
-            options_.server));
+            shardServerOptions(s)));
     gatherer_ = std::thread([this] { gatherLoop(); });
 }
 
@@ -152,20 +166,85 @@ std::size_t
 ClusterEngine::pickShard()
 {
     std::lock_guard<std::mutex> lock(route_mutex_);
-    // Least-loaded by live queue depth; the scan starts one past the
-    // last pick so depth ties degrade to round-robin.
-    std::size_t best = round_robin_ % shards_.size();
-    std::size_t best_depth = shards_[best]->queueDepth();
-    for (std::size_t i = 1; i < shards_.size(); ++i) {
-        const std::size_t at = (round_robin_ + i) % shards_.size();
-        const std::size_t depth = shards_[at]->queueDepth();
-        if (depth < best_depth) {
-            best = at;
-            best_depth = depth;
+    return pickShardLocked(shards_.size());
+}
+
+std::size_t
+ClusterEngine::pickShardLocked(std::size_t exclude)
+{
+    // Recovery probes: with ejected shards present, every Nth routing
+    // decision sends one live request to a sick shard — a success
+    // there is the only way back into rotation.
+    if (!health_.empty() && options_.probe_interval > 0) {
+        bool any_ejected = false;
+        for (const ShardHealth &h : health_)
+            any_ejected = any_ejected || h.ejected;
+        if (any_ejected &&
+            ++probe_tick_ % options_.probe_interval == 0) {
+            for (std::size_t i = 0; i < shards_.size(); ++i) {
+                const std::size_t at =
+                    (round_robin_ + i) % shards_.size();
+                if (at != exclude && health_[at].ejected) {
+                    ++health_[at].probes;
+                    return at;
+                }
+            }
         }
     }
-    round_robin_ = best + 1;
+
+    // Least-loaded healthy shard by live queue depth; the scan starts
+    // one past the last pick so depth ties degrade to round-robin.
+    // Two passes: first over healthy shards, then (when everything
+    // eligible is ejected) over all of them — routing must make
+    // progress even with the whole cluster sick.
+    std::size_t best = shards_.size();
+    std::size_t best_depth = 0;
+    for (const bool ignore_health : {false, true}) {
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+            const std::size_t at = (round_robin_ + i) % shards_.size();
+            if (at == exclude)
+                continue;
+            if (!ignore_health && !health_.empty() &&
+                health_[at].ejected)
+                continue;
+            const std::size_t depth = shards_[at]->queueDepth();
+            if (best == shards_.size() || depth < best_depth) {
+                best = at;
+                best_depth = depth;
+            }
+        }
+        if (best != shards_.size())
+            break;
+    }
+    if (best != shards_.size())
+        round_robin_ = best + 1;
     return best;
+}
+
+void
+ClusterEngine::recordOutcome(std::size_t shard, bool success)
+{
+    std::lock_guard<std::mutex> lock(route_mutex_);
+    if (health_.empty())
+        return;
+    ShardHealth &health = health_[shard];
+    if (success) {
+        health.consecutive_failures = 0;
+        if (health.ejected) {
+            health.ejected = false;
+            inform("shard %zu recovered; back in rotation", shard);
+        }
+        return;
+    }
+    ++health.failures;
+    if (++health.consecutive_failures >=
+            options_.eject_after_failures &&
+        !health.ejected) {
+        health.ejected = true;
+        ++health.ejections;
+        warn("shard %zu ejected after %u consecutive failures",
+             shard, health.consecutive_failures);
+    }
 }
 
 std::future<std::vector<std::int64_t>>
@@ -185,9 +264,35 @@ ClusterEngine::submit(std::vector<std::int64_t> input_raw,
         }
     }
 
-    if (options_.placement == Placement::Replicated)
-        return shards_[pickShard()]->submit(std::move(input_raw),
-                                            options);
+    if (options_.placement == Placement::Replicated) {
+        const std::size_t shard = pickShard();
+        if (!healthTracking())
+            return shards_[shard]->submit(std::move(input_raw),
+                                          options);
+
+        // With the breaker on, the health worker interposes on every
+        // outcome: it scores the shard, and fails a sick replica's
+        // request over to a healthy one once before reporting.
+        TrackedJob job;
+        job.input = input_raw; // failover copy
+        job.options = options;
+        job.shard = shard;
+        job.attempt =
+            shards_[shard]->submit(std::move(input_raw), options);
+        std::future<std::vector<std::int64_t>> future =
+            job.promise.get_future();
+        {
+            std::lock_guard<std::mutex> lock(gather_mutex_);
+            if (stopping_) {
+                job.promise.set_exception(
+                    std::make_exception_ptr(engine::ServerStopped{}));
+                return future;
+            }
+            health_queue_.push_back(std::move(job));
+        }
+        gather_cv_.notify_all();
+        return future;
+    }
 
     // Scatter: each shard sees only its owned input columns.
     GatherJob job;
@@ -297,6 +402,85 @@ ClusterEngine::gatherLoop()
 }
 
 void
+ClusterEngine::healthLoop()
+{
+    for (;;) {
+        TrackedJob job;
+        {
+            std::unique_lock<std::mutex> lock(gather_mutex_);
+            gather_cv_.wait(lock, [this] {
+                return stopping_ || !health_queue_.empty();
+            });
+            if (health_queue_.empty())
+                return; // stopping_ and drained
+            job = std::move(health_queue_.front());
+            health_queue_.pop_front();
+        }
+
+        std::exception_ptr error;
+        try {
+            job.promise.set_value(job.attempt.get());
+            recordOutcome(job.shard, true);
+            continue;
+        } catch (const engine::DeadlineExpired &) {
+            // A deadline drop says "too slow under this load", not
+            // "sick": it neither scores the shard nor fails over.
+            job.promise.set_exception(std::current_exception());
+            continue;
+        } catch (const engine::ServerOverloaded &) {
+            // Shedding is admission control doing its job; rerouting
+            // a shed would defeat it (the other replicas are at
+            // least as loaded — routing is least-loaded).
+            job.promise.set_exception(std::current_exception());
+            continue;
+        } catch (...) {
+            error = std::current_exception();
+        }
+
+        {
+            // During shutdown every queued request collapses to
+            // ServerStopped; scoring that would eject shards (and
+            // warn) over a clean stop.
+            std::lock_guard<std::mutex> lock(gather_mutex_);
+            if (stopping_) {
+                job.promise.set_exception(error);
+                continue;
+            }
+        }
+        recordOutcome(job.shard, false);
+
+        // Failover: one more attempt, on the best shard that is not
+        // the one that just failed. Sequential (the worker waits for
+        // it) — failures are the rare path.
+        std::size_t other = shards_.size();
+        {
+            std::lock_guard<std::mutex> lock(route_mutex_);
+            other = pickShardLocked(job.shard);
+        }
+        if (other == shards_.size()) {
+            job.promise.set_exception(error);
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(gather_mutex_);
+            ++failovers_;
+        }
+        try {
+            job.promise.set_value(
+                shards_[other]->submit(job.input, job.options).get());
+            recordOutcome(other, true);
+        } catch (const engine::DeadlineExpired &) {
+            job.promise.set_exception(std::current_exception());
+        } catch (const engine::ServerOverloaded &) {
+            job.promise.set_exception(std::current_exception());
+        } catch (...) {
+            recordOutcome(other, false);
+            job.promise.set_exception(std::current_exception());
+        }
+    }
+}
+
+void
 ClusterEngine::stop()
 {
     {
@@ -320,6 +504,16 @@ ClusterEngine::stats() const
     ClusterStats stats;
     stats.shards.reserve(shards_.size());
 
+    std::vector<ShardHealth> health;
+    {
+        std::lock_guard<std::mutex> lock(route_mutex_);
+        health = health_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(gather_mutex_);
+        stats.failovers = failovers_;
+    }
+
     std::uint64_t shard_requests = 0;
     std::uint64_t shard_batches = 0;
     std::vector<double> latencies;
@@ -327,6 +521,15 @@ ClusterEngine::stats() const
         ShardStats shard;
         shard.server = shards_[s]->stats();
         shard.queue_depth = shards_[s]->queueDepth();
+        stats.requests_shed += shard.server.requests_shed;
+        if (s < health.size()) {
+            shard.ejected = health[s].ejected;
+            shard.failures = health[s].failures;
+            shard.ejections = health[s].ejections;
+            shard.probes = health[s].probes;
+            if (shard.ejected)
+                ++stats.shards_ejected;
+        }
         if (options_.placement == Placement::Replicated) {
             shard.col_begin = col_bounds_.front();
             shard.col_end = col_bounds_.back();
@@ -400,15 +603,26 @@ ServingDirectory::cluster(const std::string &name,
         return nullptr;
     };
 
-    const std::shared_ptr<const LoadedModel> model =
-        registry_.load(name, version, nonlin);
-    if (!model)
+    LoadError load_error = LoadError::None;
+    std::string load_detail;
+    const std::shared_ptr<const LoadedModel> model = registry_.load(
+        name, version, nonlin, &load_error, &load_detail);
+    if (!model) {
+        // Corrupt is not NotFound: the model is published but its
+        // file is unreadable (truncated, bad checksum...), so tell
+        // the caller something is wrong server-side rather than
+        // inviting a doomed republish-and-retry loop.
+        if (load_error == LoadError::Corrupt)
+            return fail(LookupStatus::Rejected,
+                        "model '" + name + "' is unreadable: " +
+                            load_detail);
         return fail(LookupStatus::NotFound,
                     "model '" + name + "'" +
                         (version
                              ? " version " + std::to_string(version)
                              : "") +
                         " not found in registry");
+    }
     // Preflight what ClusterEngine's constructor would fatal() on: a
     // client request must never be able to take the daemon down.
     if (defaults_.placement == Placement::ColumnPartitioned &&
@@ -475,6 +689,9 @@ ServingDirectory::statsJson() const
            << ",\"requests\":" << stats.requests
            << ",\"dropped_deadline\":" << stats.dropped_deadline
            << ",\"failed\":" << stats.failed
+           << ",\"requests_shed\":" << stats.requests_shed
+           << ",\"failovers\":" << stats.failovers
+           << ",\"shards_ejected\":" << stats.shards_ejected
            << ",\"mean_batch\":" << stats.mean_batch
            << ",\"p50_latency_us\":" << stats.p50_latency_us
            << ",\"p99_latency_us\":" << stats.p99_latency_us
@@ -485,6 +702,10 @@ ServingDirectory::statsJson() const
                << shard.server.requests
                << ",\"queue_depth\":" << shard.queue_depth
                << ",\"utilization\":" << shard.utilization
+               << ",\"shed\":" << shard.server.requests_shed
+               << ",\"health\":\""
+               << (shard.ejected ? "ejected" : "healthy") << "\""
+               << ",\"failures\":" << shard.failures
                << ",\"col_begin\":" << shard.col_begin
                << ",\"col_end\":" << shard.col_end << "}";
         }

@@ -81,6 +81,20 @@ struct ClusterOptions
 
     /** Micro-batcher policy of every shard's InferenceServer. */
     engine::ServerOptions server;
+
+    /**
+     * Shard circuit breaker: this many consecutive request failures
+     * (errors, not deadline drops or sheds) eject a shard from
+     * least-loaded routing until a probe succeeds. 0 (the default)
+     * disables health tracking; with it enabled, replicated
+     * placement also fails each failed request over to one healthy
+     * shard before reporting the error.
+     */
+    unsigned eject_after_failures = 0;
+
+    /** With ejected shards present, every Nth routing decision sends
+     *  a live request to one of them as a recovery probe. */
+    unsigned probe_interval = 8;
 };
 
 /** One shard's contribution to the cluster statistics. */
@@ -91,6 +105,12 @@ struct ShardStats
     double utilization = 0.0;    ///< share of the cluster's requests
     std::size_t col_begin = 0;   ///< owned columns [col_begin,
     std::size_t col_end = 0;     ///<               col_end)
+
+    // Circuit-breaker health (all zero when tracking is disabled).
+    bool ejected = false;         ///< out of routing, probes only
+    std::uint64_t failures = 0;   ///< total recorded request errors
+    std::uint64_t ejections = 0;  ///< times the breaker tripped
+    std::uint64_t probes = 0;     ///< recovery probes routed here
 };
 
 /** Aggregated cluster statistics since construction. */
@@ -99,6 +119,9 @@ struct ClusterStats
     std::uint64_t requests = 0; ///< completed end-to-end requests
     std::uint64_t dropped_deadline = 0;
     std::uint64_t failed = 0; ///< gathers failed by a shard error
+    std::uint64_t requests_shed = 0; ///< rejected by admission control
+    std::uint64_t failovers = 0;     ///< re-routed off a sick shard
+    std::uint64_t shards_ejected = 0; ///< currently ejected shards
     double mean_batch = 0.0;  ///< request-weighted over shards
 
     /** End-to-end request latency percentiles: shard samples merged
@@ -171,8 +194,40 @@ class ClusterEngine
         std::chrono::steady_clock::time_point enqueued;
     };
 
+    /** One replicated request under health tracking: the in-flight
+     *  attempt plus everything needed to retry it on another shard. */
+    struct TrackedJob
+    {
+        std::future<std::vector<std::int64_t>> attempt;
+        std::promise<std::vector<std::int64_t>> promise;
+        std::vector<std::int64_t> input; ///< copy kept for failover
+        engine::SubmitOptions options;
+        std::size_t shard = 0;
+    };
+
+    /** Per-shard breaker state, guarded by route_mutex_. */
+    struct ShardHealth
+    {
+        unsigned consecutive_failures = 0;
+        bool ejected = false;
+        std::uint64_t failures = 0;
+        std::uint64_t ejections = 0;
+        std::uint64_t probes = 0;
+    };
+
     void gatherLoop();
+    void healthLoop();
+    bool healthTracking() const
+    {
+        return options_.placement == Placement::Replicated &&
+            options_.eject_after_failures > 0;
+    }
     std::size_t pickShard(); ///< least-loaded, round-robin on ties
+    /** Least-loaded healthy shard != @p exclude (shards_.size() =
+     *  exclude nothing); occasionally a probe to an ejected shard.
+     *  Returns shards_.size() when no eligible shard exists. */
+    std::size_t pickShardLocked(std::size_t exclude);
+    void recordOutcome(std::size_t shard, bool success);
 
     std::shared_ptr<const LoadedModel> model_;
     ClusterOptions options_;
@@ -184,16 +239,25 @@ class ClusterEngine
 
     std::vector<std::unique_ptr<engine::InferenceServer>> shards_;
     std::size_t round_robin_ = 0; ///< guarded by route_mutex_
-    std::mutex route_mutex_;
+    mutable std::mutex route_mutex_;
 
-    // Gather worker (partitioned placement only).
+    // Breaker state, guarded by route_mutex_ (sized to shards_ when
+    // health tracking is on, empty otherwise).
+    std::vector<ShardHealth> health_;
+    std::uint64_t probe_tick_ = 0;
+
+    // Gather worker (partitioned placement only) and health worker
+    // (replicated with breaker enabled) — mutually exclusive, so
+    // they share the mutex/cv/thread slot.
     mutable std::mutex gather_mutex_;
     std::condition_variable gather_cv_;
     std::deque<GatherJob> gather_queue_;
+    std::deque<TrackedJob> health_queue_;
     bool stopping_ = false;
     std::uint64_t gathered_ = 0;
     std::uint64_t gather_failed_ = 0;
     std::uint64_t gather_dropped_ = 0; ///< deadline-dropped gathers
+    std::uint64_t failovers_ = 0;      ///< guarded by gather_mutex_
     engine::LatencyReservoir gather_latencies_;
     std::thread gatherer_;
     std::once_flag join_once_;

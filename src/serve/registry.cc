@@ -216,14 +216,27 @@ ModelRegistry::has(const std::string &name, std::uint32_t version) const
 
 std::shared_ptr<const LoadedModel>
 ModelRegistry::load(const std::string &name, std::uint32_t version,
-                    nn::Nonlinearity nonlin)
+                    nn::Nonlinearity nonlin, LoadError *error,
+                    std::string *detail)
 {
-    if (!validModelName(name))
+    const auto fail = [&](LoadError why, const std::string &what) {
+        if (error)
+            *error = why;
+        if (detail)
+            *detail = what;
         return nullptr;
+    };
+    if (error)
+        *error = LoadError::None;
+
+    if (!validModelName(name))
+        return fail(LoadError::NotFound,
+                    "invalid model name '" + name + "'");
     if (version == 0) {
         version = latestVersion(name);
         if (version == 0)
-            return nullptr;
+            return fail(LoadError::NotFound,
+                        "no published versions of '" + name + "'");
     }
     const std::string key = cacheKey(name, version, nonlin);
     {
@@ -233,15 +246,26 @@ ModelRegistry::load(const std::string &name, std::uint32_t version,
             return it->second;
     }
     if (!has(name, version))
-        return nullptr;
+        return fail(LoadError::NotFound,
+                    "'" + versionPath(name, version) + "' not found");
 
     // Deserialise and plan outside the lock: loading a large model
     // must not stall lookups of already-cached ones. A racing load of
     // the same model wastes one plan; the first insert wins.
-    auto loaded = LoadedModel::fromStorage(
-        name, version,
-        compress::loadModelFile(versionPath(name, version)), nonlin,
-        config_);
+    std::shared_ptr<const LoadedModel> loaded;
+    try {
+        loaded = LoadedModel::fromStorage(
+            name, version,
+            compress::loadModelFile(versionPath(name, version)),
+            nonlin, config_);
+    } catch (const compress::ModelFileError &e) {
+        // A corrupt artifact must poison only requests for it, not
+        // the serving process — and must not be cached, so a repaired
+        // republish is picked up on the next load.
+        warn("model '%s' v%u is unreadable: %s", name.c_str(), version,
+             e.what());
+        return fail(LoadError::Corrupt, e.what());
+    }
 
     std::lock_guard<std::mutex> lock(mutex_);
     const auto [it, inserted] = cache_.emplace(key, std::move(loaded));

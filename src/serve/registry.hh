@@ -95,6 +95,13 @@ class LoadedModel
     core::LayerPlan plan_;
 };
 
+/** Why ModelRegistry::load() returned nullptr. */
+enum class LoadError {
+    None,     ///< load succeeded
+    NotFound, ///< no such model/version on disk
+    Corrupt,  ///< the file exists but cannot be parsed
+};
+
 /** Named, versioned EIEM models under one root directory. */
 class ModelRegistry
 {
@@ -131,11 +138,14 @@ class ModelRegistry
      * Load (or fetch from cache) version @p version of @p name;
      * version 0 resolves to the latest published version. Returns
      * nullptr when the model (or the requested version) does not
-     * exist. Fatal on a corrupt file.
+     * exist or its file is corrupt — @p error (when non-null)
+     * distinguishes the two and @p detail carries the parse error, so
+     * one bad `.eiem` is a per-request failure, never a process exit.
      */
     std::shared_ptr<const LoadedModel>
     load(const std::string &name, std::uint32_t version = 0,
-         nn::Nonlinearity nonlin = nn::Nonlinearity::ReLU);
+         nn::Nonlinearity nonlin = nn::Nonlinearity::ReLU,
+         LoadError *error = nullptr, std::string *detail = nullptr);
 
   private:
     std::string modelDir(const std::string &name) const;

@@ -12,6 +12,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/faultpoint.hh"
 #include "common/logging.hh"
 #include "engine/lstm_session.hh"
 
@@ -518,6 +519,11 @@ TcpServer::writerLoop(Connection &connection)
             } catch (const engine::DeadlineExpired &error) {
                 response.code = wire::ErrorCode::DeadlineExpired;
                 response.error = error.what();
+            } catch (const engine::ServerOverloaded &error) {
+                // A shed is "not now", not "broken": Unavailable, so
+                // clients know a backoff-retry can succeed.
+                response.code = wire::ErrorCode::Unavailable;
+                response.error = error.what();
             } catch (const engine::ServerStopped &error) {
                 response.code = wire::ErrorCode::Unavailable;
                 response.error = error.what();
@@ -533,6 +539,13 @@ TcpServer::writerLoop(Connection &connection)
             wire::encodeFrame(message);
         if (!sendAll(connection.fd, frame.data(), frame.size()))
             break; // peer gone; pending futures still complete above
+        if (fault::fire("tcp.drop_after_write")) {
+            // Injected connection loss: the response went out, then
+            // the link died — the worst case for clients, which must
+            // treat the next request's failure as retryable.
+            ::shutdown(connection.fd, SHUT_RDWR);
+            break;
+        }
     }
     // Flushed (or the peer is gone): FIN the socket so the client's
     // reads terminate, and unblock a reader still in recv() when the

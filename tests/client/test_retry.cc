@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Client-side resilience: the RetryPolicy schedule (deterministic
+ * backoff with jitter), retry of shed requests, the idempotent-only
+ * guard, the per-request wall-clock timeout, and TcpTransport's
+ * transparent reconnect (wire-v2 re-handshake) across a daemon
+ * bounce and an injected connection drop. Runs under ThreadSanitizer
+ * and ASan/UBSan in tools/check.sh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <vector>
+
+#include "client/client.hh"
+#include "client/retry.hh"
+#include "common/faultpoint.hh"
+#include "core/functional.hh"
+#include "core/network_runner.hh"
+#include "helpers.hh"
+#include "serve/cluster.hh"
+#include "serve/registry.hh"
+#include "serve/tcp.hh"
+
+namespace {
+
+using namespace eie;
+namespace fs = std::filesystem;
+
+struct FaultGuard
+{
+    FaultGuard() { fault::disarmAll(); }
+    ~FaultGuard() { fault::disarmAll(); }
+};
+
+core::EieConfig
+makeConfig()
+{
+    core::EieConfig config;
+    config.n_pe = 4;
+    return config;
+}
+
+fs::path
+scratchDir(const char *tag)
+{
+    static int counter = 0;
+    return fs::temp_directory_path() /
+        ("eie_retry_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + "_" +
+         std::to_string(counter++));
+}
+
+TEST(RetryPolicy, BackoffIsDeterministicBoundedAndGrows)
+{
+    client::RetryPolicy policy;
+    policy.initial_backoff = std::chrono::microseconds(1000);
+    policy.multiplier = 2.0;
+    policy.max_backoff = std::chrono::microseconds(8000);
+
+    // Pure function of (policy, attempt): identical calls replay the
+    // identical schedule.
+    for (unsigned attempt = 0; attempt < 10; ++attempt)
+        EXPECT_EQ(client::retryBackoff(policy, attempt),
+                  client::retryBackoff(policy, attempt));
+
+    // Jitter keeps each wait in [1/2, 1] of its nominal backoff, and
+    // the nominal doubles until the cap.
+    for (unsigned attempt = 0; attempt < 10; ++attempt) {
+        const double nominal = std::min(
+            1000.0 * std::pow(2.0, static_cast<double>(attempt)),
+            8000.0);
+        const auto wait = client::retryBackoff(policy, attempt);
+        EXPECT_GE(wait.count(), nominal / 2 - 1) << attempt;
+        EXPECT_LE(wait.count(), nominal) << attempt;
+    }
+
+    // A different seed yields a different (decorrelated) schedule
+    // somewhere in the first attempts.
+    client::RetryPolicy other = policy;
+    other.jitter_seed = 1234567;
+    bool differs = false;
+    for (unsigned attempt = 0; attempt < 10 && !differs; ++attempt)
+        differs = client::retryBackoff(policy, attempt) !=
+            client::retryBackoff(other, attempt);
+    EXPECT_TRUE(differs);
+}
+
+TEST(RetryPolicy, OnlyTransientStatusesAreRetryable)
+{
+    using client::StatusCode;
+    EXPECT_TRUE(client::retryableStatus(StatusCode::Unavailable));
+    EXPECT_TRUE(client::retryableStatus(StatusCode::TransportError));
+    EXPECT_FALSE(client::retryableStatus(StatusCode::Ok));
+    EXPECT_FALSE(client::retryableStatus(StatusCode::InvalidArgument));
+    EXPECT_FALSE(client::retryableStatus(StatusCode::NotFound));
+    EXPECT_FALSE(client::retryableStatus(StatusCode::DeadlineExpired));
+    EXPECT_FALSE(client::retryableStatus(StatusCode::ProtocolError));
+    EXPECT_FALSE(client::retryableStatus(StatusCode::Internal));
+}
+
+/** A `local:` endpoint over one in-memory layer, with a shedding
+ *  micro-batcher (one queue slot) and the batcher stalled by fault
+ *  injection so bursts deterministically overflow it. */
+struct SheddingFixture
+{
+    core::EieConfig config;
+    core::NetworkRunner net;
+    core::FunctionalModel functional;
+
+    SheddingFixture()
+        : config(makeConfig()), net(config), functional(config)
+    {
+        net.addLayer(
+            test::randomCompressedLayer(48, 32, 0.25, 4, 811),
+            nn::Nonlinearity::ReLU);
+    }
+
+    std::unique_ptr<client::Client>
+    connect(const client::RetryPolicy &retry)
+    {
+        client::ClientOptions options;
+        options.config = config;
+        options.server.max_batch = 1;
+        options.server.max_delay = std::chrono::microseconds(50);
+        options.server.max_queue = 1;
+        options.retry = retry;
+        options.models.push_back(
+            client::LocalModel{"fc", {&net.plan(0)}});
+        client::Status status;
+        auto client = client::Client::connect("local:compiled",
+                                              options, status);
+        EXPECT_NE(client, nullptr) << status.toString();
+        return client;
+    }
+
+    std::vector<std::int64_t>
+    input(std::uint64_t seed) const
+    {
+        return functional.quantizeInput(
+            test::randomActivations(32, 0.6, seed));
+    }
+};
+
+TEST(ClientRetry, RetryAbsorbsShedRequests)
+{
+    FaultGuard guard;
+    SheddingFixture fx;
+
+    client::RetryPolicy retry;
+    retry.max_attempts = 16;
+    retry.initial_backoff = std::chrono::milliseconds(10);
+    retry.multiplier = 1.5;
+    retry.max_backoff = std::chrono::milliseconds(80);
+    auto client = fx.connect(retry);
+
+    // Burst 6 single-frame requests into a one-slot queue with every
+    // batch stalled 25 ms: some initial attempts must shed, and the
+    // retry loop must absorb every shed into an eventual success.
+    fault::arm("batcher.stall");
+    std::vector<std::future<client::InferenceResult>> futures;
+    for (int i = 0; i < 6; ++i) {
+        client::InferenceRequest request;
+        request.model = "fc";
+        request.fixed.push_back(fx.input(20 + i));
+        futures.push_back(client->submit(std::move(request)));
+    }
+    for (auto &future : futures) {
+        const client::InferenceResult result = future.get();
+        EXPECT_TRUE(result.ok()) << result.status.toString();
+    }
+    fault::disarmAll();
+
+    client::EndpointStats stats;
+    ASSERT_TRUE(client->stats(stats).ok());
+    // The server must have shed at least one attempt for the retry
+    // path to have been exercised (the burst is 6 deep on 1 slot).
+    EXPECT_GE(stats.requests_shed, 1u);
+    client->close();
+}
+
+TEST(ClientRetry, NonIdempotentRequestsAreNeverRetried)
+{
+    FaultGuard guard;
+    SheddingFixture fx;
+
+    client::RetryPolicy retry;
+    retry.max_attempts = 16;
+    retry.initial_backoff = std::chrono::milliseconds(10);
+    auto client = fx.connect(retry);
+
+    fault::arm("batcher.stall");
+    // Same burst, but idempotent=false: a shed must surface as
+    // Unavailable instead of being resubmitted behind our back.
+    std::vector<std::future<client::InferenceResult>> futures;
+    for (int i = 0; i < 6; ++i) {
+        client::InferenceRequest request;
+        request.model = "fc";
+        request.idempotent = false;
+        request.fixed.push_back(fx.input(40 + i));
+        futures.push_back(client->submit(std::move(request)));
+    }
+    std::uint64_t ok = 0, unavailable = 0;
+    for (auto &future : futures) {
+        const client::InferenceResult result = future.get();
+        if (result.ok())
+            ++ok;
+        else {
+            EXPECT_EQ(result.status.code,
+                      client::StatusCode::Unavailable)
+                << result.status.toString();
+            ++unavailable;
+        }
+    }
+    EXPECT_EQ(ok + unavailable, 6u);
+    EXPECT_GE(unavailable, 1u);
+    fault::disarmAll();
+    client->close();
+}
+
+TEST(ClientRetry, PerRequestTimeoutBoundsTheWait)
+{
+    FaultGuard guard;
+    SheddingFixture fx;
+
+    // A 2 ms client-side budget against a batcher that stalls 25 ms
+    // per batch: the request cannot finish in time, and the client
+    // must return DeadlineExpired on its own clock — not hang until
+    // the server eventually answers.
+    client::RetryPolicy retry;
+    retry.max_attempts = 4;
+    retry.timeout = std::chrono::milliseconds(2);
+    auto client = fx.connect(retry);
+
+    fault::arm("batcher.stall");
+    client::InferenceRequest request;
+    request.model = "fc";
+    request.fixed.push_back(fx.input(60));
+    const auto start = std::chrono::steady_clock::now();
+    const client::InferenceResult result =
+        client->infer(request);
+    const auto elapsed =
+        std::chrono::steady_clock::now() - start;
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status.code,
+              client::StatusCode::DeadlineExpired)
+        << result.status.toString();
+    EXPECT_LT(elapsed, std::chrono::seconds(5));
+    fault::disarmAll();
+    client->close();
+}
+
+/** Registry + daemon the reconnect tests can bounce. */
+struct DaemonFixture
+{
+    fs::path dir;
+    core::EieConfig config;
+    compress::CompressedLayer layer;
+    serve::ModelRegistry registry;
+    serve::ClusterOptions cluster_options;
+    serve::ServingDirectory directory;
+    core::FunctionalModel functional;
+    core::LayerPlan oracle_plan;
+
+    DaemonFixture()
+        : dir(scratchDir("daemon")), config(makeConfig()),
+          layer(test::randomCompressedLayer(48, 32, 0.25, 4, 812)),
+          registry(dir.string(), config),
+          directory(registry, cluster_options),
+          functional(config),
+          oracle_plan(core::planLayer(layer, nn::Nonlinearity::ReLU,
+                                      config))
+    {
+        registry.publish("fc", 1, layer.storage());
+    }
+
+    ~DaemonFixture() { fs::remove_all(dir); }
+
+    std::vector<std::int64_t>
+    input(std::uint64_t seed) const
+    {
+        return functional.quantizeInput(
+            test::randomActivations(32, 0.6, seed));
+    }
+
+    std::vector<std::int64_t>
+    oracle(const std::vector<std::int64_t> &in) const
+    {
+        return functional.run(oracle_plan, in).output_raw;
+    }
+};
+
+TEST(ClientRetry, TcpTransportReconnectsAcrossDaemonBounce)
+{
+    FaultGuard guard;
+    DaemonFixture fx;
+
+    auto first_server =
+        std::make_unique<serve::TcpServer>(fx.directory);
+    first_server->start();
+    const std::uint16_t port = first_server->port();
+
+    client::ClientOptions options;
+    options.config = fx.config;
+    client::Status status;
+    auto client = client::Client::connect(
+        "tcp://127.0.0.1:" + std::to_string(port), options, status);
+    ASSERT_NE(client, nullptr) << status.toString();
+
+    const auto input = fx.input(70);
+    client::InferenceResult before = client->inferRaw("fc", input);
+    ASSERT_TRUE(before.ok()) << before.status.toString();
+    EXPECT_EQ(before.outputs.front(), fx.oracle(input));
+
+    // Bounce the daemon: stop it, then bring a new one up on the
+    // same port (a deploy restart as the client sees it).
+    first_server->stop();
+    first_server.reset();
+    Logger::setQuiet(true);
+    client::InferenceResult during = client->inferRaw("fc", input);
+    EXPECT_FALSE(during.ok());
+    EXPECT_TRUE(during.status.code ==
+                    client::StatusCode::Unavailable ||
+                during.status.code ==
+                    client::StatusCode::TransportError)
+        << during.status.toString();
+    Logger::setQuiet(false);
+
+    serve::TcpServerOptions reborn_options;
+    reborn_options.port = port;
+    serve::TcpServer second_server(fx.directory, reborn_options);
+    second_server.start();
+
+    // The transport re-dials (fresh wire-v2 handshake) on the next
+    // request — same client object, same bits.
+    client::InferenceResult after = client->inferRaw("fc", input);
+    ASSERT_TRUE(after.ok()) << after.status.toString();
+    EXPECT_EQ(after.outputs.front(), fx.oracle(input));
+
+    client->close();
+    second_server.stop();
+    fx.directory.stopAll();
+}
+
+TEST(ClientRetry, InjectedConnectionDropIsTransparent)
+{
+    FaultGuard guard;
+    DaemonFixture fx;
+
+    serve::TcpServer server(fx.directory);
+    server.start();
+
+    client::ClientOptions options;
+    options.config = fx.config;
+    options.retry.max_attempts = 4;
+    options.retry.initial_backoff = std::chrono::milliseconds(5);
+    client::Status status;
+    auto client = client::Client::connect(
+        "tcp://127.0.0.1:" + std::to_string(server.port()), options,
+        status);
+    ASSERT_NE(client, nullptr) << status.toString();
+
+    const auto input = fx.input(80);
+    const auto expected = fx.oracle(input);
+
+    // Drop the connection after the next successful response write;
+    // subsequent requests must transparently reconnect (and retry if
+    // the race lands the attempt on the dying socket).
+    fault::FaultSpec once;
+    once.count = 1;
+    fault::arm("tcp.drop_after_write", once);
+
+    Logger::setQuiet(true);
+    for (int i = 0; i < 5; ++i) {
+        const client::InferenceResult result =
+            client->inferRaw("fc", input);
+        ASSERT_TRUE(result.ok())
+            << "request " << i << ": " << result.status.toString();
+        EXPECT_EQ(result.outputs.front(), expected);
+    }
+    Logger::setQuiet(false);
+    EXPECT_EQ(fault::hits("tcp.drop_after_write"), 1u);
+
+    client->close();
+    server.stop();
+    fx.directory.stopAll();
+}
+
+} // namespace

@@ -70,31 +70,68 @@ TEST(ModelFile, SaveLoadFile)
     std::remove(path.c_str());
 }
 
-TEST(ModelFileDeath, DetectsCorruption)
+// Corruption is a recoverable, typed error (ModelFileError), not a
+// fatal: a serving daemon must survive a bad file on disk.
+
+TEST(ModelFileError, DetectsCorruption)
 {
     const auto layer = test::randomCompressedLayer(32, 32, 0.2, 4, 404);
     auto bytes = serializeModel(layer.storage());
 
     auto flipped = bytes;
     flipped[bytes.size() / 2] ^= 0x40;
-    EXPECT_EXIT(deserializeModel(flipped),
-                ::testing::ExitedWithCode(1), "checksum");
+    EXPECT_THROW(deserializeModel(flipped), ModelFileError);
+    try {
+        deserializeModel(flipped);
+        FAIL() << "corrupt model deserialized";
+    } catch (const ModelFileError &error) {
+        EXPECT_NE(std::string(error.what()).find("checksum"),
+                  std::string::npos);
+    }
 
     auto truncated = bytes;
     truncated.resize(bytes.size() / 2);
-    EXPECT_EXIT(deserializeModel(truncated),
-                ::testing::ExitedWithCode(1), "");
+    EXPECT_THROW(deserializeModel(truncated), ModelFileError);
+
+    // Mid-byte truncation: every prefix must fail cleanly, never
+    // crash or return a half-read model.
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{3}, std::size_t{17},
+          bytes.size() / 3, bytes.size() - 1}) {
+        auto prefix = bytes;
+        prefix.resize(keep);
+        EXPECT_THROW(deserializeModel(prefix), ModelFileError)
+            << "prefix of " << keep << " bytes";
+    }
 
     auto bad_magic = bytes;
     bad_magic[0] = 'X';
-    EXPECT_EXIT(deserializeModel(bad_magic),
-                ::testing::ExitedWithCode(1), "checksum|EIEM");
+    EXPECT_THROW(deserializeModel(bad_magic), ModelFileError);
 }
 
-TEST(ModelFileDeath, MissingFile)
+TEST(ModelFileError, MissingFile)
 {
-    EXPECT_EXIT(loadModelFile("/nonexistent/path/model.eiem"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    EXPECT_THROW(loadModelFile("/nonexistent/path/model.eiem"),
+                 ModelFileError);
+}
+
+TEST(ModelFileError, TruncatedFileOnDisk)
+{
+    const auto layer = test::randomCompressedLayer(48, 32, 0.2, 4, 405);
+    const std::string path =
+        ::testing::TempDir() + "truncated.eiem";
+    saveModelFile(path, layer.storage());
+
+    // Rewrite the file with half its bytes: loadModelFile must
+    // surface the damage as ModelFileError, not crash or exit.
+    const auto bytes = serializeModel(layer.storage());
+    FILE *file = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size() / 2, file);
+    std::fclose(file);
+
+    EXPECT_THROW(loadModelFile(path), ModelFileError);
+    std::remove(path.c_str());
 }
 
 TEST(ModelFile, EmptyLayerRoundTrips)

@@ -290,6 +290,158 @@ TEST(Wire, RejectsOversizedDeclaredFields)
     EXPECT_THROW(wire::decodeBody(frame_body), wire::WireError);
 }
 
+/** Every frame type the protocol speaks, with non-trivial payloads
+ *  so mutations have structure to corrupt. */
+std::vector<wire::Message>
+sampleFrames()
+{
+    std::vector<wire::Message> frames;
+    frames.push_back(wire::Hello{});
+    wire::HelloAck hello_ack;
+    hello_ack.ok = true;
+    frames.push_back(hello_ack);
+    wire::InferRequest request;
+    request.id = 42;
+    request.model = "fuzz-model";
+    request.version = 3;
+    request.priority = -7;
+    request.deadline_us = 12345;
+    request.input = {0, -5, 127, -32768, 32767, 42, -1};
+    frames.push_back(request);
+    wire::InferResponse response;
+    response.id = 42;
+    response.ok = true;
+    response.output = {1, 2, 3, -9000000000ll, 77};
+    frames.push_back(response);
+    wire::InferResponse failure;
+    failure.id = 43;
+    failure.code = wire::ErrorCode::Unavailable;
+    failure.error = "request shed: server queue is full";
+    frames.push_back(failure);
+    frames.push_back(wire::StatsRequest{});
+    frames.push_back(
+        wire::StatsResponse{"{\"clusters\":[{\"requests\":9}]}"});
+    wire::InfoRequest info_request;
+    info_request.model = "fuzz-model";
+    info_request.version = 1;
+    frames.push_back(info_request);
+    wire::InfoResponse info_response;
+    info_response.ok = true;
+    info_response.model = "fuzz-model";
+    info_response.version = 1;
+    info_response.input_size = 64;
+    info_response.output_size = 96;
+    info_response.shards = 4;
+    info_response.placement = "replicated";
+    frames.push_back(info_response);
+    wire::SessionOpen open;
+    open.session_id = 11;
+    open.model = "lstm";
+    frames.push_back(open);
+    wire::SessionAck ack;
+    ack.session_id = 11;
+    ack.ok = true;
+    ack.input_size = 16;
+    ack.hidden_size = 32;
+    frames.push_back(ack);
+    wire::SessionStep step;
+    step.session_id = 11;
+    step.id = 9;
+    step.x = {0.5f, -1.0f, 0.25f};
+    frames.push_back(step);
+    wire::SessionState state;
+    state.session_id = 11;
+    state.id = 9;
+    state.ok = true;
+    state.h = {0.1f, 0.2f};
+    frames.push_back(state);
+    wire::SessionClose close_msg;
+    close_msg.session_id = 11;
+    frames.push_back(close_msg);
+    return frames;
+}
+
+/** splitmix64: the deterministic byte source of the fuzz tests. */
+std::uint64_t
+splitmix(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+TEST(WireFuzz, SeededMutationsOfEveryFrameTypeFailTyped)
+{
+    // Deterministic garbage-frame fuzz: mutate each valid frame body
+    // (bit flips, byte stomps, truncations, extensions) and require
+    // decodeBody to either produce a Message or throw WireError —
+    // never crash, hang, or trip a sanitizer. Seeded, so a failure
+    // reproduces exactly.
+    std::uint64_t rng = 0xe1ef0e7c0ffee123ull;
+    for (const wire::Message &message : sampleFrames()) {
+        const auto clean = body(wire::encodeFrame(message));
+        ASSERT_NO_THROW((void)wire::decodeBody(clean));
+
+        for (int round = 0; round < 200; ++round) {
+            auto mutated = clean;
+            const unsigned edits =
+                1 + static_cast<unsigned>(splitmix(rng) % 4);
+            for (unsigned e = 0; e < edits; ++e) {
+                switch (splitmix(rng) % 4) {
+                  case 0: // flip one bit
+                    mutated[splitmix(rng) % mutated.size()] ^=
+                        static_cast<std::uint8_t>(
+                            1u << (splitmix(rng) % 8));
+                    break;
+                  case 1: // stomp one byte
+                    mutated[splitmix(rng) % mutated.size()] =
+                        static_cast<std::uint8_t>(splitmix(rng));
+                    break;
+                  case 2: // truncate to a strict prefix
+                    mutated.resize(1 +
+                                   splitmix(rng) % mutated.size());
+                    break;
+                  default: // append trailing garbage
+                    for (std::uint64_t n = 1 + splitmix(rng) % 8;
+                         n > 0; --n)
+                        mutated.push_back(static_cast<std::uint8_t>(
+                            splitmix(rng)));
+                    break;
+                }
+            }
+            try {
+                (void)wire::decodeBody(mutated);
+                // A mutation may land on another valid encoding —
+                // decoding successfully is fine; crashing is not.
+            } catch (const wire::WireError &) {
+                // The typed rejection path: also fine.
+            }
+        }
+    }
+}
+
+TEST(WireFuzz, PureGarbageBodiesFailTyped)
+{
+    // Bodies that were never a frame: every type tag with random
+    // payload bytes, and fully random bodies of varied length.
+    std::uint64_t rng = 0x5eed5eed5eed5eedull;
+    for (unsigned tag = 0; tag < 32; ++tag) {
+        for (int round = 0; round < 50; ++round) {
+            std::vector<std::uint8_t> garbage;
+            garbage.push_back(static_cast<std::uint8_t>(tag));
+            const std::uint64_t len = splitmix(rng) % 64;
+            for (std::uint64_t i = 0; i < len; ++i)
+                garbage.push_back(
+                    static_cast<std::uint8_t>(splitmix(rng)));
+            try {
+                (void)wire::decodeBody(garbage);
+            } catch (const wire::WireError &) {
+            }
+        }
+    }
+}
+
 TEST(Wire, MessageTypeTagsAreStable)
 {
     // The wire tags are protocol surface: renumbering breaks every

@@ -16,10 +16,19 @@
 #
 # A third pass rebuilds the concurrency-sensitive suites — worker
 # pool, batched kernels (all variants), execution backends, the
-# inference server, the cluster engine and the TCP front end — under
-# ThreadSanitizer (-DEIE_TSAN=ON) and runs them; a data race in the
-# serving path fails the check even when the race never corrupts an
-# assertion.
+# inference server, the cluster engine, the TCP front end and the
+# fault-injection/retry suites — under ThreadSanitizer
+# (-DEIE_TSAN=ON) and runs them; a data race in the serving path
+# fails the check even when the race never corrupts an assertion.
+#
+# A fourth pass rebuilds the robustness suites — wire-frame fuzz,
+# fault injection, retry, model-file corruption — under
+# Address+UndefinedBehavior sanitizers (-DEIE_ASAN=ON) so a decoder
+# overread or UB on a garbage frame fails loudly instead of decoding
+# garbage quietly.
+#
+# Finally a daemon-signal smoke starts `eie_serve daemon` against a
+# scratch registry, sends SIGINT, and requires a clean exit 0.
 #
 # Usage: tools/check.sh [extra cmake args...]
 
@@ -41,6 +50,8 @@ for build_type in Release Debug; do
     ctest --test-dir "${build_dir}" --output-on-failure -L serve
     echo "=== ${build_type} client API (-L client) ==="
     ctest --test-dir "${build_dir}" --output-on-failure -L client
+    echo "=== ${build_type} fault injection (-L faults) ==="
+    ctest --test-dir "${build_dir}" --output-on-failure -L faults
 done
 
 echo "=== kernel variant matrix (Release eie_sim smoke) ==="
@@ -55,7 +66,8 @@ echo "=== ThreadSanitizer (kernel + engine + server + cluster + \
 client) ==="
 tsan_dir="build-check-tsan"
 tsan_tests="test_kernel test_kernel_variants test_backend test_server \
-test_network_runner test_cluster test_tcp test_client test_session"
+test_network_runner test_cluster test_tcp test_client test_session \
+test_faults test_retry"
 cmake -B "${tsan_dir}" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEIE_TSAN=ON "$@"
 # Build only the sanitized suites: instrumenting the full bench/tool
@@ -69,4 +81,32 @@ ${TSAN_OPTIONS:-}" \
 ctest --test-dir "${tsan_dir}" --output-on-failure \
     -R "$(echo "${tsan_tests}" | tr ' ' '|')"
 
-echo "all checks passed (Release + Debug + variant matrix + TSan)"
+echo "=== Address+UB sanitizers (wire fuzz + faults + model file) ==="
+asan_dir="build-check-asan"
+asan_tests="test_wire test_model_file test_registry test_faults \
+test_retry test_client"
+cmake -B "${asan_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEIE_ASAN=ON "$@"
+cmake --build "${asan_dir}" -j "${jobs}" \
+    --target ${asan_tests}
+ctest --test-dir "${asan_dir}" --output-on-failure \
+    -R "$(echo "${asan_tests}" | tr ' ' '|')"
+
+echo "=== daemon signal smoke (SIGINT must exit 0) ==="
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "${smoke_dir}"' EXIT
+./build-check-release/eie_serve --registry "${smoke_dir}" \
+    --publish smoke --rows 32 --cols 24
+./build-check-release/eie_serve --registry "${smoke_dir}" --listen 0 &
+daemon_pid=$!
+sleep 1
+kill -INT "${daemon_pid}"
+daemon_status=0
+wait "${daemon_pid}" || daemon_status=$?
+if [ "${daemon_status}" -ne 0 ]; then
+    echo "FAIL: daemon exited ${daemon_status} on SIGINT" >&2
+    exit 1
+fi
+
+echo "all checks passed (Release + Debug + variant matrix + TSan \
++ ASan/UBSan + signal smoke)"

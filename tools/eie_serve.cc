@@ -99,6 +99,12 @@ usage()
         "(default 16)\n"
         "  --max-delay-us U      batch forming deadline "
         "(default 200)\n"
+        "  --max-queue N         per-shard admission cap; above it "
+        "requests shed (0 = unbounded)\n"
+        "  --shed-policy P       reject (shed the newcomer) | evict "
+        "(shed the lowest priority)\n"
+        "  --eject-after N       consecutive failures before a shard "
+        "is ejected (0 = breaker off)\n"
         "  --duration-s S        exit after S seconds (default: "
         "until SIGINT)\n"
         "client:\n"
@@ -114,6 +120,10 @@ usage()
         "(default 0.35)\n"
         "  --priority P          request priority (default 0)\n"
         "  --deadline-us U       per-request deadline (0 = none)\n"
+        "  --retries N           attempts per request incl. the "
+        "first (default 1 = no retry)\n"
+        "  --timeout-us U        client-side wall-clock budget per "
+        "request across retries (0 = none)\n"
         "  --check               verify responses against the scalar "
         "oracle (needs --registry)\n"
         "common:\n"
@@ -162,6 +172,8 @@ struct Args
     double act_density = 0.35;
     std::int32_t priority = 0;
     std::uint32_t deadline_us = 0;
+    unsigned retries = 1;
+    std::uint64_t timeout_us = 0;
     bool check = false;
 
     core::EieConfig config;
@@ -267,6 +279,9 @@ runClient(const Args &args)
         std::to_string(args.connect_port);
     client::ClientOptions options;
     options.config = args.config;
+    options.retry.max_attempts = args.retries;
+    options.retry.timeout =
+        std::chrono::microseconds(args.timeout_us);
     const auto client = client::Client::connectOrDie(endpoint, options);
 
     client::ModelInfo info;
@@ -364,9 +379,10 @@ runClient(const Args &args)
     fatal_if(mismatches > 0,
              "%llu responses diverged from the scalar oracle",
              static_cast<unsigned long long>(mismatches));
-    // Deadline-bearing traffic legitimately sheds load; everything
-    // else must succeed.
-    fatal_if(errors > 0 && args.deadline_us == 0,
+    // Deadline-bearing traffic legitimately drops requests, and a
+    // retrying client is knowingly driving a lossy (shedding or
+    // flaky) server; everything else must succeed.
+    fatal_if(errors > 0 && args.deadline_us == 0 && args.retries <= 1,
              "%llu requests failed",
              static_cast<unsigned long long>(errors));
     return 0;
@@ -441,6 +457,23 @@ main(int argc, char **argv)
             fatal_if(us < 0, "--max-delay-us must be >= 0");
             args.cluster.server.max_delay =
                 std::chrono::microseconds(us);
+        } else if (arg == "--max-queue") {
+            args.cluster.server.max_queue = std::stoul(next());
+        } else if (arg == "--shed-policy") {
+            const std::string policy = next();
+            if (policy == "reject")
+                args.cluster.server.shed_policy =
+                    engine::ShedPolicy::RejectNew;
+            else if (policy == "evict")
+                args.cluster.server.shed_policy =
+                    engine::ShedPolicy::EvictLowestPriority;
+            else
+                fatal("unknown shed policy '%s' (known: reject, "
+                      "evict)",
+                      policy.c_str());
+        } else if (arg == "--eject-after") {
+            args.cluster.eject_after_failures =
+                static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--duration-s") {
             args.duration_s = std::stod(next());
         } else if (arg == "--connect") {
@@ -475,6 +508,11 @@ main(int argc, char **argv)
         } else if (arg == "--deadline-us") {
             args.deadline_us =
                 static_cast<std::uint32_t>(std::stoul(next()));
+        } else if (arg == "--retries") {
+            args.retries = static_cast<unsigned>(std::stoul(next()));
+            fatal_if(args.retries == 0, "--retries needs at least 1");
+        } else if (arg == "--timeout-us") {
+            args.timeout_us = std::stoull(next());
         } else if (arg == "--check") {
             args.check = true;
         } else if (arg == "--pes") {

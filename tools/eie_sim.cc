@@ -225,7 +225,7 @@ runServe(workloads::SuiteRunner &runner,
 {
     TextTable table({"Benchmark", "Requests", "Offered r/s",
                      "Achieved r/s", "p50 us", "p99 us", "Mean batch",
-                     "Max depth", "Exact"});
+                     "Max depth", "Shed", "Exact"});
     std::string diverged;
 
     const std::string endpoint = "local:" + args.backend +
@@ -303,6 +303,7 @@ runServe(workloads::SuiteRunner &runner,
             .add(stats.p99_latency_us, 1)
             .add(stats.mean_batch, 2)
             .add(static_cast<std::uint64_t>(stats.max_queue_depth))
+            .add(stats.requests_shed)
             .add(exact ? "yes" : "NO");
         client->close();
     }
