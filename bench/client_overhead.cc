@@ -194,9 +194,16 @@ main()
 
     // Streaming-session series: per-step latency of the recurrent
     // path (strictly sequential, so this is pure round-trip cost).
-    bench::Json session_series = bench::Json::array();
-    for (const std::string &endpoint : endpoints) {
-        auto client = client::Client::connectOrDie(endpoint, options);
+    // A lone sequential stream is exactly the traffic the adaptive
+    // micro-batcher exists for: the forming window shrinks toward
+    // ServerOptions::min_delay instead of charging every step the
+    // full max_delay. A fixed-window run of the local endpoint rides
+    // along as the control.
+    auto runSession = [&](const std::string &endpoint,
+                          const client::ClientOptions &session_options,
+                          const char *label) {
+        auto client =
+            client::Client::connectOrDie(endpoint, session_options);
         client::Status status;
         const auto session = client->openSession("lstm", 0, status);
         fatal_if(!session, "openSession(%s): %s", endpoint.c_str(),
@@ -211,14 +218,48 @@ main()
             static_cast<double>(kSessionSteps);
 
         bench::Json row = bench::clientTransportStamp(*client);
-        row.set("steps",
-                static_cast<std::uint64_t>(kSessionSteps))
-            .set("us_per_step", step_us);
-        std::cout << client->transport() << " session: " << step_us
-                  << " us/step\n";
-        session_series.push(std::move(row));
+        row.set("steps", static_cast<std::uint64_t>(kSessionSteps))
+            .set("us_per_step", step_us)
+            .set("adaptive_delay",
+                 session_options.server.adaptive_delay)
+            .set("min_delay_us",
+                 static_cast<std::uint64_t>(
+                     session_options.server.min_delay.count()));
+        if (label)
+            row.set("label", label);
+        std::cout << client->transport()
+                  << (label ? std::string(" (") + label + ")" : "")
+                  << " session: " << step_us << " us/step\n";
         client->close();
+        return std::make_pair(std::move(row), step_us);
+    };
+
+    bench::Json session_series = bench::Json::array();
+    double adaptive_step_us = 0.0;
+    for (const std::string &endpoint : endpoints) {
+        auto [row, step_us] = runSession(endpoint, options, nullptr);
+        if (endpoint == endpoints.front())
+            adaptive_step_us = step_us;
+        session_series.push(std::move(row));
     }
+    // The control: same local endpoint, micro-batcher pinned at the
+    // fixed max_delay forming window.
+    double fixed_step_us = 0.0;
+    {
+        client::ClientOptions fixed_options = options;
+        fixed_options.server.adaptive_delay = false;
+        auto [row, step_us] =
+            runSession(endpoints.front(), fixed_options, "fixed-window");
+        fixed_step_us = step_us;
+        session_series.push(std::move(row));
+    }
+    std::cout << "adaptive forming window: " << adaptive_step_us
+              << " us/step vs " << fixed_step_us
+              << " us/step fixed ("
+              << (adaptive_step_us > 0.0
+                      ? fixed_step_us / adaptive_step_us
+                      : 0.0)
+              << "x)\n";
 
     server.stop();
     directory.stopAll();
@@ -231,6 +272,13 @@ main()
         .set("max_delay_us",
              static_cast<std::uint64_t>(
                  engine::ServerOptions{}.max_delay.count()))
+        .set("min_delay_us",
+             static_cast<std::uint64_t>(
+                 engine::ServerOptions{}.min_delay.count()))
+        .set("adaptive_delay", engine::ServerOptions{}.adaptive_delay)
+        .set("session_fixed_over_adaptive",
+             adaptive_step_us > 0.0 ? fixed_step_us / adaptive_step_us
+                                    : 0.0)
         .set("rows", static_cast<std::uint64_t>(kRows))
         .set("cols", static_cast<std::uint64_t>(kCols))
         .set("weight_density", kDensity)

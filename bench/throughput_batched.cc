@@ -10,6 +10,14 @@
  * backend, and writes BENCH_throughput.json (frames/sec and GOP/s per
  * point) so later PRs have a perf trajectory to regress against.
  *
+ * Part 1b — batch-1 latency vs activation density on the NT-We
+ * workload: the EIE activation-sparsity story. One frame at a time
+ * (the latency-bound serving shape), densities 5%..100%, comparing
+ * the fused dense-walk against the actsparse nonzero-queue walk;
+ * the "batch1_density_series" object in BENCH_throughput.json gates
+ * actsparse > fused at every density <= 50% on SIMD boxes and stamps
+ * the paper-reported NT densities for context.
+ *
  * Part 2 — serving latency vs offered load: an engine::InferenceServer
  * (dynamic micro-batcher) under synthetic open-loop arrivals at
  * multiples of the serial single-vector capacity, emitting
@@ -28,7 +36,11 @@
  *
  * Run from the build directory:
  *
- *   ./bench_throughput_batched [throughput.json [serving.json]]
+ *   ./bench_throughput_batched [--act-density D] \
+ *       [throughput.json [serving.json]]
+ *
+ * --act-density overrides the 35% Part-1 activation density so
+ * batch-1 numbers can be read at any paper-reported density.
  */
 
 #include <chrono>
@@ -48,6 +60,7 @@
 #include "engine/backends.hh"
 #include "engine/server.hh"
 #include "nn/generate.hh"
+#include "workloads/suite.hh"
 
 namespace {
 
@@ -60,6 +73,12 @@ constexpr double kActDensity = 0.35;
 constexpr std::size_t kFrames = 64;
 constexpr unsigned kRepeats = 3;
 constexpr std::size_t kServeRequests = 96;
+
+/** Part 1b: frames per density point of the batch-1 sweep, and
+ *  best-of repeats (more than Part 1: single-frame timings on a
+ *  shared box need more samples for a stable minimum). */
+constexpr std::size_t kDensityFrames = 8;
+constexpr unsigned kDensityRepeats = 9;
 
 struct Point
 {
@@ -107,13 +126,13 @@ seconds(std::chrono::steady_clock::time_point start)
 
 /** The layer description both JSON files share. */
 bench::Json
-layerJson(const core::EieConfig &config)
+layerJson(const core::EieConfig &config, double act_density)
 {
     bench::Json json;
     json.set("rows", kRows)
         .set("cols", kCols)
         .set("weight_density", kWeightDensity)
-        .set("act_density", kActDensity)
+        .set("act_density", act_density)
         .set("n_pe", config.n_pe);
     return json;
 }
@@ -123,10 +142,24 @@ layerJson(const core::EieConfig &config)
 int
 main(int argc, char **argv)
 {
+    double act_density = kActDensity;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--act-density") {
+            fatal_if(i + 1 >= argc, "--act-density requires a value");
+            act_density = std::stod(argv[++i]);
+            fatal_if(act_density < 0.0 || act_density > 1.0,
+                     "--act-density must be in [0, 1], got %g",
+                     act_density);
+        } else {
+            positional.push_back(arg);
+        }
+    }
     const std::string throughput_path =
-        argc > 1 ? argv[1] : "BENCH_throughput.json";
+        !positional.empty() ? positional[0] : "BENCH_throughput.json";
     const std::string serving_path =
-        argc > 2 ? argv[2] : "BENCH_serving.json";
+        positional.size() > 1 ? positional[1] : "BENCH_serving.json";
 
     // Build the layer and plan once.
     Rng rng(2016);
@@ -147,7 +180,7 @@ main(int argc, char **argv)
     for (std::size_t b = 0; b < kFrames; ++b) {
         Rng frame_rng(4096 + 77 * b);
         frames.push_back(model.quantizeInput(
-            nn::makeActivations(kCols, kActDensity, frame_rng)));
+            nn::makeActivations(kCols, act_density, frame_rng)));
     }
 
     // ---- Part 1: batched throughput ---------------------------------
@@ -188,6 +221,7 @@ main(int argc, char **argv)
         core::kernel::KernelVariant::Reference,
         core::kernel::KernelVariant::Vector,
         core::kernel::KernelVariant::Fused,
+        core::kernel::KernelVariant::ActSparse,
         core::kernel::KernelVariant::Auto,
     };
 
@@ -270,8 +304,8 @@ main(int argc, char **argv)
             .add(p.speedup, 2)
             .add(p.bit_exact ? "yes" : "NO");
     }
-    std::cout << "4096x4096, 9% weights, 35% activations, 64 PEs, "
-              << kFrames << " frames\n";
+    std::cout << "4096x4096, 9% weights, " << 100.0 * act_density
+              << "% activations, 64 PEs, " << kFrames << " frames\n";
     table.print(std::cout);
 
     double best = 0.0;
@@ -333,12 +367,154 @@ main(int argc, char **argv)
                  ? std::max(vector_64, fused_64) / reference_64
                  : 0.0);
     bench::Json throughput_json;
-    throughput_json.set("layer", layerJson(config))
+    throughput_json.set("layer", layerJson(config, act_density))
         .set("frames", kFrames)
         .set("scalar", std::move(scalar_json))
         .set("points", std::move(throughput_points))
         .set("best_speedup", best)
         .set("batch64_by_kernel", std::move(batch64_json));
+
+    // ---- Part 1b: batch-1 latency vs activation density (NT-We) -----
+
+    // The paper's activation-sparsity win is a batch-1 latency story:
+    // one frame at a time, the actsparse queue walk touching only the
+    // nonzero columns. Sweep density 5%..100% on the NT-We shape and
+    // time reference/fused/actsparse a single frame at a time.
+    workloads::SuiteRunner suite_runner(2016);
+    const workloads::Benchmark &ntwe = workloads::findBenchmark("NT-We");
+    const auto ntwe_plan = suite_runner.plan(ntwe, config);
+    const std::vector<const core::LayerPlan *> ntwe_stack{&ntwe_plan};
+    const auto ntwe_compiled =
+        engine::compileLayerStack(config, ntwe_stack);
+    const auto ntwe_scalar =
+        engine::makeBackend("scalar", config, {&ntwe_plan});
+
+    struct DensityPoint
+    {
+        double density = 0.0;
+        std::string kernel;
+        double mean_us = 0.0;
+        double frames_per_sec = 0.0;
+    };
+    const std::vector<double> densities{0.05, 0.15, 0.25, 0.35,
+                                        0.50, 0.75, 1.00};
+    const std::vector<core::kernel::KernelVariant> density_variants{
+        core::kernel::KernelVariant::Reference,
+        core::kernel::KernelVariant::Fused,
+        core::kernel::KernelVariant::ActSparse,
+    };
+
+    std::vector<DensityPoint> density_points;
+    double fused_at_35 = 0.0;
+    double actsparse_at_35 = 0.0;
+    for (const double density : densities) {
+        // Fresh frames at this exact density, plus one oracle pass.
+        std::vector<core::kernel::Batch> singles;
+        for (std::size_t b = 0; b < kDensityFrames; ++b) {
+            Rng frame_rng(31000 + 101 * b +
+                          static_cast<std::uint64_t>(1000 * density));
+            singles.push_back({model.quantizeInput(nn::makeActivations(
+                ntwe.input, density, frame_rng))});
+        }
+        std::vector<core::kernel::Batch> oracle;
+        for (const auto &single : singles)
+            oracle.push_back(ntwe_scalar->runBatch(single).outputs);
+
+        double fused_fps = 0.0;
+        double actsparse_fps = 0.0;
+        for (const core::kernel::KernelVariant kernel :
+             density_variants) {
+            engine::CompiledBackend backend(ntwe_stack, ntwe_compiled,
+                                            1, kernel);
+            double best_s = 0.0;
+            for (unsigned rep = 0; rep < kDensityRepeats; ++rep) {
+                std::vector<core::kernel::Batch> outputs;
+                outputs.reserve(kDensityFrames);
+                const auto start = std::chrono::steady_clock::now();
+                for (const auto &single : singles)
+                    outputs.push_back(backend.runBatch(single).outputs);
+                const double elapsed = seconds(start);
+                best_s =
+                    rep == 0 ? elapsed : std::min(best_s, elapsed);
+                fatal_if(outputs != oracle,
+                         "kernel '%s' diverged from the scalar oracle "
+                         "at %.0f%% activation density",
+                         core::kernel::kernelVariantName(kernel),
+                         100.0 * density);
+            }
+            DensityPoint p;
+            p.density = density;
+            p.kernel = core::kernel::kernelVariantName(kernel);
+            p.mean_us = 1e6 * best_s / kDensityFrames;
+            p.frames_per_sec = kDensityFrames / best_s;
+            if (kernel == core::kernel::KernelVariant::Fused)
+                fused_fps = p.frames_per_sec;
+            if (kernel == core::kernel::KernelVariant::ActSparse)
+                actsparse_fps = p.frames_per_sec;
+            density_points.push_back(std::move(p));
+        }
+
+        if (density == 0.35) {
+            fused_at_35 = fused_fps;
+            actsparse_at_35 = actsparse_fps;
+        }
+        // The sparsity gate: wherever at least half the activations
+        // are zero, skipping them must win (SIMD boxes only — a
+        // scalar-dispatch box can legitimately be memory-bound enough
+        // that the queue build dominates).
+        fatal_if(have_simd && density <= 0.50 &&
+                     actsparse_fps <= fused_fps,
+                 "actsparse (%.1f f/s) did not beat fused (%.1f f/s) "
+                 "at batch 1, %.0f%% activation density",
+                 actsparse_fps, fused_fps, 100.0 * density);
+    }
+
+    TextTable density_table(
+        {"Density", "Kernel", "Mean us/frame", "Frames/s"});
+    for (const DensityPoint &p : density_points) {
+        density_table.row()
+            .add(100.0 * p.density, 0)
+            .add(p.kernel)
+            .add(p.mean_us, 1)
+            .add(p.frames_per_sec, 1);
+    }
+    std::cout << "\nNT-We (" << ntwe.input << "x" << ntwe.output
+              << ", 10% weights), batch 1, 1 thread, "
+              << kDensityFrames << " frames per density\n";
+    density_table.print(std::cout);
+    const double actsparse_speedup_35 =
+        fused_at_35 > 0.0 ? actsparse_at_35 / fused_at_35 : 0.0;
+    std::cout << "actsparse over fused at 35% density: "
+              << actsparse_speedup_35 << "x\n";
+
+    bench::Json density_series = bench::Json::array();
+    for (const DensityPoint &p : density_points) {
+        bench::Json point;
+        point.set("act_density", p.density)
+            .set("kernel", p.kernel)
+            .set("mean_us_per_frame", p.mean_us)
+            .set("frames_per_sec", p.frames_per_sec);
+        density_series.push(std::move(point));
+    }
+    // Paper Table III activation densities for the NeuralTalk rows,
+    // stamped so the series can be read against the published numbers.
+    bench::Json paper_density;
+    for (const char *name : {"NT-We", "NT-Wd", "NT-LSTM"})
+        paper_density.set(name,
+                          workloads::findBenchmark(name).act_density);
+    bench::Json density_json;
+    density_json.set("workload", "NT-We")
+        .set("input", ntwe.input)
+        .set("output", ntwe.output)
+        .set("weight_density", ntwe.weight_density)
+        .set("frames", kDensityFrames)
+        .set("threads", 1u)
+        .set("batch", std::uint64_t{1})
+        .set("points", std::move(density_series))
+        .set("actsparse_over_fused_at_35pct", actsparse_speedup_35)
+        .set("paper_act_density", std::move(paper_density));
+    throughput_json.set("batch1_density_series",
+                        std::move(density_json));
     bench::writeBenchJson(throughput_path, throughput_json);
 
     // ---- Part 2: serving latency vs offered load --------------------
@@ -446,7 +622,7 @@ main(int argc, char **argv)
              static_cast<std::uint64_t>(
                  server_options.max_delay.count()));
     bench::Json serving_json;
-    serving_json.set("layer", layerJson(config))
+    serving_json.set("layer", layerJson(config, act_density))
         .set("requests", kServeRequests)
         .set("serial_rps", serial_rps)
         .set("server", std::move(server_json))

@@ -505,13 +505,32 @@ class LocalTransport final : public Transport
                 static_cast<double>(stats.requests);
             out.max_queue_depth =
                 std::max(out.max_queue_depth, stats.max_queue_depth);
+            for (const engine::LayerDispatchStats &layer :
+                 stats.layers)
+                out.layers.push_back({entry.info.model, layer.layer,
+                                      layer.kernel,
+                                      layer.last_act_density,
+                                      layer.mean_act_density});
             json << (first ? "" : ",") << "{\"model\":\""
                  << entry.info.model << "\",\"requests\":"
                  << stats.requests << ",\"requests_shed\":"
                  << stats.requests_shed << ",\"mean_batch\":"
                  << stats.mean_batch << ",\"p50_latency_us\":"
                  << stats.p50_latency_us << ",\"p99_latency_us\":"
-                 << stats.p99_latency_us << "}";
+                 << stats.p99_latency_us
+                 << ",\"forming_delay_us\":" << stats.forming_delay_us
+                 << ",\"layers\":[";
+            for (std::size_t i = 0; i < stats.layers.size(); ++i) {
+                const engine::LayerDispatchStats &layer =
+                    stats.layers[i];
+                json << (i ? "," : "") << "{\"layer\":\""
+                     << layer.layer << "\",\"kernel\":\""
+                     << layer.kernel << "\",\"act_density\":"
+                     << layer.last_act_density
+                     << ",\"mean_act_density\":"
+                     << layer.mean_act_density << "}";
+            }
+            json << "]}";
             first = false;
         }
         json << "]}";
@@ -805,6 +824,12 @@ class ClusterTransport final : public Transport
                 out.max_queue_depth =
                     std::max(out.max_queue_depth,
                              shard.server.max_queue_depth);
+            for (const engine::LayerDispatchStats &layer :
+                 serve::mergeLayerDispatch(stats.shards))
+                out.layers.push_back({snapshot.model, layer.layer,
+                                      layer.kernel,
+                                      layer.last_act_density,
+                                      layer.mean_act_density});
         }
         if (out.requests > 0) {
             const double n = static_cast<double>(out.requests);

@@ -51,10 +51,29 @@ fuseSlices(const CompiledTile &tile)
         fused.col_ptr.push_back(
             static_cast<std::uint32_t>(fused.rows.size()));
     }
+    fused.buildPacked();
     return fused;
 }
 
 } // namespace
+
+void
+SliceStream::buildPacked()
+{
+    packed.clear();
+    packed.reserve(rows.size());
+    for (std::size_t e = 0; e < rows.size(); ++e) {
+        const std::uint32_t row = rows[e];
+        const std::int32_t weight = weights[e];
+        if (row > 0xffff || weight < -0x8000 || weight > 0x7fff) {
+            packed.clear();
+            packed.shrink_to_fit();
+            return; // out of 16-bit range: no packed mirror
+        }
+        packed.push_back(row << 16 |
+                         (static_cast<std::uint32_t>(weight) & 0xffffu));
+    }
+}
 
 std::vector<SimEntry>
 decodeSimStream(const compress::PeSlice &slice,
@@ -138,6 +157,7 @@ CompiledLayer::compile(const LayerPlan &plan, const EieConfig &config,
                             static_cast<std::int32_t>(
                                 raw_lut[image.weight_indices[e]]));
                     }
+                    stream.buildPacked();
                 }
                 if (options.sim_stream) {
                     slice.sim_entries = decodeSimStream(pe, raw_lut);

@@ -83,7 +83,20 @@ struct SliceStream
     /** Per-column extents: pass cols + 1 offsets into rows/weights. */
     std::vector<std::uint32_t> col_ptr;
 
+    /**
+     * Bandwidth-halved mirror of rows/weights for the batch-1
+     * actsparse walk: entry e packed as (rows[e] << 16) | weights[e]
+     * in 16 bits each. Built only when every row index and weight raw
+     * of the stream fits (the paper's 16-bit formats always do);
+     * empty otherwise. Same per-column extents (col_ptr).
+     */
+    std::vector<std::uint32_t> packed;
+
     std::size_t entryCount() const { return rows.size(); }
+    bool hasPacked() const { return packed.size() == rows.size(); }
+
+    /** Fill packed from rows/weights if they fit 16 bits each. */
+    void buildPacked();
 };
 
 /**

@@ -50,6 +50,47 @@ struct ActivationPanel
 };
 
 /**
+ * Per-pass activation panel of the actsparse variant: each frame
+ * compressed into a compact (column, value) queue by a front-end
+ * nonzero scan — the paper's NZ-detect / CSC activation vector.
+ * Frame b's queue occupies slots [begin[b], begin[b+1]), columns in
+ * ascending tile-relative order, so the per-frame stream walk visits
+ * columns in the same order as the reference sweep and stays
+ * bit-exact. Zero activations never enter a queue: batch-1 cost
+ * scales with activation density, not layer width.
+ */
+struct QueuePanel
+{
+    std::vector<std::uint32_t> col;   ///< tile-relative column
+    std::vector<std::int64_t> value;  ///< activation value
+    std::vector<std::uint32_t> begin; ///< frame b: [begin[b], begin[b+1])
+
+    void
+    gather(const Batch &inputs, std::size_t col_begin,
+           std::size_t col_end)
+    {
+        const std::size_t batch = inputs.size();
+        col.clear();
+        value.clear();
+        col.reserve(batch * (col_end - col_begin));
+        value.reserve(batch * (col_end - col_begin));
+        begin.assign(batch + 1, 0);
+        for (std::size_t b = 0; b < batch; ++b) {
+            const std::int64_t *input = inputs[b].data();
+            for (std::size_t j = col_begin; j < col_end; ++j) {
+                const std::int64_t a = input[j];
+                if (a == 0)
+                    continue;
+                col.push_back(
+                    static_cast<std::uint32_t>(j - col_begin));
+                value.push_back(a);
+            }
+            begin[b + 1] = static_cast<std::uint32_t>(col.size());
+        }
+    }
+};
+
+/**
  * Per-pass activation panel of the vector variant: every frame of
  * every column, transposed to column-major int32 so the MAC row
  * kernel streams contiguous lanes. Zero activations stay in place —
@@ -218,6 +259,95 @@ runStreamReference(const SliceStream &stream,
     }
 }
 
+/**
+ * Sweep one SoA stream over the per-frame nonzero queues (the
+ * actsparse variant's loop). Frames are independent accumulator
+ * columns, and within a frame the queue visits columns ascending with
+ * at most one stream entry per (row, column) — the exact
+ * per-accumulator update order of the reference sweep, so the
+ * saturating MAC sequence is preserved bit-for-bit. Only the
+ * col_ptr extents of nonzero columns are ever touched.
+ */
+void
+runStreamActSparse(const SliceStream &stream, const QueuePanel &panel,
+                   std::size_t batch, std::int64_t *acc,
+                   const FixedFormat &weight_fmt,
+                   const FixedFormat &act_fmt)
+{
+    const std::uint32_t *rows = stream.rows.data();
+    const std::int32_t *weights = stream.weights.data();
+    const std::uint32_t *col_ptr = stream.col_ptr.data();
+    if (batch == 1) {
+        // The latency path the variant exists for: one accumulator
+        // per row (no *batch indexing) and the macFixed() shift and
+        // saturation bounds hoisted out of the queue walk. The
+        // arithmetic is macFixed() verbatim, so bit-exactness with
+        // the general loop (and the reference oracle) is preserved.
+        const int shift =
+            2 * static_cast<int>(weight_fmt.fracBits) -
+            static_cast<int>(act_fmt.fracBits);
+        const std::int64_t lo = act_fmt.minRaw();
+        const std::int64_t hi = act_fmt.maxRaw();
+        const std::uint32_t q_end = panel.begin[1];
+        if (stream.hasPacked()) {
+            // Streams whose row indices and weight raws fit 16 bits
+            // carry a packed (row << 16 | weight) mirror: one 4-byte
+            // load per entry instead of two, halving the stream
+            // bandwidth the walk is bound by.
+            const std::uint32_t *packed = stream.packed.data();
+            for (std::uint32_t q = 0; q < q_end; ++q) {
+                const std::uint32_t j = panel.col[q];
+                const std::int64_t a = panel.value[q];
+                const std::uint32_t e_end = col_ptr[j + 1];
+                for (std::uint32_t e = col_ptr[j]; e < e_end; ++e) {
+                    const std::uint32_t entry = packed[e];
+                    const std::int64_t w = static_cast<std::int16_t>(
+                        entry & 0xffffu);
+                    const std::int64_t product = w * a;
+                    const std::int64_t aligned =
+                        shift >= 0 ? product >> shift
+                                   : product << -shift;
+                    std::int64_t sum = acc[entry >> 16] + aligned;
+                    sum = sum > hi ? hi : sum;
+                    sum = sum < lo ? lo : sum;
+                    acc[entry >> 16] = sum;
+                }
+            }
+            return;
+        }
+        for (std::uint32_t q = 0; q < q_end; ++q) {
+            const std::uint32_t j = panel.col[q];
+            const std::int64_t a = panel.value[q];
+            const std::uint32_t e_end = col_ptr[j + 1];
+            for (std::uint32_t e = col_ptr[j]; e < e_end; ++e) {
+                const std::int64_t product = weights[e] * a;
+                const std::int64_t aligned = shift >= 0
+                                                 ? product >> shift
+                                                 : product << -shift;
+                std::int64_t sum = acc[rows[e]] + aligned;
+                sum = sum > hi ? hi : sum;
+                sum = sum < lo ? lo : sum;
+                acc[rows[e]] = sum;
+            }
+        }
+        return;
+    }
+    for (std::size_t b = 0; b < batch; ++b) {
+        const std::uint32_t q_end = panel.begin[b + 1];
+        for (std::uint32_t q = panel.begin[b]; q < q_end; ++q) {
+            const std::uint32_t j = panel.col[q];
+            const std::int64_t a = panel.value[q];
+            const std::uint32_t e_end = col_ptr[j + 1];
+            for (std::uint32_t e = col_ptr[j]; e < e_end; ++e) {
+                std::int64_t &slot =
+                    acc[static_cast<std::size_t>(rows[e]) * batch + b];
+                slot = macFixed(slot, weights[e], a, weight_fmt,
+                                act_fmt);
+            }
+        }
+    }
+}
+
 /** Sweep one SoA stream over the dense panel with the SIMD MAC row
  *  kernel (the vector variant's loop). */
 void
@@ -335,6 +465,36 @@ executeSparse(const CompiledLayer &layer, const Batch &inputs,
         });
 }
 
+/** The actsparse variant: int64 accumulators, per-frame nonzero
+ *  queues; per-slice parallelism as in the reference loop (PE rows
+ *  are disjoint), and a single-thread run walks the slice-fused
+ *  stream when the layer carries one (one merged column extent
+ *  instead of one per PE). */
+void
+executeActSparse(const CompiledLayer &layer, const Batch &inputs,
+                 WorkerPool *pool, Batch &outputs)
+{
+    const std::size_t batch = inputs.size();
+    const unsigned threads = pool ? pool->threads() : 1;
+    const bool fused = threads <= 1 && layer.has_fused_stream;
+    QueuePanel panel;
+    executeTiles<std::int64_t>(
+        layer, inputs, outputs, panel,
+        [&](const CompiledTile &tile, std::int64_t *acc) {
+            if (fused) {
+                runStreamActSparse(tile.fused, panel, batch, acc,
+                                   layer.weight_format,
+                                   layer.act_format);
+                return;
+            }
+            forEachSlice(tile, pool, [&](std::size_t k) {
+                runStreamActSparse(tile.slices[k].stream, panel, batch,
+                                   acc, layer.weight_format,
+                                   layer.act_format);
+            });
+        });
+}
+
 /** The vector variant: int32 accumulators, dense panel, SIMD MAC
  *  rows; per-slice parallelism as in the reference loop. */
 void
@@ -388,9 +548,38 @@ simdIsaName()
     return g_mac_row_kernel.isa;
 }
 
+double
+probeActivationDensity(const Batch &inputs)
+{
+    // Sampling cap: above it the scan strides so the probe touches at
+    // most ~kProbeCap elements however large the batch is.
+    constexpr std::size_t kProbeCap = 4096;
+    std::size_t total = 0;
+    for (const auto &input : inputs)
+        total += input.size();
+    if (total == 0)
+        return -1.0;
+    const std::size_t stride =
+        total <= kProbeCap ? 1 : (total + kProbeCap - 1) / kProbeCap;
+    std::size_t sampled = 0;
+    std::size_t nonzero = 0;
+    for (std::size_t b = 0; b < inputs.size(); ++b) {
+        const auto &input = inputs[b];
+        // Stagger the start per frame so a strided scan does not keep
+        // hitting the same columns of every frame.
+        for (std::size_t i = b % stride; i < input.size(); i += stride) {
+            ++sampled;
+            nonzero += input[i] != 0;
+        }
+    }
+    if (sampled == 0)
+        return -1.0;
+    return static_cast<double>(nonzero) / static_cast<double>(sampled);
+}
+
 Batch
 runBatch(const CompiledLayer &layer, const Batch &inputs,
-         WorkerPool *pool, KernelVariant variant)
+         WorkerPool *pool, KernelVariant variant, DispatchInfo *dispatch)
 {
     const std::size_t batch = inputs.size();
     panic_if(!layer.has_host_stream,
@@ -404,12 +593,17 @@ runBatch(const CompiledLayer &layer, const Batch &inputs,
     Batch outputs(batch);
     for (auto &output : outputs)
         output.assign(layer.output_size, 0);
-    if (batch == 0)
+    if (batch == 0) {
+        if (dispatch)
+            *dispatch = DispatchInfo{};
         return outputs;
+    }
 
     const unsigned threads = pool ? pool->threads() : 1;
+    const double act_density = probeActivationDensity(inputs);
     KernelVariant resolved =
-        resolveKernelVariant(variant, layer, batch, threads);
+        resolveKernelVariant(variant, layer, batch, threads,
+                             act_density);
     if (resolved == KernelVariant::Vector &&
         !withinActFormat(inputs, layer.act_format))
         resolved = KernelVariant::Reference;
@@ -420,11 +614,18 @@ runBatch(const CompiledLayer &layer, const Batch &inputs,
       case KernelVariant::Fused:
         executeSparse(layer, inputs, pool, /*fused=*/true, outputs);
         break;
+      case KernelVariant::ActSparse:
+        executeActSparse(layer, inputs, pool, outputs);
+        break;
       case KernelVariant::Reference:
         executeSparse(layer, inputs, pool, /*fused=*/false, outputs);
         break;
       case KernelVariant::Auto:
         panic("resolveKernelVariant returned Auto");
+    }
+    if (dispatch) {
+        dispatch->variant = resolved;
+        dispatch->act_density = act_density;
     }
     return outputs;
 }

@@ -5,7 +5,11 @@
  * One sweep over the compressed columns is amortized across the whole
  * batch. The inner loop is selected by KernelVariant (see
  * variant.hh): the scalar sparse-gather reference walk, the SIMD
- * dense-batch vector MAC, or the slice-fused serial stream. Every
+ * dense-batch vector MAC, the slice-fused serial stream, or the
+ * activation-sparse queue walk (a front-end nonzero scan compresses
+ * each frame into a compact (column, value) queue — the paper's
+ * NZ-detect stage — and the inner loop touches only nonzero
+ * columns). Every
  * variant preserves the exact per-accumulator update sequence of the
  * scalar interpreter (passes, then columns, then at most one entry
  * per accumulator per column; a zero activation contributes a zero
@@ -43,6 +47,28 @@ namespace eie::core::kernel {
 using Batch = std::vector<std::vector<std::int64_t>>;
 
 /**
+ * The dispatch decision of one runBatch call, for observability: the
+ * variant the call actually executed and the measured (sampled)
+ * fraction of nonzero input activations that drove density-aware
+ * Auto resolution. Surfaced through RunReport / ServerStats /
+ * statsJson so the decision is visible across the serving stack.
+ */
+struct DispatchInfo
+{
+    KernelVariant variant = KernelVariant::Auto; ///< executed variant
+    double act_density = -1.0; ///< sampled nonzero fraction, <0 unknown
+};
+
+/**
+ * The sampled activation-density probe of density-aware Auto
+ * dispatch: the fraction of nonzero values across @p inputs, scanned
+ * with a stride so at most a few thousand elements are touched no
+ * matter the batch shape (amortized to noise next to the MAC sweep).
+ * Returns a negative value for an empty batch (density unknown).
+ */
+double probeActivationDensity(const Batch &inputs);
+
+/**
  * Execute @p layer on every frame of @p inputs.
  *
  * @param layer   a compiled layer (host stream required)
@@ -50,13 +76,17 @@ using Batch = std::vector<std::vector<std::int64_t>>;
  * @param pool    optional worker pool; when non-null and holding more
  *                than one thread, PE slices execute in parallel
  * @param variant inner-loop selection; Auto resolves to the fastest
- *                bit-exact variant for the layer's formats and this
- *                call's batch/thread shape (resolveKernelVariant)
+ *                bit-exact variant for the layer's formats, this
+ *                call's batch/thread shape and the probed activation
+ *                density (resolveKernelVariant)
+ * @param dispatch optional out-param recording the executed variant
+ *                and the probed activation density
  * @return B output vectors of layer.output_size each
  */
 Batch runBatch(const CompiledLayer &layer, const Batch &inputs,
                WorkerPool *pool = nullptr,
-               KernelVariant variant = KernelVariant::Auto);
+               KernelVariant variant = KernelVariant::Auto,
+               DispatchInfo *dispatch = nullptr);
 
 } // namespace eie::core::kernel
 

@@ -7,20 +7,11 @@
 
 namespace eie::core::kernel {
 
-namespace {
-
-/** Below this batch the dense lanes of "vector" carry too many zero
- *  activations to beat the sparse gather loops; Auto prefers the
- *  fused (serial) or reference stream instead. */
-constexpr std::size_t kVectorAutoBatch = 8;
-
-} // namespace
-
 const std::vector<std::string> &
 kernelVariantNames()
 {
-    static const std::vector<std::string> names{"auto", "reference",
-                                                "vector", "fused"};
+    static const std::vector<std::string> names{
+        "auto", "reference", "vector", "fused", "actsparse"};
     return names;
 }
 
@@ -36,6 +27,8 @@ kernelVariantName(KernelVariant variant)
         return "vector";
       case KernelVariant::Fused:
         return "fused";
+      case KernelVariant::ActSparse:
+        return "actsparse";
     }
     panic("invalid kernel variant %d", static_cast<int>(variant));
     return ""; // unreachable: panic() aborts
@@ -52,6 +45,8 @@ kernelVariantFromName(const std::string &name)
         return KernelVariant::Vector;
     if (name == "fused")
         return KernelVariant::Fused;
+    if (name == "actsparse")
+        return KernelVariant::ActSparse;
     std::string known;
     for (const std::string &n : kernelVariantNames())
         known += (known.empty() ? "" : ", ") + n;
@@ -90,16 +85,22 @@ vectorEligible(const CompiledLayer &layer)
 
 KernelVariant
 resolveKernelVariant(KernelVariant requested, const CompiledLayer &layer,
-                     std::size_t batch, unsigned threads)
+                     std::size_t batch, unsigned threads,
+                     double act_density)
 {
     switch (requested) {
       case KernelVariant::Reference:
         return KernelVariant::Reference;
+      case KernelVariant::ActSparse:
+        // Int64 scalar MAC like reference: bit-exact for every
+        // format, any batch, any thread count — never demotes.
+        return KernelVariant::ActSparse;
       case KernelVariant::Vector:
         fatal_if(!vectorEligible(layer),
                  "kernel variant 'vector' is not bit-exact for layer "
                  "'%s' (weights Q%u.%u, accumulator Q%u.%u overflow "
-                 "32-bit lanes); use 'auto', 'reference' or 'fused'",
+                 "32-bit lanes); use 'auto', 'reference', 'fused' or "
+                 "'actsparse'",
                  layer.name.c_str(), layer.weight_format.totalBits,
                  layer.weight_format.fracBits,
                  layer.act_format.totalBits, layer.act_format.fracBits);
@@ -115,9 +116,18 @@ resolveKernelVariant(KernelVariant requested, const CompiledLayer &layer,
     }
     if (vectorEligible(layer) && batch >= kVectorAutoBatch)
         return KernelVariant::Vector;
+    if (act_density >= 0.0 && act_density <= kActSparseAutoMaxDensity)
+        return KernelVariant::ActSparse;
     if (threads <= 1 && layer.has_fused_stream)
         return KernelVariant::Fused;
     return KernelVariant::Reference;
+}
+
+KernelVariant
+resolveKernelVariant(KernelVariant requested, const CompiledLayer &layer,
+                     std::size_t batch, unsigned threads)
+{
+    return resolveKernelVariant(requested, layer, batch, threads, -1.0);
 }
 
 // simdIsaName() is defined in executor.cc, next to the MAC row

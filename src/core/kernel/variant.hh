@@ -24,9 +24,18 @@
  *    and never scatters between per-slice accumulator views. With a
  *    multi-thread pool (fusion is the 1-thread form) it falls back to
  *    the per-slice reference loop, outputs unchanged.
+ *  - "actsparse": the paper's leading-nonzero-detect datapath. A
+ *    front-end scan compresses each input frame into a compact
+ *    (column, value) activation queue, and the inner loop walks only
+ *    the nonzero columns of the stream — zero activations cost
+ *    nothing, so batch-1 latency scales with activation density
+ *    instead of layer width. Works for every format (int64 scalar
+ *    MAC, like reference) and any thread count.
  *  - "auto": the fastest variant that is bit-exact for the layer's
  *    formats and the call's batch/thread shape; the default
- *    everywhere.
+ *    everywhere. When the caller supplies a measured activation
+ *    density, auto is density-aware: small-batch low-density calls
+ *    route to "actsparse" (see kActSparseAutoMaxDensity).
  *
  * All variants produce bit-identical outputs (the saturating-MAC
  * update sequence per accumulator is preserved exactly); "vector" is
@@ -53,7 +62,18 @@ enum class KernelVariant
     Reference, ///< scalar sparse-gather loop, the oracle
     Vector,    ///< SIMD 32-bit-lane dense-batch saturating MAC
     Fused,     ///< slice-fused single stream per column (1 thread)
+    ActSparse, ///< nonzero-activation queue walk (EIE NZ-detect)
 };
+
+/** Auto routes to Vector at or above this batch when the formats are
+ *  eligible: below it the dense lanes carry too many zeros to beat
+ *  the sparse gather loops. */
+constexpr std::size_t kVectorAutoBatch = 8;
+
+/** Auto routes small batches to ActSparse when the measured
+ *  activation density is at or below this fraction; above it the
+ *  per-frame stream re-walk stops paying for the skipped zeros. */
+constexpr double kActSparseAutoMaxDensity = 0.5;
 
 /** Registry names, selection order ("auto", "reference", ...). */
 const std::vector<std::string> &kernelVariantNames();
@@ -82,16 +102,29 @@ bool vectorEligible(const CompiledLayer &layer);
  * Resolve @p requested for one runBatch call:
  *
  *  - Auto picks Vector when the formats are eligible and the batch is
- *    wide enough to fill lanes, the Fused stream for serial small
+ *    wide enough to fill lanes (>= kVectorAutoBatch); below that it
+ *    picks ActSparse when @p act_density is known (>= 0) and at most
+ *    kActSparseAutoMaxDensity, then the Fused stream for serial
  *    batches, and Reference otherwise.
  *  - Fused demotes to Reference when the pool runs more than one
  *    thread (the fused stream is a single serial walk) or the layer
  *    was compiled without the fused stream.
  *  - Vector is fatal when the layer's formats are not eligible: the
  *    lanes would overflow, silently breaking bit-exactness.
+ *  - ActSparse and Reference always resolve to themselves: both are
+ *    int64 scalar paths, bit-exact for every format and thread count.
  *
+ * @p act_density is the measured fraction of nonzero input
+ * activations, or negative when unknown (the density-blind overload).
  * The returned variant is always directly executable on @p layer.
  */
+KernelVariant resolveKernelVariant(KernelVariant requested,
+                                   const CompiledLayer &layer,
+                                   std::size_t batch, unsigned threads,
+                                   double act_density);
+
+/** Density-blind overload: resolves with unknown activation density
+ *  (Auto never picks ActSparse). */
 KernelVariant resolveKernelVariant(KernelVariant requested,
                                    const CompiledLayer &layer,
                                    std::size_t batch, unsigned threads);

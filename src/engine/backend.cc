@@ -145,9 +145,12 @@ compiledStackOptions(unsigned threads,
                      core::kernel::KernelVariant kernel)
 {
     core::kernel::CompileOptions options;
+    // Auto can resolve to Fused or ActSparse, and a single-thread
+    // ActSparse run walks the fused stream too — keep it reachable.
     options.fused_stream = threads <= 1 &&
         (kernel == core::kernel::KernelVariant::Auto ||
-         kernel == core::kernel::KernelVariant::Fused);
+         kernel == core::kernel::KernelVariant::Fused ||
+         kernel == core::kernel::KernelVariant::ActSparse);
     return options;
 }
 
@@ -199,10 +202,15 @@ CompiledBackend::runBatch(const core::kernel::Batch &inputs) const
     if (pool_)
         lock.lock();
     RunReport report;
+    report.dispatch.reserve(layers_->size());
     const core::kernel::Batch *act = &inputs;
     for (const core::kernel::CompiledLayer &layer : *layers_) {
+        core::kernel::DispatchInfo info;
         report.outputs = core::kernel::runBatch(layer, *act, pool_.get(),
-                                                kernel_);
+                                                kernel_, &info);
+        report.dispatch.push_back(
+            {layer.name, core::kernel::kernelVariantName(info.variant),
+             info.act_density});
         act = &report.outputs;
     }
     return report;

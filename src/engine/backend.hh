@@ -27,6 +27,20 @@
 
 namespace eie::engine {
 
+/**
+ * One layer's kernel dispatch decision for a runBatch call: which
+ * variant actually executed and the measured (sampled) activation
+ * density that drove density-aware Auto resolution. Filled by the
+ * compiled backend; surfaced through ServerStats / statsJson /
+ * Client::stats() so the decision is observable end to end.
+ */
+struct LayerDispatch
+{
+    std::string layer;         ///< compiled layer name
+    std::string kernel;        ///< executed variant registry name
+    double act_density = -1.0; ///< sampled nonzero input fraction
+};
+
 /** What one backend execution produced. */
 struct RunReport
 {
@@ -38,6 +52,10 @@ struct RunReport
      * timed backends (ExecutionBackend::timed()); empty otherwise.
      */
     std::vector<std::vector<core::RunStats>> stats;
+
+    /** Per-layer kernel dispatch decisions, filled by the compiled
+     *  backend (empty for scalar/sim). */
+    std::vector<LayerDispatch> dispatch;
 
     /** Total simulated cycles over all frames and layers (0 untimed). */
     std::uint64_t totalCycles() const;

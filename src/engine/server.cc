@@ -145,6 +145,12 @@ InferenceServer::InferenceServer(
 {
     fatal_if(!backend_, "server needs a backend");
     fatal_if(options_.max_batch == 0, "max_batch must be >= 1");
+    // The adaptive window lives in [min_delay, max_delay]; it starts
+    // at max_delay (the fixed-window behavior) and only shrinks once
+    // sweeps are observed running nearly empty.
+    options_.min_delay = std::min(options_.min_delay,
+                                  options_.max_delay);
+    forming_delay_ = options_.max_delay;
     batcher_ = std::thread([this] { batcherLoop(); });
 }
 
@@ -254,7 +260,7 @@ InferenceServer::infer(std::vector<std::int64_t> input_raw)
 std::chrono::steady_clock::time_point
 InferenceServer::nextWakeup() const
 {
-    auto wake = queue_.front().enqueued + options_.max_delay;
+    auto wake = queue_.front().enqueued + forming_delay_;
     for (const detail::Pending &pending : queue_)
         wake = std::min(wake, pending.deadline);
     return wake;
@@ -294,8 +300,7 @@ InferenceServer::batcherLoop()
                 if (stopping_ || queue_.empty() ||
                     queue_.size() >= options_.max_batch)
                     break;
-                if (queue_.front().enqueued + options_.max_delay <=
-                    now)
+                if (queue_.front().enqueued + forming_delay_ <= now)
                     break;
                 // Re-arm when a newly submitted request carries an
                 // earlier deadline than this wait was computed for:
@@ -353,6 +358,38 @@ InferenceServer::batcherLoop()
                     std::chrono::duration<double, std::micro>(
                         now - pending.enqueued)
                         .count());
+            // Adapt the forming window to the observed queue depth:
+            // a sweep that ran nearly empty means traffic is
+            // sequential (an LSTM session stepping frame by frame)
+            // and the wait bought nothing — halve it; a full sweep
+            // means a burst is coalescing — double it back. The
+            // window never leaves [min_delay, max_delay], so it can
+            // only shorten queue waits relative to the fixed window.
+            if (options_.adaptive_delay) {
+                if (formed.batch.size() >= options_.max_batch)
+                    forming_delay_ = std::min(options_.max_delay,
+                                              forming_delay_ * 2);
+                else if (formed.batch.size() <= 1)
+                    forming_delay_ = std::max(options_.min_delay,
+                                              forming_delay_ / 2);
+            }
+            // Fold the sweep's per-layer dispatch decisions into the
+            // running stats (layer set is fixed per backend).
+            if (layer_dispatch_.size() != report.dispatch.size())
+                layer_dispatch_.assign(report.dispatch.size(), {});
+            for (std::size_t i = 0; i < report.dispatch.size(); ++i) {
+                const LayerDispatch &d = report.dispatch[i];
+                LayerDispatchStats &s = layer_dispatch_[i];
+                s.layer = d.layer;
+                s.kernel = d.kernel;
+                s.last_act_density = d.act_density;
+                if (d.act_density >= 0.0) {
+                    ++s.sweeps;
+                    s.mean_act_density +=
+                        (d.act_density - s.mean_act_density) /
+                        static_cast<double>(s.sweeps);
+                }
+            }
         }
         for (std::size_t i = 0; i < formed.batch.size(); ++i)
             formed.batch[i].promise.set_value(
@@ -415,6 +452,10 @@ InferenceServer::stats() const
         stats.dropped_deadline = dropped_deadline_;
         stats.requests_shed = requests_shed_;
         stats.max_queue_depth = max_queue_depth_;
+        stats.forming_delay_us =
+            std::chrono::duration<double, std::micro>(forming_delay_)
+                .count();
+        stats.layers = layer_dispatch_;
         latencies = latencies_.sample();
     }
     stats.mean_batch = stats.batches

@@ -12,6 +12,15 @@
  * added latency); under heavy load batches fill instantly and
  * throughput approaches the backend's batched peak.
  *
+ * The forming window is adaptive by default: when sweeps execute
+ * nearly empty (sequential/streaming traffic — an LSTM session
+ * stepping one frame at a time) the window halves toward min_delay,
+ * so lone requests stop paying the full max_delay wait; when sweeps
+ * fill to max_batch it doubles back toward max_delay so bursts keep
+ * coalescing. The window never exceeds the configured max_delay, so
+ * adaptivity can only shorten queue waits — a deadline feasible
+ * under the fixed window stays feasible under the adaptive one.
+ *
  * Requests carry an optional priority and deadline: when the queue
  * holds more than one batch of work the batcher pops higher-priority
  * requests first (FIFO within a priority level), and a request whose
@@ -132,8 +141,19 @@ struct ServerOptions
     std::size_t max_batch = 16;
 
     /** How long the batcher may hold the oldest queued request while
-     *  waiting for the batch to fill. */
+     *  waiting for the batch to fill (the adaptive window's upper
+     *  bound). */
     std::chrono::microseconds max_delay{200};
+
+    /** Adapt the forming window to the observed queue depth: halve
+     *  toward min_delay after a sweep that executed <= 1 request,
+     *  double back toward max_delay after a full sweep. Disable for
+     *  a fixed max_delay window. */
+    bool adaptive_delay = true;
+
+    /** Lower bound of the adaptive forming window (clamped to
+     *  max_delay when larger). */
+    std::chrono::microseconds min_delay{20};
 
     /** Admission control: maximum queued (unformed) requests before
      *  new arrivals are shed with ServerOverloaded. 0 (the default)
@@ -167,6 +187,21 @@ struct SubmitOptions
     std::chrono::microseconds deadline{0};
 };
 
+/**
+ * Per-layer kernel dispatch statistics of a serving backend: which
+ * variant the last sweep executed and the measured activation
+ * density, aggregated across sweeps. Only filled when the backend
+ * reports dispatch decisions (the compiled backend).
+ */
+struct LayerDispatchStats
+{
+    std::string layer;              ///< compiled layer name
+    std::string kernel;             ///< last executed variant
+    double last_act_density = -1.0; ///< last sweep's sampled density
+    double mean_act_density = 0.0;  ///< mean over measured sweeps
+    std::uint64_t sweeps = 0;       ///< sweeps with a measured density
+};
+
 /** Aggregate serving statistics since construction. */
 struct ServerStats
 {
@@ -188,6 +223,14 @@ struct ServerStats
     double p50_latency_us = 0.0;
     double p99_latency_us = 0.0;
     double max_latency_us = 0.0;
+
+    /** Current adaptive forming window (== max_delay when the
+     *  adaptive batcher is off or has not adapted yet). */
+    double forming_delay_us = 0.0;
+
+    /** Per-layer kernel dispatch decisions (empty for backends that
+     *  do not report them). */
+    std::vector<LayerDispatchStats> layers;
 };
 
 namespace detail {
@@ -292,7 +335,12 @@ class InferenceServer
     bool stopping_ = false;
     std::once_flag join_once_;
 
+    /** The adaptive forming window, within [min_delay, max_delay]
+     *  (guarded by mutex_). */
+    std::chrono::microseconds forming_delay_;
+
     // Statistics (guarded by mutex_).
+    std::vector<LayerDispatchStats> layer_dispatch_;
     std::uint64_t completed_ = 0;
     std::uint64_t batches_ = 0;
     std::uint64_t dropped_deadline_ = 0;

@@ -578,6 +578,36 @@ ClusterEngine::stats() const
     return stats;
 }
 
+std::vector<engine::LayerDispatchStats>
+mergeLayerDispatch(const std::vector<ShardStats> &shards)
+{
+    std::vector<engine::LayerDispatchStats> merged;
+    for (const ShardStats &shard : shards) {
+        if (merged.size() < shard.server.layers.size())
+            merged.resize(shard.server.layers.size());
+        for (std::size_t i = 0; i < shard.server.layers.size(); ++i) {
+            const engine::LayerDispatchStats &in =
+                shard.server.layers[i];
+            engine::LayerDispatchStats &out = merged[i];
+            out.layer = in.layer;
+            if (!in.kernel.empty()) {
+                out.kernel = in.kernel;
+                out.last_act_density = in.last_act_density;
+            }
+            if (in.sweeps > 0) {
+                const double total = out.mean_act_density *
+                        static_cast<double>(out.sweeps) +
+                    in.mean_act_density *
+                        static_cast<double>(in.sweeps);
+                out.sweeps += in.sweeps;
+                out.mean_act_density =
+                    total / static_cast<double>(out.sweeps);
+            }
+        }
+    }
+    return merged;
+}
+
 // ----------------------------------------------------- ServingDirectory
 
 ServingDirectory::ServingDirectory(ModelRegistry &registry,
@@ -695,7 +725,18 @@ ServingDirectory::statsJson() const
            << ",\"mean_batch\":" << stats.mean_batch
            << ",\"p50_latency_us\":" << stats.p50_latency_us
            << ",\"p99_latency_us\":" << stats.p99_latency_us
-           << ",\"shard_stats\":[";
+           << ",\"layers\":[";
+        const std::vector<engine::LayerDispatchStats> layers =
+            mergeLayerDispatch(stats.shards);
+        for (std::size_t i = 0; i < layers.size(); ++i) {
+            const engine::LayerDispatchStats &layer = layers[i];
+            os << (i ? "," : "") << "{\"layer\":\"" << layer.layer
+               << "\",\"kernel\":\"" << layer.kernel << "\""
+               << ",\"act_density\":" << layer.last_act_density
+               << ",\"mean_act_density\":" << layer.mean_act_density
+               << ",\"sweeps\":" << layer.sweeps << "}";
+        }
+        os << "],\"shard_stats\":[";
         for (std::size_t s = 0; s < stats.shards.size(); ++s) {
             const ShardStats &shard = stats.shards[s];
             os << (s ? "," : "") << "{\"requests\":"
@@ -703,6 +744,8 @@ ServingDirectory::statsJson() const
                << ",\"queue_depth\":" << shard.queue_depth
                << ",\"utilization\":" << shard.utilization
                << ",\"shed\":" << shard.server.requests_shed
+               << ",\"forming_delay_us\":"
+               << shard.server.forming_delay_us
                << ",\"health\":\""
                << (shard.ejected ? "ejected" : "healthy") << "\""
                << ",\"failures\":" << shard.failures

@@ -133,6 +133,17 @@ struct ClusterStats
     std::vector<ShardStats> shards;
 };
 
+/**
+ * Fold every shard's per-layer kernel dispatch stats into one
+ * per-layer view (shards serve the same layer stack, so layer i
+ * merges across shards): last non-empty decision wins for
+ * kernel/last density, measured densities combine sweep-weighted.
+ * Shared by statsJson() and the client transports so the aggregation
+ * policy cannot drift between them.
+ */
+std::vector<engine::LayerDispatchStats>
+mergeLayerDispatch(const std::vector<ShardStats> &shards);
+
 /** N InferenceServer shards behind one submit() front door. */
 class ClusterEngine
 {

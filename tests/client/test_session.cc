@@ -214,6 +214,45 @@ TEST(ClientSession, NtLstmSequenceMatchesTheOracleOnEveryTransport)
     }
 }
 
+TEST(ClientSession, AdaptiveFormingWindowMeetsStepDeadlines)
+{
+    // Sequential session streaming is the traffic that shrinks the
+    // adaptive forming window to min_delay. The window never exceeds
+    // max_delay, so a per-step deadline that was feasible under the
+    // fixed window must hold at every adapted size: all steps commit
+    // (no deadline drops) and the trajectory stays bit-exact.
+    SessionFixture fx;
+    constexpr std::size_t kSteps = 24;
+    const std::vector<nn::Vector> oracle =
+        fx.oracleTrajectory(kSteps);
+
+    client::ClientOptions options = fx.clientOptions();
+    ASSERT_TRUE(options.server.adaptive_delay);
+    options.server.max_delay = std::chrono::microseconds(200);
+    options.server.min_delay = std::chrono::microseconds(20);
+
+    client::Status status;
+    const auto client = client::Client::connect(
+        fx.endpoints().front(), options, status);
+    ASSERT_NE(client, nullptr) << status.toString();
+    const auto session = client->openSession("nt-lstm", 0, status);
+    ASSERT_NE(session, nullptr) << status.toString();
+
+    // Far above max_delay + compute, so a drop can only mean the
+    // batcher held a request past its deadline — exactly the bug an
+    // adaptive window must not introduce.
+    const auto deadline = std::chrono::microseconds(
+        std::chrono::milliseconds(250));
+    for (std::size_t t = 0; t < kSteps; ++t) {
+        const client::Session::StepResult step =
+            session->step(fx.stepInput(t), 0, deadline);
+        ASSERT_TRUE(step.ok())
+            << "step " << t << ": " << step.status.toString();
+        EXPECT_EQ(step.h, oracle[t]) << "diverged at step " << t;
+    }
+    EXPECT_EQ(session->steps(), kSteps);
+}
+
 TEST(ClientSession, TwoSessionsThreadIndependentState)
 {
     SessionFixture fx;

@@ -29,7 +29,8 @@ using core::kernel::KernelVariant;
 /** Every registry variant, explicit and auto. */
 const std::vector<KernelVariant> kAllVariants{
     KernelVariant::Auto, KernelVariant::Reference,
-    KernelVariant::Vector, KernelVariant::Fused};
+    KernelVariant::Vector, KernelVariant::Fused,
+    KernelVariant::ActSparse};
 
 /** Quantized random frames at the given activation density. */
 core::kernel::Batch

@@ -33,11 +33,12 @@ using core::kernel::KernelVariant;
 
 const std::vector<KernelVariant> kAllVariants{
     KernelVariant::Auto, KernelVariant::Reference,
-    KernelVariant::Vector, KernelVariant::Fused};
+    KernelVariant::Vector, KernelVariant::Fused,
+    KernelVariant::ActSparse};
 
 const std::vector<KernelVariant> kExplicitVariants{
     KernelVariant::Reference, KernelVariant::Vector,
-    KernelVariant::Fused};
+    KernelVariant::Fused, KernelVariant::ActSparse};
 
 /**
  * A dense layer whose partial sums slam into both accumulator rails:
@@ -62,7 +63,7 @@ saturatingLayer(std::size_t rows, std::size_t cols, unsigned n_pe,
 
 TEST(KernelVariants, RegistryNamesRoundTrip)
 {
-    ASSERT_EQ(core::kernel::kernelVariantNames().size(), 4u);
+    ASSERT_EQ(core::kernel::kernelVariantNames().size(), 5u);
     for (const std::string &name : core::kernel::kernelVariantNames())
         EXPECT_STREQ(core::kernel::kernelVariantName(
                          core::kernel::kernelVariantFromName(name)),
@@ -129,6 +130,66 @@ TEST(KernelVariants, ResolutionFollowsTheDocumentedRules)
     EXPECT_EQ(resolveKernelVariant(KernelVariant::Fused, lean, 1, 1),
               KernelVariant::Reference);
     EXPECT_EQ(resolveKernelVariant(KernelVariant::Auto, lean, 1, 1),
+              KernelVariant::Reference);
+
+    // An explicit actsparse request never demotes: it needs neither
+    // SIMD eligibility, a fused stream, nor a single thread.
+    EXPECT_EQ(resolveKernelVariant(KernelVariant::ActSparse, compiled,
+                                   64, 4),
+              KernelVariant::ActSparse);
+    EXPECT_EQ(
+        resolveKernelVariant(KernelVariant::ActSparse, lean, 1, 1),
+        KernelVariant::ActSparse);
+}
+
+TEST(KernelVariants, AutoResolutionIsDensityAware)
+{
+    core::EieConfig config;
+    config.n_pe = 4;
+    const auto layer = test::randomCompressedLayer(64, 48, 0.3, 4, 11);
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    const auto compiled =
+        core::kernel::CompiledLayer::compile(plan, config);
+    ASSERT_TRUE(compiled.has_fused_stream);
+    ASSERT_TRUE(core::kernel::vectorEligible(compiled));
+
+    using core::kernel::kActSparseAutoMaxDensity;
+    using core::kernel::kVectorAutoBatch;
+    using core::kernel::resolveKernelVariant;
+
+    // Small batch + sparse activations: the nonzero-queue walk wins.
+    EXPECT_EQ(resolveKernelVariant(KernelVariant::Auto, compiled, 1, 1,
+                                   0.35),
+              KernelVariant::ActSparse);
+    // The crossover is inclusive at the documented threshold...
+    EXPECT_EQ(resolveKernelVariant(KernelVariant::Auto, compiled, 1, 1,
+                                   kActSparseAutoMaxDensity),
+              KernelVariant::ActSparse);
+    // ...and dense activations above it keep the fused sweep.
+    EXPECT_EQ(resolveKernelVariant(KernelVariant::Auto, compiled, 1, 1,
+                                   0.75),
+              KernelVariant::Fused);
+    // Batch wins over density: SIMD lanes fill at kVectorAutoBatch
+    // regardless of how sparse the activations are.
+    EXPECT_EQ(resolveKernelVariant(KernelVariant::Auto, compiled,
+                                   kVectorAutoBatch, 1, 0.05),
+              KernelVariant::Vector);
+    EXPECT_EQ(resolveKernelVariant(KernelVariant::Auto, compiled,
+                                   kVectorAutoBatch - 1, 1, 0.05),
+              KernelVariant::ActSparse);
+    // The sparse walk is pool-safe (PE rows are disjoint), so a
+    // pooled low-density call still takes it where a fused request
+    // would have demoted to reference.
+    EXPECT_EQ(resolveKernelVariant(KernelVariant::Auto, compiled, 2, 4,
+                                   0.2),
+              KernelVariant::ActSparse);
+    // Unknown density (no probe) preserves the density-blind rules.
+    EXPECT_EQ(resolveKernelVariant(KernelVariant::Auto, compiled, 1, 1,
+                                   -1.0),
+              KernelVariant::Fused);
+    EXPECT_EQ(resolveKernelVariant(KernelVariant::Auto, compiled, 1, 4,
+                                   -1.0),
               KernelVariant::Reference);
 }
 
@@ -348,6 +409,113 @@ TEST(KernelVariants, RaggedAndAllZeroBatchesAcrossVariants)
             EXPECT_EQ(out, std::vector<std::int64_t>(96, 0))
                 << core::kernel::kernelVariantName(kernel);
     }
+}
+
+TEST(KernelVariants, ActSparseBitExactAcrossDensitySweep)
+{
+    // The actsparse queue walk must reproduce the reference
+    // saturating-MAC sequence exactly at every activation density:
+    // empty queues (0%), a single nonzero, the paper's 35%, fully
+    // dense (100%, where the queue degenerates to the dense walk),
+    // all-zero frames mixed into live batches, ragged batch sizes,
+    // and the pooled per-slice route.
+    core::EieConfig config;
+    config.n_pe = 4;
+    const auto layer = test::randomCompressedLayer(96, 64, 0.2, 4, 91);
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    const auto compiled =
+        core::kernel::CompiledLayer::compile(plan, config);
+    const core::FunctionalModel model(config);
+    core::kernel::WorkerPool pool(3);
+
+    std::vector<core::kernel::Batch> batches;
+    for (const double density : {0.0, 0.35, 1.0}) {
+        for (const std::size_t batch : {1u, 3u, 5u, 9u}) {
+            core::kernel::Batch frames;
+            for (std::size_t b = 0; b < batch; ++b)
+                frames.push_back(
+                    model.quantizeInput(test::randomActivations(
+                        64, density, 900 + 13 * b)));
+            batches.push_back(std::move(frames));
+        }
+    }
+    {
+        // Exactly one nonzero activation: the smallest live queue.
+        std::vector<std::int64_t> one_hot(64, 0);
+        one_hot[17] = model.quantizeInput(nn::Vector(1, 0.75f))[0];
+        batches.push_back(core::kernel::Batch{std::move(one_hot)});
+    }
+    {
+        // All-zero frames interleaved with dense ones: per-frame
+        // queues of wildly different lengths in one batch.
+        core::kernel::Batch mixed;
+        for (std::size_t b = 0; b < 6; ++b)
+            mixed.push_back(
+                b % 2 == 0
+                    ? std::vector<std::int64_t>(64, 0)
+                    : model.quantizeInput(
+                          test::randomActivations(64, 1.0, 950 + b)));
+        batches.push_back(std::move(mixed));
+    }
+
+    for (const auto &frames : batches) {
+        core::kernel::Batch reference;
+        for (const auto &frame : frames)
+            reference.push_back(model.run(plan, frame).output_raw);
+
+        for (core::kernel::WorkerPool *p :
+             {static_cast<core::kernel::WorkerPool *>(nullptr),
+              &pool}) {
+            const auto outputs = core::kernel::runBatch(
+                compiled, frames, p, KernelVariant::ActSparse);
+            ASSERT_EQ(outputs.size(), frames.size());
+            for (std::size_t b = 0; b < frames.size(); ++b)
+                EXPECT_EQ(outputs[b], reference[b])
+                    << "batch " << frames.size() << ", "
+                    << (p ? "pooled" : "serial") << ", frame " << b;
+        }
+    }
+}
+
+TEST(KernelVariants, DispatchInfoReportsDensityAndVariant)
+{
+    core::EieConfig config;
+    config.n_pe = 4;
+    const auto layer = test::randomCompressedLayer(64, 48, 0.3, 4, 61);
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    const auto compiled =
+        core::kernel::CompiledLayer::compile(plan, config);
+    const core::FunctionalModel model(config);
+
+    // A quarter-dense single frame: the probe must measure low
+    // density and Auto must dispatch the actsparse walk.
+    core::kernel::Batch sparse_frames;
+    sparse_frames.push_back(model.quantizeInput(
+        test::randomActivations(48, 0.25, 1001)));
+    core::kernel::DispatchInfo info;
+    core::kernel::runBatch(compiled, sparse_frames, nullptr,
+                           KernelVariant::Auto, &info);
+    EXPECT_EQ(info.variant, KernelVariant::ActSparse);
+    ASSERT_GE(info.act_density, 0.0);
+    EXPECT_LE(info.act_density,
+              core::kernel::kActSparseAutoMaxDensity);
+
+    // A fully dense frame probes high and keeps the fused sweep.
+    core::kernel::Batch dense_frames;
+    dense_frames.push_back(
+        model.quantizeInput(test::randomActivations(48, 1.0, 1002)));
+    core::kernel::runBatch(compiled, dense_frames, nullptr,
+                           KernelVariant::Auto, &info);
+    EXPECT_EQ(info.variant, KernelVariant::Fused);
+    EXPECT_GT(info.act_density,
+              core::kernel::kActSparseAutoMaxDensity);
+
+    // An empty batch reports an unknown density.
+    core::kernel::runBatch(compiled, {}, nullptr, KernelVariant::Auto,
+                           &info);
+    EXPECT_LT(info.act_density, 0.0);
 }
 
 } // namespace

@@ -203,7 +203,8 @@ TEST(ExecutionBackend, CompiledKernelVariantsMatchScalarOnAStack)
          {core::kernel::KernelVariant::Auto,
           core::kernel::KernelVariant::Reference,
           core::kernel::KernelVariant::Vector,
-          core::kernel::KernelVariant::Fused}) {
+          core::kernel::KernelVariant::Fused,
+          core::kernel::KernelVariant::ActSparse}) {
         for (const unsigned threads : {1u, 4u}) {
             const auto backend = engine::makeBackend(
                 "compiled", config, plans, threads, kernel);

@@ -165,6 +165,109 @@ TEST(InferenceServer, BurstCoalescesIntoFewerSweeps)
     EXPECT_GE(stats.mean_batch, 2.0);
 }
 
+TEST(InferenceServer, AdaptiveWindowShrinksUnderSequentialStreaming)
+{
+    // A strictly sequential stream (one request in flight at a time,
+    // the recurrent-session shape) executes every sweep at batch 1,
+    // so the adaptive forming window must halve its way down to
+    // min_delay instead of charging each step the full max_delay.
+    ServingFixture fx;
+    engine::ServerOptions options;
+    options.max_batch = 8;
+    options.max_delay = std::chrono::microseconds(200);
+    options.min_delay = std::chrono::microseconds(20);
+    ASSERT_TRUE(options.adaptive_delay); // the default
+    engine::InferenceServer server(fx.compiledBackend(), options);
+
+    for (int i = 0; i < 16; ++i) {
+        const auto input = fx.randomInput(4400 + i);
+        EXPECT_EQ(server.infer(input), fx.oracle(input));
+    }
+    const engine::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requests, 16u);
+    EXPECT_LE(stats.forming_delay_us,
+              static_cast<double>(options.min_delay.count()) + 0.5);
+    EXPECT_GE(stats.forming_delay_us, 0.0);
+}
+
+TEST(InferenceServer, AdaptiveWindowRegrowsUnderBurstAndStaysExact)
+{
+    // Drive the window down to min_delay with sequential traffic,
+    // then hit the server with a deep burst: full sweeps must double
+    // the window back up (recovering batching headroom), capped at
+    // max_delay, with every response still bit-exact.
+    ServingFixture fx;
+    engine::ServerOptions options;
+    options.max_batch = 4;
+    options.max_delay = std::chrono::microseconds(200);
+    options.min_delay = std::chrono::microseconds(20);
+    engine::InferenceServer server(fx.compiledBackend(), options);
+
+    for (int i = 0; i < 8; ++i)
+        server.infer(fx.randomInput(4500 + i));
+    EXPECT_LE(server.stats().forming_delay_us,
+              static_cast<double>(options.min_delay.count()) + 0.5);
+
+    constexpr int kBurst = 128;
+    std::vector<std::vector<std::int64_t>> inputs;
+    std::vector<std::future<std::vector<std::int64_t>>> futures;
+    for (int i = 0; i < kBurst; ++i)
+        inputs.push_back(fx.randomInput(4600 + i));
+    for (int i = 0; i < kBurst; ++i)
+        futures.push_back(server.submit(inputs[i]));
+    for (int i = 0; i < kBurst; ++i)
+        EXPECT_EQ(futures[i].get(), fx.oracle(inputs[i]));
+
+    const engine::ServerStats stats = server.stats();
+    EXPECT_GT(stats.forming_delay_us,
+              static_cast<double>(options.min_delay.count()));
+    EXPECT_LE(stats.forming_delay_us,
+              static_cast<double>(options.max_delay.count()) + 0.5);
+    // The burst still coalesced: full sweeps, not one per request.
+    EXPECT_LE(stats.batches, static_cast<std::uint64_t>(kBurst));
+    EXPECT_GE(stats.mean_batch, 1.0);
+}
+
+TEST(InferenceServer, FixedWindowWhenAdaptiveDisabled)
+{
+    ServingFixture fx;
+    engine::ServerOptions options;
+    options.max_batch = 8;
+    options.max_delay = std::chrono::microseconds(200);
+    options.adaptive_delay = false;
+    engine::InferenceServer server(fx.compiledBackend(), options);
+
+    for (int i = 0; i < 8; ++i)
+        server.infer(fx.randomInput(4700 + i));
+    EXPECT_DOUBLE_EQ(server.stats().forming_delay_us,
+                     static_cast<double>(options.max_delay.count()));
+}
+
+TEST(InferenceServer, AdaptiveWindowNeverViolatesDeadlines)
+{
+    // The adaptive window only ever shrinks below max_delay, so any
+    // deadline feasible under the fixed window stays feasible: a
+    // sequential stream with deadlines comfortably above max_delay
+    // must see zero deadline drops at every window size.
+    ServingFixture fx;
+    engine::ServerOptions options;
+    options.max_batch = 8;
+    options.max_delay = std::chrono::microseconds(200);
+    options.min_delay = std::chrono::microseconds(20);
+    engine::InferenceServer server(fx.compiledBackend(), options);
+
+    engine::SubmitOptions submit;
+    submit.deadline = std::chrono::milliseconds(250);
+    for (int i = 0; i < 24; ++i) {
+        const auto input = fx.randomInput(4800 + i);
+        auto future = server.submit(input, submit);
+        EXPECT_EQ(future.get(), fx.oracle(input));
+    }
+    const engine::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requests, 24u);
+    EXPECT_EQ(stats.dropped_deadline, 0u);
+}
+
 TEST(InferenceServer, StopDrainsQueuedRequests)
 {
     ServingFixture fx;

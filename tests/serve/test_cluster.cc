@@ -300,7 +300,8 @@ TEST(ClusterEngine, KernelVariantsServeBitExactOnEveryPlacement)
     for (const core::kernel::KernelVariant kernel :
          {core::kernel::KernelVariant::Reference,
           core::kernel::KernelVariant::Vector,
-          core::kernel::KernelVariant::Fused}) {
+          core::kernel::KernelVariant::Fused,
+          core::kernel::KernelVariant::ActSparse}) {
         for (const serve::Placement placement :
              {serve::Placement::Replicated,
               serve::Placement::ColumnPartitioned}) {

@@ -10,9 +10,9 @@
 # pass so a serving regression is called out by name even when the
 # full run already covered it. A Release variant-matrix smoke then
 # drives eie_sim through every kernel variant (--kernel
-# reference|vector|fused) in both the batched-throughput and the
-# serving path, each checked bit-exact against the scalar oracle by
-# the tool itself.
+# reference|vector|fused|actsparse) in both the batched-throughput
+# and the serving path, each checked bit-exact against the scalar
+# oracle by the tool itself.
 #
 # A third pass rebuilds the concurrency-sensitive suites — worker
 # pool, batched kernels (all variants), execution backends, the
@@ -55,7 +55,7 @@ for build_type in Release Debug; do
 done
 
 echo "=== kernel variant matrix (Release eie_sim smoke) ==="
-for kernel in reference vector fused; do
+for kernel in reference vector fused actsparse; do
     ./build-check-release/eie_sim --throughput 16 --benchmark NT-We \
         --kernel "${kernel}"
     ./build-check-release/eie_sim --serve 24 --benchmark NT-We \

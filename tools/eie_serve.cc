@@ -92,13 +92,17 @@ usage()
         "  --policy P            replicated | partitioned\n"
         "  --backend NAME        shard backend (default compiled)\n"
         "  --kernel V            shard kernel variant: auto | "
-        "reference | vector | fused\n"
+        "reference | vector | fused | actsparse\n"
         "  --threads-per-shard T worker threads per shard "
         "(default 1)\n"
         "  --max-batch B         shard micro-batcher cap "
         "(default 16)\n"
         "  --max-delay-us U      batch forming deadline "
-        "(default 200)\n"
+        "(default 200); the adaptive window's upper bound\n"
+        "  --min-delay-us U      adaptive forming window floor "
+        "(default 20)\n"
+        "  --fixed-delay         disable the adaptive forming window "
+        "(always wait max-delay-us)\n"
         "  --max-queue N         per-shard admission cap; above it "
         "requests shed (0 = unbounded)\n"
         "  --shed-policy P       reject (shed the newcomer) | evict "
@@ -244,8 +248,17 @@ runDaemon(const Args &args)
               << serve::placementName(args.cluster.placement) << ", "
               << args.cluster.backend << " backend, "
               << core::kernel::kernelVariantName(args.cluster.kernel)
-              << " kernel)\n"
-              << std::flush;
+              << " kernel, forming window ";
+    if (args.cluster.server.adaptive_delay)
+        std::cout << "adaptive "
+                  << std::min(args.cluster.server.min_delay,
+                              args.cluster.server.max_delay)
+                         .count()
+                  << "-" << args.cluster.server.max_delay.count();
+    else
+        std::cout << "fixed "
+                  << args.cluster.server.max_delay.count();
+    std::cout << "us)\n" << std::flush;
 
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
@@ -457,6 +470,13 @@ main(int argc, char **argv)
             fatal_if(us < 0, "--max-delay-us must be >= 0");
             args.cluster.server.max_delay =
                 std::chrono::microseconds(us);
+        } else if (arg == "--min-delay-us") {
+            const long long us = std::stoll(next());
+            fatal_if(us < 0, "--min-delay-us must be >= 0");
+            args.cluster.server.min_delay =
+                std::chrono::microseconds(us);
+        } else if (arg == "--fixed-delay") {
+            args.cluster.server.adaptive_delay = false;
         } else if (arg == "--max-queue") {
             args.cluster.server.max_queue = std::stoul(next());
         } else if (arg == "--shed-policy") {

@@ -80,7 +80,11 @@ usage()
         "  --throughput B       run the batched host engine, B frames\n"
         "  --threads T          PE-parallel worker threads (default 1)\n"
         "  --kernel V           kernel variant: auto | reference | "
-        "vector | fused\n"
+        "vector | fused | actsparse\n"
+        "  --act-density D      activation density of generated "
+        "inputs, 0..1\n"
+        "                       (default: the benchmark's "
+        "paper-reported density)\n"
         "  --repeats R          timing repetitions, best wins "
         "(default 3)\n"
         "  --serve N            serve N open-loop requests per "
@@ -102,18 +106,22 @@ secondsSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
-/** Quantized open-loop request inputs for one benchmark. */
+/** Quantized open-loop request inputs for one benchmark, at the
+ *  paper-reported activation density unless --act-density overrides
+ *  it (@p act_density < 0 = use the benchmark's). */
 core::kernel::Batch
 makeRequestInputs(const workloads::Benchmark &bench,
                   const core::FunctionalModel &model, std::size_t count,
-                  std::uint64_t seed)
+                  std::uint64_t seed, double act_density = -1.0)
 {
+    const double density =
+        act_density < 0.0 ? bench.act_density : act_density;
     core::kernel::Batch inputs;
     inputs.reserve(count);
     for (std::size_t b = 0; b < count; ++b) {
         Rng rng(seed + 77 * b + 1);
-        inputs.push_back(model.quantizeInput(nn::makeActivations(
-            bench.input, bench.act_density, rng)));
+        inputs.push_back(model.quantizeInput(
+            nn::makeActivations(bench.input, density, rng)));
     }
     return inputs;
 }
@@ -125,7 +133,7 @@ runThroughput(workloads::SuiteRunner &runner,
               const std::vector<std::string> &names,
               const core::EieConfig &config, std::size_t batch,
               unsigned threads, core::kernel::KernelVariant kernel,
-              unsigned repeats, std::uint64_t seed)
+              unsigned repeats, std::uint64_t seed, double act_density)
 {
     TextTable table({"Benchmark", "Batch", "Threads", "Scalar f/s",
                      "Batched f/s", "Speedup", "GOP/s", "Exact"});
@@ -137,9 +145,9 @@ runThroughput(workloads::SuiteRunner &runner,
         core::NetworkRunner net(config);
         net.addLayer(runner.layer(bench), nn::Nonlinearity::ReLU);
 
-        // B frames at the benchmark's activation density.
+        // B frames at the benchmark's (or the overridden) density.
         const core::kernel::Batch inputs =
-            makeRequestInputs(bench, model, batch, seed);
+            makeRequestInputs(bench, model, batch, seed, act_density);
 
         // Scalar oracle timing: rep 0 walks the interpreter with work
         // accounting (it doubles as the reference and the GOP/s
@@ -211,6 +219,7 @@ struct ServeArgs
     core::kernel::KernelVariant kernel =
         core::kernel::KernelVariant::Auto;
     engine::ServerOptions options;
+    double act_density = -1.0; ///< <0 = the benchmark's paper density
 };
 
 /** The --serve mode: the typed eie::client::Client over a `local:`
@@ -240,8 +249,8 @@ runServe(workloads::SuiteRunner &runner,
         core::NetworkRunner net(config);
         net.addLayer(runner.layer(bench), nn::Nonlinearity::ReLU);
 
-        const core::kernel::Batch inputs =
-            makeRequestInputs(bench, model, args.requests, seed);
+        const core::kernel::Batch inputs = makeRequestInputs(
+            bench, model, args.requests, seed, args.act_density);
 
         Rng arrival_rng(seed ^ 0x5e57e11aULL);
         const std::vector<double> arrival_s = engine::openLoopArrivals(
@@ -417,6 +426,11 @@ main(int argc, char **argv)
             const long long us = std::stoll(next());
             fatal_if(us < 0, "--max-delay-us must be >= 0");
             serve.options.max_delay = std::chrono::microseconds(us);
+        } else if (arg == "--act-density") {
+            serve.act_density = std::stod(next());
+            fatal_if(serve.act_density < 0.0 ||
+                         serve.act_density > 1.0,
+                     "--act-density must be in [0, 1]");
         } else if (arg == "--repeats") {
             repeats = static_cast<unsigned>(std::stoul(next()));
             fatal_if(repeats == 0, "--repeats needs at least 1");
@@ -444,7 +458,8 @@ main(int argc, char **argv)
 
     if (throughput_batch > 0)
         return runThroughput(runner, names, config, throughput_batch,
-                             threads, serve.kernel, repeats, seed);
+                             threads, serve.kernel, repeats, seed,
+                             serve.act_density);
 
     if (!export_path.empty()) {
         fatal_if(names.size() != 1,
