@@ -13,6 +13,9 @@
 #include "common/logging.hh"
 #include "core/kernel/variant.hh"
 #include "engine/lstm_session.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "serve/registry.hh"
 #include "serve/tcp.hh"
 
@@ -240,11 +243,12 @@ class SessionImpl
 class InProcessSession final : public SessionImpl
 {
   public:
-    /** The per-step M×V: packed raw input + scheduling knobs in, raw
-     *  pre-activations out; throws on failure. */
+    /** The per-step M×V: packed raw input + scheduling knobs and the
+     *  step's trace id in, raw pre-activations out; throws on
+     *  failure. */
     using Mxv = std::function<std::vector<std::int64_t>(
         std::vector<std::int64_t>, std::int32_t,
-        std::chrono::microseconds)>;
+        std::chrono::microseconds, std::uint64_t)>;
 
     InProcessSession(std::string model, const core::EieConfig &config,
                      const engine::LstmShape &shape, Mxv mxv)
@@ -260,16 +264,18 @@ class InProcessSession final : public SessionImpl
             return {Status::error(StatusCode::Unavailable,
                                   "session is closed"),
                     {}};
+        const std::uint64_t trace_id = obs::nextTraceId();
         try {
             nn::Vector h = session_.step(
                 x, [&](std::vector<std::int64_t> packed) {
                     return mxv_(std::move(packed), priority,
-                                deadline);
+                                deadline, trace_id);
                 });
-            return {Status::success(), std::move(h)};
+            return {Status::success(), std::move(h), trace_id};
         } catch (...) {
             return {statusFromException(std::current_exception()),
-                    {}};
+                    {},
+                    trace_id};
         }
     }
 
@@ -321,19 +327,23 @@ class TcpSession final : public SessionImpl
             return {Status::error(StatusCode::Unavailable,
                                   "session is closed"),
                     {}};
+        const std::uint64_t trace_id = obs::nextTraceId();
         serve::wire::SessionState state =
             client_
                 ->submitStep(session_id_,
                              std::vector<float>(x.begin(), x.end()),
-                             priority, wireDeadlineUs(deadline))
+                             priority, wireDeadlineUs(deadline),
+                             trace_id)
                 .get();
         if (!state.ok)
             return {statusFromWire(state.code,
                                    std::move(state.error)),
-                    {}};
+                    {},
+                    trace_id};
         ++steps_;
         return {Status::success(),
-                nn::Vector(state.h.begin(), state.h.end())};
+                nn::Vector(state.h.begin(), state.h.end()),
+                trace_id};
     }
 
     void
@@ -373,13 +383,24 @@ class Transport
     virtual FrameFuture
     submitFrame(const std::string &model, std::uint32_t version,
                 std::vector<std::int64_t> frame, std::int32_t priority,
-                std::chrono::microseconds deadline) = 0;
+                std::chrono::microseconds deadline,
+                std::uint64_t trace_id) = 0;
     virtual std::unique_ptr<SessionImpl>
     openSession(const std::string &model, std::uint32_t version,
                 Status &status) = 0;
     virtual Status stats(EndpointStats &out) = 0;
+    virtual Status traceDump(std::string &out) = 0;
     virtual void close() = 0;
 };
+
+/** The in-process transports' trace dump: this process's span ring
+ *  (the spans the engine/cluster recorded right here). */
+Status
+localTraceDump(std::string &out)
+{
+    out = obs::renderChromeTrace(obs::processTraceRing().snapshot());
+    return Status::success();
+}
 
 // ------------------------------------------------------ LocalTransport
 
@@ -426,7 +447,8 @@ class LocalTransport final : public Transport
     FrameFuture
     submitFrame(const std::string &model, std::uint32_t version,
                 std::vector<std::int64_t> frame, std::int32_t priority,
-                std::chrono::microseconds deadline) override
+                std::chrono::microseconds deadline,
+                std::uint64_t trace_id) override
     {
         Status status;
         Entry *entry =
@@ -442,6 +464,7 @@ class LocalTransport final : public Transport
         engine::SubmitOptions submit;
         submit.priority = priority;
         submit.deadline = deadline;
+        submit.trace_id = trace_id;
         return FrameFuture::ofEngine(
             entry->server->submit(std::move(frame), submit));
     }
@@ -474,10 +497,12 @@ class LocalTransport final : public Transport
             std::move(model_name), config_, shape,
             [server](std::vector<std::int64_t> packed,
                      std::int32_t priority,
-                     std::chrono::microseconds deadline) {
+                     std::chrono::microseconds deadline,
+                     std::uint64_t trace_id) {
                 engine::SubmitOptions submit;
                 submit.priority = priority;
                 submit.deadline = deadline;
+                submit.trace_id = trace_id;
                 return server->submit(std::move(packed), submit)
                     .get();
             });
@@ -488,21 +513,22 @@ class LocalTransport final : public Transport
     {
         std::lock_guard<std::mutex> lock(mutex_);
         out = EndpointStats{};
-        std::ostringstream json;
-        json << "{\"models\":[";
-        bool first = true;
+        // Latencies aggregate by histogram merge — percentiles of
+        // the union, not the statistically-meaningless
+        // request-weighted average of per-model percentiles.
+        obs::HistogramSnapshot latency{};
+        obs::JsonWriter json;
+        json.beginObject();
+        json.key("models");
+        json.beginArray();
         for (const auto &[key, entry] : entries_) {
             const engine::ServerStats stats = entry.server->stats();
             out.requests += stats.requests;
             out.dropped_deadline += stats.dropped_deadline;
             out.requests_shed += stats.requests_shed;
-            // Request-weighted latency/batch aggregation.
             out.mean_batch += stats.mean_batch *
                 static_cast<double>(stats.requests);
-            out.p50_latency_us += stats.p50_latency_us *
-                static_cast<double>(stats.requests);
-            out.p99_latency_us += stats.p99_latency_us *
-                static_cast<double>(stats.requests);
+            latency.merge(stats.latency);
             out.max_queue_depth =
                 std::max(out.max_queue_depth, stats.max_queue_depth);
             for (const engine::LayerDispatchStats &layer :
@@ -511,37 +537,48 @@ class LocalTransport final : public Transport
                                       layer.kernel,
                                       layer.last_act_density,
                                       layer.mean_act_density});
-            json << (first ? "" : ",") << "{\"model\":\""
-                 << entry.info.model << "\",\"requests\":"
-                 << stats.requests << ",\"requests_shed\":"
-                 << stats.requests_shed << ",\"mean_batch\":"
-                 << stats.mean_batch << ",\"p50_latency_us\":"
-                 << stats.p50_latency_us << ",\"p99_latency_us\":"
-                 << stats.p99_latency_us
-                 << ",\"forming_delay_us\":" << stats.forming_delay_us
-                 << ",\"layers\":[";
-            for (std::size_t i = 0; i < stats.layers.size(); ++i) {
-                const engine::LayerDispatchStats &layer =
-                    stats.layers[i];
-                json << (i ? "," : "") << "{\"layer\":\""
-                     << layer.layer << "\",\"kernel\":\""
-                     << layer.kernel << "\",\"act_density\":"
-                     << layer.last_act_density
-                     << ",\"mean_act_density\":"
-                     << layer.mean_act_density << "}";
+            json.beginObject();
+            json.field("model", entry.info.model);
+            json.field("requests", stats.requests);
+            json.field("requests_shed", stats.requests_shed);
+            json.field("mean_batch", stats.mean_batch);
+            json.field("p50_latency_us", stats.p50_latency_us);
+            json.field("p95_latency_us", stats.p95_latency_us);
+            json.field("p99_latency_us", stats.p99_latency_us);
+            json.field("p999_latency_us", stats.p999_latency_us);
+            json.field("forming_delay_us", stats.forming_delay_us);
+            json.key("layers");
+            json.beginArray();
+            for (const engine::LayerDispatchStats &layer :
+                 stats.layers) {
+                json.beginObject();
+                json.field("layer", layer.layer);
+                json.field("kernel", layer.kernel);
+                json.field("act_density", layer.last_act_density);
+                json.field("mean_act_density",
+                           layer.mean_act_density);
+                json.endObject();
             }
-            json << "]}";
-            first = false;
+            json.endArray();
+            json.endObject();
         }
-        json << "]}";
-        if (out.requests > 0) {
-            const double n = static_cast<double>(out.requests);
-            out.mean_batch /= n;
-            out.p50_latency_us /= n;
-            out.p99_latency_us /= n;
-        }
+        json.endArray();
+        json.endObject();
+        if (out.requests > 0)
+            out.mean_batch /= static_cast<double>(out.requests);
+        const obs::LatencySummary summary = latency.summary();
+        out.p50_latency_us = summary.p50;
+        out.p95_latency_us = summary.p95;
+        out.p99_latency_us = summary.p99;
+        out.p999_latency_us = summary.p999;
         out.json = json.str();
         return Status::success();
+    }
+
+    Status
+    traceDump(std::string &out) override
+    {
+        return localTraceDump(out);
     }
 
     void
@@ -735,7 +772,8 @@ class ClusterTransport final : public Transport
     FrameFuture
     submitFrame(const std::string &model, std::uint32_t version,
                 std::vector<std::int64_t> frame, std::int32_t priority,
-                std::chrono::microseconds deadline) override
+                std::chrono::microseconds deadline,
+                std::uint64_t trace_id) override
     {
         // The closed flag guards model lookups too: a stopped
         // directory would otherwise happily build a fresh live
@@ -760,6 +798,7 @@ class ClusterTransport final : public Transport
         engine::SubmitOptions submit;
         submit.priority = priority;
         submit.deadline = deadline;
+        submit.trace_id = trace_id;
         return FrameFuture::ofEngine(
             cluster->submit(std::move(frame), submit));
     }
@@ -796,10 +835,12 @@ class ClusterTransport final : public Transport
             cluster->model().name(), config_, shape,
             [cluster](std::vector<std::int64_t> packed,
                       std::int32_t priority,
-                      std::chrono::microseconds deadline) {
+                      std::chrono::microseconds deadline,
+                      std::uint64_t trace_id) {
                 engine::SubmitOptions submit;
                 submit.priority = priority;
                 submit.deadline = deadline;
+                submit.trace_id = trace_id;
                 return cluster->submit(std::move(packed), submit)
                     .get();
             });
@@ -809,6 +850,9 @@ class ClusterTransport final : public Transport
     stats(EndpointStats &out) override
     {
         out = EndpointStats{};
+        // Merge cluster histograms so the endpoint percentiles are
+        // computed over the union of every model's samples.
+        obs::HistogramSnapshot latency{};
         for (const auto &snapshot : directory_.statsSnapshot()) {
             const serve::ClusterStats &stats = snapshot.stats;
             out.requests += stats.requests;
@@ -816,10 +860,7 @@ class ClusterTransport final : public Transport
             out.requests_shed += stats.requests_shed;
             out.mean_batch += stats.mean_batch *
                 static_cast<double>(stats.requests);
-            out.p50_latency_us += stats.p50_latency_us *
-                static_cast<double>(stats.requests);
-            out.p99_latency_us += stats.p99_latency_us *
-                static_cast<double>(stats.requests);
+            latency.merge(stats.latency);
             for (const serve::ShardStats &shard : stats.shards)
                 out.max_queue_depth =
                     std::max(out.max_queue_depth,
@@ -831,14 +872,21 @@ class ClusterTransport final : public Transport
                                       layer.last_act_density,
                                       layer.mean_act_density});
         }
-        if (out.requests > 0) {
-            const double n = static_cast<double>(out.requests);
-            out.mean_batch /= n;
-            out.p50_latency_us /= n;
-            out.p99_latency_us /= n;
-        }
+        if (out.requests > 0)
+            out.mean_batch /= static_cast<double>(out.requests);
+        const obs::LatencySummary summary = latency.summary();
+        out.p50_latency_us = summary.p50;
+        out.p95_latency_us = summary.p95;
+        out.p99_latency_us = summary.p99;
+        out.p999_latency_us = summary.p999;
         out.json = directory_.statsJson();
         return Status::success();
+    }
+
+    Status
+    traceDump(std::string &out) override
+    {
+        return localTraceDump(out);
     }
 
     void
@@ -937,7 +985,8 @@ class TcpTransport final : public Transport
     FrameFuture
     submitFrame(const std::string &model, std::uint32_t version,
                 std::vector<std::int64_t> frame, std::int32_t priority,
-                std::chrono::microseconds deadline) override
+                std::chrono::microseconds deadline,
+                std::uint64_t trace_id) override
     {
         Status status;
         const std::shared_ptr<serve::TcpClient> client =
@@ -946,7 +995,8 @@ class TcpTransport final : public Transport
             return readyFrame(std::move(status));
         return FrameFuture::ofWire(
             client->submitInfer(model, version, std::move(frame),
-                                priority, wireDeadlineUs(deadline)));
+                                priority, wireDeadlineUs(deadline),
+                                trace_id));
     }
 
     std::unique_ptr<SessionImpl>
@@ -984,6 +1034,25 @@ class TcpTransport final : public Transport
             out.json = client->stats();
             return Status::success();
         } catch (const serve::wire::WireError &error) {
+            return Status::error(StatusCode::Unavailable,
+                                 error.what());
+        }
+    }
+
+    Status
+    traceDump(std::string &out) override
+    {
+        Status status;
+        const std::shared_ptr<serve::TcpClient> client =
+            ensureClient(status);
+        if (!client)
+            return status;
+        try {
+            out = client->traceDump();
+            return Status::success();
+        } catch (const serve::wire::WireError &error) {
+            // Also the pre-v3-server refusal: the daemon cannot
+            // answer Trace frames.
             return Status::error(StatusCode::Unavailable,
                                  error.what());
         }
@@ -1196,14 +1265,20 @@ Client::submit(InferenceRequest request)
         ? std::chrono::steady_clock::now() + retry_.timeout
         : std::chrono::steady_clock::time_point::max();
 
+    // Every frame gets its own trace id so its spans can be found in
+    // traceDump(); a retried frame keeps its id, tying all attempts
+    // into one timeline.
+    std::vector<std::uint64_t> trace_ids;
+    trace_ids.reserve(frames.size());
     std::vector<detail::FrameFuture> futures;
     futures.reserve(frames.size());
     for (std::vector<std::int64_t> &frame : frames) {
         std::vector<std::int64_t> submitted =
             retry_enabled ? frame : std::move(frame);
+        trace_ids.push_back(obs::nextTraceId());
         futures.push_back(transport_->submitFrame(
             request.model, request.version, std::move(submitted),
-            request.priority, request.deadline));
+            request.priority, request.deadline, trace_ids.back()));
     }
 
     // Deferred gather: waiting happens on the caller's get(). The
@@ -1216,9 +1291,10 @@ Client::submit(InferenceRequest request)
         std::launch::deferred,
         [functional = functional_, use_floats,
          futures = std::move(futures), frames = std::move(frames),
-         transport = transport_, policy = retry_, retry_enabled,
-         overall_deadline, model = std::move(request.model),
-         version = request.version, priority = request.priority,
+         trace_ids = std::move(trace_ids), transport = transport_,
+         policy = retry_, retry_enabled, overall_deadline,
+         model = std::move(request.model), version = request.version,
+         priority = request.priority,
          deadline = request.deadline]() mutable {
             // One frame's outcome after waiting, including any
             // retry attempts. The overall timeout bounds waits and
@@ -1247,13 +1323,14 @@ Client::submit(InferenceRequest request)
                     std::this_thread::sleep_until(resume);
                     future = transport->submitFrame(
                         model, version, frames[index], priority,
-                        deadline);
+                        deadline, trace_ids[index]);
                 }
             };
 
             InferenceResult result;
             result.frame_status.reserve(futures.size());
             result.outputs.reserve(futures.size());
+            result.trace_ids = trace_ids;
             for (std::size_t i = 0; i < futures.size(); ++i) {
                 detail::FrameResult frame = resolve(futures[i], i);
                 if (!frame.status.ok() && result.status.ok())
@@ -1318,6 +1395,12 @@ Status
 Client::stats(EndpointStats &out)
 {
     return transport_->stats(out);
+}
+
+Status
+Client::traceDump(std::string &out)
+{
+    return transport_->traceDump(out);
 }
 
 std::vector<std::int64_t>

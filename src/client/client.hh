@@ -113,6 +113,11 @@ struct InferenceResult
     /** Dequantized outputs, filled only for float requests. */
     std::vector<nn::Vector> float_outputs;
 
+    /** One trace id per input frame (allocated by submit); look the
+     *  ids up in Client::traceDump() to see each frame's span
+     *  timeline. */
+    std::vector<std::uint64_t> trace_ids;
+
     bool ok() const { return status.ok(); }
 };
 
@@ -149,7 +154,9 @@ struct EndpointStats
     std::uint64_t requests_shed = 0; ///< rejected by admission control
     double mean_batch = 0.0;
     double p50_latency_us = 0.0;
+    double p95_latency_us = 0.0;
     double p99_latency_us = 0.0;
+    double p999_latency_us = 0.0;
     std::size_t max_queue_depth = 0;
 
     /** Per-layer kernel dispatch decisions (in-process transports;
@@ -220,6 +227,10 @@ class Session
     {
         Status status;
         nn::Vector h; ///< new hidden state (empty on failure)
+
+        /** The step's trace id (allocated per step, 0 when the
+         *  attempt failed before submission). */
+        std::uint64_t trace_id = 0;
 
         bool ok() const { return status.ok(); }
     };
@@ -315,6 +326,15 @@ class Client
 
     /** Aggregate serving statistics of the endpoint. */
     Status stats(EndpointStats &out);
+
+    /**
+     * Dump the endpoint's span ring as a chrome://tracing JSON
+     * document (load it in chrome://tracing or Perfetto). In-process
+     * endpoints render this process's ring; tcp endpoints ask the
+     * daemon (requires a wire-v3 server). Look up a request's spans
+     * by the trace id submit() put in InferenceResult::trace_ids.
+     */
+    Status traceDump(std::string &out);
 
     /** Quantize a float frame into the client's activation format. */
     std::vector<std::int64_t> quantize(const nn::Vector &input) const;

@@ -7,6 +7,7 @@
 
 #include "common/faultpoint.hh"
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace eie::engine {
 
@@ -118,8 +119,10 @@ percentileOf(std::vector<double> sample, double p)
 {
     if (sample.empty())
         return 0.0;
-    const auto rank = static_cast<std::size_t>(
-        p * static_cast<double>(sample.size() - 1));
+    // Nearest-rank via the shared index rule. The old computation
+    // (floor(p * (n-1))) under-selected near the tail: p99 of a
+    // two-element sample returned the *minimum*.
+    const std::size_t rank = obs::nearestRankIndex(sample.size(), p);
     std::nth_element(sample.begin(),
                      sample.begin() + static_cast<std::ptrdiff_t>(rank),
                      sample.end());
@@ -141,7 +144,21 @@ failDropped(detail::Pending &pending)
 InferenceServer::InferenceServer(
     std::unique_ptr<ExecutionBackend> backend,
     const ServerOptions &options)
-    : backend_(std::move(backend)), options_(options)
+    : backend_(std::move(backend)), options_(options),
+      m_requests_(obs::processRegistry().counter(
+          "eie_server_requests_total")),
+      m_batches_(obs::processRegistry().counter(
+          "eie_server_batches_total")),
+      m_dropped_deadline_(obs::processRegistry().counter(
+          "eie_server_dropped_deadline_total")),
+      m_shed_(obs::processRegistry().counter(
+          "eie_server_shed_total")),
+      m_latency_(obs::processRegistry().histogram(
+          "eie_server_latency_us")),
+      m_queue_depth_(obs::processRegistry().gauge(
+          "eie_server_queue_depth")),
+      m_forming_delay_(obs::processRegistry().gauge(
+          "eie_server_forming_delay_us"))
 {
     fatal_if(!backend_, "server needs a backend");
     fatal_if(options_.max_batch == 0, "max_batch must be >= 1");
@@ -173,6 +190,7 @@ InferenceServer::submit(std::vector<std::int64_t> input_raw,
     if (options.deadline.count() > 0)
         pending.deadline = pending.enqueued + options.deadline;
     pending.priority = options.priority;
+    pending.trace_id = options.trace_id;
     std::future<std::vector<std::int64_t>> future =
         pending.promise.get_future();
 
@@ -231,13 +249,17 @@ InferenceServer::submit(std::vector<std::int64_t> input_raw,
             if (pending.deadline < earliest_done)
                 shed_newcomer = true;
         }
-        requests_shed_ += (shed_newcomer ? 1 : 0) +
-            (have_evicted ? 1 : 0);
+        const std::uint64_t shed_now = (shed_newcomer ? 1u : 0u) +
+            (have_evicted ? 1u : 0u);
+        requests_shed_ += shed_now;
+        if (shed_now > 0)
+            m_shed_.add(shed_now);
         if (!shed_newcomer) {
             queue_.push_back(std::move(pending));
             max_queue_depth_ =
                 std::max(max_queue_depth_, queue_.size());
         }
+        m_queue_depth_.set(static_cast<double>(queue_.size()));
     }
     // Fail shed requests outside the lock: set_exception wakes waiters.
     if (shed_newcomer)
@@ -321,6 +343,9 @@ InferenceServer::batcherLoop()
             for (detail::Pending &pending : selected.dropped)
                 formed.dropped.push_back(std::move(pending));
             dropped_deadline_ += formed.dropped.size();
+            if (!formed.dropped.empty())
+                m_dropped_deadline_.add(formed.dropped.size());
+            m_queue_depth_.set(static_cast<double>(queue_.size()));
         }
         // Fail drops outside the lock: set_exception wakes waiters.
         for (detail::Pending &pending : formed.dropped)
@@ -343,6 +368,7 @@ InferenceServer::batcherLoop()
         inputs.reserve(formed.batch.size());
         for (const detail::Pending &pending : formed.batch)
             inputs.push_back(pending.input);
+        const auto form_time = std::chrono::steady_clock::now();
         RunReport report = backend_->runBatch(inputs);
 
         // Record the batch BEFORE fulfilling the promises: a client
@@ -353,11 +379,16 @@ InferenceServer::batcherLoop()
             std::lock_guard<std::mutex> lock(mutex_);
             completed_ += formed.batch.size();
             ++batches_;
-            for (const detail::Pending &pending : formed.batch)
-                latencies_.record(
+            m_requests_.add(formed.batch.size());
+            m_batches_.add();
+            for (const detail::Pending &pending : formed.batch) {
+                const double latency_us =
                     std::chrono::duration<double, std::micro>(
                         now - pending.enqueued)
-                        .count());
+                        .count();
+                latencies_.record(latency_us);
+                m_latency_.record(latency_us);
+            }
             // Adapt the forming window to the observed queue depth:
             // a sweep that ran nearly empty means traffic is
             // sequential (an LSTM session stepping frame by frame)
@@ -373,6 +404,10 @@ InferenceServer::batcherLoop()
                     forming_delay_ = std::max(options_.min_delay,
                                               forming_delay_ / 2);
             }
+            m_forming_delay_.set(
+                std::chrono::duration<double, std::micro>(
+                    forming_delay_)
+                    .count());
             // Fold the sweep's per-layer dispatch decisions into the
             // running stats (layer set is fixed per backend).
             if (layer_dispatch_.size() != report.dispatch.size())
@@ -389,6 +424,49 @@ InferenceServer::batcherLoop()
                         (d.act_density - s.mean_act_density) /
                         static_cast<double>(s.sweeps);
                 }
+                // Process-wide dispatch mix. Per-sweep (not
+                // per-request) registry lookups: noise next to the
+                // kernel sweep they describe.
+                if (!d.kernel.empty())
+                    obs::processRegistry()
+                        .counter("eie_kernel_dispatch_total_"
+                                 + d.kernel)
+                        .add();
+                if (d.act_density >= 0.0 && !d.layer.empty())
+                    obs::processRegistry()
+                        .gauge("eie_kernel_act_density_" + d.layer)
+                        .set(d.act_density);
+            }
+        }
+        // Traced requests drop their spans before the promises
+        // resolve, so a client that sees its future complete finds
+        // the full span set in the ring.
+        bool any_traced = false;
+        for (const detail::Pending &pending : formed.batch)
+            if (pending.trace_id != 0) {
+                any_traced = true;
+                break;
+            }
+        if (any_traced) {
+            obs::SpanRing &ring = obs::processTraceRing();
+            const double form_us = obs::traceTimeUs(form_time);
+            const double kernel_us = obs::traceTimeUs(now);
+            const double reply_us = obs::traceNowUs();
+            const std::string batch_arg =
+                "batch=" + std::to_string(formed.batch.size());
+            for (const detail::Pending &pending : formed.batch) {
+                if (pending.trace_id == 0)
+                    continue;
+                const double enq_us =
+                    obs::traceTimeUs(pending.enqueued);
+                ring.record(pending.trace_id, "enqueue", "server",
+                            enq_us, enq_us);
+                ring.record(pending.trace_id, "batch_form",
+                            "server", enq_us, form_us, batch_arg);
+                ring.record(pending.trace_id, "kernel_run",
+                            "server", form_us, kernel_us);
+                ring.record(pending.trace_id, "reply", "server",
+                            kernel_us, reply_us);
             }
         }
         for (std::size_t i = 0; i < formed.batch.size(); ++i)
@@ -433,17 +511,16 @@ InferenceServer::queueDepth() const
     return queue_.size();
 }
 
-std::vector<double>
-InferenceServer::latencySampleSnapshot() const
+obs::HistogramSnapshot
+InferenceServer::latencyHistogramSnapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return latencies_.sample();
+    // The histogram is internally atomic; no server lock needed.
+    return latencies_.snapshot();
 }
 
 ServerStats
 InferenceServer::stats() const
 {
-    std::vector<double> latencies;
     ServerStats stats;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -456,18 +533,18 @@ InferenceServer::stats() const
             std::chrono::duration<double, std::micro>(forming_delay_)
                 .count();
         stats.layers = layer_dispatch_;
-        latencies = latencies_.sample();
     }
     stats.mean_batch = stats.batches
         ? static_cast<double>(stats.requests) /
             static_cast<double>(stats.batches)
         : 0.0;
-    stats.p50_latency_us = percentileOf(latencies, 0.5);
-    stats.p99_latency_us = percentileOf(latencies, 0.99);
-    stats.max_latency_us =
-        latencies.empty() ? 0.0
-                          : *std::max_element(latencies.begin(),
-                                              latencies.end());
+    stats.latency = latencies_.snapshot();
+    const obs::LatencySummary summary = stats.latency.summary();
+    stats.p50_latency_us = summary.p50;
+    stats.p95_latency_us = summary.p95;
+    stats.p99_latency_us = summary.p99;
+    stats.p999_latency_us = summary.p999;
+    stats.max_latency_us = summary.max;
     return stats;
 }
 

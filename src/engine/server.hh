@@ -52,6 +52,7 @@
 
 #include "common/random.hh"
 #include "engine/backend.hh"
+#include "obs/metrics.hh"
 
 namespace eie::engine {
 
@@ -101,10 +102,10 @@ std::vector<double> openLoopArrivals(std::size_t count,
 
 /**
  * Bounded uniform sample of a latency stream (algorithm R): a
- * long-lived server keeps O(1) memory and snapshots copy a
+ * long-lived recorder keeps O(1) memory and snapshots copy a
  * fixed-size sample. Not thread-safe — callers hold their own lock.
- * Shared by InferenceServer and the cluster gather worker so the
- * sampling policy cannot drift between them.
+ * The serving path now records into obs::Histogram (mergeable,
+ * lock-free); this stays for consumers that need exact raw samples.
  */
 class LatencyReservoir
 {
@@ -120,7 +121,12 @@ class LatencyReservoir
     std::uint64_t rng_ = 0x9e3779b97f4a7c15ull;
 };
 
-/** Nearest-rank percentile of an unsorted sample, 0 when empty. */
+/**
+ * Nearest-rank percentile of an unsorted sample: 0 when empty, the
+ * minimum for p <= 0, the maximum for p >= 1. Rank selection is
+ * obs::nearestRankIndex — the same code the histogram quantile path
+ * uses — so the exact and bucketed estimators cannot drift.
+ */
 double percentileOf(std::vector<double> sample, double p);
 
 /** What admission control sheds when the queue is at max_queue. */
@@ -185,6 +191,12 @@ struct SubmitOptions
      *  expires is dropped (future fails, drop counted). Zero (the
      *  default) means no deadline. */
     std::chrono::microseconds deadline{0};
+
+    /** Distributed trace id (obs::nextTraceId()); 0 — the default —
+     *  means untraced and records nothing. Traced requests drop
+     *  enqueue/batch_form/kernel_run/reply spans into the process
+     *  trace ring as they complete. */
+    std::uint64_t trace_id = 0;
 };
 
 /**
@@ -218,11 +230,20 @@ struct ServerStats
      *  higher-priority newcomer. */
     std::uint64_t requests_shed = 0;
 
-    /** Request latency (submit to response), microseconds, estimated
-     *  from a bounded uniform sample of all completed requests. */
+    /** Request latency (submit to response), microseconds, derived
+     *  from the server's log-scale latency histogram — the same
+     *  obs::HistogramSnapshot::quantile code every other telemetry
+     *  surface uses. */
     double p50_latency_us = 0.0;
+    double p95_latency_us = 0.0;
     double p99_latency_us = 0.0;
+    double p999_latency_us = 0.0;
     double max_latency_us = 0.0;
+
+    /** The raw mergeable histogram behind the percentiles, so
+     *  aggregators (ClusterEngine, client transports) combine
+     *  distributions instead of averaging quantiles. */
+    obs::HistogramSnapshot latency;
 
     /** Current adaptive forming window (== max_delay when the
      *  adaptive batcher is off or has not adapted yet). */
@@ -245,6 +266,7 @@ struct Pending
     std::chrono::steady_clock::time_point deadline =
         std::chrono::steady_clock::time_point::max();
     int priority = 0;
+    std::uint64_t trace_id = 0;
 };
 
 /** What one batch-forming step popped from the queue. */
@@ -314,9 +336,10 @@ class InferenceServer
     /** Snapshot of the aggregate statistics. */
     ServerStats stats() const;
 
-    /** The raw latency reservoir behind the stats() percentiles, for
-     *  callers that merge samples across servers (ClusterEngine). */
-    std::vector<double> latencySampleSnapshot() const;
+    /** The raw latency histogram behind the stats() percentiles, for
+     *  callers that merge distributions across servers
+     *  (ClusterEngine, the client transports). */
+    obs::HistogramSnapshot latencyHistogramSnapshot() const;
 
   private:
     void batcherLoop();
@@ -346,7 +369,21 @@ class InferenceServer
     std::uint64_t dropped_deadline_ = 0;
     std::uint64_t requests_shed_ = 0;
     std::size_t max_queue_depth_ = 0;
-    LatencyReservoir latencies_;
+
+    /** Per-server latency distribution (internally atomic). */
+    obs::Histogram latencies_;
+
+    /** Process-wide registry handles, resolved once at construction
+     *  so the hot path never takes the registry lock. These
+     *  aggregate across every server in the process (all cluster
+     *  shards) — per-server numbers stay in the members above. */
+    obs::Counter &m_requests_;
+    obs::Counter &m_batches_;
+    obs::Counter &m_dropped_deadline_;
+    obs::Counter &m_shed_;
+    obs::Histogram &m_latency_;
+    obs::Gauge &m_queue_depth_;
+    obs::Gauge &m_forming_delay_;
 
     std::thread batcher_;
 };

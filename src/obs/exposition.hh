@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A tiny scrape endpoint: one listener thread serving the process
+ * MetricsRegistry over HTTP/1.0 plaintext, close-after-response.
+ *
+ * This is deliberately not a web server — it exists so `eie_serve
+ * --metrics-port` can be curl'd or Prometheus-scraped without the
+ * binary wire protocol. `GET /metrics` returns the Prometheus text
+ * format; any path containing "json" returns renderJson(). One
+ * request per connection, no keep-alive, requests larger than 4 KiB
+ * dropped.
+ */
+
+#ifndef EIE_OBS_EXPOSITION_HH
+#define EIE_OBS_EXPOSITION_HH
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace eie::obs {
+
+class MetricsRegistry;
+
+/** Blocking-accept scrape server on its own thread. */
+class MetricsHttpServer
+{
+  public:
+    /**
+     * Bind and listen on 127.0.0.1:@p port (0 picks an ephemeral
+     * port). Throws std::runtime_error when the socket cannot be
+     * bound. @p registry must outlive the server.
+     */
+    MetricsHttpServer(MetricsRegistry &registry,
+                      std::uint16_t port);
+    ~MetricsHttpServer();
+
+    MetricsHttpServer(const MetricsHttpServer &) = delete;
+    MetricsHttpServer &
+    operator=(const MetricsHttpServer &) = delete;
+
+    /** The bound port (useful when constructed with port 0). */
+    std::uint16_t port() const;
+
+    void stop();
+
+  private:
+    void serveLoop();
+
+    MetricsRegistry &registry_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::thread thread_;
+};
+
+} // namespace eie::obs
+
+#endif // EIE_OBS_EXPOSITION_HH

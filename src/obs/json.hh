@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Minimal JSON support for the telemetry surfaces: a streaming
+ * writer so every exposition path (ServingDirectory::statsJson, the
+ * client transports, MetricsRegistry::renderJson) emits through one
+ * escaper instead of four hand-rolled ones, and a small
+ * recursive-descent parser for the consumers we ship (eie_top, the
+ * golden-schema test) that must read those documents back without a
+ * third-party dependency.
+ *
+ * The parser handles the JSON this repo produces — objects, arrays,
+ * strings with standard escapes, numbers, booleans, null — and
+ * throws std::runtime_error on malformed input. It is not a
+ * general-purpose validator (no \u surrogate pairs, no depth limit
+ * beyond the stack).
+ */
+
+#ifndef EIE_OBS_JSON_HH
+#define EIE_OBS_JSON_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eie::obs {
+
+/**
+ * Streaming JSON writer with automatic comma placement. Calls must
+ * nest correctly (beginObject/endObject balanced); keys only inside
+ * objects, bare values only inside arrays.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Start a keyed child ("key": ...) inside an object. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+
+    /** Shorthand: key(name).value(v). */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, T v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** Splice an already-serialized JSON document as a value. */
+    JsonWriter &raw(const std::string &json);
+
+    std::string str() const;
+
+    static std::string escape(const std::string &s);
+
+  private:
+    void separator();
+
+    std::string out_;
+    // Whether the container at each nesting depth has emitted its
+    // first element yet (drives comma placement).
+    std::vector<bool> has_elements_;
+    bool pending_key_ = false;
+};
+
+/** A parsed JSON document node. */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool
+    isObject() const
+    {
+        return kind == Kind::Object;
+    }
+
+    bool
+    isArray() const
+    {
+        return kind == Kind::Array;
+    }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &name) const;
+
+    /** find() + numeric coercion; @p fallback when absent. */
+    double numberOr(const std::string &name, double fallback) const;
+
+    /** find() + string coercion; @p fallback when absent. */
+    std::string stringOr(const std::string &name,
+                         const std::string &fallback) const;
+
+    /** Sorted member names (schema tests). */
+    std::vector<std::string> keys() const;
+};
+
+/** Parse @p text; throws std::runtime_error on malformed input. */
+JsonValue parseJson(const std::string &text);
+
+} // namespace eie::obs
+
+#endif // EIE_OBS_JSON_HH

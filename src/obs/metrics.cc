@@ -1,0 +1,302 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace eie::obs {
+
+namespace {
+
+// Quarter-octave growth: bucket i >= 1 spans
+// [2^((i-1)/4), 2^(i/4)) microseconds.
+constexpr double kBucketRatioLog2 = 0.25;
+
+} // namespace
+
+std::size_t
+nearestRankIndex(std::uint64_t count, double q)
+{
+    if (count == 0)
+        return 0;
+    if (q <= 0.0)
+        return 0;
+    if (q >= 1.0)
+        return static_cast<std::size_t>(count - 1);
+    // Nearest-rank definition: the smallest index whose 1-based rank
+    // is >= q * count.
+    double rank = std::ceil(q * static_cast<double>(count));
+    if (rank < 1.0)
+        rank = 1.0;
+    auto index = static_cast<std::uint64_t>(rank) - 1;
+    if (index >= count)
+        index = count - 1;
+    return static_cast<std::size_t>(index);
+}
+
+double
+bucketLowerBound(std::size_t index)
+{
+    if (index == 0)
+        return 0.0;
+    return std::exp2(kBucketRatioLog2
+                     * static_cast<double>(index - 1));
+}
+
+std::size_t
+bucketIndex(double value)
+{
+    if (!(value >= 1.0))
+        return 0;
+    auto index = static_cast<std::size_t>(
+                     std::floor(std::log2(value) / kBucketRatioLog2))
+                 + 1;
+    return std::min(index, kHistogramBuckets - 1);
+}
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot &other)
+{
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+        counts[i] += other.counts[i];
+    count += other.count;
+    sum += other.sum;
+    max = std::max(max, other.max);
+}
+
+double
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    if (q >= 1.0)
+        return max;
+    // One sample IS every quantile; skip the in-bucket
+    // interpolation, which would answer below the observed value.
+    if (count == 1)
+        return max;
+    // Walk buckets until the cumulative count covers the target
+    // rank, then interpolate linearly inside the bucket.
+    std::uint64_t rank = nearestRankIndex(count, q) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+        if (counts[i] == 0)
+            continue;
+        if (seen + counts[i] >= rank) {
+            double lo = bucketLowerBound(i);
+            double hi = (i + 1 < kHistogramBuckets)
+                            ? bucketLowerBound(i + 1)
+                            : max;
+            hi = std::max(hi, lo);
+            double within =
+                (static_cast<double>(rank - seen) - 0.5)
+                / static_cast<double>(counts[i]);
+            double value = lo + (hi - lo) * within;
+            // The histogram never claims a quantile beyond the
+            // largest value it actually saw.
+            return std::min(value, max);
+        }
+        seen += counts[i];
+    }
+    return max;
+}
+
+double
+HistogramSnapshot::mean() const
+{
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+LatencySummary
+HistogramSnapshot::summary() const
+{
+    LatencySummary s;
+    s.count = count;
+    s.mean = mean();
+    s.p50 = quantile(0.50);
+    s.p95 = quantile(0.95);
+    s.p99 = quantile(0.99);
+    s.p999 = quantile(0.999);
+    s.max = max;
+    return s;
+}
+
+void
+Histogram::record(double value)
+{
+    if (!(value >= 0.0))
+        value = 0.0;
+    counts_[bucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    double seen = max_.load(std::memory_order_relaxed);
+    while (value > seen
+           && !max_.compare_exchange_weak(
+               seen, value, std::memory_order_relaxed)) {
+    }
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+        snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    snap.count = count_.load(std::memory_order_relaxed);
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+    return snap;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+namespace {
+
+void
+appendNumber(std::ostringstream &out, double v)
+{
+    // Integral values render without a trailing ".000000" so counter
+    // samples stay grep-friendly.
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        out << static_cast<long long>(v);
+    } else {
+        out << v;
+    }
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::renderText() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    for (const auto &[name, c] : counters_) {
+        out << "# TYPE " << name << " counter\n"
+            << name << " " << c->value() << "\n";
+    }
+    for (const auto &[name, g] : gauges_) {
+        out << "# TYPE " << name << " gauge\n" << name << " ";
+        appendNumber(out, g->value());
+        out << "\n";
+    }
+    for (const auto &[name, h] : histograms_) {
+        auto s = h->snapshot().summary();
+        out << "# TYPE " << name << " summary\n";
+        const std::pair<const char *, double> quantiles[] = {
+            {"0.5", s.p50},
+            {"0.95", s.p95},
+            {"0.99", s.p99},
+            {"0.999", s.p999},
+        };
+        for (const auto &[q, v] : quantiles) {
+            out << name << "{quantile=\"" << q << "\"} ";
+            appendNumber(out, v);
+            out << "\n";
+        }
+        out << name << "_count " << s.count << "\n"
+            << name << "_sum ";
+        appendNumber(out, s.mean * static_cast<double>(s.count));
+        out << "\n" << name << "_max ";
+        appendNumber(out, s.max);
+        out << "\n";
+    }
+    return out.str();
+}
+
+std::string
+MetricsRegistry::renderJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    out << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\"" << name << "\":" << c->value();
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\"" << name << "\":";
+        appendNumber(out, g->value());
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        auto s = h->snapshot().summary();
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\"" << name << "\":{\"count\":" << s.count
+            << ",\"mean\":";
+        appendNumber(out, s.mean);
+        out << ",\"p50\":";
+        appendNumber(out, s.p50);
+        out << ",\"p95\":";
+        appendNumber(out, s.p95);
+        out << ",\"p99\":";
+        appendNumber(out, s.p99);
+        out << ",\"p999\":";
+        appendNumber(out, s.p999);
+        out << ",\"max\":";
+        appendNumber(out, s.max);
+        out << "}";
+    }
+    out << "}}";
+    return out.str();
+}
+
+std::vector<std::string>
+MetricsRegistry::counterNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        names.push_back(name);
+    return names;
+}
+
+MetricsRegistry &
+processRegistry()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace eie::obs

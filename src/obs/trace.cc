@@ -1,0 +1,155 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "obs/json.hh"
+
+namespace eie::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point
+traceEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+} // namespace
+
+double
+traceNowUs()
+{
+    return traceTimeUs(std::chrono::steady_clock::now());
+}
+
+double
+traceTimeUs(std::chrono::steady_clock::time_point tp)
+{
+    return std::chrono::duration<double, std::micro>(tp
+                                                     - traceEpoch())
+        .count();
+}
+
+std::uint64_t
+traceThreadId()
+{
+    // Small dense per-thread ids read better in the chrome timeline
+    // than hashed std::thread::id values.
+    static std::atomic<std::uint64_t> next{1};
+    thread_local std::uint64_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+std::uint64_t
+nextTraceId()
+{
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+SpanRing::SpanRing(std::size_t capacity)
+{
+    spans_.resize(std::max<std::size_t>(capacity, 1));
+}
+
+void
+SpanRing::record(Span span)
+{
+    if (span.trace_id == 0)
+        return;
+    if (span.tid == 0)
+        span.tid = traceThreadId();
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_[next_] = std::move(span);
+    ++next_;
+    if (next_ == spans_.size()) {
+        next_ = 0;
+        wrapped_ = true;
+    }
+}
+
+void
+SpanRing::record(std::uint64_t trace_id, std::string name,
+                 std::string cat, double start_us, double end_us,
+                 std::string arg)
+{
+    Span span;
+    span.trace_id = trace_id;
+    span.name = std::move(name);
+    span.cat = std::move(cat);
+    span.start_us = start_us;
+    span.dur_us = std::max(0.0, end_us - start_us);
+    span.arg = std::move(arg);
+    record(std::move(span));
+}
+
+std::vector<Span>
+SpanRing::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Span> out;
+    if (wrapped_) {
+        out.reserve(spans_.size());
+        out.insert(out.end(), spans_.begin() + next_, spans_.end());
+    } else {
+        out.reserve(next_);
+    }
+    out.insert(out.end(), spans_.begin(), spans_.begin() + next_);
+    return out;
+}
+
+void
+SpanRing::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    next_ = 0;
+    wrapped_ = false;
+    for (auto &span : spans_)
+        span = Span{};
+}
+
+std::size_t
+SpanRing::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return wrapped_ ? spans_.size() : next_;
+}
+
+SpanRing &
+processTraceRing()
+{
+    static SpanRing ring;
+    return ring;
+}
+
+std::string
+renderChromeTrace(const std::vector<Span> &spans)
+{
+    JsonWriter w;
+    w.beginObject().key("traceEvents").beginArray();
+    for (const Span &span : spans) {
+        w.beginObject()
+            .field("name", span.name)
+            .field("cat",
+                   span.cat.empty() ? std::string("eie")
+                                    : span.cat)
+            .field("ph", "X")
+            .field("ts", span.start_us)
+            .field("dur", span.dur_us)
+            .field("pid", 1)
+            .field("tid", span.tid);
+        w.key("args").beginObject().field("trace_id",
+                                          span.trace_id);
+        if (!span.arg.empty())
+            w.field("detail", span.arg);
+        w.endObject().endObject();
+    }
+    w.endArray().endObject();
+    return w.str();
+}
+
+} // namespace eie::obs

@@ -6,6 +6,8 @@
 #include "common/fixed_point.hh"
 #include "common/logging.hh"
 #include "engine/backends.hh"
+#include "obs/json.hh"
+#include "obs/trace.hh"
 
 namespace eie::serve {
 
@@ -70,7 +72,15 @@ placementName(Placement placement)
 
 ClusterEngine::ClusterEngine(std::shared_ptr<const LoadedModel> model,
                              const ClusterOptions &options)
-    : model_(std::move(model)), options_(options)
+    : model_(std::move(model)), options_(options),
+      m_failovers_(obs::processRegistry().counter(
+          "eie_cluster_failovers_total")),
+      m_failed_(obs::processRegistry().counter(
+          "eie_cluster_failed_total")),
+      m_ejections_(obs::processRegistry().counter(
+          "eie_cluster_ejections_total")),
+      m_gather_latency_(obs::processRegistry().histogram(
+          "eie_cluster_gather_latency_us"))
 {
     fatal_if(!model_, "cluster needs a model");
     fatal_if(options_.shards == 0, "cluster needs at least one shard");
@@ -242,6 +252,7 @@ ClusterEngine::recordOutcome(std::size_t shard, bool success)
         !health.ejected) {
         health.ejected = true;
         ++health.ejections;
+        m_ejections_.add();
         warn("shard %zu ejected after %u consecutive failures",
              shard, health.consecutive_failures);
     }
@@ -266,6 +277,12 @@ ClusterEngine::submit(std::vector<std::int64_t> input_raw,
 
     if (options_.placement == Placement::Replicated) {
         const std::size_t shard = pickShard();
+        if (options.trace_id != 0) {
+            const double now_us = obs::traceNowUs();
+            obs::processTraceRing().record(
+                options.trace_id, "shard_submit", "cluster", now_us,
+                now_us, "shard=" + std::to_string(shard));
+        }
         if (!healthTracking())
             return shards_[shard]->submit(std::move(input_raw),
                                           options);
@@ -297,6 +314,13 @@ ClusterEngine::submit(std::vector<std::int64_t> input_raw,
     // Scatter: each shard sees only its owned input columns.
     GatherJob job;
     job.enqueued = std::chrono::steady_clock::now();
+    job.trace_id = options.trace_id;
+    if (options.trace_id != 0) {
+        const double now_us = obs::traceTimeUs(job.enqueued);
+        obs::processTraceRing().record(
+            options.trace_id, "shard_submit", "cluster", now_us,
+            now_us, "scatter=" + std::to_string(shards_.size()));
+    }
     job.parts.reserve(shards_.size());
     for (std::size_t s = 0; s < shards_.size(); ++s)
         job.parts.push_back(shards_[s]->submit(
@@ -372,15 +396,23 @@ ClusterEngine::gatherLoop()
                 panic("cluster gather supports ReLU or None only");
             }
 
+            const auto gather_end = std::chrono::steady_clock::now();
             const double latency_us =
                 std::chrono::duration<double, std::micro>(
-                    std::chrono::steady_clock::now() - job.enqueued)
+                    gather_end - job.enqueued)
                     .count();
+            gather_latencies_.record(latency_us);
+            m_gather_latency_.record(latency_us);
             {
                 std::lock_guard<std::mutex> lock(gather_mutex_);
                 ++gathered_;
-                gather_latencies_.record(latency_us);
             }
+            if (job.trace_id != 0)
+                obs::processTraceRing().record(
+                    job.trace_id, "gather", "cluster",
+                    obs::traceTimeUs(job.enqueued),
+                    obs::traceTimeUs(gather_end),
+                    "parts=" + std::to_string(job.parts.size()));
             job.promise.set_value(std::move(acc));
         } catch (const engine::DeadlineExpired &) {
             // One request dropped on a shard is one dropped gather —
@@ -396,6 +428,7 @@ ClusterEngine::gatherLoop()
                 std::lock_guard<std::mutex> lock(gather_mutex_);
                 ++gather_failed_;
             }
+            m_failed_.add();
             job.promise.set_exception(std::current_exception());
         }
     }
@@ -465,6 +498,7 @@ ClusterEngine::healthLoop()
             std::lock_guard<std::mutex> lock(gather_mutex_);
             ++failovers_;
         }
+        m_failovers_.add();
         try {
             job.promise.set_value(
                 shards_[other]->submit(job.input, job.options).get());
@@ -516,7 +550,7 @@ ClusterEngine::stats() const
 
     std::uint64_t shard_requests = 0;
     std::uint64_t shard_batches = 0;
-    std::vector<double> latencies;
+    obs::HistogramSnapshot latency;
     for (std::size_t s = 0; s < shards_.size(); ++s) {
         ShardStats shard;
         shard.server = shards_[s]->stats();
@@ -533,10 +567,10 @@ ClusterEngine::stats() const
         if (options_.placement == Placement::Replicated) {
             shard.col_begin = col_bounds_.front();
             shard.col_end = col_bounds_.back();
-            const std::vector<double> sample =
-                shards_[s]->latencySampleSnapshot();
-            latencies.insert(latencies.end(), sample.begin(),
-                             sample.end());
+            // Merging histograms combines the shard distributions
+            // exactly (bucket-wise) — unlike averaging the shards'
+            // already-computed percentiles.
+            latency.merge(shard.server.latency);
         } else {
             shard.col_begin = col_bounds_[s];
             shard.col_end = col_bounds_[s + 1];
@@ -563,18 +597,21 @@ ClusterEngine::stats() const
     if (options_.placement == Placement::Replicated) {
         stats.requests = shard_requests;
     } else {
-        std::lock_guard<std::mutex> lock(gather_mutex_);
-        stats.requests = gathered_;
-        stats.failed = gather_failed_;
-        stats.dropped_deadline = gather_dropped_;
-        latencies = gather_latencies_.sample();
+        {
+            std::lock_guard<std::mutex> lock(gather_mutex_);
+            stats.requests = gathered_;
+            stats.failed = gather_failed_;
+            stats.dropped_deadline = gather_dropped_;
+        }
+        latency = gather_latencies_.snapshot();
     }
-    stats.p50_latency_us = engine::percentileOf(latencies, 0.5);
-    stats.p99_latency_us = engine::percentileOf(latencies, 0.99);
-    stats.max_latency_us =
-        latencies.empty() ? 0.0
-                          : *std::max_element(latencies.begin(),
-                                              latencies.end());
+    stats.latency = latency;
+    const obs::LatencySummary summary = latency.summary();
+    stats.p50_latency_us = summary.p50;
+    stats.p95_latency_us = summary.p95;
+    stats.p99_latency_us = summary.p99;
+    stats.p999_latency_us = summary.p999;
+    stats.max_latency_us = summary.max;
     return stats;
 }
 
@@ -697,65 +734,66 @@ ServingDirectory::cluster(const std::string &name,
 std::string
 ServingDirectory::statsJson() const
 {
-    std::ostringstream os;
-    os << "{\"clusters\":[";
+    obs::JsonWriter w;
+    w.beginObject().key("clusters").beginArray();
     std::lock_guard<std::mutex> lock(mutex_);
-    bool first = true;
     for (const auto &[key, cluster] : clusters_) {
         const ClusterStats stats = cluster->stats();
-        if (!first)
-            os << ",";
-        first = false;
-        os << "{\"model\":\"" << cluster->model().name() << "\""
-           << ",\"version\":" << cluster->model().version()
-           << ",\"placement\":\""
-           << placementName(cluster->options().placement) << "\""
-           << ",\"backend\":\"" << cluster->options().backend << "\""
-           << ",\"kernel\":\""
-           << core::kernel::kernelVariantName(
-                  cluster->options().kernel)
-           << "\""
-           << ",\"shards\":" << cluster->shardCount()
-           << ",\"requests\":" << stats.requests
-           << ",\"dropped_deadline\":" << stats.dropped_deadline
-           << ",\"failed\":" << stats.failed
-           << ",\"requests_shed\":" << stats.requests_shed
-           << ",\"failovers\":" << stats.failovers
-           << ",\"shards_ejected\":" << stats.shards_ejected
-           << ",\"mean_batch\":" << stats.mean_batch
-           << ",\"p50_latency_us\":" << stats.p50_latency_us
-           << ",\"p99_latency_us\":" << stats.p99_latency_us
-           << ",\"layers\":[";
-        const std::vector<engine::LayerDispatchStats> layers =
-            mergeLayerDispatch(stats.shards);
-        for (std::size_t i = 0; i < layers.size(); ++i) {
-            const engine::LayerDispatchStats &layer = layers[i];
-            os << (i ? "," : "") << "{\"layer\":\"" << layer.layer
-               << "\",\"kernel\":\"" << layer.kernel << "\""
-               << ",\"act_density\":" << layer.last_act_density
-               << ",\"mean_act_density\":" << layer.mean_act_density
-               << ",\"sweeps\":" << layer.sweeps << "}";
+        w.beginObject()
+            .field("model", cluster->model().name())
+            .field("version",
+                   std::uint64_t{cluster->model().version()})
+            .field("placement",
+                   placementName(cluster->options().placement))
+            .field("backend", cluster->options().backend)
+            .field("kernel",
+                   core::kernel::kernelVariantName(
+                       cluster->options().kernel))
+            .field("shards", std::uint64_t{cluster->shardCount()})
+            .field("requests", stats.requests)
+            .field("dropped_deadline", stats.dropped_deadline)
+            .field("failed", stats.failed)
+            .field("requests_shed", stats.requests_shed)
+            .field("failovers", stats.failovers)
+            .field("shards_ejected", stats.shards_ejected)
+            .field("mean_batch", stats.mean_batch)
+            .field("p50_latency_us", stats.p50_latency_us)
+            .field("p95_latency_us", stats.p95_latency_us)
+            .field("p99_latency_us", stats.p99_latency_us)
+            .field("p999_latency_us", stats.p999_latency_us);
+        w.key("layers").beginArray();
+        for (const engine::LayerDispatchStats &layer :
+             mergeLayerDispatch(stats.shards)) {
+            w.beginObject()
+                .field("layer", layer.layer)
+                .field("kernel", layer.kernel)
+                .field("act_density", layer.last_act_density)
+                .field("mean_act_density", layer.mean_act_density)
+                .field("sweeps", layer.sweeps)
+                .endObject();
         }
-        os << "],\"shard_stats\":[";
-        for (std::size_t s = 0; s < stats.shards.size(); ++s) {
-            const ShardStats &shard = stats.shards[s];
-            os << (s ? "," : "") << "{\"requests\":"
-               << shard.server.requests
-               << ",\"queue_depth\":" << shard.queue_depth
-               << ",\"utilization\":" << shard.utilization
-               << ",\"shed\":" << shard.server.requests_shed
-               << ",\"forming_delay_us\":"
-               << shard.server.forming_delay_us
-               << ",\"health\":\""
-               << (shard.ejected ? "ejected" : "healthy") << "\""
-               << ",\"failures\":" << shard.failures
-               << ",\"col_begin\":" << shard.col_begin
-               << ",\"col_end\":" << shard.col_end << "}";
+        w.endArray();
+        w.key("shard_stats").beginArray();
+        for (const ShardStats &shard : stats.shards) {
+            w.beginObject()
+                .field("requests", shard.server.requests)
+                .field("queue_depth",
+                       std::uint64_t{shard.queue_depth})
+                .field("utilization", shard.utilization)
+                .field("shed", shard.server.requests_shed)
+                .field("forming_delay_us",
+                       shard.server.forming_delay_us)
+                .field("health",
+                       shard.ejected ? "ejected" : "healthy")
+                .field("failures", shard.failures)
+                .field("col_begin", std::uint64_t{shard.col_begin})
+                .field("col_end", std::uint64_t{shard.col_end})
+                .endObject();
         }
-        os << "]}";
+        w.endArray().endObject();
     }
-    os << "]}";
-    return os.str();
+    w.endArray().endObject();
+    return w.str();
 }
 
 std::vector<ServingDirectory::ClusterSnapshot>

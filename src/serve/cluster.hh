@@ -124,11 +124,18 @@ struct ClusterStats
     std::uint64_t shards_ejected = 0; ///< currently ejected shards
     double mean_batch = 0.0;  ///< request-weighted over shards
 
-    /** End-to-end request latency percentiles: shard samples merged
-     *  (replicated) or gather-side measurements (partitioned). */
+    /** End-to-end request latency percentiles: shard histograms
+     *  merged (replicated) or gather-side measurements (partitioned),
+     *  all through obs::HistogramSnapshot::quantile. */
     double p50_latency_us = 0.0;
+    double p95_latency_us = 0.0;
     double p99_latency_us = 0.0;
+    double p999_latency_us = 0.0;
     double max_latency_us = 0.0;
+
+    /** The merged distribution behind the percentiles, for callers
+     *  that aggregate further (client transports). */
+    obs::HistogramSnapshot latency;
 
     std::vector<ShardStats> shards;
 };
@@ -203,6 +210,7 @@ class ClusterEngine
         std::vector<std::future<std::vector<std::int64_t>>> parts;
         std::promise<std::vector<std::int64_t>> promise;
         std::chrono::steady_clock::time_point enqueued;
+        std::uint64_t trace_id = 0;
     };
 
     /** One replicated request under health tracking: the in-flight
@@ -269,7 +277,16 @@ class ClusterEngine
     std::uint64_t gather_failed_ = 0;
     std::uint64_t gather_dropped_ = 0; ///< deadline-dropped gathers
     std::uint64_t failovers_ = 0;      ///< guarded by gather_mutex_
-    engine::LatencyReservoir gather_latencies_;
+
+    /** End-to-end gather latency distribution (internally atomic). */
+    obs::Histogram gather_latencies_;
+
+    /** Process-wide registry handles (resolved at construction). */
+    obs::Counter &m_failovers_;
+    obs::Counter &m_failed_;
+    obs::Counter &m_ejections_;
+    obs::Histogram &m_gather_latency_;
+
     std::thread gatherer_;
     std::once_flag join_once_;
 };

@@ -15,6 +15,8 @@
 #include "common/faultpoint.hh"
 #include "common/logging.hh"
 #include "engine/lstm_session.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace eie::serve {
 
@@ -101,6 +103,32 @@ takePending(std::mutex &mutex, Map &map, std::uint64_t key)
     typename Map::mapped_type value = std::move(it->second);
     map.erase(it);
     return value;
+}
+
+/**
+ * Resolve the oldest promise of a FIFO-correlated response queue
+ * (stats/info/metrics/trace — the server answers each type in
+ * order). An empty queue is tolerated: failAllPending() already
+ * claimed the promise on a racing connection loss.
+ */
+template <typename Response>
+void
+resolveFifo(std::mutex &mutex,
+            std::deque<std::promise<Response>> &queue,
+            Response response)
+{
+    std::promise<Response> promise;
+    bool found = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!queue.empty()) {
+            promise = std::move(queue.front());
+            queue.pop_front();
+            found = true;
+        }
+    }
+    if (found)
+        promise.set_value(std::move(response));
 }
 
 /** Map a ServingDirectory lookup failure onto the wire taxonomy: a
@@ -324,6 +352,7 @@ TcpServer::handleSessionStep(Connection &connection,
         engine::SubmitOptions submit;
         submit.priority = step.priority;
         submit.deadline = std::chrono::microseconds(step.deadline_us);
+        submit.trace_id = step.trace_id;
         const nn::Vector x(step.x.begin(), step.x.end());
         // A step consumes the previous step's state, so it is served
         // synchronously here in the reader; a failed step leaves the
@@ -380,17 +409,24 @@ TcpServer::readerLoop(Connection &connection)
                 // check rejects cleanly.
                 ack.wire_layout = std::min(hello->protocol,
                                            wire::kProtocolVersion);
-                if (hello->protocol != wire::kProtocolVersion) {
+                if (hello->protocol < wire::kMinProtocolVersion) {
                     ack.ok = false;
                     ack.error = "unsupported protocol version " +
                         std::to_string(hello->protocol) +
                         " (server speaks " +
+                        std::to_string(wire::kMinProtocolVersion) +
+                        ".." +
                         std::to_string(wire::kProtocolVersion) + ")";
                     Outbound nack;
                     nack.ready = std::move(ack);
                     enqueue(connection, std::move(nack));
                     break; // writer flushes the rejection, then closes
                 }
+                // Both sides proceed at min(client, server); the ack
+                // carries the negotiated version so the client pins
+                // the same number.
+                ack.protocol = std::min(hello->protocol,
+                                        wire::kProtocolVersion);
                 greeted = true;
                 Outbound out;
                 out.ready = std::move(ack);
@@ -431,6 +467,7 @@ TcpServer::readerLoop(Connection &connection)
                 submit.priority = request->priority;
                 submit.deadline =
                     std::chrono::microseconds(request->deadline_us);
+                submit.trace_id = request->trace_id;
                 Outbound out;
                 out.id = request->id;
                 out.pending = cluster->submit(
@@ -441,6 +478,20 @@ TcpServer::readerLoop(Connection &connection)
                 Outbound out;
                 out.ready =
                     wire::StatsResponse{directory_.statsJson()};
+                enqueue(connection, std::move(out));
+            } else if (std::holds_alternative<wire::MetricsRequest>(
+                           message)) {
+                obs::MetricsRegistry &registry =
+                    obs::processRegistry();
+                Outbound out;
+                out.ready = wire::MetricsResponse{
+                    registry.renderText(), registry.renderJson()};
+                enqueue(connection, std::move(out));
+            } else if (std::holds_alternative<wire::TraceRequest>(
+                           message)) {
+                Outbound out;
+                out.ready = wire::TraceResponse{obs::renderChromeTrace(
+                    obs::processTraceRing().snapshot())};
                 enqueue(connection, std::move(out));
             } else if (const auto *info =
                            std::get_if<wire::InfoRequest>(&message)) {
@@ -662,11 +713,18 @@ TcpClient::TcpClient(const std::string &host, std::uint16_t port)
         if (!ack->ok)
             throw wire::WireError("handshake rejected by server: " +
                                   ack->error);
-        if (ack->protocol != wire::kProtocolVersion)
+        if (ack->protocol < wire::kMinProtocolVersion ||
+            ack->protocol > wire::kProtocolVersion)
             throw wire::WireError(
                 "protocol version mismatch: client speaks " +
+                std::to_string(wire::kMinProtocolVersion) + ".." +
                 std::to_string(wire::kProtocolVersion) +
-                ", server speaks " + std::to_string(ack->protocol));
+                ", server negotiated " +
+                std::to_string(ack->protocol));
+        // min(client, server): an older server pins us to its
+        // revision — trace ids stay off the wire and metrics/trace
+        // queries are refused locally.
+        negotiated_protocol_ = ack->protocol;
     } catch (...) {
         ::close(fd_);
         fd_ = -1;
@@ -719,6 +777,8 @@ TcpClient::failAllPending(wire::ErrorCode code,
     std::map<std::uint64_t, std::promise<wire::SessionAck>> opens;
     std::deque<std::promise<wire::StatsResponse>> stats;
     std::deque<std::promise<wire::InfoResponse>> infos;
+    std::deque<std::promise<wire::MetricsResponse>> metrics;
+    std::deque<std::promise<wire::TraceResponse>> traces;
     {
         std::lock_guard<std::mutex> lock(pending_mutex_);
         infers.swap(pending_infer_);
@@ -726,6 +786,8 @@ TcpClient::failAllPending(wire::ErrorCode code,
         opens.swap(pending_session_opens_);
         stats.swap(pending_stats_);
         infos.swap(pending_info_);
+        metrics.swap(pending_metrics_);
+        traces.swap(pending_trace_);
     }
 
     for (auto &[id, promise] : infers) {
@@ -755,6 +817,10 @@ TcpClient::failAllPending(wire::ErrorCode code,
     for (auto &promise : stats)
         promise.set_exception(lost);
     for (auto &promise : infos)
+        promise.set_exception(lost);
+    for (auto &promise : metrics)
+        promise.set_exception(lost);
+    for (auto &promise : traces)
         promise.set_exception(lost);
 }
 
@@ -795,33 +861,23 @@ TcpClient::readerLoop()
             } else if (auto *stats_response =
                            std::get_if<wire::StatsResponse>(
                                &message)) {
-                std::promise<wire::StatsResponse> promise;
-                bool found = false;
-                {
-                    std::lock_guard<std::mutex> lock(pending_mutex_);
-                    if (!pending_stats_.empty()) {
-                        promise = std::move(pending_stats_.front());
-                        pending_stats_.pop_front();
-                        found = true;
-                    }
-                }
-                if (found)
-                    promise.set_value(std::move(*stats_response));
+                resolveFifo(pending_mutex_, pending_stats_,
+                            std::move(*stats_response));
             } else if (auto *info_response =
                            std::get_if<wire::InfoResponse>(
                                &message)) {
-                std::promise<wire::InfoResponse> promise;
-                bool found = false;
-                {
-                    std::lock_guard<std::mutex> lock(pending_mutex_);
-                    if (!pending_info_.empty()) {
-                        promise = std::move(pending_info_.front());
-                        pending_info_.pop_front();
-                        found = true;
-                    }
-                }
-                if (found)
-                    promise.set_value(std::move(*info_response));
+                resolveFifo(pending_mutex_, pending_info_,
+                            std::move(*info_response));
+            } else if (auto *metrics_response =
+                           std::get_if<wire::MetricsResponse>(
+                               &message)) {
+                resolveFifo(pending_mutex_, pending_metrics_,
+                            std::move(*metrics_response));
+            } else if (auto *trace_response =
+                           std::get_if<wire::TraceResponse>(
+                               &message)) {
+                resolveFifo(pending_mutex_, pending_trace_,
+                            std::move(*trace_response));
             } else {
                 reason = "protocol violation: unexpected frame type "
                          "from server";
@@ -863,7 +919,8 @@ TcpClient::submitInfer(const std::string &model,
                        std::uint32_t version,
                        std::vector<std::int64_t> input,
                        std::int32_t priority,
-                       std::uint32_t deadline_us)
+                       std::uint32_t deadline_us,
+                       std::uint64_t trace_id)
 {
     wire::InferRequest request;
     request.id = next_id_.fetch_add(1);
@@ -872,6 +929,10 @@ TcpClient::submitInfer(const std::string &model,
     request.priority = priority;
     request.deadline_us = deadline_us;
     request.input = std::move(input);
+    // A pre-v3 server would choke on the trailing extension — the
+    // request simply travels untraced.
+    if (negotiated_protocol_ >= 3)
+        request.trace_id = trace_id;
 
     std::future<wire::InferResponse> future;
     {
@@ -941,7 +1002,8 @@ TcpClient::openSession(std::uint64_t session_id,
 std::future<wire::SessionState>
 TcpClient::submitStep(std::uint64_t session_id, std::vector<float> x,
                       std::int32_t priority,
-                      std::uint32_t deadline_us)
+                      std::uint32_t deadline_us,
+                      std::uint64_t trace_id)
 {
     wire::SessionStep step;
     step.session_id = session_id;
@@ -949,6 +1011,8 @@ TcpClient::submitStep(std::uint64_t session_id, std::vector<float> x,
     step.priority = priority;
     step.deadline_us = deadline_us;
     step.x = std::move(x);
+    if (negotiated_protocol_ >= 3)
+        step.trace_id = trace_id;
 
     std::future<wire::SessionState> future;
     {
@@ -1061,6 +1125,80 @@ TcpClient::info(const std::string &model, std::uint32_t version)
         }
     }
     return future.get();
+}
+
+wire::MetricsResponse
+TcpClient::metrics()
+{
+    if (negotiated_protocol_ < 3)
+        throw wire::WireError(
+            "server speaks protocol v" +
+            std::to_string(negotiated_protocol_) +
+            "; Metrics queries need v3");
+    // Same register-then-send critical section as stats(): the
+    // MetricsResponses are matched FIFO.
+    std::future<wire::MetricsResponse> future;
+    {
+        std::lock_guard<std::mutex> send_lock(send_mutex_);
+        {
+            std::lock_guard<std::mutex> lock(pending_mutex_);
+            pending_metrics_.emplace_back();
+            future = pending_metrics_.back().get_future();
+        }
+        try {
+            sendFrameLocked(wire::MetricsRequest{});
+        } catch (const wire::WireError &) {
+            std::promise<wire::MetricsResponse> promise;
+            bool mine = false;
+            {
+                std::lock_guard<std::mutex> lock(pending_mutex_);
+                if (!pending_metrics_.empty()) {
+                    promise = std::move(pending_metrics_.back());
+                    pending_metrics_.pop_back();
+                    mine = true;
+                }
+            }
+            if (mine)
+                promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+std::string
+TcpClient::traceDump()
+{
+    if (negotiated_protocol_ < 3)
+        throw wire::WireError(
+            "server speaks protocol v" +
+            std::to_string(negotiated_protocol_) +
+            "; Trace queries need v3");
+    std::future<wire::TraceResponse> future;
+    {
+        std::lock_guard<std::mutex> send_lock(send_mutex_);
+        {
+            std::lock_guard<std::mutex> lock(pending_mutex_);
+            pending_trace_.emplace_back();
+            future = pending_trace_.back().get_future();
+        }
+        try {
+            sendFrameLocked(wire::TraceRequest{});
+        } catch (const wire::WireError &) {
+            std::promise<wire::TraceResponse> promise;
+            bool mine = false;
+            {
+                std::lock_guard<std::mutex> lock(pending_mutex_);
+                if (!pending_trace_.empty()) {
+                    promise = std::move(pending_trace_.back());
+                    pending_trace_.pop_back();
+                    mine = true;
+                }
+            }
+            if (mine)
+                promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get().json;
 }
 
 } // namespace eie::serve

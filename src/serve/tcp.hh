@@ -17,11 +17,12 @@
  * reader — a step is inherently sequential (it consumes the previous
  * step's recurrent state), so the reader blocks on the M×V and
  * replies with the new hidden state. The handshake negotiates the
- * protocol version: a mismatched client receives a HelloAck rejection
- * encoded in the layout it can decode (see wire.hh) and the
- * connection closes. Malformed frames, handshake violations and
- * oversized bodies close the connection — they never take the daemon
- * down.
+ * protocol version: both sides speak min(client, server) as long as
+ * that is >= wire::kMinProtocolVersion; an older client receives a
+ * HelloAck rejection encoded in the layout it can decode (see
+ * wire.hh) and the connection closes. Malformed frames, handshake
+ * violations and oversized bodies close the connection — they never
+ * take the daemon down.
  *
  * Connection model (client): one background reader thread correlates
  * responses to in-flight requests — InferResponse and SessionState
@@ -202,7 +203,8 @@ class TcpClient
     submitInfer(const std::string &model, std::uint32_t version,
                 std::vector<std::int64_t> input,
                 std::int32_t priority = 0,
-                std::uint32_t deadline_us = 0);
+                std::uint32_t deadline_us = 0,
+                std::uint64_t trace_id = 0);
 
     /** Synchronous convenience: submit one request, wait for its
      *  response, return the output. Throws std::runtime_error with
@@ -225,7 +227,8 @@ class TcpClient
     std::future<wire::SessionState>
     submitStep(std::uint64_t session_id, std::vector<float> x,
                std::int32_t priority = 0,
-               std::uint32_t deadline_us = 0);
+               std::uint32_t deadline_us = 0,
+               std::uint64_t trace_id = 0);
 
     /** Discard a session's server-side state (fire-and-forget). */
     void closeSession(std::uint64_t session_id);
@@ -242,6 +245,24 @@ class TcpClient
      *  a lost connection. */
     wire::InfoResponse info(const std::string &model,
                             std::uint32_t version = 0);
+
+    /** Fetch the server's metrics registry exposition (blocking).
+     *  Requires a v3 peer — throws wire::WireError when the
+     *  negotiated protocol predates the Metrics frames, or on a lost
+     *  connection. */
+    wire::MetricsResponse metrics();
+
+    /** Fetch the server's span ring as a chrome://tracing JSON
+     *  document (blocking). Same v3 requirement as metrics(). */
+    std::string traceDump();
+
+    /** The protocol version negotiated at Hello:
+     *  min(kProtocolVersion, server's version). Trace ids are only
+     *  put on the wire when this is >= 3. */
+    std::uint32_t negotiatedProtocol() const
+    {
+        return negotiated_protocol_;
+    }
 
     /** Whether the connection is still up (in-flight futures after a
      *  loss resolve with Unavailable). */
@@ -265,6 +286,7 @@ class TcpClient
                         const std::string &reason);
 
     int fd_ = -1;
+    std::uint32_t negotiated_protocol_ = wire::kProtocolVersion;
 
     std::mutex send_mutex_;
     std::atomic<bool> connected_{false};
@@ -285,6 +307,8 @@ class TcpClient
         pending_session_opens_; ///< keyed by session_id
     std::deque<std::promise<wire::StatsResponse>> pending_stats_;
     std::deque<std::promise<wire::InfoResponse>> pending_info_;
+    std::deque<std::promise<wire::MetricsResponse>> pending_metrics_;
+    std::deque<std::promise<wire::TraceResponse>> pending_trace_;
 };
 
 } // namespace eie::serve

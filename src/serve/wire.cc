@@ -183,8 +183,16 @@ messageType(const Message &message)
                 return MsgType::SessionStep;
             else if constexpr (std::is_same_v<T, SessionState>)
                 return MsgType::SessionState;
-            else
+            else if constexpr (std::is_same_v<T, SessionClose>)
                 return MsgType::SessionClose;
+            else if constexpr (std::is_same_v<T, MetricsRequest>)
+                return MsgType::MetricsRequest;
+            else if constexpr (std::is_same_v<T, MetricsResponse>)
+                return MsgType::MetricsResponse;
+            else if constexpr (std::is_same_v<T, TraceRequest>)
+                return MsgType::TraceRequest;
+            else
+                return MsgType::TraceResponse;
         },
         message);
 }
@@ -211,6 +219,11 @@ encodeFrame(const Message &message)
                 writer.scalar<std::int32_t>(msg.priority);
                 writer.scalar<std::uint32_t>(msg.deadline_us);
                 writer.vectorI64(msg.input);
+                // v3 trailing extension: only traced requests grow
+                // the frame, so v2 servers keep decoding untraced
+                // traffic (their reader would reject extra bytes).
+                if (msg.trace_id != 0)
+                    writer.scalar<std::uint64_t>(msg.trace_id);
             } else if constexpr (std::is_same_v<T, InferResponse>) {
                 writer.scalar<std::uint64_t>(msg.id);
                 writer.scalar<std::uint8_t>(msg.ok ? 1 : 0);
@@ -255,6 +268,8 @@ encodeFrame(const Message &message)
                 writer.scalar<std::int32_t>(msg.priority);
                 writer.scalar<std::uint32_t>(msg.deadline_us);
                 writer.vectorF32(msg.x);
+                if (msg.trace_id != 0)
+                    writer.scalar<std::uint64_t>(msg.trace_id);
             } else if constexpr (std::is_same_v<T, SessionState>) {
                 writer.scalar<std::uint64_t>(msg.session_id);
                 writer.scalar<std::uint64_t>(msg.id);
@@ -263,8 +278,19 @@ encodeFrame(const Message &message)
                     static_cast<std::uint8_t>(msg.code));
                 writer.string(msg.error);
                 writer.vectorF32(msg.h);
-            } else { // SessionClose
+            } else if constexpr (std::is_same_v<T, SessionClose>) {
                 writer.scalar<std::uint64_t>(msg.session_id);
+            } else if constexpr (std::is_same_v<T,
+                                                MetricsRequest>) {
+                // empty payload
+            } else if constexpr (std::is_same_v<T,
+                                                MetricsResponse>) {
+                writer.string(msg.text);
+                writer.string(msg.json);
+            } else if constexpr (std::is_same_v<T, TraceRequest>) {
+                // empty payload
+            } else { // TraceResponse
+                writer.string(msg.json);
             }
         },
         message);
@@ -310,6 +336,10 @@ decodeBody(std::span<const std::uint8_t> body)
         msg.priority = reader.scalar<std::int32_t>();
         msg.deadline_us = reader.scalar<std::uint32_t>();
         msg.input = reader.vectorI64();
+        // v3 trailing trace id: absent on v2 frames and on untraced
+        // v3 frames (both decode to trace_id 0).
+        if (!reader.atEnd())
+            msg.trace_id = reader.scalar<std::uint64_t>();
         reader.done();
         return msg;
       }
@@ -382,6 +412,8 @@ decodeBody(std::span<const std::uint8_t> body)
         msg.priority = reader.scalar<std::int32_t>();
         msg.deadline_us = reader.scalar<std::uint32_t>();
         msg.x = reader.vectorF32();
+        if (!reader.atEnd())
+            msg.trace_id = reader.scalar<std::uint64_t>();
         reader.done();
         return msg;
       }
@@ -399,6 +431,27 @@ decodeBody(std::span<const std::uint8_t> body)
       case MsgType::SessionClose: {
         SessionClose msg;
         msg.session_id = reader.scalar<std::uint64_t>();
+        reader.done();
+        return msg;
+      }
+      case MsgType::MetricsRequest: {
+        reader.done();
+        return MetricsRequest{};
+      }
+      case MsgType::MetricsResponse: {
+        MetricsResponse msg;
+        msg.text = reader.string(kMaxBodyBytes);
+        msg.json = reader.string(kMaxBodyBytes);
+        reader.done();
+        return msg;
+      }
+      case MsgType::TraceRequest: {
+        reader.done();
+        return TraceRequest{};
+      }
+      case MsgType::TraceResponse: {
+        TraceResponse msg;
+        msg.json = reader.string(kMaxBodyBytes);
         reader.done();
         return msg;
       }

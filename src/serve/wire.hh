@@ -23,7 +23,10 @@
  *                      undefined decoding of later frames.
  *   InferRequest     : u64 id, str model, u32 version (0 = latest),
  *                      i32 priority, u32 deadline_us (0 = none),
- *                      vec<i64> input (raw fixed-point activations)
+ *                      vec<i64> input (raw fixed-point activations),
+ *                      then optionally (v3) u64 trace_id — only
+ *                      present when nonzero, so a v2 peer decodes
+ *                      untraced requests unchanged
  *   InferResponse    : u64 id, u8 ok, then vec<i64> output (ok = 1)
  *                      or u8 code + str error (ok = 0)
  *   StatsRequest     : empty
@@ -36,10 +39,16 @@
  *   SessionAck       : u64 session_id, u8 ok, u8 code, str error,
  *                      u64 input_size (X), u64 hidden_size (H)
  *   SessionStep      : u64 session_id, u64 id, i32 priority,
- *                      u32 deadline_us, vec<f32> x
+ *                      u32 deadline_us, vec<f32> x, then optionally
+ *                      (v3) u64 trace_id when nonzero
  *   SessionState     : u64 session_id, u64 id, u8 ok, u8 code,
  *                      str error, vec<f32> h (the new hidden state)
  *   SessionClose     : u64 session_id (one-way; no reply)
+ *   MetricsRequest   : empty (v3)
+ *   MetricsResponse  : str text (Prometheus exposition), str json
+ *                      (MetricsRegistry::renderJson) (v3)
+ *   TraceRequest     : empty (v3)
+ *   TraceResponse    : str json (chrome://tracing traceEvents) (v3)
  *
  * str is u32 length + bytes; vec<i64> is u32 count + count x i64;
  * vec<f32> is u32 count + count x f32 (IEEE-754 bit patterns, so a
@@ -53,6 +62,11 @@
  *   v1 — Hello..InfoResponse, error responses carried a string only.
  *   v2 — HelloAck gained ok/error (negotiated layout), InferResponse
  *        errors carry an ErrorCode, session messages added.
+ *   v3 — InferRequest/SessionStep carry an optional trailing
+ *        trace_id; Metrics/Trace query frames added. v2 peers are
+ *        still accepted (both sides speak min(client, server)): a
+ *        client talking to a v2 server sends no trace ids and
+ *        refuses metrics/trace queries locally.
  */
 
 #ifndef EIE_SERVE_WIRE_HH
@@ -68,7 +82,12 @@
 namespace eie::serve::wire {
 
 /** Protocol revision; bumped on any frame-layout change. */
-inline constexpr std::uint32_t kProtocolVersion = 2;
+inline constexpr std::uint32_t kProtocolVersion = 3;
+
+/** Oldest peer revision both endpoints still interoperate with:
+ *  the negotiated version is min(client, server) and either side
+ *  rejects anything below this. */
+inline constexpr std::uint32_t kMinProtocolVersion = 2;
 
 /** Upper bound on one frame's body, guarding decoder allocations. */
 inline constexpr std::size_t kMaxBodyBytes = std::size_t{1} << 28;
@@ -92,6 +111,10 @@ enum class MsgType : std::uint8_t
     SessionStep = 11,
     SessionState = 12,
     SessionClose = 13,
+    MetricsRequest = 14,
+    MetricsResponse = 15,
+    TraceRequest = 16,
+    TraceResponse = 17,
 };
 
 /**
@@ -142,6 +165,11 @@ struct InferRequest
     std::int32_t priority = 0;   ///< engine::SubmitOptions::priority
     std::uint32_t deadline_us = 0; ///< 0 = no deadline
     std::vector<std::int64_t> input;
+
+    /** v3 trailing extension: the request's distributed trace id.
+     *  Encoded only when nonzero (so the v2 layout is unchanged for
+     *  untraced traffic); 0 after decoding a v2 frame. */
+    std::uint64_t trace_id = 0;
 };
 
 struct InferResponse
@@ -207,6 +235,9 @@ struct SessionStep
     std::int32_t priority = 0;
     std::uint32_t deadline_us = 0; ///< 0 = no deadline
     std::vector<float> x;
+
+    /** v3 trailing extension, same rules as InferRequest::trace_id. */
+    std::uint64_t trace_id = 0;
 };
 
 /** The state half of the session pair: the new hidden state after
@@ -227,11 +258,32 @@ struct SessionClose
     std::uint64_t session_id = 0;
 };
 
+/** Ask the server for its process metrics registry (v3). */
+struct MetricsRequest
+{};
+
+struct MetricsResponse
+{
+    std::string text; ///< Prometheus-style plaintext exposition
+    std::string json; ///< MetricsRegistry::renderJson
+};
+
+/** Ask the server for its span ring as a chrome trace (v3). */
+struct TraceRequest
+{};
+
+struct TraceResponse
+{
+    std::string json; ///< chrome://tracing traceEvents document
+};
+
 using Message = std::variant<Hello, HelloAck, InferRequest,
                              InferResponse, StatsRequest,
                              StatsResponse, InfoRequest,
                              InfoResponse, SessionOpen, SessionAck,
-                             SessionStep, SessionState, SessionClose>;
+                             SessionStep, SessionState, SessionClose,
+                             MetricsRequest, MetricsResponse,
+                             TraceRequest, TraceResponse>;
 
 /** Thrown on any malformed, truncated or oversized frame. */
 class WireError : public std::runtime_error

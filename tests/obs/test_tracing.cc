@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Per-request tracing: SpanRing semantics (untraced drops, bounded
+ * wrap, snapshot order), the chrome://tracing renderer, and the
+ * acceptance contract of the telemetry PR — one request driven
+ * through Client → tcp wire → cluster → kernel whose trace dump
+ * contains the enqueue / batch_form / kernel_run / reply spans (plus
+ * the cluster-side shard_submit / gather) under one consistent
+ * trace id.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "client/client.hh"
+#include "helpers.hh"
+#include "obs/json.hh"
+#include "obs/trace.hh"
+#include "serve/registry.hh"
+#include "serve/tcp.hh"
+
+namespace {
+
+using namespace eie;
+namespace fs = std::filesystem;
+
+fs::path
+scratchDir(const char *tag)
+{
+    static int counter = 0;
+    return fs::temp_directory_path() /
+        ("eie_tracing_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + "_" +
+         std::to_string(counter++));
+}
+
+TEST(TraceIds, NonzeroAndDistinct)
+{
+    const std::uint64_t a = obs::nextTraceId();
+    const std::uint64_t b = obs::nextTraceId();
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+}
+
+TEST(SpanRing, UntracedSpansRecordNothing)
+{
+    obs::SpanRing ring(8);
+    ring.record(0, "enqueue", "server", 1.0, 2.0);
+    obs::Span span; // default trace_id == 0
+    span.name = "kernel_run";
+    ring.record(span);
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(SpanRing, BoundedAndOldestFirstAfterWrap)
+{
+    obs::SpanRing ring(4);
+    for (std::uint64_t i = 1; i <= 6; ++i)
+        ring.record(i, "span" + std::to_string(i), "test",
+                    static_cast<double>(i), static_cast<double>(i));
+    EXPECT_EQ(ring.size(), 4u);
+    const std::vector<obs::Span> spans = ring.snapshot();
+    ASSERT_EQ(spans.size(), 4u);
+    // 1 and 2 were overwritten; the survivors come oldest first.
+    EXPECT_EQ(spans.front().trace_id, 3u);
+    EXPECT_EQ(spans.back().trace_id, 6u);
+
+    ring.clear();
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(SpanRing, ConvenienceRecordClampsNegativeDurations)
+{
+    obs::SpanRing ring(4);
+    ring.record(7, "reply", "server", 10.0, 4.0, "batch=2");
+    const std::vector<obs::Span> spans = ring.snapshot();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].dur_us, 0.0);
+    EXPECT_EQ(spans[0].arg, "batch=2");
+    EXPECT_NE(spans[0].tid, 0u); // filled from the recording thread
+}
+
+TEST(ChromeTrace, RendersCompleteEventsWithTraceIdArgs)
+{
+    obs::SpanRing ring(4);
+    ring.record(42, "kernel_run", "server", 5.0, 9.0, "batch=3");
+    const std::string json = obs::renderChromeTrace(ring.snapshot());
+
+    const obs::JsonValue root = obs::parseJson(json);
+    const obs::JsonValue *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_EQ(events->array.size(), 1u);
+    const obs::JsonValue &event = events->array[0];
+    EXPECT_EQ(event.stringOr("name", ""), "kernel_run");
+    EXPECT_EQ(event.stringOr("cat", ""), "server");
+    EXPECT_EQ(event.stringOr("ph", ""), "X");
+    EXPECT_EQ(event.numberOr("ts", -1.0), 5.0);
+    EXPECT_EQ(event.numberOr("dur", -1.0), 4.0);
+    const obs::JsonValue *args = event.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->numberOr("trace_id", -1.0), 42.0);
+    EXPECT_EQ(args->stringOr("detail", ""), "batch=3");
+}
+
+TEST(ChromeTrace, EmptyRingRendersAnEmptyEventArray)
+{
+    const obs::JsonValue root =
+        obs::parseJson(obs::renderChromeTrace({}));
+    const obs::JsonValue *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    EXPECT_TRUE(events->isArray());
+    EXPECT_TRUE(events->array.empty());
+}
+
+/** Span names recorded for @p trace_id in @p dump (a chrome trace
+ *  document), with every span's trace_id arg checked for presence. */
+std::set<std::string>
+spanNamesFor(const std::string &dump, std::uint64_t trace_id)
+{
+    const obs::JsonValue root = obs::parseJson(dump);
+    const obs::JsonValue *events = root.find("traceEvents");
+    std::set<std::string> names;
+    if (events == nullptr || !events->isArray())
+        return names;
+    for (const obs::JsonValue &event : events->array) {
+        const obs::JsonValue *args = event.find("args");
+        if (args == nullptr)
+            continue;
+        if (args->numberOr("trace_id", 0.0) !=
+            static_cast<double>(trace_id))
+            continue;
+        names.insert(event.stringOr("name", ""));
+    }
+    return names;
+}
+
+/**
+ * The PR's acceptance test: one request through
+ * Client → tcp → cluster → kernel, then traceDump() must show the
+ * whole pipeline under the request's single trace id.
+ */
+TEST(EndToEnd, TcpRequestLeavesOneConsistentTraceTimeline)
+{
+    const fs::path dir = scratchDir("e2e");
+    core::EieConfig config;
+    config.n_pe = 4;
+
+    serve::ModelRegistry registry(dir.string(), config);
+    const compress::CompressedLayer layer =
+        test::randomCompressedLayer(96, 64, 0.25, 4, 1234);
+    registry.publish("fc", 1, layer.storage());
+
+    serve::ClusterOptions cluster;
+    cluster.shards = 2;
+    // Column-partitioned placement exercises the scatter/gather spans
+    // on top of the per-shard server pipeline.
+    cluster.placement = serve::Placement::ColumnPartitioned;
+    serve::ServingDirectory directory(registry, cluster);
+    serve::TcpServer server(directory);
+    server.start();
+
+    obs::processTraceRing().clear();
+
+    client::ClientOptions client_options;
+    client_options.config = config;
+    auto client = client::Client::connectOrDie(
+        "tcp://127.0.0.1:" + std::to_string(server.port()),
+        client_options);
+    const client::InferenceResult result = client->inferRaw(
+        "fc", std::vector<std::int64_t>(64, 1));
+    ASSERT_TRUE(result.ok()) << result.status.toString();
+    ASSERT_EQ(result.trace_ids.size(), 1u);
+    const std::uint64_t trace_id = result.trace_ids[0];
+    EXPECT_NE(trace_id, 0u);
+
+    std::string dump;
+    const client::Status status = client->traceDump(dump);
+    ASSERT_TRUE(status.ok()) << status.toString();
+
+    const std::set<std::string> names = spanNamesFor(dump, trace_id);
+    for (const char *required :
+         {"enqueue", "batch_form", "kernel_run", "reply",
+          "shard_submit", "gather"})
+        EXPECT_TRUE(names.count(required))
+            << "missing span '" << required << "' for trace id "
+            << trace_id << " in: " << dump;
+
+    client->close();
+    server.stop();
+    directory.stopAll();
+    fs::remove_all(dir);
+}
+
+/** Streaming sessions get one trace id per step, and each step's
+ *  pipeline spans land in the ring under that id. */
+TEST(EndToEnd, SessionStepsCarryPerStepTraceIds)
+{
+    const fs::path dir = scratchDir("session");
+    core::EieConfig config;
+    config.n_pe = 4;
+
+    serve::ModelRegistry registry(dir.string(), config);
+    // Packed-gate LSTM shape: (4H) x (X + H + 1) with H=8, X=8.
+    const compress::CompressedLayer lstm =
+        test::randomCompressedLayer(32, 17, 0.3, 4, 77);
+    registry.publish("lstm", 1, lstm.storage());
+
+    serve::ClusterOptions cluster;
+    cluster.shards = 1;
+    serve::ServingDirectory directory(registry, cluster);
+    serve::TcpServer server(directory);
+    server.start();
+
+    obs::processTraceRing().clear();
+
+    client::ClientOptions client_options;
+    client_options.config = config;
+    auto client = client::Client::connectOrDie(
+        "tcp://127.0.0.1:" + std::to_string(server.port()),
+        client_options);
+    client::Status status;
+    auto session = client->openSession("lstm", 0, status);
+    ASSERT_NE(session, nullptr) << status.toString();
+
+    const nn::Vector x(8, 0.25f);
+    const client::Session::StepResult first = session->step(x);
+    ASSERT_TRUE(first.ok()) << first.status.toString();
+    const client::Session::StepResult second = session->step(x);
+    ASSERT_TRUE(second.ok()) << second.status.toString();
+
+    EXPECT_NE(first.trace_id, 0u);
+    EXPECT_NE(second.trace_id, 0u);
+    EXPECT_NE(first.trace_id, second.trace_id);
+
+    std::string dump;
+    ASSERT_TRUE(client->traceDump(dump).ok());
+    for (const std::uint64_t id :
+         {first.trace_id, second.trace_id}) {
+        const std::set<std::string> names = spanNamesFor(dump, id);
+        EXPECT_TRUE(names.count("kernel_run"))
+            << "step trace " << id << " missing kernel_run in: "
+            << dump;
+        EXPECT_TRUE(names.count("reply"));
+    }
+
+    session->close();
+    client->close();
+    server.stop();
+    directory.stopAll();
+    fs::remove_all(dir);
+}
+
+} // namespace

@@ -469,8 +469,21 @@ TEST(Wire, MessageTypeTagsAreStable)
               3u);
     EXPECT_EQ(static_cast<unsigned>(wire::ErrorCode::Unavailable), 4u);
 
-    // The session messages and negotiated HelloAck are the v2 bump.
-    EXPECT_EQ(wire::kProtocolVersion, 2u);
+    // The telemetry queries are the v3 bump.
+    EXPECT_EQ(static_cast<unsigned>(wire::MsgType::MetricsRequest),
+              14u);
+    EXPECT_EQ(static_cast<unsigned>(wire::MsgType::MetricsResponse),
+              15u);
+    EXPECT_EQ(static_cast<unsigned>(wire::MsgType::TraceRequest),
+              16u);
+    EXPECT_EQ(static_cast<unsigned>(wire::MsgType::TraceResponse),
+              17u);
+
+    // The session messages and negotiated HelloAck were the v2 bump;
+    // the telemetry queries (and the optional trailing trace id on
+    // InferRequest/SessionStep) are v3. v2 peers stay accepted.
+    EXPECT_EQ(wire::kProtocolVersion, 3u);
+    EXPECT_EQ(wire::kMinProtocolVersion, 2u);
 }
 
 } // namespace

@@ -14,10 +14,15 @@
 # and the serving path, each checked bit-exact against the scalar
 # oracle by the tool itself.
 #
+# The telemetry subsystem (src/obs/: metrics registry, histogram
+# quantiles, tracing, the stats/metrics JSON schema pin) likewise
+# gets a labeled `-L obs` pass in both build types.
+#
 # A third pass rebuilds the concurrency-sensitive suites — worker
 # pool, batched kernels (all variants), execution backends, the
-# inference server, the cluster engine, the TCP front end and the
-# fault-injection/retry suites — under ThreadSanitizer
+# inference server, the cluster engine, the TCP front end, the
+# fault-injection/retry suites and the lock-cheap metrics
+# registry/tracing ring — under ThreadSanitizer
 # (-DEIE_TSAN=ON) and runs them; a data race in the serving path
 # fails the check even when the race never corrupts an assertion.
 #
@@ -52,6 +57,8 @@ for build_type in Release Debug; do
     ctest --test-dir "${build_dir}" --output-on-failure -L client
     echo "=== ${build_type} fault injection (-L faults) ==="
     ctest --test-dir "${build_dir}" --output-on-failure -L faults
+    echo "=== ${build_type} telemetry (-L obs) ==="
+    ctest --test-dir "${build_dir}" --output-on-failure -L obs
 done
 
 echo "=== kernel variant matrix (Release eie_sim smoke) ==="
@@ -67,7 +74,7 @@ client) ==="
 tsan_dir="build-check-tsan"
 tsan_tests="test_kernel test_kernel_variants test_backend test_server \
 test_network_runner test_cluster test_tcp test_client test_session \
-test_faults test_retry"
+test_faults test_retry test_metrics test_tracing"
 cmake -B "${tsan_dir}" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEIE_TSAN=ON "$@"
 # Build only the sanitized suites: instrumenting the full bench/tool

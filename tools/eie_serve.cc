@@ -19,7 +19,14 @@
  *             [--requests N] [--rate RPS] [--window W]
  *             [--distinct D] [--act-density A] [--priority P]
  *             [--deadline-us U] [--check] [--registry DIR]
- *             [--pes N] [--seed S]
+ *             [--pes N] [--seed S] [--stats-json]
+ *
+ * Observability queries against a running daemon:
+ *   eie_serve --connect HOST:PORT stats [--watch SEC]
+ *   eie_serve --connect HOST:PORT trace-dump
+ *   eie_serve --connect HOST:PORT --stats-json
+ * and the daemon itself exports Prometheus plaintext at
+ * http://127.0.0.1:PORT/metrics with --metrics-port PORT.
  *
  * The client mode rides the typed eie::client::Client front door on
  * a `tcp://host:port` endpoint: it derives its input size from
@@ -49,6 +56,8 @@
 #include "core/functional.hh"
 #include "engine/backend.hh"
 #include "nn/generate.hh"
+#include "obs/exposition.hh"
+#include "obs/metrics.hh"
 #include "serve/cluster.hh"
 #include "serve/registry.hh"
 #include "serve/tcp.hh"
@@ -111,6 +120,8 @@ usage()
         "is ejected (0 = breaker off)\n"
         "  --duration-s S        exit after S seconds (default: "
         "until SIGINT)\n"
+        "  --metrics-port P      export Prometheus plaintext metrics "
+        "over HTTP (0 = ephemeral)\n"
         "client:\n"
         "  --connect HOST:PORT   run the traffic client\n"
         "  --model NAME          model to request\n"
@@ -130,6 +141,13 @@ usage()
         "request across retries (0 = none)\n"
         "  --check               verify responses against the scalar "
         "oracle (needs --registry)\n"
+        "  --stats-json          print the server's stats JSON "
+        "(after a run, or standalone without --model)\n"
+        "observability commands (with --connect):\n"
+        "  stats [--watch SEC]   print the server's stats JSON, once "
+        "or every SEC seconds until SIGINT\n"
+        "  trace-dump            print the server's span ring as "
+        "chrome://tracing JSON\n"
         "common:\n"
         "  --pes N               machine PE count (default 64)\n"
         "  --seed S              generator seed (default 2016)\n";
@@ -179,6 +197,11 @@ struct Args
     unsigned retries = 1;
     std::uint64_t timeout_us = 0;
     bool check = false;
+    bool stats_json = false;
+    std::string command; ///< "", "stats" or "trace-dump"
+    double watch_s = 0.0;
+    std::uint16_t metrics_port = 0;
+    bool metrics_enabled = false;
 
     core::EieConfig config;
     std::uint64_t seed = 2016;
@@ -243,6 +266,14 @@ runDaemon(const Args &args)
     serve::TcpServer server(directory, server_options);
     server.start();
 
+    std::unique_ptr<obs::MetricsHttpServer> metrics;
+    if (args.metrics_enabled) {
+        metrics = std::make_unique<obs::MetricsHttpServer>(
+            obs::processRegistry(), args.metrics_port);
+        std::cout << "eie_serve: metrics on http://127.0.0.1:"
+                  << metrics->port() << "/metrics\n";
+    }
+
     std::cout << "eie_serve: listening on 127.0.0.1:" << server.port()
               << " (" << args.cluster.shards << " shard(s), "
               << serve::placementName(args.cluster.placement) << ", "
@@ -275,6 +306,60 @@ runDaemon(const Args &args)
     server.stop();
     std::cout << "final stats: " << directory.statsJson() << "\n";
     directory.stopAll();
+    return 0;
+}
+
+/** The `stats` command (and the standalone --stats-json): print the
+ *  server's stats JSON, once or — with --watch — every interval
+ *  until SIGINT. */
+int
+runStats(const Args &args)
+{
+    const std::string endpoint = "tcp://" + args.connect_host + ":" +
+        std::to_string(args.connect_port);
+    client::ClientOptions options;
+    options.config = args.config;
+    const auto client = client::Client::connectOrDie(endpoint, options);
+
+    std::signal(SIGINT, onSignal);
+    for (;;) {
+        client::EndpointStats stats;
+        const client::Status status = client->stats(stats);
+        fatal_if(!status.ok(), "server: %s",
+                 status.toString().c_str());
+        std::cout << stats.json << "\n" << std::flush;
+        if (args.watch_s <= 0.0)
+            return 0;
+        // Sleep in slices so Ctrl-C ends the watch promptly.
+        const auto wake = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(args.watch_s));
+        while (std::chrono::steady_clock::now() < wake) {
+            if (g_interrupted.load())
+                return 0;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        }
+        if (g_interrupted.load())
+            return 0;
+    }
+}
+
+/** The `trace-dump` command: print the daemon's span ring as one
+ *  chrome://tracing JSON document (load it in chrome://tracing or
+ *  Perfetto). */
+int
+runTraceDump(const Args &args)
+{
+    const std::string endpoint = "tcp://" + args.connect_host + ":" +
+        std::to_string(args.connect_port);
+    client::ClientOptions options;
+    options.config = args.config;
+    const auto client = client::Client::connectOrDie(endpoint, options);
+    std::string json;
+    const client::Status status = client->traceDump(json);
+    fatal_if(!status.ok(), "server: %s", status.toString().c_str());
+    std::cout << json << "\n";
     return 0;
 }
 
@@ -386,8 +471,13 @@ runClient(const Args &args)
         .add(static_cast<double>(ok) / wall_s, 1);
     table.print(std::cout);
     client::EndpointStats stats;
-    if (client->stats(stats).ok())
-        std::cout << "server stats: " << stats.json << "\n";
+    if (client->stats(stats).ok()) {
+        if (args.stats_json)
+            // Bare JSON on its own line for scripted consumers.
+            std::cout << stats.json << "\n";
+        else
+            std::cout << "server stats: " << stats.json << "\n";
+    }
 
     fatal_if(mismatches > 0,
              "%llu responses diverged from the scalar oracle",
@@ -535,6 +625,19 @@ main(int argc, char **argv)
             args.timeout_us = std::stoull(next());
         } else if (arg == "--check") {
             args.check = true;
+        } else if (arg == "--stats-json") {
+            args.stats_json = true;
+        } else if (arg == "--watch") {
+            args.watch_s = std::stod(next());
+            fatal_if(args.watch_s <= 0.0, "--watch must be > 0");
+        } else if (arg == "--metrics-port") {
+            args.metrics_enabled = true;
+            args.metrics_port =
+                static_cast<std::uint16_t>(std::stoul(next()));
+        } else if (arg == "stats" || arg == "trace-dump") {
+            fatal_if(!args.command.empty(),
+                     "only one command may be given");
+            args.command = arg;
         } else if (arg == "--pes") {
             args.config.n_pe =
                 static_cast<unsigned>(std::stoul(next()));
@@ -565,6 +668,12 @@ main(int argc, char **argv)
         // The transport layer throws (it is library code); the CLI
         // reports failures in the repo's fatal() convention.
         try {
+            if (args.command == "stats")
+                return runStats(args);
+            if (args.command == "trace-dump")
+                return runTraceDump(args);
+            if (args.model.empty() && args.stats_json)
+                return runStats(args); // one-shot stats JSON
             return runClient(args);
         } catch (const std::exception &error) {
             fatal("%s", error.what());
