@@ -422,6 +422,10 @@ class LocalTransport final : public Transport
                       ? core::kernel::KernelVariant::Auto
                       : core::kernel::kernelVariantFromName(
                             endpoint.kernel)),
+          residency_(endpoint.residency.empty()
+                         ? core::kernel::Residency::Decoded
+                         : core::kernel::residencyFromName(
+                               endpoint.residency)),
           threads_(endpoint.threads ? endpoint.threads : 1),
           server_options_(options.server), models_(options.models)
     {
@@ -536,7 +540,11 @@ class LocalTransport final : public Transport
                 out.layers.push_back({entry.info.model, layer.layer,
                                       layer.kernel,
                                       layer.last_act_density,
-                                      layer.mean_act_density});
+                                      layer.mean_act_density,
+                                      layer.residency,
+                                      layer.decoded_bytes,
+                                      layer.compressed_bytes,
+                                      layer.mean_decode_us});
             json.beginObject();
             json.field("model", entry.info.model);
             json.field("requests", stats.requests);
@@ -557,6 +565,11 @@ class LocalTransport final : public Transport
                 json.field("act_density", layer.last_act_density);
                 json.field("mean_act_density",
                            layer.mean_act_density);
+                json.field("residency", layer.residency);
+                json.field("decoded_bytes", layer.decoded_bytes);
+                json.field("compressed_bytes",
+                           layer.compressed_bytes);
+                json.field("decode_us", layer.mean_decode_us);
                 json.endObject();
             }
             json.endArray();
@@ -665,7 +678,8 @@ class LocalTransport final : public Transport
             Entry entry;
             entry.server = std::make_unique<engine::InferenceServer>(
                 engine::makeBackend(backend_name_, config_,
-                                    local.plans, threads_, kernel_),
+                                    local.plans, threads_, kernel_,
+                                    residency_),
                 server_options_);
             entry.info.model = model;
             entry.info.version = 1;
@@ -707,7 +721,8 @@ class LocalTransport final : public Transport
         entry.loaded = loaded;
         entry.server = std::make_unique<engine::InferenceServer>(
             engine::makeBackend(backend_name_, config_,
-                                {&loaded->plan()}, threads_, kernel_),
+                                {&loaded->plan()}, threads_, kernel_,
+                                residency_),
             server_options_);
         entry.info.model = loaded->name();
         entry.info.version = loaded->version();
@@ -719,6 +734,7 @@ class LocalTransport final : public Transport
     core::EieConfig config_;
     std::string backend_name_;
     core::kernel::KernelVariant kernel_;
+    core::kernel::Residency residency_;
     unsigned threads_;
     engine::ServerOptions server_options_;
     std::vector<LocalModel> models_;
@@ -870,7 +886,11 @@ class ClusterTransport final : public Transport
                 out.layers.push_back({snapshot.model, layer.layer,
                                       layer.kernel,
                                       layer.last_act_density,
-                                      layer.mean_act_density});
+                                      layer.mean_act_density,
+                                      layer.residency,
+                                      layer.decoded_bytes,
+                                      layer.compressed_bytes,
+                                      layer.mean_decode_us});
         }
         if (out.requests > 0)
             out.mean_batch /= static_cast<double>(out.requests);
@@ -912,6 +932,9 @@ class ClusterTransport final : public Transport
         if (!endpoint.kernel.empty())
             cluster.kernel = core::kernel::kernelVariantFromName(
                 endpoint.kernel);
+        if (!endpoint.residency.empty())
+            cluster.residency = core::kernel::residencyFromName(
+                endpoint.residency);
         if (endpoint.threads != 0)
             cluster.threads_per_shard = endpoint.threads;
         cluster.server = options.server;

@@ -142,6 +142,13 @@ struct LayerKernelStats
     std::string kernel;             ///< last executed variant
     double act_density = -1.0;      ///< last sampled nonzero fraction
     double mean_act_density = 0.0;  ///< mean over measured sweeps
+
+    /** Resident stream form ("decoded"/"compressed"; "" when the
+     *  endpoint does not report it). */
+    std::string residency;
+    std::uint64_t decoded_bytes = 0;    ///< resident decoded bytes
+    std::uint64_t compressed_bytes = 0; ///< resident compressed bytes
+    double decode_us = 0.0; ///< mean per-sweep decode time, us
 };
 
 /** Aggregate serving statistics of an endpoint. Structured fields

@@ -3,15 +3,17 @@
  * The endpoint-string grammar of eie::client::Client — one string
  * names any of the three transports plus its per-endpoint knobs:
  *
- *   local:<backend>[,kernel=K][,threads=N][,dir=PATH]
+ *   local:<backend>[,kernel=K][,residency=R][,threads=N][,dir=PATH]
  *       In-process engine::ExecutionBackend (behind a per-model
  *       micro-batching InferenceServer). <backend> is a registry
  *       name ("scalar" | "compiled" | "sim"); dir= points at a
  *       ModelRegistry directory (defaults to
- *       ClientOptions::registry).
+ *       ClientOptions::registry); residency= selects the compiled
+ *       backend's resident stream form ("decoded" | "compressed" |
+ *       "auto").
  *
  *   cluster:<dir>[,shards=N][,policy=replicated|partitioned]
- *                [,backend=B][,kernel=K][,threads=N]
+ *                [,backend=B][,kernel=K][,residency=R][,threads=N]
  *       In-process serve::ClusterEngine(s) over the ModelRegistry at
  *       <dir>, via a ServingDirectory. Unset knobs fall back to
  *       ClientOptions::cluster.
@@ -56,8 +58,9 @@ struct ParsedEndpoint
     std::string dir;                  ///< registry dir ("" = options)
 
     // local: + cluster: (0 / "" = fall back to ClientOptions)
-    std::string kernel;   ///< kernel variant name ("" = options)
-    unsigned threads = 0; ///< worker threads ("" = options)
+    std::string kernel;    ///< kernel variant name ("" = options)
+    std::string residency; ///< resident stream form ("" = options)
+    unsigned threads = 0;  ///< worker threads ("" = options)
 
     // cluster: (dir doubles as the registry directory)
     unsigned shards = 0;   ///< shard count (0 = options)

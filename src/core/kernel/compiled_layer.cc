@@ -55,7 +55,63 @@ fuseSlices(const CompiledTile &tile)
     return fused;
 }
 
+/** Resident bytes of one decoded SoA stream. */
+std::uint64_t
+streamBytes(const SliceStream &stream)
+{
+    return (stream.rows.size() + stream.packed.size() +
+            stream.col_ptr.size()) *
+        sizeof(std::uint32_t) +
+        stream.weights.size() * sizeof(std::int32_t);
+}
+
+/**
+ * Estimated decoded stream footprint of @p plan, for Auto residency:
+ * real entries times the SoA cost per entry (rows + weights + packed
+ * mirror), doubled when the fused stream would be built. Column
+ * pointers are ignored — entry storage dominates at any size where
+ * the threshold matters.
+ */
+std::uint64_t
+estimatedDecodedBytes(const LayerPlan &plan, bool fused)
+{
+    std::uint64_t entries = 0;
+    for (const auto &batch_tiles : plan.tiles)
+        for (const Tile &tile : batch_tiles)
+            entries += tile.storage.realEntries();
+    return entries * 12 * (fused ? 2 : 1);
+}
+
 } // namespace
+
+const char *
+residencyName(Residency residency)
+{
+    switch (residency) {
+      case Residency::Decoded:
+        return "decoded";
+      case Residency::Compressed:
+        return "compressed";
+      case Residency::Auto:
+        return "auto";
+    }
+    panic("invalid residency %d", static_cast<int>(residency));
+    return ""; // unreachable: panic() aborts
+}
+
+Residency
+residencyFromName(const std::string &name)
+{
+    if (name == "decoded")
+        return Residency::Decoded;
+    if (name == "compressed")
+        return Residency::Compressed;
+    if (name == "auto")
+        return Residency::Auto;
+    fatal("unknown residency '%s' (known: decoded, compressed, auto)",
+          name.c_str());
+    return Residency::Decoded; // unreachable: fatal() exits
+}
 
 void
 SliceStream::buildPacked()
@@ -109,7 +165,23 @@ CompiledLayer::compile(const LayerPlan &plan, const EieConfig &config,
              "plan compiled for %u PEs, machine has %u", plan.n_pe,
              config.n_pe);
 
-    panic_if(!options.host_stream && !options.sim_stream,
+    // Auto residency resolves per layer: decoded below the LLC-scale
+    // threshold, compressed above it.
+    Residency residency = options.residency;
+    if (residency == Residency::Auto)
+        residency = estimatedDecodedBytes(plan, options.fused_stream) >=
+                kAutoResidencyCompressBytes
+            ? Residency::Compressed
+            : Residency::Decoded;
+
+    // Under compressed residency the compressed stream is the only
+    // resident host form: the decoded/fused arrays are never built.
+    const bool build_host =
+        options.host_stream && residency != Residency::Compressed;
+    const bool build_compressed = residency == Residency::Compressed ||
+        (options.compressed_stream && options.host_stream);
+
+    panic_if(!build_host && !options.sim_stream && !build_compressed,
              "compile with no stream selected");
 
     CompiledLayer layer;
@@ -120,9 +192,11 @@ CompiledLayer::compile(const LayerPlan &plan, const EieConfig &config,
     layer.n_pe = plan.n_pe;
     layer.act_format = config.act_format;
     layer.weight_format = config.weight_format;
-    layer.has_host_stream = options.host_stream;
-    layer.has_fused_stream = options.host_stream && options.fused_stream;
+    layer.has_host_stream = build_host;
+    layer.has_fused_stream = build_host && options.fused_stream;
     layer.has_sim_stream = options.sim_stream;
+    layer.has_compressed_stream = build_compressed;
+    layer.residency = residency;
 
     for (const auto &batch_tiles : plan.tiles) {
         std::vector<CompiledTile> row_tiles;
@@ -140,24 +214,37 @@ CompiledLayer::compile(const LayerPlan &plan, const EieConfig &config,
                 const compress::PeSlice &pe = storage.pe(k);
                 CompiledSlice &slice = compiled.slices[k];
                 slice.local_rows = pe.localRows();
-                if (options.host_stream) {
+                if (build_host || build_compressed) {
                     const auto image = pe.exportDecoded();
-                    SliceStream &stream = slice.stream;
-                    stream.col_ptr = image.col_ptr;
-                    stream.rows.reserve(image.local_rows.size());
-                    stream.weights.reserve(image.local_rows.size());
-                    for (std::size_t e = 0;
-                         e < image.local_rows.size(); ++e) {
-                        // Batch-local global row: the interleaving
-                        // law of §III-B, rebased to the tile's row
-                        // range.
-                        stream.rows.push_back(
-                            image.local_rows[e] * plan.n_pe + k);
-                        stream.weights.push_back(
-                            static_cast<std::int32_t>(
-                                raw_lut[image.weight_indices[e]]));
+                    if (build_host) {
+                        SliceStream &stream = slice.stream;
+                        stream.col_ptr = image.col_ptr;
+                        stream.rows.reserve(image.local_rows.size());
+                        stream.weights.reserve(
+                            image.local_rows.size());
+                        for (std::size_t e = 0;
+                             e < image.local_rows.size(); ++e) {
+                            // Batch-local global row: the
+                            // interleaving law of §III-B, rebased to
+                            // the tile's row range.
+                            stream.rows.push_back(
+                                image.local_rows[e] * plan.n_pe + k);
+                            stream.weights.push_back(
+                                static_cast<std::int32_t>(
+                                    raw_lut[image.weight_indices[e]]));
+                        }
+                        stream.buildPacked();
+                        layer.decoded_stream_bytes +=
+                            streamBytes(stream);
                     }
-                    stream.buildPacked();
+                    if (build_compressed) {
+                        slice.compressed =
+                            CompressedSliceStream::encode(
+                                image, raw_lut, plan.n_pe, k,
+                                pe.localRows());
+                        layer.compressed_stream_bytes +=
+                            slice.compressed.byteSize();
+                    }
                 }
                 if (options.sim_stream) {
                     slice.sim_entries = decodeSimStream(pe, raw_lut);
@@ -168,8 +255,11 @@ CompiledLayer::compile(const LayerPlan &plan, const EieConfig &config,
                     pe.totalEntries() - pe.paddingEntries();
                 layer.stripped_padding += pe.paddingEntries();
             }
-            if (layer.has_fused_stream)
+            if (layer.has_fused_stream) {
                 compiled.fused = fuseSlices(compiled);
+                layer.decoded_stream_bytes +=
+                    streamBytes(compiled.fused);
+            }
             row_tiles.push_back(std::move(compiled));
         }
         layer.tiles.push_back(std::move(row_tiles));

@@ -38,13 +38,50 @@
 #define EIE_CORE_KERNEL_COMPILED_LAYER_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "compress/interleaved.hh"
 #include "core/config.hh"
+#include "core/kernel/compressed_stream.hh"
 #include "core/plan.hh"
 
 namespace eie::core::kernel {
+
+/**
+ * Which form of a layer's weight streams stays resident after
+ * compile:
+ *
+ *  - Decoded: the pre-decoded SoA arrays (today's fast path, ~12
+ *    bytes per entry). The compressed stream is built alongside only
+ *    when CompileOptions::compressed_stream asks for it.
+ *  - Compressed: the CompressedSliceStream per tile slice is the
+ *    *only* resident form (~1-2 bytes per entry); every runBatch
+ *    decodes tile-granular chunks into scratch and all variants
+ *    resolve to KernelVariant::Compressed.
+ *  - Auto: per layer, Compressed when the estimated decoded
+ *    footprint exceeds kAutoResidencyCompressBytes (the decoded
+ *    stack would spill the last-level cache anyway, so decode ALU
+ *    trades against DRAM bandwidth), Decoded below it.
+ */
+enum class Residency
+{
+    Decoded,
+    Compressed,
+    Auto,
+};
+
+/** Auto residency keeps a layer decoded below this estimated decoded
+ *  stream footprint and compresses it at or above (an LLC-scale
+ *  threshold: in-cache layers never win by decoding on the fly). */
+constexpr std::uint64_t kAutoResidencyCompressBytes = 8ull << 20;
+
+/** Registry name of @p residency ("decoded", "compressed", "auto"). */
+const char *residencyName(Residency residency);
+
+/** Parse a residency name; fatal (listing the valid names) on an
+ *  unknown one. */
+Residency residencyFromName(const std::string &name);
 
 /** Options for CompiledLayer::compile. */
 struct CompileOptions
@@ -63,6 +100,16 @@ struct CompileOptions
      *  cycle-accurate path consumes. Off by default: the host kernel
      *  path does not pay for timing-model state. */
     bool sim_stream = false;
+
+    /** Also build the compressed per-slice streams when the resolved
+     *  residency is Decoded, so KernelVariant::Compressed stays
+     *  executable side by side with the decoded arrays (tests,
+     *  benches, explicit --kernel compressed runs). Implied by
+     *  Residency::Compressed. */
+    bool compressed_stream = false;
+
+    /** Which stream form stays resident (see Residency). */
+    Residency residency = Residency::Decoded;
 };
 
 /**
@@ -116,8 +163,15 @@ struct SimEntry
 /** One PE's pre-decoded share of a tile. */
 struct CompiledSlice
 {
-    /** The padding-stripped SoA host stream of this slice. */
+    /** The padding-stripped SoA host stream of this slice (empty
+     *  under compressed residency — the compressed stream is the
+     *  only resident form). */
     SliceStream stream;
+
+    /** The compressed-resident form (CompileOptions::compressed_stream
+     *  or Residency::Compressed): 4-bit codebook nibbles + Huffman
+     *  row deltas, decoded per runBatch into scratch. */
+    CompressedSliceStream compressed;
 
     /** @name Simulator stream (only with CompileOptions::sim_stream).
      *  Entry-for-entry image of the interleaved CSC walk — padding
@@ -181,6 +235,27 @@ struct CompiledLayer
     bool has_fused_stream = false;
     /** Slices carry the simulator stream (CompileOptions::sim_stream). */
     bool has_sim_stream = false;
+    /** Slices carry the compressed stream (compressed_stream option
+     *  or compressed residency). */
+    bool has_compressed_stream = false;
+
+    /** The resolved residency of this layer (never Auto). */
+    Residency residency = Residency::Decoded;
+
+    /** Resident bytes of the decoded SoA forms (per-slice streams,
+     *  packed mirrors, fused streams, column pointers); 0 under
+     *  compressed residency. */
+    std::uint64_t decoded_stream_bytes = 0;
+    /** Resident bytes of the compressed streams; 0 when not built. */
+    std::uint64_t compressed_stream_bytes = 0;
+
+    /** Stream bytes actually resident for this layer (the sum of
+     *  whichever forms were kept). */
+    std::uint64_t
+    residentStreamBytes() const
+    {
+        return decoded_stream_bytes + compressed_stream_bytes;
+    }
 
     /**
      * Lower @p plan for execution on a machine with @p config's

@@ -1,0 +1,456 @@
+#include "core/kernel/compressed_stream.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "common/bitstream.hh"
+#include "common/logging.hh"
+#include "compress/huffman.hh"
+#include "core/kernel/compiled_layer.hh"
+
+namespace eie::core::kernel {
+
+namespace {
+
+/** The continuation escape of the delta byte stream: a 255 symbol
+ *  adds 255 to the running delta and extends into the next symbol,
+ *  so any delta fits a short byte sequence while typical deltas
+ *  (dense-ish slices) stay one cheap symbol. */
+constexpr unsigned kDeltaEscape = 255;
+
+/** Longest legal canonical codeword (HuffmanCode rejects deeper). */
+constexpr unsigned kMaxCodeLength = 32;
+
+/** Width of the table-decode peek window: codewords at most this
+ *  long decode in one table lookup (virtually all symbols — the
+ *  delta distribution is steep); longer ones take the per-length
+ *  walk. 2^10 entries keep the table build cheap per slice. */
+constexpr unsigned kPeekBits = 10;
+
+[[noreturn]] void
+malformed(const char *what)
+{
+    throw CompressedStreamError(
+        std::string("compressed stream: ") + what);
+}
+
+/** One peek-table slot: the codeword whose transmitted bits are the
+ *  slot index's low @ref length bits (length 0 = no codeword at most
+ *  kPeekBits long matches — take the per-length walk). When a second
+ *  complete codeword also fits the window and neither symbol is the
+ *  escape, @ref pair_length holds the combined bit count so the hot
+ *  loop emits two row deltas per table hit. */
+struct LutEntry
+{
+    std::uint8_t symbol = 0;
+    std::uint8_t length = 0;
+    std::uint8_t symbol2 = 0;
+    std::uint8_t pair_length = 0;
+};
+
+/**
+ * A canonical-Huffman table decoder over the (length, symbol)-sorted
+ * sequential code assignment of compress::HuffmanCode::canonicalize:
+ * per length L with count[L] codewords, the first codeword is the
+ * previous length's last-plus-one shifted left, and symbols ascend
+ * within a length. Decoding peeks kPeekBits into a one-hit lookup
+ * table; the per-length walk remains as the fallback for codewords
+ * longer than the window.
+ */
+struct CanonicalDecoder
+{
+    std::array<std::uint32_t, kMaxCodeLength + 1> count{};
+    std::array<std::uint32_t, kMaxCodeLength + 1> first_code{};
+    std::array<std::uint32_t, kMaxCodeLength + 1> offset{};
+    std::vector<std::uint8_t> symbols; ///< sorted by (length, symbol)
+    unsigned max_length = 0;
+
+    /** Peek table indexed by the next kPeekBits of the stream in
+     *  transmission order (codeword bits land LSB-first, so the
+     *  index holds each codeword bit-reversed); Kraft bounds the
+     *  build at 2^kPeekBits slot writes. */
+    std::array<LutEntry, 1u << kPeekBits> lut{};
+
+    explicit CanonicalDecoder(
+        const std::array<std::uint8_t, 256> &lengths)
+    {
+        for (unsigned s = 0; s < 256; ++s) {
+            const unsigned len = lengths[s];
+            if (len == 0)
+                continue;
+            if (len > kMaxCodeLength)
+                malformed("code length exceeds 32 bits");
+            ++count[len];
+        }
+        symbols.reserve(256);
+        std::uint64_t code = 0;
+        unsigned prev_len = 0;
+        std::uint32_t assigned = 0;
+        for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
+            if (count[len] == 0)
+                continue;
+            code <<= (len - prev_len);
+            prev_len = len;
+            first_code[len] = static_cast<std::uint32_t>(code);
+            offset[len] = assigned;
+            code += count[len];
+            assigned += count[len];
+            // An over-subscribed length table would assign codewords
+            // past the 2^len code space: garbage, not a code.
+            if (code > (std::uint64_t{1} << len))
+                malformed("over-subscribed code-length table");
+            max_length = len;
+        }
+        if (assigned == 0)
+            return; // empty code: legal only for an empty stream
+        // Symbols ascend within a length, so one ascending pass with
+        // per-length write cursors produces the (length, symbol)
+        // order directly.
+        symbols.resize(assigned);
+        std::array<std::uint32_t, kMaxCodeLength + 1> cursor = offset;
+        for (unsigned s = 0; s < 256; ++s)
+            if (lengths[s] != 0)
+                symbols[cursor[lengths[s]]++] =
+                    static_cast<std::uint8_t>(s);
+
+        // Fill the peek table: each codeword of length L <= kPeekBits
+        // owns every slot whose low L bits are its bit-reversed code.
+        std::uint32_t index = 0;
+        for (unsigned len = 1;
+             len <= std::min(max_length, kPeekBits); ++len) {
+            for (std::uint32_t r = 0; r < count[len]; ++r) {
+                const std::uint32_t codeword = first_code[len] + r;
+                std::uint32_t reversed = 0;
+                for (unsigned b = 0; b < len; ++b)
+                    reversed |= ((codeword >> b) & 1u)
+                        << (len - 1 - b);
+                const LutEntry entry{
+                    symbols[offset[len] + r],
+                    static_cast<std::uint8_t>(len), 0, 0};
+                for (std::uint32_t slot = reversed;
+                     slot < (1u << kPeekBits);
+                     slot += (1u << len))
+                    lut[slot] = entry;
+                ++index;
+            }
+        }
+        (void)index;
+
+        // Pair pass: a slot whose remaining window bits start another
+        // complete codeword decodes two symbols at once. Escapes stay
+        // on the single-symbol path (they extend the same delta).
+        for (std::uint32_t slot = 0; slot < (1u << kPeekBits);
+             ++slot) {
+            const LutEntry first = lut[slot];
+            if (first.length == 0 || first.symbol == kDeltaEscape)
+                continue;
+            const LutEntry second = lut[slot >> first.length];
+            if (second.length == 0 ||
+                second.symbol == kDeltaEscape ||
+                first.length + second.length > kPeekBits)
+                continue;
+            lut[slot].symbol2 = second.symbol;
+            lut[slot].pair_length = static_cast<std::uint8_t>(
+                first.length + second.length);
+        }
+    }
+};
+
+/** Bounds-checked bit cursor over the delta bitstream (LSB-first
+ *  within each byte, matching BitWriter) with a 64-bit refill
+ *  buffer: the next unconsumed stream bit is always the buffer's
+ *  LSB. Throws instead of the process-aborting BitReader. */
+struct BitCursor
+{
+    const std::uint8_t *bytes;
+    std::uint64_t byte_count;
+    std::uint64_t bit_count;
+    std::uint64_t consumed = 0;
+    std::uint64_t buf = 0;
+    unsigned buf_bits = 0;
+    std::uint64_t next_byte = 0;
+
+    void
+    refill()
+    {
+        while (buf_bits <= 56 && next_byte < byte_count) {
+            buf |= static_cast<std::uint64_t>(bytes[next_byte++])
+                << buf_bits;
+            buf_bits += 8;
+        }
+    }
+
+    std::uint64_t remaining() const { return bit_count - consumed; }
+
+    bool
+    next()
+    {
+        if (consumed >= bit_count)
+            malformed("truncated delta bitstream");
+        if (buf_bits == 0)
+            refill();
+        const bool bit = buf & 1;
+        buf >>= 1;
+        --buf_bits;
+        ++consumed;
+        return bit;
+    }
+};
+
+/** Decode one canonical-Huffman symbol, MSB-first codewords: one
+ *  peek-table hit for codewords at most kPeekBits long (virtually
+ *  all of them), the per-length walk for the rare long ones and for
+ *  truncated tails (which it reports as malformed). */
+std::uint8_t
+decodeSymbol(const CanonicalDecoder &decoder, BitCursor &cursor)
+{
+    if (cursor.buf_bits < kPeekBits)
+        cursor.refill();
+    const LutEntry entry =
+        decoder.lut[cursor.buf & ((1u << kPeekBits) - 1)];
+    if (entry.length != 0 && entry.length <= cursor.buf_bits &&
+        entry.length <= cursor.remaining()) {
+        cursor.buf >>= entry.length;
+        cursor.buf_bits -= entry.length;
+        cursor.consumed += entry.length;
+        return entry.symbol;
+    }
+    std::uint32_t code = 0;
+    for (unsigned len = 1; len <= decoder.max_length; ++len) {
+        code = (code << 1) | (cursor.next() ? 1u : 0u);
+        if (decoder.count[len] == 0)
+            continue;
+        const std::uint32_t first = decoder.first_code[len];
+        if (code >= first && code - first < decoder.count[len])
+            return decoder
+                .symbols[decoder.offset[len] + (code - first)];
+    }
+    malformed("bit pattern matches no codeword");
+}
+
+} // namespace
+
+std::size_t
+CompressedSliceStream::byteSize() const
+{
+    return col_ptr.size() * sizeof(std::uint32_t) + nibbles.size() +
+        delta_bits.size() + code_lengths.size() +
+        weight_lut.size() * sizeof(std::int32_t);
+}
+
+CompressedSliceStream
+CompressedSliceStream::encode(const compress::DecodedSliceImage &image,
+                              const std::vector<std::int64_t> &raw_lut,
+                              unsigned n_pe, unsigned pe,
+                              std::uint32_t local_rows)
+{
+    panic_if(raw_lut.size() > 16, "codebook with %zu > 16 entries",
+             raw_lut.size());
+    panic_if(image.col_ptr.empty(), "slice image with no columns");
+    panic_if(image.local_rows.size() != image.weight_indices.size(),
+             "slice image rows/indices mismatch");
+
+    CompressedSliceStream stream;
+    stream.n_pe = n_pe;
+    stream.pe = pe;
+    stream.local_rows = local_rows;
+    stream.entry_count =
+        static_cast<std::uint32_t>(image.local_rows.size());
+    stream.col_ptr = image.col_ptr;
+    for (std::size_t v = 0; v < raw_lut.size(); ++v)
+        stream.weight_lut[v] = static_cast<std::int32_t>(raw_lut[v]);
+
+    // Packed 4-bit codebook indices, two entries per byte.
+    stream.nibbles.assign((image.weight_indices.size() + 1) / 2, 0);
+    for (std::size_t e = 0; e < image.weight_indices.size(); ++e) {
+        const std::uint8_t index = image.weight_indices[e];
+        panic_if(index >= 16, "codebook index %u out of range", index);
+        stream.nibbles[e / 2] |= static_cast<std::uint8_t>(
+            index << ((e % 2) * 4));
+    }
+
+    // Per-column local-row deltas as a byte stream (the zero-run
+    // field of §III-B, re-derived from the padding-stripped image so
+    // runs past 255 take the escape instead of padding entries).
+    std::vector<std::uint8_t> deltas;
+    deltas.reserve(image.local_rows.size());
+    for (std::size_t j = 0; j + 1 < image.col_ptr.size(); ++j) {
+        std::int64_t prev = -1;
+        for (std::uint32_t e = image.col_ptr[j];
+             e < image.col_ptr[j + 1]; ++e) {
+            const std::int64_t row = image.local_rows[e];
+            panic_if(row <= prev,
+                     "slice image rows not ascending in column %zu",
+                     j);
+            std::int64_t delta = row - prev - 1;
+            prev = row;
+            while (delta >= static_cast<std::int64_t>(kDeltaEscape)) {
+                deltas.push_back(
+                    static_cast<std::uint8_t>(kDeltaEscape));
+                delta -= kDeltaEscape;
+            }
+            deltas.push_back(static_cast<std::uint8_t>(delta));
+        }
+    }
+
+    if (!deltas.empty()) {
+        const auto code = compress::HuffmanCode::fromFrequencies(
+            compress::countFrequencies(deltas));
+        for (unsigned s = 0; s < 256; ++s)
+            stream.code_lengths[s] = static_cast<std::uint8_t>(
+                code.codeLength(static_cast<std::uint8_t>(s)));
+        BitWriter writer;
+        code.encode(deltas, writer);
+        stream.delta_bits = writer.bytes();
+        stream.delta_bit_count = writer.bitCount();
+    }
+    return stream;
+}
+
+void
+CompressedSliceStream::decode(SliceStream &out) const
+{
+    // Structural validation before any array walk: every quantity the
+    // hot loops index by must be internally consistent, so a garbage
+    // stream throws here instead of reading out of bounds below.
+    if (n_pe == 0)
+        malformed("zero PE count");
+    if (col_ptr.empty())
+        malformed("empty column pointer array");
+    if (col_ptr.front() != 0)
+        malformed("column pointers do not start at 0");
+    // Reduction instead of an early-out branch per column so the
+    // check vectorizes (wide layers have one col_ptr per column).
+    std::uint32_t non_monotone = 0;
+    for (std::size_t j = 0; j + 1 < col_ptr.size(); ++j)
+        non_monotone |=
+            static_cast<std::uint32_t>(col_ptr[j] > col_ptr[j + 1]);
+    if (non_monotone)
+        malformed("column pointers not monotone");
+    if (col_ptr.back() != entry_count)
+        malformed("column pointers do not cover the entry count");
+    if (nibbles.size() !=
+        (static_cast<std::size_t>(entry_count) + 1) / 2)
+        malformed("nibble array does not match the entry count");
+    if (delta_bit_count > delta_bits.size() * 8ull)
+        malformed("delta bit count exceeds the backing bytes");
+    if (entry_count > 0 && local_rows == 0)
+        malformed("entries in a slice with no rows");
+    // Global rows must stay in uint32 (they index accumulators).
+    if (local_rows > 0 &&
+        (static_cast<std::uint64_t>(local_rows - 1) * n_pe + pe) >
+            0xffffffffull)
+        malformed("row range overflows 32-bit row indices");
+
+    out.col_ptr = col_ptr;
+    out.packed.clear();
+    out.rows.resize(entry_count);
+    out.weights.resize(entry_count);
+    if (entry_count == 0)
+        return;
+
+    const CanonicalDecoder decoder(code_lengths);
+    if (decoder.symbols.empty())
+        malformed("entries but an empty code-length table");
+    BitCursor cursor{delta_bits.data(), delta_bits.size(),
+                     delta_bit_count};
+
+    // Hoist every array into a local pointer: the output row/weight
+    // stores are the same element types as the inputs, so without
+    // this the compiler must re-load bounds and table entries per
+    // entry against possible aliasing.
+    const std::uint32_t *const cp = col_ptr.data();
+    const std::size_t col_count = col_ptr.size() - 1;
+    const std::uint8_t *const nib = nibbles.data();
+    std::int32_t lut16[16];
+    for (unsigned v = 0; v < 16; ++v)
+        lut16[v] = weight_lut[v];
+    std::uint32_t *const out_rows = out.rows.data();
+    std::int32_t *const out_weights = out.weights.data();
+    const std::uint64_t rows_limit = local_rows;
+    const std::uint64_t stride = n_pe;
+    const std::uint64_t base = pe;
+
+    // Two passes: the Huffman walk is a serial dependency chain
+    // (each codeword's length positions the next), while the column
+    // walk's loop bounds are data-dependent (most columns hold zero
+    // or one entry in a wide layer), which a fused loop pays for as
+    // a branch mispredict per column. Split, pass 1 runs the chain
+    // in a tight exactly-entry_count loop — two deltas per table hit
+    // on the pair path — and pass 2 reconstructs rows branch-free
+    // from a running prefix and column-start marks.
+    //
+    // Pass 1: one escape-folded row delta per entry.
+    const auto folded =
+        std::make_unique_for_overwrite<std::uint32_t[]>(entry_count);
+    const std::uint32_t peek_mask = (1u << kPeekBits) - 1;
+    std::uint32_t e = 0;
+    while (e < entry_count) {
+        if (cursor.buf_bits < kPeekBits)
+            cursor.refill();
+        const LutEntry entry = decoder.lut[cursor.buf & peek_mask];
+        if (entry.pair_length != 0 && e + 2 <= entry_count &&
+            entry.pair_length <= cursor.buf_bits &&
+            entry.pair_length <= cursor.remaining()) {
+            // Neither symbol is an escape (the pair pass guarantees
+            // it), so these are two complete folded deltas.
+            if (entry.symbol > rows_limit ||
+                entry.symbol2 > rows_limit)
+                malformed("runaway row delta");
+            folded[e] = entry.symbol;
+            folded[e + 1] = entry.symbol2;
+            e += 2;
+            cursor.buf >>= entry.pair_length;
+            cursor.buf_bits -= entry.pair_length;
+            cursor.consumed += entry.pair_length;
+            continue;
+        }
+        std::uint64_t delta = 0;
+        std::uint8_t symbol;
+        while ((symbol = decodeSymbol(decoder, cursor)) ==
+               kDeltaEscape) {
+            delta += kDeltaEscape;
+            if (delta > rows_limit)
+                malformed("runaway row delta");
+        }
+        delta += symbol;
+        if (delta > rows_limit)
+            malformed("runaway row delta");
+        folded[e++] = static_cast<std::uint32_t>(delta);
+    }
+
+    // Pass 2: rows from the folded deltas without per-column loops.
+    // With Hx[e] the running sum of folded[i] + 1 over i < e, the
+    // local row of entry e in the column starting at entry s is
+    // Hx[e] + folded[e] - Hx[s]: the prefix both strides over column
+    // boundaries and restores the +1-per-predecessor rule, and the
+    // column base Hx[s] rides along in a register via a conditional
+    // move on a start mark. Empty columns re-mark the next column's
+    // first entry with the identical base, so duplicates are
+    // harmless and the mark loop is branch-free too.
+    const auto start_mark =
+        std::make_unique_for_overwrite<std::uint8_t[]>(
+            static_cast<std::size_t>(entry_count) + 1);
+    std::memset(start_mark.get(), 0,
+                static_cast<std::size_t>(entry_count) + 1);
+    for (std::size_t j = 0; j < col_count; ++j)
+        start_mark[cp[j]] = 1;
+
+    std::uint64_t run = 0; // Hx[e]
+    std::uint64_t col_base = 0;
+    for (std::uint32_t i = 0; i < entry_count; ++i) {
+        col_base = start_mark[i] ? run : col_base;
+        const std::uint64_t local = run + folded[i] - col_base;
+        if (local >= rows_limit)
+            malformed("row outside the slice's range");
+        const std::uint8_t index =
+            (nib[i / 2] >> ((i % 2) * 4)) & 0xf;
+        out_rows[i] =
+            static_cast<std::uint32_t>(local * stride + base);
+        out_weights[i] = lut16[index];
+        run += folded[i] + 1;
+    }
+}
+
+} // namespace eie::core::kernel

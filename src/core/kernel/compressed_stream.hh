@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The compressed-resident kernel stream (KernelStream v2c).
+ *
+ * EIE's central premise is that weights stay *compressed* next to the
+ * compute and are decoded on the fly; the pre-decoded SoA streams of
+ * compiled_layer.hh invert that trade — they optimize the MAC inner
+ * loop at ~12 resident bytes per entry, so a large multi-model
+ * serving process is footprint- and memory-bandwidth-bound long
+ * before it is ALU-bound. CompressedSliceStream restores the paper's
+ * trade in software: one PE slice of one tile stored as
+ *
+ *  - packed 4-bit codebook indices (two entries per byte, the
+ *    Spmat nibble exactly),
+ *  - a canonical-Huffman-coded stream of PE-local row deltas per
+ *    column (delta = local_row - prev - 1, with a 255-continuation
+ *    escape for runs past one byte), byte-aligned per slice,
+ *  - the 256-entry code-length table the canonical code rebuilds
+ *    from (the representation compress/huffman.hh stores),
+ *  - the verbatim per-column extents (col_ptr) and the 16-entry
+ *    codebook LUT of raw fixed-point weight values.
+ *
+ * decode() expands a stream back into the SliceStream shape the
+ * existing MAC inner loops consume, bit-exactly: the decoded rows
+ * and weights are definitionally identical to what compile() would
+ * have produced, so every downstream sweep (vector / actsparse /
+ * reference) preserves the saturating-MAC order verbatim.
+ *
+ * Robustness contract: decode() performs its own bounds checks and
+ * throws CompressedStreamError on any malformed stream — truncated
+ * bits, over-subscribed code-length tables, runaway deltas, rows out
+ * of the slice's range — and never reads or writes out of bounds.
+ * (BitReader::panic_if aborts the process on underrun, which is the
+ * wrong failure mode for data that may cross a trust boundary; the
+ * hot decoder here is also a table walk, not the std::map lookup of
+ * HuffmanCode::decode.)
+ */
+
+#ifndef EIE_CORE_KERNEL_COMPRESSED_STREAM_HH
+#define EIE_CORE_KERNEL_COMPRESSED_STREAM_HH
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "compress/interleaved.hh"
+
+namespace eie::core::kernel {
+
+struct SliceStream;
+
+/** A malformed compressed stream (typed so callers can distinguish
+ *  data corruption from programming errors). */
+class CompressedStreamError : public std::runtime_error
+{
+  public:
+    explicit CompressedStreamError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/**
+ * One PE slice of one tile in compressed-resident form. Plain data:
+ * copyable, no hidden decode state, byte-accounted by byteSize().
+ */
+struct CompressedSliceStream
+{
+    /** Interleaving parameters: global row = local * n_pe + pe. */
+    std::uint32_t n_pe = 1;
+    std::uint32_t pe = 0;
+
+    /** PE-local rows this slice owns (decoded rows validate < this). */
+    std::uint32_t local_rows = 0;
+
+    /** Total (padding-stripped) entries across all columns. */
+    std::uint32_t entry_count = 0;
+
+    /** Per-column entry extents, pass cols + 1 offsets. */
+    std::vector<std::uint32_t> col_ptr;
+
+    /** Packed 4-bit codebook indices: entry e in nibble e of
+     *  nibbles[e / 2] (low nibble first), (entry_count + 1) / 2
+     *  bytes. */
+    std::vector<std::uint8_t> nibbles;
+
+    /** Canonical-Huffman bitstream of the per-column local-row delta
+     *  bytes (LSB-first byte packing, codewords MSB-first — the
+     *  compress/huffman.hh convention). */
+    std::vector<std::uint8_t> delta_bits;
+    std::uint64_t delta_bit_count = 0;
+
+    /** Canonical code length per delta byte symbol (0 = absent). */
+    std::array<std::uint8_t, 256> code_lengths{};
+
+    /** Codebook raw values (weight_format fixed point). */
+    std::array<std::int32_t, 16> weight_lut{};
+
+    /** Resident bytes of this stream (arrays + tables). */
+    std::size_t byteSize() const;
+
+    /**
+     * Encode one tile-slice from its padding-stripped decoded image
+     * and the tile codebook's raw values — the exact inputs
+     * CompiledLayer::compile lowers into the decoded SliceStream, so
+     * encode + decode reproduces it bit for bit.
+     */
+    static CompressedSliceStream
+    encode(const compress::DecodedSliceImage &image,
+           const std::vector<std::int64_t> &raw_lut, unsigned n_pe,
+           unsigned pe, std::uint32_t local_rows);
+
+    /**
+     * Expand into @p out (rows / weights / col_ptr; the packed mirror
+     * is left empty — the scratch is transient, and every inner loop
+     * has a non-packed path). Reuses @p out's capacity across calls.
+     *
+     * @throws CompressedStreamError on any malformed stream; on
+     *         throw @p out is in an unspecified but valid state.
+     */
+    void decode(SliceStream &out) const;
+};
+
+} // namespace eie::core::kernel
+
+#endif // EIE_CORE_KERNEL_COMPRESSED_STREAM_HH

@@ -1,5 +1,8 @@
 #include "core/kernel/executor.hh"
 
+#include <atomic>
+#include <chrono>
+
 #include "common/fixed_point.hh"
 #include "common/logging.hh"
 
@@ -174,6 +177,29 @@ macRowSse41(std::int32_t *acc, const std::int32_t *act, std::int32_t w,
     macRowScalar(acc + b, act + b, w, shift, lo, hi, n - b);
 }
 
+__attribute__((target("avx512f,avx512bw"))) void
+macRowAvx512(std::int32_t *acc, const std::int32_t *act, std::int32_t w,
+             int shift, std::int32_t lo, std::int32_t hi, std::size_t n)
+{
+    const __m512i vw = _mm512_set1_epi32(w);
+    const __m512i vlo = _mm512_set1_epi32(lo);
+    const __m512i vhi = _mm512_set1_epi32(hi);
+    const __m128i vshift = _mm_cvtsi32_si128(shift);
+    std::size_t b = 0;
+    for (; b + 16 <= n; b += 16) {
+        const __m512i va = _mm512_loadu_si512(
+            reinterpret_cast<const void *>(act + b));
+        const __m512i vacc = _mm512_loadu_si512(
+            reinterpret_cast<const void *>(acc + b));
+        __m512i v = _mm512_add_epi32(
+            vacc,
+            _mm512_sra_epi32(_mm512_mullo_epi32(vw, va), vshift));
+        v = _mm512_min_epi32(_mm512_max_epi32(v, vlo), vhi);
+        _mm512_storeu_si512(reinterpret_cast<void *>(acc + b), v);
+    }
+    macRowScalar(acc + b, act + b, w, shift, lo, hi, n - b);
+}
+
 __attribute__((target("avx2"))) void
 macRowAvx2(std::int32_t *acc, const std::int32_t *act, std::int32_t w,
            int shift, std::int32_t lo, std::int32_t hi, std::size_t n)
@@ -212,6 +238,12 @@ MacRowKernel
 pickMacRow()
 {
 #if defined(EIE_KERNEL_X86)
+    // avx512bw implies avx512f on every shipped part, but probe what
+    // the lanes actually require; boxes without AVX-512 fall through
+    // to the unchanged paths below (skip, not fail).
+    if (__builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512f"))
+        return {macRowAvx512, "avx512"};
     if (__builtin_cpu_supports("avx2"))
         return {macRowAvx2, "avx2"};
     if (__builtin_cpu_supports("sse4.1"))
@@ -540,6 +572,84 @@ withinActFormat(const Batch &inputs, const FixedFormat &fmt)
     return true;
 }
 
+/**
+ * The compressed variant: each tile slice is decoded on the fly from
+ * its compressed-resident stream into a per-slice scratch SliceStream
+ * and swept by the existing inner loops — the SIMD dense-batch MAC
+ * when the call shape and formats allow it (the same gates runBatch
+ * applies to the vector variant), the activation-sparse queue walk
+ * everywhere else. The decoded scratch is definitionally identical to
+ * the arrays compile() would have kept resident, and the sweeps are
+ * the untouched vector/actsparse loops, so outputs are bit-exact with
+ * every other variant; only the resident form (and the decode time,
+ * reported through @p decode_us_out) differs.
+ *
+ * Scratch is one stream per PE slice, reused across tiles: slice k is
+ * decoded and swept by exactly one worker per tile (forEachSlice
+ * indexes are disjoint), so the buffers are race-free, stay
+ * tile-sized (cache-resident for the plan's SRAM-scaled tiles) and
+ * keep their capacity across column passes.
+ */
+void
+executeCompressed(const CompiledLayer &layer, const Batch &inputs,
+                  WorkerPool *pool, Batch &outputs,
+                  double *decode_us_out)
+{
+    const std::size_t batch = inputs.size();
+    std::vector<SliceStream> scratch(layer.n_pe);
+    std::atomic<std::int64_t> decode_ns{0};
+
+    const auto decode_slice =
+        [&](const CompiledTile &tile,
+            std::size_t k) -> const SliceStream & {
+        const auto start = std::chrono::steady_clock::now();
+        tile.slices[k].compressed.decode(scratch[k]);
+        decode_ns.fetch_add(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count(),
+            std::memory_order_relaxed);
+        return scratch[k];
+    };
+
+    if (vectorEligible(layer) && batch >= kVectorAutoBatch &&
+        withinActFormat(inputs, layer.act_format)) {
+        const int shift =
+            2 * static_cast<int>(layer.weight_format.fracBits) -
+            static_cast<int>(layer.act_format.fracBits);
+        const auto lo =
+            static_cast<std::int32_t>(layer.act_format.minRaw());
+        const auto hi =
+            static_cast<std::int32_t>(layer.act_format.maxRaw());
+        DensePanel panel;
+        executeTiles<std::int32_t>(
+            layer, inputs, outputs, panel,
+            [&](const CompiledTile &tile, std::int32_t *acc) {
+                forEachSlice(tile, pool, [&](std::size_t k) {
+                    runStreamVector(decode_slice(tile, k), panel,
+                                    batch, acc, shift, lo, hi);
+                });
+            });
+    } else {
+        QueuePanel panel;
+        executeTiles<std::int64_t>(
+            layer, inputs, outputs, panel,
+            [&](const CompiledTile &tile, std::int64_t *acc) {
+                forEachSlice(tile, pool, [&](std::size_t k) {
+                    runStreamActSparse(decode_slice(tile, k), panel,
+                                       batch, acc,
+                                       layer.weight_format,
+                                       layer.act_format);
+                });
+            });
+    }
+    if (decode_us_out)
+        *decode_us_out =
+            static_cast<double>(
+                decode_ns.load(std::memory_order_relaxed)) /
+            1000.0;
+}
+
 } // namespace
 
 const char *
@@ -582,9 +692,10 @@ runBatch(const CompiledLayer &layer, const Batch &inputs,
          WorkerPool *pool, KernelVariant variant, DispatchInfo *dispatch)
 {
     const std::size_t batch = inputs.size();
-    panic_if(!layer.has_host_stream,
+    panic_if(!layer.has_host_stream && !layer.has_compressed_stream,
              "layer '%s' compiled without the host kernel arrays "
-             "(CompileOptions::host_stream)", layer.name.c_str());
+             "(CompileOptions::host_stream) or a compressed stream",
+             layer.name.c_str());
     for (const auto &input : inputs)
         panic_if(input.size() != layer.input_size,
                  "input length %zu != compiled %zu", input.size(),
@@ -607,6 +718,7 @@ runBatch(const CompiledLayer &layer, const Batch &inputs,
     if (resolved == KernelVariant::Vector &&
         !withinActFormat(inputs, layer.act_format))
         resolved = KernelVariant::Reference;
+    double decode_us = 0.0;
     switch (resolved) {
       case KernelVariant::Vector:
         executeVector(layer, inputs, pool, outputs);
@@ -617,6 +729,9 @@ runBatch(const CompiledLayer &layer, const Batch &inputs,
       case KernelVariant::ActSparse:
         executeActSparse(layer, inputs, pool, outputs);
         break;
+      case KernelVariant::Compressed:
+        executeCompressed(layer, inputs, pool, outputs, &decode_us);
+        break;
       case KernelVariant::Reference:
         executeSparse(layer, inputs, pool, /*fused=*/false, outputs);
         break;
@@ -626,6 +741,7 @@ runBatch(const CompiledLayer &layer, const Batch &inputs,
     if (dispatch) {
         dispatch->variant = resolved;
         dispatch->act_density = act_density;
+        dispatch->decode_us = decode_us;
     }
     return outputs;
 }

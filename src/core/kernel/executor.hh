@@ -57,6 +57,12 @@ struct DispatchInfo
 {
     KernelVariant variant = KernelVariant::Auto; ///< executed variant
     double act_density = -1.0; ///< sampled nonzero fraction, <0 unknown
+
+    /** Time this sweep spent decoding compressed-resident streams
+     *  into scratch, microseconds (0 for every other variant). Summed
+     *  across worker threads, so it is decode CPU time, not added
+     *  wall-clock. */
+    double decode_us = 0.0;
 };
 
 /**

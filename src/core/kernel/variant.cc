@@ -11,7 +11,8 @@ const std::vector<std::string> &
 kernelVariantNames()
 {
     static const std::vector<std::string> names{
-        "auto", "reference", "vector", "fused", "actsparse"};
+        "auto",      "reference", "vector",
+        "fused",     "actsparse", "compressed"};
     return names;
 }
 
@@ -29,6 +30,8 @@ kernelVariantName(KernelVariant variant)
         return "fused";
       case KernelVariant::ActSparse:
         return "actsparse";
+      case KernelVariant::Compressed:
+        return "compressed";
     }
     panic("invalid kernel variant %d", static_cast<int>(variant));
     return ""; // unreachable: panic() aborts
@@ -47,6 +50,8 @@ kernelVariantFromName(const std::string &name)
         return KernelVariant::Fused;
     if (name == "actsparse")
         return KernelVariant::ActSparse;
+    if (name == "compressed")
+        return KernelVariant::Compressed;
     std::string known;
     for (const std::string &n : kernelVariantNames())
         known += (known.empty() ? "" : ", ") + n;
@@ -88,6 +93,11 @@ resolveKernelVariant(KernelVariant requested, const CompiledLayer &layer,
                      std::size_t batch, unsigned threads,
                      double act_density)
 {
+    // A compressed-resident layer has no decoded arrays: every
+    // request resolves to the decode-on-the-fly path, the only
+    // executable (and bit-exact) form.
+    if (!layer.has_host_stream && layer.has_compressed_stream)
+        return KernelVariant::Compressed;
     switch (requested) {
       case KernelVariant::Reference:
         return KernelVariant::Reference;
@@ -111,6 +121,13 @@ resolveKernelVariant(KernelVariant requested, const CompiledLayer &layer,
         if (threads > 1 || !layer.has_fused_stream)
             return KernelVariant::Reference;
         return KernelVariant::Fused;
+      case KernelVariant::Compressed:
+        fatal_if(!layer.has_compressed_stream,
+                 "kernel variant 'compressed' needs the compressed "
+                 "stream, but layer '%s' was compiled without it "
+                 "(CompileOptions::compressed_stream or compressed "
+                 "residency)", layer.name.c_str());
+        return KernelVariant::Compressed;
       case KernelVariant::Auto:
         break;
     }

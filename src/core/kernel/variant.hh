@@ -31,6 +31,15 @@
  *    nothing, so batch-1 latency scales with activation density
  *    instead of layer width. Works for every format (int64 scalar
  *    MAC, like reference) and any thread count.
+ *  - "compressed": the decode-on-the-fly path over the
+ *    compressed-resident streams (compressed_stream.hh). Each tile
+ *    slice is expanded into a small thread-local scratch stream and
+ *    swept by the existing vector/actsparse inner loops, so outputs
+ *    stay bit-exact while the resident form is the 4-bit nibble +
+ *    Huffman row-delta stream. Requires the layer to carry the
+ *    compressed stream (CompileOptions::compressed_stream or
+ *    compressed residency); a compressed-resident layer resolves
+ *    every request to this variant — it is the only executable form.
  *  - "auto": the fastest variant that is bit-exact for the layer's
  *    formats and the call's batch/thread shape; the default
  *    everywhere. When the caller supplies a measured activation
@@ -58,11 +67,12 @@ struct CompiledLayer;
 /** The registered kernel inner loops (Auto = select per call). */
 enum class KernelVariant
 {
-    Auto,      ///< fastest bit-exact variant for the call shape
-    Reference, ///< scalar sparse-gather loop, the oracle
-    Vector,    ///< SIMD 32-bit-lane dense-batch saturating MAC
-    Fused,     ///< slice-fused single stream per column (1 thread)
-    ActSparse, ///< nonzero-activation queue walk (EIE NZ-detect)
+    Auto,       ///< fastest bit-exact variant for the call shape
+    Reference,  ///< scalar sparse-gather loop, the oracle
+    Vector,     ///< SIMD 32-bit-lane dense-batch saturating MAC
+    Fused,      ///< slice-fused single stream per column (1 thread)
+    ActSparse,  ///< nonzero-activation queue walk (EIE NZ-detect)
+    Compressed, ///< decode-on-the-fly over compressed-resident streams
 };
 
 /** Auto routes to Vector at or above this batch when the formats are
@@ -113,6 +123,10 @@ bool vectorEligible(const CompiledLayer &layer);
  *    lanes would overflow, silently breaking bit-exactness.
  *  - ActSparse and Reference always resolve to themselves: both are
  *    int64 scalar paths, bit-exact for every format and thread count.
+ *  - Compressed is fatal when the layer carries no compressed stream;
+ *    on a compressed-resident layer (no decoded arrays) every request
+ *    — Auto or explicit — resolves to Compressed, the only executable
+ *    form (bit-exact, so the demotion is always safe).
  *
  * @p act_density is the measured fraction of nonzero input
  * activations, or negative when unknown (the density-blind overload).
@@ -131,8 +145,8 @@ KernelVariant resolveKernelVariant(KernelVariant requested,
 
 /**
  * The instruction set the SIMD MAC row kernel dispatched to at
- * runtime on this machine: "avx2", "sse4.1" or "scalar" (the
- * portable fallback loop). Stamped into BENCH_*.json files.
+ * runtime on this machine: "avx512", "avx2", "sse4.1" or "scalar"
+ * (the portable fallback loop). Stamped into BENCH_*.json files.
  */
 const char *simdIsaName();
 

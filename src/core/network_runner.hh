@@ -95,19 +95,24 @@ class NetworkRunner
     /**
      * The execution backend @p name ("scalar", "compiled", "sim")
      * over this network, built on first use and cached per
-     * (name, threads, kernel). The reference stays valid until the
-     * next addLayer() or the runner's destruction. Thread-safe.
+     * (name, threads, kernel, residency). The reference stays valid
+     * until the next addLayer() or the runner's destruction.
+     * Thread-safe.
      *
-     * @param threads PE-parallel worker threads (compiled backend
-     *                only; the other backends ignore it)
-     * @param kernel  compiled backend's kernel variant (see
-     *                core/kernel/variant.hh; the other backends
-     *                ignore it)
+     * @param threads   PE-parallel worker threads (compiled backend
+     *                  only; the other backends ignore it)
+     * @param kernel    compiled backend's kernel variant (see
+     *                  core/kernel/variant.hh; the other backends
+     *                  ignore it)
+     * @param residency compiled backend's resident stream form (see
+     *                  core/kernel/compiled_layer.hh; the other
+     *                  backends ignore it)
      */
     engine::ExecutionBackend &
     backend(const std::string &name, unsigned threads = 1,
-            kernel::KernelVariant kernel =
-                kernel::KernelVariant::Auto) const;
+            kernel::KernelVariant kernel = kernel::KernelVariant::Auto,
+            kernel::Residency residency =
+                kernel::Residency::Decoded) const;
 
     /** Run one input through the whole stack (raw fixed point) on the
      *  cycle-accurate backend, returning per-layer timing. */
@@ -149,8 +154,9 @@ class NetworkRunner
     FunctionalModel functional_;
     std::vector<LayerPlan> plans_;
 
-    /** Backend cache keyed by "name/threads", built lazily and
-     *  invalidated by addLayer(); guarded by backend_mutex_. */
+    /** Backend cache keyed by "name/threads/kernel/residency", built
+     *  lazily and invalidated by addLayer(); guarded by
+     *  backend_mutex_. */
     mutable std::mutex backend_mutex_;
     mutable std::map<std::string,
                      std::unique_ptr<engine::ExecutionBackend>>

@@ -1,7 +1,10 @@
 #include "engine/backend.hh"
 
+#include <atomic>
+
 #include "common/logging.hh"
 #include "engine/backends.hh"
+#include "obs/metrics.hh"
 
 namespace eie::engine {
 
@@ -87,14 +90,15 @@ validateBackendName(const std::string &name)
 std::unique_ptr<ExecutionBackend>
 makeBackend(const std::string &name, const core::EieConfig &config,
             const std::vector<const core::LayerPlan *> &plans,
-            unsigned threads, core::kernel::KernelVariant kernel)
+            unsigned threads, core::kernel::KernelVariant kernel,
+            core::kernel::Residency residency)
 {
     validateBackendName(name);
     if (name == "scalar")
         return std::make_unique<ScalarBackend>(config, plans);
     if (name == "compiled")
         return std::make_unique<CompiledBackend>(config, plans, threads,
-                                                 kernel);
+                                                 kernel, residency);
     panic_if(name != "sim", "backend registry out of sync with '%s'",
              name.c_str());
     return std::make_unique<SimBackend>(config, plans);
@@ -125,24 +129,63 @@ ScalarBackend::runBatch(const core::kernel::Batch &inputs) const
 
 // ----------------------------------------------------------- compiled
 
+namespace {
+
+/** Resident stream bytes (decoded + compressed) over a whole stack. */
+std::uint64_t
+stackResidentBytes(const CompiledStack &layers)
+{
+    std::uint64_t total = 0;
+    for (const core::kernel::CompiledLayer &layer : layers)
+        total += layer.residentStreamBytes();
+    return total;
+}
+
+/** Process-wide resident stream footprint across every live compiled
+ *  stack, mirrored into the `eie_model_resident_bytes` gauge. */
+std::atomic<std::int64_t> g_resident_bytes{0};
+
+void
+accountResidentBytes(std::int64_t delta)
+{
+    const std::int64_t total =
+        g_resident_bytes.fetch_add(delta, std::memory_order_relaxed) +
+        delta;
+    obs::processRegistry()
+        .gauge("eie_model_resident_bytes")
+        .set(static_cast<double>(total));
+}
+
+} // namespace
+
 std::shared_ptr<const CompiledStack>
 compileLayerStack(const core::EieConfig &config,
                   const std::vector<const core::LayerPlan *> &plans,
                   const core::kernel::CompileOptions &options)
 {
-    auto layers = std::make_shared<CompiledStack>();
+    auto layers = std::make_unique<CompiledStack>();
     layers->reserve(plans.size());
     for (const core::LayerPlan *plan : plans) {
         fatal_if(plan == nullptr, "null layer plan");
         layers->push_back(core::kernel::CompiledLayer::compile(
             *plan, config, options));
     }
-    return layers;
+    // The gauge tracks live resident bytes: credited here, debited by
+    // the deleter when the last shared reference drops.
+    const std::int64_t bytes =
+        static_cast<std::int64_t>(stackResidentBytes(*layers));
+    accountResidentBytes(bytes);
+    return std::shared_ptr<const CompiledStack>(
+        layers.release(), [bytes](const CompiledStack *stack) {
+            accountResidentBytes(-bytes);
+            delete stack;
+        });
 }
 
 core::kernel::CompileOptions
 compiledStackOptions(unsigned threads,
-                     core::kernel::KernelVariant kernel)
+                     core::kernel::KernelVariant kernel,
+                     core::kernel::Residency residency)
 {
     core::kernel::CompileOptions options;
     // Auto can resolve to Fused or ActSparse, and a single-thread
@@ -151,17 +194,24 @@ compiledStackOptions(unsigned threads,
         (kernel == core::kernel::KernelVariant::Auto ||
          kernel == core::kernel::KernelVariant::Fused ||
          kernel == core::kernel::KernelVariant::ActSparse);
+    options.residency = residency;
+    // An explicit "compressed" kernel request must stay executable
+    // even under decoded residency: compile both stream forms.
+    options.compressed_stream =
+        kernel == core::kernel::KernelVariant::Compressed;
     return options;
 }
 
 CompiledBackend::CompiledBackend(
     const core::EieConfig &config,
     const std::vector<const core::LayerPlan *> &plans, unsigned threads,
-    core::kernel::KernelVariant kernel)
+    core::kernel::KernelVariant kernel,
+    core::kernel::Residency residency)
     : CompiledBackend(
           plans,
-          compileLayerStack(config, plans,
-                            compiledStackOptions(threads, kernel)),
+          compileLayerStack(
+              config, plans,
+              compiledStackOptions(threads, kernel, residency)),
           threads, kernel)
 {}
 
@@ -210,7 +260,10 @@ CompiledBackend::runBatch(const core::kernel::Batch &inputs) const
                                                 kernel_, &info);
         report.dispatch.push_back(
             {layer.name, core::kernel::kernelVariantName(info.variant),
-             info.act_density});
+             info.act_density,
+             core::kernel::residencyName(layer.residency),
+             layer.decoded_stream_bytes, layer.compressed_stream_bytes,
+             info.decode_us});
         act = &report.outputs;
     }
     return report;

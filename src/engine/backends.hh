@@ -45,6 +45,11 @@ using CompiledStack = std::vector<core::kernel::CompiledLayer>;
  * the fused stream (a second resident copy of the entries) when
  * every consumer runs a multi-thread pool, where the fused variant
  * is unreachable.
+ *
+ * The returned stack also keeps the process-wide
+ * `eie_model_resident_bytes` gauge current: the stack's resident
+ * stream footprint is added on compile and subtracted when the last
+ * shared reference drops.
  */
 std::shared_ptr<const CompiledStack>
 compileLayerStack(const core::EieConfig &config,
@@ -59,10 +64,16 @@ compileLayerStack(const core::EieConfig &config,
  * Auto. A multi-thread pool demotes Fused to the per-slice loop, and
  * explicit Reference/Vector never walk it. The one rule both
  * CompiledBackend and the serving cluster's shared stacks follow.
+ *
+ * @p residency selects the resident stream form; an explicit
+ * Compressed kernel request additionally compiles the compressed
+ * stream alongside decoded residency so the variant is executable.
  */
 core::kernel::CompileOptions
 compiledStackOptions(unsigned threads,
-                     core::kernel::KernelVariant kernel);
+                     core::kernel::KernelVariant kernel,
+                     core::kernel::Residency residency =
+                         core::kernel::Residency::Decoded);
 
 /**
  * The compiled host-kernel path: pre-decoded SoA streams, column
@@ -80,7 +91,9 @@ class CompiledBackend : public ExecutionBackend
                     const std::vector<const core::LayerPlan *> &plans,
                     unsigned threads,
                     core::kernel::KernelVariant kernel =
-                        core::kernel::KernelVariant::Auto);
+                        core::kernel::KernelVariant::Auto,
+                    core::kernel::Residency residency =
+                        core::kernel::Residency::Decoded);
 
     /** Adopt @p layers compiled by compileLayerStack() from the same
      *  plan stack — the layers are shared, not copied, so N backends

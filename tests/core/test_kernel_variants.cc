@@ -63,7 +63,7 @@ saturatingLayer(std::size_t rows, std::size_t cols, unsigned n_pe,
 
 TEST(KernelVariants, RegistryNamesRoundTrip)
 {
-    ASSERT_EQ(core::kernel::kernelVariantNames().size(), 5u);
+    ASSERT_EQ(core::kernel::kernelVariantNames().size(), 6u);
     for (const std::string &name : core::kernel::kernelVariantNames())
         EXPECT_STREQ(core::kernel::kernelVariantName(
                          core::kernel::kernelVariantFromName(name)),
@@ -474,6 +474,133 @@ TEST(KernelVariants, ActSparseBitExactAcrossDensitySweep)
                 EXPECT_EQ(outputs[b], reference[b])
                     << "batch " << frames.size() << ", "
                     << (p ? "pooled" : "serial") << ", frame " << b;
+        }
+    }
+}
+
+TEST(KernelVariants, CompressedResolutionFollowsResidency)
+{
+    core::EieConfig config;
+    config.n_pe = 4;
+    const auto layer = test::randomCompressedLayer(64, 48, 0.3, 4, 11);
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+
+    using core::kernel::resolveKernelVariant;
+
+    // Decoded residency + a compressed side stream: only an explicit
+    // compressed request decodes on the fly; everything else keeps
+    // its documented resolution.
+    core::kernel::CompileOptions both;
+    both.compressed_stream = true;
+    const auto dual =
+        core::kernel::CompiledLayer::compile(plan, config, both);
+    ASSERT_TRUE(dual.has_host_stream);
+    ASSERT_TRUE(dual.has_compressed_stream);
+    EXPECT_EQ(dual.residency, core::kernel::Residency::Decoded);
+    EXPECT_EQ(
+        resolveKernelVariant(KernelVariant::Compressed, dual, 64, 1),
+        KernelVariant::Compressed);
+    EXPECT_EQ(resolveKernelVariant(KernelVariant::Auto, dual, 64, 1),
+              KernelVariant::Vector);
+
+    // Compressed residency: the compressed stream is the only
+    // resident form, so every request — Auto and every explicit
+    // variant alike — resolves to the decode-on-the-fly executor.
+    core::kernel::CompileOptions resident;
+    resident.residency = core::kernel::Residency::Compressed;
+    const auto compact =
+        core::kernel::CompiledLayer::compile(plan, config, resident);
+    ASSERT_FALSE(compact.has_host_stream);
+    ASSERT_TRUE(compact.has_compressed_stream);
+    EXPECT_EQ(compact.residency, core::kernel::Residency::Compressed);
+    EXPECT_LT(compact.compressed_stream_bytes,
+              dual.decoded_stream_bytes);
+    for (const KernelVariant kernel :
+         {KernelVariant::Auto, KernelVariant::Reference,
+          KernelVariant::Vector, KernelVariant::Fused,
+          KernelVariant::ActSparse, KernelVariant::Compressed})
+        EXPECT_EQ(resolveKernelVariant(kernel, compact, 64, 4),
+                  KernelVariant::Compressed)
+            << core::kernel::kernelVariantName(kernel);
+
+    // Auto residency resolves by decoded footprint: a layer this
+    // small stays decoded.
+    core::kernel::CompileOptions adaptive;
+    adaptive.residency = core::kernel::Residency::Auto;
+    const auto resolved =
+        core::kernel::CompiledLayer::compile(plan, config, adaptive);
+    EXPECT_EQ(resolved.residency, core::kernel::Residency::Decoded);
+    EXPECT_TRUE(resolved.has_host_stream);
+}
+
+TEST(KernelVariants, CompressedBitExactAcrossDensitySweep)
+{
+    // The decode-on-the-fly executor must reproduce the reference
+    // saturating-MAC sequence exactly from the compressed stream:
+    // every activation density (empty queues at 0%, the paper's 9%
+    // weight / 35% activation regime, fully dense), ragged batch
+    // sizes off the SIMD lane grid, serial and pooled routes, and
+    // both residency modes (compressed-only resident and the
+    // decoded+compressed dual form).
+    core::EieConfig config;
+    config.n_pe = 4;
+    const auto layer = test::randomCompressedLayer(96, 64, 0.2, 4, 91);
+    const auto plan =
+        core::planLayer(layer, nn::Nonlinearity::ReLU, config);
+    const core::FunctionalModel model(config);
+    core::kernel::WorkerPool pool(3);
+
+    core::kernel::CompileOptions resident;
+    resident.residency = core::kernel::Residency::Compressed;
+    core::kernel::CompileOptions dual;
+    dual.compressed_stream = true;
+    const std::vector<core::kernel::CompiledLayer> forms{
+        core::kernel::CompiledLayer::compile(plan, config, resident),
+        core::kernel::CompiledLayer::compile(plan, config, dual)};
+
+    std::vector<core::kernel::Batch> batches;
+    for (const double density : {0.0, 0.09, 0.35, 1.0}) {
+        for (const std::size_t batch : {1u, 3u, 5u, 9u}) {
+            core::kernel::Batch frames;
+            for (std::size_t b = 0; b < batch; ++b)
+                frames.push_back(
+                    model.quantizeInput(test::randomActivations(
+                        64, density, 700 + 13 * b)));
+            batches.push_back(std::move(frames));
+        }
+    }
+    batches.push_back(core::kernel::Batch{}); // empty batch
+
+    for (const auto &frames : batches) {
+        core::kernel::Batch reference;
+        for (const auto &frame : frames)
+            reference.push_back(model.run(plan, frame).output_raw);
+
+        for (const auto &compiled : forms) {
+            for (core::kernel::WorkerPool *p :
+                 {static_cast<core::kernel::WorkerPool *>(nullptr),
+                  &pool}) {
+                core::kernel::DispatchInfo info;
+                const auto outputs = core::kernel::runBatch(
+                    compiled, frames, p, KernelVariant::Compressed,
+                    &info);
+                ASSERT_EQ(outputs.size(), frames.size());
+                // An empty batch never dispatches, so info keeps its
+                // defaults.
+                if (!frames.empty()) {
+                    EXPECT_EQ(info.variant,
+                              KernelVariant::Compressed);
+                    EXPECT_GE(info.decode_us, 0.0);
+                }
+                for (std::size_t b = 0; b < frames.size(); ++b)
+                    EXPECT_EQ(outputs[b], reference[b])
+                        << core::kernel::residencyName(
+                               compiled.residency)
+                        << " residency, batch " << frames.size()
+                        << ", " << (p ? "pooled" : "serial")
+                        << ", frame " << b;
+            }
         }
     }
 }

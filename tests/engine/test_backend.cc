@@ -204,17 +204,29 @@ TEST(ExecutionBackend, CompiledKernelVariantsMatchScalarOnAStack)
           core::kernel::KernelVariant::Reference,
           core::kernel::KernelVariant::Vector,
           core::kernel::KernelVariant::Fused,
-          core::kernel::KernelVariant::ActSparse}) {
-        for (const unsigned threads : {1u, 4u}) {
-            const auto backend = engine::makeBackend(
-                "compiled", config, plans, threads, kernel);
-            const auto *compiled =
-                dynamic_cast<engine::CompiledBackend *>(backend.get());
-            ASSERT_NE(compiled, nullptr);
-            EXPECT_EQ(compiled->kernel(), kernel);
-            EXPECT_EQ(backend->runBatch(frames).outputs, reference)
-                << core::kernel::kernelVariantName(kernel) << ", "
-                << threads << " threads";
+          core::kernel::KernelVariant::ActSparse,
+          core::kernel::KernelVariant::Compressed}) {
+        // Compressed residency keeps only the compressed stream and
+        // resolves every variant request to the decode-on-the-fly
+        // path, so all kernels stay valid — and must stay bit-exact.
+        for (const core::kernel::Residency residency :
+             {core::kernel::Residency::Decoded,
+              core::kernel::Residency::Compressed}) {
+            for (const unsigned threads : {1u, 4u}) {
+                const auto backend =
+                    engine::makeBackend("compiled", config, plans,
+                                        threads, kernel, residency);
+                const auto *compiled =
+                    dynamic_cast<engine::CompiledBackend *>(
+                        backend.get());
+                ASSERT_NE(compiled, nullptr);
+                EXPECT_EQ(compiled->kernel(), kernel);
+                EXPECT_EQ(backend->runBatch(frames).outputs,
+                          reference)
+                    << core::kernel::kernelVariantName(kernel) << ", "
+                    << core::kernel::residencyName(residency) << ", "
+                    << threads << " threads";
+            }
         }
     }
 }

@@ -78,11 +78,11 @@ TEST(StatsSchema, ClusterStatsJsonKeySetIsPinned)
     const obs::JsonValue &entry = clusters.array[0];
     expectKeys(entry,
                {"model", "version", "placement", "backend", "kernel",
-                "shards", "requests", "dropped_deadline", "failed",
-                "requests_shed", "failovers", "shards_ejected",
-                "mean_batch", "p50_latency_us", "p95_latency_us",
-                "p99_latency_us", "p999_latency_us", "layers",
-                "shard_stats"},
+                "residency", "shards", "requests",
+                "dropped_deadline", "failed", "requests_shed",
+                "failovers", "shards_ejected", "mean_batch",
+                "p50_latency_us", "p95_latency_us", "p99_latency_us",
+                "p999_latency_us", "layers", "shard_stats"},
                "cluster entry");
 
     const obs::JsonValue &layers = *entry.find("layers");
@@ -90,7 +90,8 @@ TEST(StatsSchema, ClusterStatsJsonKeySetIsPinned)
     ASSERT_FALSE(layers.array.empty());
     expectKeys(layers.array[0],
                {"layer", "kernel", "act_density",
-                "mean_act_density", "sweeps"},
+                "mean_act_density", "sweeps", "residency",
+                "decoded_bytes", "compressed_bytes", "decode_us"},
                "layer entry");
 
     const obs::JsonValue &shards = *entry.find("shard_stats");
@@ -169,7 +170,8 @@ TEST(StatsSchema, LocalEndpointStatsJsonKeySetIsPinned)
     ASSERT_FALSE(layers.array.empty());
     expectKeys(layers.array[0],
                {"layer", "kernel", "act_density",
-                "mean_act_density"},
+                "mean_act_density", "residency", "decoded_bytes",
+                "compressed_bytes", "decode_us"},
                "local layer entry");
 
     client->close();

@@ -301,19 +301,35 @@ TEST(ClusterEngine, KernelVariantsServeBitExactOnEveryPlacement)
          {core::kernel::KernelVariant::Reference,
           core::kernel::KernelVariant::Vector,
           core::kernel::KernelVariant::Fused,
-          core::kernel::KernelVariant::ActSparse}) {
-        for (const serve::Placement placement :
-             {serve::Placement::Replicated,
-              serve::Placement::ColumnPartitioned}) {
-            serve::ClusterOptions opts = fx.options(2, placement);
-            opts.kernel = kernel;
-            serve::ClusterEngine cluster(fx.model, opts);
-            for (int i = 0; i < 6; ++i) {
-                const auto input = fx.randomInput(7000 + i);
-                EXPECT_EQ(cluster.infer(input), fx.oracle(input))
-                    << core::kernel::kernelVariantName(kernel) << ", "
-                    << serve::placementName(placement) << ", input "
-                    << i;
+          core::kernel::KernelVariant::ActSparse,
+          core::kernel::KernelVariant::Compressed}) {
+        // The decode-on-the-fly kernel must serve bit-exact with the
+        // compressed stream side by side (decoded residency) and as
+        // the only resident form (compressed residency).
+        const std::vector<core::kernel::Residency> residencies =
+            kernel == core::kernel::KernelVariant::Compressed
+                ? std::vector<core::kernel::Residency>{
+                      core::kernel::Residency::Decoded,
+                      core::kernel::Residency::Compressed}
+                : std::vector<core::kernel::Residency>{
+                      core::kernel::Residency::Decoded};
+        for (const core::kernel::Residency residency : residencies) {
+            for (const serve::Placement placement :
+                 {serve::Placement::Replicated,
+                  serve::Placement::ColumnPartitioned}) {
+                serve::ClusterOptions opts = fx.options(2, placement);
+                opts.kernel = kernel;
+                opts.residency = residency;
+                serve::ClusterEngine cluster(fx.model, opts);
+                for (int i = 0; i < 6; ++i) {
+                    const auto input = fx.randomInput(7000 + i);
+                    EXPECT_EQ(cluster.infer(input), fx.oracle(input))
+                        << core::kernel::kernelVariantName(kernel)
+                        << ", "
+                        << core::kernel::residencyName(residency)
+                        << ", " << serve::placementName(placement)
+                        << ", input " << i;
+                }
             }
         }
     }

@@ -10,9 +10,10 @@
 # pass so a serving regression is called out by name even when the
 # full run already covered it. A Release variant-matrix smoke then
 # drives eie_sim through every kernel variant (--kernel
-# reference|vector|fused|actsparse) in both the batched-throughput
-# and the serving path, each checked bit-exact against the scalar
-# oracle by the tool itself.
+# reference|vector|fused|actsparse, plus compressed in both
+# --residency modes) in both the batched-throughput and the serving
+# path, each checked bit-exact against the scalar oracle by the tool
+# itself.
 #
 # The telemetry subsystem (src/obs/: metrics registry, histogram
 # quantiles, tracing, the stats/metrics JSON schema pin) likewise
@@ -27,10 +28,11 @@
 # fails the check even when the race never corrupts an assertion.
 #
 # A fourth pass rebuilds the robustness suites — wire-frame fuzz,
-# fault injection, retry, model-file corruption — under
-# Address+UndefinedBehavior sanitizers (-DEIE_ASAN=ON) so a decoder
-# overread or UB on a garbage frame fails loudly instead of decoding
-# garbage quietly.
+# compressed-stream fuzz, fault injection, retry, model-file
+# corruption — under Address+UndefinedBehavior sanitizers
+# (-DEIE_ASAN=ON) so a decoder overread or UB on a garbage frame or
+# corrupt weight stream fails loudly instead of decoding garbage
+# quietly.
 #
 # Finally a daemon-signal smoke starts `eie_serve daemon` against a
 # scratch registry, sends SIGINT, and requires a clean exit 0.
@@ -68,11 +70,21 @@ for kernel in reference vector fused actsparse; do
     ./build-check-release/eie_sim --serve 24 --benchmark NT-We \
         --kernel "${kernel}"
 done
+# The compressed decode-on-the-fly variant in both residency modes:
+# decoded residency keeps the compressed stream side by side, while
+# compressed residency makes it the only resident form.
+for residency in decoded compressed; do
+    ./build-check-release/eie_sim --throughput 16 --benchmark NT-We \
+        --kernel compressed --residency "${residency}"
+    ./build-check-release/eie_sim --serve 24 --benchmark NT-We \
+        --kernel compressed --residency "${residency}"
+done
 
 echo "=== ThreadSanitizer (kernel + engine + server + cluster + \
 client) ==="
 tsan_dir="build-check-tsan"
-tsan_tests="test_kernel test_kernel_variants test_backend test_server \
+tsan_tests="test_kernel test_kernel_variants \
+test_kernel_compressed_stream test_backend test_server \
 test_network_runner test_cluster test_tcp test_client test_session \
 test_faults test_retry test_metrics test_tracing"
 cmake -B "${tsan_dir}" -S . \
@@ -91,7 +103,7 @@ ctest --test-dir "${tsan_dir}" --output-on-failure \
 echo "=== Address+UB sanitizers (wire fuzz + faults + model file) ==="
 asan_dir="build-check-asan"
 asan_tests="test_wire test_model_file test_registry test_faults \
-test_retry test_client"
+test_retry test_client test_kernel_compressed_stream"
 cmake -B "${asan_dir}" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEIE_ASAN=ON "$@"
 cmake --build "${asan_dir}" -j "${jobs}" \

@@ -11,8 +11,9 @@
  * Daemon (loopback TCP front end over a sharded cluster per model):
  *   eie_serve --registry DIR --listen PORT [--shards N]
  *             [--policy replicated|partitioned] [--backend NAME]
- *             [--kernel V] [--threads-per-shard T] [--max-batch B]
- *             [--max-delay-us U] [--pes N] [--duration-s S]
+ *             [--kernel V] [--residency R] [--threads-per-shard T]
+ *             [--max-batch B] [--max-delay-us U] [--pes N]
+ *             [--duration-s S]
  *
  * Client (open-loop or back-to-back pipelined traffic):
  *   eie_serve --connect HOST:PORT --model NAME [--version V]
@@ -101,7 +102,9 @@ usage()
         "  --policy P            replicated | partitioned\n"
         "  --backend NAME        shard backend (default compiled)\n"
         "  --kernel V            shard kernel variant: auto | "
-        "reference | vector | fused | actsparse\n"
+        "reference | vector | fused | actsparse | compressed\n"
+        "  --residency R         resident stream form: decoded | "
+        "compressed | auto\n"
         "  --threads-per-shard T worker threads per shard "
         "(default 1)\n"
         "  --max-batch B         shard micro-batcher cap "
@@ -279,7 +282,9 @@ runDaemon(const Args &args)
               << serve::placementName(args.cluster.placement) << ", "
               << args.cluster.backend << " backend, "
               << core::kernel::kernelVariantName(args.cluster.kernel)
-              << " kernel, forming window ";
+              << " kernel, "
+              << core::kernel::residencyName(args.cluster.residency)
+              << " residency, forming window ";
     if (args.cluster.server.adaptive_delay)
         std::cout << "adaptive "
                   << std::min(args.cluster.server.min_delay,
@@ -546,6 +551,11 @@ main(int argc, char **argv)
             // names) on an unknown value.
             args.cluster.kernel =
                 core::kernel::kernelVariantFromName(next());
+        } else if (arg == "--residency") {
+            // residencyFromName is fatal (listing the valid names)
+            // on an unknown value.
+            args.cluster.residency =
+                core::kernel::residencyFromName(next());
         } else if (arg == "--threads-per-shard") {
             args.cluster.threads_per_shard =
                 static_cast<unsigned>(std::stoul(next()));

@@ -80,7 +80,9 @@ usage()
         "  --throughput B       run the batched host engine, B frames\n"
         "  --threads T          PE-parallel worker threads (default 1)\n"
         "  --kernel V           kernel variant: auto | reference | "
-        "vector | fused | actsparse\n"
+        "vector | fused | actsparse | compressed\n"
+        "  --residency R        resident stream form: decoded | "
+        "compressed | auto\n"
         "  --act-density D      activation density of generated "
         "inputs, 0..1\n"
         "                       (default: the benchmark's "
@@ -133,7 +135,8 @@ runThroughput(workloads::SuiteRunner &runner,
               const std::vector<std::string> &names,
               const core::EieConfig &config, std::size_t batch,
               unsigned threads, core::kernel::KernelVariant kernel,
-              unsigned repeats, std::uint64_t seed, double act_density)
+              core::kernel::Residency residency, unsigned repeats,
+              std::uint64_t seed, double act_density)
 {
     TextTable table({"Benchmark", "Batch", "Threads", "Scalar f/s",
                      "Batched f/s", "Speedup", "GOP/s", "Exact"});
@@ -173,7 +176,7 @@ runThroughput(workloads::SuiteRunner &runner,
 
         // Compiled backend: pre-decoded kernels + worker pool.
         const engine::ExecutionBackend &compiled =
-            net.backend("compiled", threads, kernel);
+            net.backend("compiled", threads, kernel, residency);
         core::kernel::Batch outputs;
         double batched_s = 0.0;
         for (unsigned rep = 0; rep < repeats; ++rep) {
@@ -203,9 +206,11 @@ runThroughput(workloads::SuiteRunner &runner,
                  "interpreter", name.c_str());
     }
 
-    std::cout << "Host engine: pre-decoded kernel format, batch "
-              << batch << ", " << threads << " thread(s), kernel '"
-              << core::kernel::kernelVariantName(kernel) << "'\n";
+    std::cout << "Host engine: batch " << batch << ", " << threads
+              << " thread(s), kernel '"
+              << core::kernel::kernelVariantName(kernel)
+              << "', residency '"
+              << core::kernel::residencyName(residency) << "'\n";
     table.print(std::cout);
     return 0;
 }
@@ -218,6 +223,8 @@ struct ServeArgs
     std::string backend = "compiled";
     core::kernel::KernelVariant kernel =
         core::kernel::KernelVariant::Auto;
+    core::kernel::Residency residency =
+        core::kernel::Residency::Decoded;
     engine::ServerOptions options;
     double act_density = -1.0; ///< <0 = the benchmark's paper density
 };
@@ -240,6 +247,8 @@ runServe(workloads::SuiteRunner &runner,
     const std::string endpoint = "local:" + args.backend +
         ",kernel=" +
         core::kernel::kernelVariantName(args.kernel) +
+        ",residency=" +
+        core::kernel::residencyName(args.residency) +
         ",threads=" + std::to_string(threads);
 
     for (const std::string &name : names) {
@@ -418,6 +427,11 @@ main(int argc, char **argv)
             // names) on an unknown value.
             serve.kernel =
                 core::kernel::kernelVariantFromName(next());
+        } else if (arg == "--residency") {
+            // residencyFromName is fatal (listing the valid names)
+            // on an unknown value.
+            serve.residency =
+                core::kernel::residencyFromName(next());
         } else if (arg == "--max-batch") {
             serve.options.max_batch = std::stoul(next());
             fatal_if(serve.options.max_batch == 0,
@@ -458,8 +472,8 @@ main(int argc, char **argv)
 
     if (throughput_batch > 0)
         return runThroughput(runner, names, config, throughput_batch,
-                             threads, serve.kernel, repeats, seed,
-                             serve.act_density);
+                             threads, serve.kernel, serve.residency,
+                             repeats, seed, serve.act_density);
 
     if (!export_path.empty()) {
         fatal_if(names.size() != 1,

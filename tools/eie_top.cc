@@ -14,8 +14,11 @@
  *     over the last interval (delta of the requests counter), queue
  *     depth summed over shards, shed / failover / ejection counters,
  *     mean batch and the p50/p95/p99/p99.9 latency curve;
- *   - per layer: the kernel variant the last sweep executed and the
- *     measured activation density driving density-aware dispatch;
+ *   - per layer: the kernel variant the last sweep executed, the
+ *     measured activation density driving density-aware dispatch,
+ *     the resident stream form (decoded vs. compressed) with its
+ *     footprint, and the per-sweep decode cost of compressed
+ *     residency;
  *   - process totals from the metrics registry (server requests /
  *     batches / sheds and the process-wide latency histogram).
  *
@@ -142,10 +145,14 @@ render(const obs::JsonValue &stats, const obs::JsonValue &metrics,
     }
     table.print(out);
 
-    // Per-layer kernel variant + density mix — the dispatch decisions
-    // density-aware auto routing is making right now.
-    TextTable layers({"Model", "Layer", "Kernel", "ActDensity",
-                      "MeanDensity", "Sweeps"});
+    // Per-layer kernel variant, density mix and stream residency —
+    // the dispatch decisions density-aware auto routing is making
+    // right now, and what each layer's weights cost to keep resident
+    // (decoded vs. compressed bytes, plus the decode time a
+    // compressed-resident layer pays per sweep).
+    TextTable layers({"Model", "Layer", "Kernel", "Residency",
+                      "ResKB", "ActDensity", "MeanDensity", "DecodeUs",
+                      "Sweeps"});
     bool any_layers = false;
     if (clusters != nullptr && clusters->isArray()) {
         for (const obs::JsonValue &cluster : clusters->array) {
@@ -154,12 +161,20 @@ render(const obs::JsonValue &stats, const obs::JsonValue &metrics,
                 continue;
             for (const obs::JsonValue &layer : layer_array->array) {
                 any_layers = true;
+                const std::string residency =
+                    layer.stringOr("residency", "-");
+                const double resident_bytes = residency == "compressed"
+                    ? layer.numberOr("compressed_bytes", 0.0)
+                    : layer.numberOr("decoded_bytes", 0.0);
                 layers.row()
                     .add(cluster.stringOr("model", "?"))
                     .add(layer.stringOr("layer", "?"))
                     .add(layer.stringOr("kernel", "-"))
+                    .add(residency)
+                    .add(resident_bytes / 1024.0, 1)
                     .add(layer.numberOr("act_density", -1.0), 3)
                     .add(layer.numberOr("mean_act_density", 0.0), 3)
+                    .add(layer.numberOr("decode_us", 0.0), 1)
                     .add(static_cast<std::uint64_t>(
                         layer.numberOr("sweeps", 0.0)));
             }
@@ -170,6 +185,7 @@ render(const obs::JsonValue &stats, const obs::JsonValue &metrics,
 
     // Process totals from the metrics registry.
     const obs::JsonValue *counters = metrics.find("counters");
+    const obs::JsonValue *gauges = metrics.find("gauges");
     const obs::JsonValue *histograms = metrics.find("histograms");
     if (counters != nullptr && counters->isObject()) {
         out << "process: requests="
@@ -184,6 +200,12 @@ render(const obs::JsonValue &stats, const obs::JsonValue &metrics,
             << " failovers="
             << static_cast<std::uint64_t>(counters->numberOr(
                    "eie_cluster_failovers_total", 0.0));
+        if (gauges != nullptr && gauges->isObject())
+            out << " resident_kb="
+                << static_cast<std::uint64_t>(
+                       gauges->numberOr("eie_model_resident_bytes",
+                                        0.0) /
+                       1024.0);
         if (histograms != nullptr) {
             if (const obs::JsonValue *latency =
                     histograms->find("eie_server_latency_us");
