@@ -13,6 +13,7 @@
 #include "common/logging.hh"
 #include "core/kernel/variant.hh"
 #include "engine/lstm_session.hh"
+#include "gateway/http.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -101,6 +102,31 @@ class FrameFuture
     /** Wrap a wire InferResponse future (no-throw value). */
     static FrameFuture
     ofWire(std::future<serve::wire::InferResponse> future);
+
+    /** Wrap an async FrameResult future (the HTTP transport's
+     *  one-thread-per-in-flight-frame round trips). */
+    static FrameFuture
+    ofAsync(std::future<FrameResult> future)
+    {
+        auto shared =
+            std::make_shared<std::future<FrameResult>>(
+                std::move(future));
+        FrameFuture f;
+        f.wait_until_ = [shared](
+                            std::chrono::steady_clock::time_point t) {
+            return shared->wait_until(t) ==
+                std::future_status::ready;
+        };
+        f.take_ = [shared]() -> FrameResult {
+            try {
+                return shared->get();
+            } catch (...) {
+                return {statusFromException(std::current_exception()),
+                        {}};
+            }
+        };
+        return f;
+    }
 
     /**
      * Block until resolved or @p deadline (max() = forever); false
@@ -1143,6 +1169,486 @@ class TcpTransport final : public Transport
     std::shared_ptr<serve::TcpClient> client_;
 };
 
+// ------------------------------------------------------- HttpTransport
+
+/** Reverse of the gateway's error-body code names (the Status the
+ *  gateway mapped onto the HTTP status). */
+bool
+statusCodeFromName(const std::string &name, StatusCode &out)
+{
+    for (const StatusCode code :
+         {StatusCode::Ok, StatusCode::InvalidArgument,
+          StatusCode::NotFound, StatusCode::DeadlineExpired,
+          StatusCode::Unavailable, StatusCode::ProtocolError,
+          StatusCode::TransportError, StatusCode::Internal}) {
+        if (name == statusCodeName(code)) {
+            out = code;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Fallback Status class of a bare HTTP status (a peer that did not
+ *  send the gateway's error body). 401/403 collapse onto
+ *  InvalidArgument (the closed StatusCode set has no
+ *  PermissionDenied) and 429 onto Unavailable — the same codes the
+ *  gateway names in its bodies, so both paths agree. */
+StatusCode
+statusCodeFromHttp(int http_status)
+{
+    switch (http_status) {
+      case 400: return StatusCode::InvalidArgument;
+      case 401: return StatusCode::InvalidArgument;
+      case 403: return StatusCode::InvalidArgument;
+      case 404: return StatusCode::NotFound;
+      case 429: return StatusCode::Unavailable;
+      case 502: return StatusCode::ProtocolError;
+      case 503: return StatusCode::Unavailable;
+      case 504: return StatusCode::DeadlineExpired;
+      default: return StatusCode::Internal;
+    }
+}
+
+/**
+ * The dial state shared between an HttpTransport and the sessions it
+ * opened: host/port/token plus a pool of keep-alive connections (one
+ * per in-flight request — HTTP/1.1 without multiplexing pipelines by
+ * connection count, matching the wire client's many-in-flight
+ * semantics for the bench).
+ */
+class HttpChannel
+{
+  public:
+    HttpChannel(std::string host, std::uint16_t port,
+                std::string token)
+        : host_(std::move(host)), port_(port),
+          token_(std::move(token))
+    {}
+
+    /** One JSON exchange. Returns the HTTP status and body via
+     *  @p http_status / @p body; a non-Ok return is a transport-level
+     *  failure (dial, send, malformed response). */
+    Status
+    roundTrip(const std::string &method, const std::string &target,
+              const std::string &request_body, int &http_status,
+              std::string &body)
+    {
+        std::unique_ptr<gateway::HttpClientConnection> connection;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_)
+                return Status::error(StatusCode::Unavailable,
+                                     "client endpoint is closed");
+            if (!idle_.empty()) {
+                connection = std::move(idle_.back());
+                idle_.pop_back();
+            }
+        }
+        std::vector<std::pair<std::string, std::string>> headers;
+        if (!token_.empty())
+            headers.emplace_back("Authorization",
+                                 "Bearer " + token_);
+        // One transparent retry on a dead pooled connection: the
+        // gateway may have reaped it between requests, which is not
+        // a request failure.
+        for (int attempt = 0;; ++attempt) {
+            if (!connection) {
+                try {
+                    connection = std::make_unique<
+                        gateway::HttpClientConnection>(host_, port_);
+                } catch (const std::exception &error) {
+                    return Status::error(StatusCode::TransportError,
+                                         error.what());
+                }
+            }
+            try {
+                const gateway::HttpParsedResponse response =
+                    connection->roundTrip(method, target, headers,
+                                          request_body);
+                http_status = response.status;
+                body = response.body;
+                if (connection->alive())
+                    release(std::move(connection));
+                return Status::success();
+            } catch (const gateway::HttpError &error) {
+                connection.reset();
+                if (attempt == 0)
+                    continue; // dial fresh and retry once
+                return Status::error(StatusCode::TransportError,
+                                     error.what());
+            }
+        }
+    }
+
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        idle_.clear();
+    }
+
+  private:
+    void
+    release(std::unique_ptr<gateway::HttpClientConnection> connection)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // Bound the pool: beyond the high-water mark of in-flight
+        // requests, extra sockets buy nothing.
+        if (!closed_ && idle_.size() < 16)
+            idle_.push_back(std::move(connection));
+    }
+
+    const std::string host_;
+    const std::uint16_t port_;
+    const std::string token_;
+
+    std::mutex mutex_;
+    bool closed_ = false;
+    std::vector<std::unique_ptr<gateway::HttpClientConnection>>
+        idle_;
+};
+
+/** Parse a gateway response body; a non-2xx maps onto the Status
+ *  taxonomy (error-body code name first, HTTP status class as the
+ *  fallback). On Ok @p out is the parsed body. */
+Status
+gatewayStatus(int http_status, const std::string &body,
+              obs::JsonValue &out)
+{
+    try {
+        out = obs::parseJson(body);
+    } catch (const std::exception &) {
+        out = obs::JsonValue{};
+        if (http_status / 100 == 2)
+            return Status::error(
+                StatusCode::ProtocolError,
+                "malformed JSON in gateway response");
+    }
+    if (http_status / 100 == 2)
+        return Status::success();
+    std::string message = "HTTP " + std::to_string(http_status);
+    StatusCode code = statusCodeFromHttp(http_status);
+    if (const obs::JsonValue *error = out.find("error")) {
+        StatusCode named;
+        if (statusCodeFromName(error->stringOr("code", ""), named) &&
+            named != StatusCode::Ok)
+            code = named;
+        const std::string detail = error->stringOr("message", "");
+        if (!detail.empty())
+            message += ": " + detail;
+    }
+    return Status::error(code, std::move(message));
+}
+
+/** A session whose recurrent state lives behind the gateway. */
+class HttpSession final : public SessionImpl
+{
+  public:
+    HttpSession(std::shared_ptr<HttpChannel> channel, std::string id,
+                std::string model, std::size_t input_size,
+                std::size_t hidden_size)
+        : channel_(std::move(channel)), id_(std::move(id)),
+          model_(std::move(model)), input_size_(input_size),
+          hidden_size_(hidden_size)
+    {}
+
+    ~HttpSession() override { close(); }
+
+    Session::StepResult
+    step(const nn::Vector &x, std::int32_t priority,
+         std::chrono::microseconds deadline) override
+    {
+        if (closed_)
+            return {Status::error(StatusCode::Unavailable,
+                                  "session is closed"),
+                    {}};
+        obs::JsonWriter request;
+        request.beginObject().field("session", id_);
+        request.key("x").beginArray();
+        for (const float value : x)
+            request.value(static_cast<double>(value));
+        request.endArray()
+            .field("priority", priority)
+            .field("deadline_us",
+                   static_cast<std::int64_t>(deadline.count()))
+            .endObject();
+        int http_status = 0;
+        std::string body;
+        Status status =
+            channel_->roundTrip("POST", "/v1/session/step",
+                                request.str(), http_status, body);
+        if (!status.ok())
+            return {std::move(status), {}};
+        obs::JsonValue parsed;
+        status = gatewayStatus(http_status, body, parsed);
+        if (!status.ok())
+            return {std::move(status), {}};
+        const obs::JsonValue *h = parsed.find("h");
+        if (h == nullptr || !h->isArray())
+            return {Status::error(StatusCode::ProtocolError,
+                                  "gateway step response without "
+                                  "\"h\""),
+                    {}};
+        nn::Vector hidden;
+        hidden.reserve(h->array.size());
+        for (const obs::JsonValue &value : h->array)
+            hidden.push_back(static_cast<float>(value.number));
+        ++steps_;
+        return {Status::success(), std::move(hidden),
+                static_cast<std::uint64_t>(
+                    parsed.numberOr("trace_id", 0.0))};
+    }
+
+    void
+    close() override
+    {
+        if (closed_)
+            return;
+        closed_ = true;
+        int http_status = 0;
+        std::string body;
+        channel_->roundTrip("POST", "/v1/session/close",
+                            "{\"session\":\"" + id_ + "\"}",
+                            http_status, body);
+    }
+
+    std::size_t inputSize() const override { return input_size_; }
+    std::size_t hiddenSize() const override { return hidden_size_; }
+    const std::string &model() const override { return model_; }
+    std::uint64_t steps() const override { return steps_; }
+
+  private:
+    std::shared_ptr<HttpChannel> channel_;
+    std::string id_;
+    std::string model_;
+    std::size_t input_size_;
+    std::size_t hidden_size_;
+    std::uint64_t steps_ = 0;
+    bool closed_ = false;
+};
+
+/** `http://` — a remote eie_gateway daemon over JSON/HTTP: the
+ *  multi-tenant front door (bearer auth, quotas, tiers) behind the
+ *  same typed API and Status codes as the other three transports. */
+class HttpTransport final : public Transport
+{
+  public:
+    /** Dialing verifies reachability up front, like tcp://. */
+    static std::unique_ptr<HttpTransport>
+    create(const ParsedEndpoint &endpoint, Status &status)
+    {
+        try {
+            gateway::HttpClientConnection probe(endpoint.host,
+                                                endpoint.port);
+        } catch (const std::exception &error) {
+            status = Status::error(StatusCode::TransportError,
+                                   error.what());
+            return nullptr;
+        }
+        status = Status::success();
+        return std::unique_ptr<HttpTransport>(
+            new HttpTransport(endpoint));
+    }
+
+    Status
+    info(const std::string &model, std::uint32_t version,
+         ModelInfo &out) override
+    {
+        std::string target = "/v1/models/" + model;
+        if (version != 0)
+            target += "?version=" + std::to_string(version);
+        int http_status = 0;
+        std::string body;
+        Status status = channel_->roundTrip("GET", target, "",
+                                            http_status, body);
+        if (!status.ok())
+            return status;
+        obs::JsonValue parsed;
+        status = gatewayStatus(http_status, body, parsed);
+        if (!status.ok())
+            return status;
+        out.model = parsed.stringOr("model", model);
+        out.version = static_cast<std::uint32_t>(
+            parsed.numberOr("version", 0.0));
+        out.input_size = static_cast<std::size_t>(
+            parsed.numberOr("input_size", 0.0));
+        out.output_size = static_cast<std::size_t>(
+            parsed.numberOr("output_size", 0.0));
+        out.shards = static_cast<unsigned>(
+            parsed.numberOr("shards", 1.0));
+        out.placement = parsed.stringOr("placement", "replicated");
+        return Status::success();
+    }
+
+    FrameFuture
+    submitFrame(const std::string &model, std::uint32_t version,
+                std::vector<std::int64_t> frame, std::int32_t priority,
+                std::chrono::microseconds deadline,
+                std::uint64_t /*trace_id*/) override
+    {
+        // One HTTP request per frame on its own connection: in-flight
+        // frames pipeline by connection count, and a blocking round
+        // trip per async task keeps the gateway's per-request
+        // concurrency quota meaningful.
+        obs::JsonWriter request;
+        request.beginObject()
+            .field("model", model)
+            .field("version", std::uint64_t{version});
+        request.key("frames").beginArray().beginArray();
+        for (const std::int64_t value : frame)
+            request.value(value);
+        request.endArray().endArray();
+        request
+            .field("priority", priority)
+            .field("deadline_us",
+                   static_cast<std::int64_t>(deadline.count()))
+            .endObject();
+        return FrameFuture::ofAsync(std::async(
+            std::launch::async,
+            [channel = channel_,
+             body = request.str()]() -> FrameResult {
+                int http_status = 0;
+                std::string response;
+                Status status =
+                    channel->roundTrip("POST", "/v1/infer", body,
+                                       http_status, response);
+                if (!status.ok())
+                    return {std::move(status), {}};
+                obs::JsonValue parsed;
+                status = gatewayStatus(http_status, response, parsed);
+                const obs::JsonValue *frames = parsed.find("frames");
+                if (frames == nullptr || !frames->isArray() ||
+                    frames->array.empty()) {
+                    if (!status.ok())
+                        return {std::move(status), {}};
+                    return {Status::error(
+                                StatusCode::ProtocolError,
+                                "gateway infer response without "
+                                "\"frames\""),
+                            {}};
+                }
+                // The per-frame code is authoritative — it survives
+                // even when the overall HTTP status was an error.
+                const obs::JsonValue &first = frames->array.front();
+                StatusCode code = StatusCode::Internal;
+                if (!statusCodeFromName(first.stringOr("code", ""),
+                                        code))
+                    return {Status::error(
+                                StatusCode::ProtocolError,
+                                "gateway frame without a status "
+                                "code"),
+                            {}};
+                if (code != StatusCode::Ok)
+                    return {Status::error(
+                                code, first.stringOr("message", "")),
+                            {}};
+                const obs::JsonValue *output = first.find("output");
+                if (output == nullptr || !output->isArray())
+                    return {Status::error(
+                                StatusCode::ProtocolError,
+                                "gateway frame without an output"),
+                            {}};
+                FrameResult result;
+                result.status = Status::success();
+                result.output.reserve(output->array.size());
+                for (const obs::JsonValue &value : output->array)
+                    result.output.push_back(
+                        static_cast<std::int64_t>(value.number));
+                return result;
+            }));
+    }
+
+    std::unique_ptr<SessionImpl>
+    openSession(const std::string &model, std::uint32_t version,
+                Status &status) override
+    {
+        obs::JsonWriter request;
+        request.beginObject()
+            .field("model", model)
+            .field("version", std::uint64_t{version})
+            .endObject();
+        int http_status = 0;
+        std::string body;
+        status = channel_->roundTrip("POST", "/v1/session/open",
+                                     request.str(), http_status,
+                                     body);
+        if (!status.ok())
+            return nullptr;
+        obs::JsonValue parsed;
+        status = gatewayStatus(http_status, body, parsed);
+        if (!status.ok())
+            return nullptr;
+        const std::string id = parsed.stringOr("session", "");
+        if (id.empty()) {
+            status = Status::error(StatusCode::ProtocolError,
+                                   "gateway session-open response "
+                                   "without \"session\"");
+            return nullptr;
+        }
+        status = Status::success();
+        return std::make_unique<HttpSession>(
+            channel_, id, parsed.stringOr("model", model),
+            static_cast<std::size_t>(
+                parsed.numberOr("input_size", 0.0)),
+            static_cast<std::size_t>(
+                parsed.numberOr("hidden_size", 0.0)));
+    }
+
+    Status
+    stats(EndpointStats &out) override
+    {
+        int http_status = 0;
+        std::string body;
+        Status status = channel_->roundTrip("GET", "/v1/stats", "",
+                                            http_status, body);
+        if (!status.ok())
+            return status;
+        obs::JsonValue parsed;
+        status = gatewayStatus(http_status, body, parsed);
+        if (!status.ok())
+            return status;
+        out = EndpointStats{};
+        out.json = body;
+        if (const obs::JsonValue *gw = parsed.find("gateway"))
+            out.requests = static_cast<std::uint64_t>(
+                gw->numberOr("requests", 0.0));
+        return Status::success();
+    }
+
+    Status
+    traceDump(std::string &out) override
+    {
+        int http_status = 0;
+        std::string body;
+        Status status = channel_->roundTrip("GET", "/v1/trace", "",
+                                            http_status, body);
+        if (!status.ok())
+            return status;
+        obs::JsonValue parsed;
+        status = gatewayStatus(http_status, body, parsed);
+        if (!status.ok())
+            return status;
+        out = std::move(body);
+        return Status::success();
+    }
+
+    void
+    close() override
+    {
+        channel_->close();
+    }
+
+  private:
+    explicit HttpTransport(const ParsedEndpoint &endpoint)
+        : channel_(std::make_shared<HttpChannel>(
+              endpoint.host, endpoint.port, endpoint.token))
+    {}
+
+    std::shared_ptr<HttpChannel> channel_;
+};
+
 } // namespace detail
 
 // -------------------------------------------------------------- Session
@@ -1226,6 +1732,11 @@ Client::connect(const std::string &endpoint,
         break;
       case TransportKind::Tcp:
         transport = detail::TcpTransport::create(parsed, status);
+        if (!transport)
+            return nullptr;
+        break;
+      case TransportKind::Http:
+        transport = detail::HttpTransport::create(parsed, status);
         if (!transport)
             return nullptr;
         break;

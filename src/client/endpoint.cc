@@ -187,26 +187,60 @@ parseCluster(const std::string &rest, ParsedEndpoint &out)
 }
 
 Status
-parseTcp(const std::string &rest, ParsedEndpoint &out)
+parseHostPort(const std::string &scheme, const std::string &rest,
+              ParsedEndpoint &out)
 {
     const std::size_t colon = rest.rfind(':');
     if (colon == std::string::npos || colon == 0 ||
         colon + 1 >= rest.size())
-        return badEndpoint("tcp:// endpoint needs HOST:PORT, got '" +
-                           rest + "'");
+        return badEndpoint(scheme + "// endpoint needs HOST:PORT, "
+                           "got '" + rest + "'");
     out.host = rest.substr(0, colon);
     const std::string port = rest.substr(colon + 1);
     if (port.find_first_not_of("0123456789") != std::string::npos)
-        return badEndpoint("tcp:// port '" + port +
+        return badEndpoint(scheme + "// port '" + port +
                            "' is not a number");
     if (port.size() > 5) // keeps std::stoul in range (never throws)
-        return badEndpoint("tcp:// port '" + port +
+        return badEndpoint(scheme + "// port '" + port +
                            "' is out of range");
     const unsigned long parsed = std::stoul(port);
     if (parsed == 0 || parsed > 65535)
-        return badEndpoint("tcp:// port '" + port +
+        return badEndpoint(scheme + "// port '" + port +
                            "' is out of range");
     out.port = static_cast<std::uint16_t>(parsed);
+    return Status::success();
+}
+
+Status
+parseTcp(const std::string &rest, ParsedEndpoint &out)
+{
+    return parseHostPort("tcp:", rest, out);
+}
+
+Status
+parseHttp(const std::string &rest, ParsedEndpoint &out)
+{
+    const std::vector<std::string> parts = splitComma(rest);
+    if (Status status = parseHostPort("http:", parts.front(), out);
+        !status.ok())
+        return status;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        const std::string &part = parts[i];
+        const std::size_t eq = part.find('=');
+        if (eq == std::string::npos)
+            return badEndpoint("http:// option '" + part +
+                               "' is not key=value");
+        const std::string key = part.substr(0, eq);
+        const std::string value = part.substr(eq + 1);
+        if (key == "token") {
+            if (value.empty())
+                return badEndpoint("token= needs a value");
+            out.token = value;
+        } else {
+            return badEndpoint("unknown http:// option '" + key +
+                               "'");
+        }
+    }
     return Status::success();
 }
 
@@ -219,6 +253,7 @@ transportKindName(TransportKind kind)
       case TransportKind::Local: return "local";
       case TransportKind::Cluster: return "cluster";
       case TransportKind::Tcp: return "tcp";
+      case TransportKind::Http: return "http";
     }
     return "local";
 }
@@ -231,7 +266,8 @@ endpointGrammar()
         "[,dir=PATH]\n"
         "  cluster:<dir>[,shards=N][,policy=replicated|partitioned]"
         "[,backend=B][,kernel=K][,residency=R][,threads=N]\n"
-        "  tcp://HOST:PORT";
+        "  tcp://HOST:PORT\n"
+        "  http://HOST:PORT[,token=TOKEN]";
 }
 
 Status
@@ -249,6 +285,10 @@ parseEndpoint(const std::string &endpoint, ParsedEndpoint &out)
     if (endpoint.rfind("tcp://", 0) == 0) {
         out.kind = TransportKind::Tcp;
         return parseTcp(endpoint.substr(6), out);
+    }
+    if (endpoint.rfind("http://", 0) == 0) {
+        out.kind = TransportKind::Http;
+        return parseHttp(endpoint.substr(7), out);
     }
     return badEndpoint("endpoint '" + endpoint +
                        "' names no known transport");

@@ -21,6 +21,12 @@
  *   tcp://HOST:PORT
  *       A remote eie_serve daemon over the binary wire protocol.
  *
+ *   http://HOST:PORT[,token=TOKEN]
+ *       A remote eie_gateway daemon over JSON/HTTP — the
+ *       multi-tenant front door. token= is the bearer token sent as
+ *       `Authorization: Bearer <TOKEN>` on every request (required
+ *       when the gateway has tenants configured).
+ *
  * Parsing is Status-returning (never fatal): endpoint strings come
  * from config files and CLI flags, and the client API's contract is
  * that bad input yields InvalidArgument, not a dead process.
@@ -42,9 +48,10 @@ enum class TransportKind
     Local,   ///< in-process ExecutionBackend
     Cluster, ///< in-process ClusterEngine via ServingDirectory
     Tcp,     ///< remote daemon over the wire protocol
+    Http,    ///< remote gateway over JSON/HTTP
 };
 
-/** The stable name of @p kind ("local", "cluster", "tcp"). */
+/** The stable name of @p kind ("local", "cluster", "tcp", "http"). */
 const char *transportKindName(TransportKind kind);
 
 /** A decoded endpoint string (fields beyond the selected transport's
@@ -67,9 +74,12 @@ struct ParsedEndpoint
     std::string placement; ///< "replicated"/"partitioned" ("" = opts)
     std::string cluster_backend; ///< shard backend ("" = options)
 
-    // tcp://
+    // tcp:// + http://
     std::string host;
     std::uint16_t port = 0;
+
+    // http://
+    std::string token; ///< bearer token ("" = unauthenticated)
 };
 
 /**

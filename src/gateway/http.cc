@@ -1,0 +1,732 @@
+#include "gateway/http.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace eie::gateway {
+
+namespace {
+
+std::string
+lowered(std::string_view text)
+{
+    std::string out(text);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return out;
+}
+
+/** RFC 7230 token characters (method and header names). */
+bool
+isTokenChar(unsigned char c)
+{
+    if (std::isalnum(c))
+        return true;
+    switch (c) {
+      case '!': case '#': case '$': case '%': case '&': case '\'':
+      case '*': case '+': case '-': case '.': case '^': case '_':
+      case '`': case '|': case '~':
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isToken(std::string_view text)
+{
+    if (text.empty() || text.size() > 32)
+        return false;
+    for (const char c : text)
+        if (!isTokenChar(static_cast<unsigned char>(c)))
+            return false;
+    return true;
+}
+
+std::string_view
+trimmed(std::string_view text)
+{
+    while (!text.empty() &&
+           (text.front() == ' ' || text.front() == '\t'))
+        text.remove_prefix(1);
+    while (!text.empty() &&
+           (text.back() == ' ' || text.back() == '\t'))
+        text.remove_suffix(1);
+    return text;
+}
+
+/** The head (start line + headers) of one message: everything up to
+ *  and including the blank line. npos when not yet complete. */
+std::size_t
+findHeadEnd(std::string_view data)
+{
+    const std::size_t end = data.find("\r\n\r\n");
+    return end == std::string_view::npos ? std::string_view::npos
+                                         : end + 4;
+}
+
+/** Split the head into lines (CRLF separators; the final blank line
+ *  is dropped). False on a bare CR or other framing violation. */
+bool
+splitHeadLines(std::string_view head,
+               std::vector<std::string_view> &lines)
+{
+    // head ends with "\r\n\r\n"; walk CRLF-terminated lines.
+    std::size_t begin = 0;
+    while (begin < head.size()) {
+        const std::size_t eol = head.find("\r\n", begin);
+        if (eol == std::string_view::npos)
+            return false;
+        const std::string_view line =
+            head.substr(begin, eol - begin);
+        if (line.find('\r') != std::string_view::npos ||
+            line.find('\n') != std::string_view::npos)
+            return false;
+        if (!line.empty())
+            lines.push_back(line);
+        begin = eol + 2;
+    }
+    return !lines.empty();
+}
+
+/** Parse "name: value" header lines (shared by request/response).
+ *  Names are lowercased; control bytes in values are rejected. */
+bool
+parseHeaderLines(const std::vector<std::string_view> &lines,
+                 std::size_t first,
+                 std::vector<std::pair<std::string, std::string>>
+                     &headers,
+                 std::string &error)
+{
+    if (lines.size() - first > 64) {
+        error = "too many headers";
+        return false;
+    }
+    for (std::size_t i = first; i < lines.size(); ++i) {
+        const std::string_view line = lines[i];
+        const std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos || colon == 0) {
+            error = "malformed header line";
+            return false;
+        }
+        const std::string_view name = line.substr(0, colon);
+        if (!isToken(name)) {
+            error = "malformed header name";
+            return false;
+        }
+        const std::string_view value =
+            trimmed(line.substr(colon + 1));
+        for (const char c : value) {
+            if (static_cast<unsigned char>(c) < 0x20 && c != '\t') {
+                error = "control byte in header value";
+                return false;
+            }
+        }
+        headers.emplace_back(lowered(name), std::string(value));
+    }
+    return true;
+}
+
+const std::string *
+findHeader(
+    const std::vector<std::pair<std::string, std::string>> &headers,
+    const std::string &name)
+{
+    for (const auto &[key, value] : headers)
+        if (key == name)
+            return &value;
+    return nullptr;
+}
+
+/**
+ * Resolve the body length from the parsed headers. False (with
+ * @p error) on anything this helper does not speak: chunked
+ * transfer coding, malformed or duplicate-conflicting
+ * Content-Length, or a length over the limit.
+ */
+bool
+bodyLength(
+    const std::vector<std::pair<std::string, std::string>> &headers,
+    const HttpLimits &limits, std::size_t &length, std::string &error)
+{
+    if (findHeader(headers, "transfer-encoding") != nullptr) {
+        error = "transfer-encoding is not supported";
+        return false;
+    }
+    length = 0;
+    const std::string *value = findHeader(headers, "content-length");
+    if (value == nullptr)
+        return true;
+    if (value->empty() || value->size() > 10 ||
+        value->find_first_not_of("0123456789") != std::string::npos) {
+        error = "malformed content-length";
+        return false;
+    }
+    const unsigned long long parsed = std::stoull(*value);
+    if (parsed > limits.max_body_bytes) {
+        error = "body exceeds limit";
+        return false;
+    }
+    length = static_cast<std::size_t>(parsed);
+    return true;
+}
+
+/** "HTTP/1.0" or "HTTP/1.1" -> minor; -1 otherwise. */
+int
+parseHttpVersion(std::string_view text)
+{
+    if (text == "HTTP/1.1")
+        return 1;
+    if (text == "HTTP/1.0")
+        return 0;
+    return -1;
+}
+
+bool
+sendAll(int fd, const char *data, std::size_t len)
+{
+    std::size_t sent = 0;
+    while (sent < len) {
+        const ssize_t n =
+            ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+setNoDelay(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+} // namespace
+
+// ------------------------------------------------------------- messages
+
+const std::string *
+HttpRequest::header(const std::string &name) const
+{
+    return findHeader(headers, name);
+}
+
+bool
+HttpRequest::wantsClose() const
+{
+    if (const std::string *connection = header("connection"))
+        return lowered(*connection).find("close") !=
+            std::string::npos;
+    return version_minor == 0; // HTTP/1.0 defaults to close
+}
+
+const std::string *
+HttpParsedResponse::header(const std::string &name) const
+{
+    return findHeader(headers, name);
+}
+
+HttpParse
+parseHttpRequest(std::string_view data, HttpRequest &out,
+                 std::size_t &consumed, std::string &error,
+                 const HttpLimits &limits)
+{
+    out = HttpRequest{};
+    consumed = 0;
+    error.clear();
+
+    const std::size_t head_end = findHeadEnd(data);
+    if (head_end == std::string_view::npos) {
+        if (data.size() > limits.max_head_bytes) {
+            error = "request head exceeds limit";
+            return HttpParse::Bad;
+        }
+        return HttpParse::NeedMore;
+    }
+    if (head_end > limits.max_head_bytes) {
+        error = "request head exceeds limit";
+        return HttpParse::Bad;
+    }
+
+    std::vector<std::string_view> lines;
+    if (!splitHeadLines(data.substr(0, head_end), lines)) {
+        error = "malformed request head";
+        return HttpParse::Bad;
+    }
+
+    // Request line: METHOD SP target SP HTTP/1.x
+    const std::string_view request_line = lines.front();
+    const std::size_t sp1 = request_line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos
+        ? std::string_view::npos
+        : request_line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos ||
+        sp2 == std::string_view::npos ||
+        request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+        error = "malformed request line";
+        return HttpParse::Bad;
+    }
+    const std::string_view method = request_line.substr(0, sp1);
+    const std::string_view target =
+        request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const int version =
+        parseHttpVersion(request_line.substr(sp2 + 1));
+    if (!isToken(method)) {
+        error = "malformed method";
+        return HttpParse::Bad;
+    }
+    if (target.empty() || target.size() > 8 * 1024 ||
+        target.front() != '/') {
+        error = "malformed request target";
+        return HttpParse::Bad;
+    }
+    for (const char c : target) {
+        if (static_cast<unsigned char>(c) <= 0x20 ||
+            static_cast<unsigned char>(c) == 0x7f) {
+            error = "malformed request target";
+            return HttpParse::Bad;
+        }
+    }
+    if (version < 0) {
+        error = "unsupported HTTP version";
+        return HttpParse::Bad;
+    }
+
+    if (!parseHeaderLines(lines, 1, out.headers, error))
+        return HttpParse::Bad;
+
+    std::size_t body_len = 0;
+    if (!bodyLength(out.headers, limits, body_len, error))
+        return HttpParse::Bad;
+    if (data.size() < head_end + body_len)
+        return HttpParse::NeedMore;
+
+    out.method = std::string(method);
+    out.target = std::string(target);
+    const std::size_t question = out.target.find('?');
+    out.path = out.target.substr(0, question);
+    out.query = question == std::string::npos
+        ? std::string()
+        : out.target.substr(question + 1);
+    out.version_minor = version;
+    out.body = std::string(data.substr(head_end, body_len));
+    consumed = head_end + body_len;
+    return HttpParse::Ok;
+}
+
+HttpParse
+parseHttpResponse(std::string_view data, HttpParsedResponse &out,
+                  std::size_t &consumed, std::string &error,
+                  const HttpLimits &limits)
+{
+    out = HttpParsedResponse{};
+    consumed = 0;
+    error.clear();
+
+    const std::size_t head_end = findHeadEnd(data);
+    if (head_end == std::string_view::npos) {
+        if (data.size() > limits.max_head_bytes) {
+            error = "response head exceeds limit";
+            return HttpParse::Bad;
+        }
+        return HttpParse::NeedMore;
+    }
+    if (head_end > limits.max_head_bytes) {
+        error = "response head exceeds limit";
+        return HttpParse::Bad;
+    }
+
+    std::vector<std::string_view> lines;
+    if (!splitHeadLines(data.substr(0, head_end), lines)) {
+        error = "malformed response head";
+        return HttpParse::Bad;
+    }
+
+    // Status line: HTTP/1.x SP NNN [SP reason]
+    const std::string_view status_line = lines.front();
+    const std::size_t sp1 = status_line.find(' ');
+    if (sp1 == std::string_view::npos ||
+        parseHttpVersion(status_line.substr(0, sp1)) < 0) {
+        error = "malformed status line";
+        return HttpParse::Bad;
+    }
+    const std::size_t sp2 = status_line.find(' ', sp1 + 1);
+    const std::string_view code = status_line.substr(
+        sp1 + 1,
+        sp2 == std::string_view::npos ? std::string_view::npos
+                                      : sp2 - sp1 - 1);
+    if (code.size() != 3 ||
+        code.find_first_not_of("0123456789") !=
+            std::string_view::npos) {
+        error = "malformed status code";
+        return HttpParse::Bad;
+    }
+    out.status = (code[0] - '0') * 100 + (code[1] - '0') * 10 +
+        (code[2] - '0');
+    if (sp2 != std::string_view::npos)
+        out.reason = std::string(status_line.substr(sp2 + 1));
+
+    if (!parseHeaderLines(lines, 1, out.headers, error))
+        return HttpParse::Bad;
+
+    std::size_t body_len = 0;
+    if (!bodyLength(out.headers, limits, body_len, error))
+        return HttpParse::Bad;
+    if (data.size() < head_end + body_len)
+        return HttpParse::NeedMore;
+
+    if (const std::string *connection =
+            findHeader(out.headers, "connection"))
+        out.close =
+            lowered(*connection).find("close") != std::string::npos;
+    out.body = std::string(data.substr(head_end, body_len));
+    consumed = head_end + body_len;
+    return HttpParse::Ok;
+}
+
+const char *
+httpStatusReason(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 204: return "No Content";
+      case 400: return "Bad Request";
+      case 401: return "Unauthorized";
+      case 403: return "Forbidden";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 413: return "Payload Too Large";
+      case 429: return "Too Many Requests";
+      case 500: return "Internal Server Error";
+      case 502: return "Bad Gateway";
+      case 503: return "Service Unavailable";
+      case 504: return "Gateway Timeout";
+      default: return "Unknown";
+    }
+}
+
+std::string
+renderHttpResponse(const HttpResponse &response)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(response.status) +
+        " " + httpStatusReason(response.status) + "\r\n";
+    out += "Content-Type: " + response.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(response.body.size()) +
+        "\r\n";
+    for (const auto &[name, value] : response.headers)
+        out += name + ": " + value + "\r\n";
+    out += response.close ? "Connection: close\r\n"
+                          : "Connection: keep-alive\r\n";
+    out += "\r\n";
+    out += response.body;
+    return out;
+}
+
+// ------------------------------------------------------------- listener
+
+HttpListener::HttpListener(const Options &options, Handler handler)
+    : options_(options), handler_(std::move(handler))
+{
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        throw std::runtime_error("http: socket() failed: " +
+                                 std::string(strerror(errno)));
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.bind_address.c_str(),
+                    &addr.sin_addr) != 1) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("http: bad bind address '" +
+                                 options_.bind_address + "'");
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error(
+            "http: cannot bind " + options_.bind_address + ":" +
+            std::to_string(options_.port) + ": " + strerror(err));
+    }
+    if (::listen(listen_fd_, options_.backlog) != 0) {
+        const int err = errno;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("http: listen() failed: " +
+                                 std::string(strerror(err)));
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+                  &len);
+    port_ = ntohs(addr.sin_port);
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+}
+
+HttpListener::~HttpListener()
+{
+    stop();
+}
+
+std::uint64_t
+HttpListener::connectionsAccepted() const
+{
+    return accepted_.load(std::memory_order_relaxed);
+}
+
+void
+HttpListener::stop()
+{
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true)) {
+        if (accept_thread_.joinable())
+            accept_thread_.join();
+        return;
+    }
+    if (listen_fd_ >= 0)
+        ::shutdown(listen_fd_, SHUT_RDWR);
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    std::vector<std::unique_ptr<Connection>> connections;
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        connections.swap(connections_);
+    }
+    for (auto &connection : connections) {
+        if (connection->fd >= 0)
+            ::shutdown(connection->fd, SHUT_RDWR);
+        if (connection->thread.joinable())
+            connection->thread.join();
+        if (connection->fd >= 0)
+            ::close(connection->fd);
+    }
+}
+
+void
+HttpListener::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // Listener shut down.
+        }
+        if (stopping_.load(std::memory_order_acquire)) {
+            ::close(fd);
+            return;
+        }
+        setNoDelay(fd);
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        // Reap finished connections so a long-lived daemon under
+        // connection churn does not accumulate dead threads.
+        std::erase_if(
+            connections_,
+            [](const std::unique_ptr<Connection> &connection) {
+                if (!connection->done.load(
+                        std::memory_order_acquire))
+                    return false;
+                if (connection->thread.joinable())
+                    connection->thread.join();
+                if (connection->fd >= 0)
+                    ::close(connection->fd);
+                return true;
+            });
+        auto connection = std::make_unique<Connection>();
+        connection->fd = fd;
+        Connection &ref = *connection;
+        connection->thread =
+            std::thread([this, &ref] { serveConnection(ref); });
+        connections_.push_back(std::move(connection));
+    }
+}
+
+void
+HttpListener::serveConnection(Connection &connection)
+{
+    std::string buffer;
+    char chunk[4096];
+    while (!stopping_.load(std::memory_order_acquire)) {
+        HttpRequest request;
+        std::size_t consumed = 0;
+        std::string error;
+        const HttpParse parse = parseHttpRequest(
+            buffer, request, consumed, error, options_.limits);
+        if (parse == HttpParse::Bad) {
+            HttpResponse bad;
+            bad.status = 400;
+            bad.body = "{\"error\":{\"code\":\"INVALID_ARGUMENT\","
+                       "\"message\":\"" +
+                error + "\"}}";
+            bad.close = true;
+            const std::string rendered = renderHttpResponse(bad);
+            sendAll(connection.fd, rendered.data(),
+                    rendered.size());
+            break;
+        }
+        if (parse == HttpParse::Ok) {
+            buffer.erase(0, consumed);
+            HttpResponse response;
+            try {
+                response = handler_(request);
+            } catch (const std::exception &exception) {
+                response = HttpResponse{};
+                response.status = 500;
+                response.body =
+                    "{\"error\":{\"code\":\"INTERNAL\","
+                    "\"message\":\"unhandled exception\"}}";
+            }
+            const bool close =
+                response.close || request.wantsClose();
+            response.close = close;
+            const std::string rendered =
+                renderHttpResponse(response);
+            if (!sendAll(connection.fd, rendered.data(),
+                         rendered.size()) ||
+                close)
+                break;
+            continue;
+        }
+        // NeedMore: read another chunk.
+        const ssize_t n =
+            ::recv(connection.fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break; // peer closed or listener shutting down
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::shutdown(connection.fd, SHUT_RDWR);
+    connection.done.store(true, std::memory_order_release);
+}
+
+// -------------------------------------------------------------- client
+
+HttpClientConnection::HttpClientConnection(const std::string &host,
+                                           std::uint16_t port,
+                                           const HttpLimits &limits)
+    : limits_(limits), host_(host)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *results = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(),
+                                 std::to_string(port).c_str(),
+                                 &hints, &results);
+    if (rc != 0)
+        throw HttpError("cannot resolve '" + host +
+                        "': " + ::gai_strerror(rc));
+    int fd = -1;
+    for (const addrinfo *ai = results; ai != nullptr;
+         ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype,
+                      ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(results);
+    if (fd < 0)
+        throw HttpError("cannot connect to " + host + ":" +
+                        std::to_string(port) + ": " +
+                        std::strerror(errno));
+    setNoDelay(fd);
+    fd_ = fd;
+}
+
+HttpClientConnection::~HttpClientConnection()
+{
+    close();
+}
+
+void
+HttpClientConnection::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+HttpParsedResponse
+HttpClientConnection::roundTrip(
+    const std::string &method, const std::string &target,
+    const std::vector<std::pair<std::string, std::string>> &headers,
+    const std::string &body)
+{
+    if (fd_ < 0)
+        throw HttpError("connection is closed");
+
+    std::string request = method + " " + target + " HTTP/1.1\r\n";
+    request += "Host: " + host_ + "\r\n";
+    request +=
+        "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    for (const auto &[name, value] : headers)
+        request += name + ": " + value + "\r\n";
+    request += "\r\n";
+    request += body;
+
+    if (!sendAll(fd_, request.data(), request.size())) {
+        close();
+        throw HttpError("connection lost while sending request");
+    }
+
+    char chunk[4096];
+    for (;;) {
+        HttpParsedResponse response;
+        std::size_t consumed = 0;
+        std::string error;
+        const HttpParse parse = parseHttpResponse(
+            buffer_, response, consumed, error, limits_);
+        if (parse == HttpParse::Bad) {
+            close();
+            throw HttpError("malformed response: " + error);
+        }
+        if (parse == HttpParse::Ok) {
+            buffer_.erase(0, consumed);
+            if (response.close)
+                close();
+            return response;
+        }
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0) {
+            close();
+            throw HttpError(
+                "connection lost while reading response");
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace eie::gateway

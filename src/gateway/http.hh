@@ -1,0 +1,244 @@
+/**
+ * @file
+ * The one small HTTP/1.1 helper behind every plaintext-HTTP surface
+ * in the repo: a defensive request/response parser, a blocking
+ * thread-per-connection listener, and a keep-alive client
+ * connection. `obs::MetricsHttpServer` (the Prometheus scrape
+ * endpoint) and `gateway::HttpGateway` (the multi-tenant front door)
+ * both serve through HttpListener, and the `http://` transport of
+ * eie::client::Client dials through HttpClientConnection — one
+ * parser, one listener, one failure model instead of hand-rolled
+ * copies.
+ *
+ * Scope: exactly the HTTP this repo speaks. Content-Length bodies
+ * only (a Transfer-Encoding header is rejected), no multipart, no
+ * TLS, bounded head and body sizes. The parser is fuzzed
+ * (tests/gateway/test_http.cc): arbitrary bytes must yield Ok,
+ * NeedMore or Bad — never UB, never an unbounded buffer.
+ *
+ * This header deliberately depends on nothing but the standard
+ * library and POSIX sockets so lower layers (src/obs) can include it
+ * without pulling the gateway, client or serve stacks into their
+ * dependency cone.
+ */
+
+#ifndef EIE_GATEWAY_HTTP_HH
+#define EIE_GATEWAY_HTTP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace eie::gateway {
+
+/** Parser bounds; exceeding either is a hard Bad, not NeedMore. */
+struct HttpLimits
+{
+    /** Request line + headers, bytes (terminator included). */
+    std::size_t max_head_bytes = 16 * 1024;
+
+    /** Content-Length bodies above this are rejected outright. */
+    std::size_t max_body_bytes = 4 * 1024 * 1024;
+};
+
+/** One parsed request (server side). Header names are lowercased. */
+struct HttpRequest
+{
+    std::string method;  ///< verbatim token (GET, POST, ...)
+    std::string target;  ///< raw request target (path?query)
+    std::string path;    ///< target up to '?'
+    std::string query;   ///< after '?' ("" when absent)
+    int version_minor = 1; ///< HTTP/1.<minor>
+
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** First header named @p name (lowercase); nullptr if absent. */
+    const std::string *header(const std::string &name) const;
+
+    /** Whether the peer asked to close after this exchange
+     *  (Connection: close, or HTTP/1.0 without keep-alive). */
+    bool wantsClose() const;
+};
+
+/** One response (both sides). */
+struct HttpResponse
+{
+    int status = 200;
+    std::string content_type = "application/json";
+    std::string body;
+    /** Extra headers (name, value); Content-Length/Connection are
+     *  emitted by the renderer. */
+    std::vector<std::pair<std::string, std::string>> headers;
+    /** Force connection close after this response (server side). */
+    bool close = false;
+};
+
+/** Outcome of one incremental parse attempt. */
+enum class HttpParse
+{
+    Ok,       ///< a full message was consumed
+    NeedMore, ///< valid prefix; feed more bytes
+    Bad,      ///< malformed or over limits; close the connection
+};
+
+/**
+ * Try to parse one request from the front of @p data. On Ok,
+ * @p consumed is the byte count of the parsed message (the caller
+ * erases it and may parse again — pipelining/keep-alive). On Bad,
+ * @p error names the violation. Never throws, never reads past
+ * @p data.
+ */
+HttpParse parseHttpRequest(std::string_view data, HttpRequest &out,
+                           std::size_t &consumed, std::string &error,
+                           const HttpLimits &limits = {});
+
+/** A parsed response (client side). */
+struct HttpParsedResponse
+{
+    int status = 0;
+    std::string reason;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+    bool close = false; ///< server asked to close after this
+
+    const std::string *header(const std::string &name) const;
+};
+
+/** parseHttpRequest's mirror for responses. */
+HttpParse parseHttpResponse(std::string_view data,
+                            HttpParsedResponse &out,
+                            std::size_t &consumed, std::string &error,
+                            const HttpLimits &limits = {});
+
+/** Canonical reason phrase of @p status ("OK", "Not Found", ...). */
+const char *httpStatusReason(int status);
+
+/** Serialize @p response (HTTP/1.1, Content-Length, Connection). */
+std::string renderHttpResponse(const HttpResponse &response);
+
+/**
+ * A blocking-accept HTTP/1.1 server: one accept thread, one thread
+ * per connection, keep-alive until the peer closes (or sends
+ * Connection: close, or a parse failure). The handler runs on the
+ * connection's thread; an exception escaping it becomes a 500.
+ * Malformed input gets a 400 and a closed connection — it never
+ * takes the listener down.
+ */
+class HttpListener
+{
+  public:
+    using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+    struct Options
+    {
+        /** Loopback by default: exposing an HTTP inference surface
+         *  beyond the host is an operator decision. */
+        std::string bind_address = "127.0.0.1";
+        std::uint16_t port = 0; ///< 0 = ephemeral (read via port())
+        int backlog = 64;
+        HttpLimits limits;
+    };
+
+    /** Bind, listen and start accepting. Throws std::runtime_error
+     *  when the socket cannot be bound. */
+    HttpListener(const Options &options, Handler handler);
+    ~HttpListener();
+
+    HttpListener(const HttpListener &) = delete;
+    HttpListener &operator=(const HttpListener &) = delete;
+
+    /** The bound port (resolves port 0). */
+    std::uint16_t port() const { return port_; }
+
+    /** Close listener and all connections, join threads. Idempotent. */
+    void stop();
+
+    /** Connections accepted since construction (diagnostics). */
+    std::uint64_t connectionsAccepted() const;
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    void acceptLoop();
+    void serveConnection(Connection &connection);
+
+    Options options_;
+    Handler handler_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> accepted_{0};
+    std::thread accept_thread_;
+
+    mutable std::mutex connections_mutex_;
+    std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+/** Transport/parse failure of an HttpClientConnection round trip. */
+class HttpError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * A blocking keep-alive HTTP/1.1 client connection: dial once, then
+ * sequential roundTrip() calls. Not thread-safe — callers that
+ * pipeline hold one connection per in-flight request (see the
+ * client's HttpTransport pool). Throws HttpError on connect loss or
+ * a malformed response; after a throw the connection is dead
+ * (alive() false) and must be re-dialed.
+ */
+class HttpClientConnection
+{
+  public:
+    /** Dial @p host:@p port; throws HttpError on failure. */
+    HttpClientConnection(const std::string &host, std::uint16_t port,
+                         const HttpLimits &limits = {});
+    ~HttpClientConnection();
+
+    HttpClientConnection(const HttpClientConnection &) = delete;
+    HttpClientConnection &
+    operator=(const HttpClientConnection &) = delete;
+
+    /**
+     * One request/response exchange. @p headers ride verbatim after
+     * Host/Content-Length. Returns the parsed response (any status
+     * code); throws HttpError on transport loss or response-parse
+     * failure.
+     */
+    HttpParsedResponse
+    roundTrip(const std::string &method, const std::string &target,
+              const std::vector<std::pair<std::string, std::string>>
+                  &headers,
+              const std::string &body);
+
+    /** Whether the socket is still usable for another roundTrip. */
+    bool alive() const { return fd_ >= 0; }
+
+    void close();
+
+  private:
+    HttpLimits limits_;
+    std::string host_;
+    int fd_ = -1;
+    std::string buffer_; ///< bytes read past the previous response
+};
+
+} // namespace eie::gateway
+
+#endif // EIE_GATEWAY_HTTP_HH

@@ -1,0 +1,242 @@
+#include "gateway/tenants.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hh"
+
+namespace eie::gateway {
+
+TenantState::TenantState(TenantConfig config)
+    : name_(config.name), config_(std::move(config))
+{
+}
+
+TenantConfig
+TenantState::config() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return config_;
+}
+
+double
+TenantState::bucketLevel() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bucket_primed_ ? bucket_tokens_
+                          : std::max(config_.burst, 1.0);
+}
+
+const char *
+admitName(Admit outcome)
+{
+    switch (outcome) {
+      case Admit::Ok: return "ok";
+      case Admit::UnknownToken: return "unknown_token";
+      case Admit::Disabled: return "disabled";
+      case Admit::RateLimited: return "rate_limited";
+      case Admit::OverQuota: return "over_quota";
+    }
+    return "?";
+}
+
+std::vector<TenantConfig>
+loadTenantConfigs(const std::string &json)
+{
+    const obs::JsonValue root = obs::parseJson(json);
+    if (!root.isObject())
+        throw std::runtime_error(
+            "tenant config: top level must be an object");
+    const obs::JsonValue *list = root.find("tenants");
+    if (list == nullptr || !list->isArray())
+        throw std::runtime_error(
+            "tenant config: missing \"tenants\" array");
+
+    std::vector<TenantConfig> configs;
+    std::set<std::string> names;
+    std::set<std::string> tokens;
+    for (const obs::JsonValue &entry : list->array) {
+        if (!entry.isObject())
+            throw std::runtime_error(
+                "tenant config: tenant entries must be objects");
+        TenantConfig config;
+        config.name = entry.stringOr("name", "");
+        config.token = entry.stringOr("token", "");
+        if (config.name.empty())
+            throw std::runtime_error(
+                "tenant config: tenant without a \"name\"");
+        if (config.token.empty())
+            throw std::runtime_error("tenant config: tenant '" +
+                                     config.name +
+                                     "' without a \"token\"");
+        if (!names.insert(config.name).second)
+            throw std::runtime_error(
+                "tenant config: duplicate tenant name '" +
+                config.name + "'");
+        if (!tokens.insert(config.token).second)
+            throw std::runtime_error(
+                "tenant config: duplicate token (tenant '" +
+                config.name + "')");
+
+        if (const obs::JsonValue *enabled = entry.find("enabled"))
+            config.enabled = enabled->boolean;
+        config.priority = static_cast<std::int32_t>(
+            entry.numberOr("priority", 0.0));
+        config.rate_qps = entry.numberOr("rate_qps", 0.0);
+        config.burst = entry.numberOr("burst", 0.0);
+        const double max_concurrent =
+            entry.numberOr("max_concurrent", 0.0);
+        const double deadline_cap_us =
+            entry.numberOr("deadline_cap_us", 0.0);
+        if (config.rate_qps < 0 || config.burst < 0 ||
+            max_concurrent < 0 || deadline_cap_us < 0)
+            throw std::runtime_error(
+                "tenant config: negative limit on tenant '" +
+                config.name + "'");
+        config.max_concurrent =
+            static_cast<std::uint32_t>(max_concurrent);
+        config.deadline_cap = std::chrono::microseconds(
+            static_cast<std::int64_t>(deadline_cap_us));
+        if (config.rate_qps > 0 && config.burst == 0)
+            config.burst = std::max(config.rate_qps, 1.0);
+        configs.push_back(std::move(config));
+    }
+    return configs;
+}
+
+void
+TenantTable::load(std::vector<TenantConfig> configs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::shared_ptr<TenantState>> next;
+    next.reserve(configs.size());
+    for (TenantConfig &config : configs) {
+        std::shared_ptr<TenantState> state;
+        for (const auto &existing : tenants_) {
+            if (existing->name() == config.name) {
+                state = existing;
+                break;
+            }
+        }
+        if (state) {
+            // Keep runtime state (bucket, in-flight, counters);
+            // swap in the new limits.
+            std::lock_guard<std::mutex> state_lock(state->mutex_);
+            state->config_ = std::move(config);
+        } else {
+            state = std::make_shared<TenantState>(std::move(config));
+        }
+        next.push_back(std::move(state));
+    }
+    tenants_ = std::move(next);
+    generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string
+TenantTable::loadFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "cannot open tenant config '" + path + "'";
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        load(loadTenantConfigs(text.str()));
+    } catch (const std::exception &exception) {
+        return std::string(exception.what());
+    }
+    return "";
+}
+
+Admit
+TenantTable::admit(std::string_view token,
+                   std::chrono::steady_clock::time_point now,
+                   std::shared_ptr<TenantState> &out)
+{
+    out.reset();
+    std::shared_ptr<TenantState> tenant;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &candidate : tenants_) {
+            // Token comparison under the table lock: configs only
+            // mutate via load(), which holds the same lock.
+            std::lock_guard<std::mutex> state_lock(
+                candidate->mutex_);
+            if (candidate->config_.token == token) {
+                tenant = candidate;
+                break;
+            }
+        }
+    }
+    if (!tenant)
+        return Admit::UnknownToken;
+    out = tenant;
+
+    std::lock_guard<std::mutex> state_lock(tenant->mutex_);
+    const TenantConfig &config = tenant->config_;
+    if (!config.enabled)
+        return Admit::Disabled;
+
+    if (config.max_concurrent > 0 &&
+        tenant->in_flight_.load(std::memory_order_relaxed) >=
+            config.max_concurrent) {
+        tenant->rejected_quota_.fetch_add(1,
+                                          std::memory_order_relaxed);
+        return Admit::OverQuota;
+    }
+
+    if (config.rate_qps > 0) {
+        const double capacity = std::max(config.burst, 1.0);
+        if (!tenant->bucket_primed_) {
+            tenant->bucket_tokens_ = capacity;
+            tenant->bucket_primed_ = true;
+        } else {
+            const double elapsed =
+                std::chrono::duration<double>(
+                    now - tenant->bucket_refilled_)
+                    .count();
+            if (elapsed > 0)
+                tenant->bucket_tokens_ =
+                    std::min(capacity,
+                             tenant->bucket_tokens_ +
+                                 elapsed * config.rate_qps);
+        }
+        tenant->bucket_refilled_ = now;
+        if (tenant->bucket_tokens_ < 1.0) {
+            tenant->rejected_rate_.fetch_add(
+                1, std::memory_order_relaxed);
+            return Admit::RateLimited;
+        }
+        tenant->bucket_tokens_ -= 1.0;
+    }
+
+    tenant->in_flight_.fetch_add(1, std::memory_order_relaxed);
+    tenant->admitted_.fetch_add(1, std::memory_order_relaxed);
+    return Admit::Ok;
+}
+
+void
+TenantTable::release(const std::shared_ptr<TenantState> &tenant)
+{
+    if (tenant)
+        tenant->in_flight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::size_t
+TenantTable::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tenants_.size();
+}
+
+std::vector<std::shared_ptr<TenantState>>
+TenantTable::states() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tenants_;
+}
+
+} // namespace eie::gateway

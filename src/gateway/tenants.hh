@@ -1,0 +1,203 @@
+/**
+ * @file
+ * TenantTable — the multi-tenant admission half of the HTTP gateway:
+ * bearer-token authentication, per-tenant token-bucket rate limits,
+ * concurrent-request quotas, and tier knobs (priority, deadline cap)
+ * that the gateway maps onto the engine's
+ * `SubmitOptions{priority, deadline}` and the PR 6 shed machinery.
+ *
+ * Configuration is a JSON document (`loadTenantConfigs` for the
+ * schema), loadable from disk and hot-reloadable: `load()` swaps the
+ * config under a lock while keeping each tenant's *runtime* state —
+ * in-flight count, bucket level, counters — keyed by tenant name, so
+ * a SIGHUP reload never resets quotas mid-flight or drops requests
+ * already admitted. Tenants removed by a reload finish their
+ * in-flight work through the shared_ptr they were admitted with.
+ *
+ * admit() takes an explicit time point so the token bucket is
+ * deterministic under test (tests/gateway/test_tenants.cc drives
+ * virtual time).
+ */
+
+#ifndef EIE_GATEWAY_TENANTS_HH
+#define EIE_GATEWAY_TENANTS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eie::gateway {
+
+/** One tenant's static configuration (one entry of the JSON file). */
+struct TenantConfig
+{
+    std::string name;  ///< unique tenant id (also the metrics label)
+    std::string token; ///< bearer token (unique across tenants)
+    bool enabled = true; ///< disabled tenants authenticate but get 403
+
+    /** Tier priority, mapped onto SubmitOptions::priority. Requests
+     *  may self-deprioritize below this but never outrank it. */
+    std::int32_t priority = 0;
+
+    /** Token-bucket refill rate, requests/second; 0 = unlimited. */
+    double rate_qps = 0.0;
+
+    /** Bucket capacity (burst size); defaults to max(rate_qps, 1)
+     *  when left 0 with a nonzero rate. */
+    double burst = 0.0;
+
+    /** Concurrent in-flight request quota; 0 = unlimited. */
+    std::uint32_t max_concurrent = 0;
+
+    /** Per-request deadline cap, microseconds; client-supplied
+     *  deadlines are clamped to this. 0 = no cap. */
+    std::chrono::microseconds deadline_cap{0};
+};
+
+/** A tenant's live runtime state. Shared between the table and every
+ *  in-flight request admitted under it, so a hot reload that removes
+ *  the tenant cannot pull state out from under running work. */
+class TenantState
+{
+  public:
+    explicit TenantState(TenantConfig config);
+
+    const std::string &name() const { return name_; }
+
+    /** Current config (copied under lock — reloads swap it). */
+    TenantConfig config() const;
+
+    std::uint32_t inFlight() const
+    {
+        return in_flight_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t admitted() const
+    {
+        return admitted_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t rejectedRate() const
+    {
+        return rejected_rate_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t rejectedQuota() const
+    {
+        return rejected_quota_.load(std::memory_order_relaxed);
+    }
+
+    /** Current bucket level in tokens (diagnostics/stats; racy by
+     *  nature, exact under quiescence). */
+    double bucketLevel() const;
+
+  private:
+    friend class TenantTable;
+
+    const std::string name_;
+
+    mutable std::mutex mutex_; ///< guards config_ and the bucket
+    TenantConfig config_;
+    double bucket_tokens_ = 0.0;
+    bool bucket_primed_ = false; ///< first admit fills the bucket
+    std::chrono::steady_clock::time_point bucket_refilled_{};
+
+    std::atomic<std::uint32_t> in_flight_{0};
+    std::atomic<std::uint64_t> admitted_{0};
+    std::atomic<std::uint64_t> rejected_rate_{0};
+    std::atomic<std::uint64_t> rejected_quota_{0};
+};
+
+/** Admission outcome of one request. */
+enum class Admit
+{
+    Ok,           ///< admitted; call release() when the request ends
+    UnknownToken, ///< no tenant owns this token (HTTP 401)
+    Disabled,     ///< tenant exists but is disabled (HTTP 403)
+    RateLimited,  ///< token bucket empty (HTTP 429)
+    OverQuota,    ///< concurrent-request quota reached (HTTP 429)
+};
+
+/** Human label of @p outcome ("ok", "unknown_token", ...). */
+const char *admitName(Admit outcome);
+
+/**
+ * Parse the tenant config JSON document:
+ *
+ *   { "tenants": [ { "name": "acme", "token": "s3cret",
+ *                    "priority": 10, "rate_qps": 100.0,
+ *                    "burst": 20, "max_concurrent": 8,
+ *                    "deadline_cap_us": 500000,
+ *                    "enabled": true }, ... ] }
+ *
+ * Only "name" and "token" are required. Throws std::runtime_error on
+ * malformed JSON, missing/duplicate names or tokens, or negative
+ * rates.
+ */
+std::vector<TenantConfig> loadTenantConfigs(const std::string &json);
+
+/**
+ * The authenticated, quota-enforcing tenant directory. Thread-safe;
+ * admit()/release() are the per-request hot path.
+ */
+class TenantTable
+{
+  public:
+    TenantTable() = default;
+
+    /** Replace the configuration (hot reload). Runtime state of
+     *  tenants that persist (matched by name) is kept; new tenants
+     *  start fresh; removed tenants drain via their shared state. */
+    void load(std::vector<TenantConfig> configs);
+
+    /** load(loadTenantConfigs(<file contents>)); returns "" on
+     *  success or the failure message (the previous table stays in
+     *  effect on failure — a bad reload never locks tenants out). */
+    std::string loadFile(const std::string &path);
+
+    /**
+     * Admission decision for the request bearing @p token at @p now.
+     * On Admit::Ok the tenant's in-flight count is incremented and
+     * @p out is set — the caller must release() exactly once when the
+     * request finishes. On Disabled/RateLimited/OverQuota @p out is
+     * set (for per-tenant reject accounting) without an in-flight
+     * hold. UnknownToken leaves @p out null.
+     */
+    Admit admit(std::string_view token,
+                std::chrono::steady_clock::time_point now,
+                std::shared_ptr<TenantState> &out);
+
+    /** Return an Admit::Ok hold. */
+    static void release(const std::shared_ptr<TenantState> &tenant);
+
+    /** Number of configured tenants. */
+    std::size_t size() const;
+
+    /** With no tenants configured the gateway runs open (auth off);
+     *  admit() is then never consulted. */
+    bool empty() const { return size() == 0; }
+
+    /** Times load()/loadFile() succeeded (reload telemetry). */
+    std::uint64_t generation() const
+    {
+        return generation_.load(std::memory_order_relaxed);
+    }
+
+    /** Stable-ordered live states (stats endpoint / eie_top). */
+    std::vector<std::shared_ptr<TenantState>> states() const;
+
+  private:
+    mutable std::mutex mutex_;
+    /** Insertion-ordered (config order) live tenants. */
+    std::vector<std::shared_ptr<TenantState>> tenants_;
+    std::atomic<std::uint64_t> generation_{0};
+};
+
+} // namespace eie::gateway
+
+#endif // EIE_GATEWAY_TENANTS_HH

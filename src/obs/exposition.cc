@@ -1,76 +1,37 @@
 #include "obs/exposition.hh"
 
-#include <cerrno>
-#include <cstring>
-#include <stdexcept>
-#include <string>
-
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
+#include "gateway/http.hh"
 #include "obs/metrics.hh"
 
 namespace eie::obs {
 
-namespace {
-
-void
-sendAll(int fd, const char *data, std::size_t len)
-{
-    std::size_t sent = 0;
-    while (sent < len) {
-        ssize_t n = ::send(fd, data + sent, len - sent,
-                           MSG_NOSIGNAL);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR)
-                continue;
-            return; // Scrape client went away; nothing to do.
-        }
-        sent += static_cast<std::size_t>(n);
-    }
-}
-
-} // namespace
-
+/**
+ * The scrape endpoint is the shared gateway::HttpListener behind the
+ * historical MetricsHttpServer API — one HTTP parser/listener for
+ * this, the gateway, and the `http://` client transport instead of
+ * hand-rolled copies. Behavior is a superset of the old HTTP/1.0
+ * loop: same routes (any path containing "json" → renderJson, else
+ * renderText), loopback bind, plus standards-grade parsing and
+ * keep-alive for free.
+ */
 MetricsHttpServer::MetricsHttpServer(MetricsRegistry &registry,
                                      std::uint16_t port)
     : registry_(registry)
 {
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0)
-        throw std::runtime_error("metrics: socket() failed: "
-                                 + std::string(strerror(errno)));
-    int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
-                 sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr))
-        != 0) {
-        int err = errno;
-        ::close(listen_fd_);
-        listen_fd_ = -1;
-        throw std::runtime_error("metrics: cannot bind port "
-                                 + std::to_string(port) + ": "
-                                 + std::string(strerror(err)));
-    }
-    if (::listen(listen_fd_, 8) != 0) {
-        int err = errno;
-        ::close(listen_fd_);
-        listen_fd_ = -1;
-        throw std::runtime_error("metrics: listen() failed: "
-                                 + std::string(strerror(err)));
-    }
-    socklen_t len = sizeof(addr);
-    ::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
-                  &len);
-    port_ = ntohs(addr.sin_port);
-    thread_ = std::thread([this] { serveLoop(); });
+    gateway::HttpListener::Options options;
+    options.port = port;
+    listener_ = std::make_unique<gateway::HttpListener>(
+        options,
+        [this](const gateway::HttpRequest &request) {
+            gateway::HttpResponse response;
+            if (request.path.find("json") != std::string::npos) {
+                response.body = registry_.renderJson();
+            } else {
+                response.content_type = "text/plain; version=0.0.4";
+                response.body = registry_.renderText();
+            }
+            return response;
+        });
 }
 
 MetricsHttpServer::~MetricsHttpServer()
@@ -81,66 +42,13 @@ MetricsHttpServer::~MetricsHttpServer()
 std::uint16_t
 MetricsHttpServer::port() const
 {
-    return port_;
+    return listener_->port();
 }
 
 void
 MetricsHttpServer::stop()
 {
-    bool expected = false;
-    if (!stopping_.compare_exchange_strong(expected, true)) {
-        if (thread_.joinable())
-            thread_.join();
-        return;
-    }
-    if (listen_fd_ >= 0)
-        ::shutdown(listen_fd_, SHUT_RDWR);
-    if (thread_.joinable())
-        thread_.join();
-    if (listen_fd_ >= 0) {
-        ::close(listen_fd_);
-        listen_fd_ = -1;
-    }
-}
-
-void
-MetricsHttpServer::serveLoop()
-{
-    while (!stopping_.load(std::memory_order_acquire)) {
-        int fd = ::accept(listen_fd_, nullptr, nullptr);
-        if (fd < 0) {
-            if (errno == EINTR)
-                continue;
-            return; // Listener shut down.
-        }
-        char request[4096];
-        ssize_t n = ::recv(fd, request, sizeof(request) - 1, 0);
-        if (n <= 0) {
-            ::close(fd);
-            continue;
-        }
-        request[n] = '\0';
-        // First line only; everything we serve keys off the path.
-        std::string first_line(request);
-        if (auto eol = first_line.find('\r');
-            eol != std::string::npos)
-            first_line.resize(eol);
-        bool want_json =
-            first_line.find("json") != std::string::npos;
-        std::string body = want_json ? registry_.renderJson()
-                                     : registry_.renderText();
-        std::string header =
-            "HTTP/1.0 200 OK\r\nContent-Type: "
-            + std::string(want_json
-                              ? "application/json"
-                              : "text/plain; version=0.0.4")
-            + "\r\nContent-Length: "
-            + std::to_string(body.size())
-            + "\r\nConnection: close\r\n\r\n";
-        sendAll(fd, header.data(), header.size());
-        sendAll(fd, body.data(), body.size());
-        ::close(fd);
-    }
+    listener_->stop();
 }
 
 } // namespace eie::obs

@@ -1,22 +1,26 @@
 /**
  * @file
- * A tiny scrape endpoint: one listener thread serving the process
- * MetricsRegistry over HTTP/1.0 plaintext, close-after-response.
+ * A tiny scrape endpoint serving the process MetricsRegistry over
+ * HTTP — so `eie_serve --metrics-port` can be curl'd or
+ * Prometheus-scraped without the binary wire protocol. `GET
+ * /metrics` returns the Prometheus text format; any path containing
+ * "json" returns renderJson().
  *
- * This is deliberately not a web server — it exists so `eie_serve
- * --metrics-port` can be curl'd or Prometheus-scraped without the
- * binary wire protocol. `GET /metrics` returns the Prometheus text
- * format; any path containing "json" returns renderJson(). One
- * request per connection, no keep-alive, requests larger than 4 KiB
- * dropped.
+ * The HTTP machinery is the repo-wide gateway::HttpListener
+ * (src/gateway/http.hh) — the same parser/listener behind the
+ * multi-tenant gateway — kept behind this small class so callers
+ * keep the historical (registry, port) API.
  */
 
 #ifndef EIE_OBS_EXPOSITION_HH
 #define EIE_OBS_EXPOSITION_HH
 
-#include <atomic>
 #include <cstdint>
-#include <thread>
+#include <memory>
+
+namespace eie::gateway {
+class HttpListener;
+}
 
 namespace eie::obs {
 
@@ -45,13 +49,8 @@ class MetricsHttpServer
     void stop();
 
   private:
-    void serveLoop();
-
     MetricsRegistry &registry_;
-    int listen_fd_ = -1;
-    std::uint16_t port_ = 0;
-    std::atomic<bool> stopping_{false};
-    std::thread thread_;
+    std::unique_ptr<gateway::HttpListener> listener_;
 };
 
 } // namespace eie::obs

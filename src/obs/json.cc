@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace eie::obs {
@@ -102,8 +103,15 @@ JsonWriter::value(double v)
         out_ += buf;
         return *this;
     }
+    // Shortest representation that parses back to exactly v: values
+    // must survive a write/parse round trip bit-exactly (the HTTP
+    // gateway ships session hidden states and float outputs as JSON).
     char buf[48];
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    for (int precision = 6; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
     out_ += buf;
     return *this;
 }

@@ -73,6 +73,23 @@ TEST(Endpoint, TcpForms)
     EXPECT_EQ(parsed.port, 1u);
 }
 
+TEST(Endpoint, HttpForms)
+{
+    ParsedEndpoint parsed;
+    ASSERT_TRUE(
+        parseEndpoint("http://127.0.0.1:8080", parsed).ok());
+    EXPECT_EQ(parsed.kind, TransportKind::Http);
+    EXPECT_EQ(parsed.host, "127.0.0.1");
+    EXPECT_EQ(parsed.port, 8080u);
+    EXPECT_TRUE(parsed.token.empty());
+
+    ASSERT_TRUE(
+        parseEndpoint("http://gw:9090,token=s3cret", parsed).ok());
+    EXPECT_EQ(parsed.host, "gw");
+    EXPECT_EQ(parsed.port, 9090u);
+    EXPECT_EQ(parsed.token, "s3cret");
+}
+
 TEST(Endpoint, MalformedStringsAreInvalidArgumentNotFatal)
 {
     ParsedEndpoint parsed;
@@ -100,6 +117,14 @@ TEST(Endpoint, MalformedStringsAreInvalidArgumentNotFatal)
         "tcp://host:notaport",
         "tcp://host:0",
         "tcp://host:65536",
+        "http://",
+        "http://hostonly",
+        "http://host:",
+        "http://host:0",
+        "http://host:notaport",
+        "http://host:8080,token=",      // empty token
+        "http://host:8080,bearer=x",    // unknown option
+        "http://host:8080,token",       // not key=value
     };
     for (const char *endpoint : bad) {
         const Status status = parseEndpoint(endpoint, parsed);

@@ -1,0 +1,402 @@
+/**
+ * @file
+ * HTTP helper tests: the defensive request/response parser (unit
+ * cases plus the seeded garbage/mutation fuzz that mirrors the wire
+ * codec's — arbitrary bytes must yield Ok/NeedMore/Bad, never UB),
+ * and the listener/client-connection round trip with keep-alive,
+ * pipelined parses, handler exceptions and malformed input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "gateway/http.hh"
+
+namespace {
+
+using namespace eie::gateway;
+
+/** Parse @p data expecting one complete request. */
+HttpRequest
+parseOk(const std::string &data, std::size_t *consumed_out = nullptr)
+{
+    HttpRequest request;
+    std::size_t consumed = 0;
+    std::string error;
+    const HttpParse verdict =
+        parseHttpRequest(data, request, consumed, error);
+    EXPECT_EQ(verdict, HttpParse::Ok) << error;
+    EXPECT_LE(consumed, data.size());
+    if (consumed_out)
+        *consumed_out = consumed;
+    return request;
+}
+
+HttpParse
+verdictOf(const std::string &data, std::string *error_out = nullptr)
+{
+    HttpRequest request;
+    std::size_t consumed = 0;
+    std::string error;
+    const HttpParse verdict =
+        parseHttpRequest(data, request, consumed, error);
+    if (error_out)
+        *error_out = error;
+    return verdict;
+}
+
+TEST(HttpParser, ParsesRequestLineHeadersAndBody)
+{
+    std::size_t consumed = 0;
+    const std::string raw = "POST /v1/infer?debug=1 HTTP/1.1\r\n"
+                            "Host: localhost\r\n"
+                            "Content-Type: application/json\r\n"
+                            "Content-Length: 4\r\n"
+                            "\r\n"
+                            "{\"\"}extra";
+    const HttpRequest request = parseOk(raw, &consumed);
+    EXPECT_EQ(request.method, "POST");
+    EXPECT_EQ(request.target, "/v1/infer?debug=1");
+    EXPECT_EQ(request.path, "/v1/infer");
+    EXPECT_EQ(request.query, "debug=1");
+    EXPECT_EQ(request.version_minor, 1);
+    EXPECT_EQ(request.body, "{\"\"}");
+    EXPECT_EQ(consumed, raw.size() - 5); // "extra" stays buffered
+    // Header names arrive lowercased; values keep their case.
+    ASSERT_NE(request.header("content-type"), nullptr);
+    EXPECT_EQ(*request.header("content-type"), "application/json");
+    EXPECT_EQ(request.header("Content-Type"), nullptr);
+    EXPECT_FALSE(request.wantsClose());
+}
+
+TEST(HttpParser, GetWithoutBodyAndCloseSemantics)
+{
+    const HttpRequest get =
+        parseOk("GET /metrics HTTP/1.1\r\n\r\n");
+    EXPECT_EQ(get.method, "GET");
+    EXPECT_TRUE(get.body.empty());
+    EXPECT_TRUE(get.query.empty());
+    EXPECT_FALSE(get.wantsClose());
+
+    const HttpRequest close_req = parseOk(
+        "GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+    EXPECT_TRUE(close_req.wantsClose());
+
+    // HTTP/1.0 defaults to close, keep-alive opts back in.
+    const HttpRequest old = parseOk("GET / HTTP/1.0\r\n\r\n");
+    EXPECT_EQ(old.version_minor, 0);
+    EXPECT_TRUE(old.wantsClose());
+    const HttpRequest old_keep = parseOk(
+        "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+    EXPECT_FALSE(old_keep.wantsClose());
+}
+
+TEST(HttpParser, PipelinedRequestsConsumeOneAtATime)
+{
+    std::string data = "GET /a HTTP/1.1\r\n\r\n"
+                       "POST /b HTTP/1.1\r\nContent-Length: 2\r\n"
+                       "\r\nhi";
+    std::size_t consumed = 0;
+    const HttpRequest first = parseOk(data, &consumed);
+    EXPECT_EQ(first.path, "/a");
+    data.erase(0, consumed);
+    const HttpRequest second = parseOk(data, &consumed);
+    EXPECT_EQ(second.path, "/b");
+    EXPECT_EQ(second.body, "hi");
+    EXPECT_EQ(consumed, data.size());
+}
+
+TEST(HttpParser, IncompleteInputIsNeedMoreNotBad)
+{
+    // Every strict prefix of a valid request must be NeedMore.
+    const std::string raw = "POST /v1/infer HTTP/1.1\r\n"
+                            "Content-Length: 5\r\n\r\nhello";
+    for (std::size_t len = 0; len < raw.size(); ++len)
+        EXPECT_EQ(verdictOf(raw.substr(0, len)), HttpParse::NeedMore)
+            << "prefix length " << len;
+    EXPECT_EQ(verdictOf(raw), HttpParse::Ok);
+}
+
+TEST(HttpParser, MalformedRequestsAreBadWithAReason)
+{
+    const char *bad[] = {
+        "GET/ HTTP/1.1\r\n\r\n",          // no space after method
+        "GET  / HTTP/1.1\r\n\r\n",        // extra space
+        "GET / / HTTP/1.1\r\n\r\n",       // three fields
+        "GET noslash HTTP/1.1\r\n\r\n",   // target must start '/'
+        "GET / HTTP/2.0\r\n\r\n",         // unsupported version
+        "GET / HTTQ/1.1\r\n\r\n",         // not HTTP
+        "G\x01T / HTTP/1.1\r\n\r\n",      // control byte in method
+        "GET / HTTP/1.1\r\nNo Colon\r\n\r\n",
+        "GET / HTTP/1.1\r\n: novalue\r\n\r\n",   // empty name
+        "GET / HTTP/1.1\r\nBad Name: x\r\n\r\n", // space in name
+        "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+        "POST / HTTP/1.1\r\nContent-Length: 12x\r\n\r\n",
+        "POST / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n",
+        // chunked bodies are out of scope, rejected explicitly
+        "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+    };
+    for (const char *raw : bad) {
+        std::string error;
+        EXPECT_EQ(verdictOf(raw, &error), HttpParse::Bad)
+            << "'" << raw << "' parsed";
+        EXPECT_FALSE(error.empty()) << raw;
+    }
+}
+
+TEST(HttpParser, EnforcesHeadAndBodyLimits)
+{
+    HttpLimits limits;
+    limits.max_head_bytes = 128;
+    limits.max_body_bytes = 16;
+
+    HttpRequest request;
+    std::size_t consumed = 0;
+    std::string error;
+
+    // A head that can no longer fit the limit is Bad even before the
+    // terminator arrives (no unbounded buffering).
+    std::string fat_head = "GET / HTTP/1.1\r\nX-Pad: ";
+    fat_head.append(200, 'a');
+    EXPECT_EQ(parseHttpRequest(fat_head, request, consumed, error,
+                               limits),
+              HttpParse::Bad);
+
+    // A declared body over the cap is rejected from the header alone.
+    EXPECT_EQ(parseHttpRequest("POST / HTTP/1.1\r\n"
+                               "Content-Length: 17\r\n\r\n",
+                               request, consumed, error, limits),
+              HttpParse::Bad);
+    EXPECT_EQ(parseHttpRequest("POST / HTTP/1.1\r\n"
+                               "Content-Length: 16\r\n\r\n",
+                               request, consumed, error, limits),
+              HttpParse::NeedMore);
+
+    // More than 64 headers is Bad under default limits.
+    std::string many = "GET / HTTP/1.1\r\n";
+    for (int i = 0; i < 70; ++i)
+        many += std::string("H") + std::to_string(i) + ": v\r\n";
+    many += "\r\n";
+    EXPECT_EQ(verdictOf(many), HttpParse::Bad);
+}
+
+TEST(HttpParser, ResponseRoundTripsThroughRenderer)
+{
+    HttpResponse response;
+    response.status = 429;
+    response.body = "{\"error\":{\"code\":\"UNAVAILABLE\"}}";
+    response.headers.push_back({"Retry-After", "1"});
+    const std::string wire = renderHttpResponse(response);
+
+    HttpParsedResponse parsed;
+    std::size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(parseHttpResponse(wire, parsed, consumed, error),
+              HttpParse::Ok)
+        << error;
+    EXPECT_EQ(consumed, wire.size());
+    EXPECT_EQ(parsed.status, 429);
+    EXPECT_EQ(parsed.reason, httpStatusReason(429));
+    EXPECT_EQ(parsed.body, response.body);
+    ASSERT_NE(parsed.header("retry-after"), nullptr);
+    EXPECT_EQ(*parsed.header("retry-after"), "1");
+    EXPECT_FALSE(parsed.close);
+
+    response.close = true;
+    HttpParsedResponse closed;
+    ASSERT_EQ(parseHttpResponse(renderHttpResponse(response), closed,
+                                consumed, error),
+              HttpParse::Ok);
+    EXPECT_TRUE(closed.close);
+}
+
+/** splitmix64: the deterministic byte source of the fuzz tests
+ *  (same generator as the wire-frame fuzz in tests/serve). */
+std::uint64_t
+splitmix(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Valid requests with structure for mutations to corrupt. */
+std::vector<std::string>
+sampleRequests()
+{
+    return {
+        "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n",
+        "GET /v1/models/fc?version=3 HTTP/1.1\r\n"
+        "Authorization: Bearer s3cret\r\n\r\n",
+        "POST /v1/infer HTTP/1.1\r\nHost: gw:8080\r\n"
+        "Content-Type: application/json\r\nContent-Length: 43\r\n"
+        "\r\n"
+        "{\"model\":\"fc\",\"frames\":[[1,-2,3],[0,0,7]]}X",
+        "POST /v1/session/step HTTP/1.0\r\n"
+        "Connection: keep-alive\r\nContent-Length: 0\r\n\r\n",
+    };
+}
+
+TEST(HttpFuzz, SeededMutationsOfValidRequestsNeverCrash)
+{
+    // Deterministic garbage fuzz mirroring WireFuzz: mutate each
+    // valid request (bit flips, byte stomps, truncations, trailing
+    // garbage) and require the parser to answer Ok, NeedMore or Bad
+    // — never crash, over-read, or trip a sanitizer. On Ok, consumed
+    // must stay within the buffer. Seeded, so failures reproduce.
+    std::uint64_t rng = 0xface7e4a11ceull;
+    for (const std::string &clean : sampleRequests()) {
+        EXPECT_EQ(verdictOf(clean), HttpParse::Ok) << clean;
+
+        for (int round = 0; round < 300; ++round) {
+            std::string mutated = clean;
+            const unsigned edits =
+                1 + static_cast<unsigned>(splitmix(rng) % 4);
+            for (unsigned e = 0; e < edits; ++e) {
+                switch (splitmix(rng) % 4) {
+                  case 0: // flip one bit
+                    mutated[splitmix(rng) % mutated.size()] ^=
+                        static_cast<char>(1u << (splitmix(rng) % 8));
+                    break;
+                  case 1: // stomp one byte
+                    mutated[splitmix(rng) % mutated.size()] =
+                        static_cast<char>(splitmix(rng));
+                    break;
+                  case 2: // truncate to a strict prefix
+                    mutated.resize(1 + splitmix(rng) %
+                                           mutated.size());
+                    break;
+                  default: // append trailing garbage
+                    for (std::uint64_t n = 1 + splitmix(rng) % 16;
+                         n > 0; --n)
+                        mutated.push_back(
+                            static_cast<char>(splitmix(rng)));
+                    break;
+                }
+            }
+            HttpRequest request;
+            std::size_t consumed = 0;
+            std::string error;
+            const HttpParse verdict = parseHttpRequest(
+                mutated, request, consumed, error);
+            if (verdict == HttpParse::Ok) {
+                EXPECT_LE(consumed, mutated.size());
+            }
+        }
+    }
+}
+
+TEST(HttpFuzz, PureGarbageBuffersNeverCrash)
+{
+    // Buffers that were never HTTP, in both parser directions.
+    std::uint64_t rng = 0x900dbeefull;
+    for (int round = 0; round < 2000; ++round) {
+        std::string garbage;
+        const std::uint64_t len = splitmix(rng) % 96;
+        for (std::uint64_t i = 0; i < len; ++i)
+            garbage.push_back(static_cast<char>(splitmix(rng)));
+        HttpRequest request;
+        HttpParsedResponse response;
+        std::size_t consumed = 0;
+        std::string error;
+        (void)parseHttpRequest(garbage, request, consumed, error);
+        (void)parseHttpResponse(garbage, response, consumed, error);
+    }
+}
+
+TEST(HttpListener, ServesKeepAliveRoundTrips)
+{
+    HttpListener::Options options;
+    HttpListener listener(options, [](const HttpRequest &request) {
+        if (request.path == "/boom")
+            throw std::runtime_error("handler exploded");
+        HttpResponse response;
+        response.body = "{\"path\":\"" + request.path +
+            "\",\"body_bytes\":" +
+            std::to_string(request.body.size()) + "}";
+        return response;
+    });
+    ASSERT_NE(listener.port(), 0);
+
+    HttpClientConnection connection("127.0.0.1", listener.port());
+
+    // Several exchanges on one keep-alive connection.
+    for (int i = 0; i < 3; ++i) {
+        const HttpParsedResponse response = connection.roundTrip(
+            "POST", "/echo/" + std::to_string(i), {},
+            std::string(static_cast<std::size_t>(i) * 7, 'x'));
+        EXPECT_EQ(response.status, 200);
+        EXPECT_EQ(response.body,
+                  "{\"path\":\"/echo/" + std::to_string(i) +
+                      "\",\"body_bytes\":" + std::to_string(i * 7) +
+                      "}");
+        EXPECT_TRUE(connection.alive());
+    }
+    EXPECT_EQ(listener.connectionsAccepted(), 1u);
+
+    // A handler exception is a 500 on the wire, not a dead listener.
+    const HttpParsedResponse boom =
+        connection.roundTrip("GET", "/boom", {}, "");
+    EXPECT_EQ(boom.status, 500);
+    EXPECT_NE(boom.body.find("INTERNAL"), std::string::npos);
+    const HttpParsedResponse after =
+        connection.roundTrip("GET", "/ok", {}, "");
+    EXPECT_EQ(after.status, 200);
+
+    listener.stop();
+    // After stop, a round trip on the old connection fails typed.
+    EXPECT_THROW(connection.roundTrip("GET", "/x", {}, ""),
+                 HttpError);
+    EXPECT_THROW(
+        HttpClientConnection("127.0.0.1", listener.port()),
+        HttpError);
+}
+
+TEST(HttpListener, MalformedInputGets400AndConnectionClose)
+{
+    HttpListener::Options options;
+    HttpListener listener(options, [](const HttpRequest &) {
+        return HttpResponse{};
+    });
+
+    // Speak the socket directly: raw garbage must come back as a 400
+    // with the connection closed — and must not take the listener
+    // down for well-behaved peers.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(listener.port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::string garbage = "\x01\x02NOT HTTP AT ALL\r\n\r\n";
+    ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(garbage.size()));
+    std::string reply;
+    char chunk[512];
+    for (;;) {
+        const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (got <= 0)
+            break; // server closed after the 400
+        reply.append(chunk, static_cast<std::size_t>(got));
+    }
+    ::close(fd);
+    EXPECT_NE(reply.find("HTTP/1.1 400"), std::string::npos) << reply;
+
+    // The listener still serves a well-formed peer afterwards.
+    HttpClientConnection probe("127.0.0.1", listener.port());
+    EXPECT_EQ(probe.roundTrip("GET", "/", {}, "").status, 200);
+    listener.stop();
+}
+
+} // namespace

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * TenantTable tests: config parsing (schema, defaults, rejection of
+ * duplicates and negative limits), deterministic token-bucket
+ * behaviour under explicit virtual time, concurrency quotas with
+ * release(), and hot reload keeping runtime state keyed by name.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "gateway/tenants.hh"
+
+namespace {
+
+using namespace eie::gateway;
+using namespace std::chrono_literals;
+
+const std::chrono::steady_clock::time_point kT0{};
+
+std::chrono::steady_clock::time_point
+at(std::chrono::milliseconds offset)
+{
+    return kT0 + offset;
+}
+
+TEST(TenantConfigs, ParsesSchemaAndDefaults)
+{
+    const auto configs = loadTenantConfigs(R"({"tenants":[
+        {"name":"acme","token":"tok-a","priority":10,
+         "rate_qps":100.0,"burst":20,"max_concurrent":8,
+         "deadline_cap_us":500000,"enabled":true},
+        {"name":"beta","token":"tok-b"},
+        {"name":"lapsed","token":"tok-l","enabled":false,
+         "rate_qps":5}
+    ]})");
+    ASSERT_EQ(configs.size(), 3u);
+
+    EXPECT_EQ(configs[0].name, "acme");
+    EXPECT_EQ(configs[0].token, "tok-a");
+    EXPECT_TRUE(configs[0].enabled);
+    EXPECT_EQ(configs[0].priority, 10);
+    EXPECT_DOUBLE_EQ(configs[0].rate_qps, 100.0);
+    EXPECT_DOUBLE_EQ(configs[0].burst, 20.0);
+    EXPECT_EQ(configs[0].max_concurrent, 8u);
+    EXPECT_EQ(configs[0].deadline_cap, 500000us);
+
+    // Only name+token are required; everything else defaults open.
+    EXPECT_TRUE(configs[1].enabled);
+    EXPECT_EQ(configs[1].priority, 0);
+    EXPECT_DOUBLE_EQ(configs[1].rate_qps, 0.0);
+    EXPECT_EQ(configs[1].max_concurrent, 0u);
+    EXPECT_EQ(configs[1].deadline_cap, 0us);
+
+    // A nonzero rate with burst left 0 defaults to max(rate, 1).
+    EXPECT_FALSE(configs[2].enabled);
+    EXPECT_DOUBLE_EQ(configs[2].burst, 5.0);
+}
+
+TEST(TenantConfigs, RejectsMalformedDocuments)
+{
+    const char *bad[] = {
+        "not json",
+        "[]",                                   // not an object
+        "{}",                                   // no tenants array
+        R"({"tenants":{}})",                    // not an array
+        R"({"tenants":[{"token":"t"}]})",       // missing name
+        R"({"tenants":[{"name":"a"}]})",        // missing token
+        R"({"tenants":[{"name":"a","token":"t"},
+                       {"name":"a","token":"u"}]})", // dup name
+        R"({"tenants":[{"name":"a","token":"t"},
+                       {"name":"b","token":"t"}]})", // dup token
+        R"({"tenants":[{"name":"a","token":"t",
+                        "rate_qps":-1}]})",     // negative rate
+        R"({"tenants":[{"name":"a","token":"t",
+                        "burst":-2}]})",
+        R"({"tenants":[{"name":"a","token":"t",
+                        "deadline_cap_us":-5}]})",
+    };
+    for (const char *doc : bad)
+        EXPECT_THROW(loadTenantConfigs(doc), std::runtime_error)
+            << doc;
+}
+
+TEST(TenantTable, AuthRejectsUnknownAndDisabled)
+{
+    TenantTable table;
+    table.load(loadTenantConfigs(R"({"tenants":[
+        {"name":"acme","token":"tok-a"},
+        {"name":"lapsed","token":"tok-l","enabled":false}
+    ]})"));
+    EXPECT_EQ(table.size(), 2u);
+    EXPECT_FALSE(table.empty());
+
+    std::shared_ptr<TenantState> tenant;
+    EXPECT_EQ(table.admit("wrong", kT0, tenant),
+              Admit::UnknownToken);
+    EXPECT_EQ(tenant, nullptr);
+
+    // Disabled tenants authenticate (out set, rejects counted) but
+    // are refused.
+    EXPECT_EQ(table.admit("tok-l", kT0, tenant), Admit::Disabled);
+    ASSERT_NE(tenant, nullptr);
+    EXPECT_EQ(tenant->name(), "lapsed");
+    EXPECT_EQ(tenant->inFlight(), 0u);
+
+    tenant.reset();
+    EXPECT_EQ(table.admit("tok-a", kT0, tenant), Admit::Ok);
+    ASSERT_NE(tenant, nullptr);
+    EXPECT_EQ(tenant->name(), "acme");
+    EXPECT_EQ(tenant->inFlight(), 1u);
+    EXPECT_EQ(tenant->admitted(), 1u);
+    TenantTable::release(tenant);
+    EXPECT_EQ(tenant->inFlight(), 0u);
+}
+
+TEST(TenantTable, TokenBucketIsDeterministicUnderVirtualTime)
+{
+    TenantTable table;
+    table.load(loadTenantConfigs(R"({"tenants":[
+        {"name":"metered","token":"tok","rate_qps":2.0,"burst":2}
+    ]})"));
+
+    std::shared_ptr<TenantState> tenant;
+    // The bucket primes full on first use: exactly `burst` admits
+    // at t0, then rate-limited.
+    EXPECT_EQ(table.admit("tok", kT0, tenant), Admit::Ok);
+    TenantTable::release(tenant);
+    EXPECT_EQ(table.admit("tok", kT0, tenant), Admit::Ok);
+    TenantTable::release(tenant);
+    EXPECT_EQ(table.admit("tok", kT0, tenant), Admit::RateLimited);
+    EXPECT_EQ(tenant->rejectedRate(), 1u);
+
+    // 2 qps -> one token every 500ms. 400ms in: still dry.
+    EXPECT_EQ(table.admit("tok", at(400ms), tenant),
+              Admit::RateLimited);
+    // 500ms in: exactly one token.
+    EXPECT_EQ(table.admit("tok", at(500ms), tenant), Admit::Ok);
+    TenantTable::release(tenant);
+    EXPECT_EQ(table.admit("tok", at(500ms), tenant),
+              Admit::RateLimited);
+
+    // A long idle refills to burst, never beyond.
+    EXPECT_EQ(table.admit("tok", at(60500ms), tenant), Admit::Ok);
+    TenantTable::release(tenant);
+    EXPECT_EQ(table.admit("tok", at(60500ms), tenant), Admit::Ok);
+    TenantTable::release(tenant);
+    EXPECT_EQ(table.admit("tok", at(60500ms), tenant),
+              Admit::RateLimited);
+    EXPECT_EQ(tenant->rejectedRate(), 4u);
+    EXPECT_EQ(tenant->admitted(), 5u);
+}
+
+TEST(TenantTable, ConcurrencyQuotaFreesOnRelease)
+{
+    TenantTable table;
+    table.load(loadTenantConfigs(R"({"tenants":[
+        {"name":"narrow","token":"tok","max_concurrent":2}
+    ]})"));
+
+    std::shared_ptr<TenantState> first, second, third;
+    EXPECT_EQ(table.admit("tok", kT0, first), Admit::Ok);
+    EXPECT_EQ(table.admit("tok", kT0, second), Admit::Ok);
+    EXPECT_EQ(table.admit("tok", kT0, third), Admit::OverQuota);
+    EXPECT_EQ(third->inFlight(), 2u);
+    EXPECT_EQ(third->rejectedQuota(), 1u);
+
+    TenantTable::release(first);
+    EXPECT_EQ(table.admit("tok", kT0, third), Admit::Ok);
+    EXPECT_EQ(third->inFlight(), 2u);
+    TenantTable::release(second);
+    TenantTable::release(third);
+    EXPECT_EQ(third->inFlight(), 0u);
+}
+
+TEST(TenantTable, HotReloadKeepsRuntimeStateByName)
+{
+    TenantTable table;
+    table.load(loadTenantConfigs(R"({"tenants":[
+        {"name":"acme","token":"tok-a","max_concurrent":4},
+        {"name":"beta","token":"tok-b"}
+    ]})"));
+    EXPECT_EQ(table.generation(), 1u);
+
+    std::shared_ptr<TenantState> held;
+    ASSERT_EQ(table.admit("tok-a", kT0, held), Admit::Ok);
+    ASSERT_EQ(table.admit("tok-a", kT0, held), Admit::Ok);
+    TenantTable::release(held);
+    EXPECT_EQ(held->inFlight(), 1u);
+    EXPECT_EQ(held->admitted(), 2u);
+
+    // Reload: acme's token rotates and its quota shrinks; beta is
+    // dropped; a new tenant appears.
+    table.load(loadTenantConfigs(R"({"tenants":[
+        {"name":"acme","token":"tok-a2","max_concurrent":1},
+        {"name":"gamma","token":"tok-g"}
+    ]})"));
+    EXPECT_EQ(table.generation(), 2u);
+    EXPECT_EQ(table.size(), 2u);
+
+    std::shared_ptr<TenantState> tenant;
+    // Old tokens stop working immediately.
+    EXPECT_EQ(table.admit("tok-a", kT0, tenant),
+              Admit::UnknownToken);
+    EXPECT_EQ(table.admit("tok-b", kT0, tenant),
+              Admit::UnknownToken);
+
+    // acme kept its runtime state: one request still in flight, so
+    // the shrunk quota of 1 is already full.
+    EXPECT_EQ(table.admit("tok-a2", kT0, tenant), Admit::OverQuota);
+    ASSERT_NE(tenant, nullptr);
+    EXPECT_EQ(tenant.get(), held.get()); // same live state object
+    EXPECT_EQ(tenant->admitted(), 2u);
+
+    // The in-flight hold from before the reload releases cleanly.
+    TenantTable::release(held);
+    EXPECT_EQ(table.admit("tok-a2", kT0, tenant), Admit::Ok);
+    TenantTable::release(tenant);
+
+    // New tenants start fresh.
+    EXPECT_EQ(table.admit("tok-g", kT0, tenant), Admit::Ok);
+    EXPECT_EQ(tenant->admitted(), 1u);
+    TenantTable::release(tenant);
+}
+
+TEST(TenantTable, LoadFileKeepsPreviousTableOnFailure)
+{
+    const std::string path = "/tmp/eie_tenants_test_" +
+        std::to_string(::getpid()) + ".json";
+    {
+        std::ofstream out(path);
+        out << R"({"tenants":[{"name":"a","token":"t"}]})";
+    }
+
+    TenantTable table;
+    EXPECT_EQ(table.loadFile(path), "");
+    EXPECT_EQ(table.size(), 1u);
+    EXPECT_EQ(table.generation(), 1u);
+
+    {
+        std::ofstream out(path);
+        out << "{corrupt";
+    }
+    const std::string error = table.loadFile(path);
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(table.size(), 1u); // previous table intact
+    EXPECT_EQ(table.generation(), 1u);
+    std::shared_ptr<TenantState> tenant;
+    EXPECT_EQ(table.admit("t", kT0, tenant), Admit::Ok);
+    TenantTable::release(tenant);
+
+    // A missing file is an error, not a wipe.
+    ::unlink(path.c_str());
+    EXPECT_FALSE(table.loadFile(path).empty());
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(TenantTable, EmptyTableMeansAuthOff)
+{
+    TenantTable table;
+    EXPECT_TRUE(table.empty());
+    EXPECT_EQ(table.generation(), 0u);
+    EXPECT_TRUE(table.states().empty());
+
+    std::shared_ptr<TenantState> tenant;
+    EXPECT_EQ(table.admit("anything", kT0, tenant),
+              Admit::UnknownToken);
+
+    // admitName covers every outcome (metrics reason labels).
+    EXPECT_STREQ(admitName(Admit::Ok), "ok");
+    EXPECT_STREQ(admitName(Admit::UnknownToken), "unknown_token");
+    EXPECT_STREQ(admitName(Admit::Disabled), "disabled");
+    EXPECT_STREQ(admitName(Admit::RateLimited), "rate_limited");
+    EXPECT_STREQ(admitName(Admit::OverQuota), "over_quota");
+}
+
+} // namespace

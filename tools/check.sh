@@ -17,7 +17,9 @@
 #
 # The telemetry subsystem (src/obs/: metrics registry, histogram
 # quantiles, tracing, the stats/metrics JSON schema pin) likewise
-# gets a labeled `-L obs` pass in both build types.
+# gets a labeled `-L obs` pass in both build types, as does the
+# multi-tenant HTTP gateway (src/gateway/: HTTP/1.1 parser and
+# listener, tenant table, gateway end-to-end) via `-L gateway`.
 #
 # A third pass rebuilds the concurrency-sensitive suites — worker
 # pool, batched kernels (all variants), execution backends, the
@@ -28,14 +30,17 @@
 # fails the check even when the race never corrupts an assertion.
 #
 # A fourth pass rebuilds the robustness suites — wire-frame fuzz,
-# compressed-stream fuzz, fault injection, retry, model-file
-# corruption — under Address+UndefinedBehavior sanitizers
-# (-DEIE_ASAN=ON) so a decoder overread or UB on a garbage frame or
-# corrupt weight stream fails loudly instead of decoding garbage
+# HTTP-parser fuzz, compressed-stream fuzz, fault injection, retry,
+# model-file corruption, tenant-config parsing — under
+# Address+UndefinedBehavior sanitizers (-DEIE_ASAN=ON) so a decoder
+# overread or UB on a garbage frame, corrupt weight stream or
+# malformed HTTP request fails loudly instead of decoding garbage
 # quietly.
 #
-# Finally a daemon-signal smoke starts `eie_serve daemon` against a
-# scratch registry, sends SIGINT, and requires a clean exit 0.
+# Finally two daemon-signal smokes: `eie_serve` against a scratch
+# registry must exit 0 on SIGINT, and `eie_gateway` fronting that
+# registry must hot-reload its tenant table on SIGHUP and exit 0 on
+# SIGINT.
 #
 # Usage: tools/check.sh [extra cmake args...]
 
@@ -61,6 +66,8 @@ for build_type in Release Debug; do
     ctest --test-dir "${build_dir}" --output-on-failure -L faults
     echo "=== ${build_type} telemetry (-L obs) ==="
     ctest --test-dir "${build_dir}" --output-on-failure -L obs
+    echo "=== ${build_type} HTTP gateway (-L gateway) ==="
+    ctest --test-dir "${build_dir}" --output-on-failure -L gateway
 done
 
 echo "=== kernel variant matrix (Release eie_sim smoke) ==="
@@ -86,7 +93,8 @@ tsan_dir="build-check-tsan"
 tsan_tests="test_kernel test_kernel_variants \
 test_kernel_compressed_stream test_backend test_server \
 test_network_runner test_cluster test_tcp test_client test_session \
-test_faults test_retry test_metrics test_tracing"
+test_faults test_retry test_metrics test_tracing test_http \
+test_gateway"
 cmake -B "${tsan_dir}" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEIE_TSAN=ON "$@"
 # Build only the sanitized suites: instrumenting the full bench/tool
@@ -103,7 +111,8 @@ ctest --test-dir "${tsan_dir}" --output-on-failure \
 echo "=== Address+UB sanitizers (wire fuzz + faults + model file) ==="
 asan_dir="build-check-asan"
 asan_tests="test_wire test_model_file test_registry test_faults \
-test_retry test_client test_kernel_compressed_stream"
+test_retry test_client test_kernel_compressed_stream test_http \
+test_tenants"
 cmake -B "${asan_dir}" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEIE_ASAN=ON "$@"
 cmake --build "${asan_dir}" -j "${jobs}" \
@@ -127,5 +136,31 @@ if [ "${daemon_status}" -ne 0 ]; then
     exit 1
 fi
 
+echo "=== gateway signal smoke (SIGHUP reloads, SIGINT exits 0) ==="
+cat > "${smoke_dir}/tenants.json" <<'EOF'
+{"tenants":[{"name":"smoke","token":"smoke-token"}]}
+EOF
+gateway_log="${smoke_dir}/gateway.log"
+./build-check-release/eie_gateway \
+    --backend "cluster:${smoke_dir},shards=1" \
+    --tenants "${smoke_dir}/tenants.json" > "${gateway_log}" &
+gateway_pid=$!
+sleep 1
+kill -HUP "${gateway_pid}"
+sleep 1
+if ! grep -q "reloaded" "${gateway_log}"; then
+    echo "FAIL: gateway did not hot-reload tenants on SIGHUP" >&2
+    cat "${gateway_log}" >&2
+    exit 1
+fi
+kill -INT "${gateway_pid}"
+gateway_status=0
+wait "${gateway_pid}" || gateway_status=$?
+if [ "${gateway_status}" -ne 0 ]; then
+    echo "FAIL: gateway exited ${gateway_status} on SIGINT" >&2
+    cat "${gateway_log}" >&2
+    exit 1
+fi
+
 echo "all checks passed (Release + Debug + variant matrix + TSan \
-+ ASan/UBSan + signal smoke)"
++ ASan/UBSan + signal smokes)"

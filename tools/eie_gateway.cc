@@ -1,0 +1,188 @@
+/**
+ * @file
+ * eie_gateway — the multi-tenant HTTP front door as a daemon.
+ *
+ *   eie_gateway --backend ENDPOINT [--port P] [--bind ADDR]
+ *               [--tenants FILE] [--pes N] [--duration-s S]
+ *
+ * --backend takes any client endpoint (client/endpoint.hh grammar):
+ * `tcp://HOST:PORT` proxies to a running eie_serve daemon — the
+ * production shape — while `cluster:DIR` / `local:...` serve the
+ * models in-process behind the same HTTP surface (single-binary
+ * deployments, tests).
+ *
+ * --tenants points at the JSON tenant table (see
+ * gateway/tenants.hh for the schema); without it the gateway runs
+ * open (no auth, no quotas). SIGHUP re-reads the file without
+ * dropping connections or resetting in-flight quotas; a file that
+ * fails to parse leaves the previous table in effect and logs the
+ * error. SIGINT/SIGTERM exit cleanly with status 0.
+ *
+ * The gateway serves its own telemetry: GET /metrics (Prometheus
+ * plaintext, includes eie_gateway_requests_total and friends) and
+ * GET /v1/stats (per-tenant quotas/latency JSON — what `eie_top
+ * --gateway` renders).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "client/client.hh"
+#include "common/logging.hh"
+#include "gateway/gateway.hh"
+
+namespace {
+
+using namespace eie;
+
+std::atomic<bool> g_interrupted{false};
+std::atomic<bool> g_reload{false};
+
+void
+onSignal(int)
+{
+    g_interrupted.store(true);
+}
+
+void
+onReload(int)
+{
+    g_reload.store(true);
+}
+
+void
+usage()
+{
+    std::cout <<
+        "eie_gateway — multi-tenant HTTP front door\n"
+        "  --backend ENDPOINT    backend to proxy to (required):\n"
+        "                        tcp://HOST:PORT | cluster:DIR | "
+        "local:...\n"
+        "  --port P              HTTP listen port (default 0 = "
+        "ephemeral)\n"
+        "  --bind ADDR           bind address (default 127.0.0.1)\n"
+        "  --tenants FILE        tenant table JSON (bearer tokens, "
+        "quotas,\n"
+        "                        tiers); SIGHUP reloads it\n"
+        "  --pes N               machine PE count (default 64; must "
+        "match\n"
+        "                        the backend daemon's)\n"
+        "  --duration-s S        exit after S seconds (default: "
+        "until SIGINT)\n";
+}
+
+struct Args
+{
+    std::string backend;
+    std::string bind = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::string tenants_file;
+    double duration_s = 0.0;
+    core::EieConfig config;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            fatal_if(i + 1 >= argc, "missing value after %s",
+                     arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--backend") {
+            args.backend = next();
+        } else if (arg == "--port") {
+            args.port =
+                static_cast<std::uint16_t>(std::stoul(next()));
+        } else if (arg == "--bind") {
+            args.bind = next();
+        } else if (arg == "--tenants") {
+            args.tenants_file = next();
+        } else if (arg == "--pes") {
+            args.config.n_pe =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--duration-s") {
+            args.duration_s = std::stod(next());
+        } else {
+            fatal("unknown argument '%s' (try --help)", arg.c_str());
+        }
+    }
+    fatal_if(args.backend.empty(), "--backend is required");
+    args.config.validate();
+
+    gateway::GatewayOptions options;
+    options.http.bind_address = args.bind;
+    options.http.port = args.port;
+    options.client.config = args.config;
+
+    client::Status status;
+    std::unique_ptr<gateway::HttpGateway> gateway =
+        gateway::HttpGateway::create(args.backend, options, status);
+    fatal_if(!gateway, "cannot start gateway: %s",
+             status.toString().c_str());
+
+    if (!args.tenants_file.empty()) {
+        const std::string error =
+            gateway->tenants().loadFile(args.tenants_file);
+        fatal_if(!error.empty(), "--tenants: %s", error.c_str());
+    }
+
+    std::cout << "eie_gateway listening on http://" << args.bind
+              << ":" << gateway->port() << " -> " << args.backend
+              << " (" << gateway->tenants().size() << " tenants"
+              << (gateway->tenants().empty() ? ", auth off" : "")
+              << ")\n"
+              << std::flush;
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGHUP, onReload);
+    const auto start = std::chrono::steady_clock::now();
+    while (!g_interrupted.load()) {
+        if (g_reload.exchange(false)) {
+            if (args.tenants_file.empty()) {
+                std::cout << "eie_gateway: SIGHUP ignored "
+                             "(no --tenants file)\n"
+                          << std::flush;
+            } else {
+                const std::string error =
+                    gateway->tenants().loadFile(args.tenants_file);
+                if (error.empty())
+                    std::cout << "eie_gateway: reloaded "
+                              << args.tenants_file << " ("
+                              << gateway->tenants().size()
+                              << " tenants, generation "
+                              << gateway->tenants().generation()
+                              << ")\n"
+                              << std::flush;
+                else
+                    std::cout << "eie_gateway: reload failed, "
+                                 "keeping previous table: "
+                              << error << "\n"
+                              << std::flush;
+            }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (args.duration_s > 0.0 &&
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                    .count() >= args.duration_s)
+            break;
+    }
+
+    std::cout << "eie_gateway: shutting down\n" << std::flush;
+    gateway->stop();
+    return 0;
+}

@@ -3,8 +3,8 @@
  * eie_top — a live terminal dashboard over a running eie_serve
  * daemon, in the spirit of top(1):
  *
- *   eie_top --connect HOST:PORT [--interval-s S] [--iterations N]
- *           [--once]
+ *   eie_top --connect HOST:PORT [--gateway HOST:PORT]
+ *           [--interval-s S] [--iterations N] [--once]
  *
  * Each refresh polls the daemon's StatsRequest (per-cluster serving
  * stats) and MetricsRequest (the process registry) over the wire
@@ -22,6 +22,13 @@
  *   - process totals from the metrics registry (server requests /
  *     batches / sheds and the process-wide latency histogram).
  *
+ * With --gateway, each refresh additionally polls an eie_gateway's
+ * /v1/stats endpoint over HTTP and renders the per-tenant panel:
+ * admitted QPS over the last interval, in-flight against the
+ * concurrency quota (utilization), rate/quota rejections and the
+ * per-tenant p99. --gateway also works standalone (without
+ * --connect) for gateway-only deployments.
+ *
  * --once prints a single snapshot without clearing the screen (for
  * scripts and tests); --iterations N exits after N refreshes.
  */
@@ -32,6 +39,7 @@
 #include <csignal>
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -39,6 +47,7 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "gateway/http.hh"
 #include "obs/json.hh"
 #include "serve/tcp.hh"
 
@@ -59,7 +68,11 @@ usage()
 {
     std::cout <<
         "eie_top — live dashboard over a running eie_serve daemon\n"
-        "  --connect HOST:PORT  daemon to watch (required)\n"
+        "  --connect HOST:PORT  daemon to watch\n"
+        "  --gateway HOST:PORT  eie_gateway to watch (per-tenant "
+        "panel;\n"
+        "                       combines with --connect or stands "
+        "alone)\n"
         "  --interval-s S       refresh interval (default 1.0)\n"
         "  --iterations N       exit after N refreshes (0 = until "
         "SIGINT)\n"
@@ -70,6 +83,8 @@ struct Args
 {
     std::string host;
     std::uint16_t port = 0;
+    std::string gateway_host;
+    std::uint16_t gateway_port = 0;
     double interval_s = 1.0;
     std::uint64_t iterations = 0;
     bool once = false;
@@ -218,18 +233,103 @@ render(const obs::JsonValue &stats, const obs::JsonValue &metrics,
     }
 }
 
+/** The per-tenant panel from an eie_gateway's /v1/stats document:
+ *  admitted QPS (counter delta), in-flight vs. quota, rejections by
+ *  cause, bucket level and the per-tenant latency tail. */
+void
+renderGateway(const obs::JsonValue &stats,
+              std::vector<Baseline> &baselines, double elapsed_s,
+              std::ostream &out)
+{
+    if (const obs::JsonValue *gw = stats.find("gateway")) {
+        out << "gateway: backend=" << gw->stringOr("backend", "?")
+            << " requests="
+            << static_cast<std::uint64_t>(
+                   gw->numberOr("requests", 0.0))
+            << " rejected="
+            << static_cast<std::uint64_t>(
+                   gw->numberOr("rejected", 0.0))
+            << " sessions="
+            << static_cast<std::uint64_t>(
+                   gw->numberOr("open_sessions", 0.0))
+            << " auth="
+            << (gw->find("auth_enabled") != nullptr &&
+                        gw->find("auth_enabled")->boolean
+                    ? "on"
+                    : "off")
+            << "\n";
+    }
+    const obs::JsonValue *tenants = stats.find("tenants");
+    if (tenants == nullptr || !tenants->isArray() ||
+        tenants->array.empty())
+        return;
+    TextTable table({"Tenant", "Prio", "QPS", "Admitted", "InFlight",
+                     "Quota", "Util%", "RejRate", "RejQuota",
+                     "Bucket", "p50us", "p99us"});
+    for (const obs::JsonValue &tenant : tenants->array) {
+        const std::string name = tenant.stringOr("name", "?");
+        const double admitted = tenant.numberOr("admitted", 0.0);
+        const obs::JsonValue *latency = tenant.find("latency_us");
+        table.row()
+            .add(name)
+            .add(static_cast<std::int64_t>(
+                tenant.numberOr("priority", 0.0)))
+            .add(qpsOf(baselines, "tenant:" + name, admitted,
+                       elapsed_s),
+                 1)
+            .add(static_cast<std::uint64_t>(admitted))
+            .add(static_cast<std::uint64_t>(
+                tenant.numberOr("in_flight", 0.0)))
+            .add(static_cast<std::uint64_t>(
+                tenant.numberOr("max_concurrent", 0.0)))
+            .add(tenant.numberOr("quota_utilization", 0.0) * 100.0,
+                 1)
+            .add(static_cast<std::uint64_t>(
+                tenant.numberOr("rejected_rate", 0.0)))
+            .add(static_cast<std::uint64_t>(
+                tenant.numberOr("rejected_quota", 0.0)))
+            .add(tenant.numberOr("bucket_level", 0.0), 1)
+            .add(latency != nullptr ? latency->numberOr("p50", 0.0)
+                                    : 0.0,
+                 1)
+            .add(latency != nullptr ? latency->numberOr("p99", 0.0)
+                                    : 0.0,
+                 1);
+    }
+    table.print(out);
+}
+
 int
 run(const Args &args)
 {
-    serve::TcpClient client(args.host, args.port);
+    std::unique_ptr<serve::TcpClient> client;
+    if (!args.host.empty())
+        client =
+            std::make_unique<serve::TcpClient>(args.host, args.port);
     std::signal(SIGINT, onSignal);
 
     std::vector<Baseline> baselines;
     auto last = std::chrono::steady_clock::now();
     for (std::uint64_t iteration = 0;; ++iteration) {
-        const obs::JsonValue stats = obs::parseJson(client.stats());
-        const obs::JsonValue metrics =
-            obs::parseJson(client.metrics().json);
+        obs::JsonValue stats, metrics;
+        if (client) {
+            stats = obs::parseJson(client->stats());
+            metrics = obs::parseJson(client->metrics().json);
+        }
+        obs::JsonValue gateway_stats;
+        if (!args.gateway_host.empty()) {
+            // One fresh connection per poll: the dashboard's rate is
+            // human, and a gateway restart between refreshes must
+            // not kill the watch.
+            gateway::HttpClientConnection http(args.gateway_host,
+                                               args.gateway_port);
+            const gateway::HttpParsedResponse response =
+                http.roundTrip("GET", "/v1/stats", {}, "");
+            fatal_if(response.status != 200,
+                     "gateway /v1/stats returned HTTP %d",
+                     response.status);
+            gateway_stats = obs::parseJson(response.body);
+        }
 
         const auto now = std::chrono::steady_clock::now();
         const double elapsed_s =
@@ -239,12 +339,22 @@ run(const Args &args)
         // Render into a buffer first so a slow poll never leaves a
         // half-drawn screen.
         std::ostringstream frame;
-        render(stats, metrics, baselines,
-               iteration == 0 ? 0.0 : elapsed_s, frame);
+        if (client)
+            render(stats, metrics, baselines,
+                   iteration == 0 ? 0.0 : elapsed_s, frame);
+        if (!args.gateway_host.empty())
+            renderGateway(gateway_stats, baselines,
+                          iteration == 0 ? 0.0 : elapsed_s, frame);
         if (!args.once)
             std::cout << "\x1b[H\x1b[2J"; // home + clear
-        std::cout << "eie_top — " << args.host << ":" << args.port
-                  << " (interval " << args.interval_s << "s)\n"
+        std::cout << "eie_top — ";
+        if (client)
+            std::cout << args.host << ":" << args.port;
+        if (!args.gateway_host.empty())
+            std::cout << (client ? " + " : "") << "gateway "
+                      << args.gateway_host << ":"
+                      << args.gateway_port;
+        std::cout << " (interval " << args.interval_s << "s)\n"
                   << frame.str() << std::flush;
 
         if (args.once ||
@@ -291,6 +401,19 @@ main(int argc, char **argv)
             args.host = target.substr(0, colon);
             args.port = static_cast<std::uint16_t>(
                 std::stoul(target.substr(colon + 1)));
+        } else if (arg == "--gateway") {
+            std::string target = next();
+            // Accept the URL the gateway banner prints verbatim.
+            if (target.rfind("http://", 0) == 0)
+                target = target.substr(7);
+            while (!target.empty() && target.back() == '/')
+                target.pop_back();
+            const std::size_t colon = target.rfind(':');
+            fatal_if(colon == std::string::npos,
+                     "--gateway needs HOST:PORT");
+            args.gateway_host = target.substr(0, colon);
+            args.gateway_port = static_cast<std::uint16_t>(
+                std::stoul(target.substr(colon + 1)));
         } else if (arg == "--interval-s") {
             args.interval_s = std::stod(next());
             fatal_if(args.interval_s <= 0.0,
@@ -303,7 +426,8 @@ main(int argc, char **argv)
             fatal("unknown argument '%s' (try --help)", arg.c_str());
         }
     }
-    fatal_if(args.host.empty(), "eie_top needs --connect HOST:PORT");
+    fatal_if(args.host.empty() && args.gateway_host.empty(),
+             "eie_top needs --connect and/or --gateway HOST:PORT");
 
     try {
         return run(args);
